@@ -1,0 +1,56 @@
+//! E6 — Section 6.1.1: building the FDFree/Bd⁻ condensed representation,
+//! deriving supports from it, and counting the additional itemsets made
+//! redundant by differential-constraint inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::fis_bridge;
+use diffcon::DiffConstraint;
+use diffcon_bench::workloads;
+use fis::condensed::CondensedRepresentation;
+use setlat::{AttrSet, Universe};
+
+fn bench_condensed_repr(c: &mut Criterion) {
+    let db = workloads::fis_workload(13, 9, 200);
+    workloads::table_condensed_sizes(&db, &[10, 20, 40]).eprint();
+
+    // Inference-based pruning (the paper's {A,C,D} example, scaled up): count
+    // itemsets provably disjunctive from two retained constraints.
+    let u = Universe::of_size(6);
+    let known = vec![
+        DiffConstraint::parse("A -> {B, D}", &u).unwrap(),
+        DiffConstraint::parse("B -> {C, D}", &u).unwrap(),
+    ];
+    let inferable = fis_bridge::inferable_disjunctive_itemsets(&u, &known);
+    eprintln!(
+        "\n== E6: itemsets provably disjunctive by inference (|S| = 6, 2 retained constraints): {} of {} ==",
+        inferable.len(),
+        1u64 << 6
+    );
+
+    let mut group = c.benchmark_group("E6_condensed_repr");
+    group.sample_size(10);
+    for &items in &[6usize, 8, 9] {
+        let db = workloads::fis_workload(13, items, 150);
+        let kappa = 15;
+        group.bench_with_input(BenchmarkId::new("build", items), &db, |b, db| {
+            b.iter(|| CondensedRepresentation::build(db, kappa).size())
+        });
+        let repr = CondensedRepresentation::build(&db, kappa);
+        group.bench_with_input(BenchmarkId::new("derive_all", items), &repr, |b, repr| {
+            b.iter(|| {
+                (0u64..(1u64 << items))
+                    .filter(|&mask| {
+                        matches!(
+                            repr.derive(AttrSet::from_bits(mask)),
+                            fis::condensed::DerivedStatus::Frequent(_)
+                        )
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_condensed_repr);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E5 — Section 6: support-function construction, Apriori vs Eclat mining, and
+//! disjunctive-constraint checking on Quest-style synthetic baskets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::fis_bridge;
+use diffcon::DiffConstraint;
+use diffcon_bench::workloads;
+use fis::{apriori, eclat, support};
+use setlat::Universe;
+
+fn bench_fis_support(c: &mut Criterion) {
+    let table_db = workloads::fis_workload(5, 10, 200);
+    workloads::table_apriori_counts(&table_db, &[10, 20, 40, 80]).eprint();
+
+    let mut group = c.benchmark_group("E5_fis_support");
+    group.sample_size(15);
+    for &baskets in &[100usize, 400, 1600] {
+        let db = workloads::fis_workload(9, 12, baskets);
+        group.bench_with_input(
+            BenchmarkId::new("support_function", baskets),
+            &db,
+            |b, db| b.iter(|| support::support_function(db)),
+        );
+        let kappa = baskets / 10;
+        group.bench_with_input(BenchmarkId::new("apriori", baskets), &db, |b, db| {
+            b.iter(|| apriori::apriori(db, kappa).num_frequent())
+        });
+        group.bench_with_input(BenchmarkId::new("eclat", baskets), &db, |b, db| {
+            b.iter(|| eclat::eclat(db, kappa).len())
+        });
+        let u = Universe::of_size(12);
+        let constraints: Vec<DiffConstraint> = vec![
+            DiffConstraint::parse("A -> {B, CD}", &u).unwrap(),
+            DiffConstraint::parse("B -> {C}", &u).unwrap(),
+            DiffConstraint::parse("EF -> {G, H}", &u).unwrap(),
+        ];
+        group.bench_with_input(
+            BenchmarkId::new("constraint_check", baskets),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    constraints
+                        .iter()
+                        .filter(|c| fis_bridge::support_function_satisfies(db, c))
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fis_support);
+criterion_main!(benches);

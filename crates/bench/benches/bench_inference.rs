@@ -1,0 +1,43 @@
+//! E1 — Figure 1: cost of producing and verifying explicit derivations with the
+//! completeness engine, plus the proof-size count table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::inference;
+use diffcon_bench::workloads;
+
+fn bench_inference(c: &mut Criterion) {
+    workloads::table_proof_sizes(&[4, 6, 8]).eprint();
+
+    let mut group = c.benchmark_group("E1_inference");
+    group.sample_size(15);
+    for &n in &[5usize, 7, 9] {
+        let w = workloads::implication_workload(11, n, 5, 8);
+        group.bench_with_input(BenchmarkId::new("derive", n), &w, |b, w| {
+            b.iter(|| {
+                let mut total_size = 0usize;
+                for goal in &w.goals {
+                    if let Some(proof) = inference::derive(&w.universe, &w.premises, goal) {
+                        total_size += proof.size();
+                    }
+                }
+                total_size
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("derive_and_verify", n), &w, |b, w| {
+            b.iter(|| {
+                let mut verified = 0usize;
+                for goal in &w.goals {
+                    if let Some(proof) = inference::derive(&w.universe, &w.premises, goal) {
+                        proof.verify(&w.universe, &w.premises).unwrap();
+                        verified += 1;
+                    }
+                }
+                verified
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

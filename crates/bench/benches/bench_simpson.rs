@@ -1,0 +1,49 @@
+//! E7 — Section 7: Simpson-function construction and differential-constraint
+//! checking over probabilistic relations, versus relation size and arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::rel_bridge;
+use diffcon::DiffConstraint;
+use diffcon_bench::workloads;
+use relational::simpson;
+use setlat::Universe;
+
+fn bench_simpson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_simpson");
+    group.sample_size(15);
+    for &tuples in &[50usize, 200, 800] {
+        let pr = workloads::relational_workload(3, 8, tuples);
+        group.bench_with_input(
+            BenchmarkId::new("simpson_function", tuples),
+            &pr,
+            |b, pr| b.iter(|| simpson::simpson_function(pr)),
+        );
+        group.bench_with_input(BenchmarkId::new("density", tuples), &pr, |b, pr| {
+            b.iter(|| simpson::simpson_density(pr))
+        });
+        let u = Universe::of_size(8);
+        let constraints: Vec<DiffConstraint> = vec![
+            DiffConstraint::parse("A -> {B}", &u).unwrap(),
+            DiffConstraint::parse("B -> {C, D}", &u).unwrap(),
+            DiffConstraint::parse("EF -> {G}", &u).unwrap(),
+        ];
+        group.bench_with_input(BenchmarkId::new("satisfaction", tuples), &pr, |b, pr| {
+            b.iter(|| {
+                constraints
+                    .iter()
+                    .filter(|c| rel_bridge::simpson_satisfies(pr, c))
+                    .count()
+            })
+        });
+    }
+    for &arity in &[6usize, 9, 12] {
+        let pr = workloads::relational_workload(5, arity, 200);
+        group.bench_with_input(BenchmarkId::new("arity", arity), &pr, |b, pr| {
+            b.iter(|| simpson::simpson_density(pr))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simpson);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Shared workload construction and reporting for the benchmark harness.
+//!
+//! The paper (*Differential Constraints*, PODS 2005) has no empirical section,
+//! so each "experiment" in `EXPERIMENTS.md` measures a behaviour the paper
+//! asserts analytically — the coNP blow-up of the general implication problem,
+//! the polynomial behaviour of the FD fragment, the cost of the lattice
+//! decision procedure, the savings of concise representations, and the
+//! equivalence of the decision procedures across domains.  This crate holds
+//! the workload generators and plain-text report tables used by the Criterion
+//! benches in `benches/`, so that the numbers reported in `EXPERIMENTS.md` can
+//! be regenerated from a single place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::Table;

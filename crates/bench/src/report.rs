@@ -1,0 +1,126 @@
+//! Minimal plain-text table reporting.
+//!
+//! Criterion measures *time*; the experiments also need to report *counts*
+//! (lattice sizes, representation sizes, proof sizes, agreement rates).  Each
+//! bench builds a [`Table`] during setup and prints it once to stderr, so a
+//! `cargo bench` run reproduces both the timing series and the count tables
+//! recorded in `EXPERIMENTS.md`.
+
+use std::fmt;
+
+/// A simple column-aligned table with a caption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    caption: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given caption and column headers.
+    pub fn new<S: Into<String>, I, T>(caption: S, header: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        Table {
+            caption: caption.into(),
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn push_row<I, T>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: ToString,
+    {
+        let row: Vec<String> = row.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints the table to stderr (used by the benches so the output interleaves
+    /// with Criterion's own reporting without polluting stdout).
+    pub fn eprint(&self) {
+        eprintln!("{self}");
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.caption)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_builds_and_formats() {
+        let mut t = Table::new("demo", ["n", "value"]);
+        assert!(t.is_empty());
+        t.push_row([1, 10]);
+        t.push_row([2, 20]);
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("value"));
+        assert!(text.contains("20"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", ["a", "b"]);
+        t.push_row([1]);
+    }
+}

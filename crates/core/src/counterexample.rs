@@ -1,0 +1,145 @@
+//! Explicit counterexamples for non-implications.
+//!
+//! When `C ⊭ X → 𝒴`, the proofs of Theorem 3.5, Proposition 6.4 and
+//! Corollary 7.4 each construct a concrete witness separating `C` from the
+//! goal — in three different worlds:
+//!
+//! * a **set function** `f^U` (a point mass at an uncovered set `U`);
+//! * a **basket database** consisting of the single basket `U`;
+//! * a **two-tuple relation** whose tuples agree exactly on `U`.
+//!
+//! This module packages the three constructions behind one API so users (and
+//! the examples) can *see* why an implication fails in whichever domain they
+//! care about.
+
+use crate::constraint::DiffConstraint;
+use crate::implication;
+use fis::basket::BasketDb;
+use relational::distribution::ProbabilisticRelation;
+use relational::relation::Relation;
+use setlat::{AttrSet, SetFunction, Universe};
+
+/// A bundle of counterexamples witnessing `C ⊭ goal`.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The uncovered set `U ∈ L(goal) − L(C)` the constructions are based on.
+    pub witness_set: AttrSet,
+    /// The point-mass set function `f^U` of Theorem 3.5.
+    pub function: SetFunction,
+    /// The single-basket database `(U)` of Proposition 6.4.
+    pub baskets: BasketDb,
+    /// The two-tuple relation (with uniform distribution) agreeing exactly on
+    /// `U`, per Section 7 — present unless some premise has an empty right-hand
+    /// side, in which case **no** probabilistic relation satisfies the premises
+    /// at all (see [`crate::rel_bridge::vacuous_over_relations`]) and there is
+    /// no relational counterexample to exhibit.
+    pub relation: Option<ProbabilisticRelation>,
+}
+
+/// Constructs a counterexample bundle, or `None` when the implication holds.
+pub fn find(
+    universe: &Universe,
+    premises: &[DiffConstraint],
+    goal: &DiffConstraint,
+) -> Option<Counterexample> {
+    let witness_set = implication::refutation_witness(universe, premises, goal)?;
+    let n = universe.len();
+    let function = SetFunction::point_mass(n, witness_set, 1.0);
+    let baskets = BasketDb::from_baskets(n, [witness_set]);
+    let relation = if crate::rel_bridge::vacuous_over_relations(premises) {
+        None
+    } else {
+        Some(ProbabilisticRelation::uniform(pair_relation(n, witness_set)))
+    };
+    Some(Counterexample {
+        witness_set,
+        function,
+        baskets,
+        relation,
+    })
+}
+
+/// The two-tuple relation whose tuples agree exactly on `u` (collapsing to one
+/// tuple when `u = S`, which cannot happen for a genuine witness set because
+/// `S ∈ L(X, 𝒴)` forces `𝒴` to have no member at all — in that case the pair
+/// degenerates but the Simpson density at `S` is still nonzero, which is what
+/// violates the constraint).
+fn pair_relation(n: usize, u: AttrSet) -> Relation {
+    relational::armstrong::agree_pair_relation(n, u, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fis_bridge;
+    use crate::rel_bridge;
+    use crate::semantics;
+
+    fn u4() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn no_counterexample_when_implied() {
+        let u = u4();
+        let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
+        let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        assert!(find(&u, &premises, &goal).is_none());
+    }
+
+    #[test]
+    fn counterexample_separates_in_all_three_worlds() {
+        let u = u4();
+        let cases = vec![
+            (parse(&u, &["A -> {B}", "B -> {C}"]), "C -> {A}"),
+            (parse(&u, &["A -> {B, CD}"]), "A -> {B}"),
+            (vec![], "A -> {B}"),
+            (parse(&u, &["A -> {BC, CD}", "C -> {D}"]), "B -> {A}"),
+        ];
+        for (premises, goal_text) in cases {
+            let goal = DiffConstraint::parse(goal_text, &u).unwrap();
+            let ce = find(&u, &premises, &goal)
+                .unwrap_or_else(|| panic!("expected a counterexample for {goal_text}"));
+
+            // Set-function world.
+            assert!(semantics::satisfies_all(&ce.function, &premises));
+            assert!(!semantics::satisfies(&ce.function, &goal));
+
+            // FIS world.
+            for p in &premises {
+                assert!(fis_bridge::support_function_satisfies(&ce.baskets, p));
+            }
+            assert!(!fis_bridge::support_function_satisfies(&ce.baskets, &goal));
+
+            // Relational world (the premises here all have nonempty families, so
+            // the relational witness must exist).
+            let relation = ce.relation.as_ref().expect("nonempty-family premises");
+            for p in &premises {
+                assert!(rel_bridge::simpson_satisfies(relation, p));
+            }
+            assert!(!rel_bridge::simpson_satisfies(relation, &goal));
+
+            // The witness set is in the goal's lattice but in no premise's lattice.
+            assert!(goal.lattice_contains(ce.witness_set));
+            for p in &premises {
+                assert!(!p.lattice_contains(ce.witness_set));
+            }
+        }
+    }
+
+    #[test]
+    fn counterexample_for_empty_goal() {
+        // ∅ → ∅ is refuted by any nonzero function; the witness is some set.
+        let u = Universe::of_size(2);
+        let goal = DiffConstraint::new(AttrSet::EMPTY, setlat::Family::empty());
+        let ce = find(&u, &[], &goal).expect("not implied by nothing");
+        assert!(!semantics::satisfies(&ce.function, &goal));
+    }
+}

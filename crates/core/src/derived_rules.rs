@@ -1,0 +1,280 @@
+//! The derivable inference rules of Figure 2, implemented as tactics.
+//!
+//! Each rule of Figure 2 — chain, projection, transitivity, separation, union —
+//! is *derivable* from the four primitive rules of Figure 1.  Rather than
+//! hard-coding one particular sequence of primitive steps per rule, each tactic
+//! (i) validates that its hypotheses have the required shape, (ii) computes the
+//! rule's conclusion, and (iii) invokes the completeness engine
+//! ([`crate::inference::derive`]) with the hypotheses as premises to *produce an
+//! explicit primitive-rule derivation* of the conclusion.  The returned
+//! [`Derivation`] is therefore itself a certificate that the rule is derivable,
+//! and every application is machine-checked.
+
+use crate::constraint::DiffConstraint;
+use crate::inference::{self, Derivation, VerifyError};
+use setlat::{AttrSet, Family, Universe};
+
+fn tactic_err<T>(message: impl Into<String>) -> Result<T, VerifyError> {
+    Err(VerifyError {
+        message: message.into(),
+    })
+}
+
+/// Derives the conclusion from the given hypotheses using only primitive rules,
+/// or reports why the tactic does not apply.
+fn derive_from(
+    universe: &Universe,
+    hypotheses: &[DiffConstraint],
+    conclusion: DiffConstraint,
+) -> Result<Derivation, VerifyError> {
+    match inference::derive(universe, hypotheses, &conclusion) {
+        Some(d) => Ok(d),
+        None => tactic_err(format!(
+            "internal error: Figure 2 conclusion {} is not derivable from its hypotheses",
+            conclusion.format(universe)
+        )),
+    }
+}
+
+/// **Chain rule**: from `X → 𝒴 ∪ {Y}` and `X ∪ Y → 𝒴 ∪ {Z}` infer
+/// `X → 𝒴 ∪ {Y ∪ Z}`.
+pub fn chain(
+    universe: &Universe,
+    first: &DiffConstraint,
+    second: &DiffConstraint,
+    family: &Family,
+    y: AttrSet,
+    z: AttrSet,
+) -> Result<Derivation, VerifyError> {
+    if first != &DiffConstraint::new(first.lhs, family.with_member(y)) {
+        return tactic_err("chain: first hypothesis must be X → 𝒴 ∪ {Y}");
+    }
+    if second != &DiffConstraint::new(first.lhs.union(y), family.with_member(z)) {
+        return tactic_err("chain: second hypothesis must be X ∪ Y → 𝒴 ∪ {Z}");
+    }
+    let conclusion = DiffConstraint::new(first.lhs, family.with_member(y.union(z)));
+    derive_from(
+        universe,
+        &[first.clone(), second.clone()],
+        conclusion,
+    )
+}
+
+/// **Projection**: from `X → 𝒴 ∪ {Y ∪ Z}` infer `X → 𝒴 ∪ {Y}`.
+pub fn projection(
+    universe: &Universe,
+    hypothesis: &DiffConstraint,
+    family: &Family,
+    y: AttrSet,
+    z: AttrSet,
+) -> Result<Derivation, VerifyError> {
+    if hypothesis != &DiffConstraint::new(hypothesis.lhs, family.with_member(y.union(z))) {
+        return tactic_err("projection: hypothesis must be X → 𝒴 ∪ {Y ∪ Z}");
+    }
+    let conclusion = DiffConstraint::new(hypothesis.lhs, family.with_member(y));
+    derive_from(universe, std::slice::from_ref(hypothesis), conclusion)
+}
+
+/// **Transitivity**: from `X → 𝒴 ∪ {Y}` and `Y → 𝒴 ∪ {Z}` infer `X → 𝒴 ∪ {Z}`.
+pub fn transitivity(
+    universe: &Universe,
+    first: &DiffConstraint,
+    second: &DiffConstraint,
+    family: &Family,
+    y: AttrSet,
+    z: AttrSet,
+) -> Result<Derivation, VerifyError> {
+    if first != &DiffConstraint::new(first.lhs, family.with_member(y)) {
+        return tactic_err("transitivity: first hypothesis must be X → 𝒴 ∪ {Y}");
+    }
+    if second != &DiffConstraint::new(y, family.with_member(z)) {
+        return tactic_err("transitivity: second hypothesis must be Y → 𝒴 ∪ {Z}");
+    }
+    let conclusion = DiffConstraint::new(first.lhs, family.with_member(z));
+    derive_from(universe, &[first.clone(), second.clone()], conclusion)
+}
+
+/// **Separation**: from `X → 𝒴 ∪ {Y ∪ Z}` infer `X → 𝒴 ∪ {Y} ∪ {Z}`.
+pub fn separation(
+    universe: &Universe,
+    hypothesis: &DiffConstraint,
+    family: &Family,
+    y: AttrSet,
+    z: AttrSet,
+) -> Result<Derivation, VerifyError> {
+    if hypothesis != &DiffConstraint::new(hypothesis.lhs, family.with_member(y.union(z))) {
+        return tactic_err("separation: hypothesis must be X → 𝒴 ∪ {Y ∪ Z}");
+    }
+    let conclusion =
+        DiffConstraint::new(hypothesis.lhs, family.with_member(y).with_member(z));
+    derive_from(universe, std::slice::from_ref(hypothesis), conclusion)
+}
+
+/// **Union**: from `X → 𝒴 ∪ {Y}` and `X → 𝒴 ∪ {Z}` infer `X → 𝒴 ∪ {Y ∪ Z}`.
+pub fn union(
+    universe: &Universe,
+    first: &DiffConstraint,
+    second: &DiffConstraint,
+    family: &Family,
+    y: AttrSet,
+    z: AttrSet,
+) -> Result<Derivation, VerifyError> {
+    if first != &DiffConstraint::new(first.lhs, family.with_member(y)) {
+        return tactic_err("union: first hypothesis must be X → 𝒴 ∪ {Y}");
+    }
+    if second != &DiffConstraint::new(first.lhs, family.with_member(z)) {
+        return tactic_err("union: second hypothesis must be X → 𝒴 ∪ {Z}");
+    }
+    let conclusion = DiffConstraint::new(first.lhs, family.with_member(y.union(z)));
+    derive_from(universe, &[first.clone(), second.clone()], conclusion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn set(u: &Universe, s: &str) -> AttrSet {
+        u.parse_set(s).unwrap()
+    }
+
+    #[test]
+    fn chain_rule() {
+        let u = u();
+        let family = Family::single(set(&u, "D"));
+        let first = DiffConstraint::new(set(&u, "A"), family.with_member(set(&u, "B")));
+        let second = DiffConstraint::new(set(&u, "AB"), family.with_member(set(&u, "C")));
+        let proof = chain(&u, &first, &second, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        assert_eq!(
+            proof.conclusion(),
+            &DiffConstraint::new(set(&u, "A"), family.with_member(set(&u, "BC")))
+        );
+        proof.verify(&u, &[first, second]).unwrap();
+    }
+
+    #[test]
+    fn projection_rule() {
+        let u = u();
+        let family = Family::empty();
+        let hyp = DiffConstraint::new(set(&u, "A"), family.with_member(set(&u, "BC")));
+        let proof = projection(&u, &hyp, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        assert_eq!(
+            proof.conclusion(),
+            &DiffConstraint::parse("A -> {B}", &u).unwrap()
+        );
+        proof.verify(&u, std::slice::from_ref(&hyp)).unwrap();
+    }
+
+    #[test]
+    fn transitivity_rule() {
+        let u = u();
+        let family = Family::empty();
+        let first = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let second = DiffConstraint::parse("B -> {C}", &u).unwrap();
+        let proof =
+            transitivity(&u, &first, &second, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        assert_eq!(
+            proof.conclusion(),
+            &DiffConstraint::parse("A -> {C}", &u).unwrap()
+        );
+        proof.verify(&u, &[first, second]).unwrap();
+    }
+
+    #[test]
+    fn separation_rule() {
+        let u = u();
+        let family = Family::single(set(&u, "D"));
+        let hyp = DiffConstraint::new(set(&u, "A"), family.with_member(set(&u, "BC")));
+        let proof = separation(&u, &hyp, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        assert_eq!(
+            proof.conclusion(),
+            &DiffConstraint::new(
+                set(&u, "A"),
+                family.with_member(set(&u, "B")).with_member(set(&u, "C"))
+            )
+        );
+        proof.verify(&u, std::slice::from_ref(&hyp)).unwrap();
+    }
+
+    #[test]
+    fn union_rule() {
+        let u = u();
+        let family = Family::empty();
+        let first = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let second = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        let proof = union(&u, &first, &second, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        assert_eq!(
+            proof.conclusion(),
+            &DiffConstraint::parse("A -> {BC}", &u).unwrap()
+        );
+        proof.verify(&u, &[first, second]).unwrap();
+    }
+
+    #[test]
+    fn tactics_reject_malformed_hypotheses() {
+        let u = u();
+        let family = Family::empty();
+        let first = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let wrong_second = DiffConstraint::parse("C -> {D}", &u).unwrap();
+        assert!(
+            transitivity(&u, &first, &wrong_second, &family, set(&u, "B"), set(&u, "D")).is_err()
+        );
+        assert!(projection(&u, &first, &family, set(&u, "C"), set(&u, "D")).is_err());
+        assert!(union(&u, &first, &wrong_second, &family, set(&u, "B"), set(&u, "D")).is_err());
+    }
+
+    #[test]
+    fn example_4_3_replayed_with_tactics() {
+        // The paper's Example 4.3 derivation:
+        //   (a) C → {D}                      given
+        //   (b) A → {BC, CD}                 given
+        //   (c) A → {BC, C}                  projection on (b)
+        //   (d) A → {C}                      projection on (c)
+        //   (e) AB → {C}                     augmentation on (d)
+        //   (f) AB → {D}                     transitivity on (e) and (a)
+        let u = u();
+        let a = DiffConstraint::parse("C -> {D}", &u).unwrap();
+        let b = DiffConstraint::parse("A -> {BC, CD}", &u).unwrap();
+
+        // (c): projection with 𝒴 = {BC}, Y = C, Z = D.
+        let fam_bc = Family::single(set(&u, "BC"));
+        let c = projection(&u, &b, &fam_bc, set(&u, "C"), set(&u, "D")).unwrap();
+        assert_eq!(
+            c.conclusion(),
+            &DiffConstraint::parse("A -> {BC, C}", &u).unwrap()
+        );
+
+        // (d): projection with 𝒴 = {C}… the paper projects BC down, keeping {C}:
+        // from A → {C, BC} with 𝒴 = {C}, Y = B (or C), Z chosen so Y∪Z = BC.
+        let fam_c = Family::single(set(&u, "C"));
+        let d = projection(
+            &u,
+            c.conclusion(),
+            &fam_c,
+            set(&u, "C"),
+            set(&u, "B"),
+        )
+        .unwrap();
+        // Projection of BC onto C gives A → {C, C} = A → {C}.
+        assert_eq!(d.conclusion(), &DiffConstraint::parse("A -> {C}", &u).unwrap());
+
+        // (e): augmentation.
+        let e = inference::augmentation(d.clone(), set(&u, "B"));
+        assert_eq!(e.conclusion(), &DiffConstraint::parse("AB -> {C}", &u).unwrap());
+
+        // (f): transitivity on (e) and (a) with 𝒴 = ∅, Y = C, Z = D.
+        let f = transitivity(
+            &u,
+            e.conclusion(),
+            &a,
+            &Family::empty(),
+            set(&u, "C"),
+            set(&u, "D"),
+        )
+        .unwrap();
+        assert_eq!(f.conclusion(), &DiffConstraint::parse("AB -> {D}", &u).unwrap());
+    }
+}

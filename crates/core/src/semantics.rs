@@ -1,0 +1,246 @@
+//! Satisfaction semantics for differential constraints.
+//!
+//! The paper defines satisfaction through the *density* function (Definition
+//! 3.1): `f ⊨ X → 𝒴` iff `d_f(U) = 0` for every `U ∈ L(X, 𝒴)`.  An earlier
+//! line of work by the same authors used the *differential-based* semantics
+//! `D^𝒴_f(X) = 0`; Remark 3.6 shows density-based satisfaction implies
+//! differential-based satisfaction but not conversely, and that the two
+//! coincide on functions with sign-definite densities (in particular on all
+//! frequency functions, hence on support and Simpson functions).
+
+use crate::constraint::DiffConstraint;
+use setlat::{differential, mobius, powerset, AttrSet, SetFunction, Universe};
+
+/// Numerical tolerance used when comparing real-valued densities to zero.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Density-based satisfaction (Definition 3.1): `d_f(U) = 0` for every
+/// `U ∈ L(X, 𝒴)`.
+pub fn satisfies(f: &SetFunction, constraint: &DiffConstraint) -> bool {
+    satisfies_with_density(&mobius::density_function(f), constraint)
+}
+
+/// Density-based satisfaction given a precomputed density function of `f`.
+///
+/// Useful when checking many constraints against the same function: the Möbius
+/// transform is done once.
+pub fn satisfies_with_density(density: &SetFunction, constraint: &DiffConstraint) -> bool {
+    let n = density.universe_size();
+    powerset::supersets_within(constraint.lhs, n)
+        .filter(|&u| constraint.lattice_contains(u))
+        .all(|u| density.get(u).abs() <= DEFAULT_TOL)
+}
+
+/// Differential-based satisfaction (Remark 3.6): `D^𝒴_f(X) = 0`.
+pub fn satisfies_differential(f: &SetFunction, constraint: &DiffConstraint) -> bool {
+    differential::differential_at(f, constraint.lhs, &constraint.rhs).abs() <= DEFAULT_TOL
+}
+
+/// Returns `true` iff `f` satisfies every constraint in the set.
+pub fn satisfies_all(f: &SetFunction, constraints: &[DiffConstraint]) -> bool {
+    let density = mobius::density_function(f);
+    constraints
+        .iter()
+        .all(|c| satisfies_with_density(&density, c))
+}
+
+/// The set of constraints from `candidates` satisfied by `f`.
+pub fn satisfied_subset<'a>(
+    f: &SetFunction,
+    candidates: &'a [DiffConstraint],
+) -> Vec<&'a DiffConstraint> {
+    let density = mobius::density_function(f);
+    candidates
+        .iter()
+        .filter(|c| satisfies_with_density(&density, c))
+        .collect()
+}
+
+/// Enumerates every constraint over the universe that `f` satisfies, restricted
+/// to right-hand sides whose members are singletons and at most `max_members`
+/// of them.  (The unrestricted set of satisfied constraints is doubly
+/// exponential; this restriction is what the mining-flavoured experiments use.)
+pub fn mine_singleton_constraints(
+    f: &SetFunction,
+    universe: &Universe,
+    max_members: usize,
+) -> Vec<DiffConstraint> {
+    let n = universe.len();
+    let density = mobius::density_function(f);
+    let mut out = Vec::new();
+    for lhs in universe.all_subsets() {
+        let outside: Vec<usize> = lhs.complement_in(n).iter().collect();
+        // Enumerate nonempty subsets of `outside` of size ≤ max_members as the
+        // singleton family.
+        let k = outside.len();
+        for chooser in 1u64..(1u64 << k) {
+            if (chooser.count_ones() as usize) > max_members {
+                continue;
+            }
+            let members: Vec<AttrSet> = (0..k)
+                .filter(|i| (chooser >> i) & 1 == 1)
+                .map(|i| AttrSet::singleton(outside[i]))
+                .collect();
+            let constraint = DiffConstraint::new(lhs, setlat::Family::from_sets(members));
+            if satisfies_with_density(&density, &constraint) {
+                out.push(constraint);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn example_3_2() {
+        // S = {A,B,C}; f(∅) = f(C) = 2, f = 1 elsewhere.
+        // d_f(C) = d_f(ABC) = 1, d_f = 0 elsewhere.
+        // f ⊨ A → {B}, f ⊨ B → {C}, f ⊭ C → {A}.
+        let u = Universe::of_size(3);
+        let f = SetFunction::from_fn(3, |x| {
+            if x == AttrSet::EMPTY || x == u.parse_set("C").unwrap() {
+                2.0
+            } else {
+                1.0
+            }
+        });
+        let d = mobius::density_function(&f);
+        assert!((d.get(u.parse_set("C").unwrap()) - 1.0).abs() < 1e-12);
+        assert!((d.get(u.parse_set("ABC").unwrap()) - 1.0).abs() < 1e-12);
+
+        let a_b = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let b_c = DiffConstraint::parse("B -> {C}", &u).unwrap();
+        let c_a = DiffConstraint::parse("C -> {A}", &u).unwrap();
+        assert!(satisfies(&f, &a_b));
+        assert!(satisfies(&f, &b_c));
+        assert!(!satisfies(&f, &c_a));
+        assert!(satisfies_all(&f, &[a_b.clone(), b_c.clone()]));
+        assert!(!satisfies_all(&f, &[a_b, b_c, c_a]));
+    }
+
+    #[test]
+    fn remark_3_6_density_vs_differential() {
+        // S = {A}; f(∅) = 0, f(A) = 1.  D^∅_f(∅) = 0 yet f ⊭ ∅ → ∅.
+        let u = Universe::of_size(1);
+        let mut f = SetFunction::zeros(1);
+        f.set(AttrSet::singleton(0), 1.0);
+        let c = DiffConstraint::parse(" -> {}", &u).unwrap();
+        assert!(satisfies_differential(&f, &c));
+        assert!(!satisfies(&f, &c));
+    }
+
+    #[test]
+    fn density_satisfaction_implies_differential_satisfaction() {
+        // One direction of Remark 3.6, checked on a grid of functions/constraints.
+        let u = Universe::of_size(3);
+        let constraints = [
+            DiffConstraint::parse("A -> {B}", &u).unwrap(),
+            DiffConstraint::parse("A -> {B, C}", &u).unwrap(),
+            DiffConstraint::parse(" -> {A}", &u).unwrap(),
+            DiffConstraint::parse("AB -> {C}", &u).unwrap(),
+        ];
+        for seed in 0u64..30 {
+            let f = SetFunction::from_fn(3, |x| {
+                (((x.bits() + seed) * 2654435761) % 5) as f64 - 2.0
+            });
+            for c in &constraints {
+                if satisfies(&f, c) {
+                    assert!(satisfies_differential(&f, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_agree_on_frequency_functions() {
+        // Remark 3.6 / Section 6: on nonnegative densities the two semantics coincide.
+        let u = Universe::of_size(4);
+        let constraints = [
+            DiffConstraint::parse("A -> {B, CD}", &u).unwrap(),
+            DiffConstraint::parse("B -> {C}", &u).unwrap(),
+            DiffConstraint::parse(" -> {A, B}", &u).unwrap(),
+        ];
+        for seed in 0u64..20 {
+            let density = SetFunction::from_fn(4, |x| ((x.bits() * 7 + seed) % 3) as f64);
+            let f = mobius::from_density(&density);
+            for c in &constraints {
+                assert_eq!(
+                    satisfies(&f, c),
+                    satisfies_differential(&f, c),
+                    "semantics disagree on a frequency function (seed {seed}, {:?})",
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_constraints_always_satisfied() {
+        let u = Universe::of_size(3);
+        let trivial = DiffConstraint::parse("AB -> {B}", &u).unwrap();
+        for seed in 0u64..10 {
+            let f = SetFunction::from_fn(3, |x| (x.bits() as f64) * (seed as f64 + 1.0));
+            assert!(satisfies(&f, &trivial));
+            assert!(satisfies_differential(&f, &trivial));
+        }
+    }
+
+    #[test]
+    fn satisfied_subset_filters() {
+        let u = Universe::of_size(3);
+        let f = SetFunction::from_fn(3, |x| {
+            if x == AttrSet::EMPTY || x == u.parse_set("C").unwrap() {
+                2.0
+            } else {
+                1.0
+            }
+        });
+        let candidates = vec![
+            DiffConstraint::parse("A -> {B}", &u).unwrap(),
+            DiffConstraint::parse("C -> {A}", &u).unwrap(),
+        ];
+        let sat = satisfied_subset(&f, &candidates);
+        assert_eq!(sat.len(), 1);
+        assert_eq!(sat[0], &candidates[0]);
+    }
+
+    #[test]
+    fn mine_singleton_constraints_finds_known_ones() {
+        let u = Universe::of_size(3);
+        let f = SetFunction::from_fn(3, |x| {
+            if x == AttrSet::EMPTY || x == u.parse_set("C").unwrap() {
+                2.0
+            } else {
+                1.0
+            }
+        });
+        let mined = mine_singleton_constraints(&f, &u, 2);
+        let a_b = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let b_c = DiffConstraint::parse("B -> {C}", &u).unwrap();
+        assert!(mined.contains(&a_b));
+        assert!(mined.contains(&b_c));
+        // Every mined constraint is indeed satisfied.
+        for c in &mined {
+            assert!(satisfies(&f, c));
+        }
+        // And the non-satisfied C → {A} is absent.
+        assert!(!mined.contains(&DiffConstraint::parse("C -> {A}", &u).unwrap()));
+    }
+
+    #[test]
+    fn point_mass_counterexample_behaviour() {
+        // The counterexample function of Theorem 3.5: f^U violates exactly the
+        // constraints whose lattice contains U.
+        let u = Universe::of_size(4);
+        let target = u.parse_set("AC").unwrap();
+        let f = SetFunction::point_mass(4, target, 1.0);
+        let violated = DiffConstraint::parse("A -> {B, D}", &u).unwrap();
+        assert!(violated.lattice_contains(target));
+        assert!(!satisfies(&f, &violated));
+        let satisfied = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        assert!(!satisfied.lattice_contains(target));
+        assert!(satisfies(&f, &satisfied));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the `diffcon` crate proper: implication algebra,
+//! decompositions, proof objects, covers and the FD fragment.
+
+use diffcon::random::{ConstraintGenerator, ConstraintShape};
+use diffcon::{decompose, fd_fragment, implication, inference, prop_bridge, DiffConstraint};
+use proptest::prelude::*;
+use setlat::{AttrSet, Family, Universe};
+
+const N: usize = 5;
+
+fn universe() -> Universe {
+    Universe::of_size(N)
+}
+
+fn arb_set() -> impl Strategy<Value = AttrSet> {
+    (0u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_nonempty_set() -> impl Strategy<Value = AttrSet> {
+    (1u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_constraint() -> impl Strategy<Value = DiffConstraint> {
+    (arb_set(), proptest::collection::vec(arb_nonempty_set(), 0..=2))
+        .prop_map(|(lhs, members)| DiffConstraint::new(lhs, Family::from_sets(members)))
+}
+
+fn arb_constraints(max: usize) -> impl Strategy<Value = Vec<DiffConstraint>> {
+    proptest::collection::vec(arb_constraint(), 0..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Implication is reflexive and monotone in the premise set.
+    #[test]
+    fn implication_is_reflexive_and_monotone(premises in arb_constraints(3), extra in arb_constraint(), goal in arb_constraint()) {
+        let u = universe();
+        for p in &premises {
+            prop_assert!(implication::implies(&u, &premises, p));
+        }
+        if implication::implies(&u, &premises, &goal) {
+            let mut bigger = premises.clone();
+            bigger.push(extra);
+            prop_assert!(implication::implies(&u, &bigger, &goal));
+        }
+    }
+
+    /// Implication is transitive through an intermediate constraint set.
+    #[test]
+    fn implication_is_transitive(premises in arb_constraints(2), mid in arb_constraint(), goal in arb_constraint()) {
+        let u = universe();
+        if implication::implies(&u, &premises, &mid)
+            && implication::implies(&u, std::slice::from_ref(&mid), &goal)
+        {
+            prop_assert!(implication::implies(&u, &premises, &goal));
+        }
+    }
+
+    /// Figure 1 rules are sound as implication statements for arbitrary instances.
+    #[test]
+    fn figure_1_rules_sound(c in arb_constraint(), z in arb_set()) {
+        let u = universe();
+        let augmented = DiffConstraint::new(c.lhs.union(z), c.rhs.clone());
+        prop_assert!(implication::implies(&u, std::slice::from_ref(&c), &augmented));
+        let added = DiffConstraint::new(c.lhs, c.rhs.with_member(z));
+        prop_assert!(implication::implies(&u, std::slice::from_ref(&c), &added));
+        let with_member = DiffConstraint::new(c.lhs, c.rhs.with_member(z));
+        let with_lhs = DiffConstraint::new(c.lhs.union(z), c.rhs.clone());
+        prop_assert!(implication::implies(&u, &[with_member, with_lhs], &c));
+    }
+
+    /// The irredundant cover is equivalent to the original set and no larger.
+    #[test]
+    fn irredundant_cover_is_equivalent(premises in arb_constraints(4)) {
+        let u = universe();
+        let cover = implication::irredundant_cover(&u, &premises);
+        prop_assert!(cover.len() <= premises.len());
+        prop_assert!(implication::equivalent_sets(&u, &cover, &premises));
+    }
+
+    /// Both decompositions of a constraint are semantically equivalent to it.
+    #[test]
+    fn decompositions_are_equivalent(c in arb_constraint()) {
+        let u = universe();
+        let singleton = vec![c.clone()];
+        prop_assert!(implication::equivalent_sets(&u, &singleton, &decompose::decomposition(&c)));
+        prop_assert!(implication::equivalent_sets(&u, &singleton, &decompose::atomic_decomposition(&c, &u)));
+        prop_assert!(implication::equivalent_sets(&u, &singleton, &decompose::minimal_decomposition(&c)));
+    }
+
+    /// The refutation witness, when present, is a genuine separator; when absent
+    /// the implication holds (and the SAT procedure agrees either way).
+    #[test]
+    fn refutation_witnesses_are_genuine(premises in arb_constraints(3), goal in arb_constraint()) {
+        let u = universe();
+        match implication::refutation_witness(&u, &premises, &goal) {
+            Some(w) => {
+                prop_assert!(goal.lattice_contains(w));
+                for p in &premises {
+                    prop_assert!(!p.lattice_contains(w));
+                }
+                prop_assert!(!implication::implies(&u, &premises, &goal));
+                prop_assert!(!prop_bridge::implies_sat(&u, &premises, &goal));
+            }
+            None => {
+                prop_assert!(implication::implies(&u, &premises, &goal));
+                prop_assert!(prop_bridge::implies_sat(&u, &premises, &goal));
+            }
+        }
+    }
+
+    /// uncovered_count is zero exactly on implied goals and never exceeds the
+    /// goal's lattice size.
+    #[test]
+    fn uncovered_count_consistency(premises in arb_constraints(3), goal in arb_constraint()) {
+        let u = universe();
+        let count = implication::uncovered_count(&u, &premises, &goal);
+        prop_assert_eq!(count == 0, implication::implies(&u, &premises, &goal));
+        prop_assert!(count as i128 <= goal.lattice_size(&u));
+    }
+
+    /// Derivations produced on generator-implied goals verify and use only
+    /// premises from the given list.
+    #[test]
+    fn generated_proofs_verify(seed in 0u64..500) {
+        let u = universe();
+        let shape = ConstraintShape { max_lhs: 2, max_members: 2, max_member_size: 2, allow_trivial: false };
+        let mut gen = ConstraintGenerator::new(seed, &u);
+        let premises = gen.constraint_set(3, &shape);
+        let goal = gen.implied_goal(&premises);
+        let proof = inference::derive(&u, &premises, &goal).expect("implied goals are derivable");
+        prop_assert!(proof.verify(&u, &premises).is_ok());
+        prop_assert_eq!(proof.conclusion(), &goal);
+        // Tampering with the premise list must break verification whenever the
+        // proof actually references a premise.
+        if proof.rule_counts().contains_key(&inference::Rule::Premise) && !premises.is_empty() {
+            let mut tampered = premises.clone();
+            tampered[0] = DiffConstraint::new(
+                tampered[0].lhs.complement_in(N),
+                Family::single(AttrSet::full(N)),
+            );
+            if tampered != premises {
+                // Either verification fails or the proof never used premise #0.
+                let still_ok = proof.verify(&u, &tampered).is_ok();
+                if still_ok {
+                    // Then the proof must also verify against the premises with #0 removed.
+                    let without: Vec<DiffConstraint> = premises.iter().skip(1).cloned().collect();
+                    let _ = without; // index-shifted, so we cannot assert more here.
+                }
+            }
+        }
+    }
+
+    /// The FD fragment decision agrees with the general procedure on arbitrary
+    /// single-member instances.
+    #[test]
+    fn fd_fragment_agrees(lhs_masks in proptest::collection::vec((0u64..(1u64 << N), 1u64..(1u64 << N)), 1..4, ), goal_lhs in arb_set(), goal_rhs in arb_nonempty_set()) {
+        let u = universe();
+        let premises: Vec<DiffConstraint> = lhs_masks
+            .into_iter()
+            .map(|(l, r)| DiffConstraint::new(AttrSet::from_bits(l), Family::single(AttrSet::from_bits(r))))
+            .collect();
+        let goal = DiffConstraint::new(goal_lhs, Family::single(goal_rhs));
+        prop_assert_eq!(
+            fd_fragment::implies_polynomial(&premises, &goal),
+            implication::implies(&u, &premises, &goal)
+        );
+    }
+
+    /// The constraint parser round-trips through formatting.
+    #[test]
+    fn parser_roundtrip(c in arb_constraint()) {
+        let u = universe();
+        let printed = c.format(&u);
+        let reparsed = DiffConstraint::parse(&printed, &u).unwrap();
+        prop_assert_eq!(c, reparsed);
+    }
+}

@@ -1,0 +1,295 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB 1994), referenced by the
+//! paper as the canonical use of the monotonicity deduction rule: "if an
+//! itemset is infrequent then so are all of its supersets".
+//!
+//! The implementation is the classic levelwise algorithm: generate candidates
+//! of size `k+1` by joining frequent itemsets of size `k`, prune candidates
+//! with an infrequent subset, then count the survivors against the database.
+//! Alongside the frequent itemsets it records the *negative border* it
+//! explores — the minimal infrequent itemsets — which is itself one of the
+//! concise representations discussed in Section 6.1.1.
+
+use crate::basket::BasketDb;
+use setlat::AttrSet;
+use std::collections::{HashMap, HashSet};
+
+/// The outcome of running Apriori on a database at a support threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AprioriResult {
+    /// Absolute support threshold `κ` used for the run.
+    pub kappa: usize,
+    /// Every frequent itemset with its support.
+    pub frequent: HashMap<AttrSet, usize>,
+    /// The negative border: the minimal infrequent itemsets encountered (every
+    /// candidate whose proper subsets were all frequent but which fell below
+    /// `κ`), including infrequent singletons.
+    pub negative_border: Vec<AttrSet>,
+    /// Number of candidate itemsets whose support was counted against the
+    /// database (the work measure the concise-representation literature tries
+    /// to reduce).
+    pub candidates_counted: usize,
+    /// Number of levels (largest candidate size reached).
+    pub levels: usize,
+}
+
+impl AprioriResult {
+    /// The frequent itemsets sorted by (size, mask) — convenient for reporting.
+    pub fn frequent_sorted(&self) -> Vec<(AttrSet, usize)> {
+        let mut v: Vec<(AttrSet, usize)> = self.frequent.iter().map(|(&s, &c)| (s, c)).collect();
+        v.sort_by_key(|(s, _)| (s.len(), s.bits()));
+        v
+    }
+
+    /// Number of frequent itemsets (including the empty set when `|B| ≥ κ`).
+    pub fn num_frequent(&self) -> usize {
+        self.frequent.len()
+    }
+
+    /// Returns `true` iff `x` was found frequent.
+    pub fn is_frequent(&self, x: AttrSet) -> bool {
+        self.frequent.contains_key(&x)
+    }
+
+    /// The support of a frequent itemset, if it is frequent.
+    pub fn support_of(&self, x: AttrSet) -> Option<usize> {
+        self.frequent.get(&x).copied()
+    }
+}
+
+/// Runs Apriori over `db` with absolute support threshold `kappa`.
+///
+/// The empty itemset is reported frequent (with support `|B|`) whenever
+/// `|B| ≥ κ`, matching the convention `s_B(∅) = |B|` used by the paper.
+pub fn apriori(db: &BasketDb, kappa: usize) -> AprioriResult {
+    let n = db.universe_size();
+    let mut frequent: HashMap<AttrSet, usize> = HashMap::new();
+    let mut negative_border: Vec<AttrSet> = Vec::new();
+    let mut candidates_counted = 0usize;
+    let mut levels = 0usize;
+
+    // Level 0: the empty itemset.
+    let empty_support = db.len();
+    candidates_counted += 1;
+    if empty_support >= kappa {
+        frequent.insert(AttrSet::EMPTY, empty_support);
+    } else {
+        negative_border.push(AttrSet::EMPTY);
+        return AprioriResult {
+            kappa,
+            frequent,
+            negative_border,
+            candidates_counted,
+            levels,
+        };
+    }
+
+    // Level 1: singletons.
+    let mut current_level: Vec<AttrSet> = Vec::new();
+    for i in 0..n {
+        let candidate = AttrSet::singleton(i);
+        candidates_counted += 1;
+        let support = db.support(candidate);
+        if support >= kappa {
+            frequent.insert(candidate, support);
+            current_level.push(candidate);
+        } else {
+            negative_border.push(candidate);
+        }
+    }
+    if !current_level.is_empty() {
+        levels = 1;
+    }
+
+    // Levels k ≥ 2.
+    let mut k = 1usize;
+    while !current_level.is_empty() {
+        k += 1;
+        let candidates = generate_candidates(&current_level, k);
+        let mut next_level: Vec<AttrSet> = Vec::new();
+        for candidate in candidates {
+            // Prune: every (k−1)-subset must be frequent.
+            if !all_proper_subsets_frequent(candidate, &frequent) {
+                continue;
+            }
+            candidates_counted += 1;
+            let support = db.support(candidate);
+            if support >= kappa {
+                frequent.insert(candidate, support);
+                next_level.push(candidate);
+            } else {
+                negative_border.push(candidate);
+            }
+        }
+        if !next_level.is_empty() {
+            levels = k;
+        }
+        current_level = next_level;
+    }
+
+    negative_border.sort();
+    negative_border.dedup();
+    AprioriResult {
+        kappa,
+        frequent,
+        negative_border,
+        candidates_counted,
+        levels,
+    }
+}
+
+/// Classic candidate generation: join pairs of frequent `(k−1)`-itemsets whose
+/// union has exactly `k` items.
+fn generate_candidates(level: &[AttrSet], k: usize) -> Vec<AttrSet> {
+    let mut out: HashSet<AttrSet> = HashSet::new();
+    for (i, &a) in level.iter().enumerate() {
+        for &b in &level[i + 1..] {
+            let joined = a.union(b);
+            if joined.len() == k {
+                out.insert(joined);
+            }
+        }
+    }
+    let mut v: Vec<AttrSet> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Checks that every maximal proper subset (one item removed) of `candidate`
+/// is frequent.
+fn all_proper_subsets_frequent(candidate: AttrSet, frequent: &HashMap<AttrSet, usize>) -> bool {
+    candidate
+        .iter()
+        .all(|item| frequent.contains_key(&candidate.without(item)))
+}
+
+/// Reference implementation: enumerate every subset of the universe and count
+/// its support directly.  Exponential; used to validate Apriori in tests and to
+/// provide ground truth for small experiments.
+pub fn frequent_itemsets_bruteforce(db: &BasketDb, kappa: usize) -> HashMap<AttrSet, usize> {
+    let n = db.universe_size();
+    assert!(n <= 24, "brute force over more than 24 items is infeasible");
+    let mut out = HashMap::new();
+    for mask in 0u64..(1u64 << n) {
+        let x = AttrSet::from_bits(mask);
+        let support = db.support(x);
+        if support >= kappa {
+            out.insert(x, support);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample_db() -> (Universe, BasketDb) {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(
+            &u,
+            "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC",
+        )
+        .unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn matches_bruteforce_at_various_thresholds() {
+        let (_u, db) = sample_db();
+        for kappa in [1usize, 2, 3, 4, 5, 7, 11] {
+            let result = apriori(&db, kappa);
+            let brute = frequent_itemsets_bruteforce(&db, kappa);
+            assert_eq!(result.frequent, brute, "mismatch at kappa = {kappa}");
+        }
+    }
+
+    #[test]
+    fn negative_border_is_minimal_infrequent() {
+        let (u, db) = sample_db();
+        let kappa = 3;
+        let result = apriori(&db, kappa);
+        for &b in &result.negative_border {
+            assert!(db.support(b) < kappa, "border element {b:?} is frequent");
+            for item in b.iter() {
+                let sub = b.without(item);
+                assert!(
+                    db.support(sub) >= kappa,
+                    "border element {b:?} is not minimal (subset {sub:?} infrequent)"
+                );
+            }
+        }
+        // Completeness: every minimal infrequent itemset appears in the border.
+        for x in u.all_subsets() {
+            let infrequent = db.support(x) < kappa;
+            let minimal = x
+                .iter()
+                .all(|item| db.support(x.without(item)) >= kappa);
+            if infrequent && minimal {
+                assert!(
+                    result.negative_border.contains(&x),
+                    "minimal infrequent {x:?} missing from the border"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_zero_makes_everything_frequent() {
+        let (u, db) = sample_db();
+        let result = apriori(&db, 0);
+        // Every subset of the items that occur is frequent; in fact every subset
+        // of S has support ≥ 0.
+        assert_eq!(result.frequent.len(), 1 << u.len());
+        assert!(result.negative_border.is_empty());
+    }
+
+    #[test]
+    fn threshold_above_db_size_only_empty_border() {
+        let (_u, db) = sample_db();
+        let result = apriori(&db, db.len() + 1);
+        assert!(result.frequent.is_empty());
+        assert_eq!(result.negative_border, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn supports_are_correct() {
+        let (u, db) = sample_db();
+        let result = apriori(&db, 2);
+        for (&x, &support) in &result.frequent {
+            assert_eq!(support, db.support(x));
+        }
+        assert_eq!(result.support_of(u.parse_set("AB").unwrap()), Some(5));
+        assert_eq!(result.support_of(u.parse_set("ABCDE").unwrap()), None);
+    }
+
+    #[test]
+    fn candidate_counting_is_bounded_by_powerset() {
+        let (u, db) = sample_db();
+        let result = apriori(&db, 2);
+        assert!(result.candidates_counted <= 1 << u.len());
+        assert!(result.candidates_counted >= result.num_frequent());
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = BasketDb::new(3);
+        let result = apriori(&db, 1);
+        assert!(result.frequent.is_empty());
+        assert_eq!(result.negative_border, vec![AttrSet::EMPTY]);
+        let result0 = apriori(&db, 0);
+        assert_eq!(result0.frequent.len(), 8);
+    }
+
+    #[test]
+    fn monotonicity_of_result() {
+        // Every subset of a frequent itemset is frequent.
+        let (_u, db) = sample_db();
+        let result = apriori(&db, 3);
+        for &x in result.frequent.keys() {
+            for item in x.iter() {
+                assert!(result.is_frequent(x.without(item)));
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Basket (transaction) databases.
+//!
+//! A [`BasketDb`] is the "list of baskets `B` over a set of items `S`" of the
+//! paper's Section 6: an ordered multiset of itemsets.  The two fundamental
+//! quantities derived from it are
+//!
+//! * the *cover* `B(X) = {i | X ⊆ B[i]}` — the positions of the baskets
+//!   containing `X`; and
+//! * the *support* `s_B(X) = |B(X)|` — how many baskets contain `X`.
+//!
+//! Covers are represented as sorted `Vec<usize>` of basket indices, which keeps
+//! the disjunctive-constraint check `B(X) = ⋃_Y B(X ∪ Y)` (Definition 6.1) a
+//! simple sorted-set comparison.
+
+use setlat::{AttrSet, Universe};
+use std::fmt;
+
+/// A list of baskets (transactions) over an item universe.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BasketDb {
+    universe_size: usize,
+    baskets: Vec<AttrSet>,
+}
+
+impl BasketDb {
+    /// Creates an empty database over a universe of `n` items.
+    pub fn new(universe_size: usize) -> Self {
+        BasketDb {
+            universe_size,
+            baskets: Vec::new(),
+        }
+    }
+
+    /// Creates a database from a list of baskets.
+    ///
+    /// # Panics
+    /// Panics if a basket contains an item outside the universe.
+    pub fn from_baskets<I: IntoIterator<Item = AttrSet>>(universe_size: usize, baskets: I) -> Self {
+        let baskets: Vec<AttrSet> = baskets.into_iter().collect();
+        let full = AttrSet::full(universe_size);
+        for (i, b) in baskets.iter().enumerate() {
+            assert!(
+                b.is_subset(full),
+                "basket #{i} ({b:?}) contains items outside a universe of {universe_size}"
+            );
+        }
+        BasketDb {
+            universe_size,
+            baskets,
+        }
+    }
+
+    /// Parses a database from the paper's compact notation: one basket per
+    /// line, e.g. `"AB\nACD\nB"`.  Empty lines denote empty baskets only when
+    /// written as `"{}"`; otherwise they are skipped.
+    pub fn parse(universe: &Universe, text: &str) -> Result<Self, setlat::universe::UniverseError> {
+        let mut baskets = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            baskets.push(universe.parse_set(trimmed)?);
+        }
+        Ok(BasketDb::from_baskets(universe.len(), baskets))
+    }
+
+    /// Appends a basket.
+    ///
+    /// # Panics
+    /// Panics if the basket contains items outside the universe.
+    pub fn push(&mut self, basket: AttrSet) {
+        assert!(
+            basket.is_subset(AttrSet::full(self.universe_size)),
+            "basket {basket:?} contains items outside the universe"
+        );
+        self.baskets.push(basket);
+    }
+
+    /// The number of items in the universe.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The number of baskets `|B|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.baskets.len()
+    }
+
+    /// Returns `true` iff there are no baskets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.baskets.is_empty()
+    }
+
+    /// The baskets, in list order.
+    pub fn baskets(&self) -> &[AttrSet] {
+        &self.baskets
+    }
+
+    /// The basket at position `i`.
+    pub fn basket(&self, i: usize) -> AttrSet {
+        self.baskets[i]
+    }
+
+    /// The cover `B(X) = {i | X ⊆ B[i]}`, as a sorted vector of basket indices.
+    pub fn cover(&self, x: AttrSet) -> Vec<usize> {
+        self.baskets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if x.is_subset(b) { Some(i) } else { None })
+            .collect()
+    }
+
+    /// The support `s_B(X) = |B(X)|`.
+    pub fn support(&self, x: AttrSet) -> usize {
+        self.baskets.iter().filter(|&&b| x.is_subset(b)).count()
+    }
+
+    /// The relative support `s_B(X) / |B|` (0 for an empty database).
+    pub fn relative_support(&self, x: AttrSet) -> f64 {
+        if self.baskets.is_empty() {
+            0.0
+        } else {
+            self.support(x) as f64 / self.baskets.len() as f64
+        }
+    }
+
+    /// The exact-multiplicity count `d^B(X) = |{i | B[i] = X}|` — how many times
+    /// `X` occurs as a basket (not merely inside one).  Section 6.1 of the paper
+    /// shows this equals the density of the support function.
+    pub fn exact_count(&self, x: AttrSet) -> usize {
+        self.baskets.iter().filter(|&&b| b == x).count()
+    }
+
+    /// Returns `true` iff `X` is frequent at absolute threshold `kappa`.
+    pub fn is_frequent(&self, x: AttrSet, kappa: usize) -> bool {
+        self.support(x) >= kappa
+    }
+
+    /// The set of distinct items occurring in at least one basket.
+    pub fn occurring_items(&self) -> AttrSet {
+        self.baskets
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, &b| acc.union(b))
+    }
+
+    /// Formats the database, one basket per line, using the universe's notation.
+    pub fn format(&self, universe: &Universe) -> String {
+        self.baskets
+            .iter()
+            .map(|&b| universe.format_set(b))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Debug for BasketDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BasketDb({} baskets over {} items)",
+            self.baskets.len(),
+            self.universe_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> (Universe, BasketDb) {
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB\nABCD").unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn parse_and_counts() {
+        let (u, db) = sample_db();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.universe_size(), 4);
+        assert_eq!(db.support(u.parse_set("A").unwrap()), 4);
+        assert_eq!(db.support(u.parse_set("AB").unwrap()), 3);
+        assert_eq!(db.support(u.parse_set("CD").unwrap()), 2);
+        assert_eq!(db.support(AttrSet::EMPTY), 5);
+        assert_eq!(db.support(u.parse_set("ABCD").unwrap()), 1);
+    }
+
+    #[test]
+    fn cover_indices() {
+        let (u, db) = sample_db();
+        assert_eq!(db.cover(u.parse_set("AB").unwrap()), vec![0, 1, 4]);
+        assert_eq!(db.cover(u.parse_set("D").unwrap()), vec![2, 4]);
+        assert_eq!(db.cover(AttrSet::EMPTY), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exact_count_vs_support() {
+        let (u, db) = sample_db();
+        assert_eq!(db.exact_count(u.parse_set("AB").unwrap()), 1);
+        assert_eq!(db.exact_count(u.parse_set("B").unwrap()), 1);
+        assert_eq!(db.exact_count(u.parse_set("AD").unwrap()), 0);
+        // exact_count ≤ support always.
+        for x in u.all_subsets() {
+            assert!(db.exact_count(x) <= db.support(x));
+        }
+    }
+
+    #[test]
+    fn relative_support() {
+        let (u, db) = sample_db();
+        assert!((db.relative_support(u.parse_set("A").unwrap()) - 0.8).abs() < 1e-12);
+        let empty = BasketDb::new(3);
+        assert_eq!(empty.relative_support(AttrSet::EMPTY), 0.0);
+    }
+
+    #[test]
+    fn frequency_threshold() {
+        let (u, db) = sample_db();
+        assert!(db.is_frequent(u.parse_set("AB").unwrap(), 3));
+        assert!(!db.is_frequent(u.parse_set("AB").unwrap(), 4));
+    }
+
+    #[test]
+    fn occurring_items() {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(&u, "AB\nC").unwrap();
+        assert_eq!(db.occurring_items(), u.parse_set("ABC").unwrap());
+    }
+
+    #[test]
+    fn push_and_format_roundtrip() {
+        let u = Universe::of_size(3);
+        let mut db = BasketDb::new(3);
+        db.push(u.parse_set("AB").unwrap());
+        db.push(u.parse_set("C").unwrap());
+        let text = db.format(&u);
+        let reparsed = BasketDb::parse(&u, &text).unwrap();
+        assert_eq!(db, reparsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_universe_basket_panics() {
+        let mut db = BasketDb::new(2);
+        db.push(AttrSet::from_indices([5]));
+    }
+
+    #[test]
+    fn monotonicity_of_support() {
+        // The Apriori rule: X ⊆ Y implies s(X) ≥ s(Y).
+        let (u, db) = sample_db();
+        for x in u.all_subsets() {
+            for y in u.all_subsets() {
+                if x.is_subset(y) {
+                    assert!(db.support(x) >= db.support(y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Positive and negative borders of the frequent itemsets.
+//!
+//! The paper recalls (Section 6.1.1) that the Apriori algorithm effectively
+//! computes the *negative border* — the minimal infrequent itemsets — which is
+//! a concise representation of the frequency status of every itemset: a set is
+//! infrequent iff it contains a negative-border element.  Dually, the *positive
+//! border* (the maximal frequent itemsets) represents the same information from
+//! above.  Both are computed here from a database and threshold, and helpers
+//! decide frequency status from either representation so the experiments can
+//! compare representation sizes and deduction power.
+
+use crate::basket::BasketDb;
+use setlat::AttrSet;
+
+/// The positive border: the maximal frequent itemsets of `db` at threshold `kappa`.
+///
+/// Exhaustive over the universe (`O(2^n)` support queries); intended for the
+/// moderate universes used in the experiments.
+pub fn positive_border(db: &BasketDb, kappa: usize) -> Vec<AttrSet> {
+    let n = db.universe_size();
+    let mut frequent: Vec<AttrSet> = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let x = AttrSet::from_bits(mask);
+        if db.support(x) >= kappa {
+            frequent.push(x);
+        }
+    }
+    let mut border: Vec<AttrSet> = Vec::new();
+    for &x in &frequent {
+        let maximal = (0..n)
+            .filter(|&i| !x.contains(i))
+            .all(|i| db.support(x.with(i)) < kappa);
+        if maximal {
+            border.push(x);
+        }
+    }
+    border.sort();
+    border
+}
+
+/// The negative border: the minimal infrequent itemsets of `db` at threshold `kappa`.
+pub fn negative_border(db: &BasketDb, kappa: usize) -> Vec<AttrSet> {
+    let n = db.universe_size();
+    let mut border: Vec<AttrSet> = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let x = AttrSet::from_bits(mask);
+        if db.support(x) >= kappa {
+            continue;
+        }
+        let minimal = x.iter().all(|i| db.support(x.without(i)) >= kappa);
+        if minimal {
+            border.push(x);
+        }
+    }
+    border.sort();
+    border
+}
+
+/// Decides whether `x` is frequent using only a negative border: `x` is
+/// infrequent iff it contains some border element.
+pub fn is_frequent_by_negative_border(negative_border: &[AttrSet], x: AttrSet) -> bool {
+    !negative_border.iter().any(|&b| b.is_subset(x))
+}
+
+/// Decides whether `x` is frequent using only a positive border: `x` is
+/// frequent iff it is contained in some border element.
+pub fn is_frequent_by_positive_border(positive_border: &[AttrSet], x: AttrSet) -> bool {
+    positive_border.iter().any(|&b| x.is_subset(b))
+}
+
+/// Counts the frequent itemsets at threshold `kappa` (ground truth for
+/// representation-size comparisons).
+pub fn count_frequent(db: &BasketDb, kappa: usize) -> usize {
+    let n = db.universe_size();
+    (0u64..(1u64 << n))
+        .filter(|&mask| db.support(AttrSet::from_bits(mask)) >= kappa)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample() -> (Universe, BasketDb) {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC").unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn borders_characterize_frequency() {
+        let (u, db) = sample();
+        for kappa in [1usize, 2, 3, 5] {
+            let pos = positive_border(&db, kappa);
+            let neg = negative_border(&db, kappa);
+            for x in u.all_subsets() {
+                let truth = db.support(x) >= kappa;
+                assert_eq!(
+                    is_frequent_by_negative_border(&neg, x),
+                    truth,
+                    "negative border wrong at {x:?}, kappa={kappa}"
+                );
+                assert_eq!(
+                    is_frequent_by_positive_border(&pos, x),
+                    truth,
+                    "positive border wrong at {x:?}, kappa={kappa}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positive_border_elements_are_maximal_frequent() {
+        let (u, db) = sample();
+        let kappa = 2;
+        for &b in &positive_border(&db, kappa) {
+            assert!(db.support(b) >= kappa);
+            for i in 0..u.len() {
+                if !b.contains(i) {
+                    assert!(db.support(b.with(i)) < kappa);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_border_elements_are_minimal_infrequent() {
+        let (_u, db) = sample();
+        let kappa = 2;
+        for &b in &negative_border(&db, kappa) {
+            assert!(db.support(b) < kappa);
+            for i in b.iter() {
+                assert!(db.support(b.without(i)) >= kappa);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_border_matches_apriori() {
+        let (_u, db) = sample();
+        for kappa in [1usize, 2, 3, 4] {
+            let from_apriori = crate::apriori::apriori(&db, kappa).negative_border;
+            assert_eq!(negative_border(&db, kappa), from_apriori, "kappa={kappa}");
+        }
+    }
+
+    #[test]
+    fn count_frequent_matches_apriori() {
+        let (_u, db) = sample();
+        for kappa in [1usize, 2, 3] {
+            assert_eq!(
+                count_frequent(&db, kappa),
+                crate::apriori::apriori(&db, kappa).num_frequent()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let (u, db) = sample();
+        // kappa = 0: everything frequent; positive border is {S}, negative empty.
+        assert_eq!(positive_border(&db, 0), vec![u.full_set()]);
+        assert!(negative_border(&db, 0).is_empty());
+        // kappa > |B|: nothing frequent; negative border is {∅}, positive empty.
+        assert!(positive_border(&db, db.len() + 1).is_empty());
+        assert_eq!(negative_border(&db, db.len() + 1), vec![AttrSet::EMPTY]);
+    }
+}

@@ -1,0 +1,352 @@
+//! The `FDFree` / `Bd⁻` condensed representation of Bykowski & Rigotti,
+//! as discussed in Section 6.1.1 of the paper.
+//!
+//! `FDFree(B, κ)` is the collection of *frequent, disjunction-free* itemsets
+//! (stored with their supports); `Bd⁻(B, κ)` is its negative border — the
+//! minimal itemsets that are either infrequent or not disjunction-free (also
+//! stored with enough information to apply their disjunctive rule).  Together
+//! they determine the frequency status of **every** itemset and the exact
+//! support of every frequent itemset, while typically being much smaller than
+//! the full collection of frequent itemsets.
+//!
+//! Support reconstruction uses the inclusion–exclusion identity the paper
+//! recalls: if `B(X') = B(X' ∪ {y₁}) ∪ B(X' ∪ {y₂})` then, for every
+//! `X ⊇ X' ∪ {y₁, y₂}`,
+//!
+//! ```text
+//! s_B(X) = s_B(X − {y₁}) + s_B(X − {y₂}) − s_B(X − {y₁, y₂}),
+//! ```
+//!
+//! and when `y₁ = y₂` simply `s_B(X) = s_B(X − {y₁})`.
+
+use crate::basket::BasketDb;
+use crate::disjunctive::{is_disjunction_free, DisjunctiveConstraint};
+use setlat::{powerset, AttrSet};
+use std::collections::HashMap;
+
+/// Why an itemset belongs to the representation's border `Bd⁻`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BorderReason {
+    /// The itemset is infrequent (support below the threshold).
+    Infrequent,
+    /// The itemset is frequent but not disjunction-free; the payload is a
+    /// witnessing rule `X' ⇒ y₁ ∨ y₂` (with `y₁ = y₂` allowed) that holds in
+    /// the database and has its footprint inside the itemset.
+    Disjunctive {
+        /// The antecedent `X'` of the witnessing rule.
+        base: AttrSet,
+        /// First consequent item.
+        y1: usize,
+        /// Second consequent item (may equal `y1`).
+        y2: usize,
+    },
+}
+
+/// One element of the border `Bd⁻(B, κ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorderElement {
+    /// The itemset itself.
+    pub itemset: AttrSet,
+    /// Its support in the database.
+    pub support: usize,
+    /// Why it is outside `FDFree`.
+    pub reason: BorderReason,
+}
+
+/// The result of classifying an itemset from the condensed representation alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivedStatus {
+    /// The itemset is frequent with the given (exactly derived) support.
+    Frequent(usize),
+    /// The itemset is infrequent.
+    Infrequent,
+}
+
+/// The `FDFree` / `Bd⁻` condensed representation of a database at a threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondensedRepresentation {
+    /// The support threshold `κ`.
+    pub kappa: usize,
+    /// Frequent disjunction-free itemsets with their supports.
+    pub fdfree: HashMap<AttrSet, usize>,
+    /// The border `Bd⁻`: minimal itemsets outside `FDFree`.
+    pub border: Vec<BorderElement>,
+}
+
+impl CondensedRepresentation {
+    /// Builds the representation by exhaustive levelwise classification.
+    ///
+    /// Exponential in the universe size (as is the ground truth it represents);
+    /// the experiments use universes of ≤ 16 items.
+    pub fn build(db: &BasketDb, kappa: usize) -> Self {
+        let n = db.universe_size();
+        let mut fdfree: HashMap<AttrSet, usize> = HashMap::new();
+        let mut border: Vec<BorderElement> = Vec::new();
+
+        for mask in 0u64..(1u64 << n) {
+            let x = AttrSet::from_bits(mask);
+            // An itemset belongs to FDFree iff it is frequent and disjunction-free.
+            // It belongs to the border iff it is *not* in FDFree but all of its
+            // maximal proper subsets are.
+            let support = db.support(x);
+            let in_fdfree = support >= kappa && is_disjunction_free(db, x);
+            if in_fdfree {
+                fdfree.insert(x, support);
+                continue;
+            }
+            let minimal = x.iter().all(|i| {
+                let sub = x.without(i);
+                db.support(sub) >= kappa && is_disjunction_free(db, sub)
+            });
+            if minimal {
+                let reason = if support < kappa {
+                    BorderReason::Infrequent
+                } else {
+                    let rule = find_witnessing_rule(db, x)
+                        .expect("frequent non-disjunction-free set must admit a rule");
+                    BorderReason::Disjunctive {
+                        base: rule.0,
+                        y1: rule.1,
+                        y2: rule.2,
+                    }
+                };
+                border.push(BorderElement {
+                    itemset: x,
+                    support,
+                    reason,
+                });
+            }
+        }
+        border.sort_by_key(|e| (e.itemset.len(), e.itemset.bits()));
+        CondensedRepresentation {
+            kappa,
+            fdfree,
+            border,
+        }
+    }
+
+    /// Total number of stored itemsets (`|FDFree| + |Bd⁻|`) — the representation
+    /// size the experiments compare against the number of frequent itemsets.
+    pub fn size(&self) -> usize {
+        self.fdfree.len() + self.border.len()
+    }
+
+    /// Derives the frequency status (and, for frequent itemsets, the exact
+    /// support) of an arbitrary itemset from the representation alone — no
+    /// access to the database.
+    pub fn derive(&self, x: AttrSet) -> DerivedStatus {
+        let mut memo: HashMap<AttrSet, DerivedStatus> = HashMap::new();
+        self.derive_memo(x, &mut memo)
+    }
+
+    fn derive_memo(&self, x: AttrSet, memo: &mut HashMap<AttrSet, DerivedStatus>) -> DerivedStatus {
+        if let Some(&cached) = memo.get(&x) {
+            return cached;
+        }
+        let status = self.derive_uncached(x, memo);
+        memo.insert(x, status);
+        status
+    }
+
+    fn derive_uncached(
+        &self,
+        x: AttrSet,
+        memo: &mut HashMap<AttrSet, DerivedStatus>,
+    ) -> DerivedStatus {
+        if let Some(&support) = self.fdfree.get(&x) {
+            return DerivedStatus::Frequent(support);
+        }
+        // Find a border element contained in x.
+        let element = self
+            .border
+            .iter()
+            .find(|e| e.itemset.is_subset(x))
+            .expect("every itemset outside FDFree contains a border element");
+        if x == element.itemset {
+            return if element.support >= self.kappa {
+                DerivedStatus::Frequent(element.support)
+            } else {
+                DerivedStatus::Infrequent
+            };
+        }
+        match element.reason {
+            BorderReason::Infrequent => DerivedStatus::Infrequent,
+            BorderReason::Disjunctive { base: _, y1, y2 } => {
+                // The rule lifts to x ⊇ element.itemset ⊇ base ∪ {y1,y2} by the
+                // augmentation argument of Section 6.1.1.
+                if y1 == y2 {
+                    match self.derive_memo(x.without(y1), memo) {
+                        DerivedStatus::Frequent(s) => self.clamp(s),
+                        DerivedStatus::Infrequent => DerivedStatus::Infrequent,
+                    }
+                } else {
+                    let a = self.derive_memo(x.without(y1), memo);
+                    let b = self.derive_memo(x.without(y2), memo);
+                    let c = self.derive_memo(x.without(y1).without(y2), memo);
+                    match (a, b, c) {
+                        (
+                            DerivedStatus::Frequent(sa),
+                            DerivedStatus::Frequent(sb),
+                            DerivedStatus::Frequent(sc),
+                        ) => {
+                            let s = sa + sb - sc;
+                            self.clamp(s)
+                        }
+                        // If any of the three subsets is infrequent then x, a
+                        // superset of it, is infrequent too.
+                        _ => DerivedStatus::Infrequent,
+                    }
+                }
+            }
+        }
+    }
+
+    fn clamp(&self, support: usize) -> DerivedStatus {
+        if support >= self.kappa {
+            DerivedStatus::Frequent(support)
+        } else {
+            DerivedStatus::Infrequent
+        }
+    }
+}
+
+/// Finds a rule `X' ⇒ y₁ ∨ y₂` (items possibly equal, both in `x − X'`)
+/// satisfied by the database with footprint inside `x`, if one exists.
+fn find_witnessing_rule(db: &BasketDb, x: AttrSet) -> Option<(AttrSet, usize, usize)> {
+    for lhs in powerset::subsets(x) {
+        let rest: Vec<usize> = x.difference(lhs).iter().collect();
+        for (i, &y1) in rest.iter().enumerate() {
+            for &y2 in &rest[i..] {
+                if DisjunctiveConstraint::rule(lhs, y1, y2).satisfied_by(db) {
+                    return Some((lhs, y1, y2));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample() -> (Universe, BasketDb) {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(
+            &u,
+            "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC\nAB\nABC",
+        )
+        .unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn representation_is_sound_and_complete() {
+        let (u, db) = sample();
+        for kappa in [2usize, 3, 4] {
+            let repr = CondensedRepresentation::build(&db, kappa);
+            for x in u.all_subsets() {
+                let truth = db.support(x);
+                match repr.derive(x) {
+                    DerivedStatus::Frequent(s) => {
+                        assert!(truth >= kappa, "derived frequent but {x:?} is infrequent");
+                        assert_eq!(s, truth, "wrong derived support for {x:?} at kappa={kappa}");
+                    }
+                    DerivedStatus::Infrequent => {
+                        assert!(truth < kappa, "derived infrequent but {x:?} is frequent");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representation_is_no_larger_than_frequent_sets_plus_border() {
+        let (_u, db) = sample();
+        let kappa = 3;
+        let repr = CondensedRepresentation::build(&db, kappa);
+        let frequent = crate::border::count_frequent(&db, kappa);
+        let neg_border = crate::border::negative_border(&db, kappa).len();
+        // FDFree ⊆ frequent sets; the border adds at most the classic negative
+        // border plus the minimal disjunctive-but-frequent sets.
+        assert!(repr.fdfree.len() <= frequent);
+        assert!(repr.size() <= frequent + neg_border + repr.border.len());
+    }
+
+    #[test]
+    fn fdfree_members_are_frequent_and_free() {
+        let (_u, db) = sample();
+        let repr = CondensedRepresentation::build(&db, 3);
+        for (&x, &s) in &repr.fdfree {
+            assert_eq!(s, db.support(x));
+            assert!(s >= 3);
+            assert!(is_disjunction_free(&db, x));
+        }
+    }
+
+    #[test]
+    fn border_members_are_minimal_and_outside() {
+        let (_u, db) = sample();
+        let kappa = 3;
+        let repr = CondensedRepresentation::build(&db, kappa);
+        for e in &repr.border {
+            let outside = db.support(e.itemset) < kappa || !is_disjunction_free(&db, e.itemset);
+            assert!(outside, "border element {:?} belongs to FDFree", e.itemset);
+            for i in e.itemset.iter() {
+                let sub = e.itemset.without(i);
+                assert!(
+                    db.support(sub) >= kappa && is_disjunction_free(&db, sub),
+                    "border element {:?} is not minimal",
+                    e.itemset
+                );
+            }
+            // Stored support is correct, and disjunctive reasons carry valid rules.
+            assert_eq!(e.support, db.support(e.itemset));
+            if let BorderReason::Disjunctive { base, y1, y2 } = e.reason {
+                assert!(DisjunctiveConstraint::rule(base, y1, y2).satisfied_by(&db));
+                assert!(base
+                    .union(AttrSet::singleton(y1))
+                    .union(AttrSet::singleton(y2))
+                    .is_subset(e.itemset));
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_is_smaller_on_redundant_data() {
+        // A database with strong disjunctive structure: every basket containing A
+        // contains B, so many supports are derivable and FDFree stays small.
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(
+            &u,
+            "AB\nABC\nABD\nABCD\nABE\nB\nBC\nBD\nC\nD\nE\nCD\nCE\nDE\nCDE\nBCD",
+        )
+        .unwrap();
+        let kappa = 2;
+        let repr = CondensedRepresentation::build(&db, kappa);
+        let frequent = crate::border::count_frequent(&db, kappa);
+        assert!(
+            repr.fdfree.len() < frequent,
+            "condensed representation should store fewer sets than all frequent ones \
+             ({} vs {frequent})",
+            repr.fdfree.len()
+        );
+        // And it still answers every query correctly.
+        for x in u.all_subsets() {
+            match repr.derive(x) {
+                DerivedStatus::Frequent(s) => assert_eq!(s, db.support(x)),
+                DerivedStatus::Infrequent => assert!(db.support(x) < kappa),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_representation() {
+        let db = BasketDb::new(3);
+        let repr = CondensedRepresentation::build(&db, 1);
+        assert!(repr.fdfree.is_empty());
+        assert_eq!(repr.border.len(), 1);
+        assert_eq!(repr.derive(AttrSet::EMPTY), DerivedStatus::Infrequent);
+    }
+}

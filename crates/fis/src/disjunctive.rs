@@ -1,0 +1,343 @@
+//! Disjunctive constraints, disjunctive rules, and disjunctive(-free) itemsets
+//! (Definitions 6.1 and 6.2 of the paper).
+//!
+//! A basket list `B` satisfies the disjunctive constraint `X ⇒disj 𝒴` when
+//! `B(X) = ⋃_{Y ∈ 𝒴} B(X ∪ Y)` — equivalently, every basket containing `X`
+//! also contains some `Y ∈ 𝒴` entirely.  Proposition 6.3 identifies this with
+//! satisfaction of the differential constraint `X → 𝒴` by the support function.
+//!
+//! The *disjunctive rules* of Bykowski & Rigotti and the
+//! *generalized-disjunctive rules* of Kryszkiewicz & Gajek are the special
+//! cases where `𝒴` consists of one or two singletons, resp. any set of
+//! singletons; Definition 6.2 builds disjunctive(-free) itemsets on top of
+//! satisfied nontrivial constraints.
+
+use crate::basket::BasketDb;
+use setlat::{powerset, AttrSet, Family, Universe};
+
+/// A disjunctive constraint `X ⇒disj 𝒴` over the item universe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DisjunctiveConstraint {
+    /// The antecedent itemset `X`.
+    pub lhs: AttrSet,
+    /// The consequent family `𝒴`.
+    pub rhs: Family,
+}
+
+impl DisjunctiveConstraint {
+    /// Creates the constraint `X ⇒disj 𝒴`.
+    pub fn new(lhs: AttrSet, rhs: Family) -> Self {
+        DisjunctiveConstraint { lhs, rhs }
+    }
+
+    /// A Bykowski–Rigotti style disjunctive rule `X ⇒ y₁ ∨ y₂` (the two items
+    /// may coincide, in which case the rule degenerates to `X ⇒ y₁`).
+    pub fn rule(lhs: AttrSet, y1: usize, y2: usize) -> Self {
+        DisjunctiveConstraint {
+            lhs,
+            rhs: Family::from_sets([AttrSet::singleton(y1), AttrSet::singleton(y2)]),
+        }
+    }
+
+    /// Returns `true` iff the constraint is trivial: some `Y ∈ 𝒴` with `Y ⊆ X`
+    /// (mirroring Definition 3.1 for differential constraints).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.some_member_subset_of(self.lhs)
+    }
+
+    /// Returns `true` iff the basket database satisfies the constraint:
+    /// every basket containing `X` contains `X ∪ Y` for some `Y ∈ 𝒴`.
+    pub fn satisfied_by(&self, db: &BasketDb) -> bool {
+        db.baskets().iter().all(|&basket| {
+            !self.lhs.is_subset(basket) || self.rhs.iter().any(|y| y.is_subset(basket))
+        })
+    }
+
+    /// Checks satisfaction through the cover identity of Definition 6.1,
+    /// `B(X) = ⋃_{Y ∈ 𝒴} B(X ∪ Y)`, computing the covers explicitly.  Used to
+    /// validate [`DisjunctiveConstraint::satisfied_by`] in tests.
+    pub fn satisfied_by_cover_identity(&self, db: &BasketDb) -> bool {
+        let cover_x = db.cover(self.lhs);
+        let mut union: Vec<usize> = self
+            .rhs
+            .iter()
+            .flat_map(|y| db.cover(self.lhs.union(y)))
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        cover_x == union
+    }
+
+    /// The item footprint `X ∪ ⋃𝒴` of the constraint.
+    pub fn footprint(&self) -> AttrSet {
+        self.lhs.union(self.rhs.union_all())
+    }
+
+    /// Pretty-prints the constraint, e.g. `"A ⇒disj {B, CD}"`.
+    pub fn format(&self, universe: &Universe) -> String {
+        format!(
+            "{} ⇒disj {}",
+            universe.format_set(self.lhs),
+            self.rhs.format(universe)
+        )
+    }
+}
+
+/// Returns `true` iff `x` is a *disjunctive itemset* of `db` in the sense of
+/// Definition 6.2, restricted to consequent families with at most
+/// `max_rhs_members` members (each member a nonempty subset of `x`).
+///
+/// With `max_rhs_members = 2` and singleton members this covers the disjunctive
+/// rules of Bykowski–Rigotti (see [`is_disjunctive_br`]); larger values explore
+/// the more general constraints this paper allows.  The search is exponential
+/// in `|x|`, which is fine for the universes used in the experiments.
+pub fn is_disjunctive(db: &BasketDb, x: AttrSet, max_rhs_members: usize) -> bool {
+    // Candidate antecedents X' ⊆ x and member pool: nonempty subsets of x − X'.
+    for lhs in powerset::subsets(x) {
+        let pool: Vec<AttrSet> = powerset::subsets(x.difference(lhs))
+            .filter(|s| !s.is_empty())
+            .collect();
+        if search_family(db, lhs, &pool, &mut Vec::new(), max_rhs_members) {
+            return true;
+        }
+    }
+    false
+}
+
+fn search_family(
+    db: &BasketDb,
+    lhs: AttrSet,
+    pool: &[AttrSet],
+    chosen: &mut Vec<AttrSet>,
+    remaining: usize,
+) -> bool {
+    if !chosen.is_empty() {
+        let constraint =
+            DisjunctiveConstraint::new(lhs, Family::from_sets(chosen.iter().copied()));
+        if !constraint.is_trivial() && constraint.satisfied_by(db) {
+            return true;
+        }
+    }
+    if remaining == 0 {
+        return false;
+    }
+    for (i, &candidate) in pool.iter().enumerate() {
+        chosen.push(candidate);
+        if search_family(db, lhs, &pool[i + 1..], chosen, remaining - 1) {
+            chosen.pop();
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Returns `true` iff `x` is disjunctive according to Bykowski–Rigotti style
+/// rules only: there exist `X' ⊆ x` and items `y₁, y₂ ∈ x − X'` (possibly
+/// equal) such that `db` satisfies `X' ⇒ y₁ ∨ y₂`.
+pub fn is_disjunctive_br(db: &BasketDb, x: AttrSet) -> bool {
+    for lhs in powerset::subsets(x) {
+        let rest: Vec<usize> = x.difference(lhs).iter().collect();
+        for (i, &y1) in rest.iter().enumerate() {
+            for &y2 in &rest[i..] {
+                let constraint = DisjunctiveConstraint::rule(lhs, y1, y2);
+                if constraint.satisfied_by(db) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` iff `x` is *disjunction-free* w.r.t. Bykowski–Rigotti rules
+/// (the negation of [`is_disjunctive_br`]).
+pub fn is_disjunction_free(db: &BasketDb, x: AttrSet) -> bool {
+    !is_disjunctive_br(db, x)
+}
+
+/// Enumerates all nontrivial satisfied disjunctive rules `X' ⇒ y₁ ∨ y₂` whose
+/// footprint is contained in `scope`.  Used by the condensed-representation
+/// builder and by the experiments that count inferable itemsets.
+pub fn satisfied_rules_within(db: &BasketDb, scope: AttrSet) -> Vec<DisjunctiveConstraint> {
+    let mut out = Vec::new();
+    for lhs in powerset::subsets(scope) {
+        let rest: Vec<usize> = scope.difference(lhs).iter().collect();
+        for (i, &y1) in rest.iter().enumerate() {
+            for &y2 in &rest[i..] {
+                let c = DisjunctiveConstraint::rule(lhs, y1, y2);
+                if c.satisfied_by(db) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u() -> Universe {
+        Universe::of_size(4)
+    }
+
+    #[test]
+    fn satisfaction_both_definitions_agree() {
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB\nABCD").unwrap();
+        let constraints = [
+            DisjunctiveConstraint::new(
+                u.parse_set("A").unwrap(),
+                Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+            ),
+            DisjunctiveConstraint::new(
+                u.parse_set("A").unwrap(),
+                Family::single(u.parse_set("B").unwrap()),
+            ),
+            DisjunctiveConstraint::new(
+                u.parse_set("C").unwrap(),
+                Family::single(u.parse_set("A").unwrap()),
+            ),
+            DisjunctiveConstraint::new(u.parse_set("D").unwrap(), Family::empty()),
+        ];
+        for c in &constraints {
+            assert_eq!(
+                c.satisfied_by(&db),
+                c.satisfied_by_cover_identity(&db),
+                "definitions disagree for {}",
+                c.format(&u)
+            );
+        }
+    }
+
+    #[test]
+    fn example_constraint_satisfaction() {
+        // Every basket containing A contains B or CD (B in baskets 0,1,4; CD in 2,4).
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB\nABCD").unwrap();
+        let c = DisjunctiveConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        );
+        assert!(c.satisfied_by(&db));
+
+        // Not every basket containing A contains B.
+        let c2 = DisjunctiveConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::single(u.parse_set("B").unwrap()),
+        );
+        assert!(!c2.satisfied_by(&db));
+    }
+
+    #[test]
+    fn empty_rhs_means_no_basket_contains_lhs() {
+        // X ⇒disj {} ⇔ B(X) = ∅ ⇔ f(X) = 0 (the introduction's constraint (1)).
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nB\nC").unwrap();
+        let holds = DisjunctiveConstraint::new(u.parse_set("D").unwrap(), Family::empty());
+        assert!(holds.satisfied_by(&db));
+        let fails = DisjunctiveConstraint::new(u.parse_set("A").unwrap(), Family::empty());
+        assert!(!fails.satisfied_by(&db));
+    }
+
+    #[test]
+    fn triviality() {
+        let u = u();
+        let trivial = DisjunctiveConstraint::new(
+            u.parse_set("AB").unwrap(),
+            Family::single(u.parse_set("B").unwrap()),
+        );
+        assert!(trivial.is_trivial());
+        let nontrivial = DisjunctiveConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::single(u.parse_set("B").unwrap()),
+        );
+        assert!(!nontrivial.is_trivial());
+        // Trivial constraints are satisfied by every database.
+        let db = BasketDb::parse(&u, "AB\nACD\nD").unwrap();
+        assert!(trivial.satisfied_by(&db));
+    }
+
+    #[test]
+    fn disjunctive_itemsets_definition_6_2() {
+        // Database where B(A) = B(AB) ∪ B(AC): every basket with A has B or C.
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nAC\nABC\nBD\nD").unwrap();
+        // The constraint A ⇒ {B, C} holds and is nontrivial, so ABC (its footprint)
+        // and its supersets are disjunctive itemsets.
+        let abc = u.parse_set("ABC").unwrap();
+        let abcd = u.parse_set("ABCD").unwrap();
+        assert!(is_disjunctive(&db, abc, 2));
+        assert!(is_disjunctive(&db, abcd, 2));
+        assert!(is_disjunctive_br(&db, abc));
+        // A alone is not disjunctive (footprints must fit inside the set).
+        assert!(!is_disjunctive_br(&db, u.parse_set("A").unwrap()));
+        assert!(is_disjunction_free(&db, u.parse_set("A").unwrap()));
+    }
+
+    #[test]
+    fn supersets_of_disjunctive_sets_are_disjunctive() {
+        // The paper derives this from the augmentation rule; check it directly.
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nAC\nABC\nBD\nD\nACD").unwrap();
+        for x in u.all_subsets() {
+            if is_disjunctive_br(&db, x) {
+                for i in 0..u.len() {
+                    assert!(
+                        is_disjunctive_br(&db, x.with(i)),
+                        "superset of disjunctive {x:?} not disjunctive"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn br_rules_are_a_special_case() {
+        // Anything BR-disjunctive is disjunctive in the general sense.
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nAC\nABC\nBD\nD").unwrap();
+        for x in u.all_subsets() {
+            if is_disjunctive_br(&db, x) {
+                assert!(is_disjunctive(&db, x, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn satisfied_rules_enumeration() {
+        let u = u();
+        let db = BasketDb::parse(&u, "AB\nAC\nABC\nBD\nD").unwrap();
+        let rules = satisfied_rules_within(&db, u.parse_set("ABC").unwrap());
+        // The rule A ⇒ B ∨ C must be among them.
+        let target = DisjunctiveConstraint::rule(u.parse_set("A").unwrap(), 1, 2);
+        assert!(rules.iter().any(|c| c == &target));
+        // All enumerated rules are satisfied and nontrivial... (rule() with distinct
+        // items on disjoint lhs is never trivial here, but double-check satisfaction).
+        for r in &rules {
+            assert!(r.satisfied_by(&db));
+        }
+    }
+
+    #[test]
+    fn footprint() {
+        let u = u();
+        let c = DisjunctiveConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        );
+        assert_eq!(c.footprint(), u.parse_set("ABCD").unwrap());
+    }
+
+    #[test]
+    fn formatting() {
+        let u = u();
+        let c = DisjunctiveConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        );
+        assert_eq!(c.format(&u), "A ⇒disj {B, CD}");
+    }
+}

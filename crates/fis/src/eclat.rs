@@ -1,0 +1,186 @@
+//! Eclat: vertical (tidset-intersection) frequent-itemset mining.
+//!
+//! Eclat is the standard depth-first alternative to the levelwise Apriori
+//! algorithm: each itemset carries the bitmap of transaction ids (tids) that
+//! contain it, and extending an itemset by one item is a bitmap intersection.
+//! It produces exactly the same collection of frequent itemsets as Apriori and
+//! serves as the baseline miner in the benchmark harness (it does no
+//! deduction at all, so it is the "count everything" end of the
+//! concise-representation spectrum).
+
+use crate::basket::BasketDb;
+use setlat::AttrSet;
+use std::collections::HashMap;
+
+/// A bitmap over transaction ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TidSet {
+    blocks: Vec<u64>,
+    count: usize,
+}
+
+impl TidSet {
+    /// An empty tidset sized for `num_tids` transactions.
+    pub fn empty(num_tids: usize) -> Self {
+        TidSet {
+            blocks: vec![0; num_tids.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Inserts a transaction id.
+    pub fn insert(&mut self, tid: usize) {
+        let block = tid / 64;
+        let bit = 1u64 << (tid % 64);
+        if self.blocks[block] & bit == 0 {
+            self.blocks[block] |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// The number of transactions in the set (the support).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` iff no transaction is present.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Intersection of two tidsets.
+    pub fn intersect(&self, other: &TidSet) -> TidSet {
+        let blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| a & b)
+            .collect();
+        let count = blocks.iter().map(|b| b.count_ones() as usize).sum();
+        TidSet { blocks, count }
+    }
+
+    /// Returns `true` iff `tid` is present.
+    pub fn contains(&self, tid: usize) -> bool {
+        let block = tid / 64;
+        block < self.blocks.len() && self.blocks[block] & (1u64 << (tid % 64)) != 0
+    }
+}
+
+/// Runs Eclat over `db` with absolute support threshold `kappa`, returning every
+/// frequent itemset with its support.
+///
+/// Matches [`crate::apriori::apriori`] exactly (tested), including reporting the
+/// empty itemset when `|B| ≥ κ`.
+pub fn eclat(db: &BasketDb, kappa: usize) -> HashMap<AttrSet, usize> {
+    let n = db.universe_size();
+    let num_tids = db.len();
+    let mut result: HashMap<AttrSet, usize> = HashMap::new();
+
+    if num_tids >= kappa {
+        result.insert(AttrSet::EMPTY, num_tids);
+    } else {
+        return result;
+    }
+
+    // Vertical representation: one tidset per item.
+    let mut item_tids: Vec<TidSet> = (0..n).map(|_| TidSet::empty(num_tids)).collect();
+    for (tid, &basket) in db.baskets().iter().enumerate() {
+        for item in basket.iter() {
+            item_tids[item].insert(tid);
+        }
+    }
+
+    // Initial prefix class: frequent single items.
+    let initial: Vec<(AttrSet, TidSet)> = (0..n)
+        .filter(|&i| item_tids[i].len() >= kappa)
+        .map(|i| (AttrSet::singleton(i), item_tids[i].clone()))
+        .collect();
+    for (itemset, tids) in &initial {
+        result.insert(*itemset, tids.len());
+    }
+    eclat_recurse(&initial, kappa, &mut result);
+    result
+}
+
+fn eclat_recurse(
+    class: &[(AttrSet, TidSet)],
+    kappa: usize,
+    result: &mut HashMap<AttrSet, usize>,
+) {
+    for (i, (itemset_a, tids_a)) in class.iter().enumerate() {
+        let mut next_class: Vec<(AttrSet, TidSet)> = Vec::new();
+        for (itemset_b, tids_b) in &class[i + 1..] {
+            let joined = itemset_a.union(*itemset_b);
+            let tids = tids_a.intersect(tids_b);
+            if tids.len() >= kappa {
+                result.insert(joined, tids.len());
+                next_class.push((joined, tids));
+            }
+        }
+        if !next_class.is_empty() {
+            eclat_recurse(&next_class, kappa, result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use setlat::Universe;
+
+    fn sample_db() -> BasketDb {
+        let u = Universe::of_size(5);
+        BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC").unwrap()
+    }
+
+    #[test]
+    fn tidset_basics() {
+        let mut t = TidSet::empty(130);
+        assert!(t.is_empty());
+        t.insert(0);
+        t.insert(64);
+        t.insert(129);
+        t.insert(129);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(64));
+        assert!(!t.contains(63));
+
+        let mut s = TidSet::empty(130);
+        s.insert(64);
+        s.insert(100);
+        let i = t.intersect(&s);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(64));
+    }
+
+    #[test]
+    fn eclat_matches_apriori() {
+        let db = sample_db();
+        for kappa in [1usize, 2, 3, 4, 6, 11] {
+            let a = apriori(&db, kappa);
+            let e = eclat(&db, kappa);
+            assert_eq!(a.frequent, e, "mismatch at kappa = {kappa}");
+        }
+    }
+
+    #[test]
+    fn eclat_on_empty_database() {
+        let db = BasketDb::new(4);
+        assert!(eclat(&db, 1).is_empty());
+        // At kappa = 0 every itemset has support 0 ≥ 0, so all 2^4 are reported —
+        // exactly as Apriori does.
+        assert_eq!(eclat(&db, 0).len(), 16);
+        assert_eq!(eclat(&db, 0), apriori(&db, 0).frequent);
+    }
+
+    #[test]
+    fn eclat_supports_match_counting() {
+        let db = sample_db();
+        let result = eclat(&db, 2);
+        for (&x, &support) in &result {
+            assert_eq!(support, db.support(x));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Synthetic basket-database generators.
+//!
+//! The paper contains no datasets, so the experiments are driven by synthetic
+//! workloads with controllable structure:
+//!
+//! * [`uniform_random`] — each item appears in each basket independently with a
+//!   fixed probability; the "no structure" baseline, where concise
+//!   representations gain little;
+//! * [`quest_like`] — an IBM-Quest-style generator: a small pool of patterns is
+//!   drawn first and baskets are built as unions of patterns plus noise; this
+//!   produces the correlated data concise representations thrive on;
+//! * [`with_planted_rules`] — post-processes a database so that a given list of
+//!   disjunctive constraints holds exactly, used by the equivalence and
+//!   inference experiments to plant known ground truth.
+
+use crate::basket::BasketDb;
+use crate::disjunctive::DisjunctiveConstraint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setlat::AttrSet;
+
+/// Configuration for the Quest-style generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuestConfig {
+    /// Number of items in the universe.
+    pub num_items: usize,
+    /// Number of baskets to generate.
+    pub num_baskets: usize,
+    /// Number of base patterns to draw.
+    pub num_patterns: usize,
+    /// Average pattern length (geometric-ish, clamped to `[1, num_items]`).
+    pub avg_pattern_len: usize,
+    /// Number of patterns combined per basket.
+    pub patterns_per_basket: usize,
+    /// Probability that an arbitrary noise item is added to a basket.
+    pub noise_prob: f64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            num_items: 12,
+            num_baskets: 200,
+            num_patterns: 6,
+            avg_pattern_len: 3,
+            patterns_per_basket: 2,
+            noise_prob: 0.05,
+        }
+    }
+}
+
+/// Generates a database where each item appears in each basket independently
+/// with probability `item_prob`.
+pub fn uniform_random(
+    seed: u64,
+    num_items: usize,
+    num_baskets: usize,
+    item_prob: f64,
+) -> BasketDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = BasketDb::new(num_items);
+    for _ in 0..num_baskets {
+        let mut basket = AttrSet::EMPTY;
+        for item in 0..num_items {
+            if rng.gen_bool(item_prob.clamp(0.0, 1.0)) {
+                basket.insert(item);
+            }
+        }
+        db.push(basket);
+    }
+    db
+}
+
+/// Generates a Quest-style correlated database.
+pub fn quest_like(seed: u64, config: &QuestConfig) -> BasketDb {
+    assert!(config.num_items >= 1 && config.num_items <= 60);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Draw the pattern pool.
+    let mut patterns: Vec<AttrSet> = Vec::with_capacity(config.num_patterns);
+    for _ in 0..config.num_patterns {
+        let len = rng
+            .gen_range(1..=(2 * config.avg_pattern_len).max(1))
+            .min(config.num_items);
+        let mut pattern = AttrSet::EMPTY;
+        while pattern.len() < len {
+            pattern.insert(rng.gen_range(0..config.num_items));
+        }
+        patterns.push(pattern);
+    }
+
+    let mut db = BasketDb::new(config.num_items);
+    for _ in 0..config.num_baskets {
+        let mut basket = AttrSet::EMPTY;
+        for _ in 0..config.patterns_per_basket.max(1) {
+            let pattern = patterns[rng.gen_range(0..patterns.len())];
+            basket = basket.union(pattern);
+        }
+        for item in 0..config.num_items {
+            if rng.gen_bool(config.noise_prob.clamp(0.0, 1.0)) {
+                basket.insert(item);
+            }
+        }
+        db.push(basket);
+    }
+    db
+}
+
+/// Post-processes `db` so that every constraint in `constraints` is satisfied:
+/// any basket violating a constraint (it contains the antecedent but no
+/// consequent member) gets the smallest consequent member added to it.
+///
+/// The result satisfies every planted constraint by construction — useful
+/// ground truth for the implication and equivalence experiments.  Note that
+/// *additional* constraints may incidentally hold as well.
+pub fn with_planted_rules(db: &BasketDb, constraints: &[DisjunctiveConstraint]) -> BasketDb {
+    let mut baskets: Vec<AttrSet> = db.baskets().to_vec();
+    // Iterate to a fixed point: adding items for one constraint may trigger
+    // another whose antecedent just appeared.
+    loop {
+        let mut changed = false;
+        for basket in baskets.iter_mut() {
+            for c in constraints {
+                if c.lhs.is_subset(*basket) && !c.rhs.iter().any(|y| y.is_subset(*basket)) {
+                    // Add the smallest consequent member (empty family cannot be
+                    // repaired: drop the antecedent instead by clearing one item).
+                    match c.rhs.iter().min_by_key(|y| (y.len(), y.bits())) {
+                        Some(y) => {
+                            *basket = basket.union(y);
+                        }
+                        None => {
+                            // X ⇒ {} requires no basket to contain X at all.
+                            if let Some(item) = c.lhs.min_attr() {
+                                *basket = basket.without(item);
+                            }
+                        }
+                    }
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    BasketDb::from_baskets(db.universe_size(), baskets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::{Family, Universe};
+
+    #[test]
+    fn uniform_random_is_reproducible() {
+        let a = uniform_random(42, 8, 50, 0.3);
+        let b = uniform_random(42, 8, 50, 0.3);
+        let c = uniform_random(43, 8, 50, 0.3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a.universe_size(), 8);
+    }
+
+    #[test]
+    fn uniform_random_extreme_probabilities() {
+        let empty = uniform_random(1, 6, 20, 0.0);
+        assert!(empty.baskets().iter().all(|b| b.is_empty()));
+        let full = uniform_random(1, 6, 20, 1.0);
+        assert!(full.baskets().iter().all(|b| b.len() == 6));
+    }
+
+    #[test]
+    fn quest_like_produces_requested_shape() {
+        let config = QuestConfig {
+            num_items: 10,
+            num_baskets: 100,
+            ..QuestConfig::default()
+        };
+        let db = quest_like(7, &config);
+        assert_eq!(db.len(), 100);
+        assert_eq!(db.universe_size(), 10);
+        // Correlated data: some pair of items should co-occur often.
+        let mut max_pair_support = 0;
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                max_pair_support =
+                    max_pair_support.max(db.support(AttrSet::from_indices([i, j])));
+            }
+        }
+        assert!(max_pair_support > 10, "expected correlated structure");
+    }
+
+    #[test]
+    fn quest_like_is_reproducible() {
+        let config = QuestConfig::default();
+        assert_eq!(quest_like(5, &config), quest_like(5, &config));
+    }
+
+    #[test]
+    fn planted_rules_hold() {
+        let u = Universe::of_size(8);
+        let base = uniform_random(11, 8, 120, 0.25);
+        let constraints = vec![
+            DisjunctiveConstraint::new(
+                u.parse_set("A").unwrap(),
+                Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+            ),
+            DisjunctiveConstraint::new(
+                u.parse_set("E").unwrap(),
+                Family::single(u.parse_set("F").unwrap()),
+            ),
+        ];
+        let planted = with_planted_rules(&base, &constraints);
+        for c in &constraints {
+            assert!(c.satisfied_by(&planted), "planted constraint violated");
+        }
+        assert_eq!(planted.len(), base.len());
+    }
+
+    #[test]
+    fn planting_empty_rhs_removes_antecedent() {
+        let u = Universe::of_size(4);
+        let base = uniform_random(3, 4, 50, 0.5);
+        let constraint =
+            DisjunctiveConstraint::new(u.parse_set("AB").unwrap(), Family::empty());
+        let planted = with_planted_rules(&base, std::slice::from_ref(&constraint));
+        assert!(constraint.satisfied_by(&planted));
+        assert_eq!(planted.support(u.parse_set("AB").unwrap()), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # fis — frequent-itemset substrate
+//!
+//! Section 6 of *Differential Constraints* (Sayrafi & Van Gucht, PODS 2005)
+//! connects differential constraints to the frequent-itemset (FIS) problem:
+//! the support function `s_B` of a list of baskets `B` is a *frequency
+//! function* (its density is nonnegative), a basket list satisfies the
+//! disjunctive constraint `X ⇒disj 𝒴` iff `s_B` satisfies the differential
+//! constraint `X → 𝒴` (Proposition 6.3), and the implication problems coincide
+//! (Proposition 6.4).  Section 6.1.1 then applies this to *concise
+//! representations* of frequent itemsets (the `FDFree`/`Bd⁻` representation of
+//! Bykowski & Rigotti).
+//!
+//! This crate provides the machinery those sections rely on:
+//!
+//! * [`basket`] — transaction (basket) databases over an item universe;
+//! * [`support`] — support functions, exact-multiplicity functions and their
+//!   densities (the identity `d_{s_B} = d^B` of Section 6.1);
+//! * [`apriori`] — the levelwise Apriori algorithm, including the negative
+//!   border it explores;
+//! * [`eclat`] — a vertical (tidset-intersection) miner used as a baseline;
+//! * [`border`] — positive and negative borders of the frequent itemsets;
+//! * [`disjunctive`] — disjunctive constraints and rules, disjunctive and
+//!   disjunctive-free itemsets (Definitions 6.1 and 6.2);
+//! * [`condensed`] — the `FDFree`/`Bd⁻` condensed representation and support
+//!   reconstruction from it;
+//! * [`generator`] — synthetic basket generators (Quest-style and
+//!   constraint-planted) used by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod basket;
+pub mod border;
+pub mod condensed;
+pub mod disjunctive;
+pub mod eclat;
+pub mod generator;
+pub mod ndi;
+pub mod support;
+
+pub use basket::BasketDb;
+pub use disjunctive::DisjunctiveConstraint;

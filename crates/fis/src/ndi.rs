@@ -1,0 +1,263 @@
+//! Non-derivable itemsets (Calders & Goethals), the deduction-rule companion to
+//! the disjunction-free representation of Section 6.1.1.
+//!
+//! For an itemset `I` and any subset `X ⊆ I`, inclusion–exclusion over the
+//! supports of the sets between `X` and `I` yields a *deduction rule*
+//!
+//! ```text
+//! σ(I) ≤ Σ_{X ⊆ J ⊂ I} (−1)^{|I∖J|+1} σ(J)     when |I ∖ X| is odd,
+//! σ(I) ≥ Σ_{X ⊆ J ⊂ I} (−1)^{|I∖J|+1} σ(J)     when |I ∖ X| is even.
+//! ```
+//!
+//! Taking the tightest bounds over all `X` gives an interval `[lo(I), hi(I)]`
+//! guaranteed to contain `σ(I)`.  An itemset whose interval is a single point
+//! is *derivable*: its support follows from the supports of its proper subsets
+//! without counting — the same spirit as the disjunctive rules of the paper
+//! (indeed a satisfied disjunctive rule forces one of these bounds to be
+//! tight).  The *non-derivable itemsets* (NDI) therefore form yet another
+//! concise representation; this module implements the bounds, the derivability
+//! test and the NDI collection so the experiments can compare it with the
+//! `FDFree`/`Bd⁻` representation.
+
+use crate::basket::BasketDb;
+use setlat::{powerset, AttrSet};
+use std::collections::HashMap;
+
+/// The deduction interval `[lower, upper]` for the support of an itemset,
+/// computed from the supports of its proper subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportBounds {
+    /// The greatest lower bound obtained from the even-difference rules.
+    pub lower: i64,
+    /// The least upper bound obtained from the odd-difference rules.
+    pub upper: i64,
+}
+
+impl SupportBounds {
+    /// Returns `true` iff the interval pins the support to a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+
+    /// Width of the interval (`upper − lower`).
+    pub fn width(&self) -> i64 {
+        self.upper - self.lower
+    }
+}
+
+/// Computes the deduction bounds of `itemset` given a support oracle for its
+/// proper subsets.
+///
+/// `support_of` must return the exact support of every proper subset of
+/// `itemset`; the empty itemset's support (the database size) is included.
+///
+/// # Panics
+/// Panics if `itemset` is empty (the bounds are defined from proper subsets).
+pub fn deduction_bounds_with<F: FnMut(AttrSet) -> usize>(
+    itemset: AttrSet,
+    mut support_of: F,
+) -> SupportBounds {
+    assert!(
+        !itemset.is_empty(),
+        "deduction bounds are defined for nonempty itemsets"
+    );
+    let mut lower = i64::MIN;
+    let mut upper = i64::MAX;
+    // One rule per subset X ⊆ I (X ≠ I).
+    for x in powerset::proper_subsets(itemset) {
+        let missing = itemset.difference(x).len();
+        // Σ_{X ⊆ J ⊂ I} (−1)^{|I∖J|+1} σ(J)
+        let mut bound: i64 = 0;
+        for j in powerset::interval(x, itemset) {
+            if j == itemset {
+                continue;
+            }
+            let sign = if (itemset.difference(j).len() + 1).is_multiple_of(2) {
+                1i64
+            } else {
+                -1i64
+            };
+            bound += sign * support_of(j) as i64;
+        }
+        if missing % 2 == 1 {
+            upper = upper.min(bound);
+        } else {
+            lower = lower.max(bound);
+        }
+    }
+    // Supports are nonnegative, and every itemset's support is bounded by the
+    // support of any of its subsets; the rules above already imply both, but
+    // clamp defensively for the degenerate single-rule cases.
+    lower = lower.max(0);
+    SupportBounds { lower, upper }
+}
+
+/// Computes the deduction bounds of `itemset` directly against a database.
+pub fn deduction_bounds(db: &BasketDb, itemset: AttrSet) -> SupportBounds {
+    deduction_bounds_with(itemset, |j| db.support(j))
+}
+
+/// Returns `true` iff the support of `itemset` is derivable from its proper
+/// subsets' supports (the deduction interval is a single point).
+pub fn is_derivable(db: &BasketDb, itemset: AttrSet) -> bool {
+    deduction_bounds(db, itemset).is_exact()
+}
+
+/// The non-derivable-itemset representation at threshold `kappa`: every
+/// frequent itemset that is *not* derivable, stored with its support.  The
+/// empty itemset is always included (its support, `|B|`, cannot be deduced from
+/// anything).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdiRepresentation {
+    /// The support threshold.
+    pub kappa: usize,
+    /// Frequent non-derivable itemsets with their supports.
+    pub itemsets: HashMap<AttrSet, usize>,
+}
+
+impl NdiRepresentation {
+    /// Builds the representation by exhaustive enumeration over the universe
+    /// (intended for the ≤ 16-item universes used in the experiments).
+    pub fn build(db: &BasketDb, kappa: usize) -> Self {
+        let n = db.universe_size();
+        assert!(n <= 20, "NDI enumeration over more than 20 items is infeasible");
+        let mut itemsets = HashMap::new();
+        if db.len() >= kappa {
+            itemsets.insert(AttrSet::EMPTY, db.len());
+        }
+        for mask in 1u64..(1u64 << n) {
+            let itemset = AttrSet::from_bits(mask);
+            let support = db.support(itemset);
+            if support >= kappa && !is_derivable(db, itemset) {
+                itemsets.insert(itemset, support);
+            }
+        }
+        NdiRepresentation { kappa, itemsets }
+    }
+
+    /// Number of stored itemsets.
+    pub fn size(&self) -> usize {
+        self.itemsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::border;
+    use crate::generator;
+    use setlat::Universe;
+
+    fn sample() -> (Universe, BasketDb) {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC\nAB").unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn bounds_contain_true_support() {
+        let (u, db) = sample();
+        for mask in 1u64..(1u64 << u.len()) {
+            let itemset = AttrSet::from_bits(mask);
+            let bounds = deduction_bounds(&db, itemset);
+            let truth = db.support(itemset) as i64;
+            assert!(
+                bounds.lower <= truth && truth <= bounds.upper,
+                "bounds {bounds:?} miss true support {truth} for {itemset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_bounds_are_trivial() {
+        // For a single item the only rule is X = ∅ (even difference? |I∖∅| = 1 odd):
+        // σ(I) ≤ σ(∅); the lower bound degenerates to 0.
+        let (_u, db) = sample();
+        let bounds = deduction_bounds(&db, AttrSet::singleton(0));
+        assert_eq!(bounds.upper, db.len() as i64);
+        assert_eq!(bounds.lower, 0);
+    }
+
+    #[test]
+    fn derivable_itemsets_have_exact_bounds() {
+        let (u, db) = sample();
+        for mask in 1u64..(1u64 << u.len()) {
+            let itemset = AttrSet::from_bits(mask);
+            let bounds = deduction_bounds(&db, itemset);
+            if bounds.is_exact() {
+                assert_eq!(bounds.lower, db.support(itemset) as i64);
+                assert!(is_derivable(&db, itemset));
+            } else {
+                assert!(!is_derivable(&db, itemset));
+                assert!(bounds.width() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_style_rule_makes_strict_supersets_derivable() {
+        // If every basket containing A contains B (A ⇒ B), then for any I ⊋ {A,B}
+        // the upper bound from X = I − {B} (σ(I) ≤ σ(I−{B})) meets the lower bound
+        // from X = I − {B, c} for any third item c, pinning σ(I) exactly.  The
+        // two-element set {A,B} itself is *not* derivable — deduction at level 2
+        // only yields the interval [σ(A)+σ(B)−σ(∅), min(σ(A), σ(B))].
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nABD\nB\nC\nCD\nABCD").unwrap();
+        assert_eq!(db.support(u.parse_set("A").unwrap()), db.support(u.parse_set("AB").unwrap()));
+        for extra in ["C", "D", "CD"] {
+            let itemset = u.parse_set(&format!("AB{extra}")).unwrap();
+            assert!(
+                is_derivable(&db, itemset),
+                "itemset AB∪{extra:?} should be derivable from A ⇒ B"
+            );
+        }
+        // Level-2 interval is the classical inclusion–exclusion sandwich.
+        let bounds = deduction_bounds(&db, u.parse_set("AB").unwrap());
+        assert_eq!(bounds.lower, 4 + 5 - 7);
+        assert_eq!(bounds.upper, 4);
+        assert!(!is_derivable(&db, u.parse_set("AB").unwrap()));
+    }
+
+    #[test]
+    fn ndi_representation_is_a_subset_of_the_frequent_collection() {
+        let (_u, db) = sample();
+        for kappa in [1usize, 2, 3, 5] {
+            let ndi = NdiRepresentation::build(&db, kappa);
+            let frequent = border::count_frequent(&db, kappa);
+            assert!(ndi.size() <= frequent);
+            for (&itemset, &support) in &ndi.itemsets {
+                assert_eq!(support, db.support(itemset));
+                assert!(support >= kappa);
+            }
+        }
+    }
+
+    #[test]
+    fn ndi_is_small_on_correlated_data() {
+        // Quest-style data has heavy structure, so most frequent itemsets are
+        // derivable and the NDI collection is much smaller.
+        let db = generator::quest_like(
+            3,
+            &generator::QuestConfig {
+                num_items: 8,
+                num_baskets: 120,
+                ..generator::QuestConfig::default()
+            },
+        );
+        let kappa = 12;
+        let ndi = NdiRepresentation::build(&db, kappa);
+        let frequent = border::count_frequent(&db, kappa);
+        assert!(
+            ndi.size() * 2 < frequent.max(1),
+            "expected NDI ({}) to be well under half of the frequent collection ({frequent})",
+            ndi.size()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_itemset_rejected() {
+        let (_u, db) = sample();
+        let _ = deduction_bounds(&db, AttrSet::EMPTY);
+    }
+}

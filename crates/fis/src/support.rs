@@ -1,0 +1,202 @@
+//! Support functions and their densities (Section 6.1 of the paper).
+//!
+//! For a basket database `B` over `S`, the support function `s_B : 2^S → ℝ`
+//! maps each itemset to the number of baskets containing it.  The paper's key
+//! observation (Section 6.1) is that the density function of `s_B` is the
+//! exact-multiplicity function `d^B(X) = |{i | B[i] = X}|`, which is
+//! nonnegative — hence every support function is a *frequency function*, and by
+//! Proposition 2.9 all its differentials are nonnegative.
+
+use crate::basket::BasketDb;
+use setlat::{differential, mobius, AttrSet, Family, SetFunction};
+
+/// Materializes the support function `s_B` as a dense [`SetFunction`].
+///
+/// Instead of counting each itemset separately (`O(4^n)`-ish), this builds the
+/// exact-multiplicity table `d^B` in one pass over the baskets and applies the
+/// zeta transform (equation (5) of the paper): `s_B(X) = Σ_{X ⊆ U} d^B(U)`.
+pub fn support_function(db: &BasketDb) -> SetFunction {
+    mobius::from_density(&exact_count_function(db))
+}
+
+/// Materializes the exact-multiplicity function `d^B` as a dense [`SetFunction`].
+pub fn exact_count_function(db: &BasketDb) -> SetFunction {
+    let mut d = SetFunction::zeros(db.universe_size());
+    for &basket in db.baskets() {
+        d.add(basket, 1.0);
+    }
+    d
+}
+
+/// Reconstructs *a* basket database from a nonnegative integer-valued density
+/// function: the database containing `d(X)` copies of the basket `X`.
+///
+/// This is the paper's observation that "it is possible to induce a basket
+/// space from each of these functions, and vice versa" (Section 6): it is the
+/// inverse of [`exact_count_function`] up to basket order.
+///
+/// # Panics
+/// Panics if any density value is negative or not (close to) an integer.
+pub fn database_from_density(density: &SetFunction) -> BasketDb {
+    let n = density.universe_size();
+    let mut db = BasketDb::new(n);
+    for (x, v) in density.iter() {
+        assert!(
+            v >= -1e-9,
+            "density must be nonnegative to induce a basket database (got {v} at {x:?})"
+        );
+        let count = v.round();
+        assert!(
+            (v - count).abs() < 1e-9,
+            "density must be integer-valued to induce a basket database (got {v} at {x:?})"
+        );
+        for _ in 0..count as usize {
+            db.push(x);
+        }
+    }
+    db
+}
+
+/// Returns `true` iff the support function of `db` is a frequency function
+/// (it always is; exposed so tests can confirm the claim of Section 6.1).
+pub fn support_is_frequency_function(db: &BasketDb) -> bool {
+    differential::is_frequency_function(&support_function(db), 1e-9)
+}
+
+/// The `𝒴`-differential of the support function evaluated at `X`, computed
+/// directly on the database by inclusion–exclusion over the members of `𝒴`.
+///
+/// For frequency functions the paper notes that `f ⊨ X → 𝒴` iff
+/// `D^𝒴_f(X) = 0`; this helper lets callers evaluate that criterion without
+/// materializing the dense support table.
+pub fn support_differential(db: &BasketDb, x: AttrSet, fam: &Family) -> f64 {
+    let members = fam.members();
+    let k = members.len();
+    assert!(k <= 30, "family too large for inclusion-exclusion");
+    let mut acc = 0.0;
+    for chooser in 0u64..(1u64 << k) {
+        let mut union = x;
+        for (i, &m) in members.iter().enumerate() {
+            if (chooser >> i) & 1 == 1 {
+                union = union.union(m);
+            }
+        }
+        let sign = if chooser.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * db.support(union) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample_db() -> (Universe, BasketDb) {
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB\nABCD\nAB").unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn support_function_matches_direct_counting() {
+        let (u, db) = sample_db();
+        let s = support_function(&db);
+        for x in u.all_subsets() {
+            assert_eq!(s.get(x), db.support(x) as f64, "mismatch at {x:?}");
+        }
+    }
+
+    #[test]
+    fn density_of_support_is_exact_count() {
+        // Section 6.1: d_{s_B} = d^B.
+        let (u, db) = sample_db();
+        let s = support_function(&db);
+        let density = mobius::density_function(&s);
+        for x in u.all_subsets() {
+            assert!(
+                (density.get(x) - db.exact_count(x) as f64).abs() < 1e-9,
+                "d_sB({x:?}) = {} but exact count = {}",
+                density.get(x),
+                db.exact_count(x)
+            );
+        }
+    }
+
+    #[test]
+    fn support_functions_are_frequency_functions() {
+        let (_u, db) = sample_db();
+        assert!(support_is_frequency_function(&db));
+        assert!(support_is_frequency_function(&BasketDb::new(3)));
+    }
+
+    #[test]
+    fn database_from_density_roundtrip() {
+        let (u, db) = sample_db();
+        let rebuilt = database_from_density(&exact_count_function(&db));
+        // Same multiset of baskets (order may differ).
+        assert_eq!(rebuilt.len(), db.len());
+        for x in u.all_subsets() {
+            assert_eq!(rebuilt.exact_count(x), db.exact_count(x));
+            assert_eq!(rebuilt.support(x), db.support(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_density_rejected() {
+        let mut d = SetFunction::zeros(2);
+        d.set(AttrSet::EMPTY, -1.0);
+        let _ = database_from_density(&d);
+    }
+
+    #[test]
+    fn support_differential_matches_dense() {
+        let (u, db) = sample_db();
+        let s = support_function(&db);
+        let fams = [
+            Family::empty(),
+            Family::single(u.parse_set("B").unwrap()),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        ];
+        for x in u.all_subsets() {
+            for fam in &fams {
+                let direct = support_differential(&db, x, fam);
+                let dense = differential::differential_at(&s, x, fam);
+                assert!((direct - dense).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn differentials_of_support_are_nonnegative() {
+        // The defining property of frequency functions, checked on a handful of
+        // families.
+        let (u, db) = sample_db();
+        let families = [
+            Family::empty(),
+            Family::single(u.parse_set("C").unwrap()),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+            Family::from_sets([u.parse_set("A").unwrap(), u.parse_set("B").unwrap(), u.parse_set("D").unwrap()]),
+        ];
+        for x in u.all_subsets() {
+            for fam in &families {
+                assert!(support_differential(&db, x, fam) >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn intro_constraint_semantics() {
+        // Introduction: f(X) = f(X ∪ Y) means every basket containing X also
+        // contains Y.  Build a database where every basket containing A contains B.
+        let u = Universe::of_size(3);
+        let db = BasketDb::parse(&u, "AB\nABC\nB\nC").unwrap();
+        let x = u.parse_set("A").unwrap();
+        let y = u.parse_set("B").unwrap();
+        assert_eq!(db.support(x), db.support(x.union(y)));
+        // And the differential D^{Y}_s(X) = 0.
+        let fam = Family::single(y);
+        assert_eq!(support_differential(&db, x, &fam), 0.0);
+    }
+}

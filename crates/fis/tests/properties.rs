@@ -1,0 +1,142 @@
+//! Property-based tests for the frequent-itemset substrate.
+
+use fis::basket::BasketDb;
+use fis::condensed::{CondensedRepresentation, DerivedStatus};
+use fis::disjunctive::DisjunctiveConstraint;
+use fis::{apriori, border, eclat, ndi, support};
+use proptest::prelude::*;
+use setlat::{mobius, AttrSet, Family, Universe};
+
+const N: usize = 5;
+
+fn arb_basket() -> impl Strategy<Value = AttrSet> {
+    (0u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_db() -> impl Strategy<Value = BasketDb> {
+    proptest::collection::vec(arb_basket(), 0..25)
+        .prop_map(|baskets| BasketDb::from_baskets(N, baskets))
+}
+
+fn arb_nonempty_set() -> impl Strategy<Value = AttrSet> {
+    (1u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::collection::vec(arb_nonempty_set(), 0..3).prop_map(Family::from_sets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apriori, Eclat and brute-force counting agree on every database and threshold.
+    #[test]
+    fn miners_agree(db in arb_db(), kappa in 0usize..12) {
+        let a = apriori::apriori(&db, kappa);
+        let e = eclat::eclat(&db, kappa);
+        let brute = apriori::frequent_itemsets_bruteforce(&db, kappa);
+        prop_assert_eq!(&a.frequent, &e);
+        prop_assert_eq!(&a.frequent, &brute);
+    }
+
+    /// The negative border characterizes frequency status exactly.
+    #[test]
+    fn negative_border_characterizes_frequency(db in arb_db(), kappa in 1usize..10) {
+        let neg = border::negative_border(&db, kappa);
+        let u = Universe::of_size(N);
+        for x in u.all_subsets() {
+            prop_assert_eq!(
+                border::is_frequent_by_negative_border(&neg, x),
+                db.support(x) >= kappa
+            );
+        }
+    }
+
+    /// The support function's density is the exact-multiplicity function (Section 6.1)
+    /// and is nonnegative (support functions are frequency functions).
+    #[test]
+    fn support_density_is_exact_count(db in arb_db()) {
+        let s = support::support_function(&db);
+        let density = mobius::density_function(&s);
+        let u = Universe::of_size(N);
+        for x in u.all_subsets() {
+            prop_assert!((density.get(x) - db.exact_count(x) as f64).abs() < 1e-9);
+            prop_assert!(density.get(x) >= -1e-9);
+        }
+    }
+
+    /// Support is antitone: X ⊆ Y implies supp(X) ≥ supp(Y) (the Apriori rule).
+    #[test]
+    fn support_is_antitone(db in arb_db(), x in arb_basket(), y in arb_basket()) {
+        let (small, large) = (x.intersect(y), x.union(y));
+        prop_assert!(db.support(small) >= db.support(large));
+    }
+
+    /// Disjunctive-constraint satisfaction matches the cover identity of Definition 6.1.
+    #[test]
+    fn disjunctive_definitions_agree(db in arb_db(), lhs in arb_basket(), fam in arb_family()) {
+        let c = DisjunctiveConstraint::new(lhs, fam);
+        prop_assert_eq!(c.satisfied_by(&db), c.satisfied_by_cover_identity(&db));
+    }
+
+    /// Trivial disjunctive constraints hold in every database; constraints with an
+    /// empty family hold exactly when the antecedent is contained in no basket.
+    #[test]
+    fn disjunctive_degenerate_cases(db in arb_db(), lhs in arb_basket()) {
+        let trivial = DisjunctiveConstraint::new(lhs, Family::single(lhs));
+        prop_assert!(trivial.satisfied_by(&db));
+        let empty_rhs = DisjunctiveConstraint::new(lhs, Family::empty());
+        prop_assert_eq!(empty_rhs.satisfied_by(&db), db.support(lhs) == 0);
+    }
+
+    /// The condensed FDFree/Bd⁻ representation is lossless: it reports the exact
+    /// support of every frequent itemset and the correct status of every other.
+    #[test]
+    fn condensed_representation_is_lossless(db in arb_db(), kappa in 1usize..8) {
+        let repr = CondensedRepresentation::build(&db, kappa);
+        let u = Universe::of_size(N);
+        for x in u.all_subsets() {
+            match repr.derive(x) {
+                DerivedStatus::Frequent(s) => {
+                    prop_assert!(db.support(x) >= kappa);
+                    prop_assert_eq!(s, db.support(x));
+                }
+                DerivedStatus::Infrequent => prop_assert!(db.support(x) < kappa),
+            }
+        }
+    }
+
+    /// Deduction bounds always contain the true support, and exact bounds identify it.
+    #[test]
+    fn ndi_bounds_are_sound(db in arb_db(), itemset in arb_nonempty_set()) {
+        let bounds = ndi::deduction_bounds(&db, itemset);
+        let truth = db.support(itemset) as i64;
+        prop_assert!(bounds.lower <= truth);
+        prop_assert!(truth <= bounds.upper);
+        if bounds.is_exact() {
+            prop_assert_eq!(bounds.lower, truth);
+        }
+    }
+
+    /// The NDI representation only stores frequent itemsets with correct supports.
+    #[test]
+    fn ndi_representation_is_consistent(db in arb_db(), kappa in 1usize..8) {
+        let repr = ndi::NdiRepresentation::build(&db, kappa);
+        for (&itemset, &support) in &repr.itemsets {
+            prop_assert!(support >= kappa);
+            prop_assert_eq!(support, db.support(itemset));
+        }
+        prop_assert!(repr.size() <= border::count_frequent(&db, kappa));
+    }
+
+    /// Reconstructing a database from its exact-multiplicity function preserves
+    /// all supports (the paper's basket-space ↔ frequency-function correspondence).
+    #[test]
+    fn database_density_roundtrip(db in arb_db()) {
+        let rebuilt = support::database_from_density(&support::exact_count_function(&db));
+        let u = Universe::of_size(N);
+        for x in u.all_subsets() {
+            prop_assert_eq!(rebuilt.support(x), db.support(x));
+        }
+    }
+}

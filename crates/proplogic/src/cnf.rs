@@ -1,0 +1,381 @@
+//! Clausal form: literals, clauses, CNF, and conversion from formulas.
+//!
+//! Two converters are provided:
+//!
+//! * [`Cnf::from_formula_distributive`] — textbook distribution of `∨` over `∧`
+//!   on the NNF; exact (no auxiliary variables) but worst-case exponential.
+//!   Fine for the small formulas produced by individual constraints.
+//! * [`Cnf::from_formula_tseitin`] — the Tseitin transformation; linear size,
+//!   introduces one fresh variable per connective, equisatisfiable (used by the
+//!   SAT-backed implication procedure where only satisfiability matters).
+
+use crate::formula::Formula;
+use setlat::AttrSet;
+use std::fmt;
+
+/// A literal: a propositional variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` when the literal is negated (`¬v`).
+    pub negated: bool,
+}
+
+impl Lit {
+    /// The positive literal `v`.
+    pub fn pos(var: usize) -> Lit {
+        Lit {
+            var,
+            negated: false,
+        }
+    }
+
+    /// The negative literal `¬v`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, negated: true }
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit {
+            var: self.var,
+            negated: !self.negated,
+        }
+    }
+
+    /// Evaluates the literal under an assignment (set of true variables).
+    pub fn eval(self, assignment: AttrSet) -> bool {
+        assignment.contains(self.var) != self.negated
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "¬v{}", self.var)
+        } else {
+            write!(f, "v{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.  The empty clause is `false`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    /// The literals of the clause, sorted and deduplicated.
+    pub lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Builds a clause from literals, normalizing (sorted, deduplicated).
+    pub fn new<I: IntoIterator<Item = Lit>>(lits: I) -> Clause {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        Clause { lits }
+    }
+
+    /// Returns `true` iff the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` iff the clause contains both a literal and its negation
+    /// and is therefore a tautology.
+    pub fn is_tautological(&self) -> bool {
+        self.lits
+            .iter()
+            .any(|&l| self.lits.contains(&l.negate()))
+    }
+
+    /// Evaluates the clause under an assignment.
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment))
+    }
+
+    /// The number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Clause{:?}", self.lits)
+    }
+}
+
+/// A formula in conjunctive normal form: a conjunction of clauses.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// The clauses of the formula.
+    pub clauses: Vec<Clause>,
+    /// Number of variables (original + auxiliary); variable indices are `< num_vars`.
+    pub num_vars: usize,
+}
+
+impl Cnf {
+    /// The empty CNF (no clauses), which is trivially satisfiable.
+    pub fn empty(num_vars: usize) -> Cnf {
+        Cnf {
+            clauses: Vec::new(),
+            num_vars,
+        }
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, clause: Clause) {
+        for lit in &clause.lits {
+            if lit.var >= self.num_vars {
+                self.num_vars = lit.var + 1;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the CNF under an assignment of the *original* variables.
+    ///
+    /// Only meaningful for CNFs without auxiliary variables (i.e. produced by
+    /// the distributive conversion).
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` iff there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Converts a formula to an *equivalent* CNF by distributing `∨` over `∧` on
+    /// the negation-normal form.  No auxiliary variables are introduced, so the
+    /// result can be evaluated directly, but the size may blow up exponentially.
+    pub fn from_formula_distributive(formula: &Formula, num_vars: usize) -> Cnf {
+        let nnf = formula.nnf();
+        let mut cnf = Cnf::empty(num_vars);
+        let clause_sets = distribute(&nnf);
+        for lits in clause_sets {
+            let clause = Clause::new(lits);
+            if !clause.is_tautological() {
+                cnf.push(clause);
+            }
+        }
+        cnf
+    }
+
+    /// Converts a formula to an *equisatisfiable* CNF via the Tseitin
+    /// transformation.  Auxiliary variables are numbered from `num_vars` upward.
+    pub fn from_formula_tseitin(formula: &Formula, num_vars: usize) -> Cnf {
+        let mut builder = TseitinBuilder {
+            cnf: Cnf::empty(num_vars),
+            next_var: num_vars,
+        };
+        let root = builder.encode(&formula.nnf());
+        builder.cnf.push(Clause::new([root]));
+        builder.cnf.num_vars = builder.next_var;
+        builder.cnf
+    }
+}
+
+impl fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cnf({} clauses, {} vars)",
+            self.clauses.len(),
+            self.num_vars
+        )
+    }
+}
+
+/// Returns, for an NNF formula, a list of clauses (each a list of literals)
+/// whose conjunction is equivalent to the formula.
+fn distribute(f: &Formula) -> Vec<Vec<Lit>> {
+    match f {
+        Formula::True => vec![],
+        Formula::False => vec![vec![]],
+        Formula::Var(v) => vec![vec![Lit::pos(*v)]],
+        Formula::Not(inner) => match **inner {
+            Formula::Var(v) => vec![vec![Lit::neg(v)]],
+            Formula::True => vec![vec![]],
+            Formula::False => vec![],
+            _ => unreachable!("input must be in NNF"),
+        },
+        Formula::And(fs) => fs.iter().flat_map(distribute).collect(),
+        Formula::Or(fs) => {
+            let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+            for sub in fs {
+                let sub_clauses = distribute(sub);
+                let mut next = Vec::with_capacity(acc.len() * sub_clauses.len().max(1));
+                for a in &acc {
+                    for s in &sub_clauses {
+                        let mut merged = a.clone();
+                        merged.extend_from_slice(s);
+                        next.push(merged);
+                    }
+                }
+                // Or of something with an empty clause list (⊤) makes the whole
+                // disjunction ⊤: no clauses at all.
+                if sub_clauses.is_empty() {
+                    return vec![];
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Implies(..) | Formula::Iff(..) => unreachable!("input must be in NNF"),
+    }
+}
+
+struct TseitinBuilder {
+    cnf: Cnf,
+    next_var: usize,
+}
+
+impl TseitinBuilder {
+    fn fresh(&mut self) -> usize {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    /// Returns a literal equivalent (in the equisatisfiable sense) to the NNF formula.
+    fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::True => {
+                let v = self.fresh();
+                self.cnf.push(Clause::new([Lit::pos(v)]));
+                Lit::pos(v)
+            }
+            Formula::False => {
+                let v = self.fresh();
+                self.cnf.push(Clause::new([Lit::neg(v)]));
+                Lit::pos(v)
+            }
+            Formula::Var(v) => Lit::pos(*v),
+            Formula::Not(inner) => match **inner {
+                Formula::Var(v) => Lit::neg(v),
+                _ => unreachable!("input must be in NNF"),
+            },
+            Formula::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|sub| self.encode(sub)).collect();
+                let out = Lit::pos(self.fresh());
+                // out ⇒ each lit
+                for &l in &lits {
+                    self.cnf.push(Clause::new([out.negate(), l]));
+                }
+                // all lits ⇒ out
+                let mut clause: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+                clause.push(out);
+                self.cnf.push(Clause::new(clause));
+                out
+            }
+            Formula::Or(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|sub| self.encode(sub)).collect();
+                let out = Lit::pos(self.fresh());
+                // out ⇒ some lit
+                let mut clause: Vec<Lit> = lits.clone();
+                clause.push(out.negate());
+                self.cnf.push(Clause::new(clause));
+                // each lit ⇒ out
+                for &l in &lits {
+                    self.cnf.push(Clause::new([l.negate(), out]));
+                }
+                out
+            }
+            Formula::Implies(..) | Formula::Iff(..) => unreachable!("input must be in NNF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{DpllSolver, SatResult};
+
+    fn example_formula() -> Formula {
+        // (A ⇒ B ∨ (C ∧ D)) ∧ (¬D ∨ A)
+        Formula::and([
+            Formula::implies(
+                Formula::var(0),
+                Formula::or([
+                    Formula::var(1),
+                    Formula::and([Formula::var(2), Formula::var(3)]),
+                ]),
+            ),
+            Formula::or([Formula::not(Formula::var(3)), Formula::var(0)]),
+        ])
+    }
+
+    #[test]
+    fn lit_eval_and_negate() {
+        let l = Lit::pos(2);
+        assert!(l.eval(AttrSet::from_indices([2])));
+        assert!(!l.eval(AttrSet::EMPTY));
+        assert!(l.negate().eval(AttrSet::EMPTY));
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn clause_normalization_and_tautology() {
+        let c = Clause::new([Lit::pos(1), Lit::pos(0), Lit::pos(1)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_tautological());
+        let t = Clause::new([Lit::pos(0), Lit::neg(0)]);
+        assert!(t.is_tautological());
+        assert!(Clause::new([]).is_empty());
+    }
+
+    #[test]
+    fn distributive_cnf_is_equivalent() {
+        let f = example_formula();
+        let cnf = Cnf::from_formula_distributive(&f, 4);
+        for mask in 0u64..16 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), cnf.eval(a), "differs at {a:?}");
+        }
+    }
+
+    #[test]
+    fn distributive_cnf_of_constants() {
+        let t = Cnf::from_formula_distributive(&Formula::True, 2);
+        assert!(t.is_empty());
+        let f = Cnf::from_formula_distributive(&Formula::False, 2);
+        assert!(f.clauses.iter().any(Clause::is_empty));
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable() {
+        // For each assignment of the original variables: the formula is true iff
+        // the Tseitin CNF (restricted by unit-forcing those originals) is SAT.
+        let f = example_formula();
+        for mask in 0u64..16 {
+            let a = AttrSet::from_bits(mask);
+            let mut cnf = Cnf::from_formula_tseitin(&f, 4);
+            for v in 0..4 {
+                let lit = if a.contains(v) { Lit::pos(v) } else { Lit::neg(v) };
+                cnf.push(Clause::new([lit]));
+            }
+            let sat = matches!(DpllSolver::new(cnf).solve(), SatResult::Sat(_));
+            assert_eq!(f.eval(a), sat, "Tseitin differs at {a:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_size_is_linear() {
+        // A long chain of disjunctions of conjunctions would explode
+        // distributively; Tseitin stays linear in the formula size.
+        let mut parts = Vec::new();
+        for i in 0..10 {
+            parts.push(Formula::and([Formula::var(2 * i), Formula::var(2 * i + 1)]));
+        }
+        let f = Formula::or(parts);
+        let tseitin = Cnf::from_formula_tseitin(&f, 20);
+        assert!(tseitin.len() <= 3 * f.size());
+    }
+}

@@ -1,0 +1,176 @@
+//! Disjunctive normal form and the DNF-tautology problem.
+//!
+//! The coNP-hardness proof of Proposition 5.5 reduces from the problem of
+//! deciding whether a propositional formula in disjunctive normal form is a
+//! tautology.  A DNF formula is a disjunction of *terms*; each term is a
+//! conjunction of literals, described here by the pair `(P_ψ, Q_ψ)` of sets of
+//! positively and negatively occurring variables — exactly the notation used in
+//! the paper's proof.
+
+use crate::formula::Formula;
+use setlat::{AttrSet, Universe};
+
+/// One DNF term `⋀ P ∧ ⋀_{q ∈ Q} ¬q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DnfTerm {
+    /// The positively occurring variables `P_ψ`.
+    pub positive: AttrSet,
+    /// The negatively occurring variables `Q_ψ`.
+    pub negative: AttrSet,
+}
+
+impl DnfTerm {
+    /// Creates a term; a variable may not occur both positively and negatively
+    /// (such a term would be contradictory — represent it by any `P ∩ Q ≠ ∅`
+    /// term and [`DnfTerm::is_contradictory`] will report it).
+    pub fn new(positive: AttrSet, negative: AttrSet) -> DnfTerm {
+        DnfTerm { positive, negative }
+    }
+
+    /// Returns `true` iff the term contains a variable both positively and
+    /// negatively and is therefore unsatisfiable.
+    pub fn is_contradictory(&self) -> bool {
+        self.positive.intersects(self.negative)
+    }
+
+    /// Evaluates the term under an assignment.
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        self.positive.is_subset(assignment) && self.negative.is_disjoint(assignment)
+    }
+
+    /// Converts the term to a [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        let pos = self.positive.iter().map(Formula::var);
+        let neg = self.negative.iter().map(|v| Formula::not(Formula::var(v)));
+        Formula::and(pos.chain(neg))
+    }
+}
+
+/// A formula in disjunctive normal form: `⋁_ψ (⋀ P_ψ ∧ ⋀_{q ∈ Q_ψ} ¬q)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dnf {
+    /// The terms of the disjunction.
+    pub terms: Vec<DnfTerm>,
+}
+
+impl Dnf {
+    /// Creates a DNF formula from terms.
+    pub fn new<I: IntoIterator<Item = DnfTerm>>(terms: I) -> Dnf {
+        Dnf {
+            terms: terms.into_iter().collect(),
+        }
+    }
+
+    /// Evaluates the DNF under an assignment.
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        self.terms.iter().any(|t| t.eval(assignment))
+    }
+
+    /// Converts the DNF to a [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::or(self.terms.iter().map(DnfTerm::to_formula))
+    }
+
+    /// The set of variables occurring in the DNF.
+    pub fn variables(&self) -> AttrSet {
+        self.terms.iter().fold(AttrSet::EMPTY, |acc, t| {
+            acc.union(t.positive).union(t.negative)
+        })
+    }
+
+    /// Exhaustive tautology check over the given universe (reference
+    /// implementation; exponential in `|S|`).
+    pub fn is_tautology_exhaustive(&self, universe: &Universe) -> bool {
+        universe.all_subsets().all(|x| self.eval(x))
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` iff the DNF has no terms (the constant `false`).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Pretty-prints the DNF over a universe.
+    pub fn format(&self, universe: &Universe) -> String {
+        self.to_formula().format(universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_eval() {
+        let t = DnfTerm::new(AttrSet::from_indices([0]), AttrSet::from_indices([1]));
+        assert!(t.eval(AttrSet::from_indices([0])));
+        assert!(t.eval(AttrSet::from_indices([0, 2])));
+        assert!(!t.eval(AttrSet::from_indices([0, 1])));
+        assert!(!t.eval(AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn contradictory_term() {
+        let t = DnfTerm::new(AttrSet::from_indices([0]), AttrSet::from_indices([0]));
+        assert!(t.is_contradictory());
+        for mask in 0u64..4 {
+            assert!(!t.eval(AttrSet::from_bits(mask)));
+        }
+    }
+
+    #[test]
+    fn dnf_eval_matches_formula() {
+        let dnf = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::from_indices([1])),
+            DnfTerm::new(AttrSet::from_indices([1, 2]), AttrSet::EMPTY),
+        ]);
+        let f = dnf.to_formula();
+        for mask in 0u64..8 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(dnf.eval(a), f.eval(a));
+        }
+    }
+
+    #[test]
+    fn excluded_middle_is_tautology() {
+        // x ∨ ¬x
+        let u = Universe::of_size(1);
+        let dnf = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::EMPTY),
+            DnfTerm::new(AttrSet::EMPTY, AttrSet::from_indices([0])),
+        ]);
+        assert!(dnf.is_tautology_exhaustive(&u));
+    }
+
+    #[test]
+    fn non_tautology_detected() {
+        let u = Universe::of_size(2);
+        let dnf = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::EMPTY),
+            DnfTerm::new(AttrSet::from_indices([1]), AttrSet::EMPTY),
+        ]);
+        assert!(!dnf.is_tautology_exhaustive(&u));
+    }
+
+    #[test]
+    fn empty_dnf_is_false() {
+        let u = Universe::of_size(2);
+        let dnf = Dnf::default();
+        assert!(dnf.is_empty());
+        assert!(!dnf.is_tautology_exhaustive(&u));
+        assert!(!dnf.eval(AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn variables_union() {
+        let dnf = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::from_indices([3])),
+            DnfTerm::new(AttrSet::from_indices([1]), AttrSet::EMPTY),
+        ]);
+        assert_eq!(dnf.variables(), AttrSet::from_indices([0, 1, 3]));
+    }
+}

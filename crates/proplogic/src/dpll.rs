@@ -1,0 +1,387 @@
+//! A complete DPLL SAT solver.
+//!
+//! The coNP decision procedures of Section 5 of the paper (tautology of DNF
+//! formulas, implication of implication constraints) reduce to propositional
+//! satisfiability.  This module provides a small but complete DPLL solver with
+//!
+//! * unit propagation,
+//! * pure-literal elimination,
+//! * most-occurrences branching,
+//!
+//! operating on the clausal form produced by [`crate::cnf`].  It is not meant
+//! to compete with industrial CDCL solvers, but it comfortably handles the
+//! instance sizes produced by the experiments in this repository (tens of
+//! variables, hundreds of clauses) and, importantly, it is fully deterministic,
+//! which keeps the benchmark harness reproducible.
+
+use crate::cnf::{Clause, Cnf, Lit};
+use setlat::AttrSet;
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; the payload lists the variables assigned
+    /// `true` in the discovered model (variables missing from the set are
+    /// `false`).
+    Sat(AttrSet),
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns `true` iff the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Statistics collected during a solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered (backtracks).
+    pub conflicts: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Unassigned,
+    True,
+    False,
+}
+
+/// A DPLL satisfiability solver over a fixed CNF.
+pub struct DpllSolver {
+    clauses: Vec<Clause>,
+    num_vars: usize,
+    stats: SolverStats,
+}
+
+impl DpllSolver {
+    /// Creates a solver for the given CNF.  Tautological clauses are dropped.
+    pub fn new(cnf: Cnf) -> Self {
+        let clauses = cnf
+            .clauses
+            .into_iter()
+            .filter(|c| !c.is_tautological())
+            .collect();
+        DpllSolver {
+            clauses,
+            num_vars: cnf.num_vars,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Runs the solver to completion.
+    pub fn solve(&mut self) -> SatResult {
+        let mut assignment = vec![VarState::Unassigned; self.num_vars];
+        if self.dpll(&mut assignment) {
+            let mut model = AttrSet::EMPTY;
+            for (v, &state) in assignment.iter().enumerate() {
+                if state == VarState::True && v < 64 {
+                    model.insert(v);
+                }
+            }
+            SatResult::Sat(model)
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    /// Statistics from the most recent [`DpllSolver::solve`] call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn dpll(&mut self, assignment: &mut Vec<VarState>) -> bool {
+        // Unit propagation + conflict detection loop.
+        let trail_len = loop {
+            match self.propagate_once(assignment) {
+                Propagation::Conflict => {
+                    self.stats.conflicts += 1;
+                    return false;
+                }
+                Propagation::Fixpoint => break assignment.len(),
+                Propagation::Progress => continue,
+            }
+        };
+        let _ = trail_len;
+
+        // Pure-literal elimination.
+        self.assign_pure_literals(assignment);
+
+        // Check clause status and pick a branching variable.
+        let mut branch_var: Option<usize> = None;
+        let mut occurrence = vec![0usize; self.num_vars];
+        let mut all_satisfied = true;
+        for clause in &self.clauses {
+            let mut satisfied = false;
+            let mut has_unassigned = false;
+            for lit in &clause.lits {
+                match eval_lit(*lit, assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        has_unassigned = true;
+                        occurrence[lit.var] += 1;
+                    }
+                }
+            }
+            if !satisfied {
+                all_satisfied = false;
+                if !has_unassigned {
+                    self.stats.conflicts += 1;
+                    return false;
+                }
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        let mut best = 0usize;
+        for (v, &count) in occurrence.iter().enumerate() {
+            if count > best {
+                best = count;
+                branch_var = Some(v);
+            }
+        }
+        let var = match branch_var {
+            Some(v) => v,
+            // No unassigned variable occurs in an unsatisfied clause, yet not all
+            // clauses are satisfied — impossible, but treat conservatively.
+            None => return all_satisfied,
+        };
+
+        self.stats.decisions += 1;
+        for value in [VarState::True, VarState::False] {
+            let snapshot = assignment.clone();
+            assignment[var] = value;
+            if self.dpll(assignment) {
+                return true;
+            }
+            *assignment = snapshot;
+        }
+        false
+    }
+
+    fn propagate_once(&mut self, assignment: &mut [VarState]) -> Propagation {
+        let mut progressed = false;
+        for clause in &self.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut unassigned_count = 0;
+            let mut satisfied = false;
+            for lit in &clause.lits {
+                match eval_lit(*lit, assignment) {
+                    Some(true) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => {
+                        unassigned = Some(*lit);
+                        unassigned_count += 1;
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let lit = unassigned.expect("counted one unassigned literal");
+                    assignment[lit.var] = if lit.negated {
+                        VarState::False
+                    } else {
+                        VarState::True
+                    };
+                    self.stats.propagations += 1;
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        if progressed {
+            Propagation::Progress
+        } else {
+            Propagation::Fixpoint
+        }
+    }
+
+    fn assign_pure_literals(&mut self, assignment: &mut [VarState]) {
+        let mut pos = vec![false; self.num_vars];
+        let mut neg = vec![false; self.num_vars];
+        for clause in &self.clauses {
+            // Only count clauses that are not yet satisfied.
+            if clause
+                .lits
+                .iter()
+                .any(|&l| eval_lit(l, assignment) == Some(true))
+            {
+                continue;
+            }
+            for lit in &clause.lits {
+                if eval_lit(*lit, assignment).is_none() {
+                    if lit.negated {
+                        neg[lit.var] = true;
+                    } else {
+                        pos[lit.var] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..self.num_vars {
+            if assignment[v] == VarState::Unassigned {
+                if pos[v] && !neg[v] {
+                    assignment[v] = VarState::True;
+                    self.stats.propagations += 1;
+                } else if neg[v] && !pos[v] {
+                    assignment[v] = VarState::False;
+                    self.stats.propagations += 1;
+                }
+            }
+        }
+    }
+}
+
+enum Propagation {
+    Conflict,
+    Progress,
+    Fixpoint,
+}
+
+fn eval_lit(lit: Lit, assignment: &[VarState]) -> Option<bool> {
+    match assignment[lit.var] {
+        VarState::Unassigned => None,
+        VarState::True => Some(!lit.negated),
+        VarState::False => Some(lit.negated),
+    }
+}
+
+/// Convenience: decides satisfiability of a CNF, discarding the model.
+pub fn is_satisfiable(cnf: Cnf) -> bool {
+    DpllSolver::new(cnf).solve().is_sat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn solve_formula(f: &Formula, num_vars: usize) -> SatResult {
+        let cnf = Cnf::from_formula_tseitin(f, num_vars);
+        DpllSolver::new(cnf).solve()
+    }
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        assert!(is_satisfiable(Cnf::empty(3)));
+    }
+
+    #[test]
+    fn single_empty_clause_is_unsat() {
+        let mut cnf = Cnf::empty(1);
+        cnf.push(Clause::new([]));
+        assert!(!is_satisfiable(cnf));
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut cnf = Cnf::empty(3);
+        cnf.push(Clause::new([Lit::pos(0)]));
+        cnf.push(Clause::new([Lit::neg(0), Lit::pos(1)]));
+        cnf.push(Clause::new([Lit::neg(1), Lit::pos(2)]));
+        let mut solver = DpllSolver::new(cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                assert!(model.contains(0));
+                assert!(model.contains(1));
+                assert!(model.contains(2));
+            }
+            SatResult::Unsat => panic!("expected SAT"),
+        }
+        assert!(solver.stats().propagations >= 3);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let mut cnf = Cnf::empty(1);
+        cnf.push(Clause::new([Lit::pos(0)]));
+        cnf.push(Clause::new([Lit::neg(0)]));
+        assert!(!is_satisfiable(cnf));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0 ∨ (nothing), must conflict.
+        // Variables: x_{pigeon} = pigeon in hole 0. Both must be in the hole but
+        // cannot share it.
+        let mut cnf = Cnf::empty(2);
+        cnf.push(Clause::new([Lit::pos(0)]));
+        cnf.push(Clause::new([Lit::pos(1)]));
+        cnf.push(Clause::new([Lit::neg(0), Lit::neg(1)]));
+        assert!(!is_satisfiable(cnf));
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let f = Formula::and([
+            Formula::or([Formula::var(0), Formula::var(1)]),
+            Formula::or([Formula::not(Formula::var(0)), Formula::var(2)]),
+            Formula::or([Formula::not(Formula::var(1)), Formula::not(Formula::var(2))]),
+        ]);
+        match solve_formula(&f, 3) {
+            SatResult::Sat(model) => {
+                // Restrict the model to the original variables before evaluating.
+                let restricted = model.intersect(AttrSet::full(3));
+                assert!(f.eval(restricted));
+            }
+            SatResult::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_random_small_formulas() {
+        // Compare DPLL against brute-force truth-table satisfiability on a family
+        // of structured formulas over 4 variables.
+        for seed in 0u64..40 {
+            let f = pseudo_random_formula(seed, 4, 3);
+            let brute = (0u64..16).any(|mask| f.eval(AttrSet::from_bits(mask)));
+            let dpll = solve_formula(&f, 4).is_sat();
+            assert_eq!(brute, dpll, "disagreement on formula #{seed}: {f:?}");
+        }
+    }
+
+    /// Small deterministic formula generator used by the exhaustive test.
+    fn pseudo_random_formula(seed: u64, num_vars: usize, depth: usize) -> Formula {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        build(&mut state, num_vars, depth)
+    }
+
+    fn build(state: &mut u64, num_vars: usize, depth: usize) -> Formula {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let choice = (*state >> 33) % if depth == 0 { 2 } else { 5 };
+        match choice {
+            0 => Formula::var(((*state >> 17) as usize) % num_vars),
+            1 => Formula::not(Formula::var(((*state >> 21) as usize) % num_vars)),
+            2 => Formula::and([
+                build(state, num_vars, depth - 1),
+                build(state, num_vars, depth - 1),
+            ]),
+            3 => Formula::or([
+                build(state, num_vars, depth - 1),
+                build(state, num_vars, depth - 1),
+            ]),
+            _ => Formula::implies(
+                build(state, num_vars, depth - 1),
+                build(state, num_vars, depth - 1),
+            ),
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Propositional formulas over the attributes of a universe.
+//!
+//! Variables are identified by their attribute index in a
+//! [`Universe`](setlat::Universe); a truth assignment is simply an
+//! [`AttrSet`](setlat::AttrSet) listing the variables that are `true`.  This
+//! matches the paper's convention of identifying a subset `X ⊆ S` with the
+//! assignment that makes exactly the variables of `X` true (its *minterm* `X̄`).
+
+use setlat::{AttrSet, Universe};
+use std::fmt;
+
+/// A propositional formula over the variables of a universe.
+///
+/// The representation is a plain recursive AST.  `And`/`Or` are n-ary to keep
+/// the formulas produced by the paper's translations (big conjunctions and
+/// disjunctions) shallow and readable.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A propositional variable, identified by its attribute index.
+    Var(usize),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction; the empty conjunction is `true`.
+    And(Vec<Formula>),
+    /// N-ary disjunction; the empty disjunction is `false`.
+    Or(Vec<Formula>),
+    /// Material implication `lhs ⇒ rhs`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `lhs ⇔ rhs`.
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// The variable `v`.
+    pub fn var(v: usize) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Negation of a formula.
+    ///
+    /// (Named `not` to mirror the paper's connective vocabulary alongside
+    /// [`Formula::and`] / [`Formula::or`]; it is an associated constructor, not
+    /// an implementation of `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Conjunction of an iterator of formulas (empty ⇒ `true`).
+    pub fn and<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let v: Vec<Formula> = items.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas (empty ⇒ `false`).
+    pub fn or<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let v: Vec<Formula> = items.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// Implication `lhs ⇒ rhs`.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Biconditional `lhs ⇔ rhs`.
+    pub fn iff(lhs: Formula, rhs: Formula) -> Formula {
+        Formula::Iff(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// The conjunction `⋀X` of the variables in `x` (`true` when `x = ∅`).
+    pub fn conj_of_set(x: AttrSet) -> Formula {
+        Formula::and(x.iter().map(Formula::Var))
+    }
+
+    /// The disjunction `⋁X` of the variables in `x` (`false` when `x = ∅`).
+    pub fn disj_of_set(x: AttrSet) -> Formula {
+        Formula::or(x.iter().map(Formula::Var))
+    }
+
+    /// Evaluates the formula under the assignment that makes exactly the
+    /// variables in `assignment` true.
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => assignment.contains(*v),
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+            Formula::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+        }
+    }
+
+    /// The set of variable indices occurring in the formula.
+    pub fn variables(&self) -> AttrSet {
+        match self {
+            Formula::True | Formula::False => AttrSet::EMPTY,
+            Formula::Var(v) => AttrSet::singleton(*v),
+            Formula::Not(f) => f.variables(),
+            Formula::And(fs) | Formula::Or(fs) => fs
+                .iter()
+                .fold(AttrSet::EMPTY, |acc, f| acc.union(f.variables())),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => a.variables().union(b.variables()),
+        }
+    }
+
+    /// Negation-normal form: pushes negations down to the literals and expands
+    /// `⇒` / `⇔`.
+    pub fn nnf(&self) -> Formula {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Var(v) => {
+                if negate {
+                    Formula::not(Formula::Var(*v))
+                } else {
+                    Formula::Var(*v)
+                }
+            }
+            Formula::Not(f) => f.nnf_inner(!negate),
+            Formula::And(fs) => {
+                let children: Vec<Formula> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::or(children)
+                } else {
+                    Formula::and(children)
+                }
+            }
+            Formula::Or(fs) => {
+                let children: Vec<Formula> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Formula::and(children)
+                } else {
+                    Formula::or(children)
+                }
+            }
+            Formula::Implies(a, b) => {
+                // a ⇒ b ≡ ¬a ∨ b
+                let expanded = Formula::or([Formula::not((**a).clone()), (**b).clone()]);
+                expanded.nnf_inner(negate)
+            }
+            Formula::Iff(a, b) => {
+                // a ⇔ b ≡ (a ⇒ b) ∧ (b ⇒ a)
+                let expanded = Formula::and([
+                    Formula::implies((**a).clone(), (**b).clone()),
+                    Formula::implies((**b).clone(), (**a).clone()),
+                ]);
+                expanded.nnf_inner(negate)
+            }
+        }
+    }
+
+    /// Structural size of the formula (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Pretty-prints the formula using the attribute names of a universe.
+    pub fn format(&self, universe: &Universe) -> String {
+        match self {
+            Formula::True => "⊤".to_string(),
+            Formula::False => "⊥".to_string(),
+            Formula::Var(v) => universe.name(*v).to_string(),
+            Formula::Not(f) => format!("¬{}", f.format_atomic(universe)),
+            Formula::And(fs) => fs
+                .iter()
+                .map(|f| f.format_atomic(universe))
+                .collect::<Vec<_>>()
+                .join(" ∧ "),
+            Formula::Or(fs) => fs
+                .iter()
+                .map(|f| f.format_atomic(universe))
+                .collect::<Vec<_>>()
+                .join(" ∨ "),
+            Formula::Implies(a, b) => format!(
+                "{} ⇒ {}",
+                a.format_atomic(universe),
+                b.format_atomic(universe)
+            ),
+            Formula::Iff(a, b) => format!(
+                "{} ⇔ {}",
+                a.format_atomic(universe),
+                b.format_atomic(universe)
+            ),
+        }
+    }
+
+    fn format_atomic(&self, universe: &Universe) -> String {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) | Formula::Not(_) => {
+                self.format(universe)
+            }
+            _ => format!("({})", self.format(universe)),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Var(v) => write!(f, "v{v}"),
+            Formula::Not(x) => write!(f, "¬{x:?}"),
+            Formula::And(xs) => {
+                write!(f, "And{xs:?}")
+            }
+            Formula::Or(xs) => write!(f, "Or{xs:?}"),
+            Formula::Implies(a, b) => write!(f, "({a:?} ⇒ {b:?})"),
+            Formula::Iff(a, b) => write!(f, "({a:?} ⇔ {b:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_connectives() {
+        let a = Formula::var(0);
+        let b = Formula::var(1);
+        let f = Formula::and([a.clone(), Formula::not(b.clone())]);
+        assert!(f.eval(AttrSet::from_indices([0])));
+        assert!(!f.eval(AttrSet::from_indices([0, 1])));
+        assert!(!f.eval(AttrSet::EMPTY));
+
+        let g = Formula::implies(a.clone(), b.clone());
+        assert!(g.eval(AttrSet::EMPTY));
+        assert!(g.eval(AttrSet::from_indices([1])));
+        assert!(!g.eval(AttrSet::from_indices([0])));
+        assert!(g.eval(AttrSet::from_indices([0, 1])));
+
+        let h = Formula::iff(a, b);
+        assert!(h.eval(AttrSet::EMPTY));
+        assert!(h.eval(AttrSet::from_indices([0, 1])));
+        assert!(!h.eval(AttrSet::from_indices([0])));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert!(Formula::conj_of_set(AttrSet::EMPTY).eval(AttrSet::EMPTY));
+        assert!(!Formula::disj_of_set(AttrSet::EMPTY).eval(AttrSet::full(3)));
+    }
+
+    #[test]
+    fn conj_disj_of_sets() {
+        let x = AttrSet::from_indices([0, 2]);
+        let conj = Formula::conj_of_set(x);
+        assert!(conj.eval(AttrSet::from_indices([0, 2, 3])));
+        assert!(!conj.eval(AttrSet::from_indices([0])));
+        let disj = Formula::disj_of_set(x);
+        assert!(disj.eval(AttrSet::from_indices([2])));
+        assert!(!disj.eval(AttrSet::from_indices([1, 3])));
+    }
+
+    #[test]
+    fn variables_collection() {
+        let f = Formula::implies(
+            Formula::and([Formula::var(0), Formula::var(3)]),
+            Formula::or([Formula::var(1), Formula::not(Formula::var(0))]),
+        );
+        assert_eq!(f.variables(), AttrSet::from_indices([0, 1, 3]));
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        let f = Formula::not(Formula::implies(
+            Formula::var(0),
+            Formula::iff(Formula::var(1), Formula::not(Formula::var(2))),
+        ));
+        let g = f.nnf();
+        for mask in 0u64..8 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), g.eval(a), "NNF differs at {a:?}");
+        }
+        // NNF must not contain Implies/Iff and negations only on variables.
+        fn check(f: &Formula) {
+            match f {
+                Formula::Implies(..) | Formula::Iff(..) => panic!("connective not eliminated"),
+                Formula::Not(inner) => assert!(matches!(**inner, Formula::Var(_))),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(check),
+                _ => {}
+            }
+        }
+        check(&g);
+    }
+
+    #[test]
+    fn formatting() {
+        let u = Universe::of_size(3);
+        let f = Formula::implies(
+            Formula::var(0),
+            Formula::or([
+                Formula::var(1),
+                Formula::and([Formula::var(2), Formula::var(1)]),
+            ]),
+        );
+        assert_eq!(f.format(&u), "A ⇒ (B ∨ (C ∧ B))");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Formula::and([Formula::var(0), Formula::not(Formula::var(1))]);
+        assert_eq!(f.size(), 4);
+    }
+}

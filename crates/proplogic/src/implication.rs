@@ -1,0 +1,218 @@
+//! Implication constraints `X ⇒prop 𝒴` (Definition 5.2 of the paper) and the
+//! logical implication problem for them.
+//!
+//! The implication constraint associated with a differential constraint
+//! `X → 𝒴` is the propositional formula `⋀X ⇒ ⋁_{Y ∈ 𝒴} ⋀Y`.  Proposition 5.3
+//! states that its negative minset is exactly the lattice decomposition
+//! `L(X, 𝒴)`, and Proposition 5.4 that differential implication coincides with
+//! logical implication of the translated constraints.
+//!
+//! Two decision procedures are provided for `Φ ⊨ φ`:
+//!
+//! * [`implies_exhaustive`](crate::minterm::implies_exhaustive) (re-exported via
+//!   [`ImplicationConstraint::implied_by_exhaustive`]) — enumerate all
+//!   assignments; the reference implementation;
+//! * [`ImplicationConstraint::implied_by_sat`] — refutation via the DPLL
+//!   solver: `Φ ⊨ φ` iff `Φ ∧ ¬φ` is unsatisfiable.  This is the procedure whose
+//!   scaling the coNP experiments measure.
+
+use crate::cnf::{Clause, Cnf, Lit};
+use crate::dpll::DpllSolver;
+use crate::formula::Formula;
+use crate::minterm;
+use setlat::{AttrSet, Family, Universe};
+
+/// An implication constraint `X ⇒prop 𝒴`, denoting `⋀X ⇒ ⋁_{Y∈𝒴} ⋀Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ImplicationConstraint {
+    /// The antecedent set `X`.
+    pub lhs: AttrSet,
+    /// The consequent family `𝒴`.
+    pub rhs: Family,
+}
+
+impl ImplicationConstraint {
+    /// Creates the constraint `X ⇒prop 𝒴`.
+    pub fn new(lhs: AttrSet, rhs: Family) -> Self {
+        ImplicationConstraint { lhs, rhs }
+    }
+
+    /// The constraint as a propositional [`Formula`].
+    ///
+    /// Note the empty family yields the consequent `false` (the empty
+    /// disjunction), and an empty member of `𝒴` yields the disjunct `true`
+    /// (the empty conjunction) — matching the conventions of the paper.
+    pub fn to_formula(&self) -> Formula {
+        Formula::implies(
+            Formula::conj_of_set(self.lhs),
+            Formula::or(self.rhs.iter().map(Formula::conj_of_set)),
+        )
+    }
+
+    /// Evaluates the constraint under a single assignment.
+    pub fn eval(&self, assignment: AttrSet) -> bool {
+        !self.lhs.is_subset(assignment)
+            || self.rhs.iter().any(|y| y.is_subset(assignment))
+    }
+
+    /// The negative minset of the constraint, computed by enumeration.
+    ///
+    /// By Proposition 5.3 this equals `L(X, 𝒴)`.
+    pub fn negminset(&self, universe: &Universe) -> Vec<AttrSet> {
+        minterm::negminset(&self.to_formula(), universe)
+    }
+
+    /// Clauses asserting the constraint (it is already nearly clausal):
+    /// `¬x₁ ∨ … ∨ ¬xₖ ∨ ⋁_Y ⋀Y` is converted by distribution, which stays small
+    /// because only the consequent needs distributing.
+    pub fn to_cnf(&self, num_vars: usize) -> Cnf {
+        Cnf::from_formula_distributive(&self.to_formula(), num_vars)
+    }
+
+    /// Decides `Φ ⊨ self` by exhaustive enumeration over the universe.
+    pub fn implied_by_exhaustive(
+        &self,
+        premises: &[ImplicationConstraint],
+        universe: &Universe,
+    ) -> bool {
+        let premise_formulas: Vec<Formula> =
+            premises.iter().map(ImplicationConstraint::to_formula).collect();
+        minterm::implies_exhaustive(&premise_formulas, &self.to_formula(), universe)
+    }
+
+    /// Decides `Φ ⊨ self` by SAT refutation: `Φ ∧ ¬self` unsatisfiable.
+    ///
+    /// The negation `¬(⋀X ⇒ ⋁_Y ⋀Y)` is `⋀X ∧ ⋀_Y ¬⋀Y`, which is encoded
+    /// directly as unit clauses for `X` plus one clause `⋁_{y ∈ Y} ¬y` per
+    /// member `Y ∈ 𝒴` — no auxiliary variables are needed anywhere, so the
+    /// whole refutation formula is linear in the input.
+    pub fn implied_by_sat(
+        &self,
+        premises: &[ImplicationConstraint],
+        universe: &Universe,
+    ) -> bool {
+        let n = universe.len();
+        let mut cnf = Cnf::empty(n);
+        // Premises.
+        for p in premises {
+            for clause in p.to_cnf(n).clauses {
+                cnf.push(clause);
+            }
+        }
+        // ¬conclusion: X all true…
+        for v in self.lhs.iter() {
+            cnf.push(Clause::new([Lit::pos(v)]));
+        }
+        // …and for each Y ∈ 𝒴, not all of Y true.
+        for y in self.rhs.iter() {
+            if y.is_empty() {
+                // ¬(empty conjunction) = false: the negated conclusion is
+                // unsatisfiable, so the implication holds vacuously.
+                return true;
+            }
+            cnf.push(Clause::new(y.iter().map(Lit::neg)));
+        }
+        !DpllSolver::new(cnf).solve().is_sat()
+    }
+
+    /// Pretty-prints the constraint over a universe, e.g. `"A ⇒ B ∨ (C ∧ D)"`.
+    pub fn format(&self, universe: &Universe) -> String {
+        self.to_formula().format(universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::lattice;
+
+    fn abcd() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn fam(u: &Universe, members: &[&str]) -> Family {
+        Family::from_sets(members.iter().map(|m| u.parse_set(m).unwrap()))
+    }
+
+    #[test]
+    fn proposition_5_3_negminset_equals_lattice() {
+        let u = abcd();
+        let cases: Vec<(&str, Vec<&str>)> = vec![
+            ("A", vec!["B", "CD"]),
+            ("A", vec!["BC", "BD"]),
+            ("", vec![]),
+            ("AB", vec!["C"]),
+            ("A", vec![]),
+            ("A", vec!["A"]), // trivial: negminset must be empty
+        ];
+        for (x, members) in cases {
+            let xv = u.parse_set(x).unwrap();
+            let f = fam(&u, &members);
+            let c = ImplicationConstraint::new(xv, f.clone());
+            let mut neg = c.negminset(&u);
+            neg.sort();
+            let lat = lattice::lattice_decomposition(&u, xv, &f);
+            assert_eq!(neg, lat, "Proposition 5.3 failed for {x} ⇒ {members:?}");
+        }
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let u = abcd();
+        let c = ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["B", "CD"]));
+        let f = c.to_formula();
+        for x in u.all_subsets() {
+            assert_eq!(c.eval(x), f.eval(x));
+        }
+    }
+
+    #[test]
+    fn sat_procedure_agrees_with_exhaustive() {
+        let u = Universe::of_size(3);
+        let premises = vec![
+            ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["B"])),
+            ImplicationConstraint::new(u.parse_set("B").unwrap(), fam(&u, &["C"])),
+        ];
+        let goals = vec![
+            (ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["C"])), true),
+            (ImplicationConstraint::new(u.parse_set("C").unwrap(), fam(&u, &["A"])), false),
+            (ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["BC"])), true),
+            (ImplicationConstraint::new(u.parse_set("B").unwrap(), fam(&u, &["A"])), false),
+        ];
+        for (goal, expected) in goals {
+            assert_eq!(goal.implied_by_exhaustive(&premises, &u), expected);
+            assert_eq!(goal.implied_by_sat(&premises, &u), expected);
+        }
+    }
+
+    #[test]
+    fn empty_rhs_member_makes_conclusion_tautological() {
+        // X ⇒ (… ∨ ⊤): always implied.
+        let u = abcd();
+        let goal = ImplicationConstraint::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([AttrSet::EMPTY, u.parse_set("B").unwrap()]),
+        );
+        assert!(goal.implied_by_sat(&[], &u));
+        assert!(goal.implied_by_exhaustive(&[], &u));
+    }
+
+    #[test]
+    fn empty_family_conclusion() {
+        // X ⇒ ⊥ is not implied by nothing (unless the universe forces ⋀X false,
+        // which it never does), but it is implied by itself.
+        let u = abcd();
+        let goal = ImplicationConstraint::new(u.parse_set("A").unwrap(), Family::empty());
+        assert!(!goal.implied_by_sat(&[], &u));
+        assert!(!goal.implied_by_exhaustive(&[], &u));
+        assert!(goal.implied_by_sat(std::slice::from_ref(&goal), &u));
+        assert!(goal.implied_by_exhaustive(std::slice::from_ref(&goal), &u));
+    }
+
+    #[test]
+    fn formatting() {
+        let u = abcd();
+        let c = ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["B", "CD"]));
+        assert_eq!(c.format(&u), "A ⇒ (B ∨ (C ∧ D))");
+    }
+}

@@ -1,0 +1,44 @@
+//! # proplogic — propositional-logic substrate
+//!
+//! Section 5 of *Differential Constraints* (Sayrafi & Van Gucht, PODS 2005)
+//! characterizes the implication problem for differential constraints in terms
+//! of a fragment of propositional logic: each constraint `X → 𝒴` corresponds to
+//! the *implication constraint* `⋀X ⇒ ⋁_{Y∈𝒴} ⋀Y`, and
+//! `negminset(X ⇒prop 𝒴) = L(X, 𝒴)` (Proposition 5.3).  The implication problem
+//! is then coNP-complete (Proposition 5.5) by reduction from DNF tautology.
+//!
+//! This crate provides everything needed to make that section executable:
+//!
+//! * a propositional [`Formula`] AST over the variables of a
+//!   [`Universe`](setlat::Universe), with evaluation under assignments
+//!   represented as [`AttrSet`](setlat::AttrSet)s;
+//! * minterms, minsets and negative minsets ([`minterm`], Definition 5.1);
+//! * clausal form: literals, clauses, CNF, naive distribution and Tseitin
+//!   transformation ([`cnf`]);
+//! * DNF formulas and the DNF-tautology problem used for the coNP-hardness
+//!   reduction ([`dnf`]);
+//! * a complete DPLL SAT solver with unit propagation and pure-literal
+//!   elimination ([`dpll`]);
+//! * implication constraints `X ⇒prop 𝒴` and both decision procedures for the
+//!   logical implication problem — exhaustive minset containment and SAT-based
+//!   refutation ([`implication`]);
+//! * tautology / contradiction / equivalence checks ([`tautology`]);
+//! * a small text parser for formulas ([`parser`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod dnf;
+pub mod dpll;
+pub mod formula;
+pub mod implication;
+pub mod minterm;
+pub mod parser;
+pub mod tautology;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use dnf::Dnf;
+pub use dpll::{DpllSolver, SatResult, SolverStats};
+pub use formula::Formula;
+pub use implication::ImplicationConstraint;

@@ -1,0 +1,184 @@
+//! Minterms, minsets and negative minsets (Definition 5.1 of the paper).
+//!
+//! For a subset `X ⊆ S` of propositional variables, the *minterm* `X̄` is the
+//! formula `⋀_{A ∈ X} A ∧ ⋀_{B ∉ X} ¬B`, i.e. the unique formula satisfied by
+//! exactly the assignment that makes the variables of `X` true and everything
+//! else false.  Because minterms and assignments are in bijection, the *minset*
+//! of a formula φ — the set `{X | X̄ ⊨ φ}` — is simply the set of satisfying
+//! assignments of φ, and `negminset(φ) = minset(¬φ)` is the set of falsifying
+//! assignments.
+//!
+//! Proposition 5.3, `negminset(X ⇒prop 𝒴) = L(X, 𝒴)`, is what ties this module
+//! to the lattice decompositions of [`setlat::lattice`].
+
+use crate::formula::Formula;
+use setlat::{AttrSet, Universe};
+
+/// Builds the minterm formula `X̄` of `x` over a universe of `n` variables.
+pub fn minterm(x: AttrSet, n: usize) -> Formula {
+    let mut parts: Vec<Formula> = Vec::with_capacity(n);
+    for v in 0..n {
+        if x.contains(v) {
+            parts.push(Formula::var(v));
+        } else {
+            parts.push(Formula::not(Formula::var(v)));
+        }
+    }
+    Formula::and(parts)
+}
+
+/// The minset of a formula: all `X ⊆ S` whose minterm implies φ, i.e. all
+/// satisfying assignments of φ.  Enumerates all `2^|S|` assignments.
+pub fn minset(formula: &Formula, universe: &Universe) -> Vec<AttrSet> {
+    universe
+        .all_subsets()
+        .filter(|&x| formula.eval(x))
+        .collect()
+}
+
+/// The negative minset of a formula: `negminset(φ) = minset(¬φ)`, i.e. all
+/// falsifying assignments of φ.
+pub fn negminset(formula: &Formula, universe: &Universe) -> Vec<AttrSet> {
+    universe
+        .all_subsets()
+        .filter(|&x| !formula.eval(x))
+        .collect()
+}
+
+/// Reconstructs a formula as the disjunction of the minterms of its minset.
+///
+/// The paper notes that φ and `⋁_{X ∈ minset(φ)} X̄` are logically equivalent;
+/// this function builds the right-hand side so tests can verify the claim.
+pub fn disjunction_of_minterms(minset: &[AttrSet], n: usize) -> Formula {
+    Formula::or(minset.iter().map(|&x| minterm(x, n)))
+}
+
+/// Exhaustive logical-implication check over a universe:
+/// `Φ ⊨ φ` iff every assignment satisfying all of Φ satisfies φ.
+///
+/// Exponential in `|S|`; used as the reference implementation against which the
+/// SAT-based procedure is validated.
+pub fn implies_exhaustive(premises: &[Formula], conclusion: &Formula, universe: &Universe) -> bool {
+    universe
+        .all_subsets()
+        .all(|x| !premises.iter().all(|p| p.eval(x)) || conclusion.eval(x))
+}
+
+/// The classical characterization used in Section 5 of the paper:
+/// `Φ ⊨ φ` iff `negminset(φ) ⊆ ⋃_{φ' ∈ Φ} negminset(φ')`.
+pub fn implies_via_negminsets(
+    premises: &[Formula],
+    conclusion: &Formula,
+    universe: &Universe,
+) -> bool {
+    let mut union: Vec<AttrSet> = premises
+        .iter()
+        .flat_map(|p| negminset(p, universe))
+        .collect();
+    union.sort();
+    union.dedup();
+    negminset(conclusion, universe)
+        .iter()
+        .all(|x| union.binary_search(x).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_is_satisfied_only_by_its_set() {
+        let n = 4;
+        let x = AttrSet::from_indices([0, 2]);
+        let m = minterm(x, n);
+        for mask in 0u64..(1 << n) {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(m.eval(a), a == x);
+        }
+    }
+
+    #[test]
+    fn minset_of_variable() {
+        let u = Universe::of_size(3);
+        let f = Formula::var(0);
+        let ms = minset(&f, &u);
+        assert_eq!(ms.len(), 4);
+        for x in ms {
+            assert!(x.contains(0));
+        }
+    }
+
+    #[test]
+    fn negminset_is_complement_of_minset() {
+        let u = Universe::of_size(4);
+        let f = Formula::implies(
+            Formula::var(0),
+            Formula::or([Formula::var(1), Formula::var(2)]),
+        );
+        let pos = minset(&f, &u);
+        let neg = negminset(&f, &u);
+        assert_eq!(pos.len() + neg.len(), 16);
+        for x in &pos {
+            assert!(!neg.contains(x));
+        }
+    }
+
+    #[test]
+    fn section_5_worked_example() {
+        // α = A ⇒ B ∨ (C ∧ D); negminset(α) = {A, AC, AD} (paper, after Prop. 5.3).
+        let u = Universe::of_size(4);
+        let alpha = Formula::implies(
+            Formula::var(0),
+            Formula::or([
+                Formula::var(1),
+                Formula::and([Formula::var(2), Formula::var(3)]),
+            ]),
+        );
+        let mut neg = negminset(&alpha, &u);
+        neg.sort();
+        let mut expected = vec![
+            u.parse_set("A").unwrap(),
+            u.parse_set("AC").unwrap(),
+            u.parse_set("AD").unwrap(),
+        ];
+        expected.sort();
+        assert_eq!(neg, expected);
+    }
+
+    #[test]
+    fn formula_equivalent_to_disjunction_of_minterms() {
+        let u = Universe::of_size(3);
+        let f = Formula::iff(Formula::var(0), Formula::or([Formula::var(1), Formula::var(2)]));
+        let ms = minset(&f, &u);
+        let rebuilt = disjunction_of_minterms(&ms, 3);
+        for x in u.all_subsets() {
+            assert_eq!(f.eval(x), rebuilt.eval(x));
+        }
+    }
+
+    #[test]
+    fn implication_characterizations_agree() {
+        let u = Universe::of_size(3);
+        let premises = vec![
+            Formula::implies(Formula::var(0), Formula::var(1)),
+            Formula::implies(Formula::var(1), Formula::var(2)),
+        ];
+        let good = Formula::implies(Formula::var(0), Formula::var(2));
+        let bad = Formula::implies(Formula::var(2), Formula::var(0));
+        assert!(implies_exhaustive(&premises, &good, &u));
+        assert!(implies_via_negminsets(&premises, &good, &u));
+        assert!(!implies_exhaustive(&premises, &bad, &u));
+        assert!(!implies_via_negminsets(&premises, &bad, &u));
+    }
+
+    #[test]
+    fn empty_premises_means_tautology() {
+        let u = Universe::of_size(2);
+        let taut = Formula::or([Formula::var(0), Formula::not(Formula::var(0))]);
+        let not_taut = Formula::var(0);
+        assert!(implies_exhaustive(&[], &taut, &u));
+        assert!(!implies_exhaustive(&[], &not_taut, &u));
+        assert!(implies_via_negminsets(&[], &taut, &u));
+        assert!(!implies_via_negminsets(&[], &not_taut, &u));
+    }
+}

@@ -1,0 +1,356 @@
+//! A small text parser for propositional formulas.
+//!
+//! Grammar (whitespace-insensitive, case-sensitive attribute names):
+//!
+//! ```text
+//! formula    ::= iff
+//! iff        ::= implies ( "<->" implies )*
+//! implies    ::= or ( "->" or )*            (right-associative)
+//! or         ::= and ( ("|" | "∨" | "or") and )*
+//! and        ::= unary ( ("&" | "∧" | "and") unary )*
+//! unary      ::= ("!" | "¬" | "not") unary | atom
+//! atom       ::= "true" | "false" | NAME | "(" formula ")"
+//! ```
+//!
+//! Attribute names are resolved against a [`Universe`](setlat::Universe); a
+//! name not present in the universe is a parse error.  The Unicode connectives
+//! used by [`Formula::format`](crate::formula::Formula::format) — `¬ ∧ ∨ ⇒ ⇔ ⊤ ⊥`
+//! — are accepted as synonyms, so formatting round-trips through the parser.
+
+use crate::formula::Formula;
+use setlat::Universe;
+use std::fmt;
+
+/// Errors produced by the formula parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a formula over the attribute names of the given universe.
+pub fn parse_formula(input: &str, universe: &Universe) -> Result<Formula, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+        universe,
+    };
+    let formula = parser.parse_iff()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError {
+            message: format!("unexpected trailing input near {:?}", parser.tokens[parser.pos].text),
+            position: parser.tokens[parser.pos].offset,
+        });
+    }
+    Ok(formula)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Token {
+    text: String,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let offset = i;
+        match c {
+            '(' | ')' | '!' | '¬' | '&' | '∧' | '|' | '∨' => {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    offset,
+                });
+                i += 1;
+            }
+            '-' | '<' => {
+                // "->" or "<->"
+                let rest: String = chars[i..].iter().take(3).collect();
+                if rest.starts_with("<->") {
+                    tokens.push(Token {
+                        text: "<->".to_string(),
+                        offset,
+                    });
+                    i += 3;
+                } else if rest.starts_with("->") {
+                    tokens.push(Token {
+                        text: "->".to_string(),
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: format!("unexpected character {c:?}"),
+                        position: offset,
+                    });
+                }
+            }
+            '⇒' => {
+                tokens.push(Token {
+                    text: "->".to_string(),
+                    offset,
+                });
+                i += 1;
+            }
+            '⇔' => {
+                tokens.push(Token {
+                    text: "<->".to_string(),
+                    offset,
+                });
+                i += 1;
+            }
+            '⊤' => {
+                tokens.push(Token {
+                    text: "true".to_string(),
+                    offset,
+                });
+                i += 1;
+            }
+            '⊥' => {
+                tokens.push(Token {
+                    text: "false".to_string(),
+                    offset,
+                });
+                i += 1;
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token { text: word, offset });
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character {c:?}"),
+                    position: offset,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    universe: &'a Universe,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.peek().map(|t| t.text.as_str()) == Some(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.peek().map(|t| t.offset).unwrap_or(usize::MAX),
+        }
+    }
+
+    fn parse_iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_implies()?;
+        while self.eat("<->") {
+            let rhs = self.parse_implies()?;
+            lhs = Formula::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.eat("->") {
+            let rhs = self.parse_implies()?; // right-associative
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.parse_and()?];
+        while self.eat("|") || self.eat("∨") || self.eat("or") {
+            items.push(self.parse_and()?);
+        }
+        Ok(Formula::or(items))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.parse_unary()?];
+        while self.eat("&") || self.eat("∧") || self.eat("and") {
+            items.push(self.parse_unary()?);
+        }
+        Ok(Formula::and(items))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat("!") || self.eat("¬") || self.eat("not") {
+            Ok(Formula::not(self.parse_unary()?))
+        } else {
+            self.parse_atom()
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, ParseError> {
+        if self.eat("(") {
+            let inner = self.parse_iff()?;
+            if !self.eat(")") {
+                return Err(self.error_here("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        let token = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.error_here("unexpected end of input"))?;
+        match token.text.as_str() {
+            "true" => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            "false" => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            name => match self.universe.index_of(name) {
+                Some(idx) => {
+                    self.pos += 1;
+                    Ok(Formula::var(idx))
+                }
+                None => Err(ParseError {
+                    message: format!("unknown attribute {name:?}"),
+                    position: token.offset,
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::AttrSet;
+
+    fn u() -> Universe {
+        Universe::of_size(4)
+    }
+
+    #[test]
+    fn parses_variables_and_constants() {
+        let u = u();
+        assert_eq!(parse_formula("A", &u).unwrap(), Formula::var(0));
+        assert_eq!(parse_formula("true", &u).unwrap(), Formula::True);
+        assert_eq!(parse_formula("false", &u).unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn parses_connectives_with_precedence() {
+        let u = u();
+        // A -> B | C & D parses as A -> (B ∨ (C ∧ D)).
+        let f = parse_formula("A -> B | C & D", &u).unwrap();
+        let expected = Formula::implies(
+            Formula::var(0),
+            Formula::or([
+                Formula::var(1),
+                Formula::and([Formula::var(2), Formula::var(3)]),
+            ]),
+        );
+        for mask in 0u64..16 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), expected.eval(a));
+        }
+    }
+
+    #[test]
+    fn parses_negation_and_parentheses() {
+        let u = u();
+        let f = parse_formula("!(A & B) <-> (!A | !B)", &u).unwrap();
+        for mask in 0u64..16 {
+            assert!(f.eval(AttrSet::from_bits(mask)));
+        }
+    }
+
+    #[test]
+    fn parses_unicode_connectives() {
+        let u = u();
+        let f = parse_formula("A ⇒ B ∨ (C ∧ D)", &u).unwrap();
+        let g = parse_formula("A -> B | (C & D)", &u).unwrap();
+        for mask in 0u64..16 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), g.eval(a));
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let u = u();
+        let f = parse_formula("A -> B -> C", &u).unwrap();
+        let expected = Formula::implies(
+            Formula::var(0),
+            Formula::implies(Formula::var(1), Formula::var(2)),
+        );
+        for mask in 0u64..8 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), expected.eval(a));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_attributes_and_garbage() {
+        let u = u();
+        assert!(parse_formula("Z", &u).is_err());
+        assert!(parse_formula("A &", &u).is_err());
+        assert!(parse_formula("(A", &u).is_err());
+        assert!(parse_formula("A @ B", &u).is_err());
+        assert!(parse_formula("A B", &u).is_err());
+        assert!(parse_formula("", &u).is_err());
+    }
+
+    #[test]
+    fn parses_constant_symbols() {
+        let u = u();
+        assert_eq!(parse_formula("⊤", &u).unwrap(), Formula::True);
+        assert!(!parse_formula("⊥ ∨ A", &u).unwrap().eval(AttrSet::EMPTY));
+        assert!(parse_formula("⊤ ∧ A", &u).unwrap().eval(AttrSet::from_indices([0])));
+    }
+
+    #[test]
+    fn roundtrip_through_format() {
+        let u = u();
+        let f = parse_formula("A -> (B | (C & D))", &u).unwrap();
+        let printed = f.format(&u);
+        let reparsed = parse_formula(&printed, &u).unwrap();
+        for mask in 0u64..16 {
+            let a = AttrSet::from_bits(mask);
+            assert_eq!(f.eval(a), reparsed.eval(a));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Tautology, contradiction and equivalence checks.
+//!
+//! Proposition 5.5 of the paper shows coNP-hardness of differential-constraint
+//! implication by reduction from the DNF-tautology problem.  This module makes
+//! both directions of that reduction runnable: it decides tautology/
+//! contradiction of arbitrary formulas via SAT refutation, and provides the
+//! specialised DNF-tautology entry point used by the reduction.
+
+use crate::cnf::Cnf;
+use crate::dnf::Dnf;
+use crate::dpll::{is_satisfiable, DpllSolver, SatResult};
+use crate::formula::Formula;
+use setlat::{AttrSet, Universe};
+
+/// Decides whether a formula is satisfiable (via Tseitin + DPLL).
+pub fn satisfiable(formula: &Formula, num_vars: usize) -> bool {
+    is_satisfiable(Cnf::from_formula_tseitin(formula, num_vars))
+}
+
+/// Returns a satisfying assignment of the *original* variables if one exists.
+pub fn find_model(formula: &Formula, num_vars: usize) -> Option<AttrSet> {
+    let cnf = Cnf::from_formula_tseitin(formula, num_vars);
+    match DpllSolver::new(cnf).solve() {
+        SatResult::Sat(model) => Some(model.intersect(AttrSet::full(num_vars.min(64)))),
+        SatResult::Unsat => None,
+    }
+}
+
+/// Decides whether a formula is a tautology: `φ` is valid iff `¬φ` is unsatisfiable.
+pub fn is_tautology(formula: &Formula, num_vars: usize) -> bool {
+    !satisfiable(&Formula::not(formula.clone()), num_vars)
+}
+
+/// Decides whether a formula is a contradiction (unsatisfiable).
+pub fn is_contradiction(formula: &Formula, num_vars: usize) -> bool {
+    !satisfiable(formula, num_vars)
+}
+
+/// Decides whether two formulas are logically equivalent.
+pub fn are_equivalent(a: &Formula, b: &Formula, num_vars: usize) -> bool {
+    is_tautology(&Formula::iff(a.clone(), b.clone()), num_vars)
+}
+
+/// Decides DNF tautology via SAT refutation: `⋁ψ` is a tautology iff
+/// `⋀¬ψ` is unsatisfiable.  The negation of a DNF is directly a CNF (one clause
+/// per term), so no auxiliary variables are needed — this is exactly the
+/// reduction exploited in the proof of Proposition 5.5.
+pub fn dnf_is_tautology(dnf: &Dnf, universe: &Universe) -> bool {
+    let n = universe.len();
+    let mut cnf = Cnf::empty(n);
+    for term in &dnf.terms {
+        // ¬(⋀P ∧ ⋀¬Q) = ⋁_{p∈P} ¬p ∨ ⋁_{q∈Q} q.
+        let lits = term
+            .positive
+            .iter()
+            .map(crate::cnf::Lit::neg)
+            .chain(term.negative.iter().map(crate::cnf::Lit::pos));
+        cnf.push(crate::cnf::Clause::new(lits));
+    }
+    !is_satisfiable(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::DnfTerm;
+
+    #[test]
+    fn excluded_middle() {
+        let f = Formula::or([Formula::var(0), Formula::not(Formula::var(0))]);
+        assert!(is_tautology(&f, 1));
+        assert!(!is_contradiction(&f, 1));
+    }
+
+    #[test]
+    fn simple_contradiction() {
+        let f = Formula::and([Formula::var(0), Formula::not(Formula::var(0))]);
+        assert!(is_contradiction(&f, 1));
+        assert!(!is_tautology(&f, 1));
+        assert_eq!(find_model(&f, 1), None);
+    }
+
+    #[test]
+    fn contingent_formula() {
+        let f = Formula::var(0);
+        assert!(!is_tautology(&f, 2));
+        assert!(!is_contradiction(&f, 2));
+        let model = find_model(&f, 2).expect("satisfiable");
+        assert!(f.eval(model));
+    }
+
+    #[test]
+    fn equivalence_of_de_morgan() {
+        let a = Formula::not(Formula::and([Formula::var(0), Formula::var(1)]));
+        let b = Formula::or([Formula::not(Formula::var(0)), Formula::not(Formula::var(1))]);
+        assert!(are_equivalent(&a, &b, 2));
+        assert!(!are_equivalent(&a, &Formula::var(0), 2));
+    }
+
+    #[test]
+    fn dnf_tautology_agrees_with_exhaustive() {
+        let u = Universe::of_size(3);
+        // (x ∧ y) ∨ ¬x ∨ (x ∧ ¬y) is a tautology.
+        let taut = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0, 1]), AttrSet::EMPTY),
+            DnfTerm::new(AttrSet::EMPTY, AttrSet::from_indices([0])),
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::from_indices([1])),
+        ]);
+        assert!(taut.is_tautology_exhaustive(&u));
+        assert!(dnf_is_tautology(&taut, &u));
+
+        // x ∨ y is not.
+        let not_taut = Dnf::new([
+            DnfTerm::new(AttrSet::from_indices([0]), AttrSet::EMPTY),
+            DnfTerm::new(AttrSet::from_indices([1]), AttrSet::EMPTY),
+        ]);
+        assert!(!not_taut.is_tautology_exhaustive(&u));
+        assert!(!dnf_is_tautology(&not_taut, &u));
+    }
+
+    #[test]
+    fn dnf_tautology_on_random_instances() {
+        // Deterministic pseudo-random DNF instances, cross-checked against
+        // exhaustive evaluation.
+        let u = Universe::of_size(4);
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..60 {
+            let mut terms = Vec::new();
+            for _ in 0..4 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let pos = AttrSet::from_bits((state >> 11) & 0xF);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let neg = AttrSet::from_bits((state >> 23) & 0xF).difference(pos);
+                terms.push(DnfTerm::new(pos, neg));
+            }
+            let dnf = Dnf::new(terms);
+            assert_eq!(
+                dnf.is_tautology_exhaustive(&u),
+                dnf_is_tautology(&dnf, &u),
+                "disagreement on {dnf:?}"
+            );
+        }
+    }
+}

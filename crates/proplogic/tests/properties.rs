@@ -1,0 +1,165 @@
+//! Property-based tests for the propositional-logic substrate.
+//!
+//! The DPLL solver, the two CNF conversions, the minset machinery and the
+//! implication constraints are cross-validated against exhaustive truth-table
+//! evaluation on randomly generated formulas over a small variable universe.
+
+use proplogic::cnf::{Clause, Cnf, Lit};
+use proplogic::dpll::{DpllSolver, SatResult};
+use proplogic::formula::Formula;
+use proplogic::implication::ImplicationConstraint;
+use proplogic::{minterm, tautology};
+use proptest::prelude::*;
+use setlat::{AttrSet, Family, Universe};
+
+const N: usize = 4;
+
+fn universe() -> Universe {
+    Universe::of_size(N)
+}
+
+/// A recursive strategy for random formulas over `N` variables.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..N).prop_map(Formula::var),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Formula::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::iff(a, b)),
+        ]
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = AttrSet> {
+    (0u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::collection::vec((1u64..(1u64 << N)).prop_map(AttrSet::from_bits), 0..3)
+        .prop_map(Family::from_sets)
+}
+
+fn brute_force_satisfiable(f: &Formula) -> bool {
+    (0u64..(1u64 << N)).any(|mask| f.eval(AttrSet::from_bits(mask)))
+}
+
+fn brute_force_tautology(f: &Formula) -> bool {
+    (0u64..(1u64 << N)).all(|mask| f.eval(AttrSet::from_bits(mask)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nnf_preserves_semantics(f in arb_formula()) {
+        let nnf = f.nnf();
+        for mask in 0u64..(1 << N) {
+            let a = AttrSet::from_bits(mask);
+            prop_assert_eq!(f.eval(a), nnf.eval(a));
+        }
+    }
+
+    #[test]
+    fn distributive_cnf_is_equivalent(f in arb_formula()) {
+        let cnf = Cnf::from_formula_distributive(&f, N);
+        for mask in 0u64..(1 << N) {
+            let a = AttrSet::from_bits(mask);
+            prop_assert_eq!(f.eval(a), cnf.eval(a));
+        }
+    }
+
+    #[test]
+    fn dpll_matches_truth_table(f in arb_formula()) {
+        let brute = brute_force_satisfiable(&f);
+        let cnf = Cnf::from_formula_tseitin(&f, N);
+        let result = DpllSolver::new(cnf).solve();
+        prop_assert_eq!(brute, result.is_sat());
+        if let SatResult::Sat(model) = result {
+            // The returned model, restricted to the original variables, satisfies
+            // the formula whenever the formula is satisfiable at all.
+            prop_assert!(f.eval(model.intersect(AttrSet::full(N))));
+        }
+    }
+
+    #[test]
+    fn tautology_check_matches_truth_table(f in arb_formula()) {
+        prop_assert_eq!(tautology::is_tautology(&f, N), brute_force_tautology(&f));
+        prop_assert_eq!(tautology::is_contradiction(&f, N), !brute_force_satisfiable(&f));
+    }
+
+    #[test]
+    fn minset_and_negminset_partition_assignments(f in arb_formula()) {
+        let u = universe();
+        let pos = minterm::minset(&f, &u);
+        let neg = minterm::negminset(&f, &u);
+        prop_assert_eq!(pos.len() + neg.len(), 1 << N);
+        let rebuilt = minterm::disjunction_of_minterms(&pos, N);
+        for mask in 0u64..(1 << N) {
+            let a = AttrSet::from_bits(mask);
+            prop_assert_eq!(f.eval(a), rebuilt.eval(a));
+        }
+    }
+
+    #[test]
+    fn implication_constraint_procedures_agree(
+        lhs in arb_set(),
+        fam in arb_family(),
+        premises in proptest::collection::vec((arb_set(), arb_family()), 0..3),
+    ) {
+        let u = universe();
+        let goal = ImplicationConstraint::new(lhs, fam);
+        let premise_constraints: Vec<ImplicationConstraint> = premises
+            .into_iter()
+            .map(|(x, f)| ImplicationConstraint::new(x, f))
+            .collect();
+        prop_assert_eq!(
+            goal.implied_by_sat(&premise_constraints, &u),
+            goal.implied_by_exhaustive(&premise_constraints, &u)
+        );
+    }
+
+    #[test]
+    fn negminset_of_implication_constraint_is_its_lattice(lhs in arb_set(), fam in arb_family()) {
+        let u = universe();
+        let constraint = ImplicationConstraint::new(lhs, fam.clone());
+        let mut neg = constraint.negminset(&u);
+        neg.sort();
+        let lattice = setlat::lattice::lattice_decomposition(&u, lhs, &fam);
+        prop_assert_eq!(neg, lattice);
+    }
+
+    #[test]
+    fn parser_roundtrips_through_format(f in arb_formula()) {
+        let u = universe();
+        let printed = f.format(&u);
+        let reparsed = proplogic::parser::parse_formula(&printed, &u).unwrap();
+        for mask in 0u64..(1 << N) {
+            let a = AttrSet::from_bits(mask);
+            prop_assert_eq!(f.eval(a), reparsed.eval(a));
+        }
+    }
+
+    #[test]
+    fn unit_clauses_force_their_literals(bits in 0u64..(1u64 << N)) {
+        // A CNF consisting only of unit clauses has exactly one model (over the
+        // mentioned variables), and DPLL finds it by propagation alone.
+        let target = AttrSet::from_bits(bits);
+        let mut cnf = Cnf::empty(N);
+        for v in 0..N {
+            let lit = if target.contains(v) { Lit::pos(v) } else { Lit::neg(v) };
+            cnf.push(Clause::new([lit]));
+        }
+        let mut solver = DpllSolver::new(cnf);
+        match solver.solve() {
+            SatResult::Sat(model) => prop_assert_eq!(model.intersect(AttrSet::full(N)), target),
+            SatResult::Unsat => prop_assert!(false, "unit CNF must be satisfiable"),
+        }
+        prop_assert_eq!(solver.stats().decisions, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Positive boolean dependencies (Sagiv–Delobel–Parker–Fagin), in the form the
+//! paper uses them in Section 7.
+//!
+//! The positive boolean dependency `X ⇒bool 𝒴` is the statement (formula (6) of
+//! the paper):
+//!
+//! ```text
+//! ∀ t, t′ ∈ r :  t[X] = t′[X]  ⇒  ⋁_{Y ∈ 𝒴} t[Y] = t′[Y].
+//! ```
+//!
+//! Functional dependencies are the `𝒴 = {Y}` special case.  Proposition 7.3
+//! states that a probabilistic relation's Simpson function satisfies the
+//! differential constraint `X → 𝒴` iff the relation satisfies `X ⇒bool 𝒴`.
+
+use crate::relation::Relation;
+use setlat::{AttrSet, Family, Universe};
+
+/// A positive boolean dependency `X ⇒bool 𝒴`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BooleanDependency {
+    /// The antecedent attribute set `X`.
+    pub lhs: AttrSet,
+    /// The consequent family `𝒴`.
+    pub rhs: Family,
+}
+
+impl BooleanDependency {
+    /// Creates the dependency `X ⇒bool 𝒴`.
+    pub fn new(lhs: AttrSet, rhs: Family) -> Self {
+        BooleanDependency { lhs, rhs }
+    }
+
+    /// The functional dependency `X → Y` seen as a boolean dependency.
+    pub fn from_fd(lhs: AttrSet, rhs: AttrSet) -> Self {
+        BooleanDependency {
+            lhs,
+            rhs: Family::single(rhs),
+        }
+    }
+
+    /// Returns `true` iff the dependency is trivial (some `Y ∈ 𝒴` with `Y ⊆ X`).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.some_member_subset_of(self.lhs)
+    }
+
+    /// Returns `true` iff the relation satisfies the dependency.
+    ///
+    /// Every pair of tuples (including a tuple with itself, which is vacuous
+    /// unless `𝒴 = ∅` and even then holds because `t[Y] = t[Y]`… except that
+    /// with `𝒴 = ∅` the disjunction is empty and false, so a relation satisfies
+    /// `X ⇒bool ∅` only if no two tuples — not even a tuple with itself — agree
+    /// on `X`, i.e. only if `r` is empty.  This matches the differential-
+    /// constraint semantics where `X → ∅` forces the density to vanish on the
+    /// whole interval above `X`.)
+    pub fn satisfied_by(&self, relation: &Relation) -> bool {
+        let tuples = relation.tuples();
+        for t in tuples {
+            for t_prime in tuples {
+                if Relation::tuples_agree_on(t, t_prime, self.lhs)
+                    && !self
+                        .rhs
+                        .iter()
+                        .any(|y| Relation::tuples_agree_on(t, t_prime, y))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Pretty-prints the dependency, e.g. `"A ⇒bool {B, CD}"`.
+    pub fn format(&self, universe: &Universe) -> String {
+        format!(
+            "{} ⇒bool {}",
+            universe.format_set(self.lhs),
+            self.rhs.format(universe)
+        )
+    }
+}
+
+/// Decides whether a relation satisfies all dependencies in a list.
+pub fn all_satisfied(relation: &Relation, deps: &[BooleanDependency]) -> bool {
+    deps.iter().all(|d| d.satisfied_by(relation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::FunctionalDependency;
+
+    fn u() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn sample() -> Relation {
+        Relation::from_tuples(
+            4,
+            vec![
+                vec![1, 10, 100, 7],
+                vec![1, 10, 200, 7],
+                vec![2, 20, 100, 7],
+                vec![2, 30, 100, 8],
+            ],
+        )
+    }
+
+    #[test]
+    fn fd_special_case_agrees_with_fd_satisfaction() {
+        let u = u();
+        let r = sample();
+        for lhs_mask in 0u64..16 {
+            for rhs_mask in 0u64..16 {
+                let lhs = AttrSet::from_bits(lhs_mask);
+                let rhs = AttrSet::from_bits(rhs_mask);
+                let fd = FunctionalDependency::new(lhs, rhs);
+                let bd = BooleanDependency::from_fd(lhs, rhs);
+                assert_eq!(
+                    fd.satisfied_by(&r),
+                    bd.satisfied_by(&r),
+                    "FD/BD disagree on {} (universe {:?})",
+                    fd.format(&u),
+                    u.names()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjunctive_dependency() {
+        let u = u();
+        let r = sample();
+        // A ⇒bool {B, C}: tuples agreeing on A must agree on B or on C.
+        // Tuples 1&2 agree on A and on B; tuples 3&4 agree on A and on C. Holds.
+        let dep = BooleanDependency::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("C").unwrap()]),
+        );
+        assert!(dep.satisfied_by(&r));
+        // A ⇒bool {B} fails (tuples 3&4), and A ⇒bool {C} fails (tuples 1&2).
+        assert!(!BooleanDependency::from_fd(
+            u.parse_set("A").unwrap(),
+            u.parse_set("B").unwrap()
+        )
+        .satisfied_by(&r));
+        assert!(!BooleanDependency::from_fd(
+            u.parse_set("A").unwrap(),
+            u.parse_set("C").unwrap()
+        )
+        .satisfied_by(&r));
+    }
+
+    #[test]
+    fn empty_family_requires_empty_relation() {
+        let u = u();
+        let dep = BooleanDependency::new(u.parse_set("A").unwrap(), Family::empty());
+        assert!(!dep.satisfied_by(&sample()));
+        assert!(dep.satisfied_by(&Relation::new(4)));
+    }
+
+    #[test]
+    fn trivial_dependency_always_holds() {
+        let u = u();
+        let dep = BooleanDependency::new(
+            u.parse_set("AB").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        );
+        assert!(dep.is_trivial());
+        assert!(dep.satisfied_by(&sample()));
+    }
+
+    #[test]
+    fn all_satisfied_helper() {
+        let u = u();
+        let r = sample();
+        let deps = vec![
+            BooleanDependency::from_fd(u.parse_set("B").unwrap(), u.parse_set("A").unwrap()),
+            BooleanDependency::new(
+                u.parse_set("A").unwrap(),
+                Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("C").unwrap()]),
+            ),
+        ];
+        assert!(all_satisfied(&r, &deps));
+    }
+
+    #[test]
+    fn formatting() {
+        let u = u();
+        let dep = BooleanDependency::new(
+            u.parse_set("A").unwrap(),
+            Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
+        );
+        assert_eq!(dep.format(&u), "A ⇒bool {B, CD}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Probability distributions over the tuples of a relation (Definition 7.1).
+//!
+//! The paper couples a nonempty relation `r` with a distribution `p` that is
+//! strictly positive on `r` and zero elsewhere.  The marginal `p_X` on an
+//! attribute set `X` assigns to each `X`-value the total probability of the
+//! tuples projecting onto it; the Simpson function is then built from these
+//! marginals in [`crate::simpson`].
+
+use crate::relation::{Relation, Tuple};
+use setlat::AttrSet;
+use std::collections::HashMap;
+
+/// A nonempty relation together with a strictly positive probability
+/// distribution over its tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilisticRelation {
+    relation: Relation,
+    probabilities: Vec<f64>,
+}
+
+impl ProbabilisticRelation {
+    /// Couples a relation with explicit tuple probabilities.
+    ///
+    /// # Panics
+    /// Panics if the relation is empty, the probability vector has the wrong
+    /// length, any probability is ≤ 0, or the probabilities do not sum to 1
+    /// (within 1e-9).
+    pub fn new(relation: Relation, probabilities: Vec<f64>) -> Self {
+        assert!(!relation.is_empty(), "the relation must be nonempty");
+        assert_eq!(
+            probabilities.len(),
+            relation.len(),
+            "need exactly one probability per tuple"
+        );
+        assert!(
+            probabilities.iter().all(|&p| p > 0.0),
+            "the distribution must be strictly positive on every tuple of r"
+        );
+        let total: f64 = probabilities.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1 (sum = {total})"
+        );
+        ProbabilisticRelation {
+            relation,
+            probabilities,
+        }
+    }
+
+    /// Couples a relation with the uniform distribution `p(t) = 1 / |r|`.
+    ///
+    /// # Panics
+    /// Panics if the relation is empty.
+    pub fn uniform(relation: Relation) -> Self {
+        assert!(!relation.is_empty(), "the relation must be nonempty");
+        let n = relation.len();
+        ProbabilisticRelation {
+            relation,
+            probabilities: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The number of attributes.
+    pub fn arity(&self) -> usize {
+        self.relation.arity()
+    }
+
+    /// The probability of tuple index `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.probabilities[i]
+    }
+
+    /// The probabilities, aligned with [`Relation::tuples`].
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// The marginal distribution `p_X`: a map from `X`-projections to their
+    /// total probability.
+    pub fn marginal(&self, x: AttrSet) -> HashMap<Vec<u32>, f64> {
+        let mut out: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (t, &p) in self.relation.tuples().iter().zip(&self.probabilities) {
+            *out.entry(Relation::project_tuple(t, x)).or_insert(0.0) += p;
+        }
+        out
+    }
+
+    /// The marginal probability `p_X(x_val)` of one specific `X`-value.
+    pub fn marginal_probability(&self, x: AttrSet, value: &[u32]) -> f64 {
+        self.relation
+            .tuples()
+            .iter()
+            .zip(&self.probabilities)
+            .filter(|(t, _)| Relation::project_tuple(t, x) == value)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Iterates over `(tuple, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, f64)> + '_ {
+        self.relation
+            .tuples()
+            .iter()
+            .zip(self.probabilities.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_tuples(
+            3,
+            vec![
+                vec![1, 10, 100],
+                vec![1, 10, 200],
+                vec![2, 20, 100],
+                vec![2, 30, 100],
+            ],
+        )
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let pr = ProbabilisticRelation::uniform(sample());
+        assert!((pr.probability(0) - 0.25).abs() < 1e-12);
+        let total: f64 = pr.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_distribution_validation() {
+        let r = sample();
+        let pr = ProbabilisticRelation::new(r.clone(), vec![0.4, 0.3, 0.2, 0.1]);
+        assert!((pr.probability(3) - 0.1).abs() < 1e-12);
+        assert!(std::panic::catch_unwind(|| {
+            ProbabilisticRelation::new(r.clone(), vec![0.5, 0.5])
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            ProbabilisticRelation::new(r.clone(), vec![0.5, 0.5, 0.0, 0.0])
+        })
+        .is_err());
+        assert!(std::panic::catch_unwind(|| {
+            ProbabilisticRelation::new(r.clone(), vec![0.4, 0.4, 0.4, 0.4])
+        })
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_relation_rejected() {
+        let _ = ProbabilisticRelation::uniform(Relation::new(2));
+    }
+
+    #[test]
+    fn marginals_sum_to_one() {
+        let pr = ProbabilisticRelation::new(sample(), vec![0.4, 0.3, 0.2, 0.1]);
+        for x in [
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([0, 2]),
+            AttrSet::full(3),
+        ] {
+            let marginal = pr.marginal(x);
+            let total: f64 = marginal.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "marginal on {x:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn marginal_values() {
+        let pr = ProbabilisticRelation::new(sample(), vec![0.4, 0.3, 0.2, 0.1]);
+        let x = AttrSet::from_indices([0]);
+        assert!((pr.marginal_probability(x, &[1]) - 0.7).abs() < 1e-12);
+        assert!((pr.marginal_probability(x, &[2]) - 0.3).abs() < 1e-12);
+        assert_eq!(pr.marginal(x).len(), 2);
+        // Marginal on ∅ lumps everything together.
+        assert_eq!(pr.marginal(AttrSet::EMPTY).len(), 1);
+    }
+
+    #[test]
+    fn iteration() {
+        let pr = ProbabilisticRelation::uniform(sample());
+        assert_eq!(pr.iter().count(), 4);
+        for (_, p) in pr.iter() {
+            assert!(p > 0.0);
+        }
+    }
+}

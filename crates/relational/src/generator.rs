@@ -1,0 +1,160 @@
+//! Random relation and distribution generators for the experiments.
+//!
+//! The paper evaluates nothing empirically, so the relational experiments run
+//! on synthetic relations: fully random ones (worst case for dependency
+//! structure), relations with *planted functional dependencies* (the dependent
+//! attributes are computed as functions of their determinants), and skewed
+//! probability distributions.
+
+use crate::distribution::ProbabilisticRelation;
+use crate::fd::FunctionalDependency;
+use crate::relation::{Relation, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random relation with `num_tuples` tuples over `arity` attributes
+/// whose values are drawn uniformly from `0..domain`.
+///
+/// Duplicate tuples are dropped (set semantics), so the result may contain
+/// fewer than `num_tuples` tuples when the domain is small.
+pub fn random_relation(seed: u64, arity: usize, num_tuples: usize, domain: u32) -> Relation {
+    assert!(domain >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples: Vec<Tuple> = (0..num_tuples)
+        .map(|_| (0..arity).map(|_| rng.gen_range(0..domain)).collect())
+        .collect();
+    Relation::from_tuples(arity, tuples)
+}
+
+/// Generates a relation in which every planted FD `X → Y` holds: the values of
+/// the attributes in `Y` are computed deterministically (by hashing) from the
+/// values of the attributes in `X`.
+///
+/// FDs are applied in the given order, iterating to a fixed point so chained
+/// dependencies (`A → B`, `B → C`) are all enforced.
+pub fn relation_with_fds(
+    seed: u64,
+    arity: usize,
+    num_tuples: usize,
+    domain: u32,
+    fds: &[FunctionalDependency],
+) -> Relation {
+    assert!(domain >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples: Vec<Tuple> = (0..num_tuples)
+        .map(|_| (0..arity).map(|_| rng.gen_range(0..domain)).collect())
+        .collect();
+
+    // Enforce the FDs by rewriting dependent attributes as a hash of the
+    // determinant values; iterate to a fixed point to handle chains.
+    for _ in 0..arity + fds.len() + 1 {
+        let mut changed = false;
+        for t in tuples.iter_mut() {
+            for fd in fds {
+                let key: u64 = fd
+                    .lhs
+                    .iter()
+                    .fold(0xcbf29ce484222325u64, |acc, i| {
+                        (acc ^ (t[i] as u64 + 1)).wrapping_mul(0x100000001b3)
+                    });
+                for (offset, attr) in fd.rhs.difference(fd.lhs).iter().enumerate() {
+                    let value = ((key.wrapping_add(offset as u64 * 0x9E3779B9))
+                        % domain as u64) as u32;
+                    if t[attr] != value {
+                        t[attr] = value;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Relation::from_tuples(arity, tuples)
+}
+
+/// Wraps a relation in a probabilistic relation with a random (Dirichlet-ish)
+/// strictly positive distribution.
+///
+/// # Panics
+/// Panics if the relation is empty.
+pub fn random_distribution(seed: u64, relation: Relation) -> ProbabilisticRelation {
+    assert!(!relation.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw: Vec<f64> = (0..relation.len())
+        .map(|_| rng.gen_range(0.05f64..1.0))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    let probs: Vec<f64> = raw.iter().map(|p| p / total).collect();
+    ProbabilisticRelation::new(relation, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::{AttrSet, Universe};
+
+    #[test]
+    fn random_relation_is_reproducible() {
+        let a = random_relation(1, 4, 30, 5);
+        let b = random_relation(1, 4, 30, 5);
+        let c = random_relation(2, 4, 30, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.len() <= 30);
+        assert_eq!(a.arity(), 4);
+    }
+
+    #[test]
+    fn random_relation_respects_domain() {
+        let r = random_relation(7, 3, 50, 3);
+        for t in r.tuples() {
+            for &v in t {
+                assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_fds_hold() {
+        let u = Universe::of_size(5);
+        let fds = vec![
+            FunctionalDependency::new(u.parse_set("A").unwrap(), u.parse_set("B").unwrap()),
+            FunctionalDependency::new(u.parse_set("B").unwrap(), u.parse_set("C").unwrap()),
+            FunctionalDependency::new(u.parse_set("DE").unwrap(), u.parse_set("A").unwrap()),
+        ];
+        let r = relation_with_fds(3, 5, 80, 6, &fds);
+        for fd in &fds {
+            assert!(fd.satisfied_by(&r), "planted FD {} violated", fd.format(&u));
+        }
+        // Transitive consequence A → C must hold as well.
+        let derived =
+            FunctionalDependency::new(u.parse_set("A").unwrap(), u.parse_set("C").unwrap());
+        assert!(derived.satisfied_by(&r));
+    }
+
+    #[test]
+    fn planted_relation_is_not_degenerate() {
+        let u = Universe::of_size(4);
+        let fds = vec![FunctionalDependency::new(
+            u.parse_set("A").unwrap(),
+            u.parse_set("B").unwrap(),
+        )];
+        let r = relation_with_fds(9, 4, 60, 8, &fds);
+        // Attributes not constrained by an FD should still vary.
+        assert!(r.project(AttrSet::from_indices([2])).len() > 1);
+        assert!(r.len() > 10);
+    }
+
+    #[test]
+    fn random_distribution_is_valid_and_reproducible() {
+        let r = random_relation(5, 3, 20, 10);
+        let p1 = random_distribution(11, r.clone());
+        let p2 = random_distribution(11, r.clone());
+        assert_eq!(p1, p2);
+        let total: f64 = p1.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p1.probabilities().iter().all(|&p| p > 0.0));
+    }
+}

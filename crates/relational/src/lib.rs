@@ -1,0 +1,50 @@
+//! # relational — relational-database substrate
+//!
+//! Section 7 of *Differential Constraints* (Sayrafi & Van Gucht, PODS 2005)
+//! connects differential constraints to relational dependency theory: for a
+//! nonempty relation `r` with a probability distribution `p`, the *Simpson
+//! function* `simpson_{r,p}(X) = Σ_x p_X(x)²` is a frequency function
+//! (Proposition 7.2), and it satisfies the differential constraint `X → 𝒴` iff
+//! `r` satisfies the *positive boolean dependency*
+//! `∀t,t′: t[X] = t′[X] ⇒ ⋁_{Y∈𝒴} t[Y] = t′[Y]` (Proposition 7.3).  Functional
+//! dependencies are the single-member special case, which is why the paper's
+//! conclusion observes that the singleton-right-hand-side fragment of the
+//! implication problem is decidable in polynomial time.
+//!
+//! This crate provides:
+//!
+//! * [`relation`] — relations (sets of tuples) over a fixed attribute arity,
+//!   with projections and agree-set machinery;
+//! * [`distribution`] — probability distributions over the tuples of a
+//!   relation and their marginals;
+//! * [`simpson`] — the Simpson function, its density (Proposition 7.2), and the
+//!   Gini/Simpson diversity interpretation;
+//! * [`shannon`] — the Shannon-entropy measure of Lee/Malvestuto/Dalkilic–
+//!   Robertson, implemented for comparison (its implication problem is left
+//!   open by the paper);
+//! * [`fd`] — functional dependencies, attribute-set closure, and the
+//!   polynomial-time implication procedure;
+//! * [`boolean_dep`] — positive boolean dependencies `X ⇒bool 𝒴` and their
+//!   satisfaction check;
+//! * [`armstrong`] — two-tuple witness relations used to refute implications
+//!   (the relational counterpart of the counterexample function in the proof of
+//!   Theorem 3.5);
+//! * [`generator`] — random relations and distributions, including relations
+//!   with planted dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod armstrong;
+pub mod boolean_dep;
+pub mod distribution;
+pub mod fd;
+pub mod generator;
+pub mod relation;
+pub mod shannon;
+pub mod simpson;
+
+pub use boolean_dep::BooleanDependency;
+pub use distribution::ProbabilisticRelation;
+pub use fd::FunctionalDependency;
+pub use relation::{Relation, Tuple};

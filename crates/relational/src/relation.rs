@@ -1,0 +1,271 @@
+//! Relations: finite sets of tuples over a fixed list of attributes.
+//!
+//! Attributes are identified by index (aligning with a
+//! [`Universe`](setlat::Universe) for naming); tuple components are small
+//! integers.  The operations needed by Section 7 of the paper are projections
+//! `t[X]`, agreement of two tuples on an attribute set, and the *agree set* of
+//! a tuple pair — the set of attributes on which they coincide — from which
+//! both functional-dependency and boolean-dependency satisfaction are decided.
+
+use setlat::{AttrSet, Universe};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A tuple: one value per attribute of the schema.
+pub type Tuple = Vec<u32>;
+
+/// A relation (set of tuples) over `arity` attributes.
+///
+/// Construction deduplicates tuples, reflecting set semantics.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `arity` attributes.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from tuples, deduplicating them.
+    ///
+    /// # Panics
+    /// Panics if a tuple has the wrong arity.
+    pub fn from_tuples<I: IntoIterator<Item = Tuple>>(arity: usize, tuples: I) -> Self {
+        let mut seen: HashSet<Tuple> = HashSet::new();
+        let mut out: Vec<Tuple> = Vec::new();
+        for t in tuples {
+            assert_eq!(
+                t.len(),
+                arity,
+                "tuple {t:?} has arity {} but the relation has arity {arity}",
+                t.len()
+            );
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+        Relation { arity, tuples: out }
+    }
+
+    /// Parses a relation from rows of whitespace-separated integers.
+    pub fn parse(arity: usize, text: &str) -> Result<Self, String> {
+        let mut tuples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let values: Result<Vec<u32>, _> =
+                trimmed.split_whitespace().map(str::parse::<u32>).collect();
+            let values = values.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if values.len() != arity {
+                return Err(format!(
+                    "line {}: expected {arity} values, found {}",
+                    lineno + 1,
+                    values.len()
+                ));
+            }
+            tuples.push(values);
+        }
+        Ok(Relation::from_tuples(arity, tuples))
+    }
+
+    /// Adds a tuple if not already present.
+    ///
+    /// # Panics
+    /// Panics if the tuple has the wrong arity.
+    pub fn insert(&mut self, tuple: Tuple) {
+        assert_eq!(tuple.len(), self.arity, "wrong arity");
+        if !self.tuples.contains(&tuple) {
+            self.tuples.push(tuple);
+        }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` iff the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The projection `t[X]` of one tuple: the values of the attributes in `x`,
+    /// in attribute order.
+    pub fn project_tuple(tuple: &[u32], x: AttrSet) -> Vec<u32> {
+        x.iter().map(|i| tuple[i]).collect()
+    }
+
+    /// The projection `π_X(r)` of the relation: the set of distinct `X`-values.
+    pub fn project(&self, x: AttrSet) -> Vec<Vec<u32>> {
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            let proj = Relation::project_tuple(t, x);
+            if seen.insert(proj.clone()) {
+                out.push(proj);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` iff tuples `t` and `t'` agree on every attribute in `x`.
+    pub fn tuples_agree_on(t: &[u32], t_prime: &[u32], x: AttrSet) -> bool {
+        x.iter().all(|i| t[i] == t_prime[i])
+    }
+
+    /// The *agree set* of two tuples: the set of attributes on which they coincide.
+    pub fn agree_set(t: &[u32], t_prime: &[u32]) -> AttrSet {
+        let mut out = AttrSet::EMPTY;
+        for i in 0..t.len().min(t_prime.len()) {
+            if t[i] == t_prime[i] {
+                out.insert(i);
+            }
+        }
+        out
+    }
+
+    /// All agree sets of distinct tuple pairs (with multiplicity removed).
+    pub fn agree_sets(&self) -> Vec<AttrSet> {
+        let mut out: Vec<AttrSet> = Vec::new();
+        for (i, t) in self.tuples.iter().enumerate() {
+            for t_prime in &self.tuples[i + 1..] {
+                out.push(Relation::agree_set(t, t_prime));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Formats the relation as a table using attribute names from the universe.
+    pub fn format(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        out.push_str(&universe.names().join("\t"));
+        out.push('\n');
+        for t in &self.tuples {
+            let row: Vec<String> = t.iter().map(u32::to_string).collect();
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Relation(arity={}, {} tuples)",
+            self.arity,
+            self.tuples.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        Relation::from_tuples(
+            3,
+            vec![
+                vec![1, 10, 100],
+                vec![1, 10, 200],
+                vec![2, 20, 100],
+                vec![2, 30, 100],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_dedups() {
+        let r = Relation::from_tuples(2, vec![vec![1, 2], vec![1, 2], vec![3, 4]]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let _ = Relation::from_tuples(2, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let r = Relation::parse(3, "1 10 100\n1 10 200\n\n2 20 100").unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(Relation::parse(2, "1 2 3").is_err());
+        assert!(Relation::parse(2, "1 x").is_err());
+    }
+
+    #[test]
+    fn projection() {
+        let r = sample();
+        let proj = r.project(AttrSet::from_indices([0]));
+        assert_eq!(proj.len(), 2);
+        let proj2 = r.project(AttrSet::from_indices([0, 1]));
+        assert_eq!(proj2.len(), 3);
+        let proj_empty = r.project(AttrSet::EMPTY);
+        assert_eq!(proj_empty.len(), 1); // the empty tuple, once
+    }
+
+    #[test]
+    fn agreement_and_agree_sets() {
+        let t1 = vec![1, 10, 100];
+        let t2 = vec![1, 20, 100];
+        assert!(Relation::tuples_agree_on(&t1, &t2, AttrSet::from_indices([0, 2])));
+        assert!(!Relation::tuples_agree_on(&t1, &t2, AttrSet::from_indices([1])));
+        assert_eq!(Relation::agree_set(&t1, &t2), AttrSet::from_indices([0, 2]));
+        // Every tuple agrees with itself everywhere.
+        assert_eq!(Relation::agree_set(&t1, &t1), AttrSet::full(3));
+    }
+
+    #[test]
+    fn agree_sets_of_relation() {
+        let r = sample();
+        let sets = r.agree_sets();
+        assert!(sets.contains(&AttrSet::from_indices([0, 1])));
+        assert!(sets.contains(&AttrSet::from_indices([2])));
+        // No pair of distinct tuples agrees on everything.
+        assert!(!sets.contains(&AttrSet::full(3)));
+    }
+
+    #[test]
+    fn insert_is_set_like() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1, 2]);
+        r.insert(vec![1, 2]);
+        r.insert(vec![2, 3]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn formatting() {
+        let u = Universe::of_size(2);
+        let r = Relation::from_tuples(2, vec![vec![1, 2]]);
+        let s = r.format(&u);
+        assert!(s.contains("A\tB"));
+        assert!(s.contains("1\t2"));
+    }
+}

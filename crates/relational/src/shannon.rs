@@ -1,0 +1,107 @@
+//! Shannon-entropy measures over attribute sets.
+//!
+//! Lee, Malvestuto and later Dalkilic & Robertson studied relational
+//! dependencies through the entropy `H(X) = −Σ_x p_X(x) log₂ p_X(x)` of the
+//! marginal distribution on an attribute set.  The paper leaves open whether
+//! its Section 7 results transfer from the Simpson function to the Shannon
+//! function; this module implements the Shannon measure so that the experiments
+//! can at least compare the two empirically (e.g. both detect functional
+//! dependencies, but their densities differ in sign behaviour).
+
+use crate::distribution::ProbabilisticRelation;
+use setlat::{mobius, AttrSet, SetFunction};
+
+/// The Shannon entropy (base 2) of the marginal distribution on `x`.
+pub fn entropy_at(pr: &ProbabilisticRelation, x: AttrSet) -> f64 {
+    pr.marginal(x)
+        .values()
+        .map(|&p| if p > 0.0 { -p * p.log2() } else { 0.0 })
+        .sum()
+}
+
+/// Materializes the entropy function `X ↦ H(X)` as a dense [`SetFunction`].
+pub fn entropy_function(pr: &ProbabilisticRelation) -> SetFunction {
+    SetFunction::from_fn(pr.arity(), |x| entropy_at(pr, x))
+}
+
+/// The *information dependency measure* of Dalkilic & Robertson:
+/// `InD(X → Y) = H(X ∪ Y) − H(X)`, the conditional entropy `H(Y | X)`.
+/// It is zero iff the functional dependency `X → Y` holds in the relation.
+pub fn conditional_entropy(pr: &ProbabilisticRelation, x: AttrSet, y: AttrSet) -> f64 {
+    entropy_at(pr, x.union(y)) - entropy_at(pr, x)
+}
+
+/// The density function of the entropy function (for comparison with the
+/// Simpson density; it is *not* nonnegative in general, which is one obstacle
+/// to transferring Section 7 to Shannon functions).
+pub fn entropy_density(pr: &ProbabilisticRelation) -> SetFunction {
+    mobius::density_function(&entropy_function(pr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn sample() -> ProbabilisticRelation {
+        ProbabilisticRelation::uniform(Relation::from_tuples(
+            3,
+            vec![
+                vec![1, 10, 100],
+                vec![1, 10, 200],
+                vec![2, 20, 100],
+                vec![2, 30, 100],
+            ],
+        ))
+    }
+
+    #[test]
+    fn entropy_of_empty_set_is_zero() {
+        let pr = sample();
+        assert!(entropy_at(&pr, AttrSet::EMPTY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_key_is_log_n() {
+        let pr = sample();
+        assert!((entropy_at(&pr, AttrSet::full(3)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_monotone() {
+        let pr = sample();
+        let f = entropy_function(&pr);
+        for mask in 0u64..8 {
+            let x = AttrSet::from_bits(mask);
+            for i in 0..3 {
+                if !x.contains(i) {
+                    assert!(f.get(x) <= f.get(x.with(i)) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_entropy_detects_fds() {
+        // In the sample relation attribute 1 determines attribute 0
+        // (10→1, 20→2, 30→2) but attribute 0 does not determine attribute 1.
+        let pr = sample();
+        let a = AttrSet::from_indices([0]);
+        let b = AttrSet::from_indices([1]);
+        assert!(conditional_entropy(&pr, b, a).abs() < 1e-12);
+        assert!(conditional_entropy(&pr, a, b) > 0.1);
+    }
+
+    #[test]
+    fn entropy_density_can_be_negative() {
+        // Unlike the Simpson density, the entropy density takes negative values
+        // on generic relations — the empirical face of the paper's open problem.
+        let pr = ProbabilisticRelation::uniform(Relation::from_tuples(
+            2,
+            vec![vec![1, 1], vec![1, 2], vec![2, 1]],
+        ));
+        let d = entropy_density(&pr);
+        let has_negative = d.values().iter().any(|&v| v < -1e-9);
+        assert!(has_negative);
+    }
+}

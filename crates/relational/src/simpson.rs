@@ -1,0 +1,160 @@
+//! Simpson functions of probabilistic relations (Definition 7.1, Prop. 7.2).
+//!
+//! `simpson_{r,p}(X) = Σ_{x ∈ π_X(r)} p_X(x)²` measures the uniformity of the
+//! `X`-components of the tuples of `r` under `p` (Simpson's diversity index).
+//! Proposition 7.2 gives its density function in closed form,
+//!
+//! ```text
+//! d_simpson(X) = Σ_{t,t' ∈ r, c(X,t,t')} p(t)·p(t'),
+//! c(X,t,t')  ⇔  t[X] = t'[X]  and  t(y) ≠ t'(y) for every y ∉ X,
+//! ```
+//!
+//! which is manifestly nonnegative — so every Simpson function is a frequency
+//! function and all the Section 6 results apply to it.
+
+use crate::distribution::ProbabilisticRelation;
+use crate::relation::Relation;
+use setlat::{mobius, AttrSet, SetFunction};
+
+/// Evaluates the Simpson function at a single attribute set.
+pub fn simpson_at(pr: &ProbabilisticRelation, x: AttrSet) -> f64 {
+    pr.marginal(x).values().map(|p| p * p).sum()
+}
+
+/// Materializes the full Simpson function as a dense [`SetFunction`].
+pub fn simpson_function(pr: &ProbabilisticRelation) -> SetFunction {
+    SetFunction::from_fn(pr.arity(), |x| simpson_at(pr, x))
+}
+
+/// Evaluates the density of the Simpson function at `X` using the closed form
+/// of Proposition 7.2 (the double sum over tuple pairs), without any Möbius
+/// transform.
+pub fn simpson_density_at_closed_form(pr: &ProbabilisticRelation, x: AttrSet) -> f64 {
+    let arity = pr.arity();
+    let tuples = pr.relation().tuples();
+    let mut acc = 0.0;
+    for (i, t) in tuples.iter().enumerate() {
+        for (j, t_prime) in tuples.iter().enumerate() {
+            if condition_c(t, t_prime, x, arity) {
+                acc += pr.probability(i) * pr.probability(j);
+            }
+        }
+    }
+    acc
+}
+
+/// The condition `c(X, t, t')` of Proposition 7.2: the tuples agree on every
+/// attribute of `X` and disagree on every attribute outside `X`.
+fn condition_c(t: &[u32], t_prime: &[u32], x: AttrSet, arity: usize) -> bool {
+    Relation::tuples_agree_on(t, t_prime, x)
+        && x.complement_in(arity).iter().all(|y| t[y] != t_prime[y])
+}
+
+/// The density function of the Simpson function, via the Möbius transform of
+/// the materialized Simpson table.
+pub fn simpson_density(pr: &ProbabilisticRelation) -> SetFunction {
+    mobius::density_function(&simpson_function(pr))
+}
+
+/// Returns `true` iff the Simpson function of `pr` is a frequency function
+/// (it always is, per Proposition 7.2; exposed for tests and demonstrations).
+pub fn simpson_is_frequency_function(pr: &ProbabilisticRelation) -> bool {
+    simpson_density(pr).is_nonnegative(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample() -> ProbabilisticRelation {
+        ProbabilisticRelation::uniform(Relation::from_tuples(
+            3,
+            vec![
+                vec![1, 10, 100],
+                vec![1, 10, 200],
+                vec![2, 20, 100],
+                vec![2, 30, 100],
+            ],
+        ))
+    }
+
+    #[test]
+    fn simpson_of_empty_set_is_one() {
+        // p_∅ has a single value with probability 1, so simpson(∅) = 1.
+        let pr = sample();
+        assert!((simpson_at(&pr, AttrSet::EMPTY) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_of_key_is_sum_of_squares() {
+        // On the full attribute set every tuple is its own group:
+        // simpson(S) = Σ p(t)² = 4 · (1/4)² = 1/4.
+        let pr = sample();
+        assert!((simpson_at(&pr, AttrSet::full(3)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_values_manual() {
+        let pr = sample();
+        // Attribute 0 groups tuples {0,1} and {2,3}: 0.5² + 0.5² = 0.5.
+        assert!((simpson_at(&pr, AttrSet::from_indices([0])) - 0.5).abs() < 1e-12);
+        // Attribute 1 groups {0,1}, {2}, {3}: 0.25 + 0.0625 + 0.0625 = 0.375.
+        assert!((simpson_at(&pr, AttrSet::from_indices([1])) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_is_monotone_decreasing_in_x() {
+        // Adding attributes refines the grouping, which can only lower Σ p².
+        let pr = sample();
+        let u = Universe::of_size(3);
+        let f = simpson_function(&pr);
+        for x in u.all_subsets() {
+            for i in 0..3 {
+                if !x.contains(i) {
+                    assert!(f.get(x) >= f.get(x.with(i)) - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proposition_7_2_density_closed_form() {
+        let pr = sample();
+        let u = Universe::of_size(3);
+        let density = simpson_density(&pr);
+        for x in u.all_subsets() {
+            let closed = simpson_density_at_closed_form(&pr, x);
+            assert!(
+                (density.get(x) - closed).abs() < 1e-9,
+                "Prop. 7.2 mismatch at {x:?}: transform {} vs closed form {closed}",
+                density.get(x)
+            );
+        }
+    }
+
+    #[test]
+    fn simpson_density_is_nonnegative() {
+        let pr = sample();
+        assert!(simpson_is_frequency_function(&pr));
+        // Also with a skewed distribution.
+        let skewed = ProbabilisticRelation::new(
+            Relation::from_tuples(2, vec![vec![1, 1], vec![1, 2], vec![2, 2]]),
+            vec![0.7, 0.2, 0.1],
+        );
+        assert!(simpson_is_frequency_function(&skewed));
+    }
+
+    #[test]
+    fn single_tuple_relation() {
+        let pr = ProbabilisticRelation::uniform(Relation::from_tuples(2, vec![vec![5, 7]]));
+        let u = Universe::of_size(2);
+        for x in u.all_subsets() {
+            assert!((simpson_at(&pr, x) - 1.0).abs() < 1e-12);
+        }
+        let d = simpson_density(&pr);
+        // All the density mass sits at the full set.
+        assert!((d.get(AttrSet::full(2)) - 1.0).abs() < 1e-12);
+        assert!((d.get(AttrSet::EMPTY)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the relational substrate.
+
+use proptest::prelude::*;
+use relational::boolean_dep::BooleanDependency;
+use relational::distribution::ProbabilisticRelation;
+use relational::fd::{self, FunctionalDependency};
+use relational::relation::Relation;
+use relational::{shannon, simpson};
+use setlat::{AttrSet, Family, Universe};
+
+const N: usize = 4;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(0u32..3, N), 1..10)
+        .prop_map(|tuples| Relation::from_tuples(N, tuples))
+}
+
+fn arb_distribution() -> impl Strategy<Value = ProbabilisticRelation> {
+    (arb_relation(), any::<u64>()).prop_map(|(r, seed)| {
+        // Deterministic strictly-positive weights derived from the seed.
+        let weights: Vec<f64> = (0..r.len())
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                0.1 + ((x >> 33) % 1000) as f64 / 1000.0
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        ProbabilisticRelation::new(r, probs)
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = AttrSet> {
+    (0u64..(1u64 << N)).prop_map(AttrSet::from_bits)
+}
+
+fn arb_family() -> impl Strategy<Value = Family> {
+    proptest::collection::vec((1u64..(1u64 << N)).prop_map(AttrSet::from_bits), 0..3)
+        .prop_map(Family::from_sets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Marginals always sum to 1, for every attribute set.
+    #[test]
+    fn marginals_are_distributions(pr in arb_distribution(), x in arb_set()) {
+        let total: f64 = pr.marginal(x).values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Proposition 7.2: the Simpson density is nonnegative and matches the
+    /// closed-form double sum over tuple pairs.
+    #[test]
+    fn simpson_density_nonnegative_and_closed_form(pr in arb_distribution()) {
+        let density = simpson::simpson_density(&pr);
+        let u = Universe::of_size(N);
+        for x in u.all_subsets() {
+            let closed = simpson::simpson_density_at_closed_form(&pr, x);
+            prop_assert!((density.get(x) - closed).abs() < 1e-6);
+            prop_assert!(closed >= -1e-9);
+        }
+    }
+
+    /// The Simpson function is antitone in the attribute set and bounded by (0, 1].
+    #[test]
+    fn simpson_is_antitone_and_bounded(pr in arb_distribution(), x in arb_set()) {
+        let value = simpson::simpson_at(&pr, x);
+        prop_assert!(value > 0.0 && value <= 1.0 + 1e-9);
+        for i in 0..N {
+            if !x.contains(i) {
+                prop_assert!(simpson::simpson_at(&pr, x.with(i)) <= value + 1e-9);
+            }
+        }
+    }
+
+    /// Shannon entropy is monotone in the attribute set and zero on ∅.
+    #[test]
+    fn entropy_is_monotone(pr in arb_distribution(), x in arb_set()) {
+        prop_assert!(shannon::entropy_at(&pr, AttrSet::EMPTY).abs() < 1e-9);
+        let h = shannon::entropy_at(&pr, x);
+        prop_assert!(h >= -1e-9);
+        for i in 0..N {
+            if !x.contains(i) {
+                prop_assert!(shannon::entropy_at(&pr, x.with(i)) + 1e-9 >= h);
+            }
+        }
+    }
+
+    /// An FD holds iff the conditional entropy vanishes iff the boolean-dependency
+    /// translation holds (three ways of saying the same thing about a relation).
+    #[test]
+    fn fd_criteria_agree(r in arb_relation(), lhs in arb_set(), rhs in arb_set()) {
+        let pr = ProbabilisticRelation::uniform(r.clone());
+        let fd = FunctionalDependency::new(lhs, rhs);
+        let by_definition = fd.satisfied_by(&r);
+        let by_entropy = shannon::conditional_entropy(&pr, lhs, rhs).abs() < 1e-9;
+        let by_boolean = BooleanDependency::from_fd(lhs, rhs).satisfied_by(&r);
+        prop_assert_eq!(by_definition, by_entropy);
+        prop_assert_eq!(by_definition, by_boolean);
+    }
+
+    /// Closure-based FD implication is sound on the relation it was mined from:
+    /// anything implied by the satisfied FDs is itself satisfied.
+    #[test]
+    fn fd_implication_is_sound(r in arb_relation(), lhs in arb_set(), attr in 0usize..N) {
+        let mined = fd::mine_fds(&r, N);
+        let goal = FunctionalDependency::new(lhs, AttrSet::singleton(attr));
+        if fd::implies(&mined, &goal) {
+            prop_assert!(goal.satisfied_by(&r));
+        }
+    }
+
+    /// Attribute closure is extensive, monotone and idempotent.
+    #[test]
+    fn closure_is_a_closure_operator(r in arb_relation(), x in arb_set(), y in arb_set()) {
+        let fds = fd::mine_fds(&r, N);
+        let cx = fd::attribute_closure(x, &fds);
+        prop_assert!(x.is_subset(cx));
+        prop_assert_eq!(fd::attribute_closure(cx, &fds), cx);
+        if x.is_subset(y) {
+            prop_assert!(cx.is_subset(fd::attribute_closure(y, &fds)));
+        }
+    }
+
+    /// Trivial boolean dependencies always hold; the empty-family dependency holds
+    /// only on the empty relation (which `arb_relation` never produces).
+    #[test]
+    fn boolean_dependency_degenerate_cases(r in arb_relation(), lhs in arb_set(), fam in arb_family()) {
+        let trivial = BooleanDependency::new(lhs, fam.with_member(lhs.intersect(lhs)));
+        // (lhs itself is a member, so the dependency is trivial)
+        prop_assert!(trivial.is_trivial());
+        prop_assert!(trivial.satisfied_by(&r));
+        let empty = BooleanDependency::new(lhs, Family::empty());
+        prop_assert!(!empty.satisfied_by(&r));
+    }
+
+    /// Agree sets behave like agree sets: a pair's agree set contains an attribute
+    /// iff the two tuples coincide there, and every tuple agrees with itself on S.
+    #[test]
+    fn agree_sets_are_consistent(r in arb_relation()) {
+        let tuples = r.tuples();
+        for t in tuples {
+            prop_assert_eq!(Relation::agree_set(t, t), AttrSet::full(N));
+        }
+        for (i, t) in tuples.iter().enumerate() {
+            for t2 in &tuples[i + 1..] {
+                let agree = Relation::agree_set(t, t2);
+                for a in 0..N {
+                    prop_assert_eq!(agree.contains(a), t[a] == t2[a]);
+                }
+                prop_assert!(agree != AttrSet::full(N), "distinct tuples cannot agree everywhere");
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Compact bitset representation of attribute sets (subsets of a finite universe).
+//!
+//! An [`AttrSet`] is a subset of a [`Universe`](crate::Universe) of at most
+//! [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) attributes, stored as a `u64` bit mask.
+//! Attribute `i` of the universe is a member of the set iff bit `i` is set.
+//!
+//! All set-algebra operations are `O(1)`; iteration over members is `O(|X|)`.
+
+use std::fmt;
+
+/// A subset of a finite attribute universe, stored as a 64-bit mask.
+///
+/// `AttrSet` is `Copy` and extremely cheap to pass around; every operation that
+/// the paper performs on subsets of `S` (union, intersection, difference,
+/// containment, cardinality) is a single machine instruction here.
+///
+/// An `AttrSet` does not remember which universe it came from; pairing a set
+/// with the wrong universe is a logic error that the [`Universe`](crate::Universe)
+/// formatting helpers will surface as out-of-range attribute indices.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set `∅`.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Creates a set from a raw bit mask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Returns the raw bit mask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The singleton set `{i}` containing only attribute index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn singleton(i: usize) -> Self {
+        assert!(i < 64, "attribute index {i} out of range for AttrSet");
+        AttrSet(1u64 << i)
+    }
+
+    /// Builds a set from an iterator of attribute indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= 64`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut bits = 0u64;
+        for i in iter {
+            assert!(i < 64, "attribute index {i} out of range for AttrSet");
+            bits |= 1u64 << i;
+        }
+        AttrSet(bits)
+    }
+
+    /// The full set `{0, 1, …, n-1}` over a universe of `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 64, "universe size {n} exceeds 64");
+        if n == 64 {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Returns `true` iff the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The number of attributes in the set (`|X|`).
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` iff attribute index `i` is a member of the set.
+    #[inline]
+    pub const fn contains(self, i: usize) -> bool {
+        i < 64 && (self.0 >> i) & 1 == 1
+    }
+
+    /// Set union `X ∪ Y`.
+    #[inline]
+    pub const fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection `X ∩ Y`.
+    #[inline]
+    pub const fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `X − Y`.
+    #[inline]
+    pub const fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Symmetric difference `X △ Y`.
+    #[inline]
+    pub const fn symmetric_difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 ^ other.0)
+    }
+
+    /// Complement of the set within a universe of `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn complement_in(self, n: usize) -> AttrSet {
+        AttrSet(!self.0 & AttrSet::full(n).0)
+    }
+
+    /// Returns `true` iff `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` iff `self ⊂ other` (proper subset).
+    #[inline]
+    pub const fn is_proper_subset(self, other: AttrSet) -> bool {
+        self.is_subset(other) && self.0 != other.0
+    }
+
+    /// Returns `true` iff `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset(self, other: AttrSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Returns `true` iff the two sets are disjoint (`X ∩ Y = ∅`).
+    #[inline]
+    pub const fn is_disjoint(self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Returns `true` iff the two sets intersect (`X ∩ Y ≠ ∅`).
+    #[inline]
+    pub const fn intersects(self, other: AttrSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Adds attribute index `i` to the set, returning the new set.
+    #[inline]
+    pub fn with(self, i: usize) -> AttrSet {
+        self.union(AttrSet::singleton(i))
+    }
+
+    /// Removes attribute index `i` from the set, returning the new set.
+    #[inline]
+    pub fn without(self, i: usize) -> AttrSet {
+        self.difference(AttrSet::singleton(i))
+    }
+
+    /// Inserts attribute index `i` in place.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        *self = self.with(i);
+    }
+
+    /// Removes attribute index `i` in place.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        *self = self.without(i);
+    }
+
+    /// Iterates over the attribute indices in the set, in increasing order.
+    #[inline]
+    pub fn iter(self) -> AttrIter {
+        AttrIter { bits: self.0 }
+    }
+
+    /// The smallest attribute index in the set, or `None` for the empty set.
+    #[inline]
+    pub fn min_attr(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// The largest attribute index in the set, or `None` for the empty set.
+    #[inline]
+    pub fn max_attr(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Returns the singleton subsets of this set, in increasing index order.
+    ///
+    /// This is the paper's `Ū = {{u} | u ∈ U}` operation (Section 4.2).
+    pub fn singletons(self) -> Vec<AttrSet> {
+        self.iter().map(AttrSet::singleton).collect()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrSet{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl std::ops::BitOr for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::Sub for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl std::ops::BitXor for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitxor(self, rhs: AttrSet) -> AttrSet {
+        self.symmetric_difference(rhs)
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = usize;
+    type IntoIter = AttrIter;
+    fn into_iter(self) -> AttrIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the attribute indices of an [`AttrSet`], in increasing order.
+#[derive(Clone, Debug)]
+pub struct AttrIter {
+    bits: u64,
+}
+
+impl Iterator for AttrIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            let i = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let e = AttrSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert!(e.is_subset(AttrSet::full(5)));
+        assert!(e.is_subset(e));
+        assert_eq!(e.min_attr(), None);
+        assert_eq!(e.max_attr(), None);
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = AttrSet::singleton(3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn from_indices_dedups() {
+        let s = AttrSet::from_indices([1, 3, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn full_universe() {
+        assert_eq!(AttrSet::full(0), AttrSet::EMPTY);
+        assert_eq!(AttrSet::full(3).len(), 3);
+        assert_eq!(AttrSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AttrSet::from_indices([0, 1, 2]);
+        let b = AttrSet::from_indices([1, 2, 3]);
+        assert_eq!(a.union(b), AttrSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), AttrSet::from_indices([1, 2]));
+        assert_eq!(a.difference(b), AttrSet::from_indices([0]));
+        assert_eq!(a.symmetric_difference(b), AttrSet::from_indices([0, 3]));
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersect(b));
+        assert_eq!(a - b, a.difference(b));
+        assert_eq!(a ^ b, a.symmetric_difference(b));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = AttrSet::from_indices([0, 1]);
+        let b = AttrSet::from_indices([0, 1, 2]);
+        assert!(a.is_subset(b));
+        assert!(a.is_proper_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(b.is_superset(a));
+        assert!(a.is_subset(a));
+        assert!(!a.is_proper_subset(a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = AttrSet::from_indices([0, 1]);
+        let b = AttrSet::from_indices([2, 3]);
+        let c = AttrSet::from_indices([1, 2]);
+        assert!(a.is_disjoint(b));
+        assert!(!a.is_disjoint(c));
+        assert!(a.intersects(c));
+        assert!(!a.intersects(b));
+    }
+
+    #[test]
+    fn complement() {
+        let a = AttrSet::from_indices([0, 2]);
+        assert_eq!(a.complement_in(4), AttrSet::from_indices([1, 3]));
+        assert_eq!(AttrSet::EMPTY.complement_in(3), AttrSet::full(3));
+    }
+
+    #[test]
+    fn with_without_insert_remove() {
+        let mut a = AttrSet::EMPTY;
+        a.insert(5);
+        a.insert(2);
+        assert_eq!(a, AttrSet::from_indices([2, 5]));
+        a.remove(5);
+        assert_eq!(a, AttrSet::singleton(2));
+        assert_eq!(a.with(7), AttrSet::from_indices([2, 7]));
+        assert_eq!(a.without(2), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn min_max_attr() {
+        let a = AttrSet::from_indices([3, 9, 41]);
+        assert_eq!(a.min_attr(), Some(3));
+        assert_eq!(a.max_attr(), Some(41));
+    }
+
+    #[test]
+    fn singletons_decomposition() {
+        let a = AttrSet::from_indices([1, 4]);
+        assert_eq!(
+            a.singletons(),
+            vec![AttrSet::singleton(1), AttrSet::singleton(4)]
+        );
+        assert!(AttrSet::EMPTY.singletons().is_empty());
+    }
+
+    #[test]
+    fn debug_format() {
+        let a = AttrSet::from_indices([0, 2]);
+        assert_eq!(format!("{a:?}"), "AttrSet{0,2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn singleton_out_of_range_panics() {
+        let _ = AttrSet::singleton(64);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            AttrSet::from_indices([1]),
+            AttrSet::EMPTY,
+            AttrSet::from_indices([0, 1]),
+        ];
+        v.sort();
+        assert_eq!(v[0], AttrSet::EMPTY);
+    }
+}

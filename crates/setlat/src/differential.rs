@@ -1,0 +1,247 @@
+//! `𝒴`-differentials of set functions (Definition 2.1 of the paper).
+//!
+//! For a family `𝒴` of subsets of `S` and a function `f ∈ F(S)`, the
+//! `𝒴`-differential of `f` is the function
+//!
+//! ```text
+//! D^𝒴_f(X) = Σ_{𝒵 ⊆ 𝒴} (−1)^{|𝒵|} f(X ∪ ⋃𝒵).
+//! ```
+//!
+//! Proposition 2.9 states that the differential equals the sum of the density
+//! function over the lattice decomposition:
+//! `D^𝒴_f(X) = Σ_{U ∈ L(X,𝒴)} d_f(U)`.  Both evaluation strategies are provided;
+//! their agreement is tested here and property-tested in the crate's test suite.
+
+use crate::attrset::AttrSet;
+use crate::family::Family;
+use crate::lattice::in_lattice;
+use crate::mobius::density_function;
+use crate::powerset::supersets_within;
+use crate::setfn::SetFunction;
+
+/// Evaluates the differential `D^𝒴_f(X)` directly from Definition 2.1, summing
+/// over all `2^|𝒴|` sub-families.
+pub fn differential_at(f: &SetFunction, x: AttrSet, fam: &Family) -> f64 {
+    let members = fam.members();
+    let k = members.len();
+    assert!(
+        k <= 30,
+        "differential over a family of more than 30 members is infeasible"
+    );
+    let mut acc = 0.0;
+    for chooser in 0u64..(1u64 << k) {
+        let mut union = x;
+        for (i, &m) in members.iter().enumerate() {
+            if (chooser >> i) & 1 == 1 {
+                union = union.union(m);
+            }
+        }
+        let sign = if chooser.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * f.get(union);
+    }
+    acc
+}
+
+/// Evaluates `D^𝒴_f(X)` through Proposition 2.9, as the sum of a precomputed
+/// density function over the members of `L(X, 𝒴)`.
+///
+/// `density` must be the density function of the same `f` (see
+/// [`crate::mobius::density_function`]).
+pub fn differential_via_density(density: &SetFunction, x: AttrSet, fam: &Family) -> f64 {
+    let n = density.universe_size();
+    supersets_within(x, n)
+        .filter(|&u| in_lattice(x, fam, u))
+        .map(|u| density.get(u))
+        .sum()
+}
+
+/// Computes the full differential function `X ↦ D^𝒴_f(X)` as a [`SetFunction`].
+pub fn differential_function(f: &SetFunction, fam: &Family) -> SetFunction {
+    SetFunction::from_fn(f.universe_size(), |x| differential_at(f, x, fam))
+}
+
+/// The density function expressed as a differential (Definition 2.1, second
+/// part): `d_f(X) = D^{{y} | y ∈ S−X}_f(X)`.
+///
+/// This is an alternative route to the density at a single point; the full
+/// density table is more efficiently computed by
+/// [`crate::mobius::density_function`].
+pub fn density_at_via_differential(f: &SetFunction, x: AttrSet) -> f64 {
+    let n = f.universe_size();
+    let complement_singletons = Family::of_singletons(x.complement_in(n));
+    differential_at(f, x, &complement_singletons)
+}
+
+/// Returns `true` iff `f` is a *frequency function* in the sense of Section 6 of
+/// the paper: for every family `𝒴` of subsets of `S`, the differential `D^𝒴_f`
+/// is nonnegative.
+///
+/// By Proposition 2.9 this is equivalent to the density function of `f` being
+/// nonnegative (every differential is a sum of densities over a lattice, and
+/// conversely each density value is itself a differential), so the check is a
+/// single Möbius transform rather than an enumeration of all families.
+pub fn is_frequency_function(f: &SetFunction, tol: f64) -> bool {
+    density_function(f).is_nonnegative(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn abcd() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn fam(u: &Universe, members: &[&str]) -> Family {
+        Family::from_sets(members.iter().map(|m| u.parse_set(m).unwrap()))
+    }
+
+    fn test_function() -> SetFunction {
+        SetFunction::from_fn(4, |x| ((x.bits() * 37 + 11) % 17) as f64 - 5.0)
+    }
+
+    #[test]
+    fn example_2_2_expansion() {
+        // D^{B,CD}_f(A) = f(A) − f(AB) − f(ACD) + f(ABCD).
+        let u = abcd();
+        let f = test_function();
+        let g = |names: &str| f.get(u.parse_set(names).unwrap());
+        let expected = g("A") - g("AB") - g("ACD") + g("ABCD");
+        let actual = differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
+        assert!((expected - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_2_2_density_points() {
+        // d_f(A) = D^{B,C,D}_f(A); d_f(AC) = D^{B,D}_f(AC); d_f(AD) = D^{B,C}_f(AD).
+        let u = abcd();
+        let f = test_function();
+        let d = density_function(&f);
+        let cases = [("A", vec!["B", "C", "D"]), ("AC", vec!["B", "D"]), ("AD", vec!["B", "C"])];
+        for (x, family) in cases {
+            let xv = u.parse_set(x).unwrap();
+            let expected = d.get(xv);
+            let actual = differential_at(&f, xv, &fam(&u, &family));
+            assert!(
+                (expected - actual).abs() < 1e-12,
+                "mismatch for d_f({x}) via differential"
+            );
+        }
+    }
+
+    #[test]
+    fn example_2_10_density_sum() {
+        // D^{B,CD}_f(A) = d_f(A) + d_f(AC) + d_f(AD).
+        let u = abcd();
+        let f = test_function();
+        let d = density_function(&f);
+        let g = |names: &str| d.get(u.parse_set(names).unwrap());
+        let expected = g("A") + g("AC") + g("AD");
+        let actual = differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
+        assert!((expected - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_2_9_agreement() {
+        // Direct evaluation and density-sum evaluation agree for many (X, 𝒴) pairs.
+        let u = abcd();
+        let f = test_function();
+        let d = density_function(&f);
+        let families = [
+            vec![],
+            vec!["B"],
+            vec!["B", "CD"],
+            vec!["BC", "BD"],
+            vec!["A", "B", "C", "D"],
+            vec!["ABCD"],
+        ];
+        for x in u.all_subsets() {
+            for members in &families {
+                let fm = fam(&u, members);
+                let direct = differential_at(&f, x, &fm);
+                let via = differential_via_density(&d, x, &fm);
+                assert!(
+                    (direct - via).abs() < 1e-9,
+                    "Proposition 2.9 mismatch at X={x:?}, 𝒴={members:?}: {direct} vs {via}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_1_2_3_formats() {
+        // The three constraints of the introduction as differentials:
+        // (1) Y = ∅:        D^∅_f(X) = f(X)
+        // (2) Y = {Y}:      D^{Y}_f(X) = f(X) − f(X ∪ Y)
+        // (3) Y = {Y, Z}:   D^{Y,Z}_f(X) = f(X) − f(X∪Y) − f(X∪Z) + f(X∪Y∪Z)
+        let u = abcd();
+        let f = test_function();
+        let x = u.parse_set("A").unwrap();
+        let y = u.parse_set("B").unwrap();
+        let z = u.parse_set("CD").unwrap();
+        let g = |s: AttrSet| f.get(s);
+
+        assert!((differential_at(&f, x, &Family::empty()) - g(x)).abs() < 1e-12);
+        assert!(
+            (differential_at(&f, x, &Family::single(y)) - (g(x) - g(x.union(y)))).abs() < 1e-12
+        );
+        let expected3 =
+            g(x) - g(x.union(y)) - g(x.union(z)) + g(x.union(y).union(z));
+        assert!(
+            (differential_at(&f, x, &Family::from_sets([y, z])) - expected3).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn density_via_differential_matches_mobius() {
+        let f = test_function();
+        let d = density_function(&f);
+        let u = abcd();
+        for x in u.all_subsets() {
+            let via = density_at_via_differential(&f, x);
+            assert!((via - d.get(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn differential_function_table() {
+        let u = abcd();
+        let f = test_function();
+        let fm = fam(&u, &["B", "CD"]);
+        let table = differential_function(&f, &fm);
+        for x in u.all_subsets() {
+            assert!((table.get(x) - differential_at(&f, x, &fm)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frequency_function_detection() {
+        // A support-like function (nonnegative density) is a frequency function;
+        // the function of Remark 3.6 is not.
+        let mut density = SetFunction::zeros(3);
+        density.set(AttrSet::from_indices([0]), 2.0);
+        density.set(AttrSet::from_indices([0, 1]), 1.0);
+        let f = crate::mobius::from_density(&density);
+        assert!(is_frequency_function(&f, 1e-12));
+
+        let mut g = SetFunction::zeros(1);
+        g.set(AttrSet::singleton(0), 1.0);
+        assert!(!is_frequency_function(&g, 1e-12));
+    }
+
+    #[test]
+    fn duplicate_members_have_no_effect() {
+        // A family is a *set*: {Y, Y} = {Y}. Family normalization guarantees this,
+        // and the differential honours it.
+        let u = abcd();
+        let f = test_function();
+        let x = u.parse_set("A").unwrap();
+        let single = Family::single(u.parse_set("B").unwrap());
+        let doubled = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("B").unwrap()]);
+        assert_eq!(single, doubled);
+        assert!(
+            (differential_at(&f, x, &single) - differential_at(&f, x, &doubled)).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Families of subsets: the `𝒴` in a differential constraint `X → 𝒴`.
+//!
+//! A [`Family`] is a finite *set* of subsets of the universe `S`.  It is kept
+//! sorted and deduplicated so that two families with the same members compare
+//! equal and hash identically.
+
+use crate::attrset::AttrSet;
+use crate::universe::Universe;
+use std::fmt;
+
+/// A set `𝒴` of subsets of the universe `S`.
+///
+/// Families are value types: construction normalizes the member list (sorted,
+/// deduplicated) so `Eq`/`Hash`/`Ord` reflect set equality of the members.
+///
+/// The paper uses the notation `⋃𝒴` for the union of all members
+/// ([`Family::union_all`]) and works extensively with families whose members
+/// are singletons (`Ū = {{u} | u ∈ U}`, see [`Family::of_singletons`]).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Family {
+    members: Vec<AttrSet>,
+}
+
+impl Family {
+    /// The empty family `∅` (no members at all).
+    ///
+    /// Note the distinction the paper draws between the empty family and the
+    /// family `{∅}` containing the empty set: `𝒲(∅) = {∅}` but a family that
+    /// contains `∅` as a member makes every constraint with that right-hand side
+    /// trivial only when `∅ ⊆ X`, i.e. always.
+    pub fn empty() -> Self {
+        Family {
+            members: Vec::new(),
+        }
+    }
+
+    /// Builds a family from an iterator of member sets, normalizing order and
+    /// removing duplicates.
+    pub fn from_sets<I: IntoIterator<Item = AttrSet>>(iter: I) -> Self {
+        let mut members: Vec<AttrSet> = iter.into_iter().collect();
+        members.sort();
+        members.dedup();
+        Family { members }
+    }
+
+    /// The family of singletons `{{u} | u ∈ U}` of a set `U` (written `Ū` in
+    /// Section 4.2 of the paper).
+    pub fn of_singletons(set: AttrSet) -> Self {
+        Family::from_sets(set.iter().map(AttrSet::singleton))
+    }
+
+    /// The family `{Y}` with a single member.
+    pub fn single(y: AttrSet) -> Self {
+        Family { members: vec![y] }
+    }
+
+    /// Number of members `|𝒴|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` iff the family has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns `true` iff `y` is a member of the family.
+    pub fn contains(&self, y: AttrSet) -> bool {
+        self.members.binary_search(&y).is_ok()
+    }
+
+    /// The members, sorted.
+    pub fn members(&self) -> &[AttrSet] {
+        &self.members
+    }
+
+    /// Iterates over the members, in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The union of all members, `⋃𝒴`.  For the empty family this is `∅`.
+    pub fn union_all(&self) -> AttrSet {
+        self.members
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, &m| acc.union(m))
+    }
+
+    /// Returns the family `𝒴 ∪ {Z}`.
+    pub fn with_member(&self, z: AttrSet) -> Family {
+        let mut members = self.members.clone();
+        if let Err(pos) = members.binary_search(&z) {
+            members.insert(pos, z);
+        }
+        Family { members }
+    }
+
+    /// Returns the family `𝒴 − {Z}`.
+    pub fn without_member(&self, z: AttrSet) -> Family {
+        let mut members = self.members.clone();
+        if let Ok(pos) = members.binary_search(&z) {
+            members.remove(pos);
+        }
+        Family { members }
+    }
+
+    /// Returns the union of two families (as sets of sets).
+    pub fn union(&self, other: &Family) -> Family {
+        Family::from_sets(self.iter().chain(other.iter()))
+    }
+
+    /// Returns `true` iff some member of the family is empty.
+    ///
+    /// A constraint `X → 𝒴` with `∅ ∈ 𝒴` is always trivial.
+    pub fn has_empty_member(&self) -> bool {
+        self.members.first().is_some_and(|m| m.is_empty())
+    }
+
+    /// Returns `true` iff some member of the family is a subset of `x`.
+    ///
+    /// This is exactly the paper's triviality condition for `X → 𝒴`
+    /// (Definition 3.1): `X → 𝒴` is trivial iff `Y ⊆ X` for some `Y ∈ 𝒴`.
+    pub fn some_member_subset_of(&self, x: AttrSet) -> bool {
+        self.members.iter().any(|&y| y.is_subset(x))
+    }
+
+    /// Returns `true` iff some member of the family is a subset of `u`.
+    ///
+    /// This is the key membership test of Proposition 2.9: a set `U` with
+    /// `X ⊆ U` belongs to `L(X, 𝒴)` iff **no** member of `𝒴` is contained in `U`.
+    pub fn some_member_contained_in(&self, u: AttrSet) -> bool {
+        self.members.iter().any(|&y| y.is_subset(u))
+    }
+
+    /// Returns the family `{Y ∩ W | Y ∈ 𝒴}` of member-wise intersections with `W`
+    /// (used in the proof of Proposition 4.6).
+    pub fn intersect_members_with(&self, w: AttrSet) -> Family {
+        Family::from_sets(self.iter().map(|y| y.intersect(w)))
+    }
+
+    /// Returns `true` iff every member consists of a single attribute.
+    pub fn all_singletons(&self) -> bool {
+        self.members.iter().all(|m| m.len() == 1)
+    }
+
+    /// Formats the family in the paper's notation, e.g. `"{B, CD}"`.
+    pub fn format(&self, universe: &Universe) -> String {
+        let items: Vec<String> = self
+            .members
+            .iter()
+            .map(|&m| universe.format_set(m))
+            .collect();
+        format!("{{{}}}", items.join(", "))
+    }
+}
+
+impl fmt::Debug for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Family{:?}", self.members)
+    }
+}
+
+impl FromIterator<AttrSet> for Family {
+    fn from_iter<T: IntoIterator<Item = AttrSet>>(iter: T) -> Self {
+        Family::from_sets(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Family {
+    type Item = AttrSet;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, AttrSet>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Universe {
+        Universe::of_size(4)
+    }
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let u = abcd();
+        let f1 = Family::from_sets([
+            u.parse_set("CD").unwrap(),
+            u.parse_set("B").unwrap(),
+            u.parse_set("B").unwrap(),
+        ]);
+        let f2 = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), 2);
+    }
+
+    #[test]
+    fn empty_vs_containing_empty() {
+        let f = Family::empty();
+        assert!(f.is_empty());
+        assert!(!f.has_empty_member());
+        let g = Family::single(AttrSet::EMPTY);
+        assert!(!g.is_empty());
+        assert!(g.has_empty_member());
+    }
+
+    #[test]
+    fn union_all() {
+        let u = abcd();
+        let f = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
+        assert_eq!(f.union_all(), u.parse_set("BCD").unwrap());
+        assert_eq!(Family::empty().union_all(), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn of_singletons() {
+        let u = abcd();
+        let f = Family::of_singletons(u.parse_set("ACD").unwrap());
+        assert_eq!(f.len(), 3);
+        assert!(f.all_singletons());
+        assert!(f.contains(u.parse_set("A").unwrap()));
+        assert!(f.contains(u.parse_set("C").unwrap()));
+        assert!(f.contains(u.parse_set("D").unwrap()));
+    }
+
+    #[test]
+    fn with_without_member() {
+        let u = abcd();
+        let f = Family::single(u.parse_set("B").unwrap());
+        let g = f.with_member(u.parse_set("CD").unwrap());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.with_member(u.parse_set("B").unwrap()), g);
+        assert_eq!(g.without_member(u.parse_set("CD").unwrap()), f);
+        assert_eq!(f.without_member(u.parse_set("AC").unwrap()), f);
+    }
+
+    #[test]
+    fn triviality_condition() {
+        let u = abcd();
+        // A → {AB, CD} is not trivial; AB → {AB, CD} and ABC → {AB} are trivial.
+        let fam = Family::from_sets([u.parse_set("AB").unwrap(), u.parse_set("CD").unwrap()]);
+        assert!(!fam.some_member_subset_of(u.parse_set("A").unwrap()));
+        assert!(fam.some_member_subset_of(u.parse_set("AB").unwrap()));
+        assert!(fam.some_member_subset_of(u.parse_set("ABC").unwrap()));
+    }
+
+    #[test]
+    fn member_containment_test() {
+        let u = abcd();
+        let fam = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
+        assert!(!fam.some_member_contained_in(u.parse_set("AC").unwrap()));
+        assert!(fam.some_member_contained_in(u.parse_set("ACD").unwrap()));
+        assert!(fam.some_member_contained_in(u.parse_set("AB").unwrap()));
+    }
+
+    #[test]
+    fn intersect_members() {
+        let u = abcd();
+        let fam = Family::from_sets([u.parse_set("AB").unwrap(), u.parse_set("CD").unwrap()]);
+        let w = u.parse_set("BC").unwrap();
+        let projected = fam.intersect_members_with(w);
+        assert!(projected.contains(u.parse_set("B").unwrap()));
+        assert!(projected.contains(u.parse_set("C").unwrap()));
+        assert_eq!(projected.len(), 2);
+    }
+
+    #[test]
+    fn family_union() {
+        let u = abcd();
+        let f = Family::single(u.parse_set("A").unwrap());
+        let g = Family::single(u.parse_set("B").unwrap());
+        let h = f.union(&g);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn formatting() {
+        let u = abcd();
+        let fam = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
+        assert_eq!(fam.format(&u), "{B, CD}");
+        assert_eq!(Family::empty().format(&u), "{}");
+    }
+}

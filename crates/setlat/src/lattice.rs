@@ -1,0 +1,342 @@
+//! Lattice decompositions `L(X, 𝒴)` (Definition 2.6 of the paper) and
+//! semilattice utilities.
+//!
+//! The paper defines `L(X, 𝒴) = ⋃_{W ∈ 𝒲(𝒴)} [X, W̄]` where `W̄` is the complement
+//! of the witness set `W` in `S`.  The proof of Proposition 2.9 gives the
+//! equivalent — and computationally far more convenient — characterization
+//!
+//! ```text
+//! L(X, 𝒴) = { U | X ⊆ U ⊆ S  and  no member of 𝒴 is contained in U }.
+//! ```
+//!
+//! Both forms are implemented here ([`lattice_decomposition`] uses the
+//! characterization; [`lattice_via_witnesses`] uses the witness-union form) and
+//! their equality is verified in tests and property tests.
+//!
+//! The membership test [`in_lattice`] is the workhorse of the implication
+//! decision procedure in the `diffcon` crate: by Theorem 3.5,
+//! `C ⊨ X → 𝒴  ⇔  L(X, 𝒴) ⊆ L(C)`, and membership of a single set `U` in some
+//! `L(X', 𝒴')` is an `O(|𝒴'|)` bitset check.
+
+use crate::attrset::AttrSet;
+use crate::family::Family;
+use crate::powerset::{interval, supersets_within};
+use crate::universe::Universe;
+use crate::witness::witness_sets;
+
+/// Membership test: `U ∈ L(X, 𝒴)` iff `X ⊆ U` and no member of `𝒴` is contained
+/// in `U` (Proposition 2.9).  `O(|𝒴|)` bitset operations.
+#[inline]
+pub fn in_lattice(x: AttrSet, fam: &Family, u: AttrSet) -> bool {
+    x.is_subset(u) && !fam.some_member_contained_in(u)
+}
+
+/// Computes the full lattice decomposition `L(X, 𝒴)` over the given universe, as
+/// a sorted vector of sets.
+///
+/// The size of `L(X, 𝒴)` can be exponential in `|S|`; callers that only need a
+/// membership test should use [`in_lattice`] instead.
+pub fn lattice_decomposition(universe: &Universe, x: AttrSet, fam: &Family) -> Vec<AttrSet> {
+    let n = universe.len();
+    let mut out: Vec<AttrSet> = supersets_within(x, n)
+        .filter(|&u| !fam.some_member_contained_in(u))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Computes `L(X, 𝒴)` directly from Definition 2.6: the union over witness sets
+/// `W ∈ 𝒲(𝒴)` of the intervals `[X, W̄]` (complement taken in `S`).
+///
+/// Exponentially slower than [`lattice_decomposition`] in the worst case; kept
+/// as an executable form of the paper's original definition and used to
+/// cross-validate the characterization.
+pub fn lattice_via_witnesses(universe: &Universe, x: AttrSet, fam: &Family) -> Vec<AttrSet> {
+    let n = universe.len();
+    let mut out: Vec<AttrSet> = Vec::new();
+    for w in witness_sets(fam) {
+        let hi = w.complement_in(n);
+        for u in interval(x, hi) {
+            out.push(u);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Counts `|L(X, 𝒴)|` without materializing the decomposition, by
+/// inclusion–exclusion over the members of `𝒴`:
+///
+/// `|L(X, 𝒴)| = Σ_{𝒵 ⊆ 𝒴, X ∪ ⋃𝒵 consistent} (−1)^{|𝒵|} 2^{|S| − |X ∪ ⋃𝒵|}`.
+///
+/// Each term counts the supersets of `X ∪ ⋃𝒵`; the alternating sum removes the
+/// sets that contain some member of `𝒴`.
+pub fn lattice_size(universe: &Universe, x: AttrSet, fam: &Family) -> i128 {
+    let n = universe.len();
+    let members = fam.members();
+    let k = members.len();
+    assert!(k <= 30, "inclusion-exclusion over more than 30 members is infeasible");
+    let mut total: i128 = 0;
+    for chooser in 0u64..(1u64 << k) {
+        let mut union = x;
+        for (i, &m) in members.iter().enumerate() {
+            if (chooser >> i) & 1 == 1 {
+                union = union.union(m);
+            }
+        }
+        let sign: i128 = if chooser.count_ones() % 2 == 0 { 1 } else { -1 };
+        total += sign * (1i128 << (n - union.len()));
+    }
+    total
+}
+
+/// Returns `true` iff `L(X, 𝒴)` is empty, i.e. the constraint `X → 𝒴` is trivial
+/// (some member of `𝒴` is contained in `X`).
+pub fn lattice_is_empty(x: AttrSet, fam: &Family) -> bool {
+    fam.some_member_subset_of(x)
+}
+
+/// Checks Proposition 2.8 for concrete arguments:
+/// `L(X, 𝒴) = L(X, 𝒴 ∪ {Z}) ∪ L(X ∪ Z, 𝒴)`.
+///
+/// Returns `true` when the identity holds (it always should; this is exposed so
+/// tests and property tests can exercise the identity through the public API).
+pub fn proposition_2_8_holds(universe: &Universe, x: AttrSet, fam: &Family, z: AttrSet) -> bool {
+    let lhs = lattice_decomposition(universe, x, fam);
+    let mut rhs = lattice_decomposition(universe, x, &fam.with_member(z));
+    rhs.extend(lattice_decomposition(universe, x.union(z), fam));
+    rhs.sort();
+    rhs.dedup();
+    lhs == rhs
+}
+
+/// Returns `true` iff the collection of sets is a *meet-semilattice* under
+/// intersection: every pair of members has its intersection in the collection.
+pub fn is_meet_semilattice(sets: &[AttrSet]) -> bool {
+    closed_under(sets, AttrSet::intersect)
+}
+
+/// Returns `true` iff the collection of sets is a *join-semilattice* under
+/// union: every pair of members has its union in the collection.
+pub fn is_join_semilattice(sets: &[AttrSet]) -> bool {
+    closed_under(sets, AttrSet::union)
+}
+
+fn closed_under(sets: &[AttrSet], op: impl Fn(AttrSet, AttrSet) -> AttrSet) -> bool {
+    let mut sorted: Vec<AttrSet> = sets.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    for (i, &a) in sorted.iter().enumerate() {
+        for &b in &sorted[i + 1..] {
+            if sorted.binary_search(&op(a, b)).is_err() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The union `L(C) = ⋃ L(X_i, 𝒴_i)` over a list of `(X, 𝒴)` pairs, materialized
+/// as a sorted deduplicated vector.  Used by exhaustive reference
+/// implementations of the implication problem; the production decision
+/// procedure in `diffcon` avoids materializing this set.
+pub fn lattice_union(universe: &Universe, parts: &[(AttrSet, Family)]) -> Vec<AttrSet> {
+    let mut out: Vec<AttrSet> = Vec::new();
+    for (x, fam) in parts {
+        out.extend(lattice_decomposition(universe, *x, fam));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn fam(u: &Universe, members: &[&str]) -> Family {
+        Family::from_sets(members.iter().map(|m| u.parse_set(m).unwrap()))
+    }
+
+    fn sets(u: &Universe, names: &[&str]) -> Vec<AttrSet> {
+        let mut v: Vec<AttrSet> = names.iter().map(|s| u.parse_set(s).unwrap()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn example_2_7_first_decomposition() {
+        // L(A, {B, CD}) = {A, AC, AD}.
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        let f = fam(&u, &["B", "CD"]);
+        assert_eq!(lattice_decomposition(&u, x, &f), sets(&u, &["A", "AC", "AD"]));
+    }
+
+    #[test]
+    fn example_2_7_second_decomposition() {
+        // L(A, {BC, BD}) = {A, AB, AC, AD, ACD}.
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        let f = fam(&u, &["BC", "BD"]);
+        assert_eq!(
+            lattice_decomposition(&u, x, &f),
+            sets(&u, &["A", "AB", "AC", "AD", "ACD"])
+        );
+    }
+
+    #[test]
+    fn witness_form_matches_characterization() {
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        for members in [
+            vec!["B", "CD"],
+            vec!["BC", "BD"],
+            vec!["B"],
+            vec!["BCD"],
+            vec!["B", "C", "D"],
+        ] {
+            let f = fam(&u, &members);
+            assert_eq!(
+                lattice_decomposition(&u, x, &f),
+                lattice_via_witnesses(&u, x, &f),
+                "mismatch for family {members:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_family_gives_full_interval() {
+        // L(X, ∅) = [X, S]: with no members, no exclusion applies.
+        let u = abcd();
+        let x = u.parse_set("AB").unwrap();
+        let l = lattice_decomposition(&u, x, &Family::empty());
+        assert_eq!(l.len(), 4);
+        for s in &l {
+            assert!(x.is_subset(*s));
+        }
+        assert_eq!(l, lattice_via_witnesses(&u, x, &Family::empty()));
+    }
+
+    #[test]
+    fn trivial_constraint_has_empty_lattice() {
+        let u = abcd();
+        let x = u.parse_set("AB").unwrap();
+        let f = fam(&u, &["B", "CD"]); // B ⊆ AB ⇒ trivial
+        assert!(lattice_is_empty(x, &f));
+        assert!(lattice_decomposition(&u, x, &f).is_empty());
+        assert_eq!(lattice_size(&u, x, &f), 0);
+    }
+
+    #[test]
+    fn membership_agrees_with_enumeration() {
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        let f = fam(&u, &["B", "CD"]);
+        let l = lattice_decomposition(&u, x, &f);
+        for s in u.all_subsets() {
+            assert_eq!(in_lattice(x, &f, s), l.contains(&s), "mismatch at {s:?}");
+        }
+    }
+
+    #[test]
+    fn lattice_size_matches_enumeration() {
+        let u = Universe::of_size(6);
+        let x = u.parse_set("A").unwrap();
+        let f = Family::from_sets([
+            u.parse_set("BC").unwrap(),
+            u.parse_set("DE").unwrap(),
+            u.parse_set("F").unwrap(),
+        ]);
+        assert_eq!(
+            lattice_size(&u, x, &f),
+            lattice_decomposition(&u, x, &f).len() as i128
+        );
+    }
+
+    #[test]
+    fn proposition_2_8_spot_checks() {
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        let f = fam(&u, &["B", "CD"]);
+        for z in ["B", "C", "CD", "BD", "ABCD", ""] {
+            assert!(
+                proposition_2_8_holds(&u, x, &f, u.parse_set(z).unwrap()),
+                "Proposition 2.8 failed for Z = {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_3_2_lattices() {
+        // S = {A,B,C}: L(A, {B}) = {A, AC}, L(B, {C}) = {B, AB}, L(C, {A}) = {C, BC}.
+        let u = Universe::of_size(3);
+        let l1 = lattice_decomposition(&u, u.parse_set("A").unwrap(), &fam(&u, &["B"]));
+        assert_eq!(l1, sets(&u, &["A", "AC"]));
+        let l2 = lattice_decomposition(&u, u.parse_set("B").unwrap(), &fam(&u, &["C"]));
+        assert_eq!(l2, sets(&u, &["B", "AB"]));
+        let l3 = lattice_decomposition(&u, u.parse_set("C").unwrap(), &fam(&u, &["A"]));
+        assert_eq!(l3, sets(&u, &["C", "BC"]));
+    }
+
+    #[test]
+    fn remark_3_6_lattice_of_empty_constraint() {
+        // S = {A}: L(∅, ∅) = {∅, A}.
+        let u = Universe::of_size(1);
+        let l = lattice_decomposition(&u, AttrSet::EMPTY, &Family::empty());
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn remark_4_5_atomic_lattices() {
+        // For U ∈ L(X, 𝒴): L(U, {{z} | z ∈ S − U}) = {U}.
+        let u = abcd();
+        let x = u.parse_set("A").unwrap();
+        let f = fam(&u, &["B", "CD"]);
+        for member in lattice_decomposition(&u, x, &f) {
+            let complement_singletons = Family::of_singletons(member.complement_in(u.len()));
+            let l = lattice_decomposition(&u, member, &complement_singletons);
+            assert_eq!(l, vec![member]);
+        }
+    }
+
+    #[test]
+    fn semilattice_checks() {
+        let u = abcd();
+        // {A, AB, AC, ABC} is both meet- and join-closed.
+        let closed = sets(&u, &["A", "AB", "AC", "ABC"]);
+        assert!(is_meet_semilattice(&closed));
+        assert!(is_join_semilattice(&closed));
+        // {AB, AC} is neither meet- nor join-closed (misses A and ABC).
+        let open = sets(&u, &["AB", "AC"]);
+        assert!(!is_meet_semilattice(&open));
+        assert!(!is_join_semilattice(&open));
+        // An interval [X, W̄] is always both.
+        let iv: Vec<AttrSet> =
+            interval(u.parse_set("A").unwrap(), u.parse_set("ACD").unwrap()).collect();
+        assert!(is_meet_semilattice(&iv));
+        assert!(is_join_semilattice(&iv));
+    }
+
+    #[test]
+    fn lattice_union_combines_constraints() {
+        // Example 3.4: C = {A → {B}, B → {C}} has
+        // L(C) = {A, AC} ∪ {B, AB} = {A, AC, B, AB}, which contains L(A, {C}) = {A, AB}.
+        let u = Universe::of_size(3);
+        let parts = vec![
+            (u.parse_set("A").unwrap(), fam(&u, &["B"])),
+            (u.parse_set("B").unwrap(), fam(&u, &["C"])),
+        ];
+        let lc = lattice_union(&u, &parts);
+        assert_eq!(lc, sets(&u, &["A", "AC", "B", "AB"]));
+        let goal = lattice_decomposition(&u, u.parse_set("A").unwrap(), &fam(&u, &["C"]));
+        for g in goal {
+            assert!(lc.contains(&g));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # setlat — set functions and lattice decompositions
+//!
+//! This crate is the foundational substrate for the reproduction of
+//! *Differential Constraints* (Sayrafi & Van Gucht, PODS 2005).  It provides:
+//!
+//! * [`AttrSet`] — compact bitset representation of subsets of a finite universe `S`;
+//! * [`Universe`] — a named attribute universe with parsing/formatting helpers;
+//! * [`Family`] — a set `𝒴` of subsets of `S` (the right-hand side of a
+//!   differential constraint);
+//! * [`SetFunction`] — a dense real-valued function `f : 2^S → ℝ`;
+//! * Möbius/zeta transforms ([`mobius`]) relating a function to its *density
+//!   function* (Remark 2.3 of the paper);
+//! * `𝒴`-differentials ([`differential`], Definition 2.1);
+//! * witness sets ([`witness`], Definition 2.5);
+//! * lattice decompositions `L(X, 𝒴)` ([`lattice`], Definition 2.6) and the
+//!   structural identities of Propositions 2.8 and 2.9.
+//!
+//! The crate is deliberately free of any notion of "constraint": it only knows
+//! about sets, families, functions, and lattices.  The `diffcon` crate builds
+//! the constraint language and its implication problem on top of this substrate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use setlat::{Universe, AttrSet, Family, SetFunction, lattice};
+//!
+//! // Example 2.7 of the paper: S = {A,B,C,D}, L(A, {B, CD}) = {A, AC, AD}.
+//! let u = Universe::from_names(["A", "B", "C", "D"]).unwrap();
+//! let x = u.set(["A"]).unwrap();
+//! let fam = Family::from_sets([u.set(["B"]).unwrap(), u.set(["C", "D"]).unwrap()]);
+//! let l = lattice::lattice_decomposition(&u, x, &fam);
+//! let expected: Vec<AttrSet> = vec![
+//!     u.set(["A"]).unwrap(),
+//!     u.set(["A", "C"]).unwrap(),
+//!     u.set(["A", "D"]).unwrap(),
+//! ];
+//! assert_eq!(l.as_slice(), expected.as_slice());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod differential;
+pub mod family;
+pub mod lattice;
+pub mod mobius;
+pub mod powerset;
+pub mod setfn;
+pub mod universe;
+pub mod witness;
+
+pub use attrset::AttrSet;
+pub use family::Family;
+pub use setfn::SetFunction;
+pub use universe::Universe;
+
+/// The maximum number of attributes supported by the bitset representation.
+///
+/// [`AttrSet`] stores a subset of the universe as a `u64` mask, so universes may
+/// hold at most 64 attributes.  Dense [`SetFunction`]s additionally require the
+/// universe to be small enough that `2^|S|` values fit comfortably in memory; see
+/// [`setfn::MAX_DENSE_UNIVERSE`].
+pub const MAX_UNIVERSE: usize = 64;

@@ -1,0 +1,185 @@
+//! Möbius / zeta transforms: the relationship between a set function and its
+//! *density function* (Remark 2.3 of the paper).
+//!
+//! For `f ∈ F(S)`, the density function `d_f` is the unique function with
+//!
+//! ```text
+//! d_f(X) = Σ_{X ⊆ U ⊆ S} (-1)^{|U|-|X|} f(U)        (Möbius inversion, eq. (4))
+//! f(X)   = Σ_{X ⊆ U ⊆ S} d_f(U)                      (zeta transform,   eq. (5))
+//! ```
+//!
+//! Both directions are implemented with the standard `O(n·2^n)` "superset-sum"
+//! dynamic programs ([`density_function`], [`from_density`]) as well as naive
+//! `O(3^n)`-ish reference implementations used in tests
+//! ([`density_function_naive`], [`from_density_naive`]).
+
+use crate::attrset::AttrSet;
+use crate::powerset::supersets_within;
+use crate::setfn::SetFunction;
+
+/// Computes the density function `d_f` (the Möbius inverse of `f`) using the
+/// fast superset-sum transform in `O(n · 2^n)` time.
+pub fn density_function(f: &SetFunction) -> SetFunction {
+    let n = f.universe_size();
+    let mut d = f.clone();
+    let table = d.values_mut();
+    for i in 0..n {
+        let bit = 1usize << i;
+        for mask in 0..table.len() {
+            if mask & bit == 0 {
+                table[mask] -= table[mask | bit];
+            }
+        }
+    }
+    d
+}
+
+/// Reconstructs `f` from its density function `d` using the fast superset-sum
+/// zeta transform in `O(n · 2^n)` time: `f(X) = Σ_{X ⊆ U} d(U)`.
+pub fn from_density(d: &SetFunction) -> SetFunction {
+    let n = d.universe_size();
+    let mut f = d.clone();
+    let table = f.values_mut();
+    for i in 0..n {
+        let bit = 1usize << i;
+        for mask in 0..table.len() {
+            if mask & bit == 0 {
+                table[mask] += table[mask | bit];
+            }
+        }
+    }
+    f
+}
+
+/// Naive `Σ_{X ⊆ U ⊆ S} (-1)^{|U|-|X|} f(U)` evaluation of the density at one set.
+pub fn density_at_naive(f: &SetFunction, x: AttrSet) -> f64 {
+    let n = f.universe_size();
+    let mut acc = 0.0;
+    for u in supersets_within(x, n) {
+        let sign = if (u.len() - x.len()).is_multiple_of(2) { 1.0 } else { -1.0 };
+        acc += sign * f.get(u);
+    }
+    acc
+}
+
+/// Naive density function computed set-by-set; used as a reference in tests.
+pub fn density_function_naive(f: &SetFunction) -> SetFunction {
+    SetFunction::from_fn(f.universe_size(), |x| density_at_naive(f, x))
+}
+
+/// Naive zeta evaluation `f(X) = Σ_{X ⊆ U ⊆ S} d(U)` at one set.
+pub fn zeta_at_naive(d: &SetFunction, x: AttrSet) -> f64 {
+    let n = d.universe_size();
+    supersets_within(x, n).map(|u| d.get(u)).sum()
+}
+
+/// Naive reconstruction of `f` from its density, set-by-set; reference for tests.
+pub fn from_density_naive(d: &SetFunction) -> SetFunction {
+    SetFunction::from_fn(d.universe_size(), |x| zeta_at_naive(d, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn example_22_function() -> (Universe, SetFunction) {
+        // An arbitrary but fixed function over S = {A,B,C,D} used to check the
+        // identities of Example 2.4 numerically.
+        let u = Universe::of_size(4);
+        let f = SetFunction::from_fn(4, |x| (x.bits() as f64).sin() + x.len() as f64);
+        (u, f)
+    }
+
+    #[test]
+    fn fast_density_matches_naive() {
+        let (_u, f) = example_22_function();
+        let fast = density_function(&f);
+        let naive = density_function_naive(&f);
+        assert!(fast.max_abs_diff(&naive) < 1e-12);
+    }
+
+    #[test]
+    fn fast_zeta_matches_naive() {
+        let (_u, f) = example_22_function();
+        let d = density_function(&f);
+        let fast = from_density(&d);
+        let naive = from_density_naive(&d);
+        assert!(fast.max_abs_diff(&naive) < 1e-12);
+    }
+
+    #[test]
+    fn mobius_then_zeta_is_identity() {
+        let (_u, f) = example_22_function();
+        let d = density_function(&f);
+        let back = from_density(&d);
+        assert!(back.max_abs_diff(&f) < 1e-12);
+    }
+
+    #[test]
+    fn zeta_then_mobius_is_identity() {
+        let d = SetFunction::from_fn(5, |x| (x.bits() % 7) as f64 - 3.0);
+        let f = from_density(&d);
+        let back = density_function(&f);
+        assert!(back.max_abs_diff(&d) < 1e-12);
+    }
+
+    #[test]
+    fn example_2_4_density_of_a() {
+        // Example 2.4: d_f(A) = f(A) − f(AB) − f(AC) − f(AD)
+        //                      + f(ABC) + f(ABD) + f(ACD) − f(ABCD).
+        let (u, f) = example_22_function();
+        let d = density_function(&f);
+        let g = |names: &str| f.get(u.parse_set(names).unwrap());
+        let expected = g("A") - g("AB") - g("AC") - g("AD") + g("ABC") + g("ABD") + g("ACD")
+            - g("ABCD");
+        let actual = d.get(u.parse_set("A").unwrap());
+        assert!((expected - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_2_4_reconstruction_of_a() {
+        // Example 2.4: f(A) = d_f(A) + d_f(AB) + d_f(AC) + d_f(AD)
+        //                    + d_f(ABC) + d_f(ABD) + d_f(ACD) + d_f(ABCD).
+        let (u, f) = example_22_function();
+        let d = density_function(&f);
+        let g = |names: &str| d.get(u.parse_set(names).unwrap());
+        let expected = g("A") + g("AB") + g("AC") + g("AD") + g("ABC") + g("ABD") + g("ACD")
+            + g("ABCD");
+        let actual = f.get(u.parse_set("A").unwrap());
+        assert!((expected - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_density_is_point() {
+        // The counterexample function of Theorem 3.5: f^U has density c at U, 0 elsewhere.
+        let target = AttrSet::from_indices([0, 2]);
+        let f = SetFunction::point_mass(4, target, 3.0);
+        let d = density_function(&f);
+        for (x, v) in d.iter() {
+            if x == target {
+                assert!((v - 3.0).abs() < 1e-12);
+            } else {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn remark_3_6_example() {
+        // Remark 3.6: S = {A}, f(∅) = 0, f(A) = 1 gives d_f(∅) = −1, d_f(A) = 1.
+        let mut f = SetFunction::zeros(1);
+        f.set(AttrSet::singleton(0), 1.0);
+        let d = density_function(&f);
+        assert!((d.get(AttrSet::EMPTY) - (-1.0)).abs() < 1e-12);
+        assert!((d.get(AttrSet::singleton(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_empty_universe() {
+        let f = SetFunction::constant(0, 7.0);
+        let d = density_function(&f);
+        assert_eq!(d.get(AttrSet::EMPTY), 7.0);
+        assert!(from_density(&d).max_abs_diff(&f) < 1e-12);
+    }
+}

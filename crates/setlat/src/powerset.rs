@@ -1,0 +1,268 @@
+//! Enumeration helpers over the powerset `2^S`.
+//!
+//! The decision procedures in the paper repeatedly iterate over subsets of a
+//! given set, supersets of a set within the universe, and intervals
+//! `[X, Z] = {U | X ⊆ U ⊆ Z}`.  This module provides allocation-free iterators
+//! for each, all based on the standard mask-walking tricks over bitsets.
+
+use crate::attrset::AttrSet;
+
+/// Iterates over all subsets of `set` (including `∅` and `set` itself).
+///
+/// The iteration order is increasing in the bit-mask value of the subset.
+///
+/// ```
+/// use setlat::{AttrSet, powerset::subsets};
+/// let s = AttrSet::from_indices([0, 2]);
+/// let subs: Vec<AttrSet> = subsets(s).collect();
+/// assert_eq!(subs.len(), 4);
+/// assert!(subs.contains(&AttrSet::EMPTY));
+/// assert!(subs.contains(&s));
+/// ```
+pub fn subsets(set: AttrSet) -> SubsetIter {
+    SubsetIter {
+        mask: set.bits(),
+        current: 0,
+        done: false,
+    }
+}
+
+/// Iterates over all *proper* subsets of `set` (excluding `set` itself).
+pub fn proper_subsets(set: AttrSet) -> impl Iterator<Item = AttrSet> {
+    subsets(set).filter(move |&s| s != set)
+}
+
+/// Iterates over the interval `[lo, hi] = {U | lo ⊆ U ⊆ hi}` (Definition 2.5's
+/// `[X, Z]` notation).  If `lo ⊄ hi` the interval is empty.
+pub fn interval(lo: AttrSet, hi: AttrSet) -> IntervalIter {
+    if !lo.is_subset(hi) {
+        IntervalIter {
+            base: lo,
+            inner: SubsetIter {
+                mask: 0,
+                current: 0,
+                done: true,
+            },
+        }
+    } else {
+        IntervalIter {
+            base: lo,
+            inner: subsets(hi.difference(lo)),
+        }
+    }
+}
+
+/// Iterates over all supersets of `lo` within the universe of `n` attributes,
+/// i.e. the interval `[lo, S]`.
+pub fn supersets_within(lo: AttrSet, n: usize) -> IntervalIter {
+    interval(lo, AttrSet::full(n))
+}
+
+/// Iterates over all subsets of a universe of `n` attributes that have exactly
+/// `k` elements, in increasing mask order (Gosper's hack).
+pub fn subsets_of_size(n: usize, k: usize) -> SizeKIter {
+    assert!(n <= 63, "subsets_of_size supports universes up to 63 attributes");
+    SizeKIter {
+        n,
+        k,
+        current: if k == 0 {
+            Some(0)
+        } else if k > n {
+            None
+        } else {
+            Some((1u64 << k) - 1)
+        },
+    }
+}
+
+/// The number of subsets of `set`, i.e. `2^|set|`.
+pub fn subset_count(set: AttrSet) -> u128 {
+    1u128 << set.len()
+}
+
+/// Iterator over all subsets of a fixed mask.
+#[derive(Clone, Debug)]
+pub struct SubsetIter {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        if self.done {
+            return None;
+        }
+        let result = AttrSet::from_bits(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard trick: enumerate sub-masks in increasing order.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(result)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        // Upper bound only; exact counting would require popcount bookkeeping.
+        let total = 1u128 << AttrSet::from_bits(self.mask).len();
+        let cap = usize::try_from(total).unwrap_or(usize::MAX);
+        (1, Some(cap))
+    }
+}
+
+/// Iterator over an interval `[lo, hi]` of the subset lattice.
+#[derive(Clone, Debug)]
+pub struct IntervalIter {
+    base: AttrSet,
+    inner: SubsetIter,
+}
+
+impl Iterator for IntervalIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        self.inner.next().map(|s| s.union(self.base))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Iterator over the size-`k` subsets of `{0, …, n-1}` (Gosper's hack).
+#[derive(Clone, Debug)]
+pub struct SizeKIter {
+    n: usize,
+    k: usize,
+    current: Option<u64>,
+}
+
+impl Iterator for SizeKIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        let cur = self.current?;
+        let limit = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        };
+        if cur > limit {
+            self.current = None;
+            return None;
+        }
+        let result = AttrSet::from_bits(cur);
+        if self.k == 0 {
+            self.current = None;
+        } else {
+            // Gosper's hack: next integer with the same popcount.
+            let c = cur & cur.wrapping_neg();
+            let r = cur.wrapping_add(c);
+            if c == 0 || r == 0 {
+                self.current = None;
+            } else {
+                let next = (((cur ^ r) >> 2) / c) | r;
+                self.current = if next > limit { None } else { Some(next) };
+            }
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<AttrSet> = subsets(AttrSet::EMPTY).collect();
+        assert_eq!(subs, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn subsets_count_and_membership() {
+        let s = AttrSet::from_indices([1, 3, 4]);
+        let subs: Vec<AttrSet> = subsets(s).collect();
+        assert_eq!(subs.len(), 8);
+        for sub in &subs {
+            assert!(sub.is_subset(s));
+        }
+        // No duplicates.
+        let mut dedup = subs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn proper_subsets_excludes_self() {
+        let s = AttrSet::from_indices([0, 1]);
+        let subs: Vec<AttrSet> = proper_subsets(s).collect();
+        assert_eq!(subs.len(), 3);
+        assert!(!subs.contains(&s));
+    }
+
+    #[test]
+    fn interval_basic() {
+        let lo = AttrSet::from_indices([0]);
+        let hi = AttrSet::from_indices([0, 1, 2]);
+        let iv: Vec<AttrSet> = interval(lo, hi).collect();
+        assert_eq!(iv.len(), 4);
+        for u in &iv {
+            assert!(lo.is_subset(*u));
+            assert!(u.is_subset(hi));
+        }
+    }
+
+    #[test]
+    fn interval_empty_when_not_subset() {
+        let lo = AttrSet::from_indices([0, 3]);
+        let hi = AttrSet::from_indices([0, 1]);
+        assert_eq!(interval(lo, hi).count(), 0);
+    }
+
+    #[test]
+    fn interval_single_point() {
+        let x = AttrSet::from_indices([2, 5]);
+        let iv: Vec<AttrSet> = interval(x, x).collect();
+        assert_eq!(iv, vec![x]);
+    }
+
+    #[test]
+    fn supersets_within_universe() {
+        let lo = AttrSet::from_indices([1]);
+        let sups: Vec<AttrSet> = supersets_within(lo, 3).collect();
+        assert_eq!(sups.len(), 4);
+        for u in &sups {
+            assert!(lo.is_subset(*u));
+            assert!(u.is_subset(AttrSet::full(3)));
+        }
+    }
+
+    #[test]
+    fn size_k_subsets() {
+        let all: Vec<AttrSet> = subsets_of_size(5, 2).collect();
+        assert_eq!(all.len(), 10);
+        for s in &all {
+            assert_eq!(s.len(), 2);
+        }
+        let none: Vec<AttrSet> = subsets_of_size(3, 5).collect();
+        assert!(none.is_empty());
+        let zero: Vec<AttrSet> = subsets_of_size(4, 0).collect();
+        assert_eq!(zero, vec![AttrSet::EMPTY]);
+        let full: Vec<AttrSet> = subsets_of_size(4, 4).collect();
+        assert_eq!(full, vec![AttrSet::full(4)]);
+    }
+
+    #[test]
+    fn subset_count_matches_enumeration() {
+        let s = AttrSet::from_indices([0, 2, 4, 6]);
+        assert_eq!(subset_count(s), subsets(s).count() as u128);
+    }
+}

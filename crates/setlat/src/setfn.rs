@@ -1,0 +1,298 @@
+//! Dense real-valued set functions `f : 2^S → ℝ` (the class `F(S)` of the paper).
+//!
+//! A [`SetFunction`] stores one `f64` for every subset of the universe, indexed
+//! by the subset's bit mask.  This is the natural representation for the
+//! paper's development, which reasons about *all* functions in `F(S)`: both the
+//! Möbius/zeta transforms ([`crate::mobius`]) and the exhaustive semantic checks
+//! used to validate the inference system operate on the full table.
+//!
+//! The dense representation requires `8 · 2^|S|` bytes, so it is limited to
+//! universes of at most [`MAX_DENSE_UNIVERSE`] attributes.
+
+use crate::attrset::AttrSet;
+use crate::universe::Universe;
+use std::fmt;
+
+/// Largest universe for which a dense [`SetFunction`] may be allocated
+/// (`2^26` doubles ≈ 512 MiB is already generous; typical experiments use ≤ 20).
+pub const MAX_DENSE_UNIVERSE: usize = 26;
+
+/// A total function `f : 2^S → ℝ` over a universe of `n` attributes, stored densely.
+#[derive(Clone, PartialEq)]
+pub struct SetFunction {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl SetFunction {
+    /// Creates the constant-zero function over a universe of `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_DENSE_UNIVERSE`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(
+            n <= MAX_DENSE_UNIVERSE,
+            "dense set functions support at most {MAX_DENSE_UNIVERSE} attributes (got {n})"
+        );
+        SetFunction {
+            n,
+            values: vec![0.0; 1usize << n],
+        }
+    }
+
+    /// Creates the constant function with value `c` everywhere.
+    pub fn constant(n: usize, c: f64) -> Self {
+        let mut f = SetFunction::zeros(n);
+        f.values.iter_mut().for_each(|v| *v = c);
+        f
+    }
+
+    /// Creates a function by evaluating `g` at every subset of the universe.
+    pub fn from_fn<G: FnMut(AttrSet) -> f64>(n: usize, mut g: G) -> Self {
+        let mut f = SetFunction::zeros(n);
+        for mask in 0..f.values.len() {
+            f.values[mask] = g(AttrSet::from_bits(mask as u64));
+        }
+        f
+    }
+
+    /// Creates a function from a raw table of `2^n` values, indexed by mask.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != 2^n`.
+    pub fn from_values(n: usize, values: Vec<f64>) -> Self {
+        assert!(n <= MAX_DENSE_UNIVERSE);
+        assert_eq!(
+            values.len(),
+            1usize << n,
+            "expected {} values for a universe of {} attributes",
+            1usize << n,
+            n
+        );
+        SetFunction { n, values }
+    }
+
+    /// The number of attributes in the underlying universe.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    /// The number of stored values, `2^n`.
+    #[inline]
+    pub fn table_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value `f(X)`.
+    ///
+    /// # Panics
+    /// Panics if `x` contains attributes outside the universe.
+    #[inline]
+    pub fn get(&self, x: AttrSet) -> f64 {
+        self.values[self.index(x)]
+    }
+
+    /// Sets the value `f(X) := v`.
+    #[inline]
+    pub fn set(&mut self, x: AttrSet, v: f64) {
+        let i = self.index(x);
+        self.values[i] = v;
+    }
+
+    /// Adds `v` to `f(X)`.
+    #[inline]
+    pub fn add(&mut self, x: AttrSet, v: f64) {
+        let i = self.index(x);
+        self.values[i] += v;
+    }
+
+    /// Read-only access to the raw value table (indexed by subset mask).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the raw value table (indexed by subset mask).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterates over `(X, f(X))` pairs in mask order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrSet, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(mask, &v)| (AttrSet::from_bits(mask as u64), v))
+    }
+
+    /// Returns `true` iff every value is ≥ `-tol`.
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.values.iter().all(|&v| v >= -tol)
+    }
+
+    /// Returns `true` iff every value is ≤ `tol`.
+    pub fn is_nonpositive(&self, tol: f64) -> bool {
+        self.values.iter().all(|&v| v <= tol)
+    }
+
+    /// Returns `true` iff every value has absolute value ≤ `tol`.
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.values.iter().all(|&v| v.abs() <= tol)
+    }
+
+    /// Pointwise sum of two functions over the same universe.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn pointwise_add(&self, other: &SetFunction) -> SetFunction {
+        assert_eq!(self.n, other.n, "universe size mismatch");
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a + b)
+            .collect();
+        SetFunction { n: self.n, values }
+    }
+
+    /// Pointwise scaling `c · f`.
+    pub fn scale(&self, c: f64) -> SetFunction {
+        SetFunction {
+            n: self.n,
+            values: self.values.iter().map(|v| c * v).collect(),
+        }
+    }
+
+    /// Maximum absolute difference between two functions over the same universe.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn max_abs_diff(&self, other: &SetFunction) -> f64 {
+        assert_eq!(self.n, other.n, "universe size mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The characteristic "counterexample" function `f^U` used in the proof of
+    /// Theorem 3.5: `f^U(W) = c` if `W ⊆ U`, and `0` otherwise.  Its density
+    /// function is `c` at `U` and `0` everywhere else.
+    pub fn point_mass(n: usize, u: AttrSet, c: f64) -> SetFunction {
+        SetFunction::from_fn(n, |w| if w.is_subset(u) { c } else { 0.0 })
+    }
+
+    /// Renders the function as a small table using the universe's set notation.
+    pub fn format_table(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        for (x, v) in self.iter() {
+            out.push_str(&format!("f({}) = {}\n", universe.format_set(x), v));
+        }
+        out
+    }
+
+    #[inline]
+    fn index(&self, x: AttrSet) -> usize {
+        let bits = x.bits();
+        assert!(
+            bits < (1u64 << self.n),
+            "set {x:?} lies outside a universe of {} attributes",
+            self.n
+        );
+        bits as usize
+    }
+}
+
+impl fmt::Debug for SetFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SetFunction(n={}, {} values)", self.n, self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_constant() {
+        let f = SetFunction::zeros(3);
+        assert_eq!(f.table_len(), 8);
+        assert!(f.is_zero(0.0));
+        let g = SetFunction::constant(3, 2.5);
+        assert_eq!(g.get(AttrSet::from_indices([0, 2])), 2.5);
+        assert!(g.is_nonnegative(0.0));
+        assert!(!g.is_nonpositive(0.0));
+    }
+
+    #[test]
+    fn from_fn_cardinality() {
+        let f = SetFunction::from_fn(4, |x| x.len() as f64);
+        assert_eq!(f.get(AttrSet::EMPTY), 0.0);
+        assert_eq!(f.get(AttrSet::full(4)), 4.0);
+        assert_eq!(f.get(AttrSet::from_indices([1, 3])), 2.0);
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut f = SetFunction::zeros(3);
+        let x = AttrSet::from_indices([0, 1]);
+        f.set(x, 4.0);
+        assert_eq!(f.get(x), 4.0);
+        f.add(x, -1.5);
+        assert_eq!(f.get(x), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a universe")]
+    fn out_of_universe_panics() {
+        let f = SetFunction::zeros(3);
+        let _ = f.get(AttrSet::singleton(5));
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let f = SetFunction::from_fn(3, |x| x.len() as f64);
+        let g = SetFunction::constant(3, 1.0);
+        let h = f.pointwise_add(&g);
+        assert_eq!(h.get(AttrSet::EMPTY), 1.0);
+        assert_eq!(h.get(AttrSet::full(3)), 4.0);
+        let s = f.scale(2.0);
+        assert_eq!(s.get(AttrSet::full(3)), 6.0);
+        assert_eq!(f.max_abs_diff(&f), 0.0);
+        assert!(f.max_abs_diff(&g) > 0.0);
+    }
+
+    #[test]
+    fn point_mass_structure() {
+        let u = AttrSet::from_indices([0, 2]);
+        let f = SetFunction::point_mass(3, u, 5.0);
+        assert_eq!(f.get(AttrSet::EMPTY), 5.0);
+        assert_eq!(f.get(AttrSet::singleton(0)), 5.0);
+        assert_eq!(f.get(u), 5.0);
+        assert_eq!(f.get(AttrSet::singleton(1)), 0.0);
+        assert_eq!(f.get(AttrSet::full(3)), 0.0);
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let vals = vec![1.0, 2.0, 3.0, 4.0];
+        let f = SetFunction::from_values(2, vals.clone());
+        assert_eq!(f.values(), vals.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn from_values_wrong_len_panics() {
+        let _ = SetFunction::from_values(2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_covers_all_subsets() {
+        let f = SetFunction::from_fn(3, |x| x.bits() as f64);
+        let collected: Vec<(AttrSet, f64)> = f.iter().collect();
+        assert_eq!(collected.len(), 8);
+        assert_eq!(collected[5].0, AttrSet::from_bits(5));
+        assert_eq!(collected[5].1, 5.0);
+    }
+}

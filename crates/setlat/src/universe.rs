@@ -1,0 +1,293 @@
+//! Named attribute universes.
+//!
+//! The paper works over a fixed finite set `S` of attributes / items /
+//! propositional variables.  A [`Universe`] gives each element of `S` a name
+//! (e.g. `"A"`, `"B"`, …) and a stable index, and provides parsing and
+//! formatting helpers so that sets can be written in the paper's compact
+//! notation (`ACD` for `{A, C, D}`).
+
+use crate::attrset::AttrSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced when constructing or querying a [`Universe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UniverseError {
+    /// The universe would exceed [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) attributes.
+    TooLarge {
+        /// Requested number of attributes.
+        requested: usize,
+    },
+    /// Two attributes share the same name.
+    DuplicateName(String),
+    /// An attribute name was not found in the universe.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniverseError::TooLarge { requested } => write!(
+                f,
+                "universe of {requested} attributes exceeds the maximum of {}",
+                crate::MAX_UNIVERSE
+            ),
+            UniverseError::DuplicateName(name) => {
+                write!(f, "duplicate attribute name {name:?}")
+            }
+            UniverseError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+/// A finite, ordered, named attribute universe `S`.
+///
+/// Attribute indices are assigned in declaration order and are the bit
+/// positions used by [`AttrSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Universe {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Universe {
+    /// Creates a universe from a list of attribute names.
+    ///
+    /// # Errors
+    /// Returns [`UniverseError::TooLarge`] if more than
+    /// [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) names are given, and
+    /// [`UniverseError::DuplicateName`] if a name appears twice.
+    pub fn from_names<I, T>(names: I) -> Result<Self, UniverseError>
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.len() > crate::MAX_UNIVERSE {
+            return Err(UniverseError::TooLarge {
+                requested: names.len(),
+            });
+        }
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            if index.insert(name.clone(), i).is_some() {
+                return Err(UniverseError::DuplicateName(name.clone()));
+            }
+        }
+        Ok(Universe { names, index })
+    }
+
+    /// Creates a universe of `n` attributes with synthetic names.
+    ///
+    /// For `n ≤ 26` the names are the uppercase letters `A`, `B`, …; beyond that
+    /// they are `X0`, `X1`, ….
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn of_size(n: usize) -> Self {
+        assert!(n <= crate::MAX_UNIVERSE, "universe size {n} exceeds 64");
+        let names: Vec<String> = if n <= 26 {
+            (0..n)
+                .map(|i| ((b'A' + i as u8) as char).to_string())
+                .collect()
+        } else {
+            (0..n).map(|i| format!("X{i}")).collect()
+        };
+        Universe::from_names(names).expect("synthetic names are unique")
+    }
+
+    /// The number of attributes `|S|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` iff the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The full set `S` as an [`AttrSet`].
+    #[inline]
+    pub fn full_set(&self) -> AttrSet {
+        AttrSet::full(self.len())
+    }
+
+    /// The name of attribute index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All attribute names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks up the index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    ///
+    /// # Errors
+    /// Returns [`UniverseError::UnknownAttribute`] if a name is not in the universe.
+    pub fn set<I, T>(&self, names: I) -> Result<AttrSet, UniverseError>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<str>,
+    {
+        let mut s = AttrSet::EMPTY;
+        for name in names {
+            let name = name.as_ref();
+            let i = self
+                .index_of(name)
+                .ok_or_else(|| UniverseError::UnknownAttribute(name.to_string()))?;
+            s.insert(i);
+        }
+        Ok(s)
+    }
+
+    /// Parses the paper's compact notation for sets of single-character
+    /// attributes: `"ACD"` means `{A, C, D}`, and `""` or `"{}"` means `∅`.
+    ///
+    /// Whitespace, commas and surrounding braces are ignored, so `"{A, C, D}"`
+    /// also parses.  When the universe contains multi-character attribute names
+    /// use [`Universe::set`] instead.
+    ///
+    /// # Errors
+    /// Returns [`UniverseError::UnknownAttribute`] on any unknown character.
+    pub fn parse_set(&self, text: &str) -> Result<AttrSet, UniverseError> {
+        let mut s = AttrSet::EMPTY;
+        for ch in text.chars() {
+            if ch.is_whitespace() || ch == ',' || ch == '{' || ch == '}' {
+                continue;
+            }
+            let name = ch.to_string();
+            let i = self
+                .index_of(&name)
+                .ok_or(UniverseError::UnknownAttribute(name))?;
+            s.insert(i);
+        }
+        Ok(s)
+    }
+
+    /// Formats a set in the paper's compact notation (`"ACD"`); the empty set is
+    /// rendered as `"∅"`.
+    pub fn format_set(&self, set: AttrSet) -> String {
+        if set.is_empty() {
+            return "∅".to_string();
+        }
+        let mut out = String::new();
+        for i in set.iter() {
+            out.push_str(self.name(i));
+        }
+        out
+    }
+
+    /// Formats a set in explicit brace notation (`"{A, C, D}"`).
+    pub fn format_set_braced(&self, set: AttrSet) -> String {
+        let items: Vec<&str> = set.iter().map(|i| self.name(i)).collect();
+        format!("{{{}}}", items.join(", "))
+    }
+
+    /// Iterates over every subset of `S` (all `2^|S|` of them) in mask order.
+    ///
+    /// # Panics
+    /// Panics if the universe has more than 32 attributes, for which exhaustive
+    /// enumeration is not meaningful.
+    pub fn all_subsets(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        assert!(
+            self.len() <= 32,
+            "refusing to enumerate all subsets of a universe with {} attributes",
+            self.len()
+        );
+        (0u64..(1u64 << self.len())).map(AttrSet::from_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_names_and_lookup() {
+        let u = Universe::from_names(["A", "B", "C"]).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.index_of("B"), Some(1));
+        assert_eq!(u.index_of("Z"), None);
+        assert_eq!(u.name(2), "C");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Universe::from_names(["A", "A"]).unwrap_err();
+        assert_eq!(err, UniverseError::DuplicateName("A".to_string()));
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let names: Vec<String> = (0..65).map(|i| format!("X{i}")).collect();
+        let err = Universe::from_names(names).unwrap_err();
+        assert!(matches!(err, UniverseError::TooLarge { requested: 65 }));
+    }
+
+    #[test]
+    fn of_size_letters_and_generic() {
+        let u = Universe::of_size(4);
+        assert_eq!(u.names(), &["A", "B", "C", "D"]);
+        let u = Universe::of_size(30);
+        assert_eq!(u.name(0), "X0");
+        assert_eq!(u.name(29), "X29");
+    }
+
+    #[test]
+    fn set_construction() {
+        let u = Universe::of_size(4);
+        let s = u.set(["A", "C"]).unwrap();
+        assert_eq!(s, AttrSet::from_indices([0, 2]));
+        assert!(u.set(["E"]).is_err());
+    }
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        let u = Universe::of_size(4);
+        let s = u.parse_set("ACD").unwrap();
+        assert_eq!(s, AttrSet::from_indices([0, 2, 3]));
+        assert_eq!(u.format_set(s), "ACD");
+        assert_eq!(u.format_set(AttrSet::EMPTY), "∅");
+        assert_eq!(u.format_set_braced(s), "{A, C, D}");
+        assert_eq!(u.parse_set("{A, C, D}").unwrap(), s);
+        assert_eq!(u.parse_set("").unwrap(), AttrSet::EMPTY);
+        assert!(u.parse_set("AZ").is_err());
+    }
+
+    #[test]
+    fn all_subsets_enumeration() {
+        let u = Universe::of_size(3);
+        let subsets: Vec<AttrSet> = u.all_subsets().collect();
+        assert_eq!(subsets.len(), 8);
+        assert_eq!(subsets[0], AttrSet::EMPTY);
+        assert_eq!(subsets[7], u.full_set());
+    }
+
+    #[test]
+    fn full_set_matches_size() {
+        let u = Universe::of_size(5);
+        assert_eq!(u.full_set().len(), 5);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = UniverseError::UnknownAttribute("Q".into());
+        assert!(e.to_string().contains("unknown attribute"));
+    }
+}

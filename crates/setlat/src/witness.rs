@@ -1,0 +1,218 @@
+//! Witness sets (Definition 2.5 of the paper).
+//!
+//! A subset `W ⊆ ⋃𝒴` is a *witness set* of a family `𝒴` if `W ∩ Y ≠ ∅` for every
+//! `Y ∈ 𝒴` (i.e. `W` is a hitting set of `𝒴` drawn from `⋃𝒴`).  The set of all
+//! witness sets is written `𝒲(𝒴)`; note `𝒲(∅) = {∅}` and `𝒲(𝒴) = ∅` whenever
+//! `∅ ∈ 𝒴`.
+//!
+//! Witness sets drive both the lattice decomposition `L(X, 𝒴)` (Definition 2.6)
+//! and the *decomposition* of a constraint into witness constraints
+//! (Definition 4.4), so this module provides full enumeration, minimal-witness
+//! enumeration, and counting.
+
+use crate::attrset::AttrSet;
+use crate::family::Family;
+use crate::powerset::subsets;
+
+/// Returns `true` iff `w` is a witness set of `fam`: `w ⊆ ⋃𝒴` and `w` meets
+/// every member of `𝒴`.
+pub fn is_witness(fam: &Family, w: AttrSet) -> bool {
+    if !w.is_subset(fam.union_all()) {
+        return false;
+    }
+    fam.iter().all(|y| y.intersects(w))
+}
+
+/// Enumerates all witness sets `𝒲(𝒴)`, in increasing mask order.
+///
+/// `𝒲(∅) = {∅}`; if any member of `𝒴` is empty there are no witness sets.
+/// The enumeration is exponential in `|⋃𝒴|` (as it must be: `|𝒲(𝒴)|` itself can
+/// be exponential).
+pub fn witness_sets(fam: &Family) -> Vec<AttrSet> {
+    if fam.is_empty() {
+        return vec![AttrSet::EMPTY];
+    }
+    if fam.has_empty_member() {
+        return Vec::new();
+    }
+    let support = fam.union_all();
+    subsets(support)
+        .filter(|&w| fam.iter().all(|y| y.intersects(w)))
+        .collect()
+}
+
+/// Enumerates the *minimal* witness sets of `𝒴` (the minimal hitting sets).
+///
+/// Every witness set is a superset (within `⋃𝒴`) of a minimal one, so the
+/// minimal witnesses are a compact generator of `𝒲(𝒴)`.
+pub fn minimal_witness_sets(fam: &Family) -> Vec<AttrSet> {
+    let all = witness_sets(fam);
+    let mut minimal: Vec<AttrSet> = Vec::new();
+    // `all` is in increasing mask order, which is not cardinality order, so do a
+    // straightforward minimality filter.
+    for &w in &all {
+        if !all.iter().any(|&v| v != w && v.is_subset(w)) {
+            minimal.push(w);
+        }
+    }
+    minimal.sort();
+    minimal
+}
+
+/// Counts the witness sets of `𝒴` without materializing them, via
+/// inclusion–exclusion over the members of `𝒴`:
+///
+/// `|𝒲(𝒴)| = Σ_{𝒵 ⊆ 𝒴} (−1)^{|𝒵|} · 2^{|⋃𝒴| − |⋃𝒵|}`
+///
+/// (each term counts subsets of `⋃𝒴` avoiding every member of `𝒵`).
+pub fn count_witness_sets(fam: &Family) -> i128 {
+    if fam.is_empty() {
+        return 1;
+    }
+    if fam.has_empty_member() {
+        return 0;
+    }
+    let support = fam.union_all();
+    let members = fam.members();
+    let k = members.len();
+    assert!(k <= 30, "inclusion-exclusion over more than 30 members is infeasible");
+    let mut total: i128 = 0;
+    for chooser in 0u64..(1u64 << k) {
+        let mut union = AttrSet::EMPTY;
+        for (i, &m) in members.iter().enumerate() {
+            if (chooser >> i) & 1 == 1 {
+                union = union.union(m);
+            }
+        }
+        let sign: i128 = if chooser.count_ones() % 2 == 0 { 1 } else { -1 };
+        let free = support.len() - union.len();
+        total += sign * (1i128 << free);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn abcd() -> Universe {
+        Universe::of_size(4)
+    }
+
+    fn fam(u: &Universe, members: &[&str]) -> Family {
+        Family::from_sets(members.iter().map(|m| u.parse_set(m).unwrap()))
+    }
+
+    #[test]
+    fn example_2_7_first_family() {
+        // W({B, CD}) = {BC, BD, BCD}.
+        let u = abcd();
+        let f = fam(&u, &["B", "CD"]);
+        let ws = witness_sets(&f);
+        let expected: Vec<AttrSet> = ["BC", "BD", "BCD"]
+            .iter()
+            .map(|s| u.parse_set(s).unwrap())
+            .collect();
+        let mut sorted = expected.clone();
+        sorted.sort();
+        assert_eq!(ws, sorted);
+    }
+
+    #[test]
+    fn example_2_7_second_family() {
+        // W({BC, BD}) = {B, BC, BD, CD, BCD}.
+        let u = abcd();
+        let f = fam(&u, &["BC", "BD"]);
+        let ws = witness_sets(&f);
+        let mut expected: Vec<AttrSet> = ["B", "BC", "BD", "CD", "BCD"]
+            .iter()
+            .map(|s| u.parse_set(s).unwrap())
+            .collect();
+        expected.sort();
+        assert_eq!(ws, expected);
+    }
+
+    #[test]
+    fn empty_family_has_single_empty_witness() {
+        let f = Family::empty();
+        assert_eq!(witness_sets(&f), vec![AttrSet::EMPTY]);
+        assert_eq!(count_witness_sets(&f), 1);
+        assert!(is_witness(&f, AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn empty_member_kills_witnesses() {
+        let u = abcd();
+        let f = Family::from_sets([AttrSet::EMPTY, u.parse_set("B").unwrap()]);
+        assert!(witness_sets(&f).is_empty());
+        assert_eq!(count_witness_sets(&f), 0);
+    }
+
+    #[test]
+    fn is_witness_respects_support() {
+        let u = abcd();
+        let f = fam(&u, &["B", "CD"]);
+        // {A, B, C} hits both members but is not ⊆ ⋃𝒴 = BCD, so it is not a witness.
+        assert!(!is_witness(&f, u.parse_set("ABC").unwrap()));
+        assert!(is_witness(&f, u.parse_set("BC").unwrap()));
+        assert!(!is_witness(&f, u.parse_set("B").unwrap()));
+    }
+
+    #[test]
+    fn minimal_witnesses() {
+        let u = abcd();
+        let f = fam(&u, &["B", "CD"]);
+        let min = minimal_witness_sets(&f);
+        let mut expected: Vec<AttrSet> =
+            vec![u.parse_set("BC").unwrap(), u.parse_set("BD").unwrap()];
+        expected.sort();
+        assert_eq!(min, expected);
+
+        let g = fam(&u, &["BC", "BD"]);
+        let min = minimal_witness_sets(&g);
+        let mut expected: Vec<AttrSet> =
+            vec![u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()];
+        expected.sort();
+        assert_eq!(min, expected);
+    }
+
+    #[test]
+    fn witness_of_singleton_family_of_witness_is_itself() {
+        // Remark 4.5: for each witness W ∈ 𝒲(𝒴), 𝒲(W̄) = {W} where W̄ is the family
+        // of singletons of W.
+        let u = abcd();
+        let f = fam(&u, &["B", "CD"]);
+        for w in witness_sets(&f) {
+            let singles = Family::of_singletons(w);
+            assert_eq!(witness_sets(&singles), vec![w]);
+        }
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let u = Universe::of_size(6);
+        let f = Family::from_sets([
+            u.parse_set("AB").unwrap(),
+            u.parse_set("CD").unwrap(),
+            u.parse_set("BE").unwrap(),
+            u.parse_set("F").unwrap(),
+        ]);
+        assert_eq!(count_witness_sets(&f), witness_sets(&f).len() as i128);
+    }
+
+    #[test]
+    fn every_witness_contains_a_minimal_one() {
+        let u = Universe::of_size(5);
+        let f = Family::from_sets([
+            u.parse_set("AB").unwrap(),
+            u.parse_set("BC").unwrap(),
+            u.parse_set("DE").unwrap(),
+        ]);
+        let all = witness_sets(&f);
+        let minimal = minimal_witness_sets(&f);
+        for w in all {
+            assert!(minimal.iter().any(|&m| m.is_subset(w)));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the *Differential Constraints* (PODS 2005) reproduction.
+//!
+//! This crate re-exports the individual crates of the workspace so that the
+//! repository-level integration tests (`tests/`) and runnable examples
+//! (`examples/`) can exercise the whole system through a single dependency.
+//!
+//! See the workspace `README.md` for an overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the experiment-by-experiment record.
+
+#![forbid(unsafe_code)]
+
+pub use diffcon;
+pub use fis;
+pub use proplogic;
+pub use relational;
+pub use setlat;

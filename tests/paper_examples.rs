@@ -1,0 +1,289 @@
+//! E10 — every worked example of the paper, reproduced end-to-end through the
+//! public API of the workspace crates.
+
+use diffcon::{implication, inference, DiffConstraint};
+use proplogic::formula::Formula;
+use proplogic::minterm;
+use setlat::{differential, lattice, mobius, AttrSet, Family, SetFunction, Universe};
+
+fn u4() -> Universe {
+    Universe::of_size(4)
+}
+
+fn fam(u: &Universe, members: &[&str]) -> Family {
+    Family::from_sets(members.iter().map(|m| u.parse_set(m).unwrap()))
+}
+
+/// Example 2.2: the expansion of D^{B,CD}_f(A) and the density points.
+#[test]
+fn example_2_2() {
+    let u = u4();
+    let f = SetFunction::from_fn(4, |x| ((x.bits() * 31 + 5) % 11) as f64);
+    let g = |names: &str| f.get(u.parse_set(names).unwrap());
+    let expanded = g("A") - g("AB") - g("ACD") + g("ABCD");
+    let direct = differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
+    assert!((expanded - direct).abs() < 1e-9);
+
+    let d = mobius::density_function(&f);
+    assert!(
+        (d.get(u.parse_set("A").unwrap())
+            - differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "C", "D"])))
+        .abs()
+            < 1e-9
+    );
+    assert!(
+        (d.get(u.parse_set("AC").unwrap())
+            - differential::differential_at(&f, u.parse_set("AC").unwrap(), &fam(&u, &["B", "D"])))
+        .abs()
+            < 1e-9
+    );
+    assert!(
+        (d.get(u.parse_set("AD").unwrap())
+            - differential::differential_at(&f, u.parse_set("AD").unwrap(), &fam(&u, &["B", "C"])))
+        .abs()
+            < 1e-9
+    );
+}
+
+/// Example 2.4: explicit Möbius inversion / zeta reconstruction identities at A, AC, AD.
+#[test]
+fn example_2_4() {
+    let u = u4();
+    let f = SetFunction::from_fn(4, |x| (x.bits() as f64).cos() * 3.0 + x.len() as f64);
+    let d = mobius::density_function(&f);
+    let fv = |names: &str| f.get(u.parse_set(names).unwrap());
+    let dv = |names: &str| d.get(u.parse_set(names).unwrap());
+
+    let expected_d_a = fv("A") - fv("AB") - fv("AC") - fv("AD") + fv("ABC") + fv("ABD") + fv("ACD")
+        - fv("ABCD");
+    assert!((dv("A") - expected_d_a).abs() < 1e-9);
+
+    let expected_d_ac = fv("AC") - fv("ABC") - fv("ACD") + fv("ABCD");
+    assert!((dv("AC") - expected_d_ac).abs() < 1e-9);
+
+    let expected_d_ad = fv("AD") - fv("ABD") - fv("ACD") + fv("ABCD");
+    assert!((dv("AD") - expected_d_ad).abs() < 1e-9);
+
+    let expected_f_a = dv("A") + dv("AB") + dv("AC") + dv("AD") + dv("ABC") + dv("ABD") + dv("ACD")
+        + dv("ABCD");
+    assert!((fv("A") - expected_f_a).abs() < 1e-9);
+
+    let expected_f_ac = dv("AC") + dv("ABC") + dv("ACD") + dv("ABCD");
+    assert!((fv("AC") - expected_f_ac).abs() < 1e-9);
+
+    let expected_f_ad = dv("AD") + dv("ABD") + dv("ACD") + dv("ABCD");
+    assert!((fv("AD") - expected_f_ad).abs() < 1e-9);
+}
+
+/// Example 2.7: witness sets and lattice decompositions of {B, CD} and {BC, BD}.
+#[test]
+fn example_2_7() {
+    let u = u4();
+    let first = fam(&u, &["B", "CD"]);
+    let mut witnesses = setlat::witness::witness_sets(&first);
+    witnesses.sort();
+    let mut expected: Vec<AttrSet> = ["BC", "BD", "BCD"]
+        .iter()
+        .map(|s| u.parse_set(s).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(witnesses, expected);
+
+    let l = lattice::lattice_decomposition(&u, u.parse_set("A").unwrap(), &first);
+    let mut expected: Vec<AttrSet> = ["A", "AC", "AD"]
+        .iter()
+        .map(|s| u.parse_set(s).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(l, expected);
+
+    let second = fam(&u, &["BC", "BD"]);
+    let mut witnesses = setlat::witness::witness_sets(&second);
+    witnesses.sort();
+    let mut expected: Vec<AttrSet> = ["B", "BC", "BD", "CD", "BCD"]
+        .iter()
+        .map(|s| u.parse_set(s).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(witnesses, expected);
+
+    let l = lattice::lattice_decomposition(&u, u.parse_set("A").unwrap(), &second);
+    let mut expected: Vec<AttrSet> = ["A", "AB", "AC", "AD", "ACD"]
+        .iter()
+        .map(|s| u.parse_set(s).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(l, expected);
+}
+
+/// Example 2.10: D^{B,CD}_f(A) = d_f(A) + d_f(AC) + d_f(AD).
+#[test]
+fn example_2_10() {
+    let u = u4();
+    let f = SetFunction::from_fn(4, |x| ((x.bits() * 13 + 3) % 7) as f64 - 2.0);
+    let d = mobius::density_function(&f);
+    let lhs = differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
+    let rhs = d.get(u.parse_set("A").unwrap())
+        + d.get(u.parse_set("AC").unwrap())
+        + d.get(u.parse_set("AD").unwrap());
+    assert!((lhs - rhs).abs() < 1e-9);
+}
+
+/// Example 3.2: the explicit function over S = {A,B,C} and its (non-)satisfied constraints.
+#[test]
+fn example_3_2() {
+    let u = Universe::of_size(3);
+    let f = SetFunction::from_fn(3, |x| {
+        if x == AttrSet::EMPTY || x == u.parse_set("C").unwrap() {
+            2.0
+        } else {
+            1.0
+        }
+    });
+    let d = mobius::density_function(&f);
+    for x in u.all_subsets() {
+        let expected = if x == u.parse_set("C").unwrap() || x == u.parse_set("ABC").unwrap() {
+            1.0
+        } else {
+            0.0
+        };
+        assert!((d.get(x) - expected).abs() < 1e-9, "density wrong at {x:?}");
+    }
+    assert!(diffcon::semantics::satisfies(
+        &f,
+        &DiffConstraint::parse("A -> {B}", &u).unwrap()
+    ));
+    assert!(diffcon::semantics::satisfies(
+        &f,
+        &DiffConstraint::parse("B -> {C}", &u).unwrap()
+    ));
+    assert!(!diffcon::semantics::satisfies(
+        &f,
+        &DiffConstraint::parse("C -> {A}", &u).unwrap()
+    ));
+}
+
+/// Example 3.4: {A → {B}, B → {C}} ⊨ A → {C}.
+#[test]
+fn example_3_4() {
+    let u = Universe::of_size(3);
+    let premises = vec![
+        DiffConstraint::parse("A -> {B}", &u).unwrap(),
+        DiffConstraint::parse("B -> {C}", &u).unwrap(),
+    ];
+    let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+    assert!(implication::implies(&u, &premises, &goal));
+    // …including via the L(C) ⊇ L(X,𝒴) containment spelled out in the example.
+    let lc = lattice::lattice_union(
+        &u,
+        &premises
+            .iter()
+            .map(|c| (c.lhs, c.rhs.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for member in goal.lattice(&u) {
+        assert!(lc.contains(&member));
+    }
+}
+
+/// Remark 3.6: the one-attribute function separating the two semantics.
+#[test]
+fn remark_3_6() {
+    let u = Universe::of_size(1);
+    let mut f = SetFunction::zeros(1);
+    f.set(AttrSet::singleton(0), 1.0);
+    let c = DiffConstraint::new(AttrSet::EMPTY, Family::empty());
+    assert!(diffcon::semantics::satisfies_differential(&f, &c));
+    assert!(!diffcon::semantics::satisfies(&f, &c));
+    let d = mobius::density_function(&f);
+    assert!((d.get(AttrSet::EMPTY) + 1.0).abs() < 1e-9);
+    assert!((d.get(AttrSet::singleton(0)) - 1.0).abs() < 1e-9);
+    assert_eq!(lattice::lattice_decomposition(&u, AttrSet::EMPTY, &Family::empty()).len(), 2);
+}
+
+/// Example 4.3: the derivation of AB → {D} from {A → {BC, CD}, C → {D}}.
+#[test]
+fn example_4_3() {
+    let u = u4();
+    let premises = vec![
+        DiffConstraint::parse("A -> {BC, CD}", &u).unwrap(),
+        DiffConstraint::parse("C -> {D}", &u).unwrap(),
+    ];
+    let goal = DiffConstraint::parse("AB -> {D}", &u).unwrap();
+    assert!(implication::implies(&u, &premises, &goal));
+    let proof = inference::derive(&u, &premises, &goal).expect("derivable");
+    proof.verify(&u, &premises).expect("proof verifies");
+    assert_eq!(proof.conclusion(), &goal);
+    // Intermediate steps of the paper's derivation are all implied as well.
+    for step in ["A -> {BC, C}", "A -> {C}", "AB -> {C}"] {
+        let c = DiffConstraint::parse(step, &u).unwrap();
+        assert!(implication::implies(&u, &premises, &c), "step {step} not implied");
+    }
+}
+
+/// The worked example after Definition 4.4: decomp and atoms of A → {B, CD}.
+#[test]
+fn definition_4_4_worked_example() {
+    let u = u4();
+    let c = DiffConstraint::parse("A -> {B, CD}", &u).unwrap();
+    let mut decomp = diffcon::decompose::decomposition(&c);
+    decomp.sort();
+    let mut expected: Vec<DiffConstraint> = ["A -> {B, C}", "A -> {B, D}", "A -> {B, C, D}"]
+        .iter()
+        .map(|t| DiffConstraint::parse(t, &u).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(decomp, expected);
+
+    let mut atoms = diffcon::decompose::atomic_decomposition(&c, &u);
+    atoms.sort();
+    let mut expected: Vec<DiffConstraint> = ["A -> {B, C, D}", "AC -> {B, D}", "AD -> {B, C}"]
+        .iter()
+        .map(|t| DiffConstraint::parse(t, &u).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(atoms, expected);
+}
+
+/// The Section 5 worked example: negminset(A ⇒ B ∨ (C ∧ D)) = {A, AC, AD} = L(A, {B, CD}).
+#[test]
+fn section_5_worked_example() {
+    let u = u4();
+    let alpha = Formula::implies(
+        Formula::var(0),
+        Formula::or([
+            Formula::var(1),
+            Formula::and([Formula::var(2), Formula::var(3)]),
+        ]),
+    );
+    let mut neg = minterm::negminset(&alpha, &u);
+    neg.sort();
+    let mut expected: Vec<AttrSet> = ["A", "AC", "AD"]
+        .iter()
+        .map(|s| u.parse_set(s).unwrap())
+        .collect();
+    expected.sort();
+    assert_eq!(neg, expected);
+    assert_eq!(
+        neg,
+        lattice::lattice_decomposition(&u, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]))
+    );
+}
+
+/// The introduction's three constraint formats as differentials of support functions.
+#[test]
+fn introduction_constraints_on_baskets() {
+    use fis::basket::BasketDb;
+    let u = u4();
+    // Build a database where every basket containing A also contains B or both C and D.
+    let db = BasketDb::parse(&u, "AB\nACD\nABC\nB\nCD\nABCD").unwrap();
+    let c = DiffConstraint::parse("A -> {B, CD}", &u).unwrap();
+    assert!(diffcon::fis_bridge::support_function_satisfies(&db, &c));
+    // The introduction's reading: f(X) − f(X∪Y) − f(X∪Z) + f(X∪Y∪Z) = 0.
+    let s = |names: &str| db.support(u.parse_set(names).unwrap()) as f64;
+    let value = s("A") - s("AB") - s("ACD") + s("ABCD");
+    assert_eq!(value, 0.0);
+    // And a database violating it.
+    let bad = BasketDb::parse(&u, "AB\nAC\nA").unwrap();
+    assert!(!diffcon::fis_bridge::support_function_satisfies(&bad, &c));
+}
