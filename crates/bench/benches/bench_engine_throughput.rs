@@ -1,0 +1,159 @@
+//! E11 — engine serving throughput: what the `diffcon-engine` layer buys over
+//! one-shot `implication::implies` calls on repeated-premise query traffic.
+//!
+//! Three axes are measured on the same serving-style stream (a fixed premise
+//! set, queries drawn with repetition from a goal pool):
+//!
+//! * **cold vs. warm cache** — one-shot `implies` per query versus a session
+//!   whose answer cache has seen the stream once;
+//! * **serial vs. batch** — per-query session calls versus
+//!   `implies_batch`, which deduplicates in-batch repeats and fans cache
+//!   misses out across the rayon pool;
+//! * **stream length scaling** — throughput as repetition (and therefore
+//!   cache hit ratio) grows.
+//!
+//! A count table reports the planner's view of the warm run — per-procedure
+//! query counts and the cache hit ratios behind the speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::implication;
+use diffcon::procedure::ProcedureKind;
+use diffcon_bench::workloads;
+use diffcon_bench::Table;
+use diffcon_engine::Session;
+
+const UNIVERSE: usize = 12;
+const PREMISES: usize = 8;
+const POOL: usize = 64;
+
+fn table_engine_cache_effect(stream_lens: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E11: engine cache effect by stream length (pool of 64 goals)",
+        [
+            "stream",
+            "decided",
+            "cache_hits",
+            "trivial",
+            "hit_ratio",
+            "fd",
+            "lattice",
+            "sat",
+        ],
+    );
+    for &len in stream_lens {
+        let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, len);
+        let mut session = Session::new(base.universe.clone());
+        for p in &base.premises {
+            session.assert_constraint(p);
+        }
+        for goal in &stream {
+            session.implies(goal);
+        }
+        let stats = session.stats();
+        let planner = stats.planner;
+        let decided: u64 = planner.per_procedure.iter().map(|p| p.decided).sum();
+        let hits: u64 = planner.per_procedure.iter().map(|p| p.cache_hits).sum();
+        table.push_row([
+            len.to_string(),
+            decided.to_string(),
+            hits.to_string(),
+            planner.trivial.to_string(),
+            format!("{:.2}", stats.answer_cache.hit_ratio()),
+            planner.of(ProcedureKind::FdFragment).decided.to_string(),
+            planner.of(ProcedureKind::Lattice).decided.to_string(),
+            planner.of(ProcedureKind::Sat).decided.to_string(),
+        ]);
+    }
+    table
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    table_engine_cache_effect(&[64, 256, 1024, 4096]).eprint();
+
+    let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, 512);
+    let mut group = c.benchmark_group("E11_cold_vs_warm");
+    group.sample_size(15);
+
+    group.bench_with_input(
+        BenchmarkId::new("cold_oneshot", stream.len()),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                stream
+                    .iter()
+                    .filter(|g| implication::implies(&base.universe, &base.premises, g))
+                    .count()
+            })
+        },
+    );
+
+    // Warm: the session has already served the stream once, so every query
+    // in the measured pass is an answer-cache hit.
+    let mut warm = Session::new(base.universe.clone());
+    for p in &base.premises {
+        warm.assert_constraint(p);
+    }
+    for goal in &stream {
+        warm.implies(goal);
+    }
+    group.bench_with_input(
+        BenchmarkId::new("warm_serial", stream.len()),
+        &stream,
+        |b, stream| b.iter(|| stream.iter().filter(|g| warm.implies(g).implied).count()),
+    );
+
+    // Warm batch: the whole stream in one `implies_batch` call against the
+    // warmed session — the serving configuration the engine is built for.
+    group.bench_with_input(
+        BenchmarkId::new("warm_batch", stream.len()),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                warm.implies_batch(stream)
+                    .iter()
+                    .filter(|o| o.implied)
+                    .count()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_serial_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_serial_vs_batch");
+    group.sample_size(10);
+    // A heavier universe than the cache benchmark: per-query lattice work is
+    // what the parallel fan-out amortizes, so make each query substantial.
+    for &len in &[128usize, 512] {
+        let (base, stream) = workloads::engine_query_stream(7, 16, 12, 128, len);
+        // Fresh sessions per measured iteration would conflate setup with
+        // serving; instead clear caches each iteration so every pass decides
+        // the distinct goals again (cold batch vs. cold serial).
+        let mut serial = Session::new(base.universe.clone());
+        let mut batched = Session::new(base.universe.clone());
+        for p in &base.premises {
+            serial.assert_constraint(p);
+            batched.assert_constraint(p);
+        }
+        group.bench_with_input(BenchmarkId::new("serial", len), &stream, |b, stream| {
+            b.iter(|| {
+                serial.clear_caches();
+                stream.iter().filter(|g| serial.implies(g).implied).count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", len), &stream, |b, stream| {
+            b.iter(|| {
+                batched.clear_caches();
+                batched
+                    .implies_batch(stream)
+                    .iter()
+                    .filter(|o| o.implied)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_serial_vs_batch);
+criterion_main!(benches);

@@ -60,6 +60,37 @@ pub fn implication_workload(
     }
 }
 
+/// One step of the Knuth LCG used by the seed-stretching helpers below; the
+/// call sites pick which high bits of the new state to use.
+fn lcg_step(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// A serving-style query stream: a fixed premise set plus `stream_len` goal
+/// queries drawn (with repetition) from a pool of `pool_size` distinct goals.
+///
+/// Repetition is what distinguishes a *serving* workload from a one-shot
+/// batch: a production constraint checker sees the same goals over and over
+/// as clients re-validate, which is exactly what the engine's answer cache
+/// amortizes.  Used by `bench_engine_throughput`.
+pub fn engine_query_stream(
+    seed: u64,
+    n: usize,
+    num_premises: usize,
+    pool_size: usize,
+    stream_len: usize,
+) -> (ImplicationWorkload, Vec<DiffConstraint>) {
+    let base = implication_workload(seed, n, num_premises, pool_size);
+    let mut state = seed ^ 0x5DEECE66D;
+    let stream: Vec<DiffConstraint> = (0..stream_len)
+        .map(|_| base.goals[((lcg_step(&mut state) >> 33) as usize) % base.goals.len()].clone())
+        .collect();
+    (base, stream)
+}
+
 /// Builds the chain instance `A₀ → {A₁}, A₁ → {A₂}, …` over `n` attributes with
 /// goal `A₀ → {A_{n−1}}` — the canonical FD-fragment workload (E9).
 pub fn fd_chain_workload(n: usize) -> ImplicationWorkload {
@@ -88,10 +119,7 @@ pub fn fd_chain_workload(n: usize) -> ImplicationWorkload {
 /// the raw material of the coNP-hardness reduction (E4).
 pub fn random_dnf(seed: u64, n: usize, terms: usize) -> Dnf {
     let mut state = seed ^ 0x9E3779B97F4A7C15;
-    let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        state >> 11
-    };
+    let mut next = || lcg_step(&mut state) >> 11;
     let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut out = Vec::with_capacity(terms);
     for _ in 0..terms {
@@ -135,9 +163,7 @@ pub fn fis_workload(seed: u64, num_items: usize, num_baskets: usize) -> BasketDb
 pub fn relational_workload(seed: u64, arity: usize, tuples: usize) -> ProbabilisticRelation {
     use relational::fd::FunctionalDependency;
     let fds: Vec<FunctionalDependency> = (0..arity.saturating_sub(1).min(3))
-        .map(|i| {
-            FunctionalDependency::new(AttrSet::singleton(i), AttrSet::singleton(i + 1))
-        })
+        .map(|i| FunctionalDependency::new(AttrSet::singleton(i), AttrSet::singleton(i + 1)))
         .collect();
     let relation = rel_gen::relation_with_fds(seed, arity, tuples, 6, &fds);
     rel_gen::random_distribution(seed.wrapping_add(1), relation)
@@ -208,7 +234,14 @@ pub fn table_proof_sizes(sizes: &[usize]) -> Table {
 pub fn table_condensed_sizes(db: &BasketDb, thresholds: &[usize]) -> Table {
     let mut table = Table::new(
         "E6: representation sizes (all frequent vs negative border vs FDFree/Bd-)",
-        ["kappa", "#frequent", "|neg border|", "|FDFree|", "|Bd-|", "condensed total"],
+        [
+            "kappa",
+            "#frequent",
+            "|neg border|",
+            "|FDFree|",
+            "|Bd-|",
+            "condensed total",
+        ],
     );
     for &kappa in thresholds {
         let frequent = border::count_frequent(db, kappa);
@@ -232,7 +265,14 @@ pub fn table_condensed_sizes(db: &BasketDb, thresholds: &[usize]) -> Table {
 pub fn table_procedure_agreement(seeds: &[u64], n: usize) -> Table {
     let mut table = Table::new(
         "E4/E8: decision-procedure agreement on random instances",
-        ["seed", "goals", "implied", "lattice=SAT", "lattice=semantic", "lattice=fragment*"],
+        [
+            "seed",
+            "goals",
+            "implied",
+            "lattice=SAT",
+            "lattice=semantic",
+            "lattice=fragment*",
+        ],
     );
     for &seed in seeds {
         let w = implication_workload(seed, n, 5, 12);
@@ -246,8 +286,7 @@ pub fn table_procedure_agreement(seeds: &[u64], n: usize) -> Table {
                 implied += 1;
             }
             agree_sat &= lattice == prop_bridge::implies_sat(&w.universe, &w.premises, goal);
-            agree_sem &=
-                lattice == implication::implies_semantic(&w.universe, &w.premises, goal);
+            agree_sem &= lattice == implication::implies_semantic(&w.universe, &w.premises, goal);
             if fd_fragment::set_in_fragment(&w.premises) && fd_fragment::in_fragment(goal) {
                 agree_frag &= lattice == fd_fragment::implies_polynomial(&w.premises, goal);
             }
@@ -268,7 +307,13 @@ pub fn table_procedure_agreement(seeds: &[u64], n: usize) -> Table {
 pub fn table_apriori_counts(db: &BasketDb, thresholds: &[usize]) -> Table {
     let mut table = Table::new(
         "E5: Apriori candidates counted vs frequent itemsets found",
-        ["kappa", "#frequent", "candidates counted", "levels", "|neg border|"],
+        [
+            "kappa",
+            "#frequent",
+            "candidates counted",
+            "levels",
+            "|neg border|",
+        ],
     );
     for &kappa in thresholds {
         let result = apriori::apriori(db, kappa);

@@ -69,6 +69,18 @@ impl DiffConstraint {
         self.lhs.union(self.rhs.union_all())
     }
 
+    /// A stable 64-bit fingerprint of the constraint, combining the
+    /// fingerprints of `X` and `𝒴` asymmetrically (so `X → {Y}` and `Y → {X}`
+    /// differ).  Equal constraints always fingerprint equal; the engine layer
+    /// uses this for interning keys and order-independent premise-set digests.
+    pub fn fingerprint(&self) -> u64 {
+        self.lhs
+            .fingerprint()
+            .rotate_left(32)
+            .wrapping_mul(0x100000001B3)
+            ^ self.rhs.fingerprint()
+    }
+
     /// Pretty-prints the constraint, e.g. `"A → {B, CD}"`.
     pub fn format(&self, universe: &Universe) -> String {
         format!(

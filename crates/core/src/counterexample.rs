@@ -49,7 +49,10 @@ pub fn find(
     let relation = if crate::rel_bridge::vacuous_over_relations(premises) {
         None
     } else {
-        Some(ProbabilisticRelation::uniform(pair_relation(n, witness_set)))
+        Some(ProbabilisticRelation::uniform(pair_relation(
+            n,
+            witness_set,
+        )))
     };
     Some(Counterexample {
         witness_set,

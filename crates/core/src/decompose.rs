@@ -102,11 +102,10 @@ mod tests {
 
         let mut atoms = atomic_decomposition(&c, &u);
         atoms.sort();
-        let mut expected: Vec<DiffConstraint> =
-            ["A -> {B, C, D}", "AC -> {B, D}", "AD -> {B, C}"]
-                .iter()
-                .map(|t| DiffConstraint::parse(t, &u).unwrap())
-                .collect();
+        let mut expected: Vec<DiffConstraint> = ["A -> {B, C, D}", "AC -> {B, D}", "AD -> {B, C}"]
+            .iter()
+            .map(|t| DiffConstraint::parse(t, &u).unwrap())
+            .collect();
         expected.sort();
         assert_eq!(atoms, expected);
     }
@@ -120,8 +119,14 @@ mod tests {
             let singleton = vec![c.clone()];
             let decomp = decomposition(&c);
             let atoms = atomic_decomposition(&c, &u);
-            assert!(equivalent_sets(&u, &singleton, &decomp), "decomp differs for {text}");
-            assert!(equivalent_sets(&u, &singleton, &atoms), "atoms differ for {text}");
+            assert!(
+                equivalent_sets(&u, &singleton, &decomp),
+                "decomp differs for {text}"
+            );
+            assert!(
+                equivalent_sets(&u, &singleton, &atoms),
+                "atoms differ for {text}"
+            );
             assert!(equivalent_sets(&u, &decomp, &atoms));
         }
     }

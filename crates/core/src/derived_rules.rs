@@ -53,11 +53,7 @@ pub fn chain(
         return tactic_err("chain: second hypothesis must be X ∪ Y → 𝒴 ∪ {Z}");
     }
     let conclusion = DiffConstraint::new(first.lhs, family.with_member(y.union(z)));
-    derive_from(
-        universe,
-        &[first.clone(), second.clone()],
-        conclusion,
-    )
+    derive_from(universe, &[first.clone(), second.clone()], conclusion)
 }
 
 /// **Projection**: from `X → 𝒴 ∪ {Y ∪ Z}` infer `X → 𝒴 ∪ {Y}`.
@@ -105,8 +101,7 @@ pub fn separation(
     if hypothesis != &DiffConstraint::new(hypothesis.lhs, family.with_member(y.union(z))) {
         return tactic_err("separation: hypothesis must be X → 𝒴 ∪ {Y ∪ Z}");
     }
-    let conclusion =
-        DiffConstraint::new(hypothesis.lhs, family.with_member(y).with_member(z));
+    let conclusion = DiffConstraint::new(hypothesis.lhs, family.with_member(y).with_member(z));
     derive_from(universe, std::slice::from_ref(hypothesis), conclusion)
 }
 
@@ -174,8 +169,7 @@ mod tests {
         let family = Family::empty();
         let first = DiffConstraint::parse("A -> {B}", &u).unwrap();
         let second = DiffConstraint::parse("B -> {C}", &u).unwrap();
-        let proof =
-            transitivity(&u, &first, &second, &family, set(&u, "B"), set(&u, "C")).unwrap();
+        let proof = transitivity(&u, &first, &second, &family, set(&u, "B"), set(&u, "C")).unwrap();
         assert_eq!(
             proof.conclusion(),
             &DiffConstraint::parse("A -> {C}", &u).unwrap()
@@ -219,11 +213,25 @@ mod tests {
         let family = Family::empty();
         let first = DiffConstraint::parse("A -> {B}", &u).unwrap();
         let wrong_second = DiffConstraint::parse("C -> {D}", &u).unwrap();
-        assert!(
-            transitivity(&u, &first, &wrong_second, &family, set(&u, "B"), set(&u, "D")).is_err()
-        );
+        assert!(transitivity(
+            &u,
+            &first,
+            &wrong_second,
+            &family,
+            set(&u, "B"),
+            set(&u, "D")
+        )
+        .is_err());
         assert!(projection(&u, &first, &family, set(&u, "C"), set(&u, "D")).is_err());
-        assert!(union(&u, &first, &wrong_second, &family, set(&u, "B"), set(&u, "D")).is_err());
+        assert!(union(
+            &u,
+            &first,
+            &wrong_second,
+            &family,
+            set(&u, "B"),
+            set(&u, "D")
+        )
+        .is_err());
     }
 
     #[test]
@@ -250,20 +258,19 @@ mod tests {
         // (d): projection with 𝒴 = {C}… the paper projects BC down, keeping {C}:
         // from A → {C, BC} with 𝒴 = {C}, Y = B (or C), Z chosen so Y∪Z = BC.
         let fam_c = Family::single(set(&u, "C"));
-        let d = projection(
-            &u,
-            c.conclusion(),
-            &fam_c,
-            set(&u, "C"),
-            set(&u, "B"),
-        )
-        .unwrap();
+        let d = projection(&u, c.conclusion(), &fam_c, set(&u, "C"), set(&u, "B")).unwrap();
         // Projection of BC onto C gives A → {C, C} = A → {C}.
-        assert_eq!(d.conclusion(), &DiffConstraint::parse("A -> {C}", &u).unwrap());
+        assert_eq!(
+            d.conclusion(),
+            &DiffConstraint::parse("A -> {C}", &u).unwrap()
+        );
 
         // (e): augmentation.
         let e = inference::augmentation(d.clone(), set(&u, "B"));
-        assert_eq!(e.conclusion(), &DiffConstraint::parse("AB -> {C}", &u).unwrap());
+        assert_eq!(
+            e.conclusion(),
+            &DiffConstraint::parse("AB -> {C}", &u).unwrap()
+        );
 
         // (f): transitivity on (e) and (a) with 𝒴 = ∅, Y = C, Z = D.
         let f = transitivity(
@@ -275,6 +282,9 @@ mod tests {
             set(&u, "D"),
         )
         .unwrap();
-        assert_eq!(f.conclusion(), &DiffConstraint::parse("AB -> {D}", &u).unwrap());
+        assert_eq!(
+            f.conclusion(),
+            &DiffConstraint::parse("AB -> {D}", &u).unwrap()
+        );
     }
 }

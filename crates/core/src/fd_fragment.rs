@@ -106,8 +106,12 @@ mod tests {
     #[test]
     fn fragment_membership() {
         let u = u();
-        assert!(in_fragment(&DiffConstraint::parse("A -> {BC}", &u).unwrap()));
-        assert!(!in_fragment(&DiffConstraint::parse("A -> {B, C}", &u).unwrap()));
+        assert!(in_fragment(
+            &DiffConstraint::parse("A -> {BC}", &u).unwrap()
+        ));
+        assert!(!in_fragment(
+            &DiffConstraint::parse("A -> {B, C}", &u).unwrap()
+        ));
         assert!(!in_fragment(&DiffConstraint::parse("A -> {}", &u).unwrap()));
         assert!(set_in_fragment(&parse(&u, &["A -> {B}", "B -> {CD}"])));
         assert!(!set_in_fragment(&parse(&u, &["A -> {B}", "B -> {C, D}"])));
@@ -148,8 +152,14 @@ mod tests {
     fn closure_matches_known_values() {
         let u = u();
         let premises = parse(&u, &["A -> {B}", "B -> {C}", "CD -> {A}"]);
-        assert_eq!(closure(&premises, u.parse_set("A").unwrap()), u.parse_set("ABC").unwrap());
-        assert_eq!(closure(&premises, u.parse_set("D").unwrap()), u.parse_set("D").unwrap());
+        assert_eq!(
+            closure(&premises, u.parse_set("A").unwrap()),
+            u.parse_set("ABC").unwrap()
+        );
+        assert_eq!(
+            closure(&premises, u.parse_set("D").unwrap()),
+            u.parse_set("D").unwrap()
+        );
         assert_eq!(
             closure(&premises, u.parse_set("CD").unwrap()),
             u.parse_set("ABCD").unwrap()

@@ -145,7 +145,14 @@ mod tests {
         ];
         let constraints = parse(
             &u,
-            &["A -> {B, CD}", "A -> {B}", "C -> {A}", "D -> {}", "A -> {B, C}", "AB -> {B}"],
+            &[
+                "A -> {B, CD}",
+                "A -> {B}",
+                "C -> {A}",
+                "D -> {}",
+                "A -> {B, C}",
+                "AB -> {B}",
+            ],
         );
         for db in &dbs {
             let s = support::support_function(db);
@@ -154,7 +161,12 @@ mod tests {
                 let via_support_fn = crate::semantics::satisfies(&s, c);
                 let via_differential = support_function_satisfies(db, c);
                 assert_eq!(disj, via_support_fn, "Prop 6.3 failed for {}", c.format(&u));
-                assert_eq!(disj, via_differential, "frequency shortcut failed for {}", c.format(&u));
+                assert_eq!(
+                    disj,
+                    via_differential,
+                    "frequency shortcut failed for {}",
+                    c.format(&u)
+                );
             }
         }
     }
@@ -170,7 +182,14 @@ mod tests {
         ];
         let goals = parse(
             &u,
-            &["A -> {C}", "AB -> {D}", "A -> {B}", "C -> {A}", "A -> {B, CD}", "AB -> {B}"],
+            &[
+                "A -> {C}",
+                "AB -> {D}",
+                "A -> {B}",
+                "C -> {A}",
+                "A -> {B, CD}",
+                "AB -> {B}",
+            ],
         );
         for premises in &premise_sets {
             for goal in &goals {

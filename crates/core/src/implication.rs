@@ -97,7 +97,10 @@ pub fn equivalent_sets(
 /// Removes redundant constraints: a member is dropped when it is implied by the
 /// remaining ones.  The result is a (not necessarily unique) irredundant cover
 /// equivalent to the input.
-pub fn irredundant_cover(universe: &Universe, constraints: &[DiffConstraint]) -> Vec<DiffConstraint> {
+pub fn irredundant_cover(
+    universe: &Universe,
+    constraints: &[DiffConstraint],
+) -> Vec<DiffConstraint> {
     let mut kept: Vec<DiffConstraint> = constraints.to_vec();
     let mut i = 0;
     while i < kept.len() {
@@ -242,10 +245,7 @@ mod tests {
                     )
                 })
                 .collect();
-            let goal = DiffConstraint::new(
-                rand_set(16),
-                setlat::Family::from_sets([rand_set(16)]),
-            );
+            let goal = DiffConstraint::new(rand_set(16), setlat::Family::from_sets([rand_set(16)]));
             assert_eq!(
                 implies_lattice(&u, &premises, &goal),
                 implies_semantic(&u, &premises, &goal),

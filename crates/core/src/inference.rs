@@ -460,12 +460,7 @@ fn build(
         .iter()
         .enumerate()
         .filter(|(_, p)| p.lattice_contains(goal.lhs))
-        .min_by_key(|(_, p)| {
-            p.rhs
-                .iter()
-                .filter(|&m| !goal.rhs.contains(m))
-                .count()
-        })
+        .min_by_key(|(_, p)| p.rhs.iter().filter(|&m| !goal.rhs.contains(m)).count())
         .expect("C ⊨ goal and goal nontrivial, so X ∈ L(C)");
 
     // Start from the premise X' → 𝒴'.

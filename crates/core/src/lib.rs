@@ -25,6 +25,8 @@
 //! * the polynomial-time fragment with single-member right-hand sides,
 //!   equivalent to functional-dependency implication ([`fd_fragment`],
 //!   Conclusion);
+//! * a uniform, enumerable interface over all decision procedures for
+//!   planners and engines ([`procedure`]);
 //! * explicit counterexample construction — set functions, basket databases and
 //!   relations — for non-implied constraints ([`counterexample`]);
 //! * random constraint generators used by the experiments ([`random`]).
@@ -61,6 +63,7 @@ pub mod fis_bridge;
 pub mod implication;
 pub mod inference;
 pub mod parser;
+pub mod procedure;
 pub mod prop_bridge;
 pub mod random;
 pub mod rel_bridge;

@@ -98,7 +98,13 @@ mod tests {
     #[test]
     fn proposition_5_3_negminset_is_lattice() {
         let u = u();
-        for text in ["A -> {B, CD}", "A -> {BC, BD}", " -> {}", "AB -> {C}", "A -> {A}"] {
+        for text in [
+            "A -> {B, CD}",
+            "A -> {BC, BD}",
+            " -> {}",
+            "AB -> {C}",
+            "A -> {A}",
+        ] {
             let c = DiffConstraint::parse(text, &u).unwrap();
             let mut neg = to_implication_constraint(&c).negminset(&u);
             neg.sort();
@@ -132,7 +138,12 @@ mod tests {
                 let lattice = implication::implies(&u, premises, goal);
                 let sat = implies_sat(&u, premises, goal);
                 let exhaustive = implies_prop_exhaustive(&u, premises, goal);
-                assert_eq!(lattice, sat, "lattice vs SAT disagree on {}", goal.format(&u));
+                assert_eq!(
+                    lattice,
+                    sat,
+                    "lattice vs SAT disagree on {}",
+                    goal.format(&u)
+                );
                 assert_eq!(
                     lattice,
                     exhaustive,

@@ -79,8 +79,7 @@ pub fn armstrong_relation(
     universe: &Universe,
     premises: &[DiffConstraint],
 ) -> relational::relation::Relation {
-    let parts: Vec<(AttrSet, Family)> =
-        premises.iter().map(|c| (c.lhs, c.rhs.clone())).collect();
+    let parts: Vec<(AttrSet, Family)> = premises.iter().map(|c| (c.lhs, c.rhs.clone())).collect();
     armstrong::armstrong_relation(universe, &parts)
 }
 
@@ -92,8 +91,7 @@ pub fn boolean_implies(
     premises: &[BooleanDependency],
     goal: &BooleanDependency,
 ) -> bool {
-    let premises_diff: Vec<DiffConstraint> =
-        premises.iter().map(from_boolean_dependency).collect();
+    let premises_diff: Vec<DiffConstraint> = premises.iter().map(from_boolean_dependency).collect();
     implication::implies(universe, &premises_diff, &from_boolean_dependency(goal))
 }
 
@@ -132,7 +130,14 @@ mod tests {
         ];
         let constraints = parse(
             &u,
-            &["A -> {B}", "B -> {A}", "A -> {B, C}", "AB -> {CD}", " -> {A}", "AB -> {B}"],
+            &[
+                "A -> {B}",
+                "B -> {A}",
+                "A -> {B, C}",
+                "AB -> {CD}",
+                " -> {A}",
+                "AB -> {B}",
+            ],
         );
         for (i, r) in relations.into_iter().enumerate() {
             if r.is_empty() {
@@ -171,7 +176,14 @@ mod tests {
         ];
         let goals = parse(
             &u,
-            &["A -> {C}", "AB -> {D}", "A -> {B}", "C -> {A}", "A -> {B, CD}", "AB -> {B}"],
+            &[
+                "A -> {C}",
+                "AB -> {D}",
+                "A -> {B}",
+                "C -> {A}",
+                "A -> {B, CD}",
+                "AB -> {B}",
+            ],
         );
         for premises in &premise_sets {
             for goal in &goals {
@@ -225,6 +237,9 @@ mod tests {
         }
         let derived =
             FunctionalDependency::new(u.parse_set("A").unwrap(), u.parse_set("C").unwrap());
-        assert!(simpson_satisfies(&pr, &from_functional_dependency(&derived)));
+        assert!(simpson_satisfies(
+            &pr,
+            &from_functional_dependency(&derived)
+        ));
     }
 }

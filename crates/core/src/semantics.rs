@@ -142,9 +142,8 @@ mod tests {
             DiffConstraint::parse("AB -> {C}", &u).unwrap(),
         ];
         for seed in 0u64..30 {
-            let f = SetFunction::from_fn(3, |x| {
-                (((x.bits() + seed) * 2654435761) % 5) as f64 - 2.0
-            });
+            let f =
+                SetFunction::from_fn(3, |x| (((x.bits() + seed) * 2654435761) % 5) as f64 - 2.0);
             for c in &constraints {
                 if satisfies(&f, c) {
                     assert!(satisfies_differential(&f, c));

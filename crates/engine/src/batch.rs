@@ -1,0 +1,316 @@
+//! Batch evaluation: decide many goals against one premise set, in parallel.
+//!
+//! This module is the stateless core the [`Session`](crate::session::Session)
+//! dispatches to.  A session snapshots its premise set (plus the memoized
+//! propositional translations and any cached goal lattices), plans one
+//! [`Job`] per goal, and hands the whole batch to [`decide_many`], which
+//! fans the jobs out with rayon.  Workers are pure: they read the shared
+//! [`DecisionContext`] and return per-goal [`JobResult`]s carrying any
+//! freshly computed derived data (goal lattices, propositional translations),
+//! which the session then writes back into its caches on the serial side.
+//! Keeping cache mutation out of the parallel section means no locks on the
+//! hot path and no cross-worker contention.
+
+use diffcon::procedure::ProcedureKind;
+use diffcon::{implication, prop_bridge, DiffConstraint};
+use proplogic::implication::ImplicationConstraint;
+use rayon::prelude::*;
+use relational::fd::{self, FunctionalDependency};
+use setlat::{lattice, AttrSet, Universe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything a worker needs to decide `premises ⊨ goal`, shared read-only
+/// across the batch.
+pub struct DecisionContext<'a> {
+    /// The attribute universe.
+    pub universe: &'a Universe,
+    /// The premise set `C`.
+    pub premises: &'a [DiffConstraint],
+    /// Propositional translations of `premises`, index-aligned; used by the
+    /// SAT procedure.
+    pub premise_props: &'a [ImplicationConstraint],
+    /// FD translations of `premises` when the whole set lies in the
+    /// single-member fragment; enables the polynomial procedure.
+    pub premise_fds: Option<&'a [FunctionalDependency]>,
+}
+
+/// One planned unit of work: a goal plus the procedure chosen for it and any
+/// cached derived data the session already holds.
+pub struct Job {
+    /// The goal constraint.
+    pub goal: DiffConstraint,
+    /// The procedure the planner selected.
+    pub procedure: ProcedureKind,
+    /// The goal's memoized lattice decomposition, if the session has it.
+    pub cached_lattice: Option<Arc<[AttrSet]>>,
+    /// The goal's memoized propositional translation, if the session has it.
+    pub cached_prop: Option<Arc<ImplicationConstraint>>,
+}
+
+/// The outcome of one job.
+pub struct JobResult {
+    /// Whether the premises imply the goal.
+    pub implied: bool,
+    /// The procedure that decided it.
+    pub procedure: ProcedureKind,
+    /// Wall-clock time spent deciding.
+    pub elapsed: Duration,
+    /// A goal lattice computed by the worker (for cache write-back).
+    pub computed_lattice: Option<Arc<[AttrSet]>>,
+    /// A goal translation computed by the worker (for cache write-back).
+    pub computed_prop: Option<Arc<ImplicationConstraint>>,
+}
+
+/// Decides a single job against the context.
+pub fn decide_one(ctx: &DecisionContext<'_>, job: &Job) -> JobResult {
+    let start = Instant::now();
+    let mut computed_lattice = None;
+    let mut computed_prop = None;
+    let implied = match job.procedure {
+        ProcedureKind::FdFragment => {
+            let fds = ctx
+                .premise_fds
+                .expect("planner routed to FD without a fragment index");
+            let goal_fd = diffcon::fd_fragment::to_fd(&job.goal)
+                .expect("planner routed a wide goal to the FD procedure");
+            fd::implies(fds, &goal_fd)
+        }
+        ProcedureKind::Lattice => match &job.cached_lattice {
+            Some(l) => covered_by_premises(l, ctx.premises),
+            None => {
+                // Enumerate L(goal) once, decide from it, and hand the
+                // materialization back for the session to memoize — repeat
+                // queries then skip the 2^{|S|−|X|} superset sweep entirely.
+                let l = goal_lattice(ctx.universe, &job.goal);
+                let implied = covered_by_premises(&l, ctx.premises);
+                computed_lattice = Some(l);
+                implied
+            }
+        },
+        ProcedureKind::Semantic => {
+            implication::implies_semantic(ctx.universe, ctx.premises, &job.goal)
+        }
+        ProcedureKind::Sat => {
+            let prop = match &job.cached_prop {
+                Some(p) => Arc::clone(p),
+                None => {
+                    let p = Arc::new(prop_bridge::to_implication_constraint(&job.goal));
+                    computed_prop = Some(Arc::clone(&p));
+                    p
+                }
+            };
+            prop.implied_by_sat(ctx.premise_props, ctx.universe)
+        }
+    };
+    JobResult {
+        implied,
+        procedure: job.procedure,
+        elapsed: start.elapsed(),
+        computed_lattice,
+        computed_prop,
+    }
+}
+
+/// Decides a whole batch, fanning out across the rayon pool.  Results are
+/// index-aligned with `jobs`.
+pub fn decide_many(ctx: &DecisionContext<'_>, jobs: &[Job]) -> Vec<JobResult> {
+    jobs.par_iter().map(|job| decide_one(ctx, job)).collect()
+}
+
+/// Materializes `L(X, 𝒴)` of a goal as a shared slice.
+pub fn goal_lattice(universe: &Universe, goal: &DiffConstraint) -> Arc<[AttrSet]> {
+    lattice::lattice_decomposition(universe, goal.lhs, &goal.rhs).into()
+}
+
+/// Theorem 3.5 over a materialized goal lattice: `C ⊨ goal` iff every member
+/// of `L(goal)` lies in some premise's lattice.
+fn covered_by_premises(goal_lattice: &[AttrSet], premises: &[DiffConstraint]) -> bool {
+    goal_lattice
+        .iter()
+        .all(|&u| premises.iter().any(|p| p.lattice_contains(u)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffcon::procedure;
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    fn ctx_props(premises: &[DiffConstraint]) -> Vec<ImplicationConstraint> {
+        premises
+            .iter()
+            .map(prop_bridge::to_implication_constraint)
+            .collect()
+    }
+
+    #[test]
+    fn every_procedure_agrees_with_the_reference() {
+        let u = Universe::of_size(5);
+        let premises = parse(&u, &["A -> {B}", "B -> {C, DE}", "AC -> {D}"]);
+        let props = ctx_props(&premises);
+        let ctx = DecisionContext {
+            universe: &u,
+            premises: &premises,
+            premise_props: &props,
+            premise_fds: None,
+        };
+        let goals = parse(
+            &u,
+            &["A -> {C, DE}", "C -> {A}", "AB -> {C, DE}", "E -> {A}"],
+        );
+        for goal in &goals {
+            let expected = implication::implies(&u, &premises, goal);
+            for kind in [
+                ProcedureKind::Lattice,
+                ProcedureKind::Semantic,
+                ProcedureKind::Sat,
+            ] {
+                let job = Job {
+                    goal: goal.clone(),
+                    procedure: kind,
+                    cached_lattice: None,
+                    cached_prop: None,
+                };
+                let r = decide_one(&ctx, &job);
+                assert_eq!(r.implied, expected, "{kind} wrong on {}", goal.format(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_lattice_paths_agree() {
+        let u = Universe::of_size(5);
+        let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
+        let props = ctx_props(&premises);
+        let ctx = DecisionContext {
+            universe: &u,
+            premises: &premises,
+            premise_props: &props,
+            premise_fds: None,
+        };
+        let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        let cold = decide_one(
+            &ctx,
+            &Job {
+                goal: goal.clone(),
+                procedure: ProcedureKind::Lattice,
+                cached_lattice: None,
+                cached_prop: None,
+            },
+        );
+        let materialized = cold.computed_lattice.expect("cold run materializes");
+        let warm = decide_one(
+            &ctx,
+            &Job {
+                goal,
+                procedure: ProcedureKind::Lattice,
+                cached_lattice: Some(Arc::clone(&materialized)),
+                cached_prop: None,
+            },
+        );
+        assert!(
+            warm.computed_lattice.is_none(),
+            "warm run must not recompute"
+        );
+        assert_eq!(cold.implied, warm.implied);
+    }
+
+    #[test]
+    fn fd_jobs_use_the_fragment_index() {
+        let u = Universe::of_size(5);
+        let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
+        let fds: Vec<FunctionalDependency> = premises
+            .iter()
+            .map(|c| diffcon::fd_fragment::to_fd(c).unwrap())
+            .collect();
+        let props = ctx_props(&premises);
+        let ctx = DecisionContext {
+            universe: &u,
+            premises: &premises,
+            premise_props: &props,
+            premise_fds: Some(&fds),
+        };
+        for (text, expected) in [("A -> {C}", true), ("C -> {A}", false)] {
+            let goal = DiffConstraint::parse(text, &u).unwrap();
+            let r = decide_one(
+                &ctx,
+                &Job {
+                    goal,
+                    procedure: ProcedureKind::FdFragment,
+                    cached_lattice: None,
+                    cached_prop: None,
+                },
+            );
+            assert_eq!(r.implied, expected, "wrong on {text}");
+        }
+    }
+
+    #[test]
+    fn batches_preserve_order_and_agree_with_serial() {
+        let u = Universe::of_size(6);
+        let premises = parse(&u, &["A -> {B}", "BC -> {D, EF}", "D -> {E}"]);
+        let props = ctx_props(&premises);
+        let ctx = DecisionContext {
+            universe: &u,
+            premises: &premises,
+            premise_props: &props,
+            premise_fds: None,
+        };
+        let mut gen = diffcon::random::ConstraintGenerator::new(11, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        let goals = gen.constraint_set(64, &shape);
+        let jobs: Vec<Job> = goals
+            .iter()
+            .map(|g| Job {
+                goal: g.clone(),
+                procedure: ProcedureKind::Lattice,
+                cached_lattice: None,
+                cached_prop: None,
+            })
+            .collect();
+        let results = decide_many(&ctx, &jobs);
+        assert_eq!(results.len(), goals.len());
+        for (goal, result) in goals.iter().zip(&results) {
+            assert_eq!(
+                result.implied,
+                implication::implies(&u, &premises, goal),
+                "batch wrong on {}",
+                goal.format(&u)
+            );
+        }
+    }
+
+    #[test]
+    fn procedure_module_and_batch_agree_on_semantic() {
+        let u = Universe::of_size(4);
+        let premises = parse(&u, &["A -> {B, CD}"]);
+        let props = ctx_props(&premises);
+        let ctx = DecisionContext {
+            universe: &u,
+            premises: &premises,
+            premise_props: &props,
+            premise_fds: None,
+        };
+        let goal = DiffConstraint::parse("AC -> {B, CD}", &u).unwrap();
+        let r = decide_one(
+            &ctx,
+            &Job {
+                goal: goal.clone(),
+                procedure: ProcedureKind::Semantic,
+                cached_lattice: None,
+                cached_prop: None,
+            },
+        );
+        assert_eq!(
+            r.implied,
+            procedure::decide(ProcedureKind::Semantic, &u, &premises, &goal)
+        );
+    }
+}

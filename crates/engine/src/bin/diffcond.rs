@@ -1,0 +1,98 @@
+//! `diffcond` — serve differential-constraint implication queries over a
+//! line-oriented protocol (one request per line on stdin, one machine-readable
+//! response per line on stdout).
+//!
+//! See `diffcon_engine::protocol` for the full request/response grammar.
+//!
+//! ```text
+//! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
+//!                 [--lattice-budget N] [--help]
+//! ```
+
+use diffcon_engine::{PlannerConfig, Server, SessionConfig};
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+diffcond — differential-constraint implication server
+
+Reads one request per line from stdin, writes one response per line to stdout.
+Start with `universe <n>` (or `universe <name>...`), then `assert`, `implies`,
+`batch`, `witness`, `derive`, `premises`, `stats`, `reset`, `help`, `quit`.
+
+Options:
+  --answer-cache N    bound on memoized query answers     (default 65536)
+  --lattice-cache N   bound on memoized goal lattices     (default 4096)
+  --prop-cache N      bound on memoized translations      (default 4096)
+  --intern-limit N    distinct constraints kept before the intern table is
+                      compacted                           (default 262144)
+  --lattice-budget N  max lattice-procedure cost before a query is routed
+                      to the SAT procedure                (default 4194304)
+  --help              print this text";
+
+fn parse_args() -> Result<SessionConfig, String> {
+    let mut config = SessionConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                // Ignore write errors (e.g. `diffcond --help | head` closing
+                // the pipe early) instead of panicking.
+                let _ = writeln!(std::io::stdout(), "{USAGE}");
+                std::process::exit(0);
+            }
+            "--answer-cache" | "--lattice-cache" | "--prop-cache" | "--intern-limit"
+            | "--lattice-budget" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{flag} expects a number"))?;
+                let n: u128 = value
+                    .parse()
+                    .map_err(|_| format!("{flag} expects a number, got `{value}`"))?;
+                let as_capacity = |n: u128| -> Result<usize, String> {
+                    usize::try_from(n)
+                        .map_err(|_| format!("{flag} value {n} does not fit this platform"))
+                };
+                match flag.as_str() {
+                    "--answer-cache" => config.answer_cache_capacity = as_capacity(n)?,
+                    "--lattice-cache" => config.lattice_cache_capacity = as_capacity(n)?,
+                    "--prop-cache" => config.prop_cache_capacity = as_capacity(n)?,
+                    "--intern-limit" => config.interner_compaction_threshold = as_capacity(n)?,
+                    _ => config.planner = PlannerConfig { lattice_budget: n },
+                }
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("diffcond: {message}");
+            std::process::exit(2);
+        }
+    };
+    let mut server = Server::new(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let reply = server.handle_line(&line);
+        if !reply.text.is_empty()
+            && writeln!(out, "{}", reply.text)
+                .and_then(|_| out.flush())
+                .is_err()
+        {
+            break;
+        }
+        if reply.quit {
+            break;
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! A bounded least-recently-used cache with hit/miss/eviction accounting.
+//!
+//! The engine memoizes three kinds of derived data — lattice decompositions,
+//! propositional translations, and full query answers — all behind instances
+//! of this one cache.  It is a classic slab-backed LRU: a `HashMap` from key
+//! to slot index plus an intrusive doubly-linked recency list threaded
+//! through a slot vector, so `get`, `insert` and eviction are all `O(1)`
+//! expected.
+//!
+//! A capacity of `0` disables the cache entirely (every `get` misses, every
+//! `insert` is a no-op), which the engine's tests use to prove answers do not
+//! depend on caching.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters describing how a cache has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found their key.
+    pub hits: u64,
+    /// `get` calls that did not.
+    pub misses: u64,
+    /// Entries displaced by inserts at capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when the cache has never been queried.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU map from `K` to `V`.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` iff the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.detach(slot);
+                self.attach_front(slot);
+                Some(&self.slots[slot].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching recency or counters.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get(key).map(|&slot| &self.slots[slot].value)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when at
+    /// capacity.  Replacing an existing key promotes it.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            self.stats.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Drops every entry (counters are kept; they describe the lifetime of
+    /// the cache, not its current contents).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_hits() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        let _ = c.get(&1); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.peek(&2), None, "2 should have been evicted");
+        assert_eq!(c.peek(&1), Some(&10));
+        assert_eq!(c.peek(&3), Some(&30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_promotes_and_replaces() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // promote 1, replace value
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.peek(&1), Some(&11));
+        assert_eq!(c.peek(&2), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 2);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+            assert_eq!(c.len(), 1);
+        }
+        assert_eq!(c.stats().evictions, 99);
+    }
+
+    #[test]
+    fn heavy_mixed_workload_stays_consistent() {
+        // Mirror against a reference model: repeatedly insert/get and check
+        // the cache never exceeds capacity and hits agree with presence.
+        let mut c: LruCache<u64, u64> = LruCache::new(16);
+        let mut present: std::collections::VecDeque<u64> = Default::default();
+        let mut x: u64 = 0x123456789;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 48;
+            if x & 1 == 0 {
+                let was_present = present.contains(&key);
+                if !was_present {
+                    if present.len() == 16 {
+                        present.pop_back();
+                    }
+                } else {
+                    present.retain(|&k| k != key);
+                }
+                present.push_front(key);
+                c.insert(key, key);
+            } else {
+                let hit = c.get(&key).is_some();
+                assert_eq!(hit, present.contains(&key), "divergence at key {key}");
+                if hit {
+                    present.retain(|&k| k != key);
+                    present.push_front(key);
+                }
+            }
+            assert!(c.len() <= 16);
+        }
+    }
+}

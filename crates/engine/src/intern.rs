@@ -1,0 +1,108 @@
+//! Constraint interning: map each distinct [`DiffConstraint`] to a small
+//! dense id.
+//!
+//! Every cache in the engine is keyed on [`ConstraintId`] (4 bytes, `Copy`)
+//! rather than on the constraint structure itself, so repeated queries hash a
+//! `u32` instead of re-hashing a left-hand set plus a family per lookup, and
+//! identical goals arriving through different sessions of a workload share
+//! cache lines.  Interning is append-only: ids stay valid for the lifetime of
+//! the interner, even after the constraint is retracted from the premise set.
+
+use diffcon::DiffConstraint;
+use std::collections::HashMap;
+
+/// Dense identifier of an interned constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintId(u32);
+
+impl ConstraintId {
+    /// The id as a plain index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only table of distinct constraints.
+#[derive(Debug, Default)]
+pub struct ConstraintInterner {
+    by_constraint: HashMap<DiffConstraint, ConstraintId>,
+    items: Vec<DiffConstraint>,
+}
+
+impl ConstraintInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `constraint`, interning it on first sight.
+    pub fn intern(&mut self, constraint: &DiffConstraint) -> ConstraintId {
+        if let Some(&id) = self.by_constraint.get(constraint) {
+            return id;
+        }
+        let id = ConstraintId(
+            u32::try_from(self.items.len()).expect("more than u32::MAX interned constraints"),
+        );
+        self.items.push(constraint.clone());
+        self.by_constraint.insert(constraint.clone(), id);
+        id
+    }
+
+    /// Returns the id of an already-interned constraint, if any.
+    pub fn lookup(&self, constraint: &DiffConstraint) -> Option<ConstraintId> {
+        self.by_constraint.get(constraint).copied()
+    }
+
+    /// The constraint an id denotes.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this interner.
+    pub fn resolve(&self, id: ConstraintId) -> &DiffConstraint {
+        &self.items[id.index()]
+    }
+
+    /// Number of distinct constraints seen.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let u = Universe::of_size(4);
+        let mut interner = ConstraintInterner::new();
+        let a = DiffConstraint::parse("A -> {B, CD}", &u).unwrap();
+        let b = DiffConstraint::parse("B -> {C}", &u).unwrap();
+        let ida = interner.intern(&a);
+        let idb = interner.intern(&b);
+        assert_ne!(ida, idb);
+        assert_eq!(interner.intern(&a), ida);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(ida), &a);
+        assert_eq!(interner.resolve(idb), &b);
+        assert_eq!(interner.lookup(&a), Some(ida));
+        let c = DiffConstraint::parse("C -> {D}", &u).unwrap();
+        assert_eq!(interner.lookup(&c), None);
+    }
+
+    #[test]
+    fn structurally_equal_constraints_share_an_id() {
+        let u = Universe::of_size(4);
+        let mut interner = ConstraintInterner::new();
+        // Families normalize member order, so these are the same constraint.
+        let a = DiffConstraint::parse("A -> {B, CD}", &u).unwrap();
+        let b = DiffConstraint::parse("A -> {CD, B}", &u).unwrap();
+        assert_eq!(interner.intern(&a), interner.intern(&b));
+        assert_eq!(interner.len(), 1);
+    }
+}

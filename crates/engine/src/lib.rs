@@ -1,0 +1,78 @@
+//! # diffcon-engine — a cached, parallel, batch implication-serving engine
+//!
+//! The `diffcon` crate answers one implication query at a time, from scratch:
+//! every call to `implication::implies` re-enumerates lattice decompositions,
+//! and every SAT-backed call re-translates every premise.  This crate is the
+//! serving layer that amortizes that work across query traffic:
+//!
+//! * **Sessions** ([`session::Session`]) hold a universe and a premise set
+//!   with incremental assert/retract.  Each mutation maintains, in `O(|C|)`,
+//!   the premise set's propositional translations, its FD-fragment index,
+//!   and an order-independent 64-bit digest that versions cached answers —
+//!   so retracting a premise invalidates stale answers instantly and
+//!   re-asserting it revalidates them.
+//! * **Memoization** ([`cache::LruCache`]) — bounded LRU caches, keyed on
+//!   interned constraint ids ([`intern::ConstraintInterner`]), for full query
+//!   answers, goal lattice decompositions `L(X, 𝒴)`, and propositional
+//!   translations.
+//! * **Batch evaluation** ([`batch`], [`session::Session::implies_batch`]) —
+//!   many goals against one premise set, fanned out across the rayon pool;
+//!   cache reads and write-backs stay on the serial side so workers share
+//!   nothing mutable.
+//! * **An adaptive planner** ([`planner::Planner`]) that routes each query
+//!   to the cheapest sound procedure — trivial goals inline, the polynomial
+//!   FD fast path when the instance lies in the single-member fragment, the
+//!   Theorem 3.5 lattice check while its `2^{|S|−|X|}` enumeration bound
+//!   fits a budget, and the Section 5 SAT translation past it — recording
+//!   per-procedure query counts, cache hits, and latency.
+//!
+//! The [`protocol`] module defines the line-oriented request/response
+//! protocol (grammar in its module docs) served by the `diffcond` binary:
+//!
+//! ```text
+//! $ printf 'universe 4\nassert A -> {B}\nassert B -> {C}\nimplies A -> {C}\n' | diffcond
+//! ok universe n=4 attrs=A,B,C,D
+//! ok assert id=0 added=1 premises=1
+//! ok assert id=1 added=1 premises=2
+//! yes route=fd cached=0 us=…
+//! ```
+//!
+//! ## Library quick start
+//!
+//! ```
+//! use diffcon_engine::session::Session;
+//! use diffcon::DiffConstraint;
+//! use setlat::Universe;
+//!
+//! let u = Universe::of_size(4);
+//! let mut session = Session::new(u.clone());
+//! session.assert_constraint(&DiffConstraint::parse("A -> {B}", &u).unwrap());
+//! session.assert_constraint(&DiffConstraint::parse("B -> {C}", &u).unwrap());
+//!
+//! let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+//! assert!(session.implies(&goal).implied);      // decided (FD fast path)
+//! assert!(session.implies(&goal).cached);       // served from the answer cache
+//!
+//! let goals: Vec<DiffConstraint> = ["A -> {C}", "C -> {A}", "AB -> {B}"]
+//!     .iter()
+//!     .map(|t| DiffConstraint::parse(t, &u).unwrap())
+//!     .collect();
+//! let answers: Vec<bool> = session.implies_batch(&goals).iter().map(|o| o.implied).collect();
+//! assert_eq!(answers, vec![true, false, true]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod intern;
+pub mod planner;
+pub mod protocol;
+pub mod session;
+
+pub use cache::{CacheStats, LruCache};
+pub use intern::{ConstraintId, ConstraintInterner};
+pub use planner::{Planner, PlannerConfig, PlannerStats};
+pub use protocol::{Reply, Request, Server};
+pub use session::{QueryOutcome, Session, SessionConfig, SessionStats};

@@ -1,0 +1,257 @@
+//! The adaptive procedure planner: route each query to the cheapest sound
+//! decision procedure, and account for where time actually went.
+//!
+//! Routing policy, in order:
+//!
+//! 1. **Trivial goals** (`Y ⊆ X` for some member) are implied by anything;
+//!    answered inline without running a procedure.
+//! 2. **FD fast path** — if the whole instance lies in the paper's
+//!    single-member fragment, the polynomial attribute-closure check decides
+//!    it ([`ProcedureKind::FdFragment`]).
+//! 3. **Lattice containment** — when the Theorem 3.5 enumeration bound
+//!    ([`diffcon::procedure::lattice_cost_bound`]) fits the configured
+//!    budget, the direct bitset procedure is the fastest general decider.
+//! 4. **SAT** otherwise — the Section 5 translation hands the instance to
+//!    DPLL, whose cost tracks the refutation search rather than
+//!    `2^{|S|−|X|}`.
+//!
+//! Every decision is recorded per procedure (query count, answer-cache hits,
+//! cumulative and maximum latency), so a long-running `diffcond` process can
+//! report where its time goes and operators can tune
+//! [`PlannerConfig::lattice_budget`].
+
+use diffcon::procedure::{self, ProcedureKind};
+use diffcon::DiffConstraint;
+use setlat::Universe;
+use std::time::Duration;
+
+/// Tuning knobs for procedure routing.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Maximum lattice-procedure cost bound (in bitset operations, see
+    /// [`diffcon::procedure::lattice_cost_bound`]) before a query is routed
+    /// to the SAT procedure instead.
+    pub lattice_budget: u128,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            // 2^22 word-ops is tens of milliseconds in the worst case; past
+            // that the DPLL refutation usually wins on refutable instances.
+            lattice_budget: 1 << 22,
+        }
+    }
+}
+
+/// Accumulated figures for one procedure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcedureStats {
+    /// Queries decided by this procedure (excluding answer-cache hits).
+    pub decided: u64,
+    /// Queries whose answer was served from the answer cache after having
+    /// been planned for this procedure.
+    pub cache_hits: u64,
+    /// Total time spent inside the procedure.
+    pub total_time: Duration,
+    /// Largest single-query time.
+    pub max_time: Duration,
+}
+
+impl ProcedureStats {
+    /// Mean latency per decided query.
+    pub fn mean_time(&self) -> Duration {
+        if self.decided == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / u32::try_from(self.decided).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A snapshot of every procedure's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannerStats {
+    /// Indexed in the order of [`procedure::ALL_PROCEDURES`]
+    /// (`fd`, `lattice`, `semantic`, `sat`).
+    pub per_procedure: [ProcedureStats; 4],
+    /// Goals answered inline because they were trivial.
+    pub trivial: u64,
+}
+
+impl PlannerStats {
+    /// The counters for one procedure.
+    pub fn of(&self, kind: ProcedureKind) -> &ProcedureStats {
+        &self.per_procedure[proc_index(kind)]
+    }
+
+    /// Total queries seen (decided + cached + trivial).
+    pub fn total_queries(&self) -> u64 {
+        self.trivial
+            + self
+                .per_procedure
+                .iter()
+                .map(|p| p.decided + p.cache_hits)
+                .sum::<u64>()
+    }
+}
+
+fn proc_index(kind: ProcedureKind) -> usize {
+    procedure::ALL_PROCEDURES
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every ProcedureKind appears in ALL_PROCEDURES")
+}
+
+/// The planner: stateless routing plus mutable accounting.
+#[derive(Debug, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+    stats: PlannerStats,
+}
+
+impl Planner {
+    /// Creates a planner with the given configuration.
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner {
+            config,
+            stats: PlannerStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    /// Picks the procedure for `premises ⊨ goal`.
+    ///
+    /// `fd_index_ready` tells the planner whether the caller holds a premise
+    /// set entirely inside the FD fragment (the session maintains that index
+    /// incrementally, so the planner does not rescan the premises).
+    pub fn choose(
+        &self,
+        universe: &Universe,
+        premises: &[DiffConstraint],
+        goal: &DiffConstraint,
+        fd_index_ready: bool,
+    ) -> ProcedureKind {
+        if fd_index_ready && goal.is_single_member() {
+            return ProcedureKind::FdFragment;
+        }
+        if procedure::lattice_cost_bound(universe, premises, goal) <= self.config.lattice_budget {
+            ProcedureKind::Lattice
+        } else {
+            ProcedureKind::Sat
+        }
+    }
+
+    /// Records a query decided by `kind`.
+    pub fn record_decided(&mut self, kind: ProcedureKind, elapsed: Duration) {
+        let s = &mut self.stats.per_procedure[proc_index(kind)];
+        s.decided += 1;
+        s.total_time += elapsed;
+        if elapsed > s.max_time {
+            s.max_time = elapsed;
+        }
+    }
+
+    /// Records a query answered from the answer cache (planned for `kind`).
+    pub fn record_cache_hit(&mut self, kind: ProcedureKind) {
+        self.stats.per_procedure[proc_index(kind)].cache_hits += 1;
+    }
+
+    /// Records a goal answered inline as trivial.
+    pub fn record_trivial(&mut self) {
+        self.stats.trivial += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PlannerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::{AttrSet, Family};
+
+    fn fd_constraints(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn routes_fragment_queries_to_fd() {
+        let u = Universe::of_size(6);
+        let planner = Planner::new(PlannerConfig::default());
+        let premises = fd_constraints(&u, &["A -> {B}", "B -> {C}"]);
+        let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        assert_eq!(
+            planner.choose(&u, &premises, &goal, true),
+            ProcedureKind::FdFragment
+        );
+        // Same instance without a ready index falls back to the general path.
+        assert_eq!(
+            planner.choose(&u, &premises, &goal, false),
+            ProcedureKind::Lattice
+        );
+        // A wide goal cannot take the FD path even with a ready index.
+        let wide = DiffConstraint::parse("A -> {B, C}", &u).unwrap();
+        assert_eq!(
+            planner.choose(&u, &premises, &wide, true),
+            ProcedureKind::Lattice
+        );
+    }
+
+    #[test]
+    fn routes_to_sat_past_the_lattice_budget() {
+        let u = Universe::of_size(40);
+        let planner = Planner::new(PlannerConfig {
+            lattice_budget: 1 << 20,
+        });
+        let premises = vec![DiffConstraint::new(
+            AttrSet::singleton(0),
+            Family::single(AttrSet::singleton(1)),
+        )];
+        // |S| − |X| = 39 free attributes: far beyond a 2^20 budget.
+        let hard = DiffConstraint::new(
+            AttrSet::singleton(0),
+            Family::from_sets([AttrSet::singleton(2), AttrSet::singleton(3)]),
+        );
+        assert_eq!(
+            planner.choose(&u, &premises, &hard, false),
+            ProcedureKind::Sat
+        );
+        // A goal with a huge left-hand side is cheap for the lattice.
+        let easy = DiffConstraint::new(AttrSet::full(38), Family::single(AttrSet::singleton(39)));
+        assert_eq!(
+            planner.choose(&u, &premises, &easy, false),
+            ProcedureKind::Lattice
+        );
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut planner = Planner::new(PlannerConfig::default());
+        planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(10));
+        planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(30));
+        planner.record_cache_hit(ProcedureKind::Lattice);
+        planner.record_decided(ProcedureKind::Sat, Duration::from_micros(500));
+        planner.record_trivial();
+        let stats = planner.stats();
+        let lattice = stats.of(ProcedureKind::Lattice);
+        assert_eq!(lattice.decided, 2);
+        assert_eq!(lattice.cache_hits, 1);
+        assert_eq!(lattice.total_time, Duration::from_micros(40));
+        assert_eq!(lattice.max_time, Duration::from_micros(30));
+        assert_eq!(lattice.mean_time(), Duration::from_micros(20));
+        assert_eq!(stats.of(ProcedureKind::Sat).decided, 1);
+        assert_eq!(stats.trivial, 1);
+        assert_eq!(stats.total_queries(), 5);
+        assert_eq!(stats.of(ProcedureKind::FdFragment).decided, 0);
+    }
+}

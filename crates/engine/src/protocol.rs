@@ -1,0 +1,540 @@
+//! The `diffcond` line protocol: one request per line in, one machine-readable
+//! response line out.
+//!
+//! # Request grammar
+//!
+//! ```text
+//! request    ::= "universe" (NUMBER | NAME+)     start a session (resets state)
+//!              | "assert" constraint             add a premise
+//!              | "retract" constraint            remove a premise
+//!              | "implies" constraint            decide C ⊨ goal
+//!              | "batch" constraint (";" constraint)*
+//!              |                                 decide many goals in parallel
+//!              | "witness" constraint            refutation witness, if any
+//!              | "derive" constraint             Figure 1 proof, if implied
+//!              | "premises"                      list the premise set
+//!              | "stats"                         engine statistics
+//!              | "reset"                         drop premises and caches
+//!              | "help"                          this summary
+//!              | "quit"                          end the session
+//! constraint ::= the diffcon textual syntax, e.g. "A -> {B, CD}"
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored (empty response).
+//!
+//! # Response grammar
+//!
+//! ```text
+//! response ::= "ok" field*                       state-changing commands
+//!            | "yes" field* | "no" field*        implies
+//!            | "results" "n=" NUMBER (y|n)*      batch, index-aligned
+//!            | "witness" ("none" | "set=" SET)
+//!            | "proof" field* | "unprovable"
+//!            | "premises" "n=" NUMBER constraint*
+//!            | "stats" field*
+//!            | "bye"
+//!            | "err" message
+//! field    ::= KEY "=" VALUE                     e.g. route=lattice us=12
+//! ```
+//!
+//! `implies` responses carry `route` (`trivial`, `fd`, `lattice`, `sat` —
+//! the routes the planner can select), `cached` (`0`/`1`), and `us` (decision
+//! latency in microseconds).  `stats` reports one `<route>=<decided>/<cache
+//! hits>c/<total µs>us` field per procedure that has served at least one
+//! query.
+//! Constraints in responses are printed in the compact parseable form
+//! `A->{B,CD}`, so a client can feed them straight back into requests.
+
+use crate::session::{Session, SessionConfig};
+use diffcon::procedure::ALL_PROCEDURES;
+use diffcon::DiffConstraint;
+use setlat::Universe;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `universe 4` or `universe A B C D`.
+    Universe(UniverseSpec),
+    /// `assert <constraint>`.
+    Assert(String),
+    /// `retract <constraint>`.
+    Retract(String),
+    /// `implies <constraint>`.
+    Implies(String),
+    /// `batch <c1> ; <c2> ; …`.
+    Batch(Vec<String>),
+    /// `witness <constraint>`.
+    Witness(String),
+    /// `derive <constraint>`.
+    Derive(String),
+    /// `premises`.
+    Premises,
+    /// `stats`.
+    Stats,
+    /// `reset`.
+    Reset,
+    /// `help`.
+    Help,
+    /// `quit`.
+    Quit,
+    /// Blank or comment line: no response.
+    Empty,
+}
+
+/// The argument of a `universe` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UniverseSpec {
+    /// `universe 5` — attributes `A`–`E`.
+    Size(usize),
+    /// `universe Lo Hi Vol` — explicitly named attributes.
+    Names(Vec<String>),
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Request::Empty);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let need = |what: &str, rest: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("{what} expects a constraint argument"))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    match verb {
+        "universe" => {
+            if rest.is_empty() {
+                return Err("universe expects a size or attribute names".into());
+            }
+            if let Ok(n) = rest.parse::<usize>() {
+                Ok(Request::Universe(UniverseSpec::Size(n)))
+            } else {
+                Ok(Request::Universe(UniverseSpec::Names(
+                    rest.split_whitespace().map(str::to_string).collect(),
+                )))
+            }
+        }
+        "assert" => Ok(Request::Assert(need("assert", rest)?)),
+        "retract" => Ok(Request::Retract(need("retract", rest)?)),
+        "implies" => Ok(Request::Implies(need("implies", rest)?)),
+        "witness" => Ok(Request::Witness(need("witness", rest)?)),
+        "derive" => Ok(Request::Derive(need("derive", rest)?)),
+        "batch" => {
+            let goals: Vec<String> = rest
+                .split(';')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if goals.is_empty() {
+                Err("batch expects `;`-separated constraints".into())
+            } else {
+                Ok(Request::Batch(goals))
+            }
+        }
+        "premises" => Ok(Request::Premises),
+        "stats" => Ok(Request::Stats),
+        "reset" => Ok(Request::Reset),
+        "help" => Ok(Request::Help),
+        "quit" | "exit" => Ok(Request::Quit),
+        other => Err(format!("unknown command `{other}` (try `help`)")),
+    }
+}
+
+/// Formats a constraint in the compact, re-parseable wire form `A->{B,CD}`.
+pub fn format_wire(constraint: &DiffConstraint, universe: &Universe) -> String {
+    let members: Vec<String> = constraint
+        .rhs
+        .iter()
+        .map(|m| universe.format_set(m))
+        .collect();
+    format!(
+        "{}->{{{}}}",
+        universe.format_set(constraint.lhs),
+        members.join(",")
+    )
+}
+
+/// One response line plus the should-terminate flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The response line (empty for [`Request::Empty`]).
+    pub text: String,
+    /// `true` after a `quit`.
+    pub quit: bool,
+}
+
+impl Reply {
+    fn line(text: impl Into<String>) -> Reply {
+        Reply {
+            text: text.into(),
+            quit: false,
+        }
+    }
+
+    fn err(message: impl Into<String>) -> Reply {
+        Reply::line(format!("err {}", message.into()))
+    }
+}
+
+/// A single-session `diffcond` server: feed it request lines, print the
+/// replies.  IO-free, so tests drive it directly.
+#[derive(Debug)]
+pub struct Server {
+    config: SessionConfig,
+    session: Option<Session>,
+}
+
+impl Server {
+    /// Creates a server; sessions it opens use `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        Server {
+            config,
+            session: None,
+        }
+    }
+
+    /// The active session, if a `universe` request has opened one.
+    pub fn session(&self) -> Option<&Session> {
+        self.session.as_ref()
+    }
+
+    /// Handles one raw request line.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        match parse_request(line) {
+            Ok(request) => self.handle(request),
+            Err(message) => Reply::err(message),
+        }
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&mut self, request: Request) -> Reply {
+        match request {
+            Request::Empty => Reply::line(""),
+            Request::Help => Reply::line(
+                "ok commands: universe assert retract implies batch witness derive premises stats reset help quit",
+            ),
+            Request::Quit => Reply {
+                text: "bye".into(),
+                quit: true,
+            },
+            Request::Universe(spec) => {
+                let universe = match spec {
+                    UniverseSpec::Size(n) => {
+                        if n == 0 || n > setlat::MAX_UNIVERSE {
+                            return Reply::err(format!(
+                                "universe size must be in 1..={}",
+                                setlat::MAX_UNIVERSE
+                            ));
+                        }
+                        Universe::of_size(n)
+                    }
+                    UniverseSpec::Names(names) => {
+                        // The constraint text syntax addresses attributes by
+                        // single characters ("ACD" = {A, C, D}), so longer
+                        // names would be unreachable from the wire.
+                        if let Some(bad) = names.iter().find(|n| n.chars().count() != 1) {
+                            return Reply::err(format!(
+                                "attribute names must be single characters, got `{bad}`"
+                            ));
+                        }
+                        match Universe::from_names(names) {
+                            Ok(u) => u,
+                            Err(e) => return Reply::err(e.to_string()),
+                        }
+                    }
+                };
+                let reply = format!(
+                    "ok universe n={} attrs={}",
+                    universe.len(),
+                    universe.names().join(",")
+                );
+                self.session = Some(Session::with_config(universe, self.config));
+                Reply::line(reply)
+            }
+            Request::Reset => match self.session.take() {
+                Some(old) => {
+                    let universe = old.universe().clone();
+                    self.session = Some(Session::with_config(universe, self.config));
+                    Reply::line("ok reset")
+                }
+                None => Reply::err("no session (send `universe` first)"),
+            },
+            Request::Premises => self.with_session(|session| {
+                let universe = session.universe();
+                let mut text = format!("premises n={}", session.premises().len());
+                for p in session.premises() {
+                    text.push(' ');
+                    text.push_str(&format_wire(p, universe));
+                }
+                Reply::line(text)
+            }),
+            Request::Stats => self.with_session(|session| {
+                let stats = session.stats();
+                let mut text = format!(
+                    "stats queries={} trivial={}",
+                    stats.planner.total_queries(),
+                    stats.planner.trivial
+                );
+                for kind in ALL_PROCEDURES {
+                    let p = stats.planner.of(kind);
+                    // Only procedures that served traffic; in particular the
+                    // semantic cross-check procedure is never planner-routed.
+                    if p.decided == 0 && p.cache_hits == 0 {
+                        continue;
+                    }
+                    text.push_str(&format!(
+                        " {}={}/{}c/{}us",
+                        kind.name(),
+                        p.decided,
+                        p.cache_hits,
+                        p.total_time.as_micros()
+                    ));
+                }
+                text.push_str(&format!(
+                    " answer_cache=h{}/m{}/e{} lattice_cache=h{}/m{}/e{} prop_cache=h{}/m{}/e{} premises={} interned={}",
+                    stats.answer_cache.hits,
+                    stats.answer_cache.misses,
+                    stats.answer_cache.evictions,
+                    stats.lattice_cache.hits,
+                    stats.lattice_cache.misses,
+                    stats.lattice_cache.evictions,
+                    stats.prop_cache.hits,
+                    stats.prop_cache.misses,
+                    stats.prop_cache.evictions,
+                    stats.premises,
+                    stats.interned,
+                ));
+                if stats.interner_compactions > 0 {
+                    text.push_str(&format!(" compactions={}", stats.interner_compactions));
+                }
+                Reply::line(text)
+            }),
+            Request::Assert(text) => self.with_constraint(&text, |session, constraint| {
+                let (id, added) = session.assert_constraint(&constraint);
+                Reply::line(format!(
+                    "ok assert id={} added={} premises={}",
+                    id.index(),
+                    added as u8,
+                    session.premises().len()
+                ))
+            }),
+            Request::Retract(text) => self.with_constraint(&text, |session, constraint| {
+                if session.retract_constraint(&constraint) {
+                    Reply::line(format!("ok retract premises={}", session.premises().len()))
+                } else {
+                    Reply::err("constraint is not an asserted premise")
+                }
+            }),
+            Request::Implies(text) => self.with_constraint(&text, |session, constraint| {
+                let outcome = session.implies(&constraint);
+                Reply::line(format!(
+                    "{} route={} cached={} us={}",
+                    if outcome.implied { "yes" } else { "no" },
+                    outcome.route_name(),
+                    outcome.cached as u8,
+                    outcome.elapsed.as_micros()
+                ))
+            }),
+            Request::Batch(texts) => self.with_session(|session| {
+                let universe = session.universe();
+                let mut goals = Vec::with_capacity(texts.len());
+                for text in &texts {
+                    match DiffConstraint::parse(text, universe) {
+                        Ok(c) => goals.push(c),
+                        Err(e) => return Reply::err(format!("in `{text}`: {e}")),
+                    }
+                }
+                let outcomes = session.implies_batch(&goals);
+                let mut reply = format!("results n={}", outcomes.len());
+                for outcome in &outcomes {
+                    reply.push(' ');
+                    reply.push(if outcome.implied { 'y' } else { 'n' });
+                }
+                Reply::line(reply)
+            }),
+            Request::Witness(text) => self.with_constraint(&text, |session, constraint| {
+                match session.refutation_witness(&constraint) {
+                    None => Reply::line("witness none"),
+                    Some(set) => Reply::line(format!(
+                        "witness set={}",
+                        session.universe().format_set(set)
+                    )),
+                }
+            }),
+            Request::Derive(text) => self.with_constraint(&text, |session, constraint| {
+                match session.derive(&constraint) {
+                    Some(proof) => Reply::line(format!(
+                        "proof size={} depth={}",
+                        proof.size(),
+                        proof.depth()
+                    )),
+                    None => Reply::line("unprovable"),
+                }
+            }),
+        }
+    }
+
+    fn with_session(&mut self, f: impl FnOnce(&mut Session) -> Reply) -> Reply {
+        match self.session.as_mut() {
+            Some(session) => f(session),
+            None => Reply::err("no session (send `universe` first)"),
+        }
+    }
+
+    fn with_constraint(
+        &mut self,
+        text: &str,
+        f: impl FnOnce(&mut Session, DiffConstraint) -> Reply,
+    ) -> Reply {
+        self.with_session(
+            |session| match DiffConstraint::parse(text, session.universe()) {
+                Ok(constraint) => f(session, constraint),
+                Err(e) => Reply::err(e.to_string()),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(SessionConfig::default())
+    }
+
+    #[test]
+    fn full_conversation() {
+        let mut s = server();
+        assert_eq!(
+            s.handle_line("universe 4").text,
+            "ok universe n=4 attrs=A,B,C,D"
+        );
+        assert_eq!(
+            s.handle_line("assert A -> {B}").text,
+            "ok assert id=0 added=1 premises=1"
+        );
+        assert_eq!(
+            s.handle_line("assert B -> {C}").text,
+            "ok assert id=1 added=1 premises=2"
+        );
+        let reply = s.handle_line("implies A -> {C}");
+        assert!(reply.text.starts_with("yes route="), "got: {}", reply.text);
+        let reply = s.handle_line("implies C -> {A}");
+        assert!(reply.text.starts_with("no route="), "got: {}", reply.text);
+        // Second ask is served from the cache.
+        let reply = s.handle_line("implies A -> {C}");
+        assert!(reply.text.contains("cached=1"), "got: {}", reply.text);
+        assert_eq!(s.handle_line("witness A -> {C}").text, "witness none");
+        assert!(s
+            .handle_line("witness C -> {A}")
+            .text
+            .starts_with("witness set="));
+        assert!(s
+            .handle_line("derive A -> {C}")
+            .text
+            .starts_with("proof size="));
+        assert_eq!(s.handle_line("derive C -> {A}").text, "unprovable");
+        assert_eq!(
+            s.handle_line("batch A -> {C}; C -> {A}; AB -> {B}").text,
+            "results n=3 y n y"
+        );
+        assert_eq!(s.handle_line("premises").text, "premises n=2 A->{B} B->{C}");
+        let stats = s.handle_line("stats").text;
+        assert!(stats.starts_with("stats queries="), "got: {stats}");
+        assert!(stats.contains("premises=2"), "got: {stats}");
+        assert_eq!(
+            s.handle_line("retract B -> {C}").text,
+            "ok retract premises=1"
+        );
+        let reply = s.handle_line("implies A -> {C}");
+        assert!(reply.text.starts_with("no"), "got: {}", reply.text);
+        assert_eq!(s.handle_line("reset").text, "ok reset");
+        assert_eq!(s.handle_line("premises").text, "premises n=0");
+        let bye = s.handle_line("quit");
+        assert_eq!(bye.text, "bye");
+        assert!(bye.quit);
+    }
+
+    #[test]
+    fn named_universes() {
+        let mut s = server();
+        assert_eq!(
+            s.handle_line("universe P Q R").text,
+            "ok universe n=3 attrs=P,Q,R"
+        );
+        assert_eq!(
+            s.handle_line("assert P -> {Q}").text,
+            "ok assert id=0 added=1 premises=1"
+        );
+        assert!(s.handle_line("implies P -> {Q}").text.starts_with("yes"));
+        // Multi-character names are unreachable from the constraint syntax,
+        // so the server rejects them up front.
+        assert!(s
+            .handle_line("universe Lo Hi Vol")
+            .text
+            .starts_with("err attribute names"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = server();
+        assert!(s
+            .handle_line("implies A -> {B}")
+            .text
+            .starts_with("err no session"));
+        s.handle_line("universe 3");
+        assert!(s.handle_line("implies A -> {Z}").text.starts_with("err"));
+        assert!(s
+            .handle_line("frobnicate")
+            .text
+            .starts_with("err unknown command"));
+        assert!(s.handle_line("assert").text.starts_with("err"));
+        assert!(s.handle_line("universe 0").text.starts_with("err"));
+        assert!(s.handle_line("batch ;;").text.starts_with("err"));
+        assert!(s.handle_line("retract A -> {B}").text.starts_with("err"));
+        // The session survives all of the above.
+        assert!(s.handle_line("implies AB -> {B}").text.starts_with("yes"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut s = server();
+        assert_eq!(s.handle_line("").text, "");
+        assert_eq!(s.handle_line("# a comment").text, "");
+        assert_eq!(s.handle_line("   ").text, "");
+    }
+
+    #[test]
+    fn wire_format_round_trips() {
+        let u = Universe::of_size(4);
+        for text in ["A -> {B, CD}", " -> {}", "AB -> {C}", "A -> {}"] {
+            let c = DiffConstraint::parse(text, &u).unwrap();
+            let wire = format_wire(&c, &u);
+            let back = DiffConstraint::parse(&wire, &u).unwrap();
+            assert_eq!(c, back, "round-trip failed for {wire}");
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_goals_use_one_decision() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        assert_eq!(
+            s.handle_line("batch A -> {B}; A -> {B}; A -> {B}").text,
+            "results n=3 y y y"
+        );
+        let stats = s.handle_line("stats").text;
+        // One decided query; the in-batch repeats follow it as cache hits.
+        assert!(stats.contains("fd=1/2c"), "got: {stats}");
+        assert!(stats.contains("answer_cache=h0/m1/e0"), "got: {stats}");
+    }
+}

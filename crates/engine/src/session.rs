@@ -1,0 +1,772 @@
+//! Sessions: a universe plus an incrementally maintained premise set, with
+//! memoization and batch evaluation layered over the one-shot procedures in
+//! `diffcon`.
+//!
+//! A [`Session`] is the unit of engine state.  It owns:
+//!
+//! * the premise set, with `O(|C|)` incremental [`assert`](Session::assert_constraint)
+//!   / [`retract`](Session::retract_constraint) that keep three derived
+//!   structures in sync — the propositional translations (for the SAT
+//!   procedure), the FD translation index (for the polynomial fragment fast
+//!   path), and an order-independent 64-bit **premise digest** (XOR of
+//!   constraint fingerprints) that versions every cached answer;
+//! * a [`ConstraintInterner`] assigning dense ids to every constraint seen;
+//! * three bounded LRU caches keyed on interned ids: full query answers
+//!   (keyed additionally on the premise digest, so retracting a premise
+//!   instantly invalidates — and re-asserting it instantly revalidates —
+//!   prior answers), goal lattice decompositions, and propositional
+//!   translations;
+//! * a [`Planner`] that routes each query to the cheapest sound procedure
+//!   and keeps per-procedure latency accounting.
+//!
+//! Queries come in two shapes: [`implies`](Session::implies) for one goal,
+//! and [`implies_batch`](Session::implies_batch), which plans every goal
+//! serially (interning, cache lookups), fans the misses out across the rayon
+//! pool through [`crate::batch`], then writes freshly derived data back into
+//! the caches — so cache mutation stays on the serial side and workers share
+//! nothing mutable.
+
+use crate::batch::{self, DecisionContext, Job, JobResult};
+use crate::cache::{CacheStats, LruCache};
+use crate::intern::{ConstraintId, ConstraintInterner};
+use crate::planner::{Planner, PlannerConfig, PlannerStats};
+use diffcon::inference::{self, Derivation};
+use diffcon::procedure::ProcedureKind;
+use diffcon::{fd_fragment, implication, prop_bridge, DiffConstraint};
+use proplogic::implication::ImplicationConstraint;
+use relational::fd::FunctionalDependency;
+use setlat::{AttrSet, Universe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Capacity and planner settings for a session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Bound on memoized query answers.
+    pub answer_cache_capacity: usize,
+    /// Bound on memoized goal lattice decompositions.
+    pub lattice_cache_capacity: usize,
+    /// Bound on memoized propositional translations.
+    pub prop_cache_capacity: usize,
+    /// Distinct-constraint count past which the interner is compacted.
+    ///
+    /// The interner is append-only, so a long-lived session serving
+    /// ever-distinct goals would otherwise grow without bound even though
+    /// every cache is capped.  When the table exceeds this threshold it is
+    /// rebuilt with only the current premises, and the id-keyed caches are
+    /// cleared (their keys are stale once ids are reassigned).  This trades
+    /// a rare full re-warm for a hard memory bound.
+    ///
+    /// The threshold is a floor, not an exact trigger: compaction only runs
+    /// when it can actually shrink the table, so the engine always allows at
+    /// least `2·|premises| + 16` entries.  Without that headroom a premise
+    /// set at or above the threshold would trigger a cache-clearing
+    /// compaction on every query.
+    pub interner_compaction_threshold: usize,
+    /// Procedure-routing configuration.
+    pub planner: PlannerConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            answer_cache_capacity: 1 << 16,
+            lattice_cache_capacity: 1 << 12,
+            prop_cache_capacity: 1 << 12,
+            interner_compaction_threshold: 1 << 18,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// How one query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Whether the premises imply the goal.
+    pub implied: bool,
+    /// The procedure that produced the answer; `None` when the goal was
+    /// trivial and answered inline.
+    pub procedure: Option<ProcedureKind>,
+    /// Whether the answer came from the answer cache.
+    pub cached: bool,
+    /// Wall-clock time spent deciding (≈ 0 for trivial goals and cache hits).
+    pub elapsed: Duration,
+}
+
+impl QueryOutcome {
+    /// Short name of the answering path for reports and the wire protocol.
+    /// The planner emits `trivial`, `fd`, `lattice`, or `sat` (`semantic` is
+    /// reachable only by driving [`crate::batch`] jobs directly; the planner
+    /// never selects it because it is dominated by the lattice procedure).
+    pub fn route_name(&self) -> &'static str {
+        match self.procedure {
+            None => "trivial",
+            Some(kind) => kind.name(),
+        }
+    }
+}
+
+/// A point-in-time view of a session's accumulated statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionStats {
+    /// Per-procedure planner accounting.
+    pub planner: PlannerStats,
+    /// Answer-cache counters.
+    pub answer_cache: CacheStats,
+    /// Lattice-cache counters.
+    pub lattice_cache: CacheStats,
+    /// Translation-cache counters.
+    pub prop_cache: CacheStats,
+    /// Current number of premises.
+    pub premises: usize,
+    /// Distinct constraints currently interned.
+    pub interned: usize,
+    /// Times the interner has been compacted (see
+    /// [`SessionConfig::interner_compaction_threshold`]).
+    pub interner_compactions: u64,
+}
+
+/// A stateful query-serving session over one universe.
+#[derive(Debug)]
+pub struct Session {
+    universe: Universe,
+    interner: ConstraintInterner,
+    /// The premise set, deduplicated, in assertion order.
+    premise_ids: Vec<ConstraintId>,
+    premises: Vec<DiffConstraint>,
+    /// Index-aligned propositional translations of `premises`.
+    premise_props: Vec<ImplicationConstraint>,
+    /// Index-aligned FD translations when *every* premise is single-member.
+    fd_index: Option<Vec<FunctionalDependency>>,
+    /// XOR of the premise fingerprints; versions the answer cache.
+    premise_digest: u64,
+    answer_cache: LruCache<(u64, ConstraintId), (bool, ProcedureKind)>,
+    lattice_cache: LruCache<ConstraintId, Arc<[AttrSet]>>,
+    prop_cache: LruCache<ConstraintId, Arc<ImplicationConstraint>>,
+    interner_compaction_threshold: usize,
+    interner_compactions: u64,
+    planner: Planner,
+}
+
+impl Session {
+    /// Creates an empty session over `universe` with default configuration.
+    pub fn new(universe: Universe) -> Self {
+        Session::with_config(universe, SessionConfig::default())
+    }
+
+    /// Creates an empty session with explicit cache and planner settings.
+    pub fn with_config(universe: Universe, config: SessionConfig) -> Self {
+        Session {
+            universe,
+            interner: ConstraintInterner::new(),
+            premise_ids: Vec::new(),
+            premises: Vec::new(),
+            premise_props: Vec::new(),
+            fd_index: Some(Vec::new()),
+            premise_digest: 0,
+            answer_cache: LruCache::new(config.answer_cache_capacity),
+            lattice_cache: LruCache::new(config.lattice_cache_capacity),
+            prop_cache: LruCache::new(config.prop_cache_capacity),
+            interner_compaction_threshold: config.interner_compaction_threshold.max(1),
+            interner_compactions: 0,
+            planner: Planner::new(config.planner),
+        }
+    }
+
+    /// The session's universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The current premise set, in assertion order.
+    pub fn premises(&self) -> &[DiffConstraint] {
+        &self.premises
+    }
+
+    /// The premise ids aligned with [`premises`](Session::premises).
+    pub fn premise_ids(&self) -> &[ConstraintId] {
+        &self.premise_ids
+    }
+
+    /// The order-independent digest of the current premise set.
+    pub fn premise_digest(&self) -> u64 {
+        self.premise_digest
+    }
+
+    /// Adds a premise.  Returns its id and `true`, or its existing id and
+    /// `false` when the constraint (up to normalization) is already asserted.
+    pub fn assert_constraint(&mut self, constraint: &DiffConstraint) -> (ConstraintId, bool) {
+        let id = self.interner.intern(constraint);
+        if self.premise_ids.contains(&id) {
+            return (id, false);
+        }
+        self.premise_ids.push(id);
+        self.premises.push(constraint.clone());
+        self.premise_props
+            .push(prop_bridge::to_implication_constraint(constraint));
+        if let Some(index) = self.fd_index.as_mut() {
+            match fd_fragment::to_fd(constraint) {
+                Some(fd) => index.push(fd),
+                None => self.fd_index = None,
+            }
+        }
+        self.premise_digest ^= constraint.fingerprint();
+        (id, true)
+    }
+
+    /// Removes a premise.  Returns `false` when it was not asserted.
+    pub fn retract_constraint(&mut self, constraint: &DiffConstraint) -> bool {
+        let Some(id) = self.interner.lookup(constraint) else {
+            return false;
+        };
+        self.retract_id(id)
+    }
+
+    /// Removes a premise by id.  Returns `false` when it was not asserted.
+    pub fn retract_id(&mut self, id: ConstraintId) -> bool {
+        let Some(pos) = self.premise_ids.iter().position(|&p| p == id) else {
+            return false;
+        };
+        self.premise_ids.remove(pos);
+        let removed = self.premises.remove(pos);
+        self.premise_props.remove(pos);
+        self.premise_digest ^= removed.fingerprint();
+        match self.fd_index.as_mut() {
+            // Still all-fragment: the index is aligned, drop the same slot.
+            Some(index) => {
+                index.remove(pos);
+            }
+            // The retraction may have removed the last wide premise; rebuild.
+            None => self.rebuild_fd_index(),
+        }
+        true
+    }
+
+    fn rebuild_fd_index(&mut self) {
+        self.fd_index = self
+            .premises
+            .iter()
+            .map(fd_fragment::to_fd)
+            .collect::<Option<Vec<_>>>();
+    }
+
+    /// Returns `true` when the interner has outgrown its threshold *and*
+    /// compaction would make progress.  The `2·|premises| + 16` floor
+    /// guarantees geometric headroom between compactions, so a premise set
+    /// larger than the configured threshold cannot thrash the caches.
+    fn compaction_due(&self) -> bool {
+        let floor = self.premises.len().saturating_mul(2).saturating_add(16);
+        self.interner.len() >= self.interner_compaction_threshold.max(floor)
+    }
+
+    /// Rebuilds the interner with only the current premises and clears the
+    /// id-keyed caches (their keys are stale once ids are reassigned).
+    ///
+    /// Must not run while previously returned ids are still in flight — the
+    /// batch path therefore compacts once up front, never mid-batch.
+    fn compact_interner(&mut self) {
+        let mut fresh = ConstraintInterner::new();
+        for (slot, premise) in self.premises.iter().enumerate() {
+            self.premise_ids[slot] = fresh.intern(premise);
+        }
+        self.interner = fresh;
+        self.answer_cache.clear();
+        self.lattice_cache.clear();
+        self.prop_cache.clear();
+        self.interner_compactions += 1;
+    }
+
+    /// Interns a goal, compacting the interner first when it has outgrown
+    /// its threshold (only for goals not already interned, so compaction is
+    /// not triggered by repeat traffic).
+    fn intern_goal(&mut self, goal: &DiffConstraint) -> ConstraintId {
+        if self.compaction_due() && self.interner.lookup(goal).is_none() {
+            self.compact_interner();
+        }
+        self.interner.intern(goal)
+    }
+
+    /// Decides `premises ⊨ goal`, consulting and feeding the caches.
+    pub fn implies(&mut self, goal: &DiffConstraint) -> QueryOutcome {
+        if goal.is_trivial() {
+            self.planner.record_trivial();
+            return QueryOutcome {
+                implied: true,
+                procedure: None,
+                cached: false,
+                elapsed: Duration::ZERO,
+            };
+        }
+        let id = self.intern_goal(goal);
+        let key = (self.premise_digest, id);
+        if let Some(&(implied, kind)) = self.answer_cache.get(&key) {
+            self.planner.record_cache_hit(kind);
+            return QueryOutcome {
+                implied,
+                procedure: Some(kind),
+                cached: true,
+                elapsed: Duration::ZERO,
+            };
+        }
+        let job = self.plan_job(goal.clone(), id);
+        let ctx = DecisionContext {
+            universe: &self.universe,
+            premises: &self.premises,
+            premise_props: &self.premise_props,
+            premise_fds: self.fd_index.as_deref(),
+        };
+        let result = batch::decide_one(&ctx, &job);
+        self.absorb_result(id, &result);
+        QueryOutcome {
+            implied: result.implied,
+            procedure: Some(result.procedure),
+            cached: false,
+            elapsed: result.elapsed,
+        }
+    }
+
+    /// Decides a whole batch of goals against the current premise set.
+    ///
+    /// Cache lookups and write-backs run serially; the cache-missing goals
+    /// are decided in parallel on the rayon pool.  The returned outcomes are
+    /// index-aligned with `goals`, and identical to calling
+    /// [`implies`](Session::implies) goal-by-goal.
+    pub fn implies_batch(&mut self, goals: &[DiffConstraint]) -> Vec<QueryOutcome> {
+        // Compact only between batches: ids handed out below must stay valid
+        // for the whole batch (one batch can overshoot the threshold by at
+        // most its own distinct-goal count).
+        if self.compaction_due() {
+            self.compact_interner();
+        }
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; goals.len()];
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut job_targets: Vec<(usize, ConstraintId)> = Vec::new();
+        // Goals repeated inside this batch are decided once; the repeats
+        // follow the first occurrence's job.
+        let mut pending: std::collections::HashMap<ConstraintId, usize> =
+            std::collections::HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        // Serial prologue: trivia, interning, answer-cache probes, planning.
+        for (i, goal) in goals.iter().enumerate() {
+            if goal.is_trivial() {
+                self.planner.record_trivial();
+                outcomes[i] = Some(QueryOutcome {
+                    implied: true,
+                    procedure: None,
+                    cached: false,
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+            let id = self.interner.intern(goal);
+            if let Some(&job_index) = pending.get(&id) {
+                followers.push((i, job_index));
+                continue;
+            }
+            let key = (self.premise_digest, id);
+            if let Some(&(implied, kind)) = self.answer_cache.get(&key) {
+                self.planner.record_cache_hit(kind);
+                outcomes[i] = Some(QueryOutcome {
+                    implied,
+                    procedure: Some(kind),
+                    cached: true,
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+            pending.insert(id, jobs.len());
+            jobs.push(self.plan_job(goal.clone(), id));
+            job_targets.push((i, id));
+        }
+        // Parallel fan-out over the misses.
+        let results: Vec<JobResult> = {
+            let ctx = DecisionContext {
+                universe: &self.universe,
+                premises: &self.premises,
+                premise_props: &self.premise_props,
+                premise_fds: self.fd_index.as_deref(),
+            };
+            batch::decide_many(&ctx, &jobs)
+        };
+        // Serial epilogue: write-back and accounting.
+        for ((i, id), result) in job_targets.into_iter().zip(&results) {
+            self.absorb_result(id, result);
+            outcomes[i] = Some(QueryOutcome {
+                implied: result.implied,
+                procedure: Some(result.procedure),
+                cached: false,
+                elapsed: result.elapsed,
+            });
+        }
+        for (i, job_index) in followers {
+            let result = &results[job_index];
+            self.planner.record_cache_hit(result.procedure);
+            outcomes[i] = Some(QueryOutcome {
+                implied: result.implied,
+                procedure: Some(result.procedure),
+                cached: true,
+                elapsed: Duration::ZERO,
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every goal receives an outcome"))
+            .collect()
+    }
+
+    /// Plans one goal: chooses the procedure and attaches cached derived data.
+    fn plan_job(&mut self, goal: DiffConstraint, id: ConstraintId) -> Job {
+        let kind = self.planner.choose(
+            &self.universe,
+            &self.premises,
+            &goal,
+            self.fd_index.is_some(),
+        );
+        let cached_lattice = if kind == ProcedureKind::Lattice {
+            self.lattice_cache.get(&id).cloned()
+        } else {
+            None
+        };
+        let cached_prop = if kind == ProcedureKind::Sat {
+            self.prop_cache.get(&id).cloned()
+        } else {
+            None
+        };
+        Job {
+            goal,
+            procedure: kind,
+            cached_lattice,
+            cached_prop,
+        }
+    }
+
+    /// Writes a decision back into the caches and the planner's accounting.
+    fn absorb_result(&mut self, id: ConstraintId, result: &JobResult) {
+        if let Some(lattice) = &result.computed_lattice {
+            self.lattice_cache.insert(id, Arc::clone(lattice));
+        }
+        if let Some(prop) = &result.computed_prop {
+            self.prop_cache.insert(id, Arc::clone(prop));
+        }
+        self.answer_cache.insert(
+            (self.premise_digest, id),
+            (result.implied, result.procedure),
+        );
+        self.planner
+            .record_decided(result.procedure, result.elapsed);
+    }
+
+    /// A refutation witness for a non-implied goal: a set in `L(goal)` not
+    /// covered by any premise lattice.  `None` means the goal is implied.
+    pub fn refutation_witness(&self, goal: &DiffConstraint) -> Option<AttrSet> {
+        implication::refutation_witness(&self.universe, &self.premises, goal)
+    }
+
+    /// Produces a machine-checkable Figure 1 derivation of an implied goal
+    /// (`None` when the goal is not implied).
+    pub fn derive(&self, goal: &DiffConstraint) -> Option<Derivation> {
+        inference::derive(&self.universe, &self.premises, goal)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            planner: self.planner.stats(),
+            answer_cache: self.answer_cache.stats(),
+            lattice_cache: self.lattice_cache.stats(),
+            prop_cache: self.prop_cache.stats(),
+            premises: self.premises.len(),
+            interned: self.interner.len(),
+            interner_compactions: self.interner_compactions,
+        }
+    }
+
+    /// Drops all cached answers and derived data (premises are kept).
+    pub fn clear_caches(&mut self) {
+        self.answer_cache.clear();
+        self.lattice_cache.clear();
+        self.prop_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffcon::implication;
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    fn example_session() -> (Session, Vec<DiffConstraint>) {
+        let u = Universe::of_size(4);
+        let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
+        let mut s = Session::new(u);
+        for p in &premises {
+            s.assert_constraint(p);
+        }
+        (s, premises)
+    }
+
+    #[test]
+    fn answers_match_the_one_shot_procedure() {
+        let (mut s, premises) = example_session();
+        let goals = parse(
+            s.universe(),
+            &["A -> {C}", "C -> {A}", "AB -> {B}", "A -> {B, CD}"],
+        );
+        for goal in &goals {
+            let expected = implication::implies(s.universe(), &premises, goal);
+            assert_eq!(s.implies(goal).implied, expected, "wrong on {goal:?}");
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_answer_cache() {
+        let (mut s, _) = example_session();
+        let goal = DiffConstraint::parse("A -> {C}", s.universe()).unwrap();
+        let first = s.implies(&goal);
+        assert!(!first.cached);
+        let second = s.implies(&goal);
+        assert!(second.cached);
+        assert_eq!(first.implied, second.implied);
+        assert_eq!(first.procedure, second.procedure);
+        assert_eq!(s.stats().answer_cache.hits, 1);
+    }
+
+    #[test]
+    fn trivial_goals_short_circuit() {
+        let (mut s, _) = example_session();
+        let goal = DiffConstraint::parse("AB -> {B}", s.universe()).unwrap();
+        let outcome = s.implies(&goal);
+        assert!(outcome.implied);
+        assert_eq!(outcome.procedure, None);
+        assert_eq!(outcome.route_name(), "trivial");
+        assert_eq!(s.stats().planner.trivial, 1);
+    }
+
+    #[test]
+    fn premise_mutation_versions_the_answer_cache() {
+        let (mut s, premises) = example_session();
+        let goal = DiffConstraint::parse("A -> {C}", s.universe()).unwrap();
+        assert!(s.implies(&goal).implied);
+        // Retract B → {C}: transitivity is gone, the answer must flip even
+        // though the stale cached entry still exists under the old digest.
+        assert!(s.retract_constraint(&premises[1]));
+        let outcome = s.implies(&goal);
+        assert!(!outcome.implied);
+        assert!(!outcome.cached);
+        // Re-assert: the digest returns to its old value, so the original
+        // answer is served straight from the cache again.
+        s.assert_constraint(&premises[1]);
+        let outcome = s.implies(&goal);
+        assert!(outcome.implied);
+        assert!(
+            outcome.cached,
+            "digest restoration should revalidate the cache"
+        );
+    }
+
+    #[test]
+    fn duplicate_assert_is_a_noop() {
+        let (mut s, premises) = example_session();
+        let digest = s.premise_digest();
+        let (_, added) = s.assert_constraint(&premises[0]);
+        assert!(!added);
+        assert_eq!(s.premises().len(), 2);
+        assert_eq!(s.premise_digest(), digest, "digest must not XOR-cancel");
+    }
+
+    #[test]
+    fn fd_index_tracks_fragment_membership() {
+        let u = Universe::of_size(4);
+        let mut s = Session::new(u);
+        let narrow = parse(s.universe(), &["A -> {B}"]);
+        let wide = parse(s.universe(), &["B -> {C, D}"]);
+        s.assert_constraint(&narrow[0]);
+        let goal = DiffConstraint::parse("A -> {B}", s.universe()).unwrap();
+        // ⊤-trivial goals bypass procedures, so use a non-trivial FD goal.
+        let fd_goal = DiffConstraint::parse("AC -> {B}", s.universe()).unwrap();
+        assert_eq!(
+            s.implies(&fd_goal).procedure,
+            Some(ProcedureKind::FdFragment)
+        );
+        // A wide premise disables the fast path…
+        s.assert_constraint(&wide[0]);
+        let outcome = s.implies(&goal);
+        assert_ne!(outcome.procedure, Some(ProcedureKind::FdFragment));
+        // …and retracting it restores the rebuilt index.
+        assert!(s.retract_constraint(&wide[0]));
+        let fd_goal2 = DiffConstraint::parse("AD -> {B}", s.universe()).unwrap();
+        assert_eq!(
+            s.implies(&fd_goal2).procedure,
+            Some(ProcedureKind::FdFragment)
+        );
+    }
+
+    #[test]
+    fn batch_agrees_with_serial_and_preserves_order() {
+        let u = Universe::of_size(6);
+        let premises = parse(&u, &["A -> {B}", "BC -> {D, EF}", "D -> {E}"]);
+        let mut batch_session = Session::new(u.clone());
+        let mut serial_session = Session::new(u.clone());
+        for p in &premises {
+            batch_session.assert_constraint(p);
+            serial_session.assert_constraint(p);
+        }
+        let mut gen = diffcon::random::ConstraintGenerator::new(5, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        // Include duplicates so the batch exercises the answer cache.
+        let mut goals = gen.constraint_set(40, &shape);
+        let dup = goals[3].clone();
+        goals.push(dup);
+        let batch_outcomes = batch_session.implies_batch(&goals);
+        assert_eq!(batch_outcomes.len(), goals.len());
+        for (goal, outcome) in goals.iter().zip(&batch_outcomes) {
+            assert_eq!(outcome.implied, serial_session.implies(goal).implied);
+            assert_eq!(
+                outcome.implied,
+                implication::implies(&u, &premises, goal),
+                "batch wrong on {}",
+                goal.format(&u)
+            );
+        }
+        // The duplicated goal must have been served from the cache.
+        assert!(batch_outcomes.last().unwrap().cached);
+    }
+
+    #[test]
+    fn witness_and_derivation_are_consistent_with_answers() {
+        let (mut s, _) = example_session();
+        let implied = DiffConstraint::parse("A -> {C}", s.universe()).unwrap();
+        let refuted = DiffConstraint::parse("C -> {A}", s.universe()).unwrap();
+        assert!(s.implies(&implied).implied);
+        assert_eq!(s.refutation_witness(&implied), None);
+        let proof = s.derive(&implied).expect("implied goals are derivable");
+        assert!(proof.verify(s.universe(), s.premises()).is_ok());
+        assert!(!s.implies(&refuted).implied);
+        assert!(s.refutation_witness(&refuted).is_some());
+        assert!(s.derive(&refuted).is_none());
+    }
+
+    #[test]
+    fn tiny_caches_still_answer_correctly() {
+        let u = Universe::of_size(5);
+        let premises = parse(&u, &["A -> {B}", "B -> {C, DE}"]);
+        let config = SessionConfig {
+            answer_cache_capacity: 2,
+            lattice_cache_capacity: 1,
+            prop_cache_capacity: 1,
+            ..SessionConfig::default()
+        };
+        let mut s = Session::with_config(u.clone(), config);
+        for p in &premises {
+            s.assert_constraint(p);
+        }
+        let mut gen = diffcon::random::ConstraintGenerator::new(77, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        let goals = gen.constraint_set(30, &shape);
+        // Query twice in interleaved order so eviction churns constantly.
+        for goal in goals.iter().chain(goals.iter()) {
+            assert_eq!(
+                s.implies(goal).implied,
+                implication::implies(&u, &premises, goal),
+                "wrong under eviction on {}",
+                goal.format(&u)
+            );
+        }
+        assert!(s.stats().answer_cache.evictions > 0, "expected churn");
+    }
+
+    #[test]
+    fn interner_compaction_bounds_memory_and_preserves_answers() {
+        let u = Universe::of_size(6);
+        let premises = parse(&u, &["A -> {B}", "B -> {C, DE}"]);
+        let config = SessionConfig {
+            interner_compaction_threshold: 8,
+            ..SessionConfig::default()
+        };
+        let mut s = Session::with_config(u.clone(), config);
+        for p in &premises {
+            s.assert_constraint(p);
+        }
+        let mut gen = diffcon::random::ConstraintGenerator::new(3, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        let goals = gen.constraint_set(100, &shape);
+        for goal in &goals {
+            assert_eq!(
+                s.implies(goal).implied,
+                implication::implies(&u, &premises, goal),
+                "wrong across compaction on {}",
+                goal.format(&u)
+            );
+            // The bound holds throughout: with 2 premises the effective
+            // threshold is the progress floor 2·|premises| + 16 = 20 (the
+            // configured 8 lies below it), plus the one goal just interned.
+            assert!(s.stats().interned <= 21, "interner grew past its bound");
+        }
+        let stats = s.stats();
+        assert!(
+            stats.interner_compactions >= 3,
+            "expected repeated compaction"
+        );
+        assert_eq!(stats.premises, 2);
+        // Premise ids stay coherent after many compactions: mutation and
+        // batch evaluation still work.
+        assert!(s.retract_constraint(&premises[1]));
+        assert_eq!(s.premises().len(), 1);
+        let batch = s.implies_batch(&goals[..10]);
+        for (goal, outcome) in goals[..10].iter().zip(&batch) {
+            assert_eq!(
+                outcome.implied,
+                implication::implies(&u, &premises[..1], goal)
+            );
+        }
+    }
+
+    #[test]
+    fn large_premise_sets_do_not_thrash_compaction() {
+        // A premise count at/above the configured threshold must not trigger
+        // a cache-clearing compaction per query (the progress floor kicks in).
+        let u = Universe::of_size(6);
+        let config = SessionConfig {
+            interner_compaction_threshold: 4,
+            ..SessionConfig::default()
+        };
+        let mut s = Session::with_config(u.clone(), config);
+        let mut gen = diffcon::random::ConstraintGenerator::new(9, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        for p in &gen.constraint_set(10, &shape) {
+            s.assert_constraint(p);
+        }
+        let goal = gen.constraint(&shape);
+        s.implies(&goal);
+        let warm = s.implies(&goal);
+        assert!(
+            warm.cached,
+            "repeat query must stay cached, not be compacted away"
+        );
+        assert_eq!(s.stats().interner_compactions, 0);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let (mut s, _) = example_session();
+        let goals = parse(s.universe(), &["A -> {C}", "C -> {A}"]);
+        for g in &goals {
+            s.implies(g);
+            s.implies(g);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.premises, 2);
+        assert!(stats.interned >= 4);
+        assert_eq!(stats.planner.total_queries(), 4);
+        assert_eq!(stats.answer_cache.hits, 2);
+        s.clear_caches();
+        let g = &goals[0];
+        assert!(!s.implies(g).cached);
+    }
+}

@@ -186,11 +186,7 @@ mod tests {
 
     fn sample_db() -> (Universe, BasketDb) {
         let u = Universe::of_size(5);
-        let db = BasketDb::parse(
-            &u,
-            "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC",
-        )
-        .unwrap();
+        let db = BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC").unwrap();
         (u, db)
     }
 
@@ -222,9 +218,7 @@ mod tests {
         // Completeness: every minimal infrequent itemset appears in the border.
         for x in u.all_subsets() {
             let infrequent = db.support(x) < kappa;
-            let minimal = x
-                .iter()
-                .all(|item| db.support(x.without(item)) >= kappa);
+            let minimal = x.iter().all(|item| db.support(x.without(item)) >= kappa);
             if infrequent && minimal {
                 assert!(
                     result.negative_border.contains(&x),

@@ -233,11 +233,8 @@ mod tests {
 
     fn sample() -> (Universe, BasketDb) {
         let u = Universe::of_size(5);
-        let db = BasketDb::parse(
-            &u,
-            "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC\nAB\nABC",
-        )
-        .unwrap();
+        let db =
+            BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC\nAB\nABC").unwrap();
         (u, db)
     }
 

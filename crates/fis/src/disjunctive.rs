@@ -112,8 +112,7 @@ fn search_family(
     remaining: usize,
 ) -> bool {
     if !chosen.is_empty() {
-        let constraint =
-            DisjunctiveConstraint::new(lhs, Family::from_sets(chosen.iter().copied()));
+        let constraint = DisjunctiveConstraint::new(lhs, Family::from_sets(chosen.iter().copied()));
         if !constraint.is_trivial() && constraint.satisfied_by(db) {
             return true;
         }

@@ -103,11 +103,7 @@ pub fn eclat(db: &BasketDb, kappa: usize) -> HashMap<AttrSet, usize> {
     result
 }
 
-fn eclat_recurse(
-    class: &[(AttrSet, TidSet)],
-    kappa: usize,
-    result: &mut HashMap<AttrSet, usize>,
-) {
+fn eclat_recurse(class: &[(AttrSet, TidSet)], kappa: usize, result: &mut HashMap<AttrSet, usize>) {
     for (i, (itemset_a, tids_a)) in class.iter().enumerate() {
         let mut next_class: Vec<(AttrSet, TidSet)> = Vec::new();
         for (itemset_b, tids_b) in &class[i + 1..] {

@@ -51,12 +51,7 @@ impl Default for QuestConfig {
 
 /// Generates a database where each item appears in each basket independently
 /// with probability `item_prob`.
-pub fn uniform_random(
-    seed: u64,
-    num_items: usize,
-    num_baskets: usize,
-    item_prob: f64,
-) -> BasketDb {
+pub fn uniform_random(seed: u64, num_items: usize, num_baskets: usize, item_prob: f64) -> BasketDb {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = BasketDb::new(num_items);
     for _ in 0..num_baskets {
@@ -184,8 +179,7 @@ mod tests {
         let mut max_pair_support = 0;
         for i in 0..10 {
             for j in (i + 1)..10 {
-                max_pair_support =
-                    max_pair_support.max(db.support(AttrSet::from_indices([i, j])));
+                max_pair_support = max_pair_support.max(db.support(AttrSet::from_indices([i, j])));
             }
         }
         assert!(max_pair_support > 10, "expected correlated structure");
@@ -222,8 +216,7 @@ mod tests {
     fn planting_empty_rhs_removes_antecedent() {
         let u = Universe::of_size(4);
         let base = uniform_random(3, 4, 50, 0.5);
-        let constraint =
-            DisjunctiveConstraint::new(u.parse_set("AB").unwrap(), Family::empty());
+        let constraint = DisjunctiveConstraint::new(u.parse_set("AB").unwrap(), Family::empty());
         let planted = with_planted_rules(&base, std::slice::from_ref(&constraint));
         assert!(constraint.satisfied_by(&planted));
         assert_eq!(planted.support(u.parse_set("AB").unwrap()), 0);

@@ -120,7 +120,10 @@ impl NdiRepresentation {
     /// (intended for the ≤ 16-item universes used in the experiments).
     pub fn build(db: &BasketDb, kappa: usize) -> Self {
         let n = db.universe_size();
-        assert!(n <= 20, "NDI enumeration over more than 20 items is infeasible");
+        assert!(
+            n <= 20,
+            "NDI enumeration over more than 20 items is infeasible"
+        );
         let mut itemsets = HashMap::new();
         if db.len() >= kappa {
             itemsets.insert(AttrSet::EMPTY, db.len());
@@ -203,7 +206,10 @@ mod tests {
         // only yields the interval [σ(A)+σ(B)−σ(∅), min(σ(A), σ(B))].
         let u = Universe::of_size(4);
         let db = BasketDb::parse(&u, "AB\nABC\nABD\nB\nC\nCD\nABCD").unwrap();
-        assert_eq!(db.support(u.parse_set("A").unwrap()), db.support(u.parse_set("AB").unwrap()));
+        assert_eq!(
+            db.support(u.parse_set("A").unwrap()),
+            db.support(u.parse_set("AB").unwrap())
+        );
         for extra in ["C", "D", "CD"] {
             let itemset = u.parse_set(&format!("AB{extra}")).unwrap();
             assert!(

@@ -81,7 +81,11 @@ pub fn support_differential(db: &BasketDb, x: AttrSet, fam: &Family) -> f64 {
                 union = union.union(m);
             }
         }
-        let sign = if chooser.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if chooser.count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         acc += sign * db.support(union) as f64;
     }
     acc
@@ -177,7 +181,11 @@ mod tests {
             Family::empty(),
             Family::single(u.parse_set("C").unwrap()),
             Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]),
-            Family::from_sets([u.parse_set("A").unwrap(), u.parse_set("B").unwrap(), u.parse_set("D").unwrap()]),
+            Family::from_sets([
+                u.parse_set("A").unwrap(),
+                u.parse_set("B").unwrap(),
+                u.parse_set("D").unwrap(),
+            ]),
         ];
         for x in u.all_subsets() {
             for fam in &families {

@@ -84,9 +84,7 @@ impl Clause {
     /// Returns `true` iff the clause contains both a literal and its negation
     /// and is therefore a tautology.
     pub fn is_tautological(&self) -> bool {
-        self.lits
-            .iter()
-            .any(|&l| self.lits.contains(&l.negate()))
+        self.lits.iter().any(|&l| self.lits.contains(&l.negate()))
     }
 
     /// Evaluates the clause under an assignment.
@@ -358,7 +356,11 @@ mod tests {
             let a = AttrSet::from_bits(mask);
             let mut cnf = Cnf::from_formula_tseitin(&f, 4);
             for v in 0..4 {
-                let lit = if a.contains(v) { Lit::pos(v) } else { Lit::neg(v) };
+                let lit = if a.contains(v) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                };
                 cnf.push(Clause::new([lit]));
             }
             let sat = matches!(DpllSolver::new(cnf).solve(), SatResult::Sat(_));

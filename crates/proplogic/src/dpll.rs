@@ -365,7 +365,9 @@ mod tests {
     }
 
     fn build(state: &mut u64, num_vars: usize, depth: usize) -> Formula {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let choice = (*state >> 33) % if depth == 0 { 2 } else { 5 };
         match choice {
             0 => Formula::var(((*state >> 17) as usize) % num_vars),

@@ -51,8 +51,7 @@ impl ImplicationConstraint {
 
     /// Evaluates the constraint under a single assignment.
     pub fn eval(&self, assignment: AttrSet) -> bool {
-        !self.lhs.is_subset(assignment)
-            || self.rhs.iter().any(|y| y.is_subset(assignment))
+        !self.lhs.is_subset(assignment) || self.rhs.iter().any(|y| y.is_subset(assignment))
     }
 
     /// The negative minset of the constraint, computed by enumeration.
@@ -75,8 +74,10 @@ impl ImplicationConstraint {
         premises: &[ImplicationConstraint],
         universe: &Universe,
     ) -> bool {
-        let premise_formulas: Vec<Formula> =
-            premises.iter().map(ImplicationConstraint::to_formula).collect();
+        let premise_formulas: Vec<Formula> = premises
+            .iter()
+            .map(ImplicationConstraint::to_formula)
+            .collect();
         minterm::implies_exhaustive(&premise_formulas, &self.to_formula(), universe)
     }
 
@@ -86,11 +87,7 @@ impl ImplicationConstraint {
     /// directly as unit clauses for `X` plus one clause `⋁_{y ∈ Y} ¬y` per
     /// member `Y ∈ 𝒴` — no auxiliary variables are needed anywhere, so the
     /// whole refutation formula is linear in the input.
-    pub fn implied_by_sat(
-        &self,
-        premises: &[ImplicationConstraint],
-        universe: &Universe,
-    ) -> bool {
+    pub fn implied_by_sat(&self, premises: &[ImplicationConstraint], universe: &Universe) -> bool {
         let n = universe.len();
         let mut cnf = Cnf::empty(n);
         // Premises.
@@ -174,10 +171,22 @@ mod tests {
             ImplicationConstraint::new(u.parse_set("B").unwrap(), fam(&u, &["C"])),
         ];
         let goals = vec![
-            (ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["C"])), true),
-            (ImplicationConstraint::new(u.parse_set("C").unwrap(), fam(&u, &["A"])), false),
-            (ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["BC"])), true),
-            (ImplicationConstraint::new(u.parse_set("B").unwrap(), fam(&u, &["A"])), false),
+            (
+                ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["C"])),
+                true,
+            ),
+            (
+                ImplicationConstraint::new(u.parse_set("C").unwrap(), fam(&u, &["A"])),
+                false,
+            ),
+            (
+                ImplicationConstraint::new(u.parse_set("A").unwrap(), fam(&u, &["BC"])),
+                true,
+            ),
+            (
+                ImplicationConstraint::new(u.parse_set("B").unwrap(), fam(&u, &["A"])),
+                false,
+            ),
         ];
         for (goal, expected) in goals {
             assert_eq!(goal.implied_by_exhaustive(&premises, &u), expected);

@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn formula_equivalent_to_disjunction_of_minterms() {
         let u = Universe::of_size(3);
-        let f = Formula::iff(Formula::var(0), Formula::or([Formula::var(1), Formula::var(2)]));
+        let f = Formula::iff(
+            Formula::var(0),
+            Formula::or([Formula::var(1), Formula::var(2)]),
+        );
         let ms = minset(&f, &u);
         let rebuilt = disjunction_of_minterms(&ms, 3);
         for x in u.all_subsets() {

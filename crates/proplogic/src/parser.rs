@@ -48,7 +48,10 @@ pub fn parse_formula(input: &str, universe: &Universe) -> Result<Formula, ParseE
     let formula = parser.parse_iff()?;
     if parser.pos != parser.tokens.len() {
         return Err(ParseError {
-            message: format!("unexpected trailing input near {:?}", parser.tokens[parser.pos].text),
+            message: format!(
+                "unexpected trailing input near {:?}",
+                parser.tokens[parser.pos].text
+            ),
             position: parser.tokens[parser.pos].offset,
         });
     }
@@ -339,7 +342,9 @@ mod tests {
         let u = u();
         assert_eq!(parse_formula("⊤", &u).unwrap(), Formula::True);
         assert!(!parse_formula("⊥ ∨ A", &u).unwrap().eval(AttrSet::EMPTY));
-        assert!(parse_formula("⊤ ∧ A", &u).unwrap().eval(AttrSet::from_indices([0])));
+        assert!(parse_formula("⊤ ∧ A", &u)
+            .unwrap()
+            .eval(AttrSet::from_indices([0])));
     }
 
     #[test]

@@ -138,16 +138,14 @@ mod tests {
         );
         assert!(dep.satisfied_by(&r));
         // A ⇒bool {B} fails (tuples 3&4), and A ⇒bool {C} fails (tuples 1&2).
-        assert!(!BooleanDependency::from_fd(
-            u.parse_set("A").unwrap(),
-            u.parse_set("B").unwrap()
-        )
-        .satisfied_by(&r));
-        assert!(!BooleanDependency::from_fd(
-            u.parse_set("A").unwrap(),
-            u.parse_set("C").unwrap()
-        )
-        .satisfied_by(&r));
+        assert!(
+            !BooleanDependency::from_fd(u.parse_set("A").unwrap(), u.parse_set("B").unwrap())
+                .satisfied_by(&r)
+        );
+        assert!(
+            !BooleanDependency::from_fd(u.parse_set("A").unwrap(), u.parse_set("C").unwrap())
+                .satisfied_by(&r)
+        );
     }
 
     #[test]

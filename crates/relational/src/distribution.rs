@@ -170,7 +170,10 @@ mod tests {
         ] {
             let marginal = pr.marginal(x);
             let total: f64 = marginal.values().sum();
-            assert!((total - 1.0).abs() < 1e-9, "marginal on {x:?} sums to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "marginal on {x:?} sums to {total}"
+            );
         }
     }
 

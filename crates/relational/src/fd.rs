@@ -119,7 +119,10 @@ pub fn all_satisfied(relation: &Relation, fds: &[FunctionalDependency]) -> bool 
 /// in the relation (the canonical cover "raw material"); exponential in `n`,
 /// intended for small schemas.
 pub fn mine_fds(relation: &Relation, n: usize) -> Vec<FunctionalDependency> {
-    assert!(n <= 16, "FD mining over more than 16 attributes is infeasible");
+    assert!(
+        n <= 16,
+        "FD mining over more than 16 attributes is infeasible"
+    );
     let mut out = Vec::new();
     for mask in 0u64..(1u64 << n) {
         let lhs = AttrSet::from_bits(mask);
@@ -161,12 +164,15 @@ mod tests {
     fn satisfaction() {
         let u = u();
         let r = sample();
-        let b_to_a = FunctionalDependency::new(u.parse_set("B").unwrap(), u.parse_set("A").unwrap());
+        let b_to_a =
+            FunctionalDependency::new(u.parse_set("B").unwrap(), u.parse_set("A").unwrap());
         assert!(b_to_a.satisfied_by(&r));
-        let a_to_b = FunctionalDependency::new(u.parse_set("A").unwrap(), u.parse_set("B").unwrap());
+        let a_to_b =
+            FunctionalDependency::new(u.parse_set("A").unwrap(), u.parse_set("B").unwrap());
         assert!(!a_to_b.satisfied_by(&r));
         // Everything determines D? No: tuples 3,4 agree on nothing... D differs, check C→D:
-        let c_to_d = FunctionalDependency::new(u.parse_set("C").unwrap(), u.parse_set("D").unwrap());
+        let c_to_d =
+            FunctionalDependency::new(u.parse_set("C").unwrap(), u.parse_set("D").unwrap());
         assert!(!c_to_d.satisfied_by(&r));
     }
 
@@ -235,7 +241,11 @@ mod tests {
             for a in 0..4 {
                 let goal = FunctionalDependency::new(lhs, AttrSet::singleton(a));
                 if implies(&satisfied, &goal) {
-                    assert!(goal.satisfied_by(&r), "implied FD {} violated", goal.format(&u));
+                    assert!(
+                        goal.satisfied_by(&r),
+                        "implied FD {} violated",
+                        goal.format(&u)
+                    );
                 }
             }
         }

@@ -51,15 +51,12 @@ pub fn relation_with_fds(
         let mut changed = false;
         for t in tuples.iter_mut() {
             for fd in fds {
-                let key: u64 = fd
-                    .lhs
-                    .iter()
-                    .fold(0xcbf29ce484222325u64, |acc, i| {
-                        (acc ^ (t[i] as u64 + 1)).wrapping_mul(0x100000001b3)
-                    });
+                let key: u64 = fd.lhs.iter().fold(0xcbf29ce484222325u64, |acc, i| {
+                    (acc ^ (t[i] as u64 + 1)).wrapping_mul(0x100000001b3)
+                });
                 for (offset, attr) in fd.rhs.difference(fd.lhs).iter().enumerate() {
-                    let value = ((key.wrapping_add(offset as u64 * 0x9E3779B9))
-                        % domain as u64) as u32;
+                    let value =
+                        ((key.wrapping_add(offset as u64 * 0x9E3779B9)) % domain as u64) as u32;
                     if t[attr] != value {
                         t[attr] = value;
                         changed = true;

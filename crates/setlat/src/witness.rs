@@ -75,7 +75,10 @@ pub fn count_witness_sets(fam: &Family) -> i128 {
     let support = fam.union_all();
     let members = fam.members();
     let k = members.len();
-    assert!(k <= 30, "inclusion-exclusion over more than 30 members is infeasible");
+    assert!(
+        k <= 30,
+        "inclusion-exclusion over more than 30 members is infeasible"
+    );
     let mut total: i128 = 0;
     for chooser in 0u64..(1u64 << k) {
         let mut union = AttrSet::EMPTY;

@@ -31,12 +31,16 @@ AB -> {C}
 fn main() {
     let u = Universe::of_size(5);
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEFAULT_CONSTRAINTS.to_string(),
     };
     let constraints = parse_constraint_set(&text, &u).expect("valid constraint syntax");
-    println!("Loaded {} constraints over S = {{A,…,E}}:", constraints.len());
+    println!(
+        "Loaded {} constraints over S = {{A,…,E}}:",
+        constraints.len()
+    );
     for c in &constraints {
         println!("  {}", c.format(&u));
     }
@@ -76,10 +80,8 @@ fn main() {
                 if lhs.contains(a) {
                     continue;
                 }
-                let goal = DiffConstraint::new(
-                    lhs,
-                    setlat::Family::single(setlat::AttrSet::singleton(a)),
-                );
+                let goal =
+                    DiffConstraint::new(lhs, setlat::Family::single(setlat::AttrSet::singleton(a)));
                 if implication::implies(&u, &cover, &goal) {
                     println!("  {}", goal.format(&u));
                     count += 1;

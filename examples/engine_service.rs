@@ -1,0 +1,80 @@
+//! Serving implication queries with `diffcon-engine`: sessions, caching,
+//! batching, the planner, and the `diffcond` wire protocol.
+//!
+//! Run with: `cargo run --example engine_service`
+
+use diffcon::DiffConstraint;
+use diffcon_engine::{Server, Session, SessionConfig};
+use setlat::Universe;
+
+fn main() {
+    // ── A session over the paper's 4-attribute examples ─────────────────────
+    let u = Universe::of_size(4);
+    let mut session = Session::new(u.clone());
+    for text in ["A -> {B}", "B -> {C}", "A -> {BC, CD}"] {
+        let c = DiffConstraint::parse(text, &u).unwrap();
+        let (id, _) = session.assert_constraint(&c);
+        println!("asserted #{:<2} {}", id.index(), c.format(&u));
+    }
+
+    // Single queries: the planner routes each to the cheapest procedure and
+    // the answer cache serves repeats.
+    for text in ["A -> {C}", "C -> {A}", "A -> {C}"] {
+        let goal = DiffConstraint::parse(text, &u).unwrap();
+        let outcome = session.implies(&goal);
+        println!(
+            "implies {:<12} -> {:5} via {} (cached: {})",
+            text,
+            outcome.implied,
+            outcome.route_name(),
+            outcome.cached
+        );
+    }
+
+    // Batch evaluation: many goals at once, decided in parallel, answers
+    // index-aligned.
+    let goals: Vec<DiffConstraint> = ["AB -> {C}", "B -> {CD}", "C -> {B}", "AB -> {B}"]
+        .iter()
+        .map(|t| DiffConstraint::parse(t, &u).unwrap())
+        .collect();
+    let outcomes = session.implies_batch(&goals);
+    for (goal, outcome) in goals.iter().zip(&outcomes) {
+        println!("batch   {:<12} -> {}", goal.format(&u), outcome.implied);
+    }
+
+    // Incremental retraction invalidates exactly the affected answers.
+    let transitivity_link = DiffConstraint::parse("B -> {C}", &u).unwrap();
+    session.retract_constraint(&transitivity_link);
+    let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+    println!(
+        "after retracting B -> {{C}}: implies A -> {{C}} = {}",
+        session.implies(&goal).implied
+    );
+
+    // Engine statistics: planner routing and cache effectiveness.
+    let stats = session.stats();
+    println!(
+        "stats: {} queries ({} trivial), answer-cache hit ratio {:.2}",
+        stats.planner.total_queries(),
+        stats.planner.trivial,
+        stats.answer_cache.hit_ratio()
+    );
+
+    // ── The same conversation over the diffcond wire protocol ───────────────
+    println!("\n-- diffcond protocol transcript --");
+    let mut server = Server::new(SessionConfig::default());
+    for line in [
+        "universe 4",
+        "assert A -> {B}",
+        "assert B -> {C}",
+        "implies A -> {C}",
+        "batch A -> {C}; C -> {A}; AB -> {B}",
+        "witness C -> {A}",
+        "derive A -> {C}",
+        "stats",
+        "quit",
+    ] {
+        let reply = server.handle_line(line);
+        println!("> {line}\n< {}", reply.text);
+    }
+}

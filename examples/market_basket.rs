@@ -47,7 +47,10 @@ fn main() {
         mined.negative_border.len()
     );
     let positive = border::positive_border(&db, kappa);
-    println!("Positive border (maximal frequent itemsets): {}", positive.len());
+    println!(
+        "Positive border (maximal frequent itemsets): {}",
+        positive.len()
+    );
 
     // ── 2. Condensed representation ──────────────────────────────────────────
     let repr = CondensedRepresentation::build(&db, kappa);

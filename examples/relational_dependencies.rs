@@ -49,8 +49,7 @@ fn main() {
     for text in checks {
         let c = DiffConstraint::parse(text, &u).unwrap();
         let via_simpson = rel_bridge::simpson_satisfies(&pr, &c);
-        let via_bool =
-            BooleanDependency::new(c.lhs, c.rhs.clone()).satisfied_by(&relation);
+        let via_bool = BooleanDependency::new(c.lhs, c.rhs.clone()).satisfied_by(&relation);
         assert_eq!(via_simpson, via_bool);
         println!("  {:<14} satisfied: {}", c.format(&u), via_simpson);
     }
@@ -76,7 +75,11 @@ fn main() {
             general
         };
         assert_eq!(general, poly);
-        println!("  C ⊨ {:<14} {}  (general and polynomial procedures agree)", goal.format(&u), general);
+        println!(
+            "  C ⊨ {:<14} {}  (general and polynomial procedures agree)",
+            goal.format(&u),
+            general
+        );
     }
 
     // ── Attribute closures (the engine behind the polynomial procedure) ──────

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 pub use diffcon;
+pub use diffcon_engine;
 pub use fis;
 pub use proplogic;
 pub use relational;

@@ -24,7 +24,10 @@ fn arb_nonempty_set() -> impl Strategy<Value = AttrSet> {
 }
 
 fn arb_constraint() -> impl Strategy<Value = DiffConstraint> {
-    (arb_set(), proptest::collection::vec(arb_nonempty_set(), 0..=2))
+    (
+        arb_set(),
+        proptest::collection::vec(arb_nonempty_set(), 0..=2),
+    )
         .prop_map(|(lhs, members)| DiffConstraint::new(lhs, Family::from_sets(members)))
 }
 

@@ -28,7 +28,12 @@ fn proposition_6_3_on_random_data() {
             let c = gen.constraint(&shape);
             let via_db = fis_bridge::to_disjunctive(&c).satisfied_by(&db);
             let via_fn = diffcon::semantics::satisfies(&s, &c);
-            assert_eq!(via_db, via_fn, "Prop 6.3 mismatch for {} (seed {seed})", c.format(&u));
+            assert_eq!(
+                via_db,
+                via_fn,
+                "Prop 6.3 mismatch for {} (seed {seed})",
+                c.format(&u)
+            );
         }
     }
 }
@@ -48,7 +53,10 @@ fn proposition_6_4_on_random_instances() {
             gen.constraint(&shape)
         };
         let general = implication::implies(&u, &premises, &goal);
-        assert_eq!(general, fis_bridge::implies_over_supports(&u, &premises, &goal));
+        assert_eq!(
+            general,
+            fis_bridge::implies_over_supports(&u, &premises, &goal)
+        );
         let disj: Vec<_> = premises.iter().map(fis_bridge::to_disjunctive).collect();
         assert_eq!(
             general,
@@ -70,17 +78,16 @@ fn planted_constraints_and_their_consequences_hold_in_the_data() {
     let base = generator::uniform_random(5, 6, 80, 0.3);
     let db = generator::with_planted_rules(
         &base,
-        &planted.iter().map(fis_bridge::to_disjunctive).collect::<Vec<_>>(),
+        &planted
+            .iter()
+            .map(fis_bridge::to_disjunctive)
+            .collect::<Vec<_>>(),
     );
     for c in &planted {
         assert!(fis_bridge::support_function_satisfies(&db, c));
     }
     // Consequences: augmentation, addition, and a transitivity-style composite.
-    let consequences = [
-        "AF -> {B, CD}",
-        "A -> {B, CD, E}",
-        "A -> {BE, CD}",
-    ];
+    let consequences = ["AF -> {B, CD}", "A -> {B, CD, E}", "A -> {BE, CD}"];
     for text in consequences {
         let goal = DiffConstraint::parse(text, &u).unwrap();
         assert!(
@@ -149,7 +156,10 @@ fn condensed_representation_saves_space_on_correlated_data() {
     let base = generator::uniform_random(13, 8, 150, 0.4);
     let db: BasketDb = generator::with_planted_rules(
         &base,
-        &planted.iter().map(fis_bridge::to_disjunctive).collect::<Vec<_>>(),
+        &planted
+            .iter()
+            .map(fis_bridge::to_disjunctive)
+            .collect::<Vec<_>>(),
     );
     let kappa = 15;
     let frequent = border::count_frequent(&db, kappa);
@@ -180,7 +190,10 @@ fn inference_based_pruning_is_sound() {
     let base = generator::uniform_random(23, 5, 90, 0.45);
     let db = generator::with_planted_rules(
         &base,
-        &known.iter().map(fis_bridge::to_disjunctive).collect::<Vec<_>>(),
+        &known
+            .iter()
+            .map(fis_bridge::to_disjunctive)
+            .collect::<Vec<_>>(),
     );
     let inferable = fis_bridge::inferable_disjunctive_itemsets(&u, &known);
     assert!(inferable.contains(&u.parse_set("ACD").unwrap()));

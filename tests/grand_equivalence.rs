@@ -27,12 +27,24 @@ fn all_verdicts(
     let lc = lattice::lattice_union(u, &parts);
     let explicit_containment = goal.lattice(u).iter().all(|m| lc.binary_search(m).is_ok());
     let disj_premises: Vec<_> = premises.iter().map(fis_bridge::to_disjunctive).collect();
-    let bool_premises: Vec<_> = premises.iter().map(rel_bridge::to_boolean_dependency).collect();
+    let bool_premises: Vec<_> = premises
+        .iter()
+        .map(rel_bridge::to_boolean_dependency)
+        .collect();
     vec![
         ("lattice (Thm 3.5)", implication::implies(u, premises, goal)),
-        ("semantic point-mass", implication::implies_semantic(u, premises, goal)),
-        ("support(S) (Prop 6.4)", fis_bridge::implies_over_supports(u, premises, goal)),
-        ("propositional SAT (Prop 5.4)", prop_bridge::implies_sat(u, premises, goal)),
+        (
+            "semantic point-mass",
+            implication::implies_semantic(u, premises, goal),
+        ),
+        (
+            "support(S) (Prop 6.4)",
+            fis_bridge::implies_over_supports(u, premises, goal),
+        ),
+        (
+            "propositional SAT (Prop 5.4)",
+            prop_bridge::implies_sat(u, premises, goal),
+        ),
         (
             "propositional exhaustive",
             prop_bridge::implies_prop_exhaustive(u, premises, goal),
@@ -43,9 +55,16 @@ fn all_verdicts(
         ),
         (
             "boolean-dependency implication",
-            rel_bridge::boolean_implies(u, &bool_premises, &rel_bridge::to_boolean_dependency(goal)),
+            rel_bridge::boolean_implies(
+                u,
+                &bool_premises,
+                &rel_bridge::to_boolean_dependency(goal),
+            ),
         ),
-        ("inference system (Thm 4.8)", inference::derivable(u, premises, goal)),
+        (
+            "inference system (Thm 4.8)",
+            inference::derivable(u, premises, goal),
+        ),
         ("explicit L(C) ⊇ L(X,𝒴)", explicit_containment),
     ]
 }
@@ -88,8 +107,14 @@ fn theorem_8_1_on_random_instances() {
             refuted_count += 1;
         }
     }
-    assert!(implied_count > 5, "workload should contain implied instances");
-    assert!(refuted_count > 5, "workload should contain refuted instances");
+    assert!(
+        implied_count > 5,
+        "workload should contain implied instances"
+    );
+    assert!(
+        refuted_count > 5,
+        "workload should contain refuted instances"
+    );
 }
 
 #[test]

@@ -38,14 +38,24 @@ fn derive_iff_implied_on_random_instances() {
                     derived += 1;
                 }
                 None => {
-                    assert!(!implied, "failed to derive the implied goal {}", goal.format(&u));
+                    assert!(
+                        !implied,
+                        "failed to derive the implied goal {}",
+                        goal.format(&u)
+                    );
                     refused += 1;
                 }
             }
         }
     }
-    assert!(derived > 20, "expected a healthy number of derivations (got {derived})");
-    assert!(refused > 20, "expected a healthy number of refusals (got {refused})");
+    assert!(
+        derived > 20,
+        "expected a healthy number of derivations (got {derived})"
+    );
+    assert!(
+        refused > 20,
+        "expected a healthy number of refusals (got {refused})"
+    );
 }
 
 /// Exhaustive completeness over a small universe: for every goal with singleton
@@ -88,11 +98,19 @@ fn figure_1_rules_are_sound() {
 
         // Augmentation.
         let augmented = DiffConstraint::new(base.lhs.union(z_set), base.rhs.clone());
-        assert!(implication::implies(&u, std::slice::from_ref(&base), &augmented));
+        assert!(implication::implies(
+            &u,
+            std::slice::from_ref(&base),
+            &augmented
+        ));
 
         // Addition.
         let added = DiffConstraint::new(base.lhs, base.rhs.with_member(z_set));
-        assert!(implication::implies(&u, std::slice::from_ref(&base), &added));
+        assert!(implication::implies(
+            &u,
+            std::slice::from_ref(&base),
+            &added
+        ));
 
         // Elimination: build hypotheses explicitly.
         let fam = base.rhs.clone();
@@ -106,10 +124,7 @@ fn figure_1_rules_are_sound() {
         ));
 
         // Triviality.
-        let trivial = DiffConstraint::new(
-            base.lhs.union(z_set),
-            Family::single(z_set),
-        );
+        let trivial = DiffConstraint::new(base.lhs.union(z_set), Family::single(z_set));
         assert!(implication::implies(&u, &[], &trivial));
     }
 }
@@ -176,7 +191,11 @@ fn proof_objects_are_well_behaved() {
         let premises = gen.constraint_set(5, &shape);
         let goal = gen.implied_goal(&premises);
         let proof = inference::derive(&u, &premises, &goal).expect("implied goals derive");
-        assert!(proof.size() < 5_000, "proof unexpectedly large: {}", proof.size());
+        assert!(
+            proof.size() < 5_000,
+            "proof unexpectedly large: {}",
+            proof.size()
+        );
         assert!(proof.depth() <= proof.size());
         let text = proof.format(&u);
         assert!(text.lines().count() >= 1);

@@ -21,13 +21,18 @@ fn example_2_2() {
     let f = SetFunction::from_fn(4, |x| ((x.bits() * 31 + 5) % 11) as f64);
     let g = |names: &str| f.get(u.parse_set(names).unwrap());
     let expanded = g("A") - g("AB") - g("ACD") + g("ABCD");
-    let direct = differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
+    let direct =
+        differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "CD"]));
     assert!((expanded - direct).abs() < 1e-9);
 
     let d = mobius::density_function(&f);
     assert!(
         (d.get(u.parse_set("A").unwrap())
-            - differential::differential_at(&f, u.parse_set("A").unwrap(), &fam(&u, &["B", "C", "D"])))
+            - differential::differential_at(
+                &f,
+                u.parse_set("A").unwrap(),
+                &fam(&u, &["B", "C", "D"])
+            ))
         .abs()
             < 1e-9
     );
@@ -54,8 +59,8 @@ fn example_2_4() {
     let fv = |names: &str| f.get(u.parse_set(names).unwrap());
     let dv = |names: &str| d.get(u.parse_set(names).unwrap());
 
-    let expected_d_a = fv("A") - fv("AB") - fv("AC") - fv("AD") + fv("ABC") + fv("ABD") + fv("ACD")
-        - fv("ABCD");
+    let expected_d_a =
+        fv("A") - fv("AB") - fv("AC") - fv("AD") + fv("ABC") + fv("ABD") + fv("ACD") - fv("ABCD");
     assert!((dv("A") - expected_d_a).abs() < 1e-9);
 
     let expected_d_ac = fv("AC") - fv("ABC") - fv("ACD") + fv("ABCD");
@@ -64,8 +69,8 @@ fn example_2_4() {
     let expected_d_ad = fv("AD") - fv("ABD") - fv("ACD") + fv("ABCD");
     assert!((dv("AD") - expected_d_ad).abs() < 1e-9);
 
-    let expected_f_a = dv("A") + dv("AB") + dv("AC") + dv("AD") + dv("ABC") + dv("ABD") + dv("ACD")
-        + dv("ABCD");
+    let expected_f_a =
+        dv("A") + dv("AB") + dv("AC") + dv("AD") + dv("ABC") + dv("ABD") + dv("ACD") + dv("ABCD");
     assert!((fv("A") - expected_f_a).abs() < 1e-9);
 
     let expected_f_ac = dv("AC") + dv("ABC") + dv("ACD") + dv("ABCD");
@@ -198,7 +203,10 @@ fn remark_3_6() {
     let d = mobius::density_function(&f);
     assert!((d.get(AttrSet::EMPTY) + 1.0).abs() < 1e-9);
     assert!((d.get(AttrSet::singleton(0)) - 1.0).abs() < 1e-9);
-    assert_eq!(lattice::lattice_decomposition(&u, AttrSet::EMPTY, &Family::empty()).len(), 2);
+    assert_eq!(
+        lattice::lattice_decomposition(&u, AttrSet::EMPTY, &Family::empty()).len(),
+        2
+    );
 }
 
 /// Example 4.3: the derivation of AB → {D} from {A → {BC, CD}, C → {D}}.
@@ -217,7 +225,10 @@ fn example_4_3() {
     // Intermediate steps of the paper's derivation are all implied as well.
     for step in ["A -> {BC, C}", "A -> {C}", "AB -> {C}"] {
         let c = DiffConstraint::parse(step, &u).unwrap();
-        assert!(implication::implies(&u, &premises, &c), "step {step} not implied");
+        assert!(
+            implication::implies(&u, &premises, &c),
+            "step {step} not implied"
+        );
     }
 }
 

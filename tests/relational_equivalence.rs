@@ -83,10 +83,17 @@ fn corollary_7_4_on_random_instances() {
         } else {
             assert_eq!(general, simpson);
         }
-        let bool_premises: Vec<_> = premises.iter().map(rel_bridge::to_boolean_dependency).collect();
+        let bool_premises: Vec<_> = premises
+            .iter()
+            .map(rel_bridge::to_boolean_dependency)
+            .collect();
         assert_eq!(
             general,
-            rel_bridge::boolean_implies(&u, &bool_premises, &rel_bridge::to_boolean_dependency(&goal))
+            rel_bridge::boolean_implies(
+                &u,
+                &bool_premises,
+                &rel_bridge::to_boolean_dependency(&goal)
+            )
         );
     }
 }
@@ -113,7 +120,8 @@ fn fd_special_case_end_to_end() {
             let fd = FunctionalDependency::new(lhs, AttrSet::singleton(a));
             let c = rel_bridge::from_functional_dependency(&fd);
             let via_fd = fd.satisfied_by(&relation);
-            let via_bool = BooleanDependency::from_fd(lhs, AttrSet::singleton(a)).satisfied_by(&relation);
+            let via_bool =
+                BooleanDependency::from_fd(lhs, AttrSet::singleton(a)).satisfied_by(&relation);
             let via_simpson = rel_bridge::simpson_satisfies(&pr, &c);
             assert_eq!(via_fd, via_bool);
             assert_eq!(via_fd, via_simpson);
@@ -135,7 +143,12 @@ fn fd_special_case_end_to_end() {
             let via_closure = fd::implies(&planted, &fd_goal);
             let via_general = implication::implies(&u, &premises, &constraint_goal);
             let via_fragment = fd_fragment::implies_polynomial(&premises, &constraint_goal);
-            assert_eq!(via_closure, via_general, "closure vs general at {}", constraint_goal.format(&u));
+            assert_eq!(
+                via_closure,
+                via_general,
+                "closure vs general at {}",
+                constraint_goal.format(&u)
+            );
             assert_eq!(via_closure, via_fragment);
         }
     }

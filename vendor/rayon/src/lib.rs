@@ -1,0 +1,213 @@
+//! Hermetic stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! small parallel-iterator surface the `diffcon-engine` crate uses, on top of
+//! [`std::thread::scope`]:
+//!
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — order-preserving
+//!   parallel map over a slice (also reachable through `Vec` via deref);
+//! * [`join`] — run two closures, potentially in parallel;
+//! * [`current_num_threads`] — the parallelism the pool will use.
+//!
+//! Work is split into one contiguous chunk per available core; each chunk is
+//! processed on its own scoped thread and the results are concatenated in
+//! input order, so `collect` observes exactly the sequential ordering.  For
+//! the workloads the engine serves (hundreds-to-thousands of independent
+//! implication queries of comparable cost) contiguous chunking is within a
+//! few percent of a work-stealing pool without any of its machinery.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, in parallel when more than one thread is available,
+/// and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim: join closure panicked");
+        (ra, rb)
+    })
+}
+
+/// The traits that make `par_iter` available on slices and `Vec`s.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion of `&self` into a parallel iterator (rayon's
+    /// `IntoParallelRefIterator`, restricted to slices).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type yielded by the iterator.
+        type Item: 'data;
+        /// The parallel iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Creates a parallel iterator over borrowed elements.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = SliceIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceIter<'data, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = SliceIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceIter<'data, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// Minimal parallel-iterator interface: `map` then `collect`.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item;
+
+        /// Maps each element through `f` (evaluated in parallel at `collect`).
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Runs the pipeline and collects the results **in input order**.
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+            Self::Item: Send;
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct SliceIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    /// A mapped parallel iterator.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<'data, T: Sync + 'data> ParallelIterator for SliceIter<'data, T> {
+        type Item = &'data T;
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<&'data T>,
+        {
+            self.slice.iter().collect()
+        }
+    }
+
+    impl<'data, T, R, F> ParallelIterator for Map<SliceIter<'data, T>, F>
+    where
+        T: Sync + 'data,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        type Item = R;
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            parallel_map_slice(self.base.slice, &self.f)
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Order-preserving parallel map over a slice: one contiguous chunk per
+    /// worker thread, results concatenated in input order.
+    fn parallel_map_slice<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync + 'data,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let n = items.len();
+        // Cap workers at one per 4 items: spawning an OS thread costs tens of
+        // microseconds, so tiny batches use few threads (or none).
+        let threads = current_num_threads().min(n.div_ceil(4));
+        if threads <= 1 || n < 2 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon-shim: worker thread panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_on_small_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = vec![41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "ok");
+        assert_eq!(a, 2);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
