@@ -19,8 +19,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diffcon::implication;
 use diffcon::procedure::ProcedureKind;
 use diffcon_bench::workloads;
-use diffcon_bench::Table;
+use diffcon_bench::{JsonReport, Table};
 use diffcon_engine::Session;
+use std::time::Instant;
 
 const UNIVERSE: usize = 12;
 const PREMISES: usize = 8;
@@ -67,8 +68,56 @@ fn table_engine_cache_effect(stream_lens: &[usize]) -> Table {
     table
 }
 
+/// Self-measured serving timings for the machine-readable report (the
+/// criterion shim reports medians to stderr only; the JSON file needs
+/// numbers of its own).
+fn emit_json_report(cache_table: Table) {
+    let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, 512);
+    let time_us = |f: &mut dyn FnMut() -> usize| -> f64 {
+        let passes = 5;
+        let start = Instant::now();
+        for _ in 0..passes {
+            criterion::black_box(f());
+        }
+        start.elapsed().as_secs_f64() * 1e6 / passes as f64
+    };
+    let cold_us = time_us(&mut || {
+        stream
+            .iter()
+            .filter(|g| implication::implies(&base.universe, &base.premises, g))
+            .count()
+    });
+    let mut warm = Session::new(base.universe.clone());
+    for p in &base.premises {
+        warm.assert_constraint(p);
+    }
+    for goal in &stream {
+        warm.implies(goal);
+    }
+    let warm_us = time_us(&mut || stream.iter().filter(|g| warm.implies(g).implied).count());
+    let batch_us = time_us(&mut || {
+        warm.implies_batch(&stream)
+            .iter()
+            .filter(|o| o.implied)
+            .count()
+    });
+    let mut report = JsonReport::new("engine_throughput");
+    report.push_metric("stream_len", stream.len() as f64);
+    report.push_metric("cold_oneshot_us", cold_us);
+    report.push_metric("warm_serial_us", warm_us);
+    report.push_metric("warm_batch_us", batch_us);
+    report.push_metric("warm_speedup", cold_us / warm_us.max(1e-9));
+    report.push_table(cache_table);
+    match report.write_to_repo_root("BENCH_engine.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+    }
+}
+
 fn bench_cold_vs_warm(c: &mut Criterion) {
-    table_engine_cache_effect(&[64, 256, 1024, 4096]).eprint();
+    let cache_table = table_engine_cache_effect(&[64, 256, 1024, 4096]);
+    cache_table.eprint();
+    emit_json_report(cache_table);
 
     let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, 512);
     let mut group = c.benchmark_group("E11_cold_vs_warm");

@@ -16,4 +16,4 @@
 pub mod report;
 pub mod workloads;
 
-pub use report::Table;
+pub use report::{JsonReport, Table};

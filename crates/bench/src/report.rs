@@ -1,12 +1,23 @@
-//! Minimal plain-text table reporting.
+//! Minimal plain-text table reporting, plus a machine-readable JSON emitter.
 //!
 //! Criterion measures *time*; the experiments also need to report *counts*
 //! (lattice sizes, representation sizes, proof sizes, agreement rates).  Each
 //! bench builds a [`Table`] during setup and prints it once to stderr, so a
 //! `cargo bench` run reproduces both the timing series and the count tables
 //! recorded in `EXPERIMENTS.md`.
+//!
+//! For trend tracking across commits the human-readable tables are not
+//! enough: a [`JsonReport`] collects the same tables plus scalar metrics and
+//! writes them as a `BENCH_<name>.json` file at the repository root
+//! ([`JsonReport::write_to_repo_root`]), so the perf trajectory is diffable
+//! and scriptable without parsing stderr.  The JSON is hand-rolled (the
+//! build is hermetic, no serde): an object
+//! `{"bench": …, "metrics": {…}, "tables": [{caption, header, rows}, …]}`
+//! where cells that parse as finite numbers are emitted as numbers.
 
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// A simple column-aligned table with a caption.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +66,21 @@ impl Table {
         self.rows.len()
     }
 
+    /// The caption.
+    pub fn caption(&self) -> &str {
+        &self.caption
+    }
+
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (stringified cells).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Returns `true` iff the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -100,6 +126,150 @@ impl fmt::Display for Table {
     }
 }
 
+/// A machine-readable bench report: named scalar metrics plus count tables,
+/// serialized as JSON to `BENCH_<name>.json` at the repository root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonReport {
+    bench: String,
+    metrics: Vec<(String, f64)>,
+    tables: Vec<Table>,
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as a valid JSON number (Rust's `Display` for
+/// finite floats is JSON-compatible: no leading `+`, no bare `.5`, no
+/// exponent-only forms), non-finite values as quoted strings.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        format!("\"{}\"", json_escape(&v.to_string()))
+    }
+}
+
+/// Renders one cell: a normalized JSON number when it parses as a finite
+/// `f64` (re-formatted, since raw cell text like `+3` or `.5` parses but is
+/// not valid JSON), a JSON string otherwise.
+fn json_cell(cell: &str) -> String {
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => json_number(v),
+        _ => format!("\"{}\"", json_escape(cell)),
+    }
+}
+
+impl JsonReport {
+    /// An empty report for the named bench.
+    pub fn new(bench: impl Into<String>) -> Self {
+        JsonReport {
+            bench: bench.into(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Records one scalar metric (later entries with the same name are kept
+    /// as separate key/value pairs; use distinct names).
+    pub fn push_metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Attaches a count table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Serializes the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"bench\": \"{}\",\n",
+            json_escape(&self.bench)
+        ));
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {}",
+                json_escape(name),
+                json_number(*value)
+            ));
+        }
+        out.push_str(if self.metrics.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"tables\": [");
+        for (t, table) in self.tables.iter().enumerate() {
+            if t > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"caption\": \"{}\",\n      \"header\": [{}],\n      \"rows\": [",
+                json_escape(table.caption()),
+                table
+                    .header()
+                    .iter()
+                    .map(|h| format!("\"{}\"", json_escape(h)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            for (r, row) in table.rows().iter().enumerate() {
+                if r > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        [{}]",
+                    row.iter()
+                        .map(|c| json_cell(c))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            out.push_str(if table.rows().is_empty() {
+                "]\n    }"
+            } else {
+                "\n      ]\n    }"
+            });
+        }
+        out.push_str(if self.tables.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Writes the report as `<filename>` at the repository root (resolved
+    /// relative to this crate's manifest, so it lands in the same place no
+    /// matter where `cargo bench` is invoked from).  Returns the path
+    /// written.
+    pub fn write_to_repo_root(&self, filename: &str) -> io::Result<PathBuf> {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join(filename);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +292,51 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("demo", ["a", "b"]);
         t.push_row([1]);
+    }
+
+    #[test]
+    fn json_report_serializes_metrics_and_tables() {
+        let mut table = Table::new("counts", ["n", "label"]);
+        table.push_row([42.to_string(), "mixed \"cell\"".to_string()]);
+        let mut report = JsonReport::new("demo_bench");
+        report.push_metric("speedup", 3.5);
+        report.push_table(table);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"demo_bench\""));
+        assert!(json.contains("\"speedup\": 3.5"));
+        // Numeric cells are numbers, strings are escaped strings.
+        assert!(json.contains("[42, \"mixed \\\"cell\\\"\"]"), "got: {json}");
+        // Structure sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_json_report_is_well_formed() {
+        let json = JsonReport::new("empty").to_json();
+        assert!(json.contains("\"metrics\": {}"));
+        assert!(json.contains("\"tables\": []"));
+    }
+
+    #[test]
+    fn numeric_lookalike_cells_and_nonfinite_metrics_stay_valid_json() {
+        let mut table = Table::new("edge", ["cell"]);
+        // All of these parse as f64 but are not valid JSON numbers verbatim.
+        table.push_row(["+3"]);
+        table.push_row([".5"]);
+        table.push_row(["007"]);
+        let mut report = JsonReport::new("edge");
+        report.push_metric("bad_ratio", f64::INFINITY);
+        report.push_metric("missing", f64::NAN);
+        report.push_table(table);
+        let json = report.to_json();
+        assert!(json.contains("[3]"), "got: {json}");
+        assert!(json.contains("[0.5]"), "got: {json}");
+        assert!(json.contains("[7]"), "got: {json}");
+        assert!(json.contains("\"bad_ratio\": \"inf\""), "got: {json}");
+        assert!(json.contains("\"missing\": \"NaN\""), "got: {json}");
+        // No bare non-JSON tokens survive.
+        assert!(!json.contains(": inf"), "got: {json}");
+        assert!(!json.contains("+3"), "got: {json}");
     }
 }

@@ -1,0 +1,494 @@
+//! The derivation passes: density-variable elimination by interval
+//! propagation, the pairwise region-split pass, the generalized
+//! inclusion–exclusion deduction pass, and the enumeration-free relaxation.
+//!
+//! # The propagation path
+//!
+//! Write `d` for the density function of the unknown `f`, so that
+//! `f(X) = Σ_{X ⊆ U} d(U)` (eq. (5) of the paper).  Each asserted constraint
+//! zeroes `d` on its lattice decomposition (Definition 3.1), leaving a set of
+//! *alive* variables; each known value `f(X) = v` becomes the linear equation
+//! `Σ_{U ⊇ X, U alive} d(U) = v`; nonnegative density (the support-function
+//! interpretation) seeds every variable with `[0, ∞)`.  The passes:
+//!
+//! 1. **Interval propagation** — for each equation and each alive variable in
+//!    it, `d(U) = v − Σ_{W ≠ U} d(W)` tightens `d(U)`'s interval from the
+//!    others'; swept to a budgeted fixpoint.
+//! 2. **Direct evaluation** — `f(Y)` is the sum of its alive variables'
+//!    intervals.  When the constraints kill the whole row, `f(Y) = 0` exactly.
+//! 3. **Pairwise region split** — for each known `f(X) = v`,
+//!    `f(Y) = v + Σ_{U ⊇ Y, U ⊉ X∪Y} d(U) − Σ_{U ⊇ X, U ⊉ X∪Y} d(U)`,
+//!    an exact identity whose two region sums are bounded by the variable
+//!    intervals (for `X ⊆ Y` this is the monotonicity sandwich).
+//! 4. **Deduction** — for each `X ⊆ Y` with every `f(J)`, `X ⊆ J ⊊ Y` known,
+//!    the Möbius identity
+//!    `Σ_{X ⊆ J ⊆ Y} (−1)^{|J∖X|} f(J) = Σ_{U ⊇ X, U∩Y = X} d(U)`
+//!    resolves `f(Y)` against the right-hand region's interval.  With no
+//!    constraints and nonnegative density the region sum is bounded below by
+//!    `0` and this pass *is* the Calders–Goethals deduction-rule system
+//!    (`fis::ndi`); constraints that kill a region turn its rule into an
+//!    equality, which is where the strictly tighter intervals come from.
+//!
+//! Every candidate interval is an exact linear identity evaluated over sound
+//! variable intervals, so their intersection is sound; an empty intersection
+//! (or an unsatisfiable equation) witnesses infeasibility.
+
+use crate::interval::{Interval, SumAcc};
+use crate::problem::{
+    fits_budget, known_point, propagation_cost_bound, BoundsConfig, BoundsProblem, DeriveError,
+    DeriveRoute, DerivedBound,
+};
+use diffcon::density;
+use setlat::{powerset, AttrSet};
+
+/// Comparison tolerance for infeasibility detection (the serving workloads
+/// are integral, so this only absorbs float noise from adversarial inputs).
+const TOL: f64 = 1e-9;
+
+/// Derives the tightest interval for `f(query)` the configured budget allows:
+/// the full propagation path when [`propagation_cost_bound`] fits
+/// `config.budget_ops`, the sound relaxation otherwise.
+pub fn derive(
+    problem: &BoundsProblem<'_>,
+    query: AttrSet,
+    config: &BoundsConfig,
+) -> Result<DerivedBound, DeriveError> {
+    let cost = propagation_cost_bound(
+        problem.universe,
+        problem.constraints.len(),
+        problem.knowns.len(),
+        query,
+        config,
+    );
+    if fits_budget(cost, config.budget_ops) {
+        derive_propagated(problem, query, config)
+    } else {
+        derive_relaxed(problem, query)
+    }
+}
+
+/// The full propagation path (see the module docs).  Unconditional: callers
+/// that want budget routing should use [`derive()`].
+///
+/// # Panics
+/// Panics if the universe exceeds
+/// [`crate::problem::PROPAGATION_UNIVERSE_CAP`] attributes.
+pub fn derive_propagated(
+    problem: &BoundsProblem<'_>,
+    query: AttrSet,
+    config: &BoundsConfig,
+) -> Result<DerivedBound, DeriveError> {
+    let universe = problem.universe;
+    let n = universe.len();
+    assert!(
+        n <= crate::problem::PROPAGATION_UNIVERSE_CAP,
+        "propagation path supports at most {} attributes (got {n})",
+        crate::problem::PROPAGATION_UNIVERSE_CAP
+    );
+    let size = 1usize << n;
+
+    // Alive classification and per-variable intervals.  Dead variables are
+    // pinned to [0, 0] and never relaxed or tightened.
+    let alive = density::alive_table(universe, problem.constraints);
+    let (init_lo, init_hi) = if problem.side.nonnegative_density {
+        (0.0, f64::INFINITY)
+    } else {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    };
+    let mut lo = vec![0.0f64; size];
+    let mut hi = vec![0.0f64; size];
+    for mask in 0..size {
+        if alive[mask] {
+            lo[mask] = init_lo;
+            hi[mask] = init_hi;
+        }
+    }
+
+    // Known values as a mask-indexed table (NaN = unknown) for the deduction
+    // pass's interval-of-knowns checks.
+    let mut val = vec![f64::NAN; size];
+    for &(x, v) in problem.knowns {
+        val[x.bits() as usize] = v;
+    }
+
+    // Pass 1: interval propagation over the known-value equations.
+    for _ in 0..config.rounds {
+        let mut changed = false;
+        for &(x, v) in problem.knowns {
+            let mut lo_sum = SumAcc::new();
+            let mut hi_sum = SumAcc::new();
+            for u in powerset::supersets_within(x, n) {
+                let m = u.bits() as usize;
+                lo_sum.add(lo[m]);
+                hi_sum.add(hi[m]);
+            }
+            if lo_sum.total() > v + TOL || hi_sum.total() < v - TOL {
+                return Err(DeriveError::Infeasible);
+            }
+            for u in powerset::supersets_within(x, n) {
+                let m = u.bits() as usize;
+                if !alive[m] {
+                    continue;
+                }
+                // d(U) = v − Σ_{W ≠ U} d(W): others' lower bounds cap d(U)
+                // above, others' upper bounds support it below.
+                let new_hi = v - lo_sum.total_without(lo[m]);
+                let new_lo = v - hi_sum.total_without(hi[m]);
+                if new_hi < hi[m] {
+                    hi[m] = new_hi;
+                    changed = true;
+                }
+                if new_lo > lo[m] {
+                    lo[m] = new_lo;
+                    changed = true;
+                }
+                if lo[m] > hi[m] {
+                    if lo[m] > hi[m] + TOL {
+                        return Err(DeriveError::Infeasible);
+                    }
+                    hi[m] = lo[m];
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sum_over = |sets: &mut dyn Iterator<Item = AttrSet>| -> Interval {
+        let mut lo_sum = SumAcc::new();
+        let mut hi_sum = SumAcc::new();
+        for u in sets {
+            let m = u.bits() as usize;
+            lo_sum.add(lo[m]);
+            hi_sum.add(hi[m]);
+        }
+        Interval::new(lo_sum.total(), hi_sum.total())
+    };
+
+    let mut acc = Interval::UNBOUNDED;
+    let mut meet = |candidate: Interval| -> Result<(), DeriveError> {
+        acc = acc
+            .intersect(&candidate, TOL)
+            .ok_or(DeriveError::Infeasible)?;
+        Ok(())
+    };
+
+    // Pass 0: an exactly known query value.
+    if let Some(point) = known_point(problem, query) {
+        meet(point)?;
+    }
+
+    // Pass 2: direct evaluation of the query's alive row.
+    meet(sum_over(&mut powerset::supersets_within(query, n)))?;
+
+    // Pass 3: pairwise region split against every known value.
+    for &(x, v) in problem.knowns {
+        if x == query {
+            continue;
+        }
+        if config.pairwise {
+            let join = x.union(query);
+            let gained =
+                sum_over(&mut powerset::supersets_within(query, n).filter(|u| !join.is_subset(*u)));
+            let lost =
+                sum_over(&mut powerset::supersets_within(x, n).filter(|u| !join.is_subset(*u)));
+            meet(Interval::new(
+                v + gained.lo - lost.hi,
+                v + gained.hi - lost.lo,
+            ))?;
+        }
+        if problem.side.antitone {
+            if x.is_proper_subset(query) {
+                meet(Interval::new(f64::NEG_INFINITY, v))?;
+            } else if query.is_proper_subset(x) {
+                meet(Interval::new(v, f64::INFINITY))?;
+            }
+        }
+    }
+
+    // Pass 4: generalized inclusion–exclusion deduction.
+    let complement = query.complement_in(n);
+    'rules: for x in powerset::proper_subsets(query) {
+        let missing = query.difference(x).len();
+        // All 2^{|Y∖X|} − 1 proper members of [X, Y] must be known; skip
+        // rules that cannot possibly satisfy that.
+        if (problem.knowns.len() as u128) < (1u128 << missing) - 1 {
+            continue;
+        }
+        let mut signed_knowns = 0.0f64;
+        for j in powerset::interval(x, query) {
+            if j == query {
+                continue;
+            }
+            let v = val[j.bits() as usize];
+            if v.is_nan() {
+                continue 'rules;
+            }
+            let sign = if j.difference(x).len().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
+            signed_knowns += sign * v;
+        }
+        // Σ_{X ⊆ J ⊆ Y} (−1)^{|J∖X|} f(J) = Σ_{U ⊇ X, U∩Y = X} d(U): the
+        // right-hand region is X ∪ V over V ⊆ S∖Y.
+        let region = sum_over(&mut powerset::subsets(complement).map(|v_set| x.union(v_set)));
+        let candidate = if missing.is_multiple_of(2) {
+            // f(Y) = region − signed_knowns.
+            region.shift(-signed_knowns)
+        } else {
+            // f(Y) = signed_knowns − region.
+            region.reflect(signed_knowns)
+        };
+        meet(candidate)?;
+    }
+
+    Ok(DerivedBound {
+        interval: acc,
+        route: DeriveRoute::Propagation,
+    })
+}
+
+/// The enumeration-free sound relaxation: exact knowns, containment
+/// (monotonicity) rules under the antitone/support side conditions, the
+/// nonnegativity floor, and zero pinning by empty-family constraints
+/// (`X' → ∅` with `X' ⊆ Y` kills the whole row `[Y, S]`).
+pub fn derive_relaxed(
+    problem: &BoundsProblem<'_>,
+    query: AttrSet,
+) -> Result<DerivedBound, DeriveError> {
+    let mut acc = Interval::UNBOUNDED;
+    let mut meet = |candidate: Interval| -> Result<(), DeriveError> {
+        acc = acc
+            .intersect(&candidate, TOL)
+            .ok_or(DeriveError::Infeasible)?;
+        Ok(())
+    };
+
+    if problem.side.nonnegative_density {
+        meet(Interval::nonnegative())?;
+    }
+    if let Some(point) = known_point(problem, query) {
+        meet(point)?;
+    }
+    if problem.side.antitone || problem.side.nonnegative_density {
+        for &(x, v) in problem.knowns {
+            if x.is_proper_subset(query) {
+                meet(Interval::new(f64::NEG_INFINITY, v))?;
+            } else if query.is_proper_subset(x) {
+                meet(Interval::new(v, f64::INFINITY))?;
+            }
+        }
+    }
+    if problem
+        .constraints
+        .iter()
+        .any(|c| c.rhs.is_empty() && c.lhs.is_subset(query))
+    {
+        meet(Interval::point(0.0))?;
+    }
+
+    Ok(DerivedBound {
+        interval: acc,
+        route: DeriveRoute::Relaxed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SideConditions;
+    use diffcon::DiffConstraint;
+    use setlat::Universe;
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    fn knowns(u: &Universe, entries: &[(&str, f64)]) -> Vec<(AttrSet, f64)> {
+        entries
+            .iter()
+            .map(|(s, v)| (u.parse_set(s).unwrap(), *v))
+            .collect()
+    }
+
+    fn derive_support(
+        u: &Universe,
+        constraints: &[DiffConstraint],
+        k: &[(AttrSet, f64)],
+        query: &str,
+    ) -> Result<DerivedBound, DeriveError> {
+        let problem = BoundsProblem {
+            universe: u,
+            constraints,
+            knowns: k,
+            side: SideConditions::support(),
+        };
+        derive(
+            &problem,
+            u.parse_set(query).unwrap(),
+            &BoundsConfig::default(),
+        )
+    }
+
+    #[test]
+    fn acceptance_example_constraint_pins_the_superset() {
+        // After `assert A -> {B}` and `known A = 40`, `bound AB` must be
+        // strictly tighter than the constraint-free interval — here exact.
+        let u = Universe::of_size(4);
+        let c = parse(&u, &["A -> {B}"]);
+        let k = knowns(&u, &[("A", 40.0)]);
+        let with = derive_support(&u, &c, &k, "AB").unwrap();
+        assert_eq!(with.interval, Interval::point(40.0));
+        assert_eq!(with.route, DeriveRoute::Propagation);
+        let without = derive_support(&u, &[], &k, "AB").unwrap();
+        assert_eq!(without.interval, Interval::new(0.0, 40.0));
+        assert!(with.interval.width() < without.interval.width());
+    }
+
+    #[test]
+    fn monotone_sandwich_without_constraints() {
+        let u = Universe::of_size(3);
+        let k = knowns(&u, &[("", 10.0), ("AB", 4.0)]);
+        // ∅ ⊆ A ⊆ AB: the support interpretation sandwiches f(A).
+        let b = derive_support(&u, &[], &k, "A").unwrap();
+        assert_eq!(b.interval, Interval::new(4.0, 10.0));
+    }
+
+    #[test]
+    fn inclusion_exclusion_lower_bound() {
+        // The classical sandwich: σ(AB) ≥ σ(A) + σ(B) − σ(∅).
+        let u = Universe::of_size(2);
+        let k = knowns(&u, &[("", 7.0), ("A", 4.0), ("B", 5.0)]);
+        let b = derive_support(&u, &[], &k, "AB").unwrap();
+        assert_eq!(b.interval, Interval::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn empty_family_constraint_pins_zero() {
+        let u = Universe::of_size(3);
+        let c = parse(&u, &["A -> {}"]);
+        let b = derive_support(&u, &c, &[], "AB").unwrap();
+        assert_eq!(b.interval, Interval::point(0.0));
+    }
+
+    #[test]
+    fn infeasible_knowns_are_detected() {
+        let u = Universe::of_size(3);
+        // Antitone violation under the support interpretation.
+        let k = knowns(&u, &[("A", 3.0), ("AB", 8.0)]);
+        assert_eq!(
+            derive_support(&u, &[], &k, "ABC"),
+            Err(DeriveError::Infeasible)
+        );
+        // Constraint A → {B} forces σ(A) = σ(AB); contradictory knowns.
+        let c = parse(&u, &["A -> {B}"]);
+        let k = knowns(&u, &[("A", 5.0), ("AB", 3.0)]);
+        assert_eq!(
+            derive_support(&u, &c, &k, "AC"),
+            Err(DeriveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn no_side_conditions_leave_unknowns_unbounded() {
+        let u = Universe::of_size(2);
+        let k = knowns(&u, &[("A", 4.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::none(),
+        };
+        let b = derive(
+            &problem,
+            u.parse_set("AB").unwrap(),
+            &BoundsConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(b.interval, Interval::UNBOUNDED);
+        // …but full constraint + known coverage still pins exactly.
+        let c = parse(&u, &["A -> {B}"]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &c,
+            knowns: &k,
+            side: SideConditions::none(),
+        };
+        let b = derive(
+            &problem,
+            u.parse_set("AB").unwrap(),
+            &BoundsConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(b.interval, Interval::point(4.0));
+    }
+
+    #[test]
+    fn relaxed_route_past_the_budget() {
+        let u = Universe::of_size(24);
+        let k = knowns(&u, &[("", 100.0), ("ABCD", 30.0)]);
+        let b = derive_support(&u, &[], &k, "AB").unwrap();
+        assert_eq!(b.route, DeriveRoute::Relaxed);
+        // Monotone sandwich still applies: ABCD ⊇ AB ⊇ ∅.
+        assert_eq!(b.interval, Interval::new(30.0, 100.0));
+    }
+
+    #[test]
+    fn maximal_budget_still_respects_the_universe_cap() {
+        // A budget of u128::MAX must not defeat the cost bound's sentinel
+        // and panic inside the propagation path on an oversized universe.
+        let u = Universe::of_size(24);
+        let k = knowns(&u, &[("", 10.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        let config = BoundsConfig {
+            budget_ops: u128::MAX,
+            ..BoundsConfig::default()
+        };
+        let b = derive(&problem, u.parse_set("AB").unwrap(), &config).unwrap();
+        assert_eq!(b.route, DeriveRoute::Relaxed);
+    }
+
+    #[test]
+    fn relaxed_route_detects_direct_contradictions() {
+        let u = Universe::of_size(24);
+        let k = knowns(&u, &[("A", -5.0)]);
+        assert_eq!(
+            derive_support(&u, &[], &k, "A"),
+            Err(DeriveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn antitone_only_side_condition() {
+        let u = Universe::of_size(3);
+        let k = knowns(&u, &[("A", 4.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions {
+                nonnegative_density: false,
+                antitone: true,
+            },
+        };
+        let b = derive(
+            &problem,
+            u.parse_set("AB").unwrap(),
+            &BoundsConfig::default(),
+        )
+        .unwrap();
+        // No nonnegativity: only the antitone ceiling applies.
+        assert_eq!(b.interval, Interval::new(f64::NEG_INFINITY, 4.0));
+    }
+}

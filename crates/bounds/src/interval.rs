@@ -1,0 +1,257 @@
+//! Closed real intervals with infinite endpoints, and the sum accumulator the
+//! derivation passes use to combine per-variable bounds soundly.
+//!
+//! Endpoints are `f64` with `±∞` standing for "unbounded on that side".  The
+//! workloads this crate serves (supports of itemsets, probabilistic masses)
+//! take integer or small rational values, so all finite arithmetic here is
+//! exact; infinity is handled symbolically by [`SumAcc`], which counts
+//! infinite contributions instead of adding them (adding `+∞` and later
+//! subtracting one element back out would otherwise poison the sum).
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]`, possibly unbounded on either side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// The lower endpoint (`-∞` when unbounded below).
+    pub lo: f64,
+    /// The upper endpoint (`+∞` when unbounded above).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The whole real line `(-∞, +∞)`.
+    pub const UNBOUNDED: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is NaN or `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval endpoints must not be NaN"
+        );
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The single point `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// The nonnegative half-line `[0, +∞)`.
+    pub fn nonnegative() -> Interval {
+        Interval::new(0.0, f64::INFINITY)
+    }
+
+    /// Returns `true` iff the interval pins a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Width `hi − lo` (`+∞` when unbounded).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` iff `v` lies inside (within `tol` of an endpoint).
+    pub fn contains(&self, v: f64, tol: f64) -> bool {
+        v >= self.lo - tol && v <= self.hi + tol
+    }
+
+    /// Returns `true` iff this interval lies inside `other` (within `tol`).
+    pub fn within(&self, other: &Interval, tol: f64) -> bool {
+        self.lo >= other.lo - tol && self.hi <= other.hi + tol
+    }
+
+    /// The intersection with `other`, or `None` when they are disjoint by
+    /// more than `tol` (an infeasibility witness for the caller).
+    pub fn intersect(&self, other: &Interval, tol: f64) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi + tol {
+            None
+        } else {
+            // Snap away sub-tolerance inversions produced by rounding.
+            Some(Interval { lo, hi: hi.max(lo) })
+        }
+    }
+
+    /// The interval shifted by `c`: `[lo + c, hi + c]`.
+    pub fn shift(&self, c: f64) -> Interval {
+        Interval {
+            lo: self.lo + c,
+            hi: self.hi + c,
+        }
+    }
+
+    /// The reflected interval `c − [lo, hi] = [c − hi, c − lo]`.
+    pub fn reflect(&self, c: f64) -> Interval {
+        Interval {
+            lo: c - self.hi,
+            hi: c - self.lo,
+        }
+    }
+
+    /// Formats one endpoint for the wire protocol: integers without a
+    /// fractional part, `inf`/`-inf` for unbounded ends.
+    pub fn format_endpoint(v: f64) -> String {
+        if v == f64::INFINITY {
+            "inf".to_string()
+        } else if v == f64::NEG_INFINITY {
+            "-inf".to_string()
+        } else if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}]",
+            Interval::format_endpoint(self.lo),
+            Interval::format_endpoint(self.hi)
+        )
+    }
+}
+
+/// A sum of interval endpoints that tracks infinite contributions by count,
+/// so removing one term back out of the total stays exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumAcc {
+    finite: f64,
+    pos_inf: usize,
+    neg_inf: usize,
+}
+
+impl SumAcc {
+    /// The empty sum.
+    pub fn new() -> SumAcc {
+        SumAcc::default()
+    }
+
+    /// Adds one endpoint.
+    pub fn add(&mut self, v: f64) {
+        if v == f64::INFINITY {
+            self.pos_inf += 1;
+        } else if v == f64::NEG_INFINITY {
+            self.neg_inf += 1;
+        } else {
+            self.finite += v;
+        }
+    }
+
+    /// The total (`±∞` when any infinite term was added; a sum containing
+    /// both signs of infinity cannot arise from endpoint sums of one side).
+    pub fn total(&self) -> f64 {
+        debug_assert!(
+            self.pos_inf == 0 || self.neg_inf == 0,
+            "endpoint sums never mix +∞ and -∞"
+        );
+        if self.pos_inf > 0 {
+            f64::INFINITY
+        } else if self.neg_inf > 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.finite
+        }
+    }
+
+    /// The total with one previously added endpoint `v` removed.
+    pub fn total_without(&self, v: f64) -> f64 {
+        let (pos, neg, finite) = if v == f64::INFINITY {
+            (self.pos_inf - 1, self.neg_inf, self.finite)
+        } else if v == f64::NEG_INFINITY {
+            (self.pos_inf, self.neg_inf - 1, self.finite)
+        } else {
+            (self.pos_inf, self.neg_inf, self.finite - v)
+        };
+        if pos > 0 {
+            f64::INFINITY
+        } else if neg > 0 {
+            f64::NEG_INFINITY
+        } else {
+            finite
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_predicates() {
+        let i = Interval::new(1.0, 4.0);
+        assert!(!i.is_exact());
+        assert_eq!(i.width(), 3.0);
+        assert!(i.contains(1.0, 0.0));
+        assert!(i.contains(4.0, 0.0));
+        assert!(!i.contains(4.5, 0.0));
+        assert!(Interval::point(2.0).is_exact());
+        assert!(Interval::UNBOUNDED.contains(1e300, 0.0));
+        assert_eq!(Interval::nonnegative().lo, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, f64::INFINITY);
+        assert_eq!(a.intersect(&b, 0.0), Some(Interval::new(3.0, 5.0)));
+        let c = Interval::new(6.0, 7.0);
+        assert_eq!(a.intersect(&c, 0.0), None);
+        // Sub-tolerance gaps snap to a point instead of failing.
+        let d = Interval::new(5.0 + 1e-12, 9.0);
+        let snapped = a.intersect(&d, 1e-9).unwrap();
+        assert!(snapped.is_exact());
+    }
+
+    #[test]
+    fn shift_and_reflect() {
+        let i = Interval::new(1.0, 3.0);
+        assert_eq!(i.shift(2.0), Interval::new(3.0, 5.0));
+        assert_eq!(i.reflect(10.0), Interval::new(7.0, 9.0));
+        let half = Interval::new(2.0, f64::INFINITY);
+        assert_eq!(half.reflect(10.0), Interval::new(f64::NEG_INFINITY, 8.0));
+    }
+
+    #[test]
+    fn endpoint_formatting() {
+        assert_eq!(Interval::format_endpoint(40.0), "40");
+        assert_eq!(Interval::format_endpoint(-2.5), "-2.5");
+        assert_eq!(Interval::format_endpoint(f64::INFINITY), "inf");
+        assert_eq!(Interval::format_endpoint(f64::NEG_INFINITY), "-inf");
+        assert_eq!(Interval::new(0.0, 40.0).to_string(), "[0, 40]");
+    }
+
+    #[test]
+    fn sum_accumulator_handles_infinities() {
+        let mut s = SumAcc::new();
+        s.add(2.0);
+        s.add(f64::INFINITY);
+        s.add(3.0);
+        assert_eq!(s.total(), f64::INFINITY);
+        assert_eq!(s.total_without(f64::INFINITY), 5.0);
+        assert_eq!(s.total_without(2.0), f64::INFINITY);
+        let mut t = SumAcc::new();
+        t.add(1.0);
+        t.add(2.0);
+        assert_eq!(t.total(), 3.0);
+        assert_eq!(t.total_without(1.0), 2.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Constraint-aware non-derivable-itemset mining: plug the interval engine
+//! into [`fis::ndi::NdiRepresentation::build_pruned`] as its bounds oracle.
+//!
+//! Classic NDI mining deduces each itemset's support interval from the
+//! supports of *all* of its proper subsets.  When differential constraints
+//! satisfied by the database are also asserted (`X → 𝒴` zeroes the density —
+//! the basket multiset counts — on `L(X, 𝒴)`), whole deduction-rule regions
+//! vanish and their rules become equalities, so strictly more itemsets are
+//! pinned exactly and strictly fewer candidate supports are ever counted
+//! against the database.
+//!
+//! ```
+//! use diffcon::DiffConstraint;
+//! use diffcon_bounds::mining;
+//! use diffcon_bounds::problem::BoundsConfig;
+//! use fis::basket::BasketDb;
+//! use fis::ndi::NdiRepresentation;
+//! use setlat::Universe;
+//!
+//! let u = Universe::of_size(3);
+//! // Every basket containing A contains B, i.e. the database satisfies
+//! // the differential constraint A → {B}.
+//! let db = BasketDb::parse(&u, "AB\nABC\nB\nC\nBC").unwrap();
+//! let constraints = vec![DiffConstraint::parse("A -> {B}", &u).unwrap()];
+//! let (ndi, stats) =
+//!     mining::ndi_under_constraints(&db, &constraints, 1, &BoundsConfig::mining()).unwrap();
+//! // The representation is still lossless for frequent itemsets…
+//! assert_eq!(ndi.kappa, 1);
+//! // …but σ(AB) = σ(A) is pinned by the constraint, so AB was never scanned.
+//! let (_, unconstrained) =
+//!     mining::ndi_under_constraints(&db, &[], 1, &BoundsConfig::mining()).unwrap();
+//! assert!(stats.support_scans < unconstrained.support_scans);
+//! ```
+
+use crate::derive;
+use crate::problem::{BoundsConfig, BoundsProblem, DeriveError, SideConditions};
+use diffcon::DiffConstraint;
+use fis::basket::BasketDb;
+use fis::ndi::{BoundsOracle, NdiRepresentation, PruneStats, SupportBounds};
+use setlat::{powerset, AttrSet, Universe};
+
+impl BoundsConfig {
+    /// The preset used for levelwise mining: deduction rules plus
+    /// constraint-killed regions only.  Propagation sweeps and the pairwise
+    /// pass cannot tighten anything beyond the (complete) deduction rules
+    /// when every proper subset is known, so the preset skips them.
+    pub fn mining() -> BoundsConfig {
+        BoundsConfig {
+            rounds: 0,
+            pairwise: false,
+            ..BoundsConfig::default()
+        }
+    }
+}
+
+/// A [`BoundsOracle`] backed by the constraint-aware interval engine: each
+/// query derives over the asserted constraints plus the recorded supports of
+/// the itemset's proper subsets, under the support-function side conditions.
+#[derive(Debug)]
+pub struct ConstraintOracle<'a> {
+    universe: Universe,
+    constraints: &'a [DiffConstraint],
+    config: BoundsConfig,
+    /// Mask-indexed recorded supports (NaN = not yet determined).
+    supports: Vec<f64>,
+    /// Set when a derivation reports infeasibility: the constraints do not
+    /// actually hold on the database, so derived values are meaningless.
+    infeasible: bool,
+}
+
+impl<'a> ConstraintOracle<'a> {
+    /// An oracle over a universe of `n` items asserting `constraints`.
+    pub fn new(n: usize, constraints: &'a [DiffConstraint], config: BoundsConfig) -> Self {
+        ConstraintOracle {
+            universe: Universe::of_size(n),
+            constraints,
+            config,
+            supports: vec![f64::NAN; 1 << n],
+            infeasible: false,
+        }
+    }
+
+    /// Whether any derivation reported infeasible knowns (the constraints
+    /// are violated by the recorded supports).
+    pub fn infeasible(&self) -> bool {
+        self.infeasible
+    }
+}
+
+fn to_support_bounds(lo: f64, hi: f64) -> SupportBounds {
+    // Supports are integers: snap the sound real interval inward.
+    let lower = if lo <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        lo.ceil() as i64
+    };
+    let upper = if hi >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        hi.floor() as i64
+    };
+    SupportBounds { lower, upper }
+}
+
+impl BoundsOracle for ConstraintOracle<'_> {
+    fn bounds(&mut self, itemset: AttrSet) -> SupportBounds {
+        let knowns: Vec<(AttrSet, f64)> = powerset::proper_subsets(itemset)
+            .filter_map(|j| {
+                let v = self.supports[j.bits() as usize];
+                if v.is_nan() {
+                    None
+                } else {
+                    Some((j, v))
+                }
+            })
+            .collect();
+        let problem = BoundsProblem {
+            universe: &self.universe,
+            constraints: self.constraints,
+            knowns: &knowns,
+            side: SideConditions::support(),
+        };
+        // Always the full propagation path, never the budget router: mining
+        // correctness (classic-NDI equivalence, constraint pruning) depends
+        // on the deduction pass running, and `build_pruned` already caps the
+        // universe at 20 items — exactly the propagation cap.
+        match derive::derive_propagated(&problem, itemset, &self.config) {
+            Ok(bound) => to_support_bounds(bound.interval.lo, bound.interval.hi),
+            Err(DeriveError::Infeasible) => {
+                self.infeasible = true;
+                // A maximally wide (vacuous) answer keeps the builder moving;
+                // the caller checks `infeasible()` afterwards.
+                SupportBounds {
+                    lower: 0,
+                    upper: i64::MAX,
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, itemset: AttrSet, support: usize) {
+        self.supports[itemset.bits() as usize] = support as f64;
+    }
+}
+
+/// Mines the non-derivable-itemset representation of `db` at threshold
+/// `kappa` under a set of differential constraints known to hold on the
+/// database, scanning only the itemsets the constraint-aware intervals fail
+/// to pin.
+///
+/// With `constraints` empty this reproduces
+/// [`NdiRepresentation::build`] (see the crate's property tests); with
+/// constraints it evaluates strictly fewer candidate supports whenever a
+/// constraint pins an otherwise non-derivable itemset.
+///
+/// # Errors
+/// [`DeriveError::Infeasible`] when the constraints do **not** hold on `db`,
+/// in which case any "derived" support would be unsound.  The check is
+/// direct and cheap: the density of a support function is the multiset count
+/// of exactly-equal baskets, so `X → 𝒴` holds iff no basket lies in
+/// `L(X, 𝒴)` — `O(|B| · Σ|𝒴|)` bitset work, no support evaluation.
+pub fn ndi_under_constraints(
+    db: &BasketDb,
+    constraints: &[DiffConstraint],
+    kappa: usize,
+    config: &BoundsConfig,
+) -> Result<(NdiRepresentation, PruneStats), DeriveError> {
+    for constraint in constraints {
+        if db.baskets().iter().any(|&b| constraint.lattice_contains(b)) {
+            return Err(DeriveError::Infeasible);
+        }
+    }
+    let mut oracle = ConstraintOracle::new(db.universe_size(), constraints, *config);
+    let (ndi, stats) = NdiRepresentation::build_pruned(db, kappa, &mut oracle);
+    if oracle.infeasible() {
+        return Err(DeriveError::Infeasible);
+    }
+    Ok((ndi, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_mining_matches_classic_ndi() {
+        let u = Universe::of_size(5);
+        let db = BasketDb::parse(&u, "ABC\nABD\nAB\nACD\nBCD\nABCD\nAE\nBE\nABE\nC\nAB").unwrap();
+        for kappa in [1usize, 2, 4] {
+            let classic = NdiRepresentation::build(&db, kappa);
+            let (mined, stats) =
+                ndi_under_constraints(&db, &[], kappa, &BoundsConfig::mining()).unwrap();
+            assert_eq!(mined, classic, "mismatch at κ = {kappa}");
+            assert_eq!(stats.support_scans + stats.derived_exact, stats.considered);
+        }
+    }
+
+    #[test]
+    fn constraints_prune_strictly_more_scans() {
+        // Every basket containing A contains B ⇒ the database satisfies
+        // A → {B}; σ(AB) = σ(A) is then pinned without scanning.
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nABD\nB\nC\nCD\nABCD").unwrap();
+        let constraints = vec![DiffConstraint::parse("A -> {B}", &u).unwrap()];
+        let (with, with_stats) =
+            ndi_under_constraints(&db, &constraints, 1, &BoundsConfig::mining()).unwrap();
+        let (without, without_stats) =
+            ndi_under_constraints(&db, &[], 1, &BoundsConfig::mining()).unwrap();
+        assert!(
+            with_stats.support_scans < without_stats.support_scans,
+            "constraint awareness must save scans: {with_stats:?} vs {without_stats:?}"
+        );
+        // Everything stored is a frequent itemset with its true support.
+        for (&itemset, &support) in &with.itemsets {
+            assert_eq!(support, db.support(itemset));
+            assert!(support >= 1);
+        }
+        // The constrained representation is a subset of the unconstrained
+        // one: constraint-pinned itemsets drop out, nothing is added.
+        for itemset in with.itemsets.keys() {
+            assert!(without.itemsets.contains_key(itemset));
+        }
+    }
+
+    #[test]
+    fn oracle_stays_exact_past_the_derive_budget() {
+        // On 13+ items an all-proper-subsets knowns set overflows the
+        // default ops budget; the oracle must still take the propagation
+        // path (never the relaxation), or derivable itemsets would silently
+        // be stored/scanned and the classic-NDI equivalence would break.
+        let n = 13;
+        let full = AttrSet::full(n);
+        let db = BasketDb::from_baskets(n, std::iter::repeat_n(full, 5));
+        let mut oracle = ConstraintOracle::new(n, &[], BoundsConfig::mining());
+        oracle.record(AttrSet::EMPTY, db.len());
+        for size in 1..n {
+            for itemset in powerset::subsets_of_size(n, size) {
+                oracle.record(itemset, db.support(itemset));
+            }
+        }
+        let bounds = oracle.bounds(full);
+        assert_eq!(
+            bounds,
+            fis::ndi::deduction_bounds(&db, full),
+            "oracle must match the deduction rules regardless of budget"
+        );
+        assert!(bounds.is_exact(), "five identical baskets pin the top set");
+    }
+
+    #[test]
+    fn violated_constraints_are_reported() {
+        let u = Universe::of_size(3);
+        // A occurs without B, so A → {B} does not hold.
+        let db = BasketDb::parse(&u, "A\nB\nAB").unwrap();
+        let constraints = vec![DiffConstraint::parse("A -> {B}", &u).unwrap()];
+        assert_eq!(
+            ndi_under_constraints(&db, &constraints, 1, &BoundsConfig::mining()),
+            Err(DeriveError::Infeasible)
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests for the interval-derivation subsystem.
+//!
+//! Two theorems anchor the engine, and both are exercised on ≥ 1000 random
+//! instances each:
+//!
+//! * **Soundness** — for a random basket database, random satisfied
+//!   constraints, and random true knowns, the true support always lies
+//!   inside the derived interval (propagation and relaxation alike), and an
+//!   exact interval pins the true support.
+//! * **NDI equivalence** — with *all* proper-subset supports known and *no*
+//!   constraints asserted, the derived interval reproduces
+//!   `fis::ndi::deduction_bounds` exactly (the engine is a strict
+//!   generalization of the Calders–Goethals deduction rules).
+
+use diffcon::DiffConstraint;
+use diffcon_bounds::derive::{derive, derive_propagated, derive_relaxed};
+use diffcon_bounds::{BoundsConfig, BoundsProblem, SideConditions};
+use fis::basket::BasketDb;
+use fis::ndi;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use setlat::{AttrSet, Universe};
+
+/// Thin deterministic stream over the vendored [`StdRng`], one per seed.
+struct Rng(StdRng);
+
+impl Rng {
+    fn seeded(seed: u64) -> Rng {
+        Rng(StdRng::seed_from_u64(seed))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0.gen_range(0..u64::MAX)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// A random basket database over `n` items with up to 14 baskets.
+fn random_db(rng: &mut Rng, n: usize) -> BasketDb {
+    let baskets = rng.below(15);
+    BasketDb::from_baskets(
+        n,
+        (0..baskets).map(|_| AttrSet::from_bits(rng.below(1 << n))),
+    )
+}
+
+/// Random constraints drawn until `want` of them are satisfied by `db`
+/// (bounded attempts — structured databases satisfy plenty).
+fn satisfied_constraints(
+    rng: &mut Rng,
+    universe: &Universe,
+    db: &BasketDb,
+    want: usize,
+) -> Vec<DiffConstraint> {
+    let mut gen = diffcon::random::ConstraintGenerator::new(rng.next(), universe);
+    let shape = diffcon::random::ConstraintShape::default();
+    let mut out = Vec::new();
+    for _ in 0..40 {
+        if out.len() >= want {
+            break;
+        }
+        let c = gen.constraint(&shape);
+        // A support function's density is the exact-basket multiset count,
+        // so `c` holds on `db` iff no basket lies in L(c).
+        if !db.baskets().iter().any(|&b| c.lattice_contains(b)) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn derived_intervals_are_sound_on_random_instances() {
+    let mut checked = 0u32;
+    for seed in 0..1100u64 {
+        let mut rng = Rng::seeded(seed.wrapping_mul(0x0123_4567_89AB_CDEF) ^ 0xD1FF);
+        let n = 2 + (rng.below(4) as usize); // 2..=5 attributes
+        let universe = Universe::of_size(n);
+        let db = random_db(&mut rng, n);
+        let want = rng.below(4) as usize;
+        let constraints = satisfied_constraints(&mut rng, &universe, &db, want);
+        // True knowns at random sets (possibly none, possibly all).
+        let known_count = rng.below(1 << n) as usize;
+        let mut knowns: Vec<(AttrSet, f64)> = Vec::new();
+        for _ in 0..known_count {
+            let x = AttrSet::from_bits(rng.below(1 << n));
+            if !knowns.iter().any(|(k, _)| *k == x) {
+                knowns.push((x, db.support(x) as f64));
+            }
+        }
+        let problem = BoundsProblem {
+            universe: &universe,
+            constraints: &constraints,
+            knowns: &knowns,
+            side: SideConditions::support(),
+        };
+        let unconstrained = BoundsProblem {
+            constraints: &[],
+            ..problem
+        };
+        let query = AttrSet::from_bits(rng.below(1 << n));
+        let truth = db.support(query) as f64;
+        let config = BoundsConfig::default();
+
+        // The instance is consistent by construction, so derivation must
+        // succeed, on every route.
+        let full = derive_propagated(&problem, query, &config)
+            .expect("true knowns + satisfied constraints are feasible");
+        let relaxed = derive_relaxed(&problem, query).expect("relaxation is feasible too");
+        let routed = derive(&problem, query, &config).expect("routing changes nothing");
+        assert_eq!(
+            routed.interval, full.interval,
+            "budget routing must pick the full path here"
+        );
+        for interval in [full.interval, relaxed.interval] {
+            assert!(
+                interval.contains(truth, 1e-9),
+                "seed {seed}: true support {truth} outside {interval} for {query:?} \
+                 (constraints {constraints:?}, knowns {knowns:?})"
+            );
+        }
+        assert!(
+            full.interval.within(&relaxed.interval, 1e-9),
+            "seed {seed}: propagation must be at least as tight as relaxation"
+        );
+        if full.interval.is_exact() {
+            assert_eq!(
+                full.interval.lo, truth,
+                "seed {seed}: exact interval must pin truth"
+            );
+        }
+        // Constraints only ever tighten.
+        let loose = derive_propagated(&unconstrained, query, &config).expect("feasible");
+        assert!(
+            full.interval.within(&loose.interval, 1e-9),
+            "seed {seed}: constraints must not widen the interval"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1000, "property must cover ≥ 1000 instances");
+}
+
+#[test]
+fn all_subsets_known_reproduces_ndi_deduction_bounds_exactly() {
+    let mut checked = 0u32;
+    for seed in 0..1100u64 {
+        let mut rng = Rng::seeded(seed.wrapping_mul(0xA5A5_5A5A_0F0F_F0F0) ^ 0xB0B);
+        let n = 1 + (rng.below(5) as usize); // 1..=5 attributes
+        let universe = Universe::of_size(n);
+        let db = random_db(&mut rng, n);
+        // A random nonempty itemset and the supports of all proper subsets.
+        let itemset = AttrSet::from_bits(1 + rng.below((1 << n) - 1));
+        let knowns: Vec<(AttrSet, f64)> = setlat::powerset::proper_subsets(itemset)
+            .map(|j| (j, db.support(j) as f64))
+            .collect();
+        let problem = BoundsProblem {
+            universe: &universe,
+            constraints: &[],
+            knowns: &knowns,
+            side: SideConditions::support(),
+        };
+        let derived = derive_propagated(&problem, itemset, &BoundsConfig::default())
+            .expect("true subset supports are consistent");
+        let classic = ndi::deduction_bounds(&db, itemset);
+        assert_eq!(
+            (derived.interval.lo, derived.interval.hi),
+            (classic.lower as f64, classic.upper as f64),
+            "seed {seed}: diffcon-bounds and fis::ndi disagree on {itemset:?} over {db:?}"
+        );
+        // …and so does the mining preset (deduction pass only).
+        let mined = derive_propagated(&problem, itemset, &BoundsConfig::mining())
+            .expect("feasible under the mining preset");
+        assert_eq!(
+            mined.interval, derived.interval,
+            "seed {seed}: preset mismatch"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1000, "property must cover ≥ 1000 instances");
+}
+
+#[test]
+fn constrained_mining_stays_lossless_on_random_databases() {
+    // End-to-end: mining under satisfied constraints never mislabels a
+    // support and never scans more than the unconstrained build.
+    for seed in 0..120u64 {
+        let mut rng = Rng::seeded(seed.wrapping_mul(0x00C0_FFEE_1234_5678) ^ 0x717);
+        let n = 2 + (rng.below(4) as usize);
+        let universe = Universe::of_size(n);
+        let db = random_db(&mut rng, n);
+        let constraints = satisfied_constraints(&mut rng, &universe, &db, 2);
+        let kappa = 1 + rng.below(4) as usize;
+        let (with, with_stats) = diffcon_bounds::mining::ndi_under_constraints(
+            &db,
+            &constraints,
+            kappa,
+            &BoundsConfig::mining(),
+        )
+        .expect("satisfied constraints are feasible");
+        let (_without, without_stats) =
+            diffcon_bounds::mining::ndi_under_constraints(&db, &[], kappa, &BoundsConfig::mining())
+                .expect("no constraints are trivially feasible");
+        assert!(with_stats.support_scans <= without_stats.support_scans);
+        for (&itemset, &support) in &with.itemsets {
+            assert_eq!(
+                support,
+                db.support(itemset),
+                "seed {seed}: stored support wrong"
+            );
+            assert!(support >= kappa);
+        }
+    }
+}

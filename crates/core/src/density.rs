@@ -1,0 +1,160 @@
+//! Density-decomposition helpers: which density variables does a constraint
+//! set force to zero?
+//!
+//! By Definition 3.1, a set function `f` satisfies `X → 𝒴` exactly when its
+//! density function `d_f` vanishes on the lattice decomposition `L(X, 𝒴)`.  A
+//! whole constraint set `C` therefore zeroes `d_f` on the union
+//! `L(C) = ⋃ L(X_i, 𝒴_i)`, and every question about the *values* `f` can take
+//! under `C` reduces to linear reasoning over the **surviving** (alive)
+//! density terms — the sets outside `L(C)`.  The `diffcon-bounds` crate builds
+//! its interval-derivation engine on exactly this reduction; this module
+//! exposes the decomposition primitives it needs:
+//!
+//! * [`zeroed_at`] — is the density variable at one set forced to zero?
+//!   (`O(Σ|𝒴_i|)` bitset work per query, no enumeration);
+//! * [`alive_table`] — the full alive/dead classification of all `2^{|S|}`
+//!   density variables, as a mask-indexed table;
+//! * [`alive_supersets`] — the surviving support of one zeta-transform row
+//!   `f(X) = Σ_{X ⊆ U} d_f(U)`;
+//! * [`zeroed_count`] — how many density variables the constraint set kills
+//!   (the "strength" of the premise set for bound derivation).
+//!
+//! ```
+//! use diffcon::{density, DiffConstraint};
+//! use setlat::Universe;
+//!
+//! let u = Universe::of_size(2);
+//! let c = vec![DiffConstraint::parse("A -> {B}", &u).unwrap()];
+//! // L(A, {B}) = {A}: the only killed density variable is d(A)…
+//! assert!(density::zeroed_at(&c, u.parse_set("A").unwrap()));
+//! assert_eq!(density::zeroed_count(&u, &c), 1);
+//! // …so f(A) = d(AB): one surviving term.
+//! let alive = density::alive_supersets(&u, &c, u.parse_set("A").unwrap());
+//! assert_eq!(alive, vec![u.parse_set("AB").unwrap()]);
+//! ```
+
+use crate::constraint::DiffConstraint;
+use setlat::{powerset, AttrSet, Universe};
+
+/// Returns `true` iff the density variable at `u_set` is forced to zero by
+/// some constraint, i.e. `u_set ∈ L(C)`.
+///
+/// `O(Σ_i |𝒴_i|)` bitset operations; no enumeration.
+#[inline]
+pub fn zeroed_at(constraints: &[DiffConstraint], u_set: AttrSet) -> bool {
+    constraints.iter().any(|c| c.lattice_contains(u_set))
+}
+
+/// Classifies every density variable of the universe: `table[mask]` is `true`
+/// iff the variable at `AttrSet::from_bits(mask)` *survives* the constraint
+/// set (lies outside `L(C)`).
+///
+/// `O(2^{|S|} · Σ|𝒴_i|)` time and `2^{|S|}` bytes; intended for the bounded
+/// universes the bound-derivation engine enumerates (the engine's budget
+/// router keeps `|S|` small on this path).
+///
+/// # Panics
+/// Panics if the universe exceeds [`setlat::setfn::MAX_DENSE_UNIVERSE`]
+/// attributes — the same cap as dense set functions, since a caller holding
+/// the full table is doing dense work.
+pub fn alive_table(universe: &Universe, constraints: &[DiffConstraint]) -> Vec<bool> {
+    let n = universe.len();
+    assert!(
+        n <= setlat::setfn::MAX_DENSE_UNIVERSE,
+        "alive_table supports at most {} attributes (got {n})",
+        setlat::setfn::MAX_DENSE_UNIVERSE
+    );
+    (0..1usize << n)
+        .map(|mask| !zeroed_at(constraints, AttrSet::from_bits(mask as u64)))
+        .collect()
+}
+
+/// The surviving support of the zeta row at `x`: all `U ⊇ x` with `U ∉ L(C)`,
+/// in increasing mask order.  These are exactly the density terms that
+/// contribute to `f(x)` under the constraint set.
+pub fn alive_supersets(
+    universe: &Universe,
+    constraints: &[DiffConstraint],
+    x: AttrSet,
+) -> Vec<AttrSet> {
+    powerset::supersets_within(x, universe.len())
+        .filter(|&u_set| !zeroed_at(constraints, u_set))
+        .collect()
+}
+
+/// Counts the density variables the constraint set forces to zero,
+/// `|L(C)|`, by enumeration.
+pub fn zeroed_count(universe: &Universe, constraints: &[DiffConstraint]) -> usize {
+    universe
+        .all_subsets()
+        .filter(|&u_set| zeroed_at(constraints, u_set))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::{lattice, Family};
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn zeroed_iff_in_some_lattice() {
+        let u = Universe::of_size(4);
+        let c = parse(&u, &["A -> {B}", "C -> {D, AB}"]);
+        let union = lattice::lattice_union(
+            &u,
+            &c.iter()
+                .map(|k| (k.lhs, k.rhs.clone()))
+                .collect::<Vec<(AttrSet, Family)>>(),
+        );
+        for s in u.all_subsets() {
+            assert_eq!(zeroed_at(&c, s), union.contains(&s), "mismatch at {s:?}");
+        }
+        assert_eq!(zeroed_count(&u, &c), union.len());
+    }
+
+    #[test]
+    fn alive_table_complements_the_lattice_union() {
+        let u = Universe::of_size(5);
+        let c = parse(&u, &["A -> {B}", "BC -> {D}", "E -> {A, B}"]);
+        let table = alive_table(&u, &c);
+        assert_eq!(table.len(), 32);
+        for (mask, &alive) in table.iter().enumerate() {
+            assert_eq!(alive, !zeroed_at(&c, AttrSet::from_bits(mask as u64)));
+        }
+        assert_eq!(table.iter().filter(|&&a| !a).count(), zeroed_count(&u, &c));
+    }
+
+    #[test]
+    fn alive_supersets_filters_the_zeta_row() {
+        let u = Universe::of_size(3);
+        let c = parse(&u, &["A -> {B}"]);
+        // L(A, {B}) = {A, AC}: f(A)'s surviving terms are AB and ABC.
+        let alive = alive_supersets(&u, &c, u.parse_set("A").unwrap());
+        assert_eq!(
+            alive,
+            vec![u.parse_set("AB").unwrap(), u.parse_set("ABC").unwrap()]
+        );
+    }
+
+    #[test]
+    fn empty_constraint_set_kills_nothing() {
+        let u = Universe::of_size(4);
+        assert_eq!(zeroed_count(&u, &[]), 0);
+        assert!(alive_table(&u, &[]).iter().all(|&a| a));
+        assert_eq!(alive_supersets(&u, &[], AttrSet::EMPTY).len(), 1 << u.len());
+    }
+
+    #[test]
+    fn trivial_constraints_kill_nothing() {
+        let u = Universe::of_size(3);
+        let c = parse(&u, &["AB -> {B}"]);
+        assert_eq!(zeroed_count(&u, &c), 0);
+    }
+}

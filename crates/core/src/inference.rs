@@ -18,7 +18,7 @@
 //!
 //! A [`Derivation`] is an explicit proof tree over these rules (plus premise
 //! leaves); [`Derivation::verify`] re-checks every side condition, so a
-//! derivation is independent evidence of implication.  [`derive`] implements
+//! derivation is independent evidence of implication.  [`derive()`] implements
 //! the *completeness* direction constructively (Theorem 4.8): whenever
 //! `C ⊨ X → 𝒴` it produces a derivation of `X → 𝒴` from `C` using only the four
 //! primitive rules, by recursing along the decomposition identity of

@@ -20,6 +20,9 @@
 //!   rules of Figure 2 as tactics ([`inference`], [`derived_rules`]);
 //! * witness and atomic decompositions of constraints (Definition 4.4,
 //!   [`decompose`]);
+//! * density-decomposition helpers — which density variables a constraint set
+//!   forces to zero, and what survives of each zeta row — the substrate of the
+//!   `diffcon-bounds` interval-derivation engine ([`density`]);
 //! * the bridges to frequent-itemset mining ([`fis_bridge`], Section 6) and to
 //!   relational dependencies ([`rel_bridge`], Section 7);
 //! * the polynomial-time fragment with single-member right-hand sides,
@@ -57,6 +60,7 @@
 pub mod constraint;
 pub mod counterexample;
 pub mod decompose;
+pub mod density;
 pub mod derived_rules;
 pub mod fd_fragment;
 pub mod fis_bridge;

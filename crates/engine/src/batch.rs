@@ -1,6 +1,6 @@
 //! Batch evaluation: decide many goals against one premise set, in parallel.
 //!
-//! This module is the stateless core the [`Session`](crate::session::Session)
+//! This module is the stateless core the [`crate::session::Session`]
 //! dispatches to.  A session snapshots its premise set (plus the memoized
 //! propositional translations and any cached goal lattices), plans one
 //! [`Job`] per goal, and hands the whole batch to [`decide_many`], which

@@ -6,10 +6,11 @@
 //!
 //! ```text
 //! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
-//!                 [--lattice-budget N] [--help]
+//!                 [--bound-cache N] [--lattice-budget N] [--bound-budget N]
+//!                 [--help]
 //! ```
 
-use diffcon_engine::{PlannerConfig, Server, SessionConfig};
+use diffcon_engine::{Server, SessionConfig};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -17,16 +18,20 @@ diffcond — differential-constraint implication server
 
 Reads one request per line from stdin, writes one response per line to stdout.
 Start with `universe <n>` (or `universe <name>...`), then `assert`, `implies`,
-`batch`, `witness`, `derive`, `premises`, `stats`, `reset`, `help`, `quit`.
+`batch`, `witness`, `derive`, `known`, `forget`, `bound`, `premises`,
+`stats`, `reset`, `help`, `quit`.
 
 Options:
   --answer-cache N    bound on memoized query answers     (default 65536)
   --lattice-cache N   bound on memoized goal lattices     (default 4096)
   --prop-cache N      bound on memoized translations      (default 4096)
+  --bound-cache N     bound on memoized bound intervals   (default 4096)
   --intern-limit N    distinct constraints kept before the intern table is
                       compacted                           (default 262144)
   --lattice-budget N  max lattice-procedure cost before a query is routed
                       to the SAT procedure                (default 4194304)
+  --bound-budget N    max bound-derivation cost before a bound query is
+                      routed to the sound relaxation      (default 67108864)
   --help              print this text";
 
 fn parse_args() -> Result<SessionConfig, String> {
@@ -40,8 +45,8 @@ fn parse_args() -> Result<SessionConfig, String> {
                 let _ = writeln!(std::io::stdout(), "{USAGE}");
                 std::process::exit(0);
             }
-            "--answer-cache" | "--lattice-cache" | "--prop-cache" | "--intern-limit"
-            | "--lattice-budget" => {
+            "--answer-cache" | "--lattice-cache" | "--prop-cache" | "--bound-cache"
+            | "--intern-limit" | "--lattice-budget" | "--bound-budget" => {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("{flag} expects a number"))?;
@@ -56,8 +61,10 @@ fn parse_args() -> Result<SessionConfig, String> {
                     "--answer-cache" => config.answer_cache_capacity = as_capacity(n)?,
                     "--lattice-cache" => config.lattice_cache_capacity = as_capacity(n)?,
                     "--prop-cache" => config.prop_cache_capacity = as_capacity(n)?,
+                    "--bound-cache" => config.bound_cache_capacity = as_capacity(n)?,
                     "--intern-limit" => config.interner_compaction_threshold = as_capacity(n)?,
-                    _ => config.planner = PlannerConfig { lattice_budget: n },
+                    "--lattice-budget" => config.planner.lattice_budget = n,
+                    _ => config.planner.bound_budget = n,
                 }
             }
             other => return Err(format!("unknown option `{other}` (try --help)")),

@@ -25,6 +25,15 @@
 //!   Theorem 3.5 lattice check while its `2^{|S|−|X|}` enumeration bound
 //!   fits a budget, and the Section 5 SAT translation past it — recording
 //!   per-procedure query counts, cache hits, and latency.
+//! * **Bound queries** ([`session::Session::bound`]) — a second query class
+//!   served by the `diffcon-bounds` interval engine: sessions hold a sparse
+//!   map of known point values `f(X) = v`
+//!   ([`session::Session::set_known`] /
+//!   [`session::Session::forget_known`], versioned by a
+//!   knowns digest exactly like the premise digest versions implication
+//!   answers), and `bound` derives the tightest provable interval for
+//!   `f(Y)` under the asserted constraints, routed cached-exact →
+//!   propagation → budget-relaxed.
 //!
 //! The [`protocol`] module defines the line-oriented request/response
 //! protocol (grammar in its module docs) served by the `diffcond` binary:
@@ -73,6 +82,6 @@ pub mod session;
 
 pub use cache::{CacheStats, LruCache};
 pub use intern::{ConstraintId, ConstraintInterner};
-pub use planner::{Planner, PlannerConfig, PlannerStats};
+pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server};
-pub use session::{QueryOutcome, Session, SessionConfig, SessionStats};
+pub use session::{BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};

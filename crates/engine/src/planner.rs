@@ -15,6 +15,14 @@
 //!    DPLL, whose cost tracks the refutation search rather than
 //!    `2^{|S|−|X|}`.
 //!
+//! **Bound queries** (`f(Y) ∈ [lo, hi]`, served by the `diffcon-bounds`
+//! crate) are a second query class with their own routing ladder:
+//! cached-exact answers are served by the session before the planner is
+//! consulted; otherwise the full propagation path runs while its
+//! [`diffcon_bounds::problem::propagation_cost_bound`] fits
+//! [`PlannerConfig::bound_budget`]; past the budget the sound relaxation
+//! answers.
+//!
 //! Every decision is recorded per procedure (query count, answer-cache hits,
 //! cumulative and maximum latency), so a long-running `diffcond` process can
 //! report where its time goes and operators can tune
@@ -22,7 +30,9 @@
 
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon::DiffConstraint;
-use setlat::Universe;
+use diffcon_bounds::problem::{fits_budget, propagation_cost_bound, BoundsConfig};
+use diffcon_bounds::DeriveRoute;
+use setlat::{AttrSet, Universe};
 use std::time::Duration;
 
 /// Tuning knobs for procedure routing.
@@ -32,6 +42,10 @@ pub struct PlannerConfig {
     /// [`diffcon::procedure::lattice_cost_bound`]) before a query is routed
     /// to the SAT procedure instead.
     pub lattice_budget: u128,
+    /// Maximum bound-derivation cost bound before a `bound` query is routed
+    /// to the enumeration-free relaxation instead of the full propagation
+    /// path.
+    pub bound_budget: u128,
 }
 
 impl Default for PlannerConfig {
@@ -40,6 +54,9 @@ impl Default for PlannerConfig {
             // 2^22 word-ops is tens of milliseconds in the worst case; past
             // that the DPLL refutation usually wins on refutable instances.
             lattice_budget: 1 << 22,
+            // The propagation path is O(2^{|S|}) per pass; 2^26 keeps its
+            // worst case in the same tens-of-milliseconds envelope.
+            bound_budget: 1 << 26,
         }
     }
 }
@@ -69,6 +86,28 @@ impl ProcedureStats {
     }
 }
 
+/// Accumulated figures for the bound-query class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundStats {
+    /// Bound queries decided by the full propagation path.
+    pub propagation: u64,
+    /// Bound queries decided by the enumeration-free relaxation.
+    pub relaxed: u64,
+    /// Bound queries served from the bound cache.
+    pub cache_hits: u64,
+    /// Total time spent deriving bounds (cache hits excluded).
+    pub total_time: Duration,
+    /// Largest single-derivation time.
+    pub max_time: Duration,
+}
+
+impl BoundStats {
+    /// Bound queries seen (decided + cached).
+    pub fn total(&self) -> u64 {
+        self.propagation + self.relaxed + self.cache_hits
+    }
+}
+
 /// A snapshot of every procedure's counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PlannerStats {
@@ -77,6 +116,9 @@ pub struct PlannerStats {
     pub per_procedure: [ProcedureStats; 4],
     /// Goals answered inline because they were trivial.
     pub trivial: u64,
+    /// Bound-query accounting (a separate query class;
+    /// [`PlannerStats::total_queries`] counts implication queries only).
+    pub bounds: BoundStats,
 }
 
 impl PlannerStats {
@@ -161,6 +203,44 @@ impl Planner {
         self.stats.per_procedure[proc_index(kind)].cache_hits += 1;
     }
 
+    /// Picks the derivation route for a `bound` query: the full propagation
+    /// path while its cost bound fits [`PlannerConfig::bound_budget`], the
+    /// sound relaxation past it.  (Cache hits are served by the session
+    /// before the planner is consulted.)
+    pub fn choose_bound(
+        &self,
+        universe: &Universe,
+        n_constraints: usize,
+        n_knowns: usize,
+        query: AttrSet,
+        config: &BoundsConfig,
+    ) -> DeriveRoute {
+        let cost = propagation_cost_bound(universe, n_constraints, n_knowns, query, config);
+        if fits_budget(cost, self.config.bound_budget) {
+            DeriveRoute::Propagation
+        } else {
+            DeriveRoute::Relaxed
+        }
+    }
+
+    /// Records a bound query decided over `route`.
+    pub fn record_bound_decided(&mut self, route: DeriveRoute, elapsed: Duration) {
+        let b = &mut self.stats.bounds;
+        match route {
+            DeriveRoute::Propagation => b.propagation += 1,
+            DeriveRoute::Relaxed => b.relaxed += 1,
+        }
+        b.total_time += elapsed;
+        if elapsed > b.max_time {
+            b.max_time = elapsed;
+        }
+    }
+
+    /// Records a bound query served from the bound cache.
+    pub fn record_bound_cache_hit(&mut self) {
+        self.stats.bounds.cache_hits += 1;
+    }
+
     /// Records a goal answered inline as trivial.
     pub fn record_trivial(&mut self) {
         self.stats.trivial += 1;
@@ -212,6 +292,7 @@ mod tests {
         let u = Universe::of_size(40);
         let planner = Planner::new(PlannerConfig {
             lattice_budget: 1 << 20,
+            ..PlannerConfig::default()
         });
         let premises = vec![DiffConstraint::new(
             AttrSet::singleton(0),
@@ -253,5 +334,58 @@ mod tests {
         assert_eq!(stats.trivial, 1);
         assert_eq!(stats.total_queries(), 5);
         assert_eq!(stats.of(ProcedureKind::FdFragment).decided, 0);
+    }
+
+    #[test]
+    fn bound_routing_respects_the_budget() {
+        let planner = Planner::new(PlannerConfig::default());
+        let config = BoundsConfig::default();
+        let small = Universe::of_size(8);
+        assert_eq!(
+            planner.choose_bound(&small, 3, 5, AttrSet::from_indices([0, 1]), &config),
+            DeriveRoute::Propagation
+        );
+        // Past the propagation universe cap the cost bound saturates.
+        let huge = Universe::of_size(30);
+        assert_eq!(
+            planner.choose_bound(&huge, 0, 0, AttrSet::singleton(0), &config),
+            DeriveRoute::Relaxed
+        );
+        // A tiny budget forces the relaxation even on small universes.
+        let strict = Planner::new(PlannerConfig {
+            bound_budget: 1,
+            ..PlannerConfig::default()
+        });
+        assert_eq!(
+            strict.choose_bound(&small, 3, 5, AttrSet::from_indices([0, 1]), &config),
+            DeriveRoute::Relaxed
+        );
+        // …and a maximal budget must not defeat the universe-cap sentinel
+        // (the propagation path would panic, not answer).
+        let unbounded = Planner::new(PlannerConfig {
+            bound_budget: u128::MAX,
+            ..PlannerConfig::default()
+        });
+        assert_eq!(
+            unbounded.choose_bound(&huge, 0, 0, AttrSet::singleton(0), &config),
+            DeriveRoute::Relaxed
+        );
+    }
+
+    #[test]
+    fn bound_accounting_accumulates() {
+        let mut planner = Planner::new(PlannerConfig::default());
+        planner.record_bound_decided(DeriveRoute::Propagation, Duration::from_micros(40));
+        planner.record_bound_decided(DeriveRoute::Relaxed, Duration::from_micros(5));
+        planner.record_bound_cache_hit();
+        let b = planner.stats().bounds;
+        assert_eq!(b.propagation, 1);
+        assert_eq!(b.relaxed, 1);
+        assert_eq!(b.cache_hits, 1);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.total_time, Duration::from_micros(45));
+        assert_eq!(b.max_time, Duration::from_micros(40));
+        // Bound queries are a separate class from implication queries.
+        assert_eq!(planner.stats().total_queries(), 0);
     }
 }

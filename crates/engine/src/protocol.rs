@@ -12,12 +12,18 @@
 //!              |                                 decide many goals in parallel
 //!              | "witness" constraint            refutation witness, if any
 //!              | "derive" constraint             Figure 1 proof, if implied
+//!              | "known" SET ["="] VALUE         record f(SET) = VALUE
+//!              | "forget" SET                    drop a recorded value
+//!              | "bound" SET                     derive [lo, hi] for f(SET)
 //!              | "premises"                      list the premise set
+//!              | "knowns"                        list the recorded values
 //!              | "stats"                         engine statistics
-//!              | "reset"                         drop premises and caches
+//!              | "reset"                         drop premises, knowns, caches
 //!              | "help"                          this summary
 //!              | "quit"                          end the session
 //! constraint ::= the diffcon textual syntax, e.g. "A -> {B, CD}"
+//! SET        ::= attribute names, e.g. "AB" ("{}" for the empty set)
+//! VALUE      ::= a finite decimal number
 //! ```
 //!
 //! Blank lines and lines starting with `#` are ignored (empty response).
@@ -30,28 +36,41 @@
 //!            | "results" "n=" NUMBER (y|n)*      batch, index-aligned
 //!            | "witness" ("none" | "set=" SET)
 //!            | "proof" field* | "unprovable"
+//!            | "bound" "lo=" BOUNDVAL "hi=" BOUNDVAL field*
+//!            |                                  interval response form
 //!            | "premises" "n=" NUMBER constraint*
+//!            | "knowns" "n=" NUMBER (SET "=" VALUE)*
 //!            | "stats" field*
 //!            | "bye"
 //!            | "err" message
 //! field    ::= KEY "=" VALUE                     e.g. route=lattice us=12
+//! BOUNDVAL ::= NUMBER | "inf" | "-inf"           interval endpoints
 //! ```
 //!
 //! `implies` responses carry `route` (`trivial`, `fd`, `lattice`, `sat` —
 //! the routes the planner can select), `cached` (`0`/`1`), and `us` (decision
-//! latency in microseconds).  `stats` reports one `<route>=<decided>/<cache
-//! hits>c/<total µs>us` field per procedure that has served at least one
-//! query.
+//! latency in microseconds).  `bound` responses carry `lo`/`hi` (the derived
+//! interval, `exact=1` when it is a single point), `route` (`cached`,
+//! `propagation`, `relaxed` — the bound-query routing ladder), `cached`, and
+//! `us`; state the derivation recognizes as contradictory answers
+//! `err infeasible: …` instead (the propagation route detects every
+//! contradiction it enumerates; the relaxed route's detection is
+//! best-effort — only contradictions involving the query set).  `stats`
+//! reports one `<route>=<decided>/<cache hits>c/<total µs>us` field per
+//! procedure that has served at least one query, plus a
+//! `bound=<propagation>p/<relaxed>r/<cache hits>c/<total µs>us` field once
+//! bound queries have been served.
 //! Constraints in responses are printed in the compact parseable form
 //! `A->{B,CD}`, so a client can feed them straight back into requests.
 
 use crate::session::{Session, SessionConfig};
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon::DiffConstraint;
-use setlat::Universe;
+use diffcon_bounds::Interval;
+use setlat::{AttrSet, Universe};
 
 /// A parsed request line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// `universe 4` or `universe A B C D`.
     Universe(UniverseSpec),
@@ -67,8 +86,16 @@ pub enum Request {
     Witness(String),
     /// `derive <constraint>`.
     Derive(String),
+    /// `known <set> = <value>` (the `=` is optional).
+    Known(String, f64),
+    /// `forget <set>`.
+    Forget(String),
+    /// `bound <set>`.
+    Bound(String),
     /// `premises`.
     Premises,
+    /// `knowns`.
+    Knowns,
     /// `stats`.
     Stats,
     /// `reset`.
@@ -125,6 +152,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "implies" => Ok(Request::Implies(need("implies", rest)?)),
         "witness" => Ok(Request::Witness(need("witness", rest)?)),
         "derive" => Ok(Request::Derive(need("derive", rest)?)),
+        "known" => {
+            // `known AB = 40` or `known AB 40`.
+            let mut parts = rest.split_whitespace().filter(|p| *p != "=");
+            let (set, value) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(set), Some(value), None) => (set, value),
+                _ => return Err("known expects `<set> = <value>`".into()),
+            };
+            let value: f64 = value
+                .parse()
+                .map_err(|_| format!("known expects a numeric value, got `{value}`"))?;
+            if !value.is_finite() {
+                return Err("known values must be finite".into());
+            }
+            Ok(Request::Known(set.to_string(), value))
+        }
+        "forget" => Ok(Request::Forget(need("forget", rest)?)),
+        "bound" => Ok(Request::Bound(need("bound", rest)?)),
         "batch" => {
             let goals: Vec<String> = rest
                 .split(';')
@@ -139,6 +183,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
         }
         "premises" => Ok(Request::Premises),
+        "knowns" => Ok(Request::Knowns),
         "stats" => Ok(Request::Stats),
         "reset" => Ok(Request::Reset),
         "help" => Ok(Request::Help),
@@ -218,7 +263,7 @@ impl Server {
         match request {
             Request::Empty => Reply::line(""),
             Request::Help => Reply::line(
-                "ok commands: universe assert retract implies batch witness derive premises stats reset help quit",
+                "ok commands: universe assert retract implies batch witness derive known forget bound premises knowns stats reset help quit",
             ),
             Request::Quit => Reply {
                 text: "bye".into(),
@@ -275,6 +320,50 @@ impl Server {
                 }
                 Reply::line(text)
             }),
+            Request::Knowns => self.with_session(|session| {
+                let universe = session.universe();
+                let mut text = format!("knowns n={}", session.knowns().len());
+                for &(set, value) in session.knowns() {
+                    text.push(' ');
+                    text.push_str(&format!(
+                        "{}={}",
+                        universe.format_set(set),
+                        Interval::format_endpoint(value)
+                    ));
+                }
+                Reply::line(text)
+            }),
+            Request::Known(set_text, value) => self.with_set(&set_text, |session, set| {
+                let added = session.set_known(set, value);
+                Reply::line(format!(
+                    "ok known set={} value={} added={} knowns={}",
+                    session.universe().format_set(set),
+                    Interval::format_endpoint(value),
+                    added as u8,
+                    session.knowns().len()
+                ))
+            }),
+            Request::Forget(set_text) => self.with_set(&set_text, |session, set| {
+                if session.forget_known(set) {
+                    Reply::line(format!("ok forget knowns={}", session.knowns().len()))
+                } else {
+                    Reply::err("set has no known value")
+                }
+            }),
+            Request::Bound(set_text) => self.with_set(&set_text, |session, set| {
+                match session.bound(set) {
+                    Ok(outcome) => Reply::line(format!(
+                        "bound lo={} hi={} exact={} route={} cached={} us={}",
+                        Interval::format_endpoint(outcome.interval.lo),
+                        Interval::format_endpoint(outcome.interval.hi),
+                        outcome.interval.is_exact() as u8,
+                        outcome.route_name(),
+                        outcome.cached as u8,
+                        outcome.elapsed.as_micros()
+                    )),
+                    Err(e) => Reply::err(format!("infeasible: {e}")),
+                }
+            }),
             Request::Stats => self.with_session(|session| {
                 let stats = session.stats();
                 let mut text = format!(
@@ -297,6 +386,16 @@ impl Server {
                         p.total_time.as_micros()
                     ));
                 }
+                let bounds = stats.planner.bounds;
+                if bounds.total() > 0 {
+                    text.push_str(&format!(
+                        " bound={}p/{}r/{}c/{}us",
+                        bounds.propagation,
+                        bounds.relaxed,
+                        bounds.cache_hits,
+                        bounds.total_time.as_micros()
+                    ));
+                }
                 text.push_str(&format!(
                     " answer_cache=h{}/m{}/e{} lattice_cache=h{}/m{}/e{} prop_cache=h{}/m{}/e{} premises={} interned={}",
                     stats.answer_cache.hits,
@@ -311,6 +410,9 @@ impl Server {
                     stats.premises,
                     stats.interned,
                 ));
+                if stats.knowns > 0 {
+                    text.push_str(&format!(" knowns={}", stats.knowns));
+                }
                 if stats.interner_compactions > 0 {
                     text.push_str(&format!(" compactions={}", stats.interner_compactions));
                 }
@@ -399,6 +501,13 @@ impl Server {
                 Err(e) => Reply::err(e.to_string()),
             },
         )
+    }
+
+    fn with_set(&mut self, text: &str, f: impl FnOnce(&mut Session, AttrSet) -> Reply) -> Reply {
+        self.with_session(|session| match session.universe().parse_set(text) {
+            Ok(set) => f(session, set),
+            Err(e) => Reply::err(e.to_string()),
+        })
     }
 }
 
@@ -521,6 +630,111 @@ mod tests {
             let back = DiffConstraint::parse(&wire, &u).unwrap();
             assert_eq!(c, back, "round-trip failed for {wire}");
         }
+    }
+
+    #[test]
+    fn bound_conversation() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        assert_eq!(
+            s.handle_line("assert A -> {B}").text,
+            "ok assert id=0 added=1 premises=1"
+        );
+        assert_eq!(
+            s.handle_line("known A = 40").text,
+            "ok known set=A value=40 added=1 knowns=1"
+        );
+        // The constraint kills every density term separating AB from A, so
+        // the single known value pins the unobserved superset exactly.
+        let reply = s.handle_line("bound AB").text;
+        assert!(
+            reply.starts_with("bound lo=40 hi=40 exact=1 route=propagation cached=0"),
+            "got: {reply}"
+        );
+        // Second ask is served from the bound cache.
+        let reply = s.handle_line("bound AB").text;
+        assert!(reply.contains("route=cached cached=1"), "got: {reply}");
+        // Without the premise the same state only yields the sandwich.
+        s.handle_line("retract A -> {B}");
+        let reply = s.handle_line("bound AB").text;
+        assert!(
+            reply.starts_with("bound lo=0 hi=40 exact=0 route=propagation"),
+            "got: {reply}"
+        );
+        // An unknown, unconstrained set is only floored by nonnegativity.
+        let reply = s.handle_line("bound CD").text;
+        assert!(
+            reply.starts_with("bound lo=0 hi=inf exact=0"),
+            "got: {reply}"
+        );
+        assert_eq!(s.handle_line("knowns").text, "knowns n=1 A=40");
+        // The `=` in `known` is optional; replacement reports added=0.
+        assert_eq!(
+            s.handle_line("known A 41.5").text,
+            "ok known set=A value=41.5 added=0 knowns=1"
+        );
+        assert_eq!(s.handle_line("forget A").text, "ok forget knowns=0");
+        assert!(s.handle_line("forget A").text.starts_with("err set has no"));
+        let stats = s.handle_line("stats").text;
+        assert!(stats.contains(" bound="), "got: {stats}");
+        // The empty set is addressable as {}.
+        assert_eq!(
+            s.handle_line("known {} = 100").text,
+            "ok known set=∅ value=100 added=1 knowns=1"
+        );
+        let reply = s.handle_line("bound A").text;
+        assert!(reply.starts_with("bound lo=0 hi=100"), "got: {reply}");
+    }
+
+    #[test]
+    fn bound_infeasibility_is_an_error_not_fatal() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        s.handle_line("known A = 3");
+        s.handle_line("known AB = 9");
+        assert!(s
+            .handle_line("bound ABC")
+            .text
+            .starts_with("err infeasible:"));
+        // The session survives; repairing the knowns answers the query.
+        s.handle_line("known AB = 2");
+        assert!(s
+            .handle_line("bound ABC")
+            .text
+            .starts_with("bound lo=0 hi=2"));
+    }
+
+    #[test]
+    fn known_parse_errors() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        assert!(s
+            .handle_line("known A")
+            .text
+            .starts_with("err known expects"));
+        assert!(s
+            .handle_line("known A = x")
+            .text
+            .starts_with("err known expects a numeric"));
+        assert!(s.handle_line("known A = inf").text.starts_with("err known"));
+        assert!(s.handle_line("known Z = 3").text.starts_with("err"));
+        assert!(s.handle_line("bound").text.starts_with("err"));
+        assert!(s.handle_line("bound Z").text.starts_with("err"));
+        // No session yet → the usual error.
+        let mut fresh = server();
+        assert!(fresh
+            .handle_line("bound A")
+            .text
+            .starts_with("err no session"));
+    }
+
+    #[test]
+    fn reset_drops_knowns() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        s.handle_line("known A = 4");
+        assert_eq!(s.handle_line("reset").text, "ok reset");
+        assert_eq!(s.handle_line("knowns").text, "knowns n=0");
     }
 
     #[test]

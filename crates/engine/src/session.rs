@@ -19,8 +19,8 @@
 //! * a [`Planner`] that routes each query to the cheapest sound procedure
 //!   and keeps per-procedure latency accounting.
 //!
-//! Queries come in two shapes: [`implies`](Session::implies) for one goal,
-//! and [`implies_batch`](Session::implies_batch), which plans every goal
+//! Queries come in two shapes: [`Session::implies`] for one goal,
+//! and [`Session::implies_batch`], which plans every goal
 //! serially (interning, cache lookups), fans the misses out across the rayon
 //! pool through [`crate::batch`], then writes freshly derived data back into
 //! the caches — so cache mutation stays on the serial side and workers share
@@ -33,11 +33,14 @@ use crate::planner::{Planner, PlannerConfig, PlannerStats};
 use diffcon::inference::{self, Derivation};
 use diffcon::procedure::ProcedureKind;
 use diffcon::{fd_fragment, implication, prop_bridge, DiffConstraint};
+use diffcon_bounds::derive::{derive_propagated, derive_relaxed};
+use diffcon_bounds::problem::{BoundsConfig, BoundsProblem, DeriveError, DeriveRoute};
+use diffcon_bounds::{Interval, SideConditions};
 use proplogic::implication::ImplicationConstraint;
 use relational::fd::FunctionalDependency;
 use setlat::{AttrSet, Universe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Capacity and planner settings for a session.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +51,18 @@ pub struct SessionConfig {
     pub lattice_cache_capacity: usize,
     /// Bound on memoized propositional translations.
     pub prop_cache_capacity: usize,
+    /// Bound on memoized bound-query intervals.
+    pub bound_cache_capacity: usize,
+    /// Side conditions under which `bound` queries interpret the unknown set
+    /// function (the default is the support-function interpretation —
+    /// nonnegative density — matching the `known <set> = <support>` verbs of
+    /// the wire protocol).
+    pub bound_side: SideConditions,
+    /// Derivation knobs for the bound engine (propagation rounds, pairwise
+    /// pass); routing between the full path and the relaxation is governed
+    /// by [`PlannerConfig::bound_budget`], not by
+    /// [`BoundsConfig::budget_ops`].
+    pub bounds: BoundsConfig,
     /// Distinct-constraint count past which the interner is compacted.
     ///
     /// The interner is append-only, so a long-lived session serving
@@ -73,6 +88,9 @@ impl Default for SessionConfig {
             answer_cache_capacity: 1 << 16,
             lattice_cache_capacity: 1 << 12,
             prop_cache_capacity: 1 << 12,
+            bound_cache_capacity: 1 << 12,
+            bound_side: SideConditions::support(),
+            bounds: BoundsConfig::default(),
             interner_compaction_threshold: 1 << 18,
             planner: PlannerConfig::default(),
         }
@@ -106,6 +124,32 @@ impl QueryOutcome {
     }
 }
 
+/// How one bound query was answered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundOutcome {
+    /// The sound interval containing `f(query)`.
+    pub interval: Interval,
+    /// The derivation route that produced (or originally produced, for
+    /// cached answers) the interval.
+    pub route: DeriveRoute,
+    /// Whether the answer came from the bound cache.
+    pub cached: bool,
+    /// Wall-clock derivation time (≈ 0 for cache hits).
+    pub elapsed: Duration,
+}
+
+impl BoundOutcome {
+    /// Short name of the answering path for reports and the wire protocol:
+    /// `cached`, `propagation`, or `relaxed`.
+    pub fn route_name(&self) -> &'static str {
+        if self.cached {
+            "cached"
+        } else {
+            self.route.name()
+        }
+    }
+}
+
 /// A point-in-time view of a session's accumulated statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionStats {
@@ -117,6 +161,10 @@ pub struct SessionStats {
     pub lattice_cache: CacheStats,
     /// Translation-cache counters.
     pub prop_cache: CacheStats,
+    /// Bound-cache counters.
+    pub bound_cache: CacheStats,
+    /// Current number of known point values.
+    pub knowns: usize,
     /// Current number of premises.
     pub premises: usize,
     /// Distinct constraints currently interned.
@@ -140,9 +188,20 @@ pub struct Session {
     fd_index: Option<Vec<FunctionalDependency>>,
     /// XOR of the premise fingerprints; versions the answer cache.
     premise_digest: u64,
+    /// Known point values `f(X) = v`, sorted by set, for `bound` queries.
+    knowns: Vec<(AttrSet, f64)>,
+    /// XOR of the known-entry fingerprints; versions the bound cache
+    /// together with the premise digest.
+    knowns_digest: u64,
+    bound_side: SideConditions,
+    bounds_config: BoundsConfig,
     answer_cache: LruCache<(u64, ConstraintId), (bool, ProcedureKind)>,
     lattice_cache: LruCache<ConstraintId, Arc<[AttrSet]>>,
     prop_cache: LruCache<ConstraintId, Arc<ImplicationConstraint>>,
+    /// Derived intervals, keyed by (premise digest, knowns digest, query):
+    /// retracting a premise or forgetting a value instantly invalidates, and
+    /// restoring the state instantly revalidates.
+    bound_cache: LruCache<(u64, u64, AttrSet), (Interval, DeriveRoute)>,
     interner_compaction_threshold: usize,
     interner_compactions: u64,
     planner: Planner,
@@ -164,9 +223,14 @@ impl Session {
             premise_props: Vec::new(),
             fd_index: Some(Vec::new()),
             premise_digest: 0,
+            knowns: Vec::new(),
+            knowns_digest: 0,
+            bound_side: config.bound_side,
+            bounds_config: config.bounds,
             answer_cache: LruCache::new(config.answer_cache_capacity),
             lattice_cache: LruCache::new(config.lattice_cache_capacity),
             prop_cache: LruCache::new(config.prop_cache_capacity),
+            bound_cache: LruCache::new(config.bound_cache_capacity),
             interner_compaction_threshold: config.interner_compaction_threshold.max(1),
             interner_compactions: 0,
             planner: Planner::new(config.planner),
@@ -183,7 +247,7 @@ impl Session {
         &self.premises
     }
 
-    /// The premise ids aligned with [`premises`](Session::premises).
+    /// The premise ids aligned with [`Session::premises`].
     pub fn premise_ids(&self) -> &[ConstraintId] {
         &self.premise_ids
     }
@@ -191,6 +255,115 @@ impl Session {
     /// The order-independent digest of the current premise set.
     pub fn premise_digest(&self) -> u64 {
         self.premise_digest
+    }
+
+    /// The known point values `f(X) = v`, sorted by set.
+    pub fn knowns(&self) -> &[(AttrSet, f64)] {
+        &self.knowns
+    }
+
+    /// The order-independent digest of the known-value map.
+    pub fn knowns_digest(&self) -> u64 {
+        self.knowns_digest
+    }
+
+    /// Stable fingerprint of one known entry; XORed into the knowns digest.
+    fn known_fingerprint(set: AttrSet, value: f64) -> u64 {
+        set.fingerprint().rotate_left(17) ^ value.to_bits().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Records `f(set) = value` for bound derivation.  Returns `true` when
+    /// the set was new, `false` when an existing value was replaced.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite or `set` lies outside the universe.
+    pub fn set_known(&mut self, set: AttrSet, value: f64) -> bool {
+        assert!(value.is_finite(), "known values must be finite");
+        assert!(
+            set.is_subset(self.universe.full_set()),
+            "known set lies outside the universe"
+        );
+        match self.knowns.binary_search_by(|(x, _)| x.cmp(&set)) {
+            Ok(pos) => {
+                let old = self.knowns[pos].1;
+                self.knowns_digest ^= Session::known_fingerprint(set, old);
+                self.knowns_digest ^= Session::known_fingerprint(set, value);
+                self.knowns[pos].1 = value;
+                false
+            }
+            Err(pos) => {
+                self.knowns.insert(pos, (set, value));
+                self.knowns_digest ^= Session::known_fingerprint(set, value);
+                true
+            }
+        }
+    }
+
+    /// Forgets a known point value.  Returns `false` when it was not known.
+    pub fn forget_known(&mut self, set: AttrSet) -> bool {
+        match self.knowns.binary_search_by(|(x, _)| x.cmp(&set)) {
+            Ok(pos) => {
+                let (_, value) = self.knowns.remove(pos);
+                self.knowns_digest ^= Session::known_fingerprint(set, value);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Derives the tightest provable interval for `f(query)` under the
+    /// current premises, knowns, and side conditions, consulting and feeding
+    /// the bound cache (keyed on both state digests, so premise retraction
+    /// and value forgetting version answers exactly like
+    /// [`Session::implies`]).
+    ///
+    /// # Errors
+    /// [`DeriveError::Infeasible`] when the knowns contradict the premises
+    /// under the side conditions; infeasible outcomes are not cached.
+    pub fn bound(&mut self, query: AttrSet) -> Result<BoundOutcome, DeriveError> {
+        assert!(
+            query.is_subset(self.universe.full_set()),
+            "query set lies outside the universe"
+        );
+        let key = (self.premise_digest, self.knowns_digest, query);
+        if let Some(&(interval, route)) = self.bound_cache.get(&key) {
+            self.planner.record_bound_cache_hit();
+            return Ok(BoundOutcome {
+                interval,
+                route,
+                cached: true,
+                elapsed: Duration::ZERO,
+            });
+        }
+        let route = self.planner.choose_bound(
+            &self.universe,
+            self.premises.len(),
+            self.knowns.len(),
+            query,
+            &self.bounds_config,
+        );
+        let problem = BoundsProblem {
+            universe: &self.universe,
+            constraints: &self.premises,
+            knowns: &self.knowns,
+            side: self.bound_side,
+        };
+        let start = Instant::now();
+        let result = match route {
+            DeriveRoute::Propagation => derive_propagated(&problem, query, &self.bounds_config),
+            DeriveRoute::Relaxed => derive_relaxed(&problem, query),
+        };
+        let elapsed = start.elapsed();
+        self.planner.record_bound_decided(route, elapsed);
+        let derived = result?;
+        self.bound_cache
+            .insert(key, (derived.interval, derived.route));
+        Ok(BoundOutcome {
+            interval: derived.interval,
+            route: derived.route,
+            cached: false,
+            elapsed,
+        })
     }
 
     /// Adds a premise.  Returns its id and `true`, or its existing id and
@@ -330,7 +503,7 @@ impl Session {
     /// Cache lookups and write-backs run serially; the cache-missing goals
     /// are decided in parallel on the rayon pool.  The returned outcomes are
     /// index-aligned with `goals`, and identical to calling
-    /// [`implies`](Session::implies) goal-by-goal.
+    /// [`Session::implies`] goal-by-goal.
     pub fn implies_batch(&mut self, goals: &[DiffConstraint]) -> Vec<QueryOutcome> {
         // Compact only between batches: ids handed out below must stay valid
         // for the whole batch (one batch can overshoot the threshold by at
@@ -475,17 +648,21 @@ impl Session {
             answer_cache: self.answer_cache.stats(),
             lattice_cache: self.lattice_cache.stats(),
             prop_cache: self.prop_cache.stats(),
+            bound_cache: self.bound_cache.stats(),
+            knowns: self.knowns.len(),
             premises: self.premises.len(),
             interned: self.interner.len(),
             interner_compactions: self.interner_compactions,
         }
     }
 
-    /// Drops all cached answers and derived data (premises are kept).
+    /// Drops all cached answers and derived data (premises and knowns are
+    /// kept).
     pub fn clear_caches(&mut self) {
         self.answer_cache.clear();
         self.lattice_cache.clear();
         self.prop_cache.clear();
+        self.bound_cache.clear();
     }
 }
 
@@ -750,6 +927,94 @@ mod tests {
             "repeat query must stay cached, not be compacted away"
         );
         assert_eq!(s.stats().interner_compactions, 0);
+    }
+
+    #[test]
+    fn bound_queries_use_constraints_knowns_and_the_cache() {
+        let u = Universe::of_size(4);
+        let mut s = Session::new(u.clone());
+        let premise = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        s.assert_constraint(&premise);
+        assert!(s.set_known(u.parse_set("A").unwrap(), 40.0));
+        let ab = u.parse_set("AB").unwrap();
+        // The acceptance scenario: the constraint pins σ(AB) = σ(A).
+        let first = s.bound(ab).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.route, DeriveRoute::Propagation);
+        assert_eq!(first.route_name(), "propagation");
+        assert!(first.interval.is_exact());
+        assert_eq!(first.interval.lo, 40.0);
+        // Second ask is a cache hit with the same interval.
+        let second = s.bound(ab).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.route_name(), "cached");
+        assert_eq!(second.interval, first.interval);
+        let stats = s.stats();
+        assert_eq!(stats.planner.bounds.propagation, 1);
+        assert_eq!(stats.planner.bounds.cache_hits, 1);
+        assert_eq!(stats.knowns, 1);
+        // Retracting the premise widens the interval (and misses the cache);
+        // re-asserting revalidates the original cached answer.
+        assert!(s.retract_constraint(&premise));
+        let loose = s.bound(ab).unwrap();
+        assert!(!loose.cached);
+        assert_eq!(loose.interval.lo, 0.0);
+        assert_eq!(loose.interval.hi, 40.0);
+        s.assert_constraint(&premise);
+        assert!(s.bound(ab).unwrap().cached);
+        // Forgetting the known value widens again; re-knowing revalidates.
+        assert!(s.forget_known(u.parse_set("A").unwrap()));
+        let unknown = s.bound(ab).unwrap();
+        assert_eq!(unknown.interval.hi, f64::INFINITY);
+        s.set_known(u.parse_set("A").unwrap(), 40.0);
+        assert!(s.bound(ab).unwrap().cached);
+    }
+
+    #[test]
+    fn known_replacement_and_digest_restoration() {
+        let u = Universe::of_size(3);
+        let mut s = Session::new(u.clone());
+        let a = u.parse_set("A").unwrap();
+        let digest0 = s.knowns_digest();
+        assert!(s.set_known(a, 5.0));
+        let digest5 = s.knowns_digest();
+        assert!(!s.set_known(a, 7.0), "replacement is not an addition");
+        assert_eq!(s.knowns().len(), 1);
+        assert_ne!(s.knowns_digest(), digest5);
+        assert!(!s.set_known(a, 5.0));
+        assert_eq!(s.knowns_digest(), digest5, "digest must restore exactly");
+        assert!(s.forget_known(a));
+        assert_eq!(s.knowns_digest(), digest0);
+        assert!(!s.forget_known(a), "double forget reports absence");
+    }
+
+    #[test]
+    fn infeasible_knowns_surface_and_are_not_cached() {
+        let u = Universe::of_size(3);
+        let mut s = Session::new(u.clone());
+        s.set_known(u.parse_set("A").unwrap(), 3.0);
+        s.set_known(u.parse_set("AB").unwrap(), 9.0);
+        let q = u.parse_set("ABC").unwrap();
+        assert_eq!(s.bound(q), Err(DeriveError::Infeasible));
+        // Repairing the state makes the same query answerable.
+        s.set_known(u.parse_set("AB").unwrap(), 2.0);
+        let b = s.bound(q).unwrap();
+        assert!(!b.cached);
+        assert_eq!(b.interval.lo, 0.0);
+        assert_eq!(b.interval.hi, 2.0);
+    }
+
+    #[test]
+    fn oversized_universes_fall_back_to_the_relaxed_route() {
+        let u = Universe::of_size(26);
+        let mut s = Session::new(u.clone());
+        s.set_known(AttrSet::EMPTY, 100.0);
+        s.set_known(u.parse_set("ABCD").unwrap(), 30.0);
+        let b = s.bound(u.parse_set("AB").unwrap()).unwrap();
+        assert_eq!(b.route, DeriveRoute::Relaxed);
+        assert_eq!(b.interval.lo, 30.0);
+        assert_eq!(b.interval.hi, 100.0);
+        assert_eq!(s.stats().planner.bounds.relaxed, 1);
     }
 
     #[test]

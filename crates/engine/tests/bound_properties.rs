@@ -1,0 +1,140 @@
+//! Serving-layer property test for bound queries: interval soundness must
+//! survive the engine's statefulness — answer caching, premise retraction
+//! and re-assertion, value forgetting and replacement — on ≥ 1000 random
+//! instances.
+//!
+//! Every outcome is cross-checked two ways: against the true support of the
+//! underlying basket database (soundness) and against a fresh, cache-free
+//! session over the same state (cache transparency).
+
+use diffcon::DiffConstraint;
+use diffcon_engine::Session;
+use fis::basket::BasketDb;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use setlat::{AttrSet, Universe};
+
+/// Thin deterministic stream over the vendored [`StdRng`], one per seed.
+struct Rng(StdRng);
+
+impl Rng {
+    fn seeded(seed: u64) -> Rng {
+        Rng(StdRng::seed_from_u64(seed))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0.gen_range(0..u64::MAX)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// A session holding exactly the given premises and knowns, with no cache
+/// history.
+fn fresh_session(
+    universe: &Universe,
+    premises: &[DiffConstraint],
+    knowns: &[(AttrSet, f64)],
+) -> Session {
+    let mut s = Session::new(universe.clone());
+    for p in premises {
+        s.assert_constraint(p);
+    }
+    for &(x, v) in knowns {
+        s.set_known(x, v);
+    }
+    s
+}
+
+#[test]
+fn bound_soundness_survives_caching_and_retraction() {
+    let mut instances = 0u32;
+    for seed in 0..160u64 {
+        let mut rng = Rng::seeded(seed.wrapping_mul(0x5851_F42D_4C95_7F2D) ^ 0xB0C);
+        let n = 2 + (rng.below(4) as usize); // 2..=5 attributes
+        let universe = Universe::of_size(n);
+        let baskets = rng.below(14);
+        let db = BasketDb::from_baskets(
+            n,
+            (0..baskets).map(|_| AttrSet::from_bits(rng.below(1 << n))),
+        );
+        // Constraints satisfied by the database (no basket in L(c)).
+        let mut gen = diffcon::random::ConstraintGenerator::new(rng.next(), &universe);
+        let shape = diffcon::random::ConstraintShape::default();
+        let satisfied: Vec<DiffConstraint> = (0..30)
+            .map(|_| gen.constraint(&shape))
+            .filter(|c| !db.baskets().iter().any(|&b| c.lattice_contains(b)))
+            .take(3)
+            .collect();
+
+        let mut session = Session::new(universe.clone());
+        for c in &satisfied {
+            session.assert_constraint(c);
+        }
+
+        // Interleave mutations and queries; after every step the session
+        // must agree with a cache-free replica and contain the truth.
+        for _ in 0..8 {
+            match rng.below(5) {
+                // Record a true value.
+                0 => {
+                    let x = AttrSet::from_bits(rng.below(1 << n));
+                    session.set_known(x, db.support(x) as f64);
+                }
+                // Forget one.
+                1 => {
+                    if !session.knowns().is_empty() {
+                        let i = rng.below(session.knowns().len() as u64) as usize;
+                        let (x, _) = session.knowns()[i];
+                        assert!(session.forget_known(x));
+                    }
+                }
+                // Retract a premise.
+                2 => {
+                    if !session.premises().is_empty() {
+                        let i = rng.below(session.premises().len() as u64) as usize;
+                        let c = session.premises()[i].clone();
+                        assert!(session.retract_constraint(&c));
+                    }
+                }
+                // Re-assert a satisfied premise (a no-op when still held).
+                _ => {
+                    if !satisfied.is_empty() {
+                        let i = rng.below(satisfied.len() as u64) as usize;
+                        session.assert_constraint(&satisfied[i].clone());
+                    }
+                }
+            }
+            // Ask twice (the repeat exercises the bound cache) and replay
+            // against a fresh session.
+            let query = AttrSet::from_bits(rng.below(1 << n));
+            let truth = db.support(query) as f64;
+            let first = session
+                .bound(query)
+                .expect("true knowns + satisfied premises stay feasible");
+            let second = session.bound(query).expect("cached answers stay feasible");
+            assert!(second.cached, "repeat bound query must hit the cache");
+            assert_eq!(first.interval, second.interval);
+            assert!(
+                first.interval.contains(truth, 1e-9),
+                "seed {seed}: truth {truth} outside {} for {query:?}",
+                first.interval
+            );
+            let premises = session.premises().to_vec();
+            let knowns = session.knowns().to_vec();
+            let mut replica = fresh_session(&universe, &premises, &knowns);
+            let clean = replica.bound(query).expect("replica is feasible");
+            assert_eq!(
+                first.interval, clean.interval,
+                "seed {seed}: cached session diverged from cache-free replica on {query:?}"
+            );
+            instances += 1;
+        }
+    }
+    assert!(
+        instances >= 1000,
+        "property must cover ≥ 1000 instances, covered {instances}"
+    );
+}

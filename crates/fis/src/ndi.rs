@@ -85,10 +85,17 @@ pub fn deduction_bounds_with<F: FnMut(AttrSet) -> usize>(
             lower = lower.max(bound);
         }
     }
-    // Supports are nonnegative, and every itemset's support is bounded by the
-    // support of any of its subsets; the rules above already imply both, but
-    // clamp defensively for the degenerate single-rule cases.
+    // Supports are nonnegative, and every itemset's support is bounded by
+    // the support of any of its subsets.  The lower clamp is load-bearing in
+    // the degenerate single-rule cases (a singleton's only rule is an upper
+    // bound, leaving `lower` at i64::MIN).  The upper clamp is provably
+    // redundant — the X = I∖{i} rules above are exactly the monotonicity
+    // bounds — and stands purely as defense against future edits to the
+    // rule loop; it costs |I| extra oracle calls against the loop's ~3^|I|.
     lower = lower.max(0);
+    for i in itemset.iter() {
+        upper = upper.min(support_of(itemset.without(i)) as i64);
+    }
     SupportBounds { lower, upper }
 }
 
@@ -141,6 +148,121 @@ impl NdiRepresentation {
     /// Number of stored itemsets.
     pub fn size(&self) -> usize {
         self.itemsets.len()
+    }
+
+    /// Builds the representation levelwise, consulting `oracle` before every
+    /// support count: itemsets whose interval is already a single point are
+    /// *derived* instead of scanned, so a stronger oracle (e.g. the
+    /// constraint-aware engine in the `diffcon-bounds` crate) evaluates
+    /// strictly fewer candidate supports than exhaustive enumeration.
+    ///
+    /// The builder records every determined support (scanned or derived)
+    /// back into the oracle in ascending-size order, so by the time an
+    /// itemset is examined all of its proper subsets' supports are recorded.
+    /// With [`DeductionOracle`] the result equals [`NdiRepresentation::build`]
+    /// while scanning only the non-derivable itemsets.
+    ///
+    /// # Panics
+    /// Panics if the universe exceeds 20 items (same cap as
+    /// [`NdiRepresentation::build`]).
+    pub fn build_pruned(
+        db: &BasketDb,
+        kappa: usize,
+        oracle: &mut dyn BoundsOracle,
+    ) -> (Self, PruneStats) {
+        let n = db.universe_size();
+        assert!(
+            n <= 20,
+            "NDI enumeration over more than 20 items is infeasible"
+        );
+        let mut stats = PruneStats::default();
+        let mut itemsets = HashMap::new();
+        if db.len() >= kappa {
+            itemsets.insert(AttrSet::EMPTY, db.len());
+        }
+        oracle.record(AttrSet::EMPTY, db.len());
+        for size in 1..=n {
+            for itemset in powerset::subsets_of_size(n, size) {
+                stats.considered += 1;
+                let bounds = oracle.bounds(itemset);
+                let support = if bounds.is_exact() {
+                    stats.derived_exact += 1;
+                    bounds.lower.max(0) as usize
+                } else {
+                    stats.support_scans += 1;
+                    db.support(itemset)
+                };
+                oracle.record(itemset, support);
+                if support >= kappa && !bounds.is_exact() {
+                    itemsets.insert(itemset, support);
+                }
+            }
+        }
+        (NdiRepresentation { kappa, itemsets }, stats)
+    }
+}
+
+/// Counters from a pruned NDI construction
+/// ([`NdiRepresentation::build_pruned`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Nonempty itemsets examined.
+    pub considered: usize,
+    /// Database support scans actually performed.
+    pub support_scans: usize,
+    /// Itemsets whose support the oracle pinned exactly, skipping the scan.
+    pub derived_exact: usize,
+}
+
+/// An interval oracle consulted by [`NdiRepresentation::build_pruned`].
+///
+/// `bounds` must return an interval guaranteed to contain the true support of
+/// `itemset` given the supports recorded so far (the builder guarantees every
+/// proper subset is recorded first); `record` informs the oracle of a support
+/// the builder has determined.  Implementations range from the classic
+/// deduction rules ([`DeductionOracle`]) to engines that also exploit
+/// asserted differential constraints (`diffcon-bounds`).
+pub trait BoundsOracle {
+    /// A sound interval for the support of `itemset`.
+    fn bounds(&mut self, itemset: AttrSet) -> SupportBounds;
+    /// Records a determined support for later `bounds` calls.
+    fn record(&mut self, itemset: AttrSet, support: usize);
+}
+
+/// The classic deduction-rule oracle: intervals from
+/// [`deduction_bounds_with`] over the recorded subset supports.  Plugged into
+/// [`NdiRepresentation::build_pruned`] it reproduces
+/// [`NdiRepresentation::build`] exactly while scanning only the non-derivable
+/// itemsets.
+#[derive(Debug, Clone, Default)]
+pub struct DeductionOracle {
+    supports: HashMap<AttrSet, usize>,
+}
+
+impl DeductionOracle {
+    /// An oracle with no recorded supports yet.
+    pub fn new() -> Self {
+        DeductionOracle::default()
+    }
+
+    /// The recorded support of one itemset, if determined.
+    pub fn support(&self, itemset: AttrSet) -> Option<usize> {
+        self.supports.get(&itemset).copied()
+    }
+}
+
+impl BoundsOracle for DeductionOracle {
+    fn bounds(&mut self, itemset: AttrSet) -> SupportBounds {
+        let supports = &self.supports;
+        deduction_bounds_with(itemset, |j| {
+            *supports
+                .get(&j)
+                .expect("levelwise recording covers every proper subset")
+        })
+    }
+
+    fn record(&mut self, itemset: AttrSet, support: usize) {
+        self.supports.insert(itemset, support);
     }
 }
 
@@ -265,5 +387,85 @@ mod tests {
     fn empty_itemset_rejected() {
         let (_u, db) = sample();
         let _ = deduction_bounds(&db, AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn degenerate_single_rule_cases_are_clamped() {
+        // A singleton itemset has exactly one rule (X = ∅, odd), so before
+        // clamping the lower bound degenerates to i64::MIN; the defensive
+        // clamps must leave [0, σ(∅)] — and stay sound — even on extreme
+        // databases.
+        let u = Universe::of_size(3);
+        // Empty database: every bound collapses to [0, 0].
+        let empty = BasketDb::new(3);
+        for mask in 1u64..8 {
+            let bounds = deduction_bounds(&empty, AttrSet::from_bits(mask));
+            assert_eq!((bounds.lower, bounds.upper), (0, 0));
+        }
+        // A database where one item never occurs: the A-column rules push
+        // the raw two-element lower bound below zero (σ(A)+σ(C)−σ(∅) = −2).
+        let db = BasketDb::parse(&u, "B\nB\nC\nBC").unwrap();
+        let a = u.parse_set("A").unwrap();
+        let bounds = deduction_bounds(&db, a);
+        assert_eq!(bounds.lower, 0);
+        assert_eq!(bounds.upper, db.len() as i64);
+        let ac = u.parse_set("AC").unwrap();
+        let bounds = deduction_bounds(&db, ac);
+        assert_eq!(bounds.lower, 0, "raw inclusion–exclusion goes negative");
+        // Monotonicity clamp: never above the scarcer immediate subset.
+        assert_eq!(bounds.upper, db.support(a) as i64);
+        assert_eq!(bounds.upper, 0);
+    }
+
+    #[test]
+    fn upper_bound_never_exceeds_immediate_subsets() {
+        let (u, db) = sample();
+        for mask in 1u64..(1u64 << u.len()) {
+            let itemset = AttrSet::from_bits(mask);
+            let bounds = deduction_bounds(&db, itemset);
+            for i in itemset.iter() {
+                assert!(
+                    bounds.upper <= db.support(itemset.without(i)) as i64,
+                    "upper bound of {itemset:?} exceeds subset support"
+                );
+            }
+            assert!(bounds.lower >= 0);
+        }
+    }
+
+    #[test]
+    fn pruned_build_with_deduction_oracle_matches_classic() {
+        let (_u, db) = sample();
+        for kappa in [1usize, 2, 3, 5] {
+            let classic = NdiRepresentation::build(&db, kappa);
+            let mut oracle = DeductionOracle::new();
+            let (pruned, stats) = NdiRepresentation::build_pruned(&db, kappa, &mut oracle);
+            assert_eq!(pruned, classic, "pruned NDI differs at κ = {kappa}");
+            assert_eq!(stats.considered, (1 << db.universe_size()) - 1);
+            assert_eq!(stats.support_scans + stats.derived_exact, stats.considered);
+            // The oracle's recorded supports are the true ones (derived
+            // supports included — derivation is sound).
+            for mask in 0u64..(1u64 << db.universe_size()) {
+                let itemset = AttrSet::from_bits(mask);
+                assert_eq!(oracle.support(itemset), Some(db.support(itemset)));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_build_scans_strictly_fewer_on_structured_data() {
+        // The A ⇒ B database from `functional_style_rule…`: every itemset
+        // strictly above {A,B} is derivable, so the pruned build must skip
+        // those scans.
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nABD\nB\nC\nCD\nABCD").unwrap();
+        let mut oracle = DeductionOracle::new();
+        let (pruned, stats) = NdiRepresentation::build_pruned(&db, 1, &mut oracle);
+        assert_eq!(pruned, NdiRepresentation::build(&db, 1));
+        assert!(
+            stats.support_scans < stats.considered,
+            "expected at least one derived itemset ({stats:?})"
+        );
+        assert!(stats.derived_exact >= 4, "AB∪extra sets are derivable");
     }
 }

@@ -1,8 +1,8 @@
 //! Propositional formulas over the attributes of a universe.
 //!
 //! Variables are identified by their attribute index in a
-//! [`Universe`](setlat::Universe); a truth assignment is simply an
-//! [`AttrSet`](setlat::AttrSet) listing the variables that are `true`.  This
+//! [`setlat::Universe`]; a truth assignment is simply an
+//! [`setlat::AttrSet`] listing the variables that are `true`.  This
 //! matches the paper's convention of identifying a subset `X ⊆ S` with the
 //! assignment that makes exactly the variables of `X` true (its *minterm* `X̄`).
 

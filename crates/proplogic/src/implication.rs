@@ -9,7 +9,7 @@
 //!
 //! Two decision procedures are provided for `Φ ⊨ φ`:
 //!
-//! * [`implies_exhaustive`](crate::minterm::implies_exhaustive) (re-exported via
+//! * [`crate::minterm::implies_exhaustive`] (re-exported via
 //!   [`ImplicationConstraint::implied_by_exhaustive`]) — enumerate all
 //!   assignments; the reference implementation;
 //! * [`ImplicationConstraint::implied_by_sat`] — refutation via the DPLL

@@ -10,8 +10,8 @@
 //! This crate provides everything needed to make that section executable:
 //!
 //! * a propositional [`Formula`] AST over the variables of a
-//!   [`Universe`](setlat::Universe), with evaluation under assignments
-//!   represented as [`AttrSet`](setlat::AttrSet)s;
+//!   [`setlat::Universe`], with evaluation under assignments
+//!   represented as [`setlat::AttrSet`]s;
 //! * minterms, minsets and negative minsets ([`minterm`], Definition 5.1);
 //! * clausal form: literals, clauses, CNF, naive distribution and Tseitin
 //!   transformation ([`cnf`]);

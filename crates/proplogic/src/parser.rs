@@ -12,7 +12,7 @@
 //! atom       ::= "true" | "false" | NAME | "(" formula ")"
 //! ```
 //!
-//! Attribute names are resolved against a [`Universe`](setlat::Universe); a
+//! Attribute names are resolved against a [`setlat::Universe`]; a
 //! name not present in the universe is a parse error.  The Unicode connectives
 //! used by [`Formula::format`](crate::formula::Formula::format) — `¬ ∧ ∨ ⇒ ⇔ ⊤ ⊥`
 //! — are accepted as synonyms, so formatting round-trips through the parser.

@@ -1,7 +1,7 @@
 //! Relations: finite sets of tuples over a fixed list of attributes.
 //!
 //! Attributes are identified by index (aligning with a
-//! [`Universe`](setlat::Universe) for naming); tuple components are small
+//! [`setlat::Universe`] for naming); tuple components are small
 //! integers.  The operations needed by Section 7 of the paper are projections
 //! `t[X]`, agreement of two tuples on an attribute set, and the *agree set* of
 //! a tuple pair — the set of attributes on which they coincide — from which

@@ -1,7 +1,7 @@
 //! Compact bitset representation of attribute sets (subsets of a finite universe).
 //!
-//! An [`AttrSet`] is a subset of a [`Universe`](crate::Universe) of at most
-//! [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) attributes, stored as a `u64` bit mask.
+//! An [`AttrSet`] is a subset of a [`crate::Universe`] of at most
+//! [`crate::MAX_UNIVERSE`] attributes, stored as a `u64` bit mask.
 //! Attribute `i` of the universe is a member of the set iff bit `i` is set.
 //!
 //! All set-algebra operations are `O(1)`; iteration over members is `O(|X|)`.
@@ -15,7 +15,7 @@ use std::fmt;
 /// containment, cardinality) is a single machine instruction here.
 ///
 /// An `AttrSet` does not remember which universe it came from; pairing a set
-/// with the wrong universe is a logic error that the [`Universe`](crate::Universe)
+/// with the wrong universe is a logic error that the [`crate::Universe`]
 /// formatting helpers will surface as out-of-range attribute indices.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct AttrSet(u64);

@@ -13,7 +13,7 @@ use std::fmt;
 /// Errors produced when constructing or querying a [`Universe`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UniverseError {
-    /// The universe would exceed [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) attributes.
+    /// The universe would exceed [`crate::MAX_UNIVERSE`] attributes.
     TooLarge {
         /// Requested number of attributes.
         requested: usize,
@@ -59,7 +59,7 @@ impl Universe {
     ///
     /// # Errors
     /// Returns [`UniverseError::TooLarge`] if more than
-    /// [`MAX_UNIVERSE`](crate::MAX_UNIVERSE) names are given, and
+    /// [`crate::MAX_UNIVERSE`] names are given, and
     /// [`UniverseError::DuplicateName`] if a name appears twice.
     pub fn from_names<I, T>(names: I) -> Result<Self, UniverseError>
     where

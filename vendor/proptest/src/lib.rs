@@ -347,7 +347,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything accepted as the size argument of [`vec`]: an exact length, a
+    /// Anything accepted as the size argument of [`vec()`]: an exact length, a
     /// half-open range, or an inclusive range.
     pub trait IntoSizeRange {
         /// Lower and upper bound (inclusive) on the length.
@@ -385,7 +385,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min_len: usize,
