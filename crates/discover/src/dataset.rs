@@ -1,0 +1,200 @@
+//! Datasets: a basket database paired with its vertical index.
+//!
+//! A [`Dataset`] owns the horizontal [`BasketDb`] (the ground truth the
+//! paper's Section 6 semantics are defined over) and keeps a columnar
+//! [`VerticalIndex`] in sync with it, so every support or cover query issued
+//! by the miner — and by the serving layer's `dataset` statistics — runs at
+//! bitmap-intersection speed instead of re-scanning the baskets.
+//!
+//! Ingestion is record-oriented and streaming: [`Dataset::load`] consumes an
+//! iterator of textual basket records (`"AB"`, `"{}"`, …), appending each to
+//! both representations, and reports failures as [`BasketParseError`]s that
+//! carry the 1-based record number and the offending token.
+
+use fis::basket::{BasketDb, BasketParseError};
+use fis::eclat::TidSet;
+use fis::vertical::VerticalIndex;
+use setlat::{AttrSet, Universe};
+
+/// A basket database plus its incrementally maintained vertical index.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    universe: Universe,
+    db: BasketDb,
+    index: VerticalIndex,
+}
+
+impl Dataset {
+    /// An empty dataset over `universe`.
+    pub fn new(universe: Universe) -> Self {
+        let n = universe.len();
+        Dataset {
+            universe,
+            db: BasketDb::new(n),
+            index: VerticalIndex::new(n),
+        }
+    }
+
+    /// Wraps an existing database, building its index in one pass.
+    ///
+    /// # Panics
+    /// Panics if the database's universe size differs from `universe`.
+    pub fn from_db(universe: Universe, db: BasketDb) -> Self {
+        assert_eq!(
+            universe.len(),
+            db.universe_size(),
+            "database universe size does not match the dataset universe"
+        );
+        let index = VerticalIndex::build(&db);
+        Dataset {
+            universe,
+            db,
+            index,
+        }
+    }
+
+    /// Appends one basket to both representations.
+    ///
+    /// # Panics
+    /// Panics if the basket contains items outside the universe.
+    pub fn push(&mut self, basket: AttrSet) {
+        self.db.push(basket);
+        self.index.push(basket);
+    }
+
+    /// Streams textual basket records (each in the compact `"ACD"` / `"{}"`
+    /// notation, via [`fis::basket::parse_records`]) into the dataset,
+    /// skipping records that trim to nothing.  Returns the number of baskets
+    /// appended.
+    ///
+    /// # Errors
+    /// [`BasketParseError`] locating the first bad record (1-based, counting
+    /// skipped blanks) and its offending token; records before it are still
+    /// appended, so a caller that wants all-or-nothing ingestion should
+    /// stage into a fresh [`Dataset`] first.
+    pub fn load<I>(&mut self, records: I) -> Result<usize, BasketParseError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        // The record iterator must not borrow `self` (each parsed basket is
+        // pushed immediately), so it parses against a clone of the universe
+        // — cheap next to the per-record work, and what keeps ingestion
+        // genuinely streaming: O(1) buffering, and a malformed record stops
+        // the scan right there.
+        let universe = self.universe.clone();
+        let mut added = 0usize;
+        for basket in fis::basket::parse_records(&universe, records) {
+            self.push(basket?);
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Loads line-oriented basket text (one basket per line).
+    ///
+    /// # Errors
+    /// See [`Dataset::load`]; the error's `line` is the 1-based line number.
+    pub fn load_text(&mut self, text: &str) -> Result<usize, BasketParseError> {
+        self.load(text.lines())
+    }
+
+    /// The dataset's universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The horizontal database.
+    pub fn db(&self) -> &BasketDb {
+        &self.db
+    }
+
+    /// The vertical index.
+    pub fn index(&self) -> &VerticalIndex {
+        &self.index
+    }
+
+    /// The number of baskets.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Returns `true` iff no basket has been loaded.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// The support `s_B(X)` via the vertical index.
+    pub fn support(&self, x: AttrSet) -> usize {
+        self.index.support(x)
+    }
+
+    /// The cover `B(X)` as a tidset via the vertical index.
+    pub fn cover(&self, x: AttrSet) -> TidSet {
+        self.index.cover(x)
+    }
+
+    /// The set of items occurring in at least one basket.
+    pub fn occurring_items(&self) -> AttrSet {
+        self.db.occurring_items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_keeps_both_representations_in_sync() {
+        let u = Universe::of_size(4);
+        let mut ds = Dataset::new(u.clone());
+        assert!(ds.is_empty());
+        let added = ds.load("AB;ABC;{};B".split(';')).unwrap();
+        assert_eq!(added, 4);
+        assert_eq!(ds.len(), 4);
+        for x in u.all_subsets() {
+            assert_eq!(
+                ds.support(x),
+                ds.db().support(x),
+                "index out of sync at {x:?}"
+            );
+        }
+        // Appending more keeps the sync.
+        let added = ds.load_text("ACD\nB\n\nD").unwrap();
+        assert_eq!(added, 3);
+        for x in u.all_subsets() {
+            assert_eq!(ds.support(x), ds.db().support(x));
+        }
+        assert_eq!(ds.occurring_items(), u.full_set());
+    }
+
+    #[test]
+    fn load_errors_locate_the_record() {
+        let u = Universe::of_size(3);
+        let mut ds = Dataset::new(u);
+        let err = ds.load(["AB", "C", "AQ"]).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.token, "Q");
+        // Records before the failure were appended.
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn from_db_matches_incremental() {
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB").unwrap();
+        let wrapped = Dataset::from_db(u.clone(), db.clone());
+        let mut incremental = Dataset::new(u.clone());
+        incremental.load_text("AB\nABC\nACD\nB").unwrap();
+        for x in u.all_subsets() {
+            assert_eq!(wrapped.support(x), incremental.support(x));
+        }
+        assert_eq!(
+            wrapped
+                .cover(u.parse_set("AB").unwrap())
+                .iter()
+                .collect::<Vec<_>>(),
+            db.cover(u.parse_set("AB").unwrap())
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # diffcon-discover — mine differential constraints from basket data
+//!
+//! Section 6 of *Differential Constraints* (Sayrafi & Van Gucht, PODS 2005)
+//! proves that a basket database satisfies the disjunctive constraint
+//! `X ⇒disj 𝒴` iff its support function satisfies the differential
+//! constraint `X → 𝒴` (Proposition 6.3), and that the two implication
+//! problems coincide (Proposition 6.4).  Constraints that *hold in data* are
+//! therefore first-class premises for everything the implication and bound
+//! engines do: assert them and `bound` queries tighten, NDI mining scans
+//! fewer candidates, implication queries answer more goals.
+//!
+//! This crate is the data plane that turns that observation into a workflow:
+//!
+//! * [`dataset::Dataset`] — streaming ingestion of basket records into a
+//!   horizontal [`fis::BasketDb`] mirrored by a columnar
+//!   [`fis::VerticalIndex`], so the miner's support and cover queries run at
+//!   bitmap-intersection speed;
+//! * [`miner`] — enumeration of the **minimal satisfied** disjunctive
+//!   constraints of a dataset up to configurable `|X|` / `|𝒴|` budgets,
+//!   pruned by lattice monotonicity, with a brute-force reference
+//!   implementation ([`miner::mine_bruteforce`]) the property suite checks
+//!   against, and a non-redundant cover computed with the engine's own
+//!   implication decider ([`diffcon::implication`]).
+//!
+//! The serving layer (`diffcon-engine`) wires both into sessions and the
+//! `diffcond` wire protocol (`load` / `mine` / `adopt` / `dataset` verbs), so
+//! one session can ingest a dataset, discover its constraints, adopt them as
+//! premises, and immediately answer provably tighter `bound` queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod miner;
+
+pub use dataset::Dataset;
+pub use miner::{mine, Discovery, MinerConfig, MinerStats};

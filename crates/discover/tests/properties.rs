@@ -1,0 +1,128 @@
+//! Property suite for the constraint miner: the pruned, vertically indexed
+//! miner must produce exactly the brute-force set of minimal satisfied
+//! canonical constraints, and everything it emits must hold on the data.
+//!
+//! Across the suite well over 1000 random instances are exercised (universe
+//! sizes 2–4, a spread of dataset shapes and budgets).
+
+use diffcon::implication;
+use diffcon_discover::{miner, Dataset, MinerConfig};
+use fis::basket::BasketDb;
+use fis::DisjunctiveConstraint;
+use proptest::prelude::*;
+use setlat::{AttrSet, Universe};
+
+fn arb_db(n: usize, max_baskets: usize) -> impl Strategy<Value = BasketDb> {
+    proptest::collection::vec(0u64..(1u64 << n), 0..max_baskets)
+        .prop_map(move |masks| BasketDb::from_baskets(n, masks.into_iter().map(AttrSet::from_bits)))
+}
+
+/// Miner output == brute force, plus soundness and cover invariants,
+/// checked on one instance.  (The vendored proptest shim maps
+/// `prop_assert!` to plain assertions, so this helper just asserts.)
+fn check_instance(n: usize, db: &BasketDb, config: &MinerConfig) {
+    let universe = Universe::of_size(n);
+    let dataset = Dataset::from_db(universe.clone(), db.clone());
+    let discovery = miner::mine(&dataset, config);
+    let brute = miner::mine_bruteforce(&universe, db, config);
+    prop_assert_eq!(
+        &discovery.minimal,
+        &brute,
+        "miner/bruteforce mismatch on {:?} with {:?}",
+        db,
+        config
+    );
+    for c in &discovery.minimal {
+        // Soundness: every find holds on the data (independent horizontal
+        // check through the fis disjunctive-constraint semantics).
+        prop_assert!(
+            DisjunctiveConstraint::new(c.lhs, c.rhs.clone()).satisfied_by(db),
+            "unsound find {}",
+            c.format(&universe)
+        );
+        // Canonical form: members nonempty, disjoint from the antecedent.
+        prop_assert!(c.lhs.len() <= config.max_lhs);
+        prop_assert!(c.rhs.len() <= config.max_rhs);
+        for y in c.rhs.iter() {
+            prop_assert!(!y.is_empty());
+            prop_assert!(y.is_disjoint(c.lhs));
+        }
+        // The non-redundant cover keeps full deductive power.
+        prop_assert!(
+            implication::implies(&universe, &discovery.cover, c),
+            "cover loses {}",
+            c.format(&universe)
+        );
+    }
+    // The cover is a subset of the minimal set.
+    for c in &discovery.cover {
+        prop_assert!(discovery.minimal.contains(c));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Universe of 3, default budgets: the bread-and-butter equivalence.
+    #[test]
+    fn miner_matches_bruteforce_n3(db in arb_db(3, 10)) {
+        check_instance(3, &db, &MinerConfig::default());
+    }
+
+    /// Universe of 4: larger lattice, same equivalence.
+    #[test]
+    fn miner_matches_bruteforce_n4(db in arb_db(4, 8)) {
+        check_instance(4, &db, &MinerConfig::default());
+    }
+
+    /// Random budgets (including the degenerate 0 cases) on 2–3 items.
+    #[test]
+    fn miner_matches_bruteforce_random_budgets(
+        db in arb_db(3, 8),
+        max_lhs in 0usize..=3,
+        max_rhs in 0usize..=3,
+        n in 2usize..=3,
+    ) {
+        let db = restrict(&db, n);
+        check_instance(n, &db, &MinerConfig { max_lhs, max_rhs });
+    }
+}
+
+proptest! {
+    // Deeper budgets are pricier per case; fewer cases suffice.
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Wide budgets on 4 items: family size up to 3.
+    #[test]
+    fn miner_matches_bruteforce_wide(db in arb_db(4, 6)) {
+        check_instance(4, &db, &MinerConfig { max_lhs: 3, max_rhs: 3 });
+    }
+}
+
+/// Projects every basket onto the first `n` items so one generator serves
+/// several universe sizes.
+fn restrict(db: &BasketDb, n: usize) -> BasketDb {
+    let mask = AttrSet::full(n);
+    BasketDb::from_baskets(n, db.baskets().iter().map(|&b| b.intersect(mask)))
+}
+
+#[test]
+fn minimal_set_implies_every_satisfied_inbudget_constraint() {
+    // Spot-check of the headline semantics on a fixed instance: everything
+    // satisfied within the budgets follows from the mined minimal set.
+    let universe = Universe::of_size(4);
+    let db = BasketDb::parse(&universe, "AB\nABC\nACD\nB\nABCD\nBD").unwrap();
+    let config = MinerConfig::default();
+    let dataset = Dataset::from_db(universe.clone(), db.clone());
+    let discovery = miner::mine(&dataset, &config);
+    // Enumerate all satisfied canonical constraints via the brute-force
+    // enumerator's building blocks: reuse mine_bruteforce's satisfied set by
+    // checking implication from the minimal set for each brute-force find.
+    for c in miner::mine_bruteforce(&universe, &db, &config) {
+        assert!(
+            implication::implies(&universe, &discovery.minimal, &c),
+            "minimal set fails to imply {}",
+            c.format(&universe)
+        );
+    }
+}

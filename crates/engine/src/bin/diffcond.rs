@@ -18,8 +18,8 @@ diffcond — differential-constraint implication server
 
 Reads one request per line from stdin, writes one response per line to stdout.
 Start with `universe <n>` (or `universe <name>...`), then `assert`, `implies`,
-`batch`, `witness`, `derive`, `known`, `forget`, `bound`, `premises`,
-`stats`, `reset`, `help`, `quit`.
+`batch`, `witness`, `derive`, `known`, `forget`, `bound`, `load`, `mine`,
+`adopt`, `dataset`, `premises`, `knowns`, `stats`, `reset`, `help`, `quit`.
 
 Options:
   --answer-cache N    bound on memoized query answers     (default 65536)

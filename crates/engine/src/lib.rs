@@ -34,6 +34,14 @@
 //!   answers), and `bound` derives the tightest provable interval for
 //!   `f(Y)` under the asserted constraints, routed cached-exact →
 //!   propagation → budget-relaxed.
+//! * **Constraint discovery** ([`session::Session::load_records`] /
+//!   [`session::Session::mine_dataset`] /
+//!   [`session::Session::adopt_discovered`]) — the `diffcon-discover` data
+//!   plane wired into sessions: ingest basket records into a vertically
+//!   indexed dataset, mine the minimal disjunctive constraints the data
+//!   satisfies (Proposition 6.3 identifies them with differential
+//!   constraints), and adopt the non-redundant cover as premises so `bound`
+//!   and `implies` immediately reason from what holds in the data.
 //!
 //! The [`protocol`] module defines the line-oriented request/response
 //! protocol (grammar in its module docs) served by the `diffcond` binary:
@@ -84,4 +92,4 @@ pub use cache::{CacheStats, LruCache};
 pub use intern::{ConstraintId, ConstraintInterner};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server};
-pub use session::{BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};
+pub use session::{AdoptOutcome, BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};

@@ -15,10 +15,17 @@
 //!              | "known" SET ["="] VALUE         record f(SET) = VALUE
 //!              | "forget" SET                    drop a recorded value
 //!              | "bound" SET                     derive [lo, hi] for f(SET)
+//!              | "load" SET (";" SET)*           append baskets to the dataset
+//!              | "mine" [NUMBER NUMBER]          discover the minimal satisfied
+//!              |                                 constraints of the dataset
+//!              |                                 (budgets: max |X|, max |𝒴|)
+//!              | "adopt" [NUMBER NUMBER]         mine, then assert the cover
+//!              | "dataset"                       dataset statistics
 //!              | "premises"                      list the premise set
 //!              | "knowns"                        list the recorded values
 //!              | "stats"                         engine statistics
-//!              | "reset"                         drop premises, knowns, caches
+//!              | "reset"                         drop premises, knowns, caches,
+//!              |                                 and the dataset
 //!              | "help"                          this summary
 //!              | "quit"                          end the session
 //! constraint ::= the diffcon textual syntax, e.g. "A -> {B, CD}"
@@ -38,6 +45,8 @@
 //!            | "proof" field* | "unprovable"
 //!            | "bound" "lo=" BOUNDVAL "hi=" BOUNDVAL field*
 //!            |                                  interval response form
+//!            | "mined" field* constraint*        discovery results
+//!            | "dataset" field*                  dataset statistics
 //!            | "premises" "n=" NUMBER constraint*
 //!            | "knowns" "n=" NUMBER (SET "=" VALUE)*
 //!            | "stats" field*
@@ -62,12 +71,55 @@
 //! bound queries have been served.
 //! Constraints in responses are printed in the compact parseable form
 //! `A->{B,CD}`, so a client can feed them straight back into requests.
+//!
+//! # Discovery verbs
+//!
+//! `load` appends `;`-separated baskets to the session's dataset (creating
+//! it on first use) and answers `ok load added=… baskets=…`; parse failures
+//! answer `err` with the 1-based record number and offending token.  `mine`
+//! discovers the minimal satisfied disjunctive constraints of the dataset
+//! (as differential constraints, Proposition 6.3) within the budgets
+//! `max |X| max |𝒴|` (default 2 2) and answers
+//! `mined minimal=… cover=…` followed by the non-redundant cover in wire
+//! form.  `adopt` runs the same discovery and asserts the cover as
+//! premises, answering `ok adopt minimal=… cover=… added=… premises=…` —
+//! after which `bound` queries and implication answers reason from what
+//! provably holds in the data.  `dataset` answers
+//! `dataset baskets=… items=… occurring=…`.  Mining is refused (with
+//! `err`) on universes above [`MAX_MINE_UNIVERSE`] attributes, and when
+//! the requested family budget exceeds [`MAX_MINE_RHS_WORK`] relative to
+//! the universe size: both bounds are measured wedge thresholds for the
+//! single-threaded serving loop (the candidate-member pool is
+//! `2^{|S|−|X|}` per antecedent, and the family search is exponential in
+//! `max |𝒴|` on top of it).
 
 use crate::session::{Session, SessionConfig};
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon::DiffConstraint;
 use diffcon_bounds::Interval;
+use diffcon_discover::MinerConfig;
 use setlat::{AttrSet, Universe};
+
+/// Largest universe the discovery verbs accept.
+///
+/// The miner's member pool enumerates `2^{|S|−|X|}` subsets per antecedent
+/// regardless of budgets, and measured release-mode cost grows roughly 8×
+/// per two added attributes (seconds at 14, minutes at 16, hours by 20).
+/// Large *antecedent* budgets are safe past this cap — the
+/// support-monotonicity prune saturates the `|X|` axis (measured ~8 s at
+/// `max_lhs = 14`, `n = 14`, 200 baskets) — but the family budget is not;
+/// see [`MAX_MINE_RHS_WORK`].
+pub const MAX_MINE_UNIVERSE: usize = 14;
+
+/// Bound on `max_rhs × |S|` for a `mine`/`adopt` request.
+///
+/// The family DFS explores up to `pool^{max_rhs}` combinations over a pool
+/// of up to `2^{|S|}` members, so the universe cap alone does not bound it:
+/// measured on 200 random baskets, `mine 2 3` at 14 attributes and
+/// `mine 2 4` at 10 attributes both run past 20 s while every combination
+/// with `max_rhs × |S| ≤ 33` finishes in a few seconds (`3 × 11` ≈ 4 s is
+/// the measured worst).  Requests above the bound are refused up front.
+pub const MAX_MINE_RHS_WORK: usize = 33;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +144,14 @@ pub enum Request {
     Forget(String),
     /// `bound <set>`.
     Bound(String),
+    /// `load <b1> ; <b2> ; …`.
+    Load(Vec<String>),
+    /// `mine` or `mine <max_lhs> <max_rhs>`.
+    Mine(Option<(usize, usize)>),
+    /// `adopt` or `adopt <max_lhs> <max_rhs>`.
+    Adopt(Option<(usize, usize)>),
+    /// `dataset`.
+    Dataset,
     /// `premises`.
     Premises,
     /// `knowns`.
@@ -169,6 +229,42 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "forget" => Ok(Request::Forget(need("forget", rest)?)),
         "bound" => Ok(Request::Bound(need("bound", rest)?)),
+        "load" => {
+            // Keep empty segments: the loader skips them but counts them,
+            // so error positions match the client's own `;`-separated
+            // record numbering.
+            let records: Vec<String> = rest.split(';').map(|s| s.trim().to_string()).collect();
+            if records.iter().all(String::is_empty) {
+                Err("load expects `;`-separated baskets".into())
+            } else {
+                Ok(Request::Load(records))
+            }
+        }
+        "mine" | "adopt" => {
+            let budgets = if rest.is_empty() {
+                None
+            } else {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                let budget = |text: &str| -> Result<usize, String> {
+                    text.parse()
+                        .map_err(|_| format!("{verb} expects numeric budgets, got `{text}`"))
+                };
+                match parts.as_slice() {
+                    [lhs, rhs] => Some((budget(lhs)?, budget(rhs)?)),
+                    _ => {
+                        return Err(format!(
+                            "{verb} expects no arguments or `<max_lhs> <max_rhs>`"
+                        ))
+                    }
+                }
+            };
+            Ok(if verb == "mine" {
+                Request::Mine(budgets)
+            } else {
+                Request::Adopt(budgets)
+            })
+        }
+        "dataset" => Ok(Request::Dataset),
         "batch" => {
             let goals: Vec<String> = rest
                 .split(';')
@@ -192,6 +288,43 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// Formats a request back into its canonical wire line.
+///
+/// Inverse of [`parse_request`] whenever the embedded constraint/set texts
+/// are themselves trimmed, nonempty, and `;`-free (as the parser produces):
+/// `parse_request(&format_request(r)) == Ok(r)` — the protocol round-trip
+/// property the test suite checks for every verb.
+pub fn format_request(request: &Request) -> String {
+    match request {
+        Request::Universe(UniverseSpec::Size(n)) => format!("universe {n}"),
+        Request::Universe(UniverseSpec::Names(names)) => {
+            format!("universe {}", names.join(" "))
+        }
+        Request::Assert(text) => format!("assert {text}"),
+        Request::Retract(text) => format!("retract {text}"),
+        Request::Implies(text) => format!("implies {text}"),
+        Request::Batch(goals) => format!("batch {}", goals.join(" ; ")),
+        Request::Witness(text) => format!("witness {text}"),
+        Request::Derive(text) => format!("derive {text}"),
+        Request::Known(set, value) => format!("known {set} = {value}"),
+        Request::Forget(set) => format!("forget {set}"),
+        Request::Bound(set) => format!("bound {set}"),
+        Request::Load(records) => format!("load {}", records.join(" ; ")),
+        Request::Mine(None) => "mine".into(),
+        Request::Mine(Some((lhs, rhs))) => format!("mine {lhs} {rhs}"),
+        Request::Adopt(None) => "adopt".into(),
+        Request::Adopt(Some((lhs, rhs))) => format!("adopt {lhs} {rhs}"),
+        Request::Dataset => "dataset".into(),
+        Request::Premises => "premises".into(),
+        Request::Knowns => "knowns".into(),
+        Request::Stats => "stats".into(),
+        Request::Reset => "reset".into(),
+        Request::Help => "help".into(),
+        Request::Quit => "quit".into(),
+        Request::Empty => String::new(),
+    }
+}
+
 /// Formats a constraint in the compact, re-parseable wire form `A->{B,CD}`.
 pub fn format_wire(constraint: &DiffConstraint, universe: &Universe) -> String {
     let members: Vec<String> = constraint
@@ -204,6 +337,15 @@ pub fn format_wire(constraint: &DiffConstraint, universe: &Universe) -> String {
         universe.format_set(constraint.lhs),
         members.join(",")
     )
+}
+
+/// The miner budgets for a `mine`/`adopt` request (the crate default when
+/// the request names none).
+fn miner_config(budgets: Option<(usize, usize)>) -> MinerConfig {
+    match budgets {
+        Some((max_lhs, max_rhs)) => MinerConfig { max_lhs, max_rhs },
+        None => MinerConfig::default(),
+    }
 }
 
 /// One response line plus the should-terminate flag.
@@ -263,7 +405,7 @@ impl Server {
         match request {
             Request::Empty => Reply::line(""),
             Request::Help => Reply::line(
-                "ok commands: universe assert retract implies batch witness derive known forget bound premises knowns stats reset help quit",
+                "ok commands: universe assert retract implies batch witness derive known forget bound load mine adopt dataset premises knowns stats reset help quit",
             ),
             Request::Quit => Reply {
                 text: "bye".into(),
@@ -364,6 +506,59 @@ impl Server {
                     Err(e) => Reply::err(format!("infeasible: {e}")),
                 }
             }),
+            Request::Load(records) => self.with_session(|session| {
+                match session.load_records(records.iter().map(String::as_str)) {
+                    Ok(added) => Reply::line(format!(
+                        "ok load added={} baskets={}",
+                        added,
+                        session.dataset().map_or(0, |ds| ds.len())
+                    )),
+                    Err(e) => Reply::err(e.to_string()),
+                }
+            }),
+            Request::Dataset => self.with_session(|session| match session.dataset() {
+                Some(ds) => Reply::line(format!(
+                    "dataset baskets={} items={} occurring={}",
+                    ds.len(),
+                    ds.universe().len(),
+                    ds.universe().format_set(ds.occurring_items())
+                )),
+                None => Reply::err("no dataset (send `load` first)"),
+            }),
+            Request::Mine(budgets) => {
+                self.with_mineable_session(miner_config(budgets), |session, config| {
+                    match session.mine_dataset(&config) {
+                        Some(discovery) => {
+                            let universe = session.universe();
+                            let mut text = format!(
+                                "mined minimal={} cover={}",
+                                discovery.minimal.len(),
+                                discovery.cover.len()
+                            );
+                            for c in &discovery.cover {
+                                text.push(' ');
+                                text.push_str(&format_wire(c, universe));
+                            }
+                            Reply::line(text)
+                        }
+                        None => Reply::err("no dataset (send `load` first)"),
+                    }
+                })
+            }
+            Request::Adopt(budgets) => {
+                self.with_mineable_session(miner_config(budgets), |session, config| {
+                    match session.adopt_discovered(&config) {
+                        Some(outcome) => Reply::line(format!(
+                            "ok adopt minimal={} cover={} added={} premises={}",
+                            outcome.discovery.minimal.len(),
+                            outcome.discovery.cover.len(),
+                            outcome.newly_asserted,
+                            session.premises().len()
+                        )),
+                        None => Reply::err("no dataset (send `load` first)"),
+                    }
+                })
+            }
             Request::Stats => self.with_session(|session| {
                 let stats = session.stats();
                 let mut text = format!(
@@ -412,6 +607,9 @@ impl Server {
                 ));
                 if stats.knowns > 0 {
                     text.push_str(&format!(" knowns={}", stats.knowns));
+                }
+                if stats.dataset_baskets > 0 {
+                    text.push_str(&format!(" dataset_baskets={}", stats.dataset_baskets));
                 }
                 if stats.interner_compactions > 0 {
                     text.push_str(&format!(" compactions={}", stats.interner_compactions));
@@ -488,6 +686,33 @@ impl Server {
             Some(session) => f(session),
             None => Reply::err("no session (send `universe` first)"),
         }
+    }
+
+    /// Like [`Server::with_session`], but refuses discovery requests whose
+    /// measured worst case would wedge the single-threaded serving loop:
+    /// universes past [`MAX_MINE_UNIVERSE`], and family budgets past
+    /// [`MAX_MINE_RHS_WORK`].
+    fn with_mineable_session(
+        &mut self,
+        config: MinerConfig,
+        f: impl FnOnce(&mut Session, MinerConfig) -> Reply,
+    ) -> Reply {
+        self.with_session(|session| {
+            let n = session.universe().len();
+            if n > MAX_MINE_UNIVERSE {
+                return Reply::err(format!(
+                    "mining is limited to universes of at most {MAX_MINE_UNIVERSE} attributes"
+                ));
+            }
+            if config.max_rhs.saturating_mul(n) > MAX_MINE_RHS_WORK {
+                return Reply::err(format!(
+                    "mine budget too large: max |𝒴| × universe size must be at most \
+                     {MAX_MINE_RHS_WORK}, got {} × {n}",
+                    config.max_rhs
+                ));
+            }
+            f(session, config)
+        })
     }
 
     fn with_constraint(
@@ -735,6 +960,108 @@ mod tests {
         s.handle_line("known A = 4");
         assert_eq!(s.handle_line("reset").text, "ok reset");
         assert_eq!(s.handle_line("knowns").text, "knowns n=0");
+    }
+
+    #[test]
+    fn discovery_conversation() {
+        let mut s = server();
+        // Discovery verbs require a session and then a dataset.
+        assert!(s.handle_line("load AB").text.starts_with("err no session"));
+        s.handle_line("universe 3");
+        assert!(s.handle_line("mine").text.starts_with("err no dataset"));
+        assert!(s.handle_line("adopt").text.starts_with("err no dataset"));
+        assert!(s.handle_line("dataset").text.starts_with("err no dataset"));
+        // Ingest a dataset satisfying A → {B}.
+        assert_eq!(
+            s.handle_line("load AB; ABC; B; C; BC").text,
+            "ok load added=5 baskets=5"
+        );
+        assert_eq!(
+            s.handle_line("dataset").text,
+            "dataset baskets=5 items=3 occurring=ABC"
+        );
+        // Loads accumulate.
+        assert_eq!(s.handle_line("load {}").text, "ok load added=1 baskets=6");
+        // Parse failures are located and the session survives.
+        let reply = s.handle_line("load AB; AZ").text;
+        assert!(reply.starts_with("err line 2"), "got: {reply}");
+        assert!(reply.contains("`Z`"), "got: {reply}");
+        // Empty segments are skipped but still counted, so the reported
+        // position matches the client's own record numbering.
+        let reply = s.handle_line("load AB; ; AZ").text;
+        assert!(reply.starts_with("err line 3"), "got: {reply}");
+        // Mining reports the discovery and lists the cover in wire form.
+        let mined = s.handle_line("mine 2 2").text;
+        assert!(mined.starts_with("mined minimal="), "got: {mined}");
+        assert!(mined.contains("A->{B}"), "got: {mined}");
+        // Nothing asserted yet; adopt asserts the cover.
+        assert_eq!(s.handle_line("premises").text, "premises n=0");
+        let adopted = s.handle_line("adopt").text;
+        assert!(adopted.starts_with("ok adopt minimal="), "got: {adopted}");
+        assert!(adopted.contains("added="), "got: {adopted}");
+        // The adopted premises answer implication queries…
+        assert!(s.handle_line("implies A -> {B}").text.starts_with("yes"));
+        // …and pin bound queries that were loose before adoption.
+        s.handle_line("known A = 2");
+        let reply = s.handle_line("bound AB").text;
+        assert!(reply.starts_with("bound lo=2 hi=2 exact=1"), "got: {reply}");
+        // Re-adopting is idempotent.
+        let again = s.handle_line("adopt").text;
+        assert!(again.contains("added=0"), "got: {again}");
+        // Stats surface the dataset.
+        let stats = s.handle_line("stats").text;
+        assert!(stats.contains("dataset_baskets=8"), "got: {stats}");
+        // Reset drops the dataset with the rest of the state.
+        s.handle_line("reset");
+        assert!(s.handle_line("dataset").text.starts_with("err no dataset"));
+    }
+
+    #[test]
+    fn discovery_request_errors() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        assert!(s.handle_line("load").text.starts_with("err load expects"));
+        assert!(s
+            .handle_line("load ;;")
+            .text
+            .starts_with("err load expects"));
+        assert!(s.handle_line("mine 2").text.starts_with("err mine expects"));
+        assert!(s
+            .handle_line("mine a b")
+            .text
+            .starts_with("err mine expects"));
+        assert!(s
+            .handle_line("adopt 1 2 3")
+            .text
+            .starts_with("err adopt expects"));
+        // Oversized universes refuse to mine but keep serving other verbs.
+        s.handle_line("universe 30");
+        s.handle_line("load {}");
+        assert!(s
+            .handle_line("mine")
+            .text
+            .starts_with("err mining is limited"));
+        assert!(s
+            .handle_line("adopt 1 1")
+            .text
+            .starts_with("err mining is limited"));
+        assert!(s
+            .handle_line("dataset")
+            .text
+            .starts_with("dataset baskets=1"));
+        // Family budgets past the measured wedge threshold are refused even
+        // on legal universes; tighter budgets on the same session work.
+        s.handle_line("universe 14");
+        s.handle_line("load AB; BC");
+        assert!(s
+            .handle_line("mine 2 3")
+            .text
+            .starts_with("err mine budget too large"));
+        assert!(s
+            .handle_line("adopt 2 4")
+            .text
+            .starts_with("err mine budget too large"));
+        assert!(s.handle_line("mine 3 2").text.starts_with("mined "));
     }
 
     #[test]

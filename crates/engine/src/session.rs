@@ -36,6 +36,8 @@ use diffcon::{fd_fragment, implication, prop_bridge, DiffConstraint};
 use diffcon_bounds::derive::{derive_propagated, derive_relaxed};
 use diffcon_bounds::problem::{BoundsConfig, BoundsProblem, DeriveError, DeriveRoute};
 use diffcon_bounds::{Interval, SideConditions};
+use diffcon_discover::{miner, Dataset, Discovery, MinerConfig};
+use fis::basket::BasketParseError;
 use proplogic::implication::ImplicationConstraint;
 use relational::fd::FunctionalDependency;
 use setlat::{AttrSet, Universe};
@@ -165,6 +167,8 @@ pub struct SessionStats {
     pub bound_cache: CacheStats,
     /// Current number of known point values.
     pub knowns: usize,
+    /// Baskets in the loaded dataset (0 when none is loaded).
+    pub dataset_baskets: usize,
     /// Current number of premises.
     pub premises: usize,
     /// Distinct constraints currently interned.
@@ -172,6 +176,16 @@ pub struct SessionStats {
     /// Times the interner has been compacted (see
     /// [`SessionConfig::interner_compaction_threshold`]).
     pub interner_compactions: u64,
+}
+
+/// The outcome of adopting discovered constraints as premises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdoptOutcome {
+    /// The discovery that was adopted (minimal set, cover, miner stats).
+    pub discovery: Discovery,
+    /// How many cover constraints were newly asserted (the rest were
+    /// already premises).
+    pub newly_asserted: usize,
 }
 
 /// A stateful query-serving session over one universe.
@@ -202,6 +216,11 @@ pub struct Session {
     /// retracting a premise or forgetting a value instantly invalidates, and
     /// restoring the state instantly revalidates.
     bound_cache: LruCache<(u64, u64, AttrSet), (Interval, DeriveRoute)>,
+    /// The loaded basket dataset, if any: the discovery subsystem's handle.
+    /// Loading data touches no premise or known state, so no cache digest
+    /// involves it; `adopt` flows back through
+    /// [`Session::assert_constraint`], which versions everything as usual.
+    dataset: Option<Dataset>,
     interner_compaction_threshold: usize,
     interner_compactions: u64,
     planner: Planner,
@@ -231,6 +250,7 @@ impl Session {
             lattice_cache: LruCache::new(config.lattice_cache_capacity),
             prop_cache: LruCache::new(config.prop_cache_capacity),
             bound_cache: LruCache::new(config.bound_cache_capacity),
+            dataset: None,
             interner_compaction_threshold: config.interner_compaction_threshold.max(1),
             interner_compactions: 0,
             planner: Planner::new(config.planner),
@@ -363,6 +383,60 @@ impl Session {
             route: derived.route,
             cached: false,
             elapsed,
+        })
+    }
+
+    /// The session's loaded dataset, if any.
+    pub fn dataset(&self) -> Option<&Dataset> {
+        self.dataset.as_ref()
+    }
+
+    /// Streams textual basket records (compact `"ACD"` / `"{}"` notation)
+    /// into the session's dataset, creating it on first use.  Returns the
+    /// number of baskets appended.
+    ///
+    /// Loading touches no premise or known state, so cached answers stay
+    /// valid; only [`Session::adopt_discovered`] (which asserts premises)
+    /// re-versions them.
+    ///
+    /// # Errors
+    /// [`BasketParseError`] locating the first bad record (1-based) and its
+    /// offending token.  Records before it are still appended.
+    pub fn load_records<I>(&mut self, records: I) -> Result<usize, BasketParseError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        if self.dataset.is_none() {
+            self.dataset = Some(Dataset::new(self.universe.clone()));
+        }
+        self.dataset
+            .as_mut()
+            .expect("dataset was just created")
+            .load(records)
+    }
+
+    /// Mines the minimal satisfied disjunctive constraints of the loaded
+    /// dataset (as differential constraints, Proposition 6.3) within the
+    /// budgets.  `None` when no dataset has been loaded.
+    pub fn mine_dataset(&self, config: &MinerConfig) -> Option<Discovery> {
+        self.dataset.as_ref().map(|ds| miner::mine(ds, config))
+    }
+
+    /// Mines the dataset and asserts the discovery's non-redundant cover as
+    /// premises, so subsequent `implies` and `bound` queries reason from
+    /// what provably holds in the data.  `None` when no dataset has been
+    /// loaded.
+    pub fn adopt_discovered(&mut self, config: &MinerConfig) -> Option<AdoptOutcome> {
+        let discovery = self.mine_dataset(config)?;
+        let mut newly_asserted = 0usize;
+        for constraint in &discovery.cover {
+            let (_, added) = self.assert_constraint(constraint);
+            newly_asserted += added as usize;
+        }
+        Some(AdoptOutcome {
+            discovery,
+            newly_asserted,
         })
     }
 
@@ -650,6 +724,7 @@ impl Session {
             prop_cache: self.prop_cache.stats(),
             bound_cache: self.bound_cache.stats(),
             knowns: self.knowns.len(),
+            dataset_baskets: self.dataset.as_ref().map_or(0, Dataset::len),
             premises: self.premises.len(),
             interned: self.interner.len(),
             interner_compactions: self.interner_compactions,
@@ -1015,6 +1090,49 @@ mod tests {
         assert_eq!(b.interval.lo, 30.0);
         assert_eq!(b.interval.hi, 100.0);
         assert_eq!(s.stats().planner.bounds.relaxed, 1);
+    }
+
+    #[test]
+    fn load_mine_adopt_tightens_bounds() {
+        let u = Universe::of_size(4);
+        let mut s = Session::new(u.clone());
+        assert!(s.dataset().is_none());
+        assert!(s.mine_dataset(&MinerConfig::default()).is_none());
+        assert!(s.adopt_discovered(&MinerConfig::default()).is_none());
+        // Every basket containing A contains B: the data satisfies A → {B}.
+        let added = s.load_records("AB;ABC;B;C;BC".split(';')).unwrap();
+        assert_eq!(added, 5);
+        assert_eq!(s.stats().dataset_baskets, 5);
+        let ab = u.parse_set("AB").unwrap();
+        s.set_known(u.parse_set("A").unwrap(), 2.0);
+        let before = s.bound(ab).unwrap().interval;
+        let outcome = s.adopt_discovered(&MinerConfig::default()).unwrap();
+        assert!(outcome.newly_asserted > 0);
+        assert_eq!(s.premises().len(), outcome.newly_asserted);
+        // Adopted premises hold on the data, so σ(AB) = σ(A) is now pinned.
+        let after = s.bound(ab).unwrap().interval;
+        assert!(
+            after.lo >= before.lo && after.hi <= before.hi,
+            "adoption widened the bound"
+        );
+        assert!(after.is_exact());
+        assert_eq!(after.lo, 2.0);
+        // Re-adopting asserts nothing new.
+        let again = s.adopt_discovered(&MinerConfig::default()).unwrap();
+        assert_eq!(again.newly_asserted, 0);
+    }
+
+    #[test]
+    fn load_errors_locate_records_and_keep_the_session_usable() {
+        let u = Universe::of_size(3);
+        let mut s = Session::new(u);
+        let err = s.load_records(["AB", "AZ"]).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.token, "Z");
+        // The record before the failure was ingested.
+        assert_eq!(s.dataset().unwrap().len(), 1);
+        assert_eq!(s.load_records(["C"]).unwrap(), 1);
+        assert_eq!(s.stats().dataset_baskets, 2);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! End-to-end properties of the discovery subsystem wired through the
+//! engine: adopting discovered constraints must only ever *help*.
+//!
+//! Over 1000 random instances (universe sizes 3–4, random datasets and
+//! knowns) the suite checks that
+//!
+//! * after `adopt`, every `bound` interval is contained in the
+//!   pre-adoption interval (never wider), still contains the true support,
+//!   and the session never reports the (true) state infeasible;
+//! * constraint-pruned NDI mining
+//!   ([`diffcon_bounds::mining::ndi_under_constraints`]) under the adopted
+//!   cover scans no more candidates than without it, while storing a subset
+//!   of the unconstrained representation with true supports.
+
+use diffcon_bounds::mining::ndi_under_constraints;
+use diffcon_bounds::problem::BoundsConfig;
+use diffcon_discover::MinerConfig;
+use diffcon_engine::Session;
+use fis::basket::BasketDb;
+use proptest::prelude::*;
+use setlat::{AttrSet, Universe};
+
+fn arb_db(n: usize, max_baskets: usize) -> impl Strategy<Value = BasketDb> {
+    proptest::collection::vec(0u64..(1u64 << n), 1..max_baskets)
+        .prop_map(move |masks| BasketDb::from_baskets(n, masks.into_iter().map(AttrSet::from_bits)))
+}
+
+/// Loads `db` into a fresh session, records the true supports of the chosen
+/// known sets, and compares every subset's bound interval before and after
+/// adoption.
+fn check_bounds_tighten(n: usize, db: &BasketDb, known_masks: &[u64], config: &MinerConfig) {
+    let universe = Universe::of_size(n);
+    let mut session = Session::new(universe.clone());
+    let records: Vec<String> = db
+        .baskets()
+        .iter()
+        .map(|&b| fis::basket::format_record(&universe, b))
+        .collect();
+    session
+        .load_records(records.iter().map(String::as_str))
+        .expect("formatted baskets re-parse");
+    for &mask in known_masks {
+        let set = AttrSet::from_bits(mask & universe.full_set().bits());
+        session.set_known(set, db.support(set) as f64);
+    }
+    let before: Vec<(AttrSet, f64, f64)> = universe
+        .all_subsets()
+        .map(|x| {
+            let b = session
+                .bound(x)
+                .expect("true supports are never infeasible");
+            (x, b.interval.lo, b.interval.hi)
+        })
+        .collect();
+    let outcome = session
+        .adopt_discovered(config)
+        .expect("dataset was loaded");
+    // Adopted premises are exactly the cover, all newly asserted into the
+    // fresh session.
+    assert_eq!(session.premises().len(), outcome.discovery.cover.len());
+    for (x, lo, hi) in before {
+        let after = session
+            .bound(x)
+            .expect("adopting true constraints keeps the state feasible");
+        let truth = db.support(x) as f64;
+        assert!(
+            after.interval.lo >= lo && after.interval.hi <= hi,
+            "bound widened at {x:?}: [{lo}, {hi}] -> {:?} on {db:?}",
+            after.interval
+        );
+        assert!(
+            after.interval.lo <= truth && truth <= after.interval.hi,
+            "bound excludes the true support {truth} at {x:?} on {db:?}"
+        );
+    }
+}
+
+/// NDI mining under the adopted cover scans no more candidates and stores a
+/// subset of the unconstrained representation.
+fn check_ndi_prunes(n: usize, db: &BasketDb, kappa: usize, config: &MinerConfig) {
+    let universe = Universe::of_size(n);
+    let dataset = diffcon_discover::Dataset::from_db(universe.clone(), db.clone());
+    let discovery = diffcon_discover::miner::mine(&dataset, config);
+    let bounds_config = BoundsConfig::mining();
+    let (constrained, with_stats) =
+        ndi_under_constraints(db, &discovery.cover, kappa, &bounds_config)
+            .expect("mined constraints hold on the data");
+    let (unconstrained, without_stats) = ndi_under_constraints(db, &[], kappa, &bounds_config)
+        .expect("no constraints, nothing to violate");
+    assert!(
+        with_stats.support_scans <= without_stats.support_scans,
+        "constraint awareness increased scans: {with_stats:?} vs {without_stats:?} on {db:?}"
+    );
+    for (itemset, support) in &constrained.itemsets {
+        assert_eq!(*support, db.support(*itemset));
+        assert!(
+            unconstrained.itemsets.contains_key(itemset),
+            "constrained representation grew at {itemset:?} on {db:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Universe of 3: bounds only tighten under adoption.
+    #[test]
+    fn adopt_never_widens_bounds_n3(
+        db in arb_db(3, 10),
+        known_masks in proptest::collection::vec(0u64..8, 0..4),
+    ) {
+        check_bounds_tighten(3, &db, &known_masks, &MinerConfig::default());
+    }
+
+    /// Universe of 4, wider knowns.
+    #[test]
+    fn adopt_never_widens_bounds_n4(
+        db in arb_db(4, 8),
+        known_masks in proptest::collection::vec(0u64..16, 0..5),
+    ) {
+        check_bounds_tighten(4, &db, &known_masks, &MinerConfig::default());
+    }
+
+    /// NDI mining under the adopted cover scans no more candidates.
+    #[test]
+    fn adopt_never_adds_ndi_scans(
+        db in arb_db(4, 10),
+        kappa in 1usize..4,
+    ) {
+        check_ndi_prunes(4, &db, kappa, &MinerConfig::default());
+    }
+
+    /// The same holds at tighter miner budgets.
+    #[test]
+    fn adopt_never_adds_ndi_scans_narrow_budgets(
+        db in arb_db(3, 10),
+        kappa in 1usize..4,
+        max_lhs in 0usize..=2,
+        max_rhs in 0usize..=2,
+    ) {
+        let config = MinerConfig { max_lhs, max_rhs };
+        check_ndi_prunes(3, &db, kappa, &config);
+    }
+}
+
+#[test]
+fn acceptance_scenario_end_to_end() {
+    // The ISSUE's headline flow: ingest, discover, adopt, and observe a
+    // strictly tighter bound and strictly fewer NDI scans.
+    let universe = Universe::of_size(4);
+    let mut session = Session::new(universe.clone());
+    session
+        .load_records("AB;ABC;ABD;B;C;CD;ABCD".split(';'))
+        .unwrap();
+    let a = universe.parse_set("A").unwrap();
+    let ab = universe.parse_set("AB").unwrap();
+    session.set_known(a, 4.0);
+    let before = session.bound(ab).unwrap().interval;
+    assert!(!before.is_exact(), "without constraints AB is not pinned");
+    let outcome = session.adopt_discovered(&MinerConfig::default()).unwrap();
+    assert!(outcome.newly_asserted > 0);
+    let after = session.bound(ab).unwrap().interval;
+    assert!(
+        after.is_exact() && after.lo == 4.0,
+        "A -> {{B}} pins σ(AB) = σ(A)"
+    );
+
+    let db = session.dataset().unwrap().db().clone();
+    let cover = outcome.discovery.cover.clone();
+    let (_, with_stats) = ndi_under_constraints(&db, &cover, 1, &BoundsConfig::mining()).unwrap();
+    let (_, without_stats) = ndi_under_constraints(&db, &[], 1, &BoundsConfig::mining()).unwrap();
+    assert!(
+        with_stats.support_scans < without_stats.support_scans,
+        "expected a strict scan reduction: {with_stats:?} vs {without_stats:?}"
+    );
+}

@@ -12,8 +12,103 @@
 //! the disjunctive-constraint check `B(X) = ⋃_Y B(X ∪ Y)` (Definition 6.1) a
 //! simple sorted-set comparison.
 
+use setlat::universe::UniverseError;
 use setlat::{AttrSet, Universe};
 use std::fmt;
+
+/// A parse failure in basket text, locating the offending line and token.
+///
+/// Returned by [`BasketDb::parse`] (and the streaming loaders layered on it)
+/// so that a failed `load` is actionable: the error names the 1-based line
+/// (or record) number and the token that did not parse, not just the
+/// underlying universe error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasketParseError {
+    /// 1-based line (or record) number of the offending basket.
+    pub line: usize,
+    /// The token that failed to parse (the unknown attribute name, or the
+    /// whole trimmed line when the failure is not attributable to one name).
+    pub token: String,
+    /// The underlying universe error.
+    pub source: UniverseError,
+}
+
+impl BasketParseError {
+    /// Wraps a universe error raised while parsing the basket on `line`
+    /// (1-based), extracting the offending token from the error when it names
+    /// one and falling back to the whole record otherwise.
+    pub fn at_line(line: usize, record: &str, source: UniverseError) -> Self {
+        let token = match &source {
+            UniverseError::UnknownAttribute(name) => name.clone(),
+            _ => record.trim().to_string(),
+        };
+        BasketParseError {
+            line,
+            token,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for BasketParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: {} (offending token `{}`)",
+            self.line, self.source, self.token
+        )
+    }
+}
+
+impl std::error::Error for BasketParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Parses a stream of textual basket records (each in the compact `"ACD"` /
+/// `"{}"` notation).  Records that trim to nothing are skipped but still
+/// counted, so the `line` of a [`BasketParseError`] is always the 1-based
+/// position of the offending record in the input stream.
+///
+/// This is the single record loop behind [`BasketDb::parse`] and the
+/// streaming loaders layered on this crate (e.g. `diffcon-discover`'s
+/// `Dataset::load`).
+pub fn parse_records<'u, I>(
+    universe: &'u Universe,
+    records: I,
+) -> impl Iterator<Item = Result<AttrSet, BasketParseError>> + 'u
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+    I::IntoIter: 'u,
+{
+    records
+        .into_iter()
+        .enumerate()
+        .filter_map(move |(recno, record)| {
+            let trimmed = record.as_ref().trim();
+            if trimmed.is_empty() {
+                return None;
+            }
+            Some(
+                universe
+                    .parse_set(trimmed)
+                    .map_err(|source| BasketParseError::at_line(recno + 1, trimmed, source)),
+            )
+        })
+}
+
+/// Formats one basket as a record [`parse_records`] accepts: the compact set
+/// notation, with the empty basket rendered as `"{}"` (the `"∅"` glyph
+/// [`Universe::format_set`] uses does not re-parse as a record).
+pub fn format_record(universe: &Universe, basket: AttrSet) -> String {
+    if basket.is_empty() {
+        "{}".to_string()
+    } else {
+        universe.format_set(basket)
+    }
+}
 
 /// A list of baskets (transactions) over an item universe.
 #[derive(Clone, PartialEq, Eq, Default)]
@@ -53,15 +148,12 @@ impl BasketDb {
     /// Parses a database from the paper's compact notation: one basket per
     /// line, e.g. `"AB\nACD\nB"`.  Empty lines denote empty baskets only when
     /// written as `"{}"`; otherwise they are skipped.
-    pub fn parse(universe: &Universe, text: &str) -> Result<Self, setlat::universe::UniverseError> {
-        let mut baskets = Vec::new();
-        for line in text.lines() {
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            baskets.push(universe.parse_set(trimmed)?);
-        }
+    ///
+    /// # Errors
+    /// [`BasketParseError`] carrying the 1-based line number and the
+    /// offending token of the first basket that fails to parse.
+    pub fn parse(universe: &Universe, text: &str) -> Result<Self, BasketParseError> {
+        let baskets = parse_records(universe, text.lines()).collect::<Result<Vec<_>, _>>()?;
         Ok(BasketDb::from_baskets(universe.len(), baskets))
     }
 
@@ -241,6 +333,41 @@ mod tests {
         let text = db.format(&u);
         let reparsed = BasketDb::parse(&u, &text).unwrap();
         assert_eq!(db, reparsed);
+    }
+
+    #[test]
+    fn record_format_and_parse_round_trip() {
+        let u = Universe::of_size(3);
+        for mask in 0u64..8 {
+            let basket = AttrSet::from_bits(mask);
+            let record = format_record(&u, basket);
+            let parsed: Vec<_> = parse_records(&u, [record.as_str()])
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(parsed, vec![basket], "round trip failed for `{record}`");
+        }
+        // Skipped blank records still count toward positions.
+        let results: Vec<_> = parse_records(&u, ["AB", "  ", "AZ"]).collect();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].as_ref().unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_token() {
+        let u = Universe::of_size(3);
+        let err = BasketDb::parse(&u, "AB\n\nAC\nAZB\nC").unwrap_err();
+        assert_eq!(err.line, 4, "blank lines still count toward line numbers");
+        assert_eq!(err.token, "Z");
+        assert!(matches!(
+            err.source,
+            setlat::universe::UniverseError::UnknownAttribute(_)
+        ));
+        let text = err.to_string();
+        assert!(text.contains("line 4"), "got: {text}");
+        assert!(text.contains("`Z`"), "got: {text}");
+        // std::error::Error wiring exposes the universe error as the source.
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
     }
 
     #[test]

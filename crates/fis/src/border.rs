@@ -10,50 +10,62 @@
 //! compare representation sizes and deduction power.
 
 use crate::basket::BasketDb;
+use crate::vertical::VerticalIndex;
 use setlat::AttrSet;
 
 /// The positive border: the maximal frequent itemsets of `db` at threshold `kappa`.
 ///
-/// Exhaustive over the universe (`O(2^n)` support queries); intended for the
-/// moderate universes used in the experiments.
+/// Exhaustive over the universe (`O(2^n)` support queries, each an
+/// intersection-speed [`VerticalIndex`] probe with the frequency statuses
+/// memoized so the maximality checks re-read them for free); intended for
+/// the moderate universes used in the experiments.
 pub fn positive_border(db: &BasketDb, kappa: usize) -> Vec<AttrSet> {
     let n = db.universe_size();
-    let mut frequent: Vec<AttrSet> = Vec::new();
-    for mask in 0u64..(1u64 << n) {
-        let x = AttrSet::from_bits(mask);
-        if db.support(x) >= kappa {
-            frequent.push(x);
-        }
-    }
+    let frequent_mask = frequency_bitmap(db, kappa);
     let mut border: Vec<AttrSet> = Vec::new();
-    for &x in &frequent {
+    for mask in 0u64..(1u64 << n) {
+        if !frequent_mask[mask as usize] {
+            continue;
+        }
+        let x = AttrSet::from_bits(mask);
         let maximal = (0..n)
             .filter(|&i| !x.contains(i))
-            .all(|i| db.support(x.with(i)) < kappa);
+            .all(|i| !frequent_mask[x.with(i).bits() as usize]);
         if maximal {
             border.push(x);
         }
     }
-    border.sort();
     border
 }
 
 /// The negative border: the minimal infrequent itemsets of `db` at threshold `kappa`.
 pub fn negative_border(db: &BasketDb, kappa: usize) -> Vec<AttrSet> {
     let n = db.universe_size();
+    let frequent_mask = frequency_bitmap(db, kappa);
     let mut border: Vec<AttrSet> = Vec::new();
     for mask in 0u64..(1u64 << n) {
-        let x = AttrSet::from_bits(mask);
-        if db.support(x) >= kappa {
+        if frequent_mask[mask as usize] {
             continue;
         }
-        let minimal = x.iter().all(|i| db.support(x.without(i)) >= kappa);
+        let x = AttrSet::from_bits(mask);
+        let minimal = x
+            .iter()
+            .all(|i| frequent_mask[x.without(i).bits() as usize]);
         if minimal {
             border.push(x);
         }
     }
-    border.sort();
     border
+}
+
+/// One frequency bit per itemset mask, counted through a vertical index
+/// built once per call.
+fn frequency_bitmap(db: &BasketDb, kappa: usize) -> Vec<bool> {
+    let n = db.universe_size();
+    let index = VerticalIndex::build(db);
+    (0u64..(1u64 << n))
+        .map(|mask| index.support(AttrSet::from_bits(mask)) >= kappa)
+        .collect()
 }
 
 /// Decides whether `x` is frequent using only a negative border: `x` is
@@ -71,9 +83,9 @@ pub fn is_frequent_by_positive_border(positive_border: &[AttrSet], x: AttrSet) -
 /// Counts the frequent itemsets at threshold `kappa` (ground truth for
 /// representation-size comparisons).
 pub fn count_frequent(db: &BasketDb, kappa: usize) -> usize {
-    let n = db.universe_size();
-    (0u64..(1u64 << n))
-        .filter(|&mask| db.support(AttrSet::from_bits(mask)) >= kappa)
+    frequency_bitmap(db, kappa)
+        .into_iter()
+        .filter(|&f| f)
         .count()
 }
 

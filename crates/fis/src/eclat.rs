@@ -28,6 +28,28 @@ impl TidSet {
         }
     }
 
+    /// The full tidset `{0, …, num_tids − 1}`.
+    pub fn full(num_tids: usize) -> Self {
+        let mut blocks = vec![u64::MAX; num_tids.div_ceil(64)];
+        let tail = num_tids % 64;
+        if tail != 0 {
+            *blocks.last_mut().expect("num_tids > 0 has a block") = (1u64 << tail) - 1;
+        }
+        TidSet {
+            blocks,
+            count: num_tids,
+        }
+    }
+
+    /// Extends the block storage to hold `num_tids` transactions (a no-op when
+    /// already large enough).  Existing membership is preserved.
+    pub fn grow(&mut self, num_tids: usize) {
+        let blocks = num_tids.div_ceil(64);
+        if blocks > self.blocks.len() {
+            self.blocks.resize(blocks, 0);
+        }
+    }
+
     /// Inserts a transaction id.
     pub fn insert(&mut self, tid: usize) {
         let block = tid / 64;
@@ -60,10 +82,47 @@ impl TidSet {
         TidSet { blocks, count }
     }
 
+    /// In-place intersection (`self ∩= other`).  Blocks beyond `other`'s
+    /// length are cleared, so differently grown tidsets intersect soundly.
+    pub fn intersect_in_place(&mut self, other: &TidSet) {
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            *block &= other.blocks.get(i).copied().unwrap_or(0);
+        }
+        self.count = self.blocks.iter().map(|b| b.count_ones() as usize).sum();
+    }
+
+    /// Set difference `self ∖ other`.
+    pub fn difference(&self, other: &TidSet) -> TidSet {
+        let blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b & !other.blocks.get(i).copied().unwrap_or(0))
+            .collect();
+        let count = blocks.iter().map(|b| b.count_ones() as usize).sum();
+        TidSet { blocks, count }
+    }
+
     /// Returns `true` iff `tid` is present.
     pub fn contains(&self, tid: usize) -> bool {
         let block = tid / 64;
         block < self.blocks.len() && self.blocks[block] & (1u64 << (tid % 64)) != 0
+    }
+
+    /// Iterates over the present transaction ids, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let mut bits = block;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tid = i * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(tid)
+                }
+            })
+        })
     }
 }
 

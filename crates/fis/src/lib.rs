@@ -23,6 +23,9 @@
 //!   disjunctive-free itemsets (Definitions 6.1 and 6.2);
 //! * [`condensed`] — the `FDFree`/`Bd⁻` condensed representation and support
 //!   reconstruction from it;
+//! * [`vertical`] — a columnar per-item tidset index giving
+//!   intersection-speed support and cover queries (the levelwise miners
+//!   route their candidate counting through it);
 //! * [`generator`] — synthetic basket generators (Quest-style and
 //!   constraint-planted) used by the experiments.
 
@@ -38,6 +41,8 @@ pub mod eclat;
 pub mod generator;
 pub mod ndi;
 pub mod support;
+pub mod vertical;
 
-pub use basket::BasketDb;
+pub use basket::{BasketDb, BasketParseError};
 pub use disjunctive::DisjunctiveConstraint;
+pub use vertical::VerticalIndex;

@@ -1,0 +1,195 @@
+//! Columnar (vertical) index over a basket database.
+//!
+//! A [`VerticalIndex`] stores, for every item of the universe, the bitmap of
+//! transaction ids whose basket contains that item — the classic *tidset*
+//! layout of vertical miners like Eclat.  Once built (one pass over the
+//! baskets), the two fundamental queries of Section 6 become bitmap work
+//! instead of per-call full scans of the horizontal [`BasketDb`]:
+//!
+//! * the support `s_B(X)` is the popcount of the intersection of `|X|`
+//!   columns (`O(|X| · |B|/64)` words vs. `O(|B|)` subset tests);
+//! * the cover `B(X)` is that same intersection, materialized.
+//!
+//! The index is incremental: [`VerticalIndex::push`] appends one basket in
+//! `O(|S|/64 + |basket|)`, so a streaming loader can keep it in sync with the
+//! database it mirrors (see `diffcon-discover`'s `Dataset`).  The levelwise
+//! miners of this crate ([`crate::apriori`], [`crate::border`]) route their
+//! candidate support counting through an index built once per run.
+
+use crate::basket::BasketDb;
+use crate::eclat::TidSet;
+use setlat::AttrSet;
+
+/// A per-item tidset index over a basket database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerticalIndex {
+    universe_size: usize,
+    num_tids: usize,
+    columns: Vec<TidSet>,
+}
+
+impl VerticalIndex {
+    /// An empty index over a universe of `n` items.
+    pub fn new(universe_size: usize) -> Self {
+        VerticalIndex {
+            universe_size,
+            num_tids: 0,
+            columns: (0..universe_size).map(|_| TidSet::empty(0)).collect(),
+        }
+    }
+
+    /// Builds the index from a database in one pass over the baskets.
+    pub fn build(db: &BasketDb) -> Self {
+        let num_tids = db.len();
+        let mut columns: Vec<TidSet> = (0..db.universe_size())
+            .map(|_| TidSet::empty(num_tids))
+            .collect();
+        for (tid, &basket) in db.baskets().iter().enumerate() {
+            for item in basket.iter() {
+                columns[item].insert(tid);
+            }
+        }
+        VerticalIndex {
+            universe_size: db.universe_size(),
+            num_tids,
+            columns,
+        }
+    }
+
+    /// Appends one basket as the next transaction id.
+    ///
+    /// # Panics
+    /// Panics if the basket contains items outside the universe.
+    pub fn push(&mut self, basket: AttrSet) {
+        assert!(
+            basket.is_subset(AttrSet::full(self.universe_size)),
+            "basket {basket:?} contains items outside a universe of {}",
+            self.universe_size
+        );
+        let tid = self.num_tids;
+        self.num_tids += 1;
+        for column in &mut self.columns {
+            column.grow(self.num_tids);
+        }
+        for item in basket.iter() {
+            self.columns[item].insert(tid);
+        }
+    }
+
+    /// The number of items in the universe.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The number of indexed transactions.
+    #[inline]
+    pub fn num_tids(&self) -> usize {
+        self.num_tids
+    }
+
+    /// The tidset of one item.
+    ///
+    /// # Panics
+    /// Panics if `item` is out of range.
+    pub fn column(&self, item: usize) -> &TidSet {
+        &self.columns[item]
+    }
+
+    /// The cover `B(X)` as a tidset: the intersection of the member columns
+    /// (the full tidset for `X = ∅`, matching `s_B(∅) = |B|`).
+    pub fn cover(&self, x: AttrSet) -> TidSet {
+        let mut items = x.iter();
+        let Some(first) = items.next() else {
+            return TidSet::full(self.num_tids);
+        };
+        let mut cover = self.columns[first].clone();
+        for item in items {
+            if cover.is_empty() {
+                break;
+            }
+            cover.intersect_in_place(&self.columns[item]);
+        }
+        cover
+    }
+
+    /// The support `s_B(X)` via column intersection.
+    pub fn support(&self, x: AttrSet) -> usize {
+        self.cover(x).len()
+    }
+
+    /// The cover as a sorted vector of transaction ids (the representation
+    /// used by [`BasketDb::cover`]).
+    pub fn cover_indices(&self, x: AttrSet) -> Vec<usize> {
+        self.cover(x).iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setlat::Universe;
+
+    fn sample() -> (Universe, BasketDb) {
+        let u = Universe::of_size(4);
+        let db = BasketDb::parse(&u, "AB\nABC\nACD\nB\nABCD").unwrap();
+        (u, db)
+    }
+
+    #[test]
+    fn support_and_cover_match_the_horizontal_scan() {
+        let (u, db) = sample();
+        let index = VerticalIndex::build(&db);
+        assert_eq!(index.num_tids(), db.len());
+        for x in u.all_subsets() {
+            assert_eq!(index.support(x), db.support(x), "support mismatch at {x:?}");
+            assert_eq!(
+                index.cover_indices(x),
+                db.cover(x),
+                "cover mismatch at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_build() {
+        let (u, db) = sample();
+        let mut incremental = VerticalIndex::new(db.universe_size());
+        for &basket in db.baskets() {
+            incremental.push(basket);
+        }
+        let batch = VerticalIndex::build(&db);
+        for x in u.all_subsets() {
+            assert_eq!(incremental.support(x), batch.support(x));
+            assert_eq!(incremental.cover_indices(x), batch.cover_indices(x));
+        }
+    }
+
+    #[test]
+    fn empty_database_and_empty_set() {
+        let index = VerticalIndex::new(3);
+        assert_eq!(index.support(AttrSet::EMPTY), 0);
+        assert_eq!(index.support(AttrSet::singleton(1)), 0);
+        let db = BasketDb::new(3);
+        assert_eq!(VerticalIndex::build(&db).num_tids(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_universe_push_panics() {
+        let mut index = VerticalIndex::new(2);
+        index.push(AttrSet::singleton(5));
+    }
+
+    #[test]
+    fn full_tidset_tail_block() {
+        // 65 baskets exercises the partial tail block of TidSet::full.
+        let db = BasketDb::from_baskets(2, (0..65u64).map(|i| AttrSet::from_bits(i & 3)));
+        let index = VerticalIndex::build(&db);
+        assert_eq!(index.support(AttrSet::EMPTY), 65);
+        assert_eq!(
+            index.support(AttrSet::singleton(0)),
+            db.support(AttrSet::singleton(0))
+        );
+    }
+}

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 
 pub use diffcon;
+pub use diffcon_bounds;
+pub use diffcon_discover;
 pub use diffcon_engine;
 pub use fis;
 pub use proplogic;
