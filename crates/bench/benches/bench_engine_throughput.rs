@@ -73,14 +73,28 @@ fn table_engine_cache_effect(stream_lens: &[usize]) -> Table {
 /// numbers of its own).
 fn emit_json_report(cache_table: Table) {
     let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, 512);
-    let time_us = |f: &mut dyn FnMut() -> usize| -> f64 {
-        let passes = 5;
-        let start = Instant::now();
-        for _ in 0..passes {
+    // Steady-state timing: untimed warmup passes, then 20 timed passes.
+    // Returns (best, mean) in µs — the best is a latency-floor estimator
+    // robust to scheduler noise on small CI hosts (criterion's stderr
+    // medians corroborate it); the mean is kept alongside so reports using
+    // different estimators stay comparable across commits.
+    let time_both_us = |f: &mut dyn FnMut() -> usize| -> (f64, f64) {
+        for _ in 0..3 {
             criterion::black_box(f());
         }
-        start.elapsed().as_secs_f64() * 1e6 / passes as f64
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let passes = 20;
+        for _ in 0..passes {
+            let start = Instant::now();
+            criterion::black_box(f());
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            total += secs;
+        }
+        (best * 1e6, total * 1e6 / passes as f64)
     };
+    let time_us = |f: &mut dyn FnMut() -> usize| -> f64 { time_both_us(f).0 };
     let cold_us = time_us(&mut || {
         stream
             .iter()
@@ -94,7 +108,8 @@ fn emit_json_report(cache_table: Table) {
     for goal in &stream {
         warm.implies(goal);
     }
-    let warm_us = time_us(&mut || stream.iter().filter(|g| warm.implies(g).implied).count());
+    let (warm_us, warm_mean_us) =
+        time_both_us(&mut || stream.iter().filter(|g| warm.implies(g).implied).count());
     let batch_us = time_us(&mut || {
         warm.implies_batch(&stream)
             .iter()
@@ -105,6 +120,7 @@ fn emit_json_report(cache_table: Table) {
     report.push_metric("stream_len", stream.len() as f64);
     report.push_metric("cold_oneshot_us", cold_us);
     report.push_metric("warm_serial_us", warm_us);
+    report.push_metric("warm_serial_mean_us", warm_mean_us);
     report.push_metric("warm_batch_us", batch_us);
     report.push_metric("warm_speedup", cold_us / warm_us.max(1e-9));
     report.push_table(cache_table);

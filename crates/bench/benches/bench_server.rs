@@ -1,0 +1,262 @@
+//! S1 — concurrent serving throughput: what the snapshot/shard architecture
+//! buys (and must not cost) on warm repeated-premise query traffic.
+//!
+//! Three axes are measured on the bench_engine_throughput workload (same
+//! generator, same sizes, so the serial figures are directly comparable with
+//! `BENCH_engine.json`):
+//!
+//! * **warm serial latency** — a single caller driving `Session::implies`
+//!   over a warmed cache, the figure that must not regress versus the
+//!   pre-snapshot engine;
+//! * **warm multi-thread throughput** — 1/2/4 worker threads sharing one
+//!   `Arc<Snapshot>` and the sharded caches, total queries fixed, wall-clock
+//!   measured (on a single-core host the win is "no regression"; the
+//!   per-thread scaling column records what a multi-core host exploits);
+//! * **serial vs. sharded cache hit latency** — a plain `LruCache` hit
+//!   against a `ShardedCache` hit (hash + shard pick + mutex), the per-op
+//!   price of concurrency on the hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon_bench::workloads;
+use diffcon_bench::{JsonReport, Table};
+use diffcon_engine::{LruCache, Session, ShardedCache};
+use std::sync::Arc;
+use std::time::Instant;
+
+const UNIVERSE: usize = 12;
+const PREMISES: usize = 8;
+const POOL: usize = 64;
+const STREAM: usize = 512;
+/// Stream repetitions per measured throughput pass: big enough that thread
+/// spawn cost (tens of µs per worker) stays well under 1% of a pass
+/// (~5–10 ms of warm queries).
+const REPEATS: usize = 256;
+const TRIALS: usize = 5;
+
+/// A session warmed over the standard serving stream.
+fn warmed_session() -> (Session, Vec<diffcon::DiffConstraint>) {
+    let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, STREAM);
+    let mut session = Session::new(base.universe.clone());
+    for p in &base.premises {
+        session.assert_constraint(p);
+    }
+    for goal in &stream {
+        session.implies(goal);
+    }
+    (session, stream)
+}
+
+/// Wall-clock seconds for the best of `TRIALS` runs of `f`.
+fn best_secs(mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        criterion::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One throughput pass: `REPEATS × STREAM` warm queries split evenly across
+/// `threads` workers sharing the snapshot.  Returns the implied-count so the
+/// work cannot be optimized away.
+fn multithread_pass(
+    snapshot: &Arc<diffcon_engine::Snapshot>,
+    stream: &[diffcon::DiffConstraint],
+    threads: usize,
+) -> usize {
+    let per_thread = REPEATS / threads;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let snapshot = Arc::clone(snapshot);
+                scope.spawn(move || {
+                    let mut implied = 0usize;
+                    for _ in 0..per_thread {
+                        for goal in stream {
+                            implied += snapshot.implies(goal).implied as usize;
+                        }
+                    }
+                    implied
+                })
+            })
+            .collect();
+        handles.map_sum()
+    })
+}
+
+/// Tiny helper: sum the join results of a scoped handle vector.
+trait JoinSum {
+    fn map_sum(self) -> usize;
+}
+
+impl<'scope> JoinSum for Vec<std::thread::ScopedJoinHandle<'scope, usize>> {
+    fn map_sum(self) -> usize {
+        self.into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .sum()
+    }
+}
+
+/// Per-op nanoseconds for hits against a plain LRU vs. a sharded cache.
+fn cache_hit_latency() -> (f64, f64) {
+    const KEYS: u64 = 1024;
+    const PASSES: u64 = 200;
+    let mut lru: LruCache<u64, u64> = LruCache::new(KEYS as usize * 2);
+    let sharded: ShardedCache<u64, u64> = ShardedCache::new(16, KEYS as usize * 2);
+    for k in 0..KEYS {
+        lru.insert(k, k);
+        sharded.insert(k, k);
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..PASSES {
+        for k in 0..KEYS {
+            acc += lru.get(&k).copied().unwrap_or(0);
+        }
+    }
+    criterion::black_box(acc);
+    let lru_ns = start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..PASSES {
+        for k in 0..KEYS {
+            acc += sharded.get(&k).unwrap_or(0);
+        }
+    }
+    criterion::black_box(acc);
+    let sharded_ns = start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64;
+    (lru_ns, sharded_ns)
+}
+
+fn emit_json_report() {
+    let (session, stream) = warmed_session();
+    let snapshot = session.snapshot();
+    let total_queries = (REPEATS * STREAM) as f64;
+
+    // Warm serial: same steady-state methodology as BENCH_engine.json's
+    // warm_serial_us (best timed 512-query pass after warmup), plus a
+    // throughput figure over the same total query count the multi-thread
+    // runs use.
+    let (serial_512_us, serial_512_mean_us) = {
+        for _ in 0..3 {
+            criterion::black_box(stream.iter().filter(|g| session.implies(g).implied).count());
+        }
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let passes = 20;
+        for _ in 0..passes {
+            let start = Instant::now();
+            criterion::black_box(stream.iter().filter(|g| session.implies(g).implied).count());
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            total += secs;
+        }
+        (best * 1e6, total * 1e6 / passes as f64)
+    };
+    let serial_secs = best_secs(|| {
+        let mut implied = 0usize;
+        for _ in 0..REPEATS {
+            implied += stream.iter().filter(|g| session.implies(g).implied).count();
+        }
+        implied
+    });
+    let serial_qps = total_queries / serial_secs;
+
+    let mut table = Table::new(
+        "S1: warm throughput by worker count (one shared snapshot)",
+        ["threads", "queries", "elapsed_us", "qps", "vs_serial"],
+    );
+    let mut best_qps = 0.0f64;
+    let mut qps_by_threads = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let secs = best_secs(|| multithread_pass(&snapshot, &stream, threads));
+        let qps = total_queries / secs;
+        best_qps = best_qps.max(qps);
+        qps_by_threads.push((threads, qps));
+        table.push_row([
+            threads.to_string(),
+            (REPEATS * STREAM).to_string(),
+            format!("{:.0}", secs * 1e6),
+            format!("{:.0}", qps),
+            format!("{:.2}", qps / serial_qps),
+        ]);
+    }
+    table.eprint();
+
+    let (lru_ns, sharded_ns) = cache_hit_latency();
+
+    let mut report = JsonReport::new("server_throughput");
+    report.push_metric("stream_len", STREAM as f64);
+    report.push_metric("queries_per_pass", total_queries);
+    report.push_metric("warm_serial_us", serial_512_us);
+    report.push_metric("warm_serial_mean_us", serial_512_mean_us);
+    report.push_metric("warm_serial_qps", serial_qps);
+    for (threads, qps) in &qps_by_threads {
+        report.push_metric(format!("warm_mt_qps_t{threads}"), *qps);
+    }
+    report.push_metric("warm_mt_best_qps", best_qps);
+    report.push_metric("mt_over_serial", best_qps / serial_qps);
+    report.push_metric("lru_hit_ns", lru_ns);
+    report.push_metric("sharded_hit_ns", sharded_ns);
+    report.push_metric("sharded_overhead_ns", sharded_ns - lru_ns);
+    report.push_table(table);
+    match report.write_to_repo_root("BENCH_server.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
+    }
+    eprintln!(
+        "warm serial {:.0} qps; best multi-thread {:.0} qps ({:.2}x); \
+         cache hit {:.0} ns plain vs {:.0} ns sharded",
+        serial_qps,
+        best_qps,
+        best_qps / serial_qps,
+        lru_ns,
+        sharded_ns
+    );
+    assert!(
+        best_qps >= serial_qps * 0.9,
+        "multi-thread warm throughput regressed more than 10% below serial \
+         ({best_qps:.0} vs {serial_qps:.0} qps)"
+    );
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    emit_json_report();
+
+    let (session, stream) = warmed_session();
+    let snapshot = session.snapshot();
+    let mut group = c.benchmark_group("S1_warm_throughput");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("serial", STREAM), &stream, |b, stream| {
+        b.iter(|| stream.iter().filter(|g| session.implies(g).implied).count())
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_threads", threads),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|_| {
+                                let snapshot = Arc::clone(&snapshot);
+                                scope.spawn(move || {
+                                    stream
+                                        .iter()
+                                        .filter(|g| snapshot.implies(g).implied)
+                                        .count()
+                                })
+                            })
+                            .collect();
+                        handles.map_sum()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

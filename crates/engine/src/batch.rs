@@ -1,50 +1,36 @@
-//! Batch evaluation: decide many goals against one premise set, in parallel.
+//! Batch evaluation: decide many goals against one frozen snapshot, in
+//! parallel.
 //!
-//! This module is the stateless core the [`crate::session::Session`]
-//! dispatches to.  A session snapshots its premise set (plus the memoized
-//! propositional translations and any cached goal lattices), plans one
-//! [`Job`] per goal, and hands the whole batch to [`decide_many`], which
-//! fans the jobs out with rayon.  Workers are pure: they read the shared
-//! [`DecisionContext`] and return per-goal [`JobResult`]s carrying any
-//! freshly computed derived data (goal lattices, propositional translations),
-//! which the session then writes back into its caches on the serial side.
-//! Keeping cache mutation out of the parallel section means no locks on the
-//! hot path and no cross-worker contention.
+//! This module is the stateless core [`crate::snapshot::Snapshot`]
+//! dispatches to.  A snapshot plans one [`Job`] per goal (attaching any
+//! memoized propositional translation or goal lattice from the shared
+//! caches) and hands the batch to [`decide_many`], which fans the jobs out
+//! with rayon.  Workers are pure: they read the shared `&Snapshot` and
+//! return per-goal [`JobResult`]s carrying any freshly computed derived data
+//! (goal lattices, propositional translations), which the snapshot then
+//! writes back into the sharded caches.  Workers never touch a cache shard
+//! themselves, so a batch's parallel section takes no locks at all.
 
+use crate::snapshot::Snapshot;
 use diffcon::procedure::ProcedureKind;
 use diffcon::{implication, prop_bridge, DiffConstraint};
 use proplogic::implication::ImplicationConstraint;
 use rayon::prelude::*;
-use relational::fd::{self, FunctionalDependency};
+use relational::fd;
 use setlat::{lattice, AttrSet, Universe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Everything a worker needs to decide `premises ⊨ goal`, shared read-only
-/// across the batch.
-pub struct DecisionContext<'a> {
-    /// The attribute universe.
-    pub universe: &'a Universe,
-    /// The premise set `C`.
-    pub premises: &'a [DiffConstraint],
-    /// Propositional translations of `premises`, index-aligned; used by the
-    /// SAT procedure.
-    pub premise_props: &'a [ImplicationConstraint],
-    /// FD translations of `premises` when the whole set lies in the
-    /// single-member fragment; enables the polynomial procedure.
-    pub premise_fds: Option<&'a [FunctionalDependency]>,
-}
-
 /// One planned unit of work: a goal plus the procedure chosen for it and any
-/// cached derived data the session already holds.
+/// cached derived data the snapshot already holds.
 pub struct Job {
     /// The goal constraint.
     pub goal: DiffConstraint,
     /// The procedure the planner selected.
     pub procedure: ProcedureKind,
-    /// The goal's memoized lattice decomposition, if the session has it.
+    /// The goal's memoized lattice decomposition, if the caches hold it.
     pub cached_lattice: Option<Arc<[AttrSet]>>,
-    /// The goal's memoized propositional translation, if the session has it.
+    /// The goal's memoized propositional translation, if the caches hold it.
     pub cached_prop: Option<Arc<ImplicationConstraint>>,
 }
 
@@ -62,34 +48,34 @@ pub struct JobResult {
     pub computed_prop: Option<Arc<ImplicationConstraint>>,
 }
 
-/// Decides a single job against the context.
-pub fn decide_one(ctx: &DecisionContext<'_>, job: &Job) -> JobResult {
+/// Decides a single job against the snapshot.
+pub fn decide_one(snapshot: &Snapshot, job: &Job) -> JobResult {
     let start = Instant::now();
     let mut computed_lattice = None;
     let mut computed_prop = None;
     let implied = match job.procedure {
         ProcedureKind::FdFragment => {
-            let fds = ctx
-                .premise_fds
+            let fds = snapshot
+                .premise_fds()
                 .expect("planner routed to FD without a fragment index");
             let goal_fd = diffcon::fd_fragment::to_fd(&job.goal)
                 .expect("planner routed a wide goal to the FD procedure");
             fd::implies(fds, &goal_fd)
         }
         ProcedureKind::Lattice => match &job.cached_lattice {
-            Some(l) => covered_by_premises(l, ctx.premises),
+            Some(l) => covered_by_premises(l, snapshot.premises()),
             None => {
                 // Enumerate L(goal) once, decide from it, and hand the
-                // materialization back for the session to memoize — repeat
+                // materialization back for the caches to memoize — repeat
                 // queries then skip the 2^{|S|−|X|} superset sweep entirely.
-                let l = goal_lattice(ctx.universe, &job.goal);
-                let implied = covered_by_premises(&l, ctx.premises);
+                let l = goal_lattice(snapshot.universe(), &job.goal);
+                let implied = covered_by_premises(&l, snapshot.premises());
                 computed_lattice = Some(l);
                 implied
             }
         },
         ProcedureKind::Semantic => {
-            implication::implies_semantic(ctx.universe, ctx.premises, &job.goal)
+            implication::implies_semantic(snapshot.universe(), snapshot.premises(), &job.goal)
         }
         ProcedureKind::Sat => {
             let prop = match &job.cached_prop {
@@ -100,7 +86,7 @@ pub fn decide_one(ctx: &DecisionContext<'_>, job: &Job) -> JobResult {
                     p
                 }
             };
-            prop.implied_by_sat(ctx.premise_props, ctx.universe)
+            prop.implied_by_sat(snapshot.premise_props(), snapshot.universe())
         }
     };
     JobResult {
@@ -114,8 +100,10 @@ pub fn decide_one(ctx: &DecisionContext<'_>, job: &Job) -> JobResult {
 
 /// Decides a whole batch, fanning out across the rayon pool.  Results are
 /// index-aligned with `jobs`.
-pub fn decide_many(ctx: &DecisionContext<'_>, jobs: &[Job]) -> Vec<JobResult> {
-    jobs.par_iter().map(|job| decide_one(ctx, job)).collect()
+pub fn decide_many(snapshot: &Snapshot, jobs: &[Job]) -> Vec<JobResult> {
+    jobs.par_iter()
+        .map(|job| decide_one(snapshot, job))
+        .collect()
 }
 
 /// Materializes `L(X, 𝒴)` of a goal as a shared slice.
@@ -134,6 +122,7 @@ fn covered_by_premises(goal_lattice: &[AttrSet], premises: &[DiffConstraint]) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use diffcon::procedure;
 
     fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
@@ -143,24 +132,29 @@ mod tests {
             .collect()
     }
 
-    fn ctx_props(premises: &[DiffConstraint]) -> Vec<ImplicationConstraint> {
-        premises
-            .iter()
-            .map(prop_bridge::to_implication_constraint)
-            .collect()
+    /// A snapshot frozen over the given premise texts.
+    fn snapshot_of(u: &Universe, premises: &[DiffConstraint]) -> Arc<Snapshot> {
+        let mut session = Session::new(u.clone());
+        for p in premises {
+            session.assert_constraint(p);
+        }
+        session.snapshot()
+    }
+
+    fn job(goal: DiffConstraint, procedure: ProcedureKind) -> Job {
+        Job {
+            goal,
+            procedure,
+            cached_lattice: None,
+            cached_prop: None,
+        }
     }
 
     #[test]
     fn every_procedure_agrees_with_the_reference() {
         let u = Universe::of_size(5);
         let premises = parse(&u, &["A -> {B}", "B -> {C, DE}", "AC -> {D}"]);
-        let props = ctx_props(&premises);
-        let ctx = DecisionContext {
-            universe: &u,
-            premises: &premises,
-            premise_props: &props,
-            premise_fds: None,
-        };
+        let snapshot = snapshot_of(&u, &premises);
         let goals = parse(
             &u,
             &["A -> {C, DE}", "C -> {A}", "AB -> {C, DE}", "E -> {A}"],
@@ -172,13 +166,7 @@ mod tests {
                 ProcedureKind::Semantic,
                 ProcedureKind::Sat,
             ] {
-                let job = Job {
-                    goal: goal.clone(),
-                    procedure: kind,
-                    cached_lattice: None,
-                    cached_prop: None,
-                };
-                let r = decide_one(&ctx, &job);
+                let r = decide_one(&snapshot, &job(goal.clone(), kind));
                 assert_eq!(r.implied, expected, "{kind} wrong on {}", goal.format(&u));
             }
         }
@@ -188,26 +176,12 @@ mod tests {
     fn cached_and_uncached_lattice_paths_agree() {
         let u = Universe::of_size(5);
         let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
-        let props = ctx_props(&premises);
-        let ctx = DecisionContext {
-            universe: &u,
-            premises: &premises,
-            premise_props: &props,
-            premise_fds: None,
-        };
+        let snapshot = snapshot_of(&u, &premises);
         let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
-        let cold = decide_one(
-            &ctx,
-            &Job {
-                goal: goal.clone(),
-                procedure: ProcedureKind::Lattice,
-                cached_lattice: None,
-                cached_prop: None,
-            },
-        );
+        let cold = decide_one(&snapshot, &job(goal.clone(), ProcedureKind::Lattice));
         let materialized = cold.computed_lattice.expect("cold run materializes");
         let warm = decide_one(
-            &ctx,
+            &snapshot,
             &Job {
                 goal,
                 procedure: ProcedureKind::Lattice,
@@ -226,28 +200,11 @@ mod tests {
     fn fd_jobs_use_the_fragment_index() {
         let u = Universe::of_size(5);
         let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
-        let fds: Vec<FunctionalDependency> = premises
-            .iter()
-            .map(|c| diffcon::fd_fragment::to_fd(c).unwrap())
-            .collect();
-        let props = ctx_props(&premises);
-        let ctx = DecisionContext {
-            universe: &u,
-            premises: &premises,
-            premise_props: &props,
-            premise_fds: Some(&fds),
-        };
+        let snapshot = snapshot_of(&u, &premises);
+        assert!(snapshot.premise_fds().is_some());
         for (text, expected) in [("A -> {C}", true), ("C -> {A}", false)] {
             let goal = DiffConstraint::parse(text, &u).unwrap();
-            let r = decide_one(
-                &ctx,
-                &Job {
-                    goal,
-                    procedure: ProcedureKind::FdFragment,
-                    cached_lattice: None,
-                    cached_prop: None,
-                },
-            );
+            let r = decide_one(&snapshot, &job(goal, ProcedureKind::FdFragment));
             assert_eq!(r.implied, expected, "wrong on {text}");
         }
     }
@@ -256,26 +213,15 @@ mod tests {
     fn batches_preserve_order_and_agree_with_serial() {
         let u = Universe::of_size(6);
         let premises = parse(&u, &["A -> {B}", "BC -> {D, EF}", "D -> {E}"]);
-        let props = ctx_props(&premises);
-        let ctx = DecisionContext {
-            universe: &u,
-            premises: &premises,
-            premise_props: &props,
-            premise_fds: None,
-        };
+        let snapshot = snapshot_of(&u, &premises);
         let mut gen = diffcon::random::ConstraintGenerator::new(11, &u);
         let shape = diffcon::random::ConstraintShape::default();
         let goals = gen.constraint_set(64, &shape);
         let jobs: Vec<Job> = goals
             .iter()
-            .map(|g| Job {
-                goal: g.clone(),
-                procedure: ProcedureKind::Lattice,
-                cached_lattice: None,
-                cached_prop: None,
-            })
+            .map(|g| job(g.clone(), ProcedureKind::Lattice))
             .collect();
-        let results = decide_many(&ctx, &jobs);
+        let results = decide_many(&snapshot, &jobs);
         assert_eq!(results.len(), goals.len());
         for (goal, result) in goals.iter().zip(&results) {
             assert_eq!(
@@ -291,23 +237,9 @@ mod tests {
     fn procedure_module_and_batch_agree_on_semantic() {
         let u = Universe::of_size(4);
         let premises = parse(&u, &["A -> {B, CD}"]);
-        let props = ctx_props(&premises);
-        let ctx = DecisionContext {
-            universe: &u,
-            premises: &premises,
-            premise_props: &props,
-            premise_fds: None,
-        };
+        let snapshot = snapshot_of(&u, &premises);
         let goal = DiffConstraint::parse("AC -> {B, CD}", &u).unwrap();
-        let r = decide_one(
-            &ctx,
-            &Job {
-                goal: goal.clone(),
-                procedure: ProcedureKind::Semantic,
-                cached_lattice: None,
-                cached_prop: None,
-            },
-        );
+        let r = decide_one(&snapshot, &job(goal.clone(), ProcedureKind::Semantic));
         assert_eq!(
             r.implied,
             procedure::decide(ProcedureKind::Semantic, &u, &premises, &goal)

@@ -2,15 +2,28 @@
 //! line-oriented protocol (one request per line on stdin, one machine-readable
 //! response per line on stdout).
 //!
-//! See `diffcon_engine::protocol` for the full request/response grammar.
+//! See `diffcon_engine::protocol` for the full request/response grammar,
+//! including the `session new/use/close/list` verbs that manage multiple
+//! independent sessions in one process.
 //!
 //! ```text
 //! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
-//!                 [--bound-cache N] [--lattice-budget N] [--bound-budget N]
-//!                 [--help]
+//!                 [--bound-cache N] [--cache-shards N] [--lattice-budget N]
+//!                 [--bound-budget N] [--threads N] [--help]
 //! ```
+//!
+//! With `--threads N` (N > 1) the server scans requests serially but
+//! evaluates the read-only query verbs (`implies`, `batch`, `bound`,
+//! `witness`, `derive`) concurrently on a pool of `N` workers, each against
+//! the session snapshot captured at its position in the request order —
+//! answers are identical to serial execution, replies stay in input order,
+//! and interleaved traffic against multiple sessions overlaps.  Replies are
+//! released in waves (at 256 pending queries, at `stats`/`quit`, and at end
+//! of input), so `--threads` suits piped workloads where the request stream
+//! does not wait on individual replies; a strict request/response client
+//! must use the default serial mode (or send `stats` to force a flush).
 
-use diffcon_engine::{Server, SessionConfig};
+use diffcon_engine::{Pipeline, Server, SessionConfig};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -20,22 +33,34 @@ Reads one request per line from stdin, writes one response per line to stdout.
 Start with `universe <n>` (or `universe <name>...`), then `assert`, `implies`,
 `batch`, `witness`, `derive`, `known`, `forget`, `bound`, `load`, `mine`,
 `adopt`, `dataset`, `premises`, `knowns`, `stats`, `reset`, `help`, `quit`.
+Multiple independent sessions: `session new`, `session use <id>`,
+`session close [<id>]`, `session list`.
 
 Options:
   --answer-cache N    bound on memoized query answers     (default 65536)
   --lattice-cache N   bound on memoized goal lattices     (default 4096)
   --prop-cache N      bound on memoized translations      (default 4096)
   --bound-cache N     bound on memoized bound intervals   (default 4096)
+  --cache-shards N    shards per concurrent cache         (default 16)
   --intern-limit N    distinct constraints kept before the intern table is
                       compacted                           (default 262144)
   --lattice-budget N  max lattice-procedure cost before a query is routed
                       to the SAT procedure                (default 4194304)
   --bound-budget N    max bound-derivation cost before a bound query is
                       routed to the sound relaxation      (default 67108864)
+  --threads N         worker threads evaluating read-only queries
+                      concurrently against their snapshots (default 1:
+                      classic serial line-by-line serving)
   --help              print this text";
 
-fn parse_args() -> Result<SessionConfig, String> {
+struct Options {
+    config: SessionConfig,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
     let mut config = SessionConfig::default();
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -46,7 +71,8 @@ fn parse_args() -> Result<SessionConfig, String> {
                 std::process::exit(0);
             }
             "--answer-cache" | "--lattice-cache" | "--prop-cache" | "--bound-cache"
-            | "--intern-limit" | "--lattice-budget" | "--bound-budget" => {
+            | "--cache-shards" | "--intern-limit" | "--lattice-budget" | "--bound-budget"
+            | "--threads" => {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("{flag} expects a number"))?;
@@ -62,25 +88,33 @@ fn parse_args() -> Result<SessionConfig, String> {
                     "--lattice-cache" => config.lattice_cache_capacity = as_capacity(n)?,
                     "--prop-cache" => config.prop_cache_capacity = as_capacity(n)?,
                     "--bound-cache" => config.bound_cache_capacity = as_capacity(n)?,
+                    "--cache-shards" => {
+                        let shards = as_capacity(n)?;
+                        if shards == 0 {
+                            return Err("--cache-shards must be at least 1".into());
+                        }
+                        config.cache_shards = shards;
+                    }
                     "--intern-limit" => config.interner_compaction_threshold = as_capacity(n)?,
                     "--lattice-budget" => config.planner.lattice_budget = n,
+                    "--threads" => {
+                        let t = as_capacity(n)?;
+                        if t == 0 {
+                            return Err("--threads must be at least 1".into());
+                        }
+                        threads = t;
+                    }
                     _ => config.planner.bound_budget = n,
                 }
             }
             other => return Err(format!("unknown option `{other}` (try --help)")),
         }
     }
-    Ok(config)
+    Ok(Options { config, threads })
 }
 
-fn main() {
-    let config = match parse_args() {
-        Ok(config) => config,
-        Err(message) => {
-            eprintln!("diffcond: {message}");
-            std::process::exit(2);
-        }
-    };
+/// Classic serving loop: one request, one immediate reply.
+fn serve_serial(config: SessionConfig) {
     let mut server = Server::new(config);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -101,5 +135,56 @@ fn main() {
         if reply.quit {
             break;
         }
+    }
+}
+
+/// Concurrent serving loop: serial scan, parallel query waves, in-order
+/// replies (see `diffcon_engine::server_state::Pipeline`).
+fn serve_concurrent(config: SessionConfig, threads: usize) {
+    let mut pipeline = Pipeline::new(config, threads);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let emit = |out: &mut dyn Write, replies: Vec<diffcon_engine::Reply>| -> bool {
+        for reply in &replies {
+            if !reply.text.is_empty() && writeln!(out, "{}", reply.text).is_err() {
+                return false;
+            }
+        }
+        out.flush().is_ok()
+    };
+    let mut quit = false;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let (replies, should_quit) = pipeline.push_line(&line);
+        if !emit(&mut out, replies) {
+            return;
+        }
+        if should_quit {
+            quit = true;
+            break;
+        }
+    }
+    if !quit {
+        let replies = pipeline.finish();
+        emit(&mut out, replies);
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("diffcond: {message}");
+            std::process::exit(2);
+        }
+    };
+    if options.threads > 1 {
+        serve_concurrent(options.config, options.threads);
+    } else {
+        serve_serial(options.config);
     }
 }

@@ -10,10 +10,25 @@
 //! A capacity of `0` disables the cache entirely (every `get` misses, every
 //! `insert` is a no-op), which the engine's tests use to prove answers do not
 //! depend on caching.
+//!
+//! On top of the plain [`LruCache`] this module provides the concurrent
+//! serving primitives of the snapshot architecture:
+//!
+//! * [`ShardedCache`] — `N` shards of `Mutex<LruCache>` addressed by key
+//!   hash, so concurrent readers of a snapshot contend only when they hash
+//!   to the same shard, with [`ShardedCache::stats`] aggregating the
+//!   per-shard counters;
+//! * [`VersionedKey`] — the one digest-versioning helper every query-path
+//!   cache uses: a key salted with the session-state digests
+//!   ([`version_salt`]), whose `Hash` touches only the salt and a
+//!   precomputed payload fingerprint (two `u64`s) so hot-path lookups never
+//!   rehash a constraint structure, while `Eq` still compares the payload
+//!   structurally so fingerprint collisions cannot alias answers.
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
 
@@ -45,6 +60,13 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates another counter set (shard aggregation).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -107,6 +129,36 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
                 self.attach_front(slot);
                 Some(&self.slots[slot].value)
             }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` and projects the value through `f`.  Only a
+    /// *verified* hit (`f` returning `Some`) is counted and promoted; a
+    /// present-but-rejected entry is recorded as a miss and keeps its
+    /// recency, so stats match what the caller actually served and a
+    /// colliding entry earns no recency credit.
+    pub fn get_if<Q, R>(&mut self, key: &Q, f: impl FnOnce(&V) -> Option<R>) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        match self.map.get(key).copied() {
+            Some(slot) => match f(&self.slots[slot].value) {
+                Some(projected) => {
+                    self.stats.hits += 1;
+                    self.detach(slot);
+                    self.attach_front(slot);
+                    Some(projected)
+                }
+                None => {
+                    self.stats.misses += 1;
+                    None
+                }
+            },
             None => {
                 self.stats.misses += 1;
                 None
@@ -206,6 +258,203 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     }
 }
 
+/// A key usable in a [`ShardedCache`]: hashable for the in-shard map, plus
+/// a cheap 64-bit hint that picks the shard without running a full hasher.
+///
+/// The hint needs only enough mixing to spread across a handful of shards
+/// (the cache finishes it with a Fibonacci multiply-shift); for
+/// [`VersionedKey`] it is the already-premixed salt/fingerprint word, so a
+/// hot-path lookup runs exactly one SipHash (the shard map's own), not two.
+pub trait ShardKey: Hash + Eq + Clone {
+    /// A well-spread 64-bit digest of the key.
+    fn shard_hint(&self) -> u64;
+}
+
+impl ShardKey for u64 {
+    fn shard_hint(&self) -> u64 {
+        *self
+    }
+}
+
+impl ShardKey for VersionedKey {
+    fn shard_hint(&self) -> u64 {
+        self.premix()
+    }
+}
+
+/// A concurrent bounded LRU: `N` shards of `Mutex<LruCache>`, addressed by
+/// the key's shard hint.  Readers of different shards never contend;
+/// recency and eviction are maintained per shard, so the bound is exactly
+/// `capacity` overall (split as evenly as the shard count allows) and the
+/// eviction order is approximately-LRU.
+///
+/// `get` returns an owned clone of the value — every engine cache stores
+/// either `Copy` data or an `Arc` — so no lock is held after the call
+/// returns.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Box<[Mutex<LruCache<K, V>>]>,
+}
+
+impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
+    /// Creates a cache of `shards` shards bounding exactly `capacity`
+    /// entries in total: the remainder of an uneven split goes one entry at
+    /// a time to the leading shards, so [`ShardedCache::capacity`] equals
+    /// the request.  A zero `capacity` disables the cache (as for
+    /// [`LruCache`]); `shards` is clamped to `1..=capacity` so a shard
+    /// never has capacity zero unless the whole cache is disabled.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        let (base, extra) = (capacity / shards, capacity % shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|i| Mutex::new(LruCache::new(base + usize::from(i < extra))))
+                .collect(),
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards (exactly the `capacity` requested at
+    /// construction).
+    pub fn capacity(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).capacity())
+            .sum()
+    }
+
+    /// Live entries across shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+    }
+
+    /// Returns `true` iff no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated usage counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in 0..self.shards.len() {
+            total.absorb(self.lock(i).stats());
+        }
+        total
+    }
+
+    /// Looks up `key` in its shard, promoting it on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lock(self.shard_of(key)).get(key).cloned()
+    }
+
+    /// Looks up `key` and projects the stored value through `f` while the
+    /// shard lock is held.  `f` returning `None` (the engine uses it to
+    /// verify a stored payload against the query before trusting a
+    /// fingerprint-addressed entry) is a genuine miss: counted as one, not
+    /// promoted, and nothing is cloned either way.
+    pub fn get_if<R>(&self, key: &K, f: impl FnOnce(&V) -> Option<R>) -> Option<R> {
+        self.lock(self.shard_of(key)).get_if(key, f)
+    }
+
+    /// Inserts `key → value` into its shard, evicting that shard's LRU entry
+    /// at capacity.
+    pub fn insert(&self, key: K, value: V) {
+        self.lock(self.shard_of(&key)).insert(key, value);
+    }
+
+    /// Drops every entry in every shard (counters are kept).
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.lock(i).clear();
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        // Fibonacci multiply-shift finishes the key's hint: the high bits
+        // are well mixed even for sequential hints, and no hasher runs.
+        let mixed = key.shard_hint().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 32) % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, LruCache<K, V>> {
+        // Lock poisoning cannot corrupt an LRU (every method leaves it
+        // consistent or panics before mutating), so a poisoned shard is
+        // still served rather than cascading the panic across readers.
+        match self.shards[shard].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Combines the session-state digests into the one salt that versions every
+/// cached answer: the premise digest XOR the (rotated) knowns digest.
+///
+/// The rotation keeps the two digest spaces from cancelling symmetrically
+/// (`premises = D, knowns = ∅` must not collide with `premises = ∅,
+/// knowns = D`).  Implication answers depend only on the premise set, so the
+/// answer cache passes `knowns_digest = 0`; the bound cache passes both.
+/// Either way, retracting a premise (or forgetting a known) changes the salt
+/// and therefore instantly invalidates — and restoring the state instantly
+/// revalidates — every affected entry.
+pub fn version_salt(premise_digest: u64, knowns_digest: u64) -> u64 {
+    premise_digest ^ knowns_digest.rotate_left(21)
+}
+
+/// A digest-versioned cache key: the state salt ([`version_salt`]) combined
+/// with a stable 64-bit fingerprint of the payload (a goal constraint, a
+/// query set).
+///
+/// The key is two plain words — `Copy`, allocation-free, hashed as a single
+/// premixed `u64` — so a hot-path lookup never rehashes (or clones) the
+/// payload structure.  Fingerprints are not injective, so a colliding
+/// payload *can* map to the same key; the engine therefore stores the
+/// payload beside the cached value and verifies equality on every hit
+/// (see [`ShardedCache::get_if`]), which keeps collisions harmless: they
+/// cost a recomputation, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionedKey {
+    salt: u64,
+    fingerprint: u64,
+}
+
+impl VersionedKey {
+    /// Builds a key from the state salt and the payload's stable
+    /// fingerprint.
+    pub fn new(salt: u64, fingerprint: u64) -> Self {
+        VersionedKey { salt, fingerprint }
+    }
+
+    /// The state salt the key was versioned with.
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The payload fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The single premixed word both [`Hash`] and [`ShardKey`] derive from,
+    /// so shard choice and in-shard bucketing stay consistent by
+    /// construction.  The rotation keeps (salt, fingerprint) and
+    /// (fingerprint, salt) apart.
+    fn premix(&self) -> u64 {
+        self.salt ^ self.fingerprint.rotate_left(32)
+    }
+}
+
+impl Hash for VersionedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // One premixed word: the hasher sees 8 bytes, not 16.  `Eq` still
+        // compares both fields, so this only shapes bucket placement.
+        state.write_u64(self.premix());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +549,136 @@ mod tests {
             }
             assert!(c.len() <= 16);
         }
+    }
+
+    #[test]
+    fn sharded_cache_inserts_hits_and_aggregates() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(4, 64);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.capacity(), 64);
+        for k in 0..32u64 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(c.get(&k), Some(k * 10));
+        }
+        assert_eq!(c.get(&999), None);
+        let stats = c.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 1);
+        c.clear();
+        assert!(c.is_empty());
+        // Counters describe the lifetime, not the contents.
+        assert_eq!(c.stats().hits, 32);
+    }
+
+    #[test]
+    fn sharded_cache_bounds_each_shard() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(2, 8);
+        for k in 0..1000u64 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= 8, "len {} exceeds total capacity", c.len());
+        assert!(c.stats().evictions >= 1000 - 8);
+    }
+
+    #[test]
+    fn sharded_cache_keeps_exact_capacity_on_uneven_splits() {
+        // 100 entries over 16 shards: the remainder spreads one-per-shard,
+        // never rounding the total up.
+        let c: ShardedCache<u64, u64> = ShardedCache::new(16, 100);
+        assert_eq!(c.capacity(), 100);
+        for k in 0..10_000u64 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= 100, "len {} exceeds requested bound", c.len());
+        // Tiny capacities clamp the shard count instead of zeroing shards.
+        let tiny: ShardedCache<u64, u64> = ShardedCache::new(16, 3);
+        assert_eq!(tiny.capacity(), 3);
+        assert!(tiny.shard_count() <= 3);
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(4, 0);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_is_consistent_under_concurrent_traffic() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let c: ShardedCache<u64, u64> = ShardedCache::new(4, 128);
+        let wrong = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                let wrong = &wrong;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 2_000 + i) % 300;
+                        c.insert(k, k * 7);
+                        if let Some(v) = c.get(&k) {
+                            // Values are keyed deterministically: a hit may
+                            // be stale-evicted-reinserted but never wrong.
+                            if v != k * 7 {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wrong.load(Ordering::Relaxed), 0);
+        assert!(c.len() <= 128);
+    }
+
+    #[test]
+    fn version_salt_separates_premise_and_knowns_space() {
+        // The same digest arriving via the premise side and via the knowns
+        // side must produce different salts (XOR without rotation would
+        // collide them).
+        let d = 0xDEAD_BEEF_0BAD_F00D_u64;
+        assert_ne!(version_salt(d, 0), version_salt(0, d));
+        // Either component changing changes the salt.
+        assert_ne!(version_salt(d, 7), version_salt(d, 8));
+        assert_ne!(version_salt(3, 7), version_salt(4, 7));
+        // Restoring the state restores the salt exactly.
+        assert_eq!(version_salt(d, 7), version_salt(d, 7));
+    }
+
+    #[test]
+    fn versioned_keys_separate_salts_and_fingerprints() {
+        // Distinct salts (state versions) and distinct fingerprints both
+        // produce distinct keys; the symmetric swap does too.
+        assert_ne!(VersionedKey::new(1, 42), VersionedKey::new(2, 42));
+        assert_ne!(VersionedKey::new(1, 42), VersionedKey::new(1, 43));
+        assert_ne!(VersionedKey::new(1, 42), VersionedKey::new(42, 1));
+        let k = VersionedKey::new(7, 9);
+        assert_eq!((k.salt(), k.fingerprint()), (7, 9));
+    }
+
+    #[test]
+    fn get_if_verifies_stored_payloads() {
+        // The engine's collision discipline: the payload rides in the value
+        // and a hit only counts when it matches the query.
+        let c: ShardedCache<VersionedKey, (&str, u32)> = ShardedCache::new(2, 8);
+        let key = VersionedKey::new(1, 42);
+        c.insert(key, ("alpha", 10));
+        assert_eq!(
+            c.get_if(&key, |&(p, v)| (p == "alpha").then_some(v)),
+            Some(10)
+        );
+        // A colliding payload under the same key is rejected, not aliased —
+        // and the rejection counts as a miss, matching the recomputation
+        // the caller then performs.
+        let before = c.stats();
+        assert_eq!(c.get_if(&key, |&(p, v)| (p == "beta").then_some(v)), None);
+        let after = c.stats();
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(c.get_if(&VersionedKey::new(9, 42), |&(_, v)| Some(v)), None);
     }
 }

@@ -1,12 +1,15 @@
 //! Constraint interning: map each distinct [`DiffConstraint`] to a small
 //! dense id.
 //!
-//! Every cache in the engine is keyed on [`ConstraintId`] (4 bytes, `Copy`)
-//! rather than on the constraint structure itself, so repeated queries hash a
-//! `u32` instead of re-hashing a left-hand set plus a family per lookup, and
-//! identical goals arriving through different sessions of a workload share
-//! cache lines.  Interning is append-only: ids stay valid for the lifetime of
-//! the interner, even after the constraint is retracted from the premise set.
+//! Sessions intern their asserted premises, giving each a stable
+//! [`ConstraintId`] (4 bytes, `Copy`) that the wire protocol reports and
+//! [`crate::session::Session::retract_id`] accepts.  Interning is
+//! append-only: ids stay valid for the lifetime of the interner, even after
+//! the constraint is retracted from the premise set (until the session
+//! compacts the table).  Query traffic never touches the interner — the
+//! concurrent caches are keyed on digest-versioned constraints
+//! ([`crate::cache::VersionedKey`]), not ids, so the read path needs no
+//! access to this mutable table.
 
 use diffcon::DiffConstraint;
 use std::collections::HashMap;

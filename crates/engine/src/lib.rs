@@ -11,14 +11,30 @@
 //!   and an order-independent 64-bit digest that versions cached answers —
 //!   so retracting a premise invalidates stale answers instantly and
 //!   re-asserting it revalidates them.
-//! * **Memoization** ([`cache::LruCache`]) — bounded LRU caches, keyed on
-//!   interned constraint ids ([`intern::ConstraintInterner`]), for full query
-//!   answers, goal lattice decompositions `L(X, 𝒴)`, and propositional
-//!   translations.
+//! * **Snapshot isolation** ([`snapshot::Snapshot`]) — every mutation
+//!   publishes an immutable `Arc<Snapshot>` of the session state (premises,
+//!   translations, FD index, knowns, dataset handle, digests) under a
+//!   bumped epoch.  All query methods — `implies`, `implies_batch`,
+//!   `bound`, `witness`, `derive` — decide against a snapshot through
+//!   `&self`: any number of threads query concurrently, writers never wait
+//!   for readers, and in-flight readers keep the exact state they captured.
+//! * **Memoization** ([`cache::ShardedCache`]) — sharded concurrent LRU
+//!   caches (`N` shards of `Mutex<LruCache>`), shared across all snapshots
+//!   of a session, for full query answers, goal lattice decompositions
+//!   `L(X, 𝒴)`, propositional translations, and bound intervals.  Every
+//!   key is digest-versioned through one helper
+//!   ([`cache::version_salt`] / [`cache::VersionedKey`]), so mutation
+//!   invalidates instantly and state restoration revalidates instantly.
 //! * **Batch evaluation** ([`batch`], [`session::Session::implies_batch`]) —
-//!   many goals against one premise set, fanned out across the rayon pool;
-//!   cache reads and write-backs stay on the serial side so workers share
-//!   nothing mutable.
+//!   many goals against one snapshot, fanned out across the rayon pool;
+//!   workers are pure and the parallel section takes no locks.
+//! * **Multi-session serving** ([`server_state::SessionRegistry`],
+//!   [`server_state::Pipeline`]) — the `diffcond` server manages numbered
+//!   session slots (`session new/use/close/list` verbs) and, with
+//!   `--threads N`, scans requests serially while evaluating the read-only
+//!   query verbs concurrently on a rayon pool against the snapshots
+//!   captured at their request positions — interleaved traffic from many
+//!   sessions executes in parallel with serial-equivalent answers.
 //! * **An adaptive planner** ([`planner::Planner`]) that routes each query
 //!   to the cheapest sound procedure — trivial goals inline, the polynomial
 //!   FD fast path when the instance lies in the single-member fragment, the
@@ -86,10 +102,14 @@ pub mod cache;
 pub mod intern;
 pub mod planner;
 pub mod protocol;
+pub mod server_state;
 pub mod session;
+pub mod snapshot;
 
-pub use cache::{CacheStats, LruCache};
+pub use cache::{version_salt, CacheStats, LruCache, ShardedCache, VersionedKey};
 pub use intern::{ConstraintId, ConstraintInterner};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
-pub use protocol::{Reply, Request, Server};
+pub use protocol::{Reply, Request, Server, Step};
+pub use server_state::{DeferredQuery, Pipeline, SessionRegistry};
 pub use session::{AdoptOutcome, BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};
+pub use snapshot::{Snapshot, SnapshotStats};

@@ -27,12 +27,18 @@
 //! cumulative and maximum latency), so a long-running `diffcond` process can
 //! report where its time goes and operators can tune
 //! [`PlannerConfig::lattice_budget`].
+//!
+//! Routing is a pure function of the query and the snapshot; the accounting
+//! is lock-free atomics.  Both therefore work through `&self`, which is what
+//! lets every reader of a snapshot share one [`Planner`] without
+//! serializing on it.
 
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon::DiffConstraint;
 use diffcon_bounds::problem::{fits_budget, propagation_cost_bound, BoundsConfig};
 use diffcon_bounds::DeriveRoute;
 use setlat::{AttrSet, Universe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Tuning knobs for procedure routing.
@@ -145,11 +151,51 @@ fn proc_index(kind: ProcedureKind) -> usize {
         .expect("every ProcedureKind appears in ALL_PROCEDURES")
 }
 
-/// The planner: stateless routing plus mutable accounting.
+/// Atomic accumulator for one procedure (durations in nanoseconds).
+#[derive(Debug, Default)]
+struct ProcedureCounters {
+    decided: AtomicU64,
+    cache_hits: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl ProcedureCounters {
+    fn record(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.decided.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ProcedureStats {
+        ProcedureStats {
+            decided: self.decided.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            total_time: Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed)),
+            max_time: Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Atomic accumulator for the bound-query class.
+#[derive(Debug, Default)]
+struct BoundCounters {
+    propagation: AtomicU64,
+    relaxed: AtomicU64,
+    cache_hits: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+/// The planner: stateless routing plus lock-free atomic accounting, shared
+/// by reference among every concurrent reader of a snapshot.
 #[derive(Debug, Default)]
 pub struct Planner {
     config: PlannerConfig,
-    stats: PlannerStats,
+    per_procedure: [ProcedureCounters; 4],
+    trivial: AtomicU64,
+    bounds: BoundCounters,
 }
 
 impl Planner {
@@ -157,7 +203,7 @@ impl Planner {
     pub fn new(config: PlannerConfig) -> Self {
         Planner {
             config,
-            stats: PlannerStats::default(),
+            ..Planner::default()
         }
     }
 
@@ -189,18 +235,15 @@ impl Planner {
     }
 
     /// Records a query decided by `kind`.
-    pub fn record_decided(&mut self, kind: ProcedureKind, elapsed: Duration) {
-        let s = &mut self.stats.per_procedure[proc_index(kind)];
-        s.decided += 1;
-        s.total_time += elapsed;
-        if elapsed > s.max_time {
-            s.max_time = elapsed;
-        }
+    pub fn record_decided(&self, kind: ProcedureKind, elapsed: Duration) {
+        self.per_procedure[proc_index(kind)].record(elapsed);
     }
 
     /// Records a query answered from the answer cache (planned for `kind`).
-    pub fn record_cache_hit(&mut self, kind: ProcedureKind) {
-        self.stats.per_procedure[proc_index(kind)].cache_hits += 1;
+    pub fn record_cache_hit(&self, kind: ProcedureKind) {
+        self.per_procedure[proc_index(kind)]
+            .cache_hits
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Picks the derivation route for a `bound` query: the full propagation
@@ -224,31 +267,47 @@ impl Planner {
     }
 
     /// Records a bound query decided over `route`.
-    pub fn record_bound_decided(&mut self, route: DeriveRoute, elapsed: Duration) {
-        let b = &mut self.stats.bounds;
+    pub fn record_bound_decided(&self, route: DeriveRoute, elapsed: Duration) {
+        let b = &self.bounds;
         match route {
-            DeriveRoute::Propagation => b.propagation += 1,
-            DeriveRoute::Relaxed => b.relaxed += 1,
-        }
-        b.total_time += elapsed;
-        if elapsed > b.max_time {
-            b.max_time = elapsed;
-        }
+            DeriveRoute::Propagation => b.propagation.fetch_add(1, Ordering::Relaxed),
+            DeriveRoute::Relaxed => b.relaxed.fetch_add(1, Ordering::Relaxed),
+        };
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        b.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        b.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     /// Records a bound query served from the bound cache.
-    pub fn record_bound_cache_hit(&mut self) {
-        self.stats.bounds.cache_hits += 1;
+    pub fn record_bound_cache_hit(&self) {
+        self.bounds.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a goal answered inline as trivial.
-    pub fn record_trivial(&mut self) {
-        self.stats.trivial += 1;
+    pub fn record_trivial(&self) {
+        self.trivial.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of the counters.
+    /// Point-in-time snapshot of the counters (each counter is read
+    /// atomically; a snapshot taken under concurrent traffic is internally
+    /// consistent per counter, not across counters).
     pub fn stats(&self) -> PlannerStats {
-        self.stats
+        PlannerStats {
+            per_procedure: [
+                self.per_procedure[0].snapshot(),
+                self.per_procedure[1].snapshot(),
+                self.per_procedure[2].snapshot(),
+                self.per_procedure[3].snapshot(),
+            ],
+            trivial: self.trivial.load(Ordering::Relaxed),
+            bounds: BoundStats {
+                propagation: self.bounds.propagation.load(Ordering::Relaxed),
+                relaxed: self.bounds.relaxed.load(Ordering::Relaxed),
+                cache_hits: self.bounds.cache_hits.load(Ordering::Relaxed),
+                total_time: Duration::from_nanos(self.bounds.total_nanos.load(Ordering::Relaxed)),
+                max_time: Duration::from_nanos(self.bounds.max_nanos.load(Ordering::Relaxed)),
+            },
+        }
     }
 }
 
@@ -317,7 +376,7 @@ mod tests {
 
     #[test]
     fn accounting_accumulates() {
-        let mut planner = Planner::new(PlannerConfig::default());
+        let planner = Planner::new(PlannerConfig::default());
         planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(10));
         planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(30));
         planner.record_cache_hit(ProcedureKind::Lattice);
@@ -374,7 +433,7 @@ mod tests {
 
     #[test]
     fn bound_accounting_accumulates() {
-        let mut planner = Planner::new(PlannerConfig::default());
+        let planner = Planner::new(PlannerConfig::default());
         planner.record_bound_decided(DeriveRoute::Propagation, Duration::from_micros(40));
         planner.record_bound_decided(DeriveRoute::Relaxed, Duration::from_micros(5));
         planner.record_bound_cache_hit();

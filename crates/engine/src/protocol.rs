@@ -4,7 +4,14 @@
 //! # Request grammar
 //!
 //! ```text
-//! request    ::= "universe" (NUMBER | NAME+)     start a session (resets state)
+//! request    ::= "universe" (NUMBER | NAME+)     start a session in the
+//!              |                                 current slot (resets state)
+//!              | "session" "new"                 open a fresh session slot
+//!              |                                 and switch to it
+//!              | "session" "use" NUMBER          switch to a slot by id
+//!              | "session" "close" [NUMBER]      close a slot (default: the
+//!              |                                 current one)
+//!              | "session" "list"                list the session slots
 //!              | "assert" constraint             add a premise
 //!              | "retract" constraint            remove a premise
 //!              | "implies" constraint            decide C ⊨ goal
@@ -39,6 +46,8 @@
 //!
 //! ```text
 //! response ::= "ok" field*                       state-changing commands
+//!            | "sessions" "n=" NUMBER "current=" NUMBER slotdesc*
+//!            |                                   session list
 //!            | "yes" field* | "no" field*        implies
 //!            | "results" "n=" NUMBER (y|n)*      batch, index-aligned
 //!            | "witness" ("none" | "set=" SET)
@@ -54,6 +63,11 @@
 //!            | "err" message
 //! field    ::= KEY "=" VALUE                     e.g. route=lattice us=12
 //! BOUNDVAL ::= NUMBER | "inf" | "-inf"           interval endpoints
+//! slotdesc ::= ID ":" ("-" | "u" NUMBER "p" NUMBER)
+//!                                                per-slot: "-" while no
+//!                                                universe is open, else
+//!                                                universe size and premise
+//!                                                count (e.g. `0:u4p2 1:-`)
 //! ```
 //!
 //! `implies` responses carry `route` (`trivial`, `fd`, `lattice`, `sat` —
@@ -92,12 +106,31 @@
 //! single-threaded serving loop (the candidate-member pool is
 //! `2^{|S|−|X|}` per antecedent, and the family search is exponential in
 //! `max |𝒴|` on top of it).
+//!
+//! # Session verbs
+//!
+//! A server holds a registry of numbered session slots
+//! ([`crate::server_state::SessionRegistry`]); every verb above operates on
+//! the *current* slot.  `session new` opens a fresh empty slot and switches
+//! to it (`ok session id=… sessions=…`); `session use <id>` switches back
+//! (`ok session id=…`); `session close [<id>]` drops a slot's state
+//! (`ok session closed=… sessions=… current=…` — closing the last slot
+//! opens a fresh empty one, and ids are never reused); `session list`
+//! answers `sessions n=… current=…` followed by one `slotdesc` per slot.
+//! Each slot's premises, knowns, dataset, and statistics are fully
+//! independent; under `diffcond --threads N`, queries against different
+//! slots (and read-only queries against the same slot) execute concurrently
+//! on their respective snapshots.
 
+use crate::server_state::{DeferredQuery, QueryKind, SessionRegistry};
 use crate::session::{Session, SessionConfig};
+use crate::snapshot::{BoundOutcome, QueryOutcome};
+use diffcon::inference::Derivation;
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon::DiffConstraint;
+use diffcon_bounds::problem::DeriveError;
 use diffcon_bounds::Interval;
-use diffcon_discover::MinerConfig;
+use diffcon_discover::{Discovery, MinerConfig};
 use setlat::{AttrSet, Universe};
 
 /// Largest universe the discovery verbs accept.
@@ -126,6 +159,14 @@ pub const MAX_MINE_RHS_WORK: usize = 33;
 pub enum Request {
     /// `universe 4` or `universe A B C D`.
     Universe(UniverseSpec),
+    /// `session new`.
+    SessionNew,
+    /// `session use 1`.
+    SessionUse(u64),
+    /// `session close` or `session close 1`.
+    SessionClose(Option<u64>),
+    /// `session list`.
+    SessionList,
     /// `assert <constraint>`.
     Assert(String),
     /// `retract <constraint>`.
@@ -205,6 +246,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Ok(Request::Universe(UniverseSpec::Names(
                     rest.split_whitespace().map(str::to_string).collect(),
                 )))
+            }
+        }
+        "session" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let slot_id = |text: &str| -> Result<u64, String> {
+                text.parse()
+                    .map_err(|_| format!("session expects a numeric slot id, got `{text}`"))
+            };
+            match parts.as_slice() {
+                ["new"] => Ok(Request::SessionNew),
+                ["use", id] => Ok(Request::SessionUse(slot_id(id)?)),
+                ["close"] => Ok(Request::SessionClose(None)),
+                ["close", id] => Ok(Request::SessionClose(Some(slot_id(id)?))),
+                ["list"] => Ok(Request::SessionList),
+                _ => Err("session expects `new`, `use <id>`, `close [<id>]`, or `list`".into()),
             }
         }
         "assert" => Ok(Request::Assert(need("assert", rest)?)),
@@ -300,6 +356,11 @@ pub fn format_request(request: &Request) -> String {
         Request::Universe(UniverseSpec::Names(names)) => {
             format!("universe {}", names.join(" "))
         }
+        Request::SessionNew => "session new".into(),
+        Request::SessionUse(id) => format!("session use {id}"),
+        Request::SessionClose(None) => "session close".into(),
+        Request::SessionClose(Some(id)) => format!("session close {id}"),
+        Request::SessionList => "session list".into(),
         Request::Assert(text) => format!("assert {text}"),
         Request::Retract(text) => format!("retract {text}"),
         Request::Implies(text) => format!("implies {text}"),
@@ -358,24 +419,119 @@ pub struct Reply {
 }
 
 impl Reply {
-    fn line(text: impl Into<String>) -> Reply {
+    pub(crate) fn line(text: impl Into<String>) -> Reply {
         Reply {
             text: text.into(),
             quit: false,
         }
     }
 
-    fn err(message: impl Into<String>) -> Reply {
+    pub(crate) fn err(message: impl Into<String>) -> Reply {
         Reply::line(format!("err {}", message.into()))
     }
 }
 
-/// A single-session `diffcond` server: feed it request lines, print the
+/// Formats an `implies` outcome as its wire reply.
+pub(crate) fn implies_reply(outcome: &QueryOutcome) -> Reply {
+    Reply::line(format!(
+        "{} route={} cached={} us={}",
+        if outcome.implied { "yes" } else { "no" },
+        outcome.route_name(),
+        outcome.cached as u8,
+        outcome.elapsed.as_micros()
+    ))
+}
+
+/// Formats a `batch` outcome vector as its wire reply.
+pub(crate) fn batch_reply(outcomes: &[QueryOutcome]) -> Reply {
+    let mut reply = format!("results n={}", outcomes.len());
+    for outcome in outcomes {
+        reply.push(' ');
+        reply.push(if outcome.implied { 'y' } else { 'n' });
+    }
+    Reply::line(reply)
+}
+
+/// Formats a `bound` outcome (or its infeasibility) as its wire reply.
+pub(crate) fn bound_reply(result: Result<BoundOutcome, DeriveError>) -> Reply {
+    match result {
+        Ok(outcome) => Reply::line(format!(
+            "bound lo={} hi={} exact={} route={} cached={} us={}",
+            Interval::format_endpoint(outcome.interval.lo),
+            Interval::format_endpoint(outcome.interval.hi),
+            outcome.interval.is_exact() as u8,
+            outcome.route_name(),
+            outcome.cached as u8,
+            outcome.elapsed.as_micros()
+        )),
+        Err(e) => Reply::err(format!("infeasible: {e}")),
+    }
+}
+
+/// Formats a `witness` outcome as its wire reply.
+pub(crate) fn witness_reply(universe: &Universe, witness: Option<AttrSet>) -> Reply {
+    match witness {
+        None => Reply::line("witness none"),
+        Some(set) => Reply::line(format!("witness set={}", universe.format_set(set))),
+    }
+}
+
+/// Formats a `mine` outcome as its wire reply (the cover in wire form, or
+/// the no-dataset error when the snapshot holds none).
+pub(crate) fn mined_reply(universe: &Universe, discovery: Option<Discovery>) -> Reply {
+    match discovery {
+        Some(discovery) => {
+            let mut text = format!(
+                "mined minimal={} cover={}",
+                discovery.minimal.len(),
+                discovery.cover.len()
+            );
+            for c in &discovery.cover {
+                text.push(' ');
+                text.push_str(&format_wire(c, universe));
+            }
+            Reply::line(text)
+        }
+        None => Reply::err("no dataset (send `load` first)"),
+    }
+}
+
+/// Formats a `derive` outcome as its wire reply.
+pub(crate) fn derive_reply(proof: Option<Derivation>) -> Reply {
+    match proof {
+        Some(proof) => Reply::line(format!(
+            "proof size={} depth={}",
+            proof.size(),
+            proof.depth()
+        )),
+        None => Reply::line("unprovable"),
+    }
+}
+
+/// The result of beginning one request: either a finished reply, or a pure
+/// query captured with its target session's snapshot for evaluation on any
+/// thread (see [`crate::server_state`]).
+#[derive(Debug)]
+pub enum Step {
+    /// The request was executed (mutations, listings, errors).
+    Done(Reply),
+    /// A read-only query, deferred against the captured snapshot.
+    Deferred(DeferredQuery),
+}
+
+/// A multi-session `diffcond` server: feed it request lines, print the
 /// replies.  IO-free, so tests drive it directly.
+///
+/// The server holds a [`SessionRegistry`] of numbered slots; the `session`
+/// verbs manage them and every other verb targets the current slot.
+/// [`Server::handle_line`] answers synchronously; [`Server::begin_line`]
+/// additionally exposes the snapshot-deferred form of the read-only verbs,
+/// which [`crate::server_state::Pipeline`] uses to evaluate interleaved
+/// queries from many sessions concurrently.
 #[derive(Debug)]
 pub struct Server {
     config: SessionConfig,
-    session: Option<Session>,
+    registry: SessionRegistry,
 }
 
 impl Server {
@@ -383,30 +539,200 @@ impl Server {
     pub fn new(config: SessionConfig) -> Self {
         Server {
             config,
-            session: None,
+            registry: SessionRegistry::new(),
         }
     }
 
-    /// The active session, if a `universe` request has opened one.
+    /// The current slot's session, if a `universe` request has opened one.
     pub fn session(&self) -> Option<&Session> {
-        self.session.as_ref()
+        self.registry.session()
+    }
+
+    /// The session registry (slot ids, current slot).
+    pub fn registry(&self) -> &SessionRegistry {
+        &self.registry
     }
 
     /// Handles one raw request line.
     pub fn handle_line(&mut self, line: &str) -> Reply {
-        match parse_request(line) {
-            Ok(request) => self.handle(request),
-            Err(message) => Reply::err(message),
+        match self.begin_line(line) {
+            Step::Done(reply) => reply,
+            Step::Deferred(query) => query.run(),
         }
     }
 
     /// Handles one parsed request.
     pub fn handle(&mut self, request: Request) -> Reply {
+        match self.begin(request) {
+            Step::Done(reply) => reply,
+            Step::Deferred(query) => query.run(),
+        }
+    }
+
+    /// Begins one raw request line (see [`Server::begin`]).
+    pub fn begin_line(&mut self, line: &str) -> Step {
+        match parse_request(line) {
+            Ok(request) => self.begin(request),
+            Err(message) => Step::Done(Reply::err(message)),
+        }
+    }
+
+    /// Begins one parsed request: mutations, listings, and errors execute
+    /// immediately; the read-only query verbs (`implies`, `batch`, `bound`,
+    /// `witness`, `derive`, `mine`) are returned deferred, captured against
+    /// the current slot's snapshot at this position in the request order.
+    pub fn begin(&mut self, request: Request) -> Step {
         match request {
+            Request::Implies(text) => self.defer_goal(&text, QueryKind::Implies),
+            Request::Witness(text) => self.defer_goal(&text, QueryKind::Witness),
+            Request::Derive(text) => self.defer_goal(&text, QueryKind::Derive),
+            Request::Bound(text) => self.defer_bound(&text),
+            Request::Batch(texts) => self.defer_batch(&texts),
+            Request::Mine(budgets) => self.defer_mine(miner_config(budgets)),
+            other => Step::Done(self.execute(other)),
+        }
+    }
+
+    /// Defers a single-constraint query against the current snapshot.
+    fn defer_goal(&self, text: &str, make: fn(DiffConstraint) -> QueryKind) -> Step {
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => match DiffConstraint::parse(text, session.universe()) {
+                Ok(goal) => Step::Deferred(DeferredQuery::new(session.snapshot(), make(goal))),
+                Err(e) => Step::Done(Reply::err(e.to_string())),
+            },
+        }
+    }
+
+    /// Defers a `bound` query against the current snapshot.
+    fn defer_bound(&self, text: &str) -> Step {
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => match session.universe().parse_set(text) {
+                Ok(set) => Step::Deferred(DeferredQuery::new(
+                    session.snapshot(),
+                    QueryKind::Bound(set),
+                )),
+                Err(e) => Step::Done(Reply::err(e.to_string())),
+            },
+        }
+    }
+
+    /// Defers a `batch` query against the current snapshot.
+    fn defer_batch(&self, texts: &[String]) -> Step {
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => {
+                let universe = session.universe();
+                let mut goals = Vec::with_capacity(texts.len());
+                for text in texts {
+                    match DiffConstraint::parse(text, universe) {
+                        Ok(c) => goals.push(c),
+                        Err(e) => return Step::Done(Reply::err(format!("in `{text}`: {e}"))),
+                    }
+                }
+                Step::Deferred(DeferredQuery::new(
+                    session.snapshot(),
+                    QueryKind::Batch(goals),
+                ))
+            }
+        }
+    }
+
+    /// Defers a `mine` query against the current snapshot — the heaviest
+    /// verb the server accepts, so stalling the serial scan on it would
+    /// idle every worker.  The wedge-threshold refusals run here, at scan
+    /// time (see [`Server::mine_refusal`]).
+    fn defer_mine(&self, config: MinerConfig) -> Step {
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => match Server::mine_refusal(session.universe().len(), &config) {
+                Some(refusal) => Step::Done(refusal),
+                None => Step::Deferred(DeferredQuery::new(
+                    session.snapshot(),
+                    QueryKind::Mine(config),
+                )),
+            },
+        }
+    }
+
+    /// The discovery wedge-threshold refusals: mining past the measured
+    /// limits would wedge a worker for unbounded time, so such requests are
+    /// refused up front.  `None` means the request is within limits.
+    fn mine_refusal(universe_len: usize, config: &MinerConfig) -> Option<Reply> {
+        if universe_len > MAX_MINE_UNIVERSE {
+            return Some(Reply::err(format!(
+                "mining is limited to universes of at most {MAX_MINE_UNIVERSE} attributes"
+            )));
+        }
+        if config.max_rhs.saturating_mul(universe_len) > MAX_MINE_RHS_WORK {
+            return Some(Reply::err(format!(
+                "mine budget too large: max |𝒴| × universe size must be at most \
+                 {MAX_MINE_RHS_WORK}, got {} × {universe_len}",
+                config.max_rhs
+            )));
+        }
+        None
+    }
+
+    /// Executes one non-deferrable request.
+    fn execute(&mut self, request: Request) -> Reply {
+        match request {
+            Request::Implies(_)
+            | Request::Witness(_)
+            | Request::Derive(_)
+            | Request::Bound(_)
+            | Request::Batch(_)
+            | Request::Mine(_) => unreachable!("query verbs are handled by begin"),
             Request::Empty => Reply::line(""),
             Request::Help => Reply::line(
-                "ok commands: universe assert retract implies batch witness derive known forget bound load mine adopt dataset premises knowns stats reset help quit",
+                "ok commands: universe session assert retract implies batch witness derive known forget bound load mine adopt dataset premises knowns stats reset help quit",
             ),
+            Request::SessionNew => {
+                let id = self.registry.open();
+                Reply::line(format!(
+                    "ok session id={id} sessions={}",
+                    self.registry.len()
+                ))
+            }
+            Request::SessionUse(id) => {
+                if self.registry.switch(id) {
+                    Reply::line(format!("ok session id={id}"))
+                } else {
+                    Reply::err(format!("no session slot with id {id}"))
+                }
+            }
+            Request::SessionClose(id) => {
+                let target = id.unwrap_or_else(|| self.registry.current_id());
+                if self.registry.close(target) {
+                    Reply::line(format!(
+                        "ok session closed={target} sessions={} current={}",
+                        self.registry.len(),
+                        self.registry.current_id()
+                    ))
+                } else {
+                    Reply::err(format!("no session slot with id {target}"))
+                }
+            }
+            Request::SessionList => {
+                let mut text = format!(
+                    "sessions n={} current={}",
+                    self.registry.len(),
+                    self.registry.current_id()
+                );
+                for (id, session) in self.registry.iter() {
+                    text.push(' ');
+                    match session {
+                        Some(s) => text.push_str(&format!(
+                            "{id}:u{}p{}",
+                            s.universe().len(),
+                            s.premises().len()
+                        )),
+                        None => text.push_str(&format!("{id}:-")),
+                    }
+                }
+                Reply::line(text)
+            }
             Request::Quit => Reply {
                 text: "bye".into(),
                 quit: true,
@@ -442,13 +768,15 @@ impl Server {
                     universe.len(),
                     universe.names().join(",")
                 );
-                self.session = Some(Session::with_config(universe, self.config));
+                self.registry
+                    .install(Session::with_config(universe, self.config));
                 Reply::line(reply)
             }
-            Request::Reset => match self.session.take() {
+            Request::Reset => match self.registry.session() {
                 Some(old) => {
                     let universe = old.universe().clone();
-                    self.session = Some(Session::with_config(universe, self.config));
+                    self.registry
+                        .install(Session::with_config(universe, self.config));
                     Reply::line("ok reset")
                 }
                 None => Reply::err("no session (send `universe` first)"),
@@ -492,20 +820,6 @@ impl Server {
                     Reply::err("set has no known value")
                 }
             }),
-            Request::Bound(set_text) => self.with_set(&set_text, |session, set| {
-                match session.bound(set) {
-                    Ok(outcome) => Reply::line(format!(
-                        "bound lo={} hi={} exact={} route={} cached={} us={}",
-                        Interval::format_endpoint(outcome.interval.lo),
-                        Interval::format_endpoint(outcome.interval.hi),
-                        outcome.interval.is_exact() as u8,
-                        outcome.route_name(),
-                        outcome.cached as u8,
-                        outcome.elapsed.as_micros()
-                    )),
-                    Err(e) => Reply::err(format!("infeasible: {e}")),
-                }
-            }),
             Request::Load(records) => self.with_session(|session| {
                 match session.load_records(records.iter().map(String::as_str)) {
                     Ok(added) => Reply::line(format!(
@@ -525,28 +839,13 @@ impl Server {
                 )),
                 None => Reply::err("no dataset (send `load` first)"),
             }),
-            Request::Mine(budgets) => {
-                self.with_mineable_session(miner_config(budgets), |session, config| {
-                    match session.mine_dataset(&config) {
-                        Some(discovery) => {
-                            let universe = session.universe();
-                            let mut text = format!(
-                                "mined minimal={} cover={}",
-                                discovery.minimal.len(),
-                                discovery.cover.len()
-                            );
-                            for c in &discovery.cover {
-                                text.push(' ');
-                                text.push_str(&format_wire(c, universe));
-                            }
-                            Reply::line(text)
-                        }
-                        None => Reply::err("no dataset (send `load` first)"),
-                    }
-                })
-            }
             Request::Adopt(budgets) => {
-                self.with_mineable_session(miner_config(budgets), |session, config| {
+                let config = miner_config(budgets);
+                self.with_session(|session| {
+                    if let Some(refusal) = Server::mine_refusal(session.universe().len(), &config)
+                    {
+                        return refusal;
+                    }
                     match session.adopt_discovered(&config) {
                         Some(outcome) => Reply::line(format!(
                             "ok adopt minimal={} cover={} added={} premises={}",
@@ -614,6 +913,10 @@ impl Server {
                 if stats.interner_compactions > 0 {
                     text.push_str(&format!(" compactions={}", stats.interner_compactions));
                 }
+                text.push_str(&format!(
+                    " shards={} epoch={}",
+                    stats.cache_shards, stats.epoch
+                ));
                 Reply::line(text)
             }),
             Request::Assert(text) => self.with_constraint(&text, |session, constraint| {
@@ -632,87 +935,14 @@ impl Server {
                     Reply::err("constraint is not an asserted premise")
                 }
             }),
-            Request::Implies(text) => self.with_constraint(&text, |session, constraint| {
-                let outcome = session.implies(&constraint);
-                Reply::line(format!(
-                    "{} route={} cached={} us={}",
-                    if outcome.implied { "yes" } else { "no" },
-                    outcome.route_name(),
-                    outcome.cached as u8,
-                    outcome.elapsed.as_micros()
-                ))
-            }),
-            Request::Batch(texts) => self.with_session(|session| {
-                let universe = session.universe();
-                let mut goals = Vec::with_capacity(texts.len());
-                for text in &texts {
-                    match DiffConstraint::parse(text, universe) {
-                        Ok(c) => goals.push(c),
-                        Err(e) => return Reply::err(format!("in `{text}`: {e}")),
-                    }
-                }
-                let outcomes = session.implies_batch(&goals);
-                let mut reply = format!("results n={}", outcomes.len());
-                for outcome in &outcomes {
-                    reply.push(' ');
-                    reply.push(if outcome.implied { 'y' } else { 'n' });
-                }
-                Reply::line(reply)
-            }),
-            Request::Witness(text) => self.with_constraint(&text, |session, constraint| {
-                match session.refutation_witness(&constraint) {
-                    None => Reply::line("witness none"),
-                    Some(set) => Reply::line(format!(
-                        "witness set={}",
-                        session.universe().format_set(set)
-                    )),
-                }
-            }),
-            Request::Derive(text) => self.with_constraint(&text, |session, constraint| {
-                match session.derive(&constraint) {
-                    Some(proof) => Reply::line(format!(
-                        "proof size={} depth={}",
-                        proof.size(),
-                        proof.depth()
-                    )),
-                    None => Reply::line("unprovable"),
-                }
-            }),
         }
     }
 
     fn with_session(&mut self, f: impl FnOnce(&mut Session) -> Reply) -> Reply {
-        match self.session.as_mut() {
+        match self.registry.session_mut() {
             Some(session) => f(session),
             None => Reply::err("no session (send `universe` first)"),
         }
-    }
-
-    /// Like [`Server::with_session`], but refuses discovery requests whose
-    /// measured worst case would wedge the single-threaded serving loop:
-    /// universes past [`MAX_MINE_UNIVERSE`], and family budgets past
-    /// [`MAX_MINE_RHS_WORK`].
-    fn with_mineable_session(
-        &mut self,
-        config: MinerConfig,
-        f: impl FnOnce(&mut Session, MinerConfig) -> Reply,
-    ) -> Reply {
-        self.with_session(|session| {
-            let n = session.universe().len();
-            if n > MAX_MINE_UNIVERSE {
-                return Reply::err(format!(
-                    "mining is limited to universes of at most {MAX_MINE_UNIVERSE} attributes"
-                ));
-            }
-            if config.max_rhs.saturating_mul(n) > MAX_MINE_RHS_WORK {
-                return Reply::err(format!(
-                    "mine budget too large: max |𝒴| × universe size must be at most \
-                     {MAX_MINE_RHS_WORK}, got {} × {n}",
-                    config.max_rhs
-                ));
-            }
-            f(session, config)
-        })
     }
 
     fn with_constraint(
@@ -844,6 +1074,104 @@ mod tests {
         assert_eq!(s.handle_line("").text, "");
         assert_eq!(s.handle_line("# a comment").text, "");
         assert_eq!(s.handle_line("   ").text, "");
+    }
+
+    #[test]
+    fn session_slots_are_independent_and_listable() {
+        let mut s = server();
+        // The default slot (id 0) exists but has no session yet.
+        assert_eq!(
+            s.handle_line("session list").text,
+            "sessions n=1 current=0 0:-"
+        );
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        // A fresh slot is empty and current; the old one keeps its state.
+        assert_eq!(
+            s.handle_line("session new").text,
+            "ok session id=1 sessions=2"
+        );
+        assert!(s
+            .handle_line("implies A -> {B}")
+            .text
+            .starts_with("err no session"));
+        s.handle_line("universe 3");
+        s.handle_line("assert B -> {C}");
+        assert_eq!(
+            s.handle_line("session list").text,
+            "sessions n=2 current=1 0:u4p1 1:u3p1"
+        );
+        // Premises do not leak between slots.
+        assert!(s.handle_line("implies A -> {B}").text.starts_with("no"));
+        assert!(s.handle_line("implies B -> {C}").text.starts_with("yes"));
+        assert_eq!(s.handle_line("session use 0").text, "ok session id=0");
+        assert!(s.handle_line("implies A -> {B}").text.starts_with("yes"));
+        assert!(s.handle_line("implies B -> {C}").text.starts_with("no"));
+        // Closing the current slot falls back to the lowest remaining id.
+        assert_eq!(
+            s.handle_line("session close").text,
+            "ok session closed=0 sessions=1 current=1"
+        );
+        assert!(s.handle_line("implies B -> {C}").text.starts_with("yes"));
+        // Closing the last slot opens a fresh empty one; ids never recycle.
+        assert_eq!(
+            s.handle_line("session close 1").text,
+            "ok session closed=1 sessions=1 current=2"
+        );
+        assert_eq!(
+            s.handle_line("session list").text,
+            "sessions n=1 current=2 2:-"
+        );
+        // Errors: unknown ids and malformed forms.
+        assert!(s
+            .handle_line("session use 0")
+            .text
+            .starts_with("err no session slot"));
+        assert!(s
+            .handle_line("session close 99")
+            .text
+            .starts_with("err no session slot"));
+        assert!(s
+            .handle_line("session")
+            .text
+            .starts_with("err session expects"));
+        assert!(s
+            .handle_line("session use x")
+            .text
+            .starts_with("err session expects"));
+        assert!(s
+            .handle_line("session frob")
+            .text
+            .starts_with("err session expects"));
+        // The fresh slot still serves once opened.
+        s.handle_line("universe 2");
+        assert!(s.handle_line("implies AB -> {A}").text.starts_with("yes"));
+    }
+
+    #[test]
+    fn begin_defers_queries_and_executes_mutations() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        // Mutations finish inline.
+        assert!(matches!(s.begin_line("assert B -> {C}"), Step::Done(_)));
+        // Queries come back deferred, bound to the snapshot at this point.
+        let deferred = match s.begin_line("implies A -> {C}") {
+            Step::Deferred(d) => d,
+            Step::Done(r) => panic!("implies should defer, got {:?}", r.text),
+        };
+        // A later retraction must not leak into the captured snapshot.
+        s.handle_line("retract B -> {C}");
+        assert!(deferred.run().text.starts_with("yes"));
+        // Re-issuing against the mutated server answers no.
+        assert!(s.handle_line("implies A -> {C}").text.starts_with("no"));
+        // Parse failures and missing sessions surface at begin time.
+        assert!(matches!(s.begin_line("implies A -> {Z}"), Step::Done(_)));
+        let mut fresh = server();
+        assert!(matches!(
+            fresh.begin_line("implies A -> {B}"),
+            Step::Done(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Multi-session server state: the session registry behind the `session`
+//! protocol verbs, and the deferred-query machinery that lets `diffcond
+//! --threads N` execute interleaved requests from many sessions concurrently
+//! against their snapshots.
+//!
+//! # Registry
+//!
+//! A [`SessionRegistry`] holds numbered slots, each optionally containing a
+//! live [`Session`] (a slot is empty until its first `universe` request).
+//! Exactly one slot is *current*; the classic single-session verbs operate
+//! on it.  The registry maintains the invariant that a current slot always
+//! exists — closing the last slot immediately opens a fresh empty one — so
+//! a server never has to special-case "no slot".
+//!
+//! # Deferred queries and the pipeline
+//!
+//! Query verbs (`implies`, `batch`, `bound`, `witness`, `derive`) are pure
+//! reads of a session snapshot.  [`crate::protocol::Server::begin`] therefore
+//! returns them as [`DeferredQuery`] values — the parsed query plus the
+//! `Arc<Snapshot>` of its target session *at its position in the request
+//! order* — instead of answering inline.  Because the snapshot is captured
+//! at scan time, later mutations (even to the same session) cannot change a
+//! deferred answer: evaluating it on any thread, at any later moment, yields
+//! exactly what serial execution would have yielded.  That is what makes the
+//! reordering safe without locks.
+//!
+//! [`Pipeline`] drives this: it scans request lines serially through the
+//! server (mutations apply immediately and publish fresh snapshots), queues
+//! deferred queries, evaluates them in waves on a rayon pool, and releases
+//! replies strictly in input order.  `stats` and `quit` flush the pending
+//! wave first so their view includes all previously issued queries.
+//!
+//! **Batching contract:** replies after the first pending query are
+//! withheld until a wave boundary — [`Pipeline::DEFAULT_WAVE`] pending
+//! queries, a `stats`/`quit` line, or [`Pipeline::finish`] at end of
+//! input.  The pipeline therefore suits *piped* workloads, where the whole
+//! request stream is available; a strict request/response client that
+//! waits for each reply before sending the next line would wait forever
+//! (use the serial server for interactive traffic — `diffcond` without
+//! `--threads` — or interleave a `stats` probe to force a flush).
+
+use crate::protocol::{self, Reply};
+use crate::session::{Session, SessionConfig};
+use crate::snapshot::Snapshot;
+use diffcon::DiffConstraint;
+use diffcon_discover::MinerConfig;
+use rayon::prelude::*;
+use setlat::AttrSet;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One registry slot: a numbered home for at most one live session.
+#[derive(Debug, Default)]
+struct Slot {
+    session: Option<Session>,
+}
+
+/// Numbered session slots with one current slot.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    slots: BTreeMap<u64, Slot>,
+    current: u64,
+    next_id: u64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// A registry with one empty slot (id 0), current.
+    pub fn new() -> Self {
+        let mut slots = BTreeMap::new();
+        slots.insert(0, Slot::default());
+        SessionRegistry {
+            slots,
+            current: 0,
+            next_id: 1,
+        }
+    }
+
+    /// The id of the current slot.
+    pub fn current_id(&self) -> u64 {
+        self.current
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A registry always holds at least one slot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current slot's session, if a `universe` request has opened one.
+    pub fn session(&self) -> Option<&Session> {
+        self.slots
+            .get(&self.current)
+            .and_then(|slot| slot.session.as_ref())
+    }
+
+    /// Mutable access to the current slot's session.
+    pub fn session_mut(&mut self) -> Option<&mut Session> {
+        self.slots
+            .get_mut(&self.current)
+            .and_then(|slot| slot.session.as_mut())
+    }
+
+    /// Installs (or replaces) the current slot's session.
+    pub fn install(&mut self, session: Session) {
+        self.slots
+            .get_mut(&self.current)
+            .expect("a current slot always exists")
+            .session = Some(session);
+    }
+
+    /// Opens a fresh empty slot and makes it current; returns its id.
+    pub fn open(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.insert(id, Slot::default());
+        self.current = id;
+        id
+    }
+
+    /// Switches the current slot.  Returns `false` when the id is unknown.
+    pub fn switch(&mut self, id: u64) -> bool {
+        if self.slots.contains_key(&id) {
+            self.current = id;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Closes a slot, dropping its session.  Returns `false` when the id is
+    /// unknown.  If the current slot is closed, the lowest remaining id
+    /// becomes current; closing the last slot opens a fresh empty one (ids
+    /// are never reused).
+    pub fn close(&mut self, id: u64) -> bool {
+        if self.slots.remove(&id).is_none() {
+            return false;
+        }
+        if self.slots.is_empty() {
+            let fresh = self.next_id;
+            self.next_id += 1;
+            self.slots.insert(fresh, Slot::default());
+        }
+        if !self.slots.contains_key(&self.current) {
+            self.current = *self
+                .slots
+                .keys()
+                .next()
+                .expect("registry is never left empty");
+        }
+        true
+    }
+
+    /// The slots in id order, with each slot's session if open.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Option<&Session>)> {
+        self.slots
+            .iter()
+            .map(|(&id, slot)| (id, slot.session.as_ref()))
+    }
+}
+
+/// The query of a deferred (read-only) request.
+#[derive(Debug, Clone)]
+pub(crate) enum QueryKind {
+    Implies(DiffConstraint),
+    Batch(Vec<DiffConstraint>),
+    Bound(AttrSet),
+    Witness(DiffConstraint),
+    Derive(DiffConstraint),
+    /// `mine` reads only the frozen dataset handle, so the heaviest verb
+    /// the server accepts runs on a worker instead of stalling the scan.
+    Mine(MinerConfig),
+}
+
+/// A read-only request captured with the snapshot of its target session at
+/// its position in the request order.  [`DeferredQuery::run`] evaluates it
+/// on the calling thread; any thread, any time — the answer is fixed by the
+/// captured snapshot.
+#[derive(Debug)]
+pub struct DeferredQuery {
+    snapshot: Arc<Snapshot>,
+    kind: QueryKind,
+}
+
+impl DeferredQuery {
+    pub(crate) fn new(snapshot: Arc<Snapshot>, kind: QueryKind) -> Self {
+        DeferredQuery { snapshot, kind }
+    }
+
+    /// The snapshot this query will answer against.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// Evaluates the query against its captured snapshot, producing the same
+    /// reply line the serial server would have produced at the capture
+    /// point (up to the non-semantic `cached=`/`us=` telemetry fields).
+    pub fn run(&self) -> Reply {
+        match &self.kind {
+            QueryKind::Implies(goal) => protocol::implies_reply(&self.snapshot.implies(goal)),
+            QueryKind::Batch(goals) => protocol::batch_reply(&self.snapshot.implies_batch(goals)),
+            QueryKind::Bound(set) => protocol::bound_reply(self.snapshot.bound(*set)),
+            QueryKind::Witness(goal) => protocol::witness_reply(
+                self.snapshot.universe(),
+                self.snapshot.refutation_witness(goal),
+            ),
+            QueryKind::Derive(goal) => protocol::derive_reply(self.snapshot.derive(goal)),
+            QueryKind::Mine(config) => {
+                protocol::mined_reply(self.snapshot.universe(), self.snapshot.mine_dataset(config))
+            }
+        }
+    }
+}
+
+/// One queued reply slot: already answered, or awaiting its wave.
+#[derive(Debug)]
+enum Queued {
+    Ready(Reply),
+    Deferred(DeferredQuery),
+}
+
+/// A concurrent request driver: serial scan, parallel query waves, in-order
+/// replies.  See the module docs for the execution model.
+#[derive(Debug)]
+pub struct Pipeline {
+    server: protocol::Server,
+    pool: rayon::ThreadPool,
+    queue: Vec<Queued>,
+    deferred: usize,
+    /// Deferred queries per wave before a flush is forced.
+    max_wave: usize,
+}
+
+impl Pipeline {
+    /// Default number of deferred queries per evaluation wave.
+    pub const DEFAULT_WAVE: usize = 256;
+
+    /// Creates a pipeline over a fresh server with `threads` workers.
+    pub fn new(config: SessionConfig, threads: usize) -> Self {
+        Pipeline {
+            server: protocol::Server::new(config),
+            pool: rayon::ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .build()
+                .expect("the rayon shim's pool build is infallible"),
+            queue: Vec::new(),
+            deferred: 0,
+            max_wave: Pipeline::DEFAULT_WAVE,
+        }
+    }
+
+    /// The worker count of the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// The server being driven (the current slot's session, etc.).
+    pub fn server(&self) -> &protocol::Server {
+        &self.server
+    }
+
+    /// Feeds one request line.  Returns the replies released by this line —
+    /// strictly in input order — and whether the conversation should end.
+    pub fn push_line(&mut self, line: &str) -> (Vec<Reply>, bool) {
+        let step = match protocol::parse_request(line) {
+            Ok(request) => {
+                // `stats` and `quit` observe query accounting, so the wave
+                // in flight must complete first for their view to match
+                // serial execution.
+                if matches!(request, protocol::Request::Stats | protocol::Request::Quit) {
+                    self.run_wave();
+                }
+                self.server.begin(request)
+            }
+            Err(message) => protocol::Step::Done(Reply::err(message)),
+        };
+        match step {
+            protocol::Step::Done(reply) => self.queue.push(Queued::Ready(reply)),
+            protocol::Step::Deferred(query) => {
+                self.queue.push(Queued::Deferred(query));
+                self.deferred += 1;
+            }
+        }
+        if self.deferred >= self.max_wave {
+            self.run_wave();
+        }
+        let replies = self.drain_ready();
+        let quit = replies.iter().any(|r| r.quit);
+        (replies, quit)
+    }
+
+    /// Evaluates and releases everything still queued (end of input).
+    pub fn finish(&mut self) -> Vec<Reply> {
+        self.run_wave();
+        self.drain_ready()
+    }
+
+    /// Evaluates every queued deferred query on the pool, in one parallel
+    /// wave, and marks the slots ready.
+    fn run_wave(&mut self) {
+        if self.deferred == 0 {
+            return;
+        }
+        let targets: Vec<usize> = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| matches!(q, Queued::Deferred(_)).then_some(i))
+            .collect();
+        let jobs: Vec<&DeferredQuery> = targets
+            .iter()
+            .map(|&i| match &self.queue[i] {
+                Queued::Deferred(d) => d,
+                Queued::Ready(_) => unreachable!("targets are deferred slots"),
+            })
+            .collect();
+        let replies: Vec<Reply> = self
+            .pool
+            .install(|| jobs.par_iter().map(|d| d.run()).collect());
+        for (&i, reply) in targets.iter().zip(replies) {
+            self.queue[i] = Queued::Ready(reply);
+        }
+        self.deferred = 0;
+    }
+
+    /// Removes and returns the longest ready prefix of the queue.
+    fn drain_ready(&mut self) -> Vec<Reply> {
+        let ready = self
+            .queue
+            .iter()
+            .take_while(|q| matches!(q, Queued::Ready(_)))
+            .count();
+        self.queue
+            .drain(..ready)
+            .map(|q| match q {
+                Queued::Ready(reply) => reply,
+                Queued::Deferred(_) => unreachable!("prefix is ready"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_opens_switches_and_closes() {
+        let mut r = SessionRegistry::new();
+        assert_eq!(r.current_id(), 0);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert!(r.session().is_none(), "slots start without a session");
+        let a = r.open();
+        let b = r.open();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(r.current_id(), 2);
+        assert!(r.switch(0));
+        assert!(!r.switch(99));
+        assert_eq!(r.current_id(), 0);
+        // Closing the current slot falls back to the lowest remaining id.
+        assert!(r.close(0));
+        assert_eq!(r.current_id(), 1);
+        assert!(!r.close(0), "double close reports absence");
+        // Closing a non-current slot leaves current alone.
+        assert!(r.close(2));
+        assert_eq!(r.current_id(), 1);
+        // Closing the last slot opens a fresh one; ids are never reused.
+        assert!(r.close(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.current_id(), 3);
+    }
+
+    #[test]
+    fn registry_iterates_in_id_order() {
+        let mut r = SessionRegistry::new();
+        r.open();
+        r.open();
+        r.close(1);
+        let ids: Vec<u64> = r.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+}

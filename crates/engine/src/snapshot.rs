@@ -1,0 +1,703 @@
+//! Immutable session snapshots: the lock-free read path of the engine.
+//!
+//! A [`Snapshot`] is a frozen, point-in-time view of one session's premise
+//! state — the premise set with its propositional translations and
+//! FD-fragment index, the known point values, both versioning digests, the
+//! dataset handle, and the bound-query side conditions — packaged behind an
+//! `Arc` together with handles to the session's *shared* serving
+//! infrastructure (the sharded caches and the atomic planner accounting).
+//!
+//! The deciders of the paper are pure functions of the premise set, so once
+//! that state is frozen every query is answerable through `&self`:
+//! [`Snapshot::implies`], [`Snapshot::implies_batch`], and
+//! [`Snapshot::bound`] never take a mutable reference, never block a writer,
+//! and may be called from any number of threads concurrently.  A
+//! [`crate::session::Session`] publishes a fresh `Arc<Snapshot>` (bumping
+//! its [`Snapshot::epoch`]) on every mutation; in-flight readers keep
+//! answering against the snapshot they hold — exactly the serial semantics
+//! of the program order in which they captured it — while new readers pick
+//! up the new state.
+//!
+//! Caching across snapshots is sound because every cache key is versioned
+//! through [`crate::cache::version_salt`]: two snapshots with the same
+//! digests share warm entries (retract-then-reassert instantly revalidates),
+//! while any state difference makes the keys disjoint.
+
+use crate::batch::{self, Job, JobResult};
+use crate::cache::{version_salt, CacheStats, ShardedCache, VersionedKey};
+use crate::planner::{Planner, PlannerStats};
+use diffcon::inference::{self, Derivation};
+use diffcon::procedure::ProcedureKind;
+use diffcon::{implication, DiffConstraint};
+use diffcon_bounds::derive::{derive_propagated, derive_relaxed};
+use diffcon_bounds::problem::{BoundsConfig, BoundsProblem, DeriveError, DeriveRoute};
+use diffcon_bounds::{Interval, SideConditions};
+use diffcon_discover::{miner, Dataset, Discovery, MinerConfig};
+use proplogic::implication::ImplicationConstraint;
+use relational::fd::FunctionalDependency;
+use setlat::{AttrSet, Universe};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How one query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Whether the premises imply the goal.
+    pub implied: bool,
+    /// The procedure that produced the answer; `None` when the goal was
+    /// trivial and answered inline.
+    pub procedure: Option<ProcedureKind>,
+    /// Whether the answer came from the answer cache.
+    pub cached: bool,
+    /// Wall-clock time spent deciding (≈ 0 for trivial goals and cache hits).
+    pub elapsed: Duration,
+}
+
+impl QueryOutcome {
+    /// Short name of the answering path for reports and the wire protocol.
+    /// The planner emits `trivial`, `fd`, `lattice`, or `sat` (`semantic` is
+    /// reachable only by driving [`crate::batch`] jobs directly; the planner
+    /// never selects it because it is dominated by the lattice procedure).
+    pub fn route_name(&self) -> &'static str {
+        match self.procedure {
+            None => "trivial",
+            Some(kind) => kind.name(),
+        }
+    }
+}
+
+/// How one bound query was answered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundOutcome {
+    /// The sound interval containing `f(query)`.
+    pub interval: Interval,
+    /// The derivation route that produced (or originally produced, for
+    /// cached answers) the interval.
+    pub route: DeriveRoute,
+    /// Whether the answer came from the bound cache.
+    pub cached: bool,
+    /// Wall-clock derivation time (≈ 0 for cache hits).
+    pub elapsed: Duration,
+}
+
+impl BoundOutcome {
+    /// Short name of the answering path for reports and the wire protocol:
+    /// `cached`, `propagation`, or `relaxed`.
+    pub fn route_name(&self) -> &'static str {
+        if self.cached {
+            "cached"
+        } else {
+            self.route.name()
+        }
+    }
+}
+
+/// The sharded concurrent caches shared by every snapshot of one session:
+/// full query answers and derived bound intervals (digest-versioned), plus
+/// goal lattice decompositions and propositional translations (goal-keyed,
+/// state-independent).
+/// Keys are fingerprint-addressed ([`VersionedKey`]), so every value
+/// carries the payload it was computed for; reads verify it against the
+/// query before trusting the entry (fingerprint collisions recompute, never
+/// alias).
+#[derive(Debug)]
+pub(crate) struct EngineCaches {
+    pub(crate) answer: ShardedCache<VersionedKey, (DiffConstraint, bool, ProcedureKind)>,
+    pub(crate) lattice: ShardedCache<VersionedKey, (DiffConstraint, Arc<[AttrSet]>)>,
+    pub(crate) prop: ShardedCache<VersionedKey, (DiffConstraint, Arc<ImplicationConstraint>)>,
+    pub(crate) bound: ShardedCache<VersionedKey, (AttrSet, Interval, DeriveRoute)>,
+}
+
+impl EngineCaches {
+    pub(crate) fn clear(&self) {
+        self.answer.clear();
+        self.lattice.clear();
+        self.prop.clear();
+        self.bound.clear();
+    }
+}
+
+/// Aggregate statistics visible from a snapshot: the shared planner and
+/// shard counters plus the snapshot's own frozen state sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStats {
+    /// Per-procedure planner accounting (shared across snapshots).
+    pub planner: PlannerStats,
+    /// Aggregated answer-cache shard counters.
+    pub answer_cache: CacheStats,
+    /// Aggregated lattice-cache shard counters.
+    pub lattice_cache: CacheStats,
+    /// Aggregated translation-cache shard counters.
+    pub prop_cache: CacheStats,
+    /// Aggregated bound-cache shard counters.
+    pub bound_cache: CacheStats,
+    /// Shards in the answer cache.  A cache whose capacity is below the
+    /// configured shard count is clamped to one shard per entry (see
+    /// [`crate::cache::ShardedCache::new`]), so smaller caches may hold
+    /// fewer shards than reported here.
+    pub cache_shards: usize,
+    /// Premises frozen in this snapshot.
+    pub premises: usize,
+    /// Known point values frozen in this snapshot.
+    pub knowns: usize,
+    /// The publication epoch of this snapshot.
+    pub epoch: u64,
+}
+
+/// An immutable, shareable view of one session's state, answering
+/// implication and bound queries through `&self`.
+///
+/// Obtained from [`crate::session::Session::snapshot`]; cheap to clone via
+/// `Arc`.  All query methods are safe to call from many threads at once.
+#[derive(Debug)]
+pub struct Snapshot {
+    universe: Arc<Universe>,
+    premises: Arc<[DiffConstraint]>,
+    premise_props: Arc<[ImplicationConstraint]>,
+    fd_index: Option<Arc<[FunctionalDependency]>>,
+    premise_digest: u64,
+    knowns: Arc<[(AttrSet, f64)]>,
+    knowns_digest: u64,
+    bound_side: SideConditions,
+    bounds_config: BoundsConfig,
+    dataset: Option<Arc<Dataset>>,
+    epoch: u64,
+    caches: Arc<EngineCaches>,
+    planner: Arc<Planner>,
+}
+
+/// Everything a session hands over when publishing a snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) struct SnapshotParts {
+    pub(crate) universe: Arc<Universe>,
+    pub(crate) premises: Arc<[DiffConstraint]>,
+    pub(crate) premise_props: Arc<[ImplicationConstraint]>,
+    pub(crate) fd_index: Option<Arc<[FunctionalDependency]>>,
+    pub(crate) premise_digest: u64,
+    pub(crate) knowns: Arc<[(AttrSet, f64)]>,
+    pub(crate) knowns_digest: u64,
+    pub(crate) bound_side: SideConditions,
+    pub(crate) bounds_config: BoundsConfig,
+    pub(crate) dataset: Option<Arc<Dataset>>,
+    pub(crate) epoch: u64,
+    pub(crate) caches: Arc<EngineCaches>,
+    pub(crate) planner: Arc<Planner>,
+}
+
+impl Snapshot {
+    pub(crate) fn from_parts(parts: SnapshotParts) -> Self {
+        Snapshot {
+            universe: parts.universe,
+            premises: parts.premises,
+            premise_props: parts.premise_props,
+            fd_index: parts.fd_index,
+            premise_digest: parts.premise_digest,
+            knowns: parts.knowns,
+            knowns_digest: parts.knowns_digest,
+            bound_side: parts.bound_side,
+            bounds_config: parts.bounds_config,
+            dataset: parts.dataset,
+            epoch: parts.epoch,
+            caches: parts.caches,
+            planner: parts.planner,
+        }
+    }
+
+    /// The snapshot's universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The frozen premise set, in assertion order.
+    pub fn premises(&self) -> &[DiffConstraint] {
+        &self.premises
+    }
+
+    /// The order-independent digest of the frozen premise set.
+    pub fn premise_digest(&self) -> u64 {
+        self.premise_digest
+    }
+
+    /// The frozen known point values `f(X) = v`, sorted by set.
+    pub fn knowns(&self) -> &[(AttrSet, f64)] {
+        &self.knowns
+    }
+
+    /// The order-independent digest of the frozen known-value map.
+    pub fn knowns_digest(&self) -> u64 {
+        self.knowns_digest
+    }
+
+    /// The dataset handle frozen in this snapshot, if one was loaded.
+    pub fn dataset(&self) -> Option<&Dataset> {
+        self.dataset.as_deref()
+    }
+
+    /// The publication epoch: strictly increasing across one session's
+    /// mutations, so readers can tell snapshots apart (and order them).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Index-aligned propositional translations of the premises.
+    pub(crate) fn premise_props(&self) -> &[ImplicationConstraint] {
+        &self.premise_props
+    }
+
+    /// Index-aligned FD translations when every premise is single-member.
+    pub(crate) fn premise_fds(&self) -> Option<&[FunctionalDependency]> {
+        self.fd_index.as_deref()
+    }
+
+    // Shared handles to this snapshot's frozen components, so a session
+    // republishing after a mutation can reuse every component the mutation
+    // did not touch (an `Arc` clone instead of a deep copy).
+
+    pub(crate) fn premises_shared(&self) -> Arc<[DiffConstraint]> {
+        Arc::clone(&self.premises)
+    }
+
+    pub(crate) fn premise_props_shared(&self) -> Arc<[ImplicationConstraint]> {
+        Arc::clone(&self.premise_props)
+    }
+
+    pub(crate) fn fd_index_shared(&self) -> Option<Arc<[FunctionalDependency]>> {
+        self.fd_index.clone()
+    }
+
+    pub(crate) fn knowns_shared(&self) -> Arc<[(AttrSet, f64)]> {
+        Arc::clone(&self.knowns)
+    }
+
+    pub(crate) fn dataset_shared(&self) -> Option<Arc<Dataset>> {
+        self.dataset.clone()
+    }
+
+    /// The state salt versioning implication answers (premises only:
+    /// implication is independent of the knowns).
+    fn answer_salt(&self) -> u64 {
+        version_salt(self.premise_digest, 0)
+    }
+
+    /// The state salt versioning bound intervals (premises and knowns).
+    fn bound_salt(&self) -> u64 {
+        version_salt(self.premise_digest, self.knowns_digest)
+    }
+
+    fn answer_key(&self, goal: &DiffConstraint) -> VersionedKey {
+        VersionedKey::new(self.answer_salt(), goal.fingerprint())
+    }
+
+    /// Derived-data key: goal lattices and propositional translations depend
+    /// only on the goal, so their salt is constant.
+    fn derived_key(goal: &DiffConstraint) -> VersionedKey {
+        VersionedKey::new(0, goal.fingerprint())
+    }
+
+    fn bound_key(&self, query: AttrSet) -> VersionedKey {
+        VersionedKey::new(self.bound_salt(), query.fingerprint())
+    }
+
+    /// Answer-cache probe: fingerprint-addressed lookup, verified against
+    /// the goal before the entry is trusted.
+    fn probe_answer(
+        &self,
+        key: &VersionedKey,
+        goal: &DiffConstraint,
+    ) -> Option<(bool, ProcedureKind)> {
+        self.caches.answer.get_if(key, |(stored, implied, kind)| {
+            (stored == goal).then_some((*implied, *kind))
+        })
+    }
+
+    /// Decides `premises ⊨ goal`, consulting and feeding the shared caches.
+    pub fn implies(&self, goal: &DiffConstraint) -> QueryOutcome {
+        if goal.is_trivial() {
+            self.planner.record_trivial();
+            return QueryOutcome {
+                implied: true,
+                procedure: None,
+                cached: false,
+                elapsed: Duration::ZERO,
+            };
+        }
+        let key = self.answer_key(goal);
+        if let Some((implied, kind)) = self.probe_answer(&key, goal) {
+            self.planner.record_cache_hit(kind);
+            return QueryOutcome {
+                implied,
+                procedure: Some(kind),
+                cached: true,
+                elapsed: Duration::ZERO,
+            };
+        }
+        let job = self.plan_job(goal.clone());
+        let result = batch::decide_one(self, &job);
+        self.absorb_result(key, &job.goal, &result);
+        QueryOutcome {
+            implied: result.implied,
+            procedure: Some(result.procedure),
+            cached: false,
+            elapsed: result.elapsed,
+        }
+    }
+
+    /// Decides a whole batch of goals against the frozen premise set.
+    ///
+    /// In-batch duplicate goals are decided once (the repeats follow the
+    /// first occurrence), cache misses fan out across the rayon pool, and
+    /// the returned outcomes are index-aligned with `goals` and identical in
+    /// answers to calling [`Snapshot::implies`] goal-by-goal.
+    pub fn implies_batch(&self, goals: &[DiffConstraint]) -> Vec<QueryOutcome> {
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; goals.len()];
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut job_targets: Vec<usize> = Vec::new();
+        let mut pending: HashMap<&DiffConstraint, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        // Prologue: trivia, answer-cache probes, in-batch dedup, planning.
+        for (i, goal) in goals.iter().enumerate() {
+            if goal.is_trivial() {
+                self.planner.record_trivial();
+                outcomes[i] = Some(QueryOutcome {
+                    implied: true,
+                    procedure: None,
+                    cached: false,
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+            if let Some(&job_index) = pending.get(goal) {
+                followers.push((i, job_index));
+                continue;
+            }
+            let key = self.answer_key(goal);
+            if let Some((implied, kind)) = self.probe_answer(&key, goal) {
+                self.planner.record_cache_hit(kind);
+                outcomes[i] = Some(QueryOutcome {
+                    implied,
+                    procedure: Some(kind),
+                    cached: true,
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+            pending.insert(goal, jobs.len());
+            jobs.push(self.plan_job(goal.clone()));
+            job_targets.push(i);
+        }
+        // Parallel fan-out over the misses.
+        let results: Vec<JobResult> = batch::decide_many(self, &jobs);
+        // Epilogue: write-back and accounting.
+        for (&i, result) in job_targets.iter().zip(&results) {
+            let key = self.answer_key(&goals[i]);
+            self.absorb_result(key, &goals[i], result);
+            outcomes[i] = Some(QueryOutcome {
+                implied: result.implied,
+                procedure: Some(result.procedure),
+                cached: false,
+                elapsed: result.elapsed,
+            });
+        }
+        for (i, job_index) in followers {
+            let result = &results[job_index];
+            self.planner.record_cache_hit(result.procedure);
+            outcomes[i] = Some(QueryOutcome {
+                implied: result.implied,
+                procedure: Some(result.procedure),
+                cached: true,
+                elapsed: Duration::ZERO,
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every goal receives an outcome"))
+            .collect()
+    }
+
+    /// Plans one goal: chooses the procedure and attaches cached derived data.
+    fn plan_job(&self, goal: DiffConstraint) -> Job {
+        let kind = self.planner.choose(
+            &self.universe,
+            &self.premises,
+            &goal,
+            self.fd_index.is_some(),
+        );
+        let cached_lattice = if kind == ProcedureKind::Lattice {
+            self.caches
+                .lattice
+                .get_if(&Snapshot::derived_key(&goal), |(stored, lattice)| {
+                    (stored == &goal).then(|| Arc::clone(lattice))
+                })
+        } else {
+            None
+        };
+        let cached_prop = if kind == ProcedureKind::Sat {
+            self.caches
+                .prop
+                .get_if(&Snapshot::derived_key(&goal), |(stored, prop)| {
+                    (stored == &goal).then(|| Arc::clone(prop))
+                })
+        } else {
+            None
+        };
+        Job {
+            goal,
+            procedure: kind,
+            cached_lattice,
+            cached_prop,
+        }
+    }
+
+    /// Writes a decision back into the shared caches and the planner's
+    /// accounting.
+    fn absorb_result(&self, key: VersionedKey, goal: &DiffConstraint, result: &JobResult) {
+        if let Some(lattice) = &result.computed_lattice {
+            self.caches.lattice.insert(
+                Snapshot::derived_key(goal),
+                (goal.clone(), Arc::clone(lattice)),
+            );
+        }
+        if let Some(prop) = &result.computed_prop {
+            self.caches.prop.insert(
+                Snapshot::derived_key(goal),
+                (goal.clone(), Arc::clone(prop)),
+            );
+        }
+        self.caches
+            .answer
+            .insert(key, (goal.clone(), result.implied, result.procedure));
+        self.planner
+            .record_decided(result.procedure, result.elapsed);
+    }
+
+    /// Derives the tightest provable interval for `f(query)` under the
+    /// frozen premises, knowns, and side conditions, consulting and feeding
+    /// the shared bound cache.
+    ///
+    /// # Errors
+    /// [`DeriveError::Infeasible`] when the knowns contradict the premises
+    /// under the side conditions; infeasible outcomes are not cached.
+    ///
+    /// # Panics
+    /// Panics if `query` lies outside the universe.
+    pub fn bound(&self, query: AttrSet) -> Result<BoundOutcome, DeriveError> {
+        assert!(
+            query.is_subset(self.universe.full_set()),
+            "query set lies outside the universe"
+        );
+        let key = self.bound_key(query);
+        if let Some((interval, route)) = self
+            .caches
+            .bound
+            .get_if(&key, |&(stored, interval, route)| {
+                (stored == query).then_some((interval, route))
+            })
+        {
+            self.planner.record_bound_cache_hit();
+            return Ok(BoundOutcome {
+                interval,
+                route,
+                cached: true,
+                elapsed: Duration::ZERO,
+            });
+        }
+        let route = self.planner.choose_bound(
+            &self.universe,
+            self.premises.len(),
+            self.knowns.len(),
+            query,
+            &self.bounds_config,
+        );
+        let problem = BoundsProblem {
+            universe: &self.universe,
+            constraints: &self.premises,
+            knowns: &self.knowns,
+            side: self.bound_side,
+        };
+        let start = Instant::now();
+        let result = match route {
+            DeriveRoute::Propagation => derive_propagated(&problem, query, &self.bounds_config),
+            DeriveRoute::Relaxed => derive_relaxed(&problem, query),
+        };
+        let elapsed = start.elapsed();
+        self.planner.record_bound_decided(route, elapsed);
+        let derived = result?;
+        self.caches
+            .bound
+            .insert(key, (query, derived.interval, derived.route));
+        Ok(BoundOutcome {
+            interval: derived.interval,
+            route: derived.route,
+            cached: false,
+            elapsed,
+        })
+    }
+
+    /// A refutation witness for a non-implied goal: a set in `L(goal)` not
+    /// covered by any premise lattice.  `None` means the goal is implied.
+    pub fn refutation_witness(&self, goal: &DiffConstraint) -> Option<AttrSet> {
+        implication::refutation_witness(&self.universe, &self.premises, goal)
+    }
+
+    /// Produces a machine-checkable Figure 1 derivation of an implied goal
+    /// (`None` when the goal is not implied).
+    pub fn derive(&self, goal: &DiffConstraint) -> Option<Derivation> {
+        inference::derive(&self.universe, &self.premises, goal)
+    }
+
+    /// Mines the minimal satisfied disjunctive constraints of the frozen
+    /// dataset within the budgets.  `None` when the snapshot holds no
+    /// dataset.
+    pub fn mine_dataset(&self, config: &MinerConfig) -> Option<Discovery> {
+        self.dataset.as_deref().map(|ds| miner::mine(ds, config))
+    }
+
+    /// Point-in-time statistics: the shared planner and cache counters plus
+    /// this snapshot's frozen state sizes.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            planner: self.planner.stats(),
+            answer_cache: self.caches.answer.stats(),
+            lattice_cache: self.caches.lattice.stats(),
+            prop_cache: self.caches.prop.stats(),
+            bound_cache: self.caches.bound.stats(),
+            cache_shards: self.caches.answer.shard_count(),
+            premises: self.premises.len(),
+            knowns: self.knowns.len(),
+            epoch: self.epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+
+    fn parse(u: &Universe, texts: &[&str]) -> Vec<DiffConstraint> {
+        texts
+            .iter()
+            .map(|t| DiffConstraint::parse(t, u).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn snapshots_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<Arc<Snapshot>>();
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_mutations() {
+        let u = Universe::of_size(4);
+        let premises = parse(&u, &["A -> {B}", "B -> {C}"]);
+        let mut session = Session::new(u.clone());
+        for p in &premises {
+            session.assert_constraint(p);
+        }
+        let frozen = session.snapshot();
+        let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+        assert!(frozen.implies(&goal).implied);
+        // Retract the transitivity link: the *session* flips, the frozen
+        // snapshot keeps answering from its own premise set.
+        session.retract_constraint(&premises[1]);
+        assert!(!session.implies(&goal).implied);
+        assert!(frozen.implies(&goal).implied, "snapshot must stay frozen");
+        assert_eq!(frozen.premises().len(), 2);
+        assert_eq!(session.premises().len(), 1);
+        assert!(session.snapshot().epoch() > frozen.epoch());
+    }
+
+    #[test]
+    fn epochs_increase_across_every_mutation_kind() {
+        let u = Universe::of_size(4);
+        let mut s = Session::new(u.clone());
+        let mut last = s.snapshot().epoch();
+        let mut bumped = |session: &Session, what: &str| {
+            let epoch = session.snapshot().epoch();
+            assert!(epoch > last, "{what} must bump the epoch");
+            last = epoch;
+        };
+        let c = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        s.assert_constraint(&c);
+        bumped(&s, "assert");
+        s.set_known(u.parse_set("A").unwrap(), 4.0);
+        bumped(&s, "known");
+        s.forget_known(u.parse_set("A").unwrap());
+        bumped(&s, "forget");
+        s.retract_constraint(&c);
+        bumped(&s, "retract");
+        s.load_records(["AB", "B"]).unwrap();
+        bumped(&s, "load");
+        s.adopt_discovered(&MinerConfig::default()).unwrap();
+        bumped(&s, "adopt");
+    }
+
+    #[test]
+    fn digest_restoration_shares_warm_entries_across_snapshots() {
+        let u = Universe::of_size(4);
+        let premise = DiffConstraint::parse("A -> {B}", &u).unwrap();
+        let goal = DiffConstraint::parse("AC -> {B}", &u).unwrap();
+        let mut session = Session::new(u);
+        session.assert_constraint(&premise);
+        let first = session.snapshot();
+        assert!(!first.implies(&goal).cached);
+        // A different state must not reuse the entry…
+        session.retract_constraint(&premise);
+        assert!(!session.snapshot().implies(&goal).cached);
+        // …but restoring the digest revalidates it, on a *new* snapshot.
+        session.assert_constraint(&premise);
+        let third = session.snapshot();
+        assert!(third.implies(&goal).cached);
+        assert_ne!(first.epoch(), third.epoch());
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_the_oracle() {
+        let u = Universe::of_size(6);
+        let premises = parse(&u, &["A -> {B}", "BC -> {D, EF}", "D -> {E}"]);
+        let mut session = Session::new(u.clone());
+        for p in &premises {
+            session.assert_constraint(p);
+        }
+        let snapshot = session.snapshot();
+        let mut gen = diffcon::random::ConstraintGenerator::new(17, &u);
+        let shape = diffcon::random::ConstraintShape::default();
+        let goals = gen.constraint_set(48, &shape);
+        let expected: Vec<bool> = goals
+            .iter()
+            .map(|g| implication::implies(&u, &premises, g))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let snapshot = Arc::clone(&snapshot);
+                let goals = &goals;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (goal, &want) in goals.iter().zip(expected) {
+                        assert_eq!(snapshot.implies(goal).implied, want);
+                    }
+                });
+            }
+        });
+        let stats = snapshot.stats();
+        assert_eq!(stats.premises, 3);
+        assert!(stats.planner.total_queries() >= 192);
+    }
+
+    #[test]
+    fn snapshot_stats_expose_shards_and_state_sizes() {
+        let u = Universe::of_size(4);
+        let mut session = Session::new(u.clone());
+        session.assert_constraint(&DiffConstraint::parse("A -> {B}", &u).unwrap());
+        session.set_known(u.parse_set("A").unwrap(), 1.0);
+        let snapshot = session.snapshot();
+        let stats = snapshot.stats();
+        assert!(stats.cache_shards >= 1);
+        assert_eq!(stats.premises, 1);
+        assert_eq!(stats.knowns, 1);
+        assert_eq!(stats.epoch, snapshot.epoch());
+    }
+}

@@ -124,7 +124,7 @@ fn bound_soundness_survives_caching_and_retraction() {
             );
             let premises = session.premises().to_vec();
             let knowns = session.knowns().to_vec();
-            let mut replica = fresh_session(&universe, &premises, &knowns);
+            let replica = fresh_session(&universe, &premises, &knowns);
             let clean = replica.bound(query).expect("replica is feasible");
             assert_eq!(
                 first.interval, clean.interval,

@@ -69,6 +69,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 .collect();
             Request::Universe(diffcon_engine::protocol::UniverseSpec::Names(names))
         }),
+        Just(Request::SessionNew),
+        (0u64..4).prop_map(Request::SessionUse),
+        (0u64..2, 0u64..4).prop_map(|(some, id)| Request::SessionClose((some == 1).then_some(id))),
+        Just(Request::SessionList),
         arb_constraint_text().prop_map(Request::Assert),
         arb_constraint_text().prop_map(Request::Retract),
         arb_constraint_text().prop_map(Request::Implies),
@@ -220,6 +224,34 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
                 "queries missing: {line}"
             );
         }
+        "sessions" => {
+            let n: usize = field_value(rest, "n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("sessions without n=: {line}"));
+            assert!(
+                field_value(rest, "current").is_some(),
+                "current missing: {line}"
+            );
+            let listed = &rest[2..];
+            assert_eq!(listed.len(), n, "sessions arity: {line}");
+            for desc in listed {
+                // slotdesc ::= ID ":" ("-" | "u" NUMBER "p" NUMBER)
+                let (id, state) = desc
+                    .split_once(':')
+                    .unwrap_or_else(|| panic!("slotdesc `{desc}`: {line}"));
+                assert!(id.parse::<u64>().is_ok(), "slot id `{id}`: {line}");
+                if state != "-" {
+                    let body = state
+                        .strip_prefix('u')
+                        .unwrap_or_else(|| panic!("slotdesc state `{state}`: {line}"));
+                    let (u, p) = body
+                        .split_once('p')
+                        .unwrap_or_else(|| panic!("slotdesc state `{state}`: {line}"));
+                    assert!(u.parse::<usize>().is_ok(), "slot universe `{u}`: {line}");
+                    assert!(p.parse::<usize>().is_ok(), "slot premises `{p}`: {line}");
+                }
+            }
+        }
         other => panic!("unknown response head `{other}`: {line}"),
     }
 }
@@ -228,7 +260,6 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
 /// tracking the active universe so listed constraints can be re-parsed.
 fn run_and_validate(requests: &[Request]) {
     let mut server = Server::new(SessionConfig::default());
-    let mut universe: Option<Universe> = None;
     for request in requests {
         let line = format_request(request);
         // The request side of the round trip.
@@ -238,11 +269,10 @@ fn run_and_validate(requests: &[Request]) {
             "request round-trip failed for `{line}`"
         );
         let reply = server.handle_line(&line);
-        if !reply.text.starts_with("err") {
-            if let Request::Universe(_) = request {
-                universe = server.session().map(|s| s.universe().clone());
-            }
-        }
+        // Track the *current slot's* universe (session verbs switch slots,
+        // so it can change on any request) for re-parsing listed
+        // constraints.
+        let universe = server.session().map(|s| s.universe().clone());
         validate_reply(universe.as_ref(), &reply.text);
     }
 }
@@ -301,6 +331,12 @@ fn every_response_verb_is_covered() {
         "stats",
         "forget A",
         "frobnicate",
+        "session list",
+        "session new",
+        "session list",
+        "session use 0",
+        "session close 1",
+        "session close 99",
         "reset",
         "quit",
     ];

@@ -1,11 +1,13 @@
-//! Serving implication queries with `diffcon-engine`: sessions, caching,
-//! batching, the planner, and the `diffcond` wire protocol.
+//! Serving implication queries with `diffcon-engine`: sessions, snapshot
+//! isolation, concurrent readers over sharded caches, batching, and the
+//! multi-session `diffcond` wire protocol.
 //!
 //! Run with: `cargo run --example engine_service`
 
-use diffcon::DiffConstraint;
+use diffcon::{implication, DiffConstraint};
 use diffcon_engine::{Server, Session, SessionConfig};
 use setlat::Universe;
+use std::sync::Arc;
 
 fn main() {
     // ── A session over the paper's 4-attribute examples ─────────────────────
@@ -42,25 +44,71 @@ fn main() {
         println!("batch   {:<12} -> {}", goal.format(&u), outcome.implied);
     }
 
-    // Incremental retraction invalidates exactly the affected answers.
+    // ── Concurrent serving: many threads, one shared snapshot ───────────────
+    // Every mutation published an immutable snapshot; readers clone the Arc
+    // and decide through `&self` — no reader ever blocks the writer, and a
+    // writer can keep mutating the session while these threads run.
+    println!("\n-- concurrent snapshot readers --");
+    let mut gen = diffcon::random::ConstraintGenerator::new(7, &u);
+    let shape = diffcon::random::ConstraintShape::default();
+    let pool = gen.constraint_set(64, &shape);
+    let snapshot = session.snapshot();
+    let expected: Vec<bool> = pool
+        .iter()
+        .map(|g| implication::implies(&u, snapshot.premises(), g))
+        .collect();
+    const READERS: usize = 4;
+    const ROUNDS: usize = 8;
+    std::thread::scope(|scope| {
+        for reader in 0..READERS {
+            let snapshot = Arc::clone(&snapshot);
+            let pool = &pool;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut answered = 0usize;
+                for _ in 0..ROUNDS {
+                    for (goal, &want) in pool.iter().zip(expected) {
+                        assert_eq!(
+                            snapshot.implies(goal).implied,
+                            want,
+                            "reader diverged from the serial oracle"
+                        );
+                        answered += 1;
+                    }
+                }
+                println!(
+                    "reader {reader}: {answered} queries answered against epoch {}",
+                    snapshot.epoch()
+                );
+            });
+        }
+    });
+    // While the readers were running, the writer retracts a premise: the
+    // session flips, already-captured snapshots do not.
     let transitivity_link = DiffConstraint::parse("B -> {C}", &u).unwrap();
     session.retract_constraint(&transitivity_link);
-    let goal = DiffConstraint::parse("A -> {C}", &u).unwrap();
+    let goal = DiffConstraint::parse("BD -> {C}", &u).unwrap();
     println!(
-        "after retracting B -> {{C}}: implies A -> {{C}} = {}",
-        session.implies(&goal).implied
+        "writer retracted B -> {{C}}: session now says {}, frozen snapshot still says {}",
+        session.implies(&goal).implied,
+        snapshot.implies(&goal).implied
     );
+    assert!(!session.implies(&goal).implied);
+    assert!(snapshot.implies(&goal).implied, "snapshots are immutable");
 
-    // Engine statistics: planner routing and cache effectiveness.
+    // Aggregated shard statistics: every reader above fed the same sharded
+    // caches, so the hit ratio reflects the whole fleet.
     let stats = session.stats();
     println!(
-        "stats: {} queries ({} trivial), answer-cache hit ratio {:.2}",
+        "shared caches: {} shards, answer cache h{}/m{} (hit ratio {:.2}), {} queries total",
+        stats.cache_shards,
+        stats.answer_cache.hits,
+        stats.answer_cache.misses,
+        stats.answer_cache.hit_ratio(),
         stats.planner.total_queries(),
-        stats.planner.trivial,
-        stats.answer_cache.hit_ratio()
     );
 
-    // ── The same conversation over the diffcond wire protocol ───────────────
+    // ── The same service over the multi-session diffcond wire protocol ──────
     println!("\n-- diffcond protocol transcript --");
     let mut server = Server::new(SessionConfig::default());
     for line in [
@@ -68,6 +116,12 @@ fn main() {
         "assert A -> {B}",
         "assert B -> {C}",
         "implies A -> {C}",
+        "session new",
+        "universe 4",
+        "assert A -> {C}",
+        "implies A -> {C}",
+        "session list",
+        "session use 0",
         "batch A -> {C}; C -> {A}; AB -> {B}",
         "witness C -> {A}",
         "derive A -> {C}",

@@ -7,7 +7,13 @@
 //! * `slice.par_iter().map(f).collect::<Vec<_>>()` — order-preserving
 //!   parallel map over a slice (also reachable through `Vec` via deref);
 //! * [`join`] — run two closures, potentially in parallel;
-//! * [`current_num_threads`] — the parallelism the pool will use.
+//! * [`current_num_threads`] — the parallelism the pool will use;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — an explicitly sized pool whose
+//!   [`ThreadPool::install`] scope overrides the worker count the parallel
+//!   operations above use (rayon's thread-local pool registry, reduced to a
+//!   thread-local integer).  An explicit pool can ask for *more* workers
+//!   than cores, which servers use to overlap many in-flight requests even
+//!   on small machines.
 //!
 //! Work is split into one contiguous chunk per available core; each chunk is
 //! processed on its own scoped thread and the results are concatenated in
@@ -18,13 +24,123 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
+use std::fmt;
 use std::num::NonZeroUsize;
 
-/// Number of worker threads parallel operations will use.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of its closure; `0` means "no override, use the hardware".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations will use: the installed
+/// pool's size inside [`ThreadPool::install`], the hardware parallelism
+/// otherwise.
 pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Whether the current thread is inside a [`ThreadPool::install`] scope.
+/// Parallel operations then honor the pool's size down to one item per
+/// worker instead of amortizing spawn cost with the per-4-items cap.
+fn explicit_pool_installed() -> bool {
+    POOL_THREADS.with(Cell::get) > 0
+}
+
+/// Pins the calling (worker) thread's parallelism.  Spawned chunk workers
+/// of an explicitly sized pool run with an override of 1, so nested
+/// `par_iter`s inside a worker stay serial instead of multiplying the
+/// operator's thread budget by the hardware parallelism.
+fn set_worker_override(n: usize) {
+    POOL_THREADS.with(|c| c.set(n));
+}
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// The error type rayon's builder can return.  The shim's build never fails;
+/// the type exists so caller code matches the real crate.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder; without [`ThreadPoolBuilder::num_threads`] the pool
+    /// sizes itself to the hardware.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (`0` = hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.  The shim spawns scoped threads per operation rather
+    /// than keeping persistent workers, so building never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// An explicitly sized worker pool.  [`ThreadPool::install`] runs a closure
+/// with [`current_num_threads`] (and therefore every `par_iter` issued from
+/// the closure's thread) pinned to the pool's size — which may deliberately
+/// exceed the core count, so I/O-bound or latency-hiding workloads can keep
+/// more requests in flight than the machine has cores.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's worker count installed for parallel
+    /// operations issued from the current thread.  Nested installs restore
+    /// the outer override on exit (panic-safe via a drop guard).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(self.num_threads)));
+        op()
+    }
 }
 
 /// Runs both closures, in parallel when more than one thread is available,
@@ -54,7 +170,7 @@ pub mod prelude {
 
 /// Parallel iterator types.
 pub mod iter {
-    use super::current_num_threads;
+    use super::{current_num_threads, explicit_pool_installed};
 
     /// Conversion of `&self` into a parallel iterator (rayon's
     /// `IntoParallelRefIterator`, restricted to slices).
@@ -156,18 +272,37 @@ pub mod iter {
         F: Fn(&'data T) -> R + Sync,
     {
         let n = items.len();
-        // Cap workers at one per 4 items: spawning an OS thread costs tens of
-        // microseconds, so tiny batches use few threads (or none).
-        let threads = current_num_threads().min(n.div_ceil(4));
+        // An explicitly installed pool is a statement of intended
+        // concurrency — the caller wants request-level overlap even for
+        // small waves — so it is honored up to one worker per item.  The
+        // default hardware-sized path instead caps workers at one per 4
+        // items: spawning an OS thread costs tens of microseconds, so tiny
+        // fine-grained batches use few threads (or none).
+        let available = current_num_threads();
+        let threads = if explicit_pool_installed() {
+            available.min(n)
+        } else {
+            available.min(n.div_ceil(4))
+        };
         if threads <= 1 || n < 2 {
             return items.iter().map(f).collect();
         }
+        // Workers of an explicit pool must not fan out further: the wave is
+        // already split across the operator's thread budget, so nested
+        // parallel maps inside a worker run serially (override = 1).  The
+        // default path leaves workers at the hardware default (0 = unset).
+        let worker_override = usize::from(explicit_pool_installed());
         let chunk = n.div_ceil(threads);
         let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
         std::thread::scope(|s| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .map(|part| {
+                    s.spawn(move || {
+                        super::set_worker_override(worker_override);
+                        part.iter().map(f).collect::<Vec<R>>()
+                    })
+                })
                 .collect();
             for h in handles {
                 out.push(h.join().expect("rayon-shim: worker thread panicked"));
@@ -209,5 +344,102 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_install_overrides_and_restores_worker_count() {
+        let outside = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 7);
+        let seen = pool.install(super::current_num_threads);
+        assert_eq!(seen, 7);
+        // Nested installs shadow and restore.
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (outer_seen, inner_seen) = pool.install(|| {
+            (
+                super::current_num_threads(),
+                inner.install(super::current_num_threads),
+            )
+        });
+        assert_eq!((outer_seen, inner_seen), (7, 2));
+        assert_eq!(super::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn explicit_pools_parallelize_small_waves() {
+        use std::collections::HashSet;
+        // Under an installed pool, 4 items across 4 workers really run on 4
+        // distinct threads (one chunk each) — the per-4-items spawn cap only
+        // applies to the default hardware-sized path.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let items = [0u32, 1, 2, 3];
+        let ids: HashSet<std::thread::ThreadId> = pool
+            .install(|| {
+                items
+                    .par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .collect();
+        assert_eq!(ids.len(), 4, "each item should get its own worker");
+        // Without a pool the same 4-item map stays on the calling thread
+        // (the per-4-items cap yields a single worker).
+        let here = std::thread::current().id();
+        let ids: HashSet<std::thread::ThreadId> = items
+            .par_iter()
+            .map(|_| std::thread::current().id())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(ids, HashSet::from([here]));
+    }
+
+    #[test]
+    fn explicit_pool_workers_do_not_nest_parallelism() {
+        // A worker of an explicit pool sees parallelism 1, so a nested
+        // par_iter inside it cannot multiply the operator's thread budget.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let items = [0u32, 1];
+        let nested: Vec<usize> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|_| super::current_num_threads())
+                .collect()
+        });
+        assert_eq!(nested, vec![1, 1]);
+    }
+
+    #[test]
+    fn pool_sized_past_the_core_count_runs_parallel_maps() {
+        // More workers than this machine has cores: the pool must still
+        // produce order-preserving results (the server uses oversubscription
+        // to overlap requests on small machines).
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 3).collect());
+        let expected: Vec<u64> = input.iter().map(|x| x * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn builder_zero_means_hardware() {
+        let pool = super::ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }
