@@ -1,0 +1,249 @@
+//! N1 — network serving: what the `diffcond serve` TCP front-end costs over
+//! the in-process pipeline, on the same warm repeated-premise query traffic
+//! as `BENCH_server.json` (same generator, same sizes, so the figures are
+//! directly comparable).
+//!
+//! Three axes:
+//!
+//! * **pipelined socket throughput** — k connections, each replaying m
+//!   protocol lines in one burst and draining the reply stream (the wire
+//!   analogue of `Pipeline` batch serving);
+//! * **strict request/response latency** — one warm connection issuing one
+//!   query at a time and waiting for each reply: p50/p99 of the full
+//!   round trip (framing, parse, decide, reply, loopback both ways);
+//! * **in-process reference** — the same script through the in-process
+//!   [`Pipeline`], so `net_over_inprocess` records the transport tax.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diffcon_bench::workloads;
+use diffcon_bench::{JsonReport, Table};
+use diffcon_engine::client::Client;
+use diffcon_engine::net::{NetConfig, NetServer};
+use diffcon_engine::{Pipeline, SessionConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const UNIVERSE: usize = 12;
+const PREMISES: usize = 8;
+const POOL: usize = 64;
+const STREAM: usize = 512;
+/// Stream repetitions per pipelined pass (per connection): m = REPEATS ×
+/// STREAM request lines in one burst.
+const REPEATS: usize = 8;
+const TRIALS: usize = 5;
+/// Strict round trips measured for the latency distribution.
+const LATENCY_SAMPLES: usize = 2000;
+
+/// The protocol script of the standard serving workload: open the universe,
+/// assert the premises, then the query stream as `implies` lines.
+fn build_script(repeats: usize) -> Vec<String> {
+    let (base, stream) = workloads::engine_query_stream(42, UNIVERSE, PREMISES, POOL, STREAM);
+    let universe = &base.universe;
+    let mut lines = vec![format!("universe {UNIVERSE}")];
+    for premise in &base.premises {
+        lines.push(format!(
+            "assert {}",
+            diffcon_engine::protocol::format_wire(premise, universe)
+        ));
+    }
+    for _ in 0..repeats {
+        for goal in &stream {
+            lines.push(format!(
+                "implies {}",
+                diffcon_engine::protocol::format_wire(goal, universe)
+            ));
+        }
+    }
+    lines
+}
+
+fn spawn_server(threads: usize) -> (SocketAddr, diffcon_engine::ShutdownHandle) {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            session: SessionConfig::default(),
+            threads,
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || server.run().expect("accept loop"));
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    client
+}
+
+/// One pipelined pass over `connections` parallel connections; returns the
+/// wall-clock seconds and asserts every reply stream is complete and sane.
+fn pipelined_pass(addr: SocketAddr, script: &[String], connections: usize) -> f64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    // Warm the connection's caches with one quiet pass of
+                    // the prologue + first stream block.
+                    let start = Instant::now();
+                    let replies = client
+                        .run_script(script.iter().map(String::as_str))
+                        .expect("script round trip");
+                    let elapsed = start.elapsed().as_secs_f64();
+                    assert_eq!(replies.len(), script.len());
+                    let answered = replies
+                        .iter()
+                        .filter(|r| r.starts_with("yes") || r.starts_with("no"))
+                        .count();
+                    assert_eq!(answered, script.len() - 1 - PREMISES, "lost replies");
+                    elapsed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench connection panicked"))
+            .fold(0.0f64, f64::max)
+    })
+}
+
+/// Best wall-clock seconds over `TRIALS` passes.
+fn best_secs(mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        best = best.min(f());
+    }
+    best
+}
+
+/// The same script through the in-process pipeline (no sockets): the
+/// reference the transport tax is measured against.
+fn in_process_secs(script: &[String], threads: usize) -> f64 {
+    best_secs(|| {
+        let mut pipeline = Pipeline::new(SessionConfig::default(), threads);
+        let mut answered = 0usize;
+        let start = Instant::now();
+        for line in script {
+            let (replies, _) = pipeline.push_line(line);
+            answered += replies.len();
+        }
+        answered += pipeline.finish().len();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(answered, script.len());
+        elapsed
+    })
+}
+
+/// p50/p99 (µs) of strict request/response round trips on a warm
+/// connection.
+fn strict_latency(addr: SocketAddr, script: &[String]) -> (f64, f64) {
+    let mut client = connect(addr);
+    // Set up and warm: the full script once, pipelined.
+    let replies = client
+        .run_script(script.iter().map(String::as_str))
+        .expect("warmup");
+    assert_eq!(replies.len(), script.len());
+    let queries: Vec<&String> = script.iter().skip(1 + PREMISES).collect();
+    let mut samples = Vec::with_capacity(LATENCY_SAMPLES);
+    for i in 0..LATENCY_SAMPLES {
+        let line = queries[i % queries.len()];
+        let start = Instant::now();
+        let reply = client.raw_request(line).expect("strict round trip");
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+        assert!(reply.starts_with("yes") || reply.starts_with("no"));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    (pick(0.50), pick(0.99))
+}
+
+fn emit_json_report() {
+    let script = build_script(REPEATS);
+    let queries_per_pass = (REPEATS * STREAM) as f64;
+    let (addr, handle) = spawn_server(2);
+
+    let mut table = Table::new(
+        "N1: warm pipelined socket throughput by connection count",
+        ["connections", "queries", "elapsed_us", "qps"],
+    );
+    let mut report = JsonReport::new("net_serving");
+    report.push_metric("stream_len", STREAM as f64);
+    report.push_metric("queries_per_connection", queries_per_pass);
+
+    // Warm the server once per connection count before timing.
+    let mut best_qps = 0.0f64;
+    for &connections in &[1usize, 2, 4] {
+        pipelined_pass(addr, &script, connections); // warm
+        let secs = best_secs(|| pipelined_pass(addr, &script, connections));
+        let qps = queries_per_pass * connections as f64 / secs;
+        best_qps = best_qps.max(qps);
+        table.push_row([
+            connections.to_string(),
+            ((REPEATS * STREAM) * connections).to_string(),
+            format!("{:.0}", secs * 1e6),
+            format!("{:.0}", qps),
+        ]);
+        report.push_metric(format!("warm_net_qps_c{connections}"), qps);
+    }
+    table.eprint();
+    report.push_metric("warm_net_best_qps", best_qps);
+
+    let inproc_secs = in_process_secs(&script, 2);
+    let inproc_qps = queries_per_pass / inproc_secs;
+    report.push_metric("inprocess_qps", inproc_qps);
+    report.push_metric("net_over_inprocess", best_qps / inproc_qps);
+
+    let (p50_us, p99_us) = strict_latency(addr, &script);
+    report.push_metric("strict_p50_us", p50_us);
+    report.push_metric("strict_p99_us", p99_us);
+
+    handle.shutdown();
+    report.push_table(table);
+    match report.write_to_repo_root("BENCH_net.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+    }
+    eprintln!(
+        "warm pipelined socket {:.0} qps best ({:.2}x of in-process {:.0} qps); \
+         strict round trip p50 {:.1} µs, p99 {:.1} µs",
+        best_qps,
+        best_qps / inproc_qps,
+        inproc_qps,
+        p50_us,
+        p99_us
+    );
+    assert!(
+        p99_us < 60_000.0,
+        "strict p99 round trip blew past 60 ms on loopback ({p99_us:.0} µs)"
+    );
+}
+
+fn bench_net_serving(c: &mut Criterion) {
+    emit_json_report();
+
+    // Criterion series: one strict round trip on a warm connection.
+    let script = build_script(1);
+    let (addr, handle) = spawn_server(2);
+    let mut client = connect(addr);
+    let replies = client
+        .run_script(script.iter().map(String::as_str))
+        .expect("warmup");
+    assert_eq!(replies.len(), script.len());
+    let query = script.last().expect("nonempty script").clone();
+    let mut group = c.benchmark_group("N1_net_round_trip");
+    group.sample_size(20);
+    group.bench_function("strict_warm_implies", |b| {
+        b.iter(|| client.raw_request(&query).expect("round trip"))
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_net_serving);
+criterion_main!(benches);

@@ -100,16 +100,70 @@ impl Interval {
 
     /// Formats one endpoint for the wire protocol: integers without a
     /// fractional part, `inf`/`-inf` for unbounded ends.
+    ///
+    /// [`Interval::parse_endpoint`] is the exact inverse:
+    /// `parse_endpoint(&format_endpoint(v)) == Ok(v)` for every non-NaN
+    /// `v` (with `-0.0` normalized to `0.0`, the one value the wire does
+    /// not distinguish) — the round-trip property the bounds test suite
+    /// checks over random endpoints, including the infinite ones.
     pub fn format_endpoint(v: f64) -> String {
         if v == f64::INFINITY {
             "inf".to_string()
         } else if v == f64::NEG_INFINITY {
             "-inf".to_string()
         } else if v.fract() == 0.0 && v.abs() < 1e15 {
+            // Integral values print without a fractional part; the cast
+            // also normalizes `-0.0` to `0`, so the sign of zero never
+            // reaches the wire.
             format!("{}", v as i64)
         } else {
             format!("{v}")
         }
+    }
+
+    /// Parses one wire endpoint — the inverse of
+    /// [`Interval::format_endpoint`].  Accepts `inf` / `-inf` (the only
+    /// spellings the formatter emits) and finite decimals; rejects NaN and
+    /// the alternative infinity spellings `f64`'s own parser would accept,
+    /// so that everything this returns can be fed back through the
+    /// formatter unchanged.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending text.
+    pub fn parse_endpoint(text: &str) -> Result<f64, String> {
+        match text {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            _ => {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| format!("not a number: `{text}`"))?;
+                if v.is_nan() || v.is_infinite() {
+                    return Err(format!("not a wire endpoint: `{text}`"));
+                }
+                // The formatter never emits a signed zero; normalize so the
+                // round trip is an identity on what it can emit.
+                if v == 0.0 {
+                    return Ok(0.0);
+                }
+                Ok(v)
+            }
+        }
+    }
+
+    /// Parses an interval from its two wire endpoints (as printed in
+    /// `bound lo=… hi=…` replies).
+    ///
+    /// # Errors
+    /// Rejects unparseable endpoints and inverted intervals (`lo > hi`)
+    /// instead of panicking, so untrusted reply text is safe to feed in.
+    pub fn parse_endpoints(lo: &str, hi: &str) -> Result<Interval, String> {
+        let lo = Interval::parse_endpoint(lo)?;
+        let hi = Interval::parse_endpoint(hi)?;
+        if lo > hi {
+            return Err(format!("inverted interval [{lo}, {hi}]"));
+        }
+        Ok(Interval { lo, hi })
     }
 }
 
@@ -237,6 +291,88 @@ mod tests {
         assert_eq!(Interval::format_endpoint(f64::INFINITY), "inf");
         assert_eq!(Interval::format_endpoint(f64::NEG_INFINITY), "-inf");
         assert_eq!(Interval::new(0.0, 40.0).to_string(), "[0, 40]");
+        // The sign of zero never reaches the wire.
+        assert_eq!(Interval::format_endpoint(-0.0), "0");
+    }
+
+    #[test]
+    fn endpoint_parsing_inverts_formatting() {
+        for v in [
+            0.0,
+            -0.0,
+            40.0,
+            -2.5,
+            0.1,
+            1.0 / 3.0,
+            -1e-17,
+            1e15,
+            -1e15,
+            2e15 + 2.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let wire = Interval::format_endpoint(v);
+            let back = Interval::parse_endpoint(&wire)
+                .unwrap_or_else(|e| panic!("`{wire}` did not re-parse: {e}"));
+            assert_eq!(back, v, "round trip moved {v:?} via `{wire}`");
+            // …and the reparse is *stable*: formatting again is identical.
+            assert_eq!(Interval::format_endpoint(back), wire);
+        }
+    }
+
+    #[test]
+    fn endpoint_parsing_rejects_junk() {
+        for junk in [
+            "",
+            "x",
+            "4x",
+            "nan",
+            "NaN",
+            "-nan",
+            "infinity",
+            "-infinity",
+            "Inf",
+            "1e999",
+        ] {
+            assert!(
+                Interval::parse_endpoint(junk).is_err(),
+                "`{junk}` should not parse as a wire endpoint"
+            );
+        }
+        // Signed zero normalizes on the way in as well.
+        assert_eq!(
+            Interval::parse_endpoint("-0").unwrap().to_bits(),
+            0.0f64.to_bits()
+        );
+        assert_eq!(
+            Interval::parse_endpoint("-0.0").unwrap().to_bits(),
+            0.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn interval_parsing_round_trips_and_rejects_inversions() {
+        for (lo, hi) in [
+            (0.0, 40.0),
+            (-2.5, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (7.25, 7.25),
+        ] {
+            let i = Interval::new(lo, hi);
+            let back = Interval::parse_endpoints(
+                &Interval::format_endpoint(i.lo),
+                &Interval::format_endpoint(i.hi),
+            )
+            .unwrap();
+            assert_eq!(back, i);
+        }
+        assert!(Interval::parse_endpoints("4", "3").is_err());
+        assert!(Interval::parse_endpoints("inf", "0").is_err());
+        assert!(Interval::parse_endpoints("nan", "3").is_err());
     }
 
     #[test]

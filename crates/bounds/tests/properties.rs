@@ -214,3 +214,77 @@ fn constrained_mining_stays_lossless_on_random_databases() {
         }
     }
 }
+
+// ── Wire endpoint round-trip (format ∘ parse identity) ──────────────────
+
+/// `interval` wire responses must re-parse to the same endpoints: the
+/// formatter and parser are exact inverses over every non-NaN `f64`,
+/// including infinite endpoints, signed zeros, subnormals, and long
+/// fractions (4000 random endpoints; raw bit patterns included so the
+/// adversarial corners are covered, not just the supports the engine
+/// actually serves).
+#[test]
+fn wire_endpoint_format_parse_round_trips_on_random_endpoints() {
+    use diffcon_bounds::Interval;
+    let mut rng = Rng::seeded(0xD1FFC0);
+    let mut checked = 0usize;
+    while checked < 4000 {
+        let v = match checked % 8 {
+            // Bias toward the wire's realistic population: small supports…
+            0..=2 => rng.below(1 << 20) as f64,
+            // …and short fractions…
+            3 => rng.below(1 << 12) as f64 / (1 + rng.below(9)) as f64,
+            4 => f64::INFINITY,
+            5 => f64::NEG_INFINITY,
+            // …plus adversarial raw bit patterns (subnormals, huge
+            // magnitudes, signed zeros).
+            _ => f64::from_bits(rng.next()),
+        };
+        if v.is_nan() {
+            continue;
+        }
+        let wire = Interval::format_endpoint(v);
+        let back = Interval::parse_endpoint(&wire)
+            .unwrap_or_else(|e| panic!("`{wire}` (from {v:?}) failed to re-parse: {e}"));
+        assert_eq!(back, v, "round trip moved {v:?} via `{wire}`");
+        assert_eq!(
+            Interval::format_endpoint(back),
+            wire,
+            "re-formatting {back:?} is unstable"
+        );
+        checked += 1;
+    }
+}
+
+/// Whole intervals (as printed in `bound lo=… hi=…` replies) survive the
+/// wire: formatting both endpoints and parsing them back yields the same
+/// interval, for 1000 random intervals including half-infinite and
+/// all-infinite ones.
+#[test]
+fn wire_interval_round_trips_on_random_intervals() {
+    use diffcon_bounds::Interval;
+    let mut rng = Rng::seeded(0xBEEF);
+    let mut checked = 0usize;
+    while checked < 1000 {
+        let mut a = f64::from_bits(rng.next());
+        let mut b = f64::from_bits(rng.next());
+        if rng.below(8) == 0 {
+            a = f64::NEG_INFINITY;
+        }
+        if rng.below(8) == 0 {
+            b = f64::INFINITY;
+        }
+        if a.is_nan() || b.is_nan() {
+            continue;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let interval = Interval::new(lo, hi);
+        let back = Interval::parse_endpoints(
+            &Interval::format_endpoint(interval.lo),
+            &Interval::format_endpoint(interval.hi),
+        )
+        .unwrap_or_else(|e| panic!("{interval} failed to re-parse: {e}"));
+        assert_eq!(back, interval);
+        checked += 1;
+    }
+}

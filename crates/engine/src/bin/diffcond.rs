@@ -10,7 +10,14 @@
 //! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
 //!                 [--bound-cache N] [--cache-shards N] [--lattice-budget N]
 //!                 [--bound-budget N] [--threads N] [--help]
+//!        diffcond serve [--addr HOST:PORT] [--max-conns N]
+//!                       [--max-request-bytes N] [same engine flags]
 //! ```
+//!
+//! `diffcond serve` serves the identical protocol over TCP
+//! (`diffcon_engine::net`): one connection = one private session namespace,
+//! newline framing with a per-request length limit, error replies for
+//! malformed frames, and a concurrent-connection admission cap.
 //!
 //! With `--threads N` (N > 1) the server scans requests serially but
 //! evaluates the read-only query verbs (`implies`, `batch`, `bound`,
@@ -50,20 +57,79 @@ Options:
                       routed to the sound relaxation      (default 67108864)
   --threads N         worker threads evaluating read-only queries
                       concurrently against their snapshots (default 1:
-                      classic serial line-by-line serving)
-  --help              print this text";
+                      classic serial line-by-line serving; under `serve`,
+                      per connection)
+  --help              print this text
+
+Network serving:
+  diffcond serve [--addr HOST:PORT] [--max-conns N] [--max-request-bytes N]
+                 [engine flags as above]
+
+  Serves the same line protocol over TCP: each connection gets a private
+  session namespace (all slots close on disconnect), requests are
+  newline-framed with a per-request byte limit (oversized or non-UTF-8
+  lines get `err` replies, never a dropped connection), and at most
+  --max-conns connections are admitted at once.  Defaults: --addr
+  127.0.0.1:7878, --max-conns 64, --max-request-bytes 65536.";
 
 struct Options {
     config: SessionConfig,
     threads: usize,
+    serve: Option<ServeOptions>,
+}
+
+struct ServeOptions {
+    addr: String,
+    max_connections: usize,
+    max_request_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            max_connections: diffcon_engine::NetConfig::DEFAULT_MAX_CONNECTIONS,
+            max_request_bytes: diffcon_engine::protocol::MAX_REQUEST_BYTES,
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut config = SessionConfig::default();
     let mut threads = 1usize;
-    let mut args = std::env::args().skip(1);
+    let mut serve: Option<ServeOptions> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        serve = Some(ServeOptions::default());
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--addr" => {
+                let serve = serve
+                    .as_mut()
+                    .ok_or("--addr is only valid after the `serve` subcommand")?;
+                serve.addr = args.next().ok_or("--addr expects HOST:PORT")?;
+            }
+            "--max-conns" | "--max-request-bytes" => {
+                let target = serve
+                    .as_mut()
+                    .ok_or_else(|| format!("{flag} is only valid after the `serve` subcommand"))?;
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{flag} expects a number"))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("{flag} expects a number, got `{value}`"))?;
+                if n == 0 {
+                    return Err(format!("{flag} must be at least 1"));
+                }
+                if flag == "--max-conns" {
+                    target.max_connections = n;
+                } else {
+                    target.max_request_bytes = n;
+                }
+            }
             "--help" | "-h" => {
                 // Ignore write errors (e.g. `diffcond --help | head` closing
                 // the pipe early) instead of panicking.
@@ -110,7 +176,11 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}` (try --help)")),
         }
     }
-    Ok(Options { config, threads })
+    Ok(Options {
+        config,
+        threads,
+        serve,
+    })
 }
 
 /// Classic serving loop: one request, one immediate reply.
@@ -122,6 +192,18 @@ fn serve_serial(config: SessionConfig) {
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(line) => line,
+            // A non-UTF-8 line is a malformed request, not the end of the
+            // conversation: the reader already consumed it, so answer
+            // `err` and keep serving (the bugfix the fuzz suite pins).
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                if writeln!(out, "err request is not valid UTF-8")
+                    .and_then(|_| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
             Err(_) => break,
         };
         let reply = server.handle_line(&line);
@@ -155,11 +237,15 @@ fn serve_concurrent(config: SessionConfig, threads: usize) {
     };
     let mut quit = false;
     for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
+        let (replies, should_quit) = match line {
+            Ok(line) => pipeline.push_line(&line),
+            // Same recovery as the serial loop, routed through the queue so
+            // the error cannot overtake earlier deferred queries.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                pipeline.push_reply(diffcon_engine::Reply::err("request is not valid UTF-8"))
+            }
             Err(_) => break,
         };
-        let (replies, should_quit) = pipeline.push_line(&line);
         if !emit(&mut out, replies) {
             return;
         }
@@ -174,6 +260,34 @@ fn serve_concurrent(config: SessionConfig, threads: usize) {
     }
 }
 
+/// Network serving loop: bind, announce on stderr, accept until killed.
+fn serve_net(config: SessionConfig, threads: usize, options: ServeOptions) {
+    let net_config = diffcon_engine::NetConfig {
+        session: config,
+        threads,
+        max_connections: options.max_connections,
+        max_request_bytes: options.max_request_bytes,
+    };
+    let server = match diffcon_engine::NetServer::bind(options.addr.as_str(), net_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("diffcond: cannot bind {}: {e}", options.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "diffcond: serving on {} ({} worker thread{} per connection, up to {} connections)",
+        server.local_addr(),
+        threads,
+        if threads == 1 { "" } else { "s" },
+        options.max_connections
+    );
+    if let Err(e) = server.run() {
+        eprintln!("diffcond: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(options) => options,
@@ -182,7 +296,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if options.threads > 1 {
+    if let Some(serve) = options.serve {
+        serve_net(options.config, options.threads, serve);
+    } else if options.threads > 1 {
         serve_concurrent(options.config, options.threads);
     } else {
         serve_serial(options.config);

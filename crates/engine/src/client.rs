@@ -1,0 +1,360 @@
+//! A small blocking client for the `diffcond serve` TCP front-end
+//! ([`crate::net`]): connect, send request lines, read reply lines, with
+//! typed errors instead of panics on every failure mode untrusted networks
+//! produce (disconnects, oversized replies, server-side `err` responses).
+//!
+//! The client speaks exactly the framing of the *Network framing* section
+//! in the [`crate::protocol`] docs: it sends one request per
+//! newline-terminated line and expects one reply line per non-silent
+//! request, in request order.  Two calling styles are supported:
+//!
+//! * **strict** — [`Client::request`] sends one line and blocks for its
+//!   reply (the server's idle flush guarantees the reply comes even when
+//!   it evaluates queries in concurrent waves);
+//! * **pipelined** — [`Client::run_script`] writes a whole script in one
+//!   burst and then collects the reply stream, which is how the bench load
+//!   generator and the equivalence tests drive the server at full
+//!   throughput.
+//!
+//! ```no_run
+//! use diffcon_engine::client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! client.request("universe 4")?;
+//! client.request("assert A -> {B}")?;
+//! assert!(client.request("implies A -> {B}")?.starts_with("yes"));
+//! let interval = client.bound("AB")?;
+//! assert_eq!(interval.lo, 0.0);
+//! client.quit()?;
+//! # Ok::<(), diffcon_engine::client::ClientError>(())
+//! ```
+
+use crate::net;
+use crate::protocol;
+use diffcon_bounds::Interval;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything that can go wrong between a client call and its reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport failure (connect, send, or receive).
+    Io(io::Error),
+    /// The server closed the connection where a reply was expected.
+    Closed,
+    /// The request is not sendable as one protocol line (embedded newline,
+    /// or a silent blank/comment line passed to a call that expects a
+    /// reply).  The payload says which rule was violated.
+    Request(String),
+    /// The server answered `err …`; the payload is the message after the
+    /// `err ` head.
+    Server(String),
+    /// The server's reply violates the response grammar the call expected
+    /// (or exceeds the reply-length cap).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Closed => f.write_str("server closed the connection"),
+            ClientError::Request(m) => write!(f, "unsendable request: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "malformed reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Cap on one reply line, so a rogue server cannot make a client buffer
+/// unboundedly.  Replies can legitimately be long (`premises`/`mined`
+/// listings), so the cap is a multiple of the request cap.
+pub const MAX_REPLY_BYTES: usize = 4 * protocol::MAX_REQUEST_BYTES;
+
+/// A blocking `diffcond` protocol connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving `diffcond serve` address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Client::over(stream)
+    }
+
+    /// Connects with a timeout (needs a resolved address).
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::over(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn over(stream: TcpStream) -> Result<Client, ClientError> {
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sets (or clears, with `None`) the receive timeout; a timed-out
+    /// [`Client::recv`] returns [`ClientError::Io`] and the connection
+    /// stays usable.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request line without waiting for anything back (the
+    /// pipelined style; pair with [`Client::recv`]).
+    ///
+    /// # Errors
+    /// [`ClientError::Request`] if `request` embeds a newline — it would
+    /// silently become two protocol frames.
+    pub fn send(&mut self, request: &str) -> Result<(), ClientError> {
+        if request.contains('\n') || request.contains('\r') {
+            return Err(ClientError::Request(format!(
+                "request `{}` embeds a line break",
+                request.escape_debug()
+            )));
+        }
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives one reply line (blocking).  The read is capped at
+    /// [`MAX_REPLY_BYTES`] *as it arrives*, so a rogue peer cannot make
+    /// the client buffer an endless line.
+    pub fn recv(&mut self) -> Result<String, ClientError> {
+        let mut line: Vec<u8> = Vec::new();
+        match net::read_frame(&mut self.reader, &mut line, MAX_REPLY_BYTES)? {
+            // EOF where a reply was expected — including EOF mid-line (the
+            // server died while writing): no reply to return.
+            net::Frame::Eof | net::Frame::Partial => Err(ClientError::Closed),
+            // An over-cap reply was *discarded to its newline*, so the
+            // stream stays framed: the error names this reply only, and the
+            // next `recv` reads the next reply, not this line's tail.
+            net::Frame::Oversized(got) => Err(ClientError::Protocol(format!(
+                "reply line exceeds {MAX_REPLY_BYTES} bytes (got {got}; discarded)"
+            ))),
+            net::Frame::Line => {
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                String::from_utf8(line)
+                    .map_err(|_| ClientError::Protocol("reply is not valid UTF-8".into()))
+            }
+        }
+    }
+
+    /// Sends one request and returns its raw reply line, whatever it is
+    /// (`err …` included) — the byte-faithful form the equivalence tests
+    /// compare against in-process serving.
+    ///
+    /// # Errors
+    /// [`ClientError::Request`] for silent lines (blank / `#` comment):
+    /// they produce no reply, so waiting for one would hang.
+    pub fn raw_request(&mut self, request: &str) -> Result<String, ClientError> {
+        if protocol::is_silent(request) {
+            return Err(ClientError::Request(format!(
+                "`{}` is a silent line and gets no reply",
+                request.escape_debug()
+            )));
+        }
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Sends one request and returns its reply, mapping a server-side
+    /// `err …` reply to [`ClientError::Server`].
+    pub fn request(&mut self, request: &str) -> Result<String, ClientError> {
+        let reply = self.raw_request(request)?;
+        match reply.strip_prefix("err ") {
+            Some(message) => Err(ClientError::Server(message.to_string())),
+            None => Ok(reply),
+        }
+    }
+
+    /// Pipelines a whole script — writes every line while *concurrently*
+    /// draining the reply stream — and returns one reply per non-silent
+    /// line, in request order.  Don't put `quit` anywhere but last: the
+    /// server stops reading at it.
+    ///
+    /// The burst is written from a helper thread so replies are consumed
+    /// as they arrive: a script larger than the socket buffers would
+    /// otherwise deadlock both sides (the server blocked writing replies
+    /// nobody reads, the client blocked writing requests nobody scans).
+    pub fn run_script<'a>(
+        &mut self,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<String>, ClientError> {
+        let mut expected = 0usize;
+        let mut burst = String::new();
+        for line in lines {
+            if line.contains('\n') || line.contains('\r') {
+                return Err(ClientError::Request(format!(
+                    "script line `{}` embeds a line break",
+                    line.escape_debug()
+                )));
+            }
+            burst.push_str(line);
+            burst.push('\n');
+            if !protocol::is_silent(line) {
+                expected += 1;
+            }
+        }
+        let mut write_half = self.writer.try_clone()?;
+        let writer = std::thread::spawn(move || -> io::Result<()> {
+            write_half.write_all(burst.as_bytes())?;
+            write_half.flush()
+        });
+        let mut replies = Vec::with_capacity(expected);
+        let mut read_error = None;
+        for _ in 0..expected {
+            match self.recv() {
+                Ok(reply) => replies.push(reply),
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if read_error.is_some() {
+            // Unblock the writer thread if it is parked on a full socket
+            // buffer: after shutdown its writes fail fast instead.
+            let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        }
+        let write_result = writer.join().expect("script writer thread panicked");
+        if let Some(e) = read_error {
+            return Err(e);
+        }
+        write_result?;
+        Ok(replies)
+    }
+
+    /// Sends `bound <set>` and parses the interval reply into its typed
+    /// endpoints via [`Interval::parse_endpoints`] — the round trip the
+    /// wire-format property suite guarantees is exact.
+    pub fn bound(&mut self, set: &str) -> Result<Interval, ClientError> {
+        let reply = self.request(&format!("bound {set}"))?;
+        let mut lo = None;
+        let mut hi = None;
+        if !reply.starts_with("bound ") {
+            return Err(ClientError::Protocol(format!(
+                "expected a `bound` reply, got `{reply}`"
+            )));
+        }
+        for field in reply.split_whitespace().skip(1) {
+            if let Some(text) = field.strip_prefix("lo=") {
+                lo = Some(text);
+            } else if let Some(text) = field.strip_prefix("hi=") {
+                hi = Some(text);
+            }
+        }
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => Interval::parse_endpoints(lo, hi)
+                .map_err(|e| ClientError::Protocol(format!("in `{reply}`: {e}"))),
+            _ => Err(ClientError::Protocol(format!(
+                "bound reply without lo/hi fields: `{reply}`"
+            ))),
+        }
+    }
+
+    /// Ends the conversation gracefully: sends `quit`, checks the `bye`,
+    /// and waits for the server's close.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        let reply = self.raw_request("quit")?;
+        if reply != "bye" {
+            return Err(ClientError::Protocol(format!(
+                "expected `bye` to quit, got `{reply}`"
+            )));
+        }
+        match self.recv() {
+            Err(ClientError::Closed) => Ok(()),
+            Ok(extra) => Err(ClientError::Protocol(format!(
+                "server kept talking after `bye`: `{extra}`"
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{SocketAddr, TcpListener};
+
+    /// A fake server: accepts one connection, writes `payload`, closes.
+    fn fake_server(payload: Vec<u8>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(&payload).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn over_cap_replies_error_without_desyncing_the_stream() {
+        let mut payload = vec![b'x'; MAX_REPLY_BYTES + 10];
+        payload.push(b'\n');
+        payload.extend_from_slice(b"ok next\n");
+        let mut client = Client::connect(fake_server(payload)).unwrap();
+        match client.recv() {
+            Err(ClientError::Protocol(m)) => {
+                assert!(m.contains("exceeds"), "got: {m}");
+                assert!(m.contains(&(MAX_REPLY_BYTES + 10).to_string()), "got: {m}");
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        // The oversized line was discarded to its newline, so the stream
+        // stays framed: the next recv returns the *next* reply, not the
+        // tail of the huge one.
+        assert_eq!(client.recv().unwrap(), "ok next");
+    }
+
+    #[test]
+    fn truncated_and_closed_replies_report_closed() {
+        let mut client = Client::connect(fake_server(b"reply cut off mid-line".to_vec())).unwrap();
+        assert!(matches!(client.recv(), Err(ClientError::Closed)));
+        let mut client = Client::connect(fake_server(Vec::new())).unwrap();
+        assert!(matches!(client.recv(), Err(ClientError::Closed)));
+    }
+
+    #[test]
+    fn requests_with_line_breaks_are_rejected_before_sending() {
+        let mut client = Client::connect(fake_server(Vec::new())).unwrap();
+        assert!(matches!(
+            client.send("stats\nquit"),
+            Err(ClientError::Request(_))
+        ));
+        assert!(matches!(
+            client.raw_request("   "),
+            Err(ClientError::Request(_))
+        ));
+    }
+}

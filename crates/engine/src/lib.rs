@@ -35,6 +35,13 @@
 //!   query verbs concurrently on a rayon pool against the snapshots
 //!   captured at their request positions — interleaved traffic from many
 //!   sessions executes in parallel with serial-equivalent answers.
+//! * **Network serving** ([`net::NetServer`], [`client::Client`]) —
+//!   `diffcond serve --addr HOST:PORT` exposes the same protocol over TCP:
+//!   a thread-per-connection accept loop with per-connection session
+//!   namespaces and pipelines, newline framing with per-request length
+//!   admission limits, error replies (never panics or dropped loops) for
+//!   malformed frames, a connection cap, and a blocking typed client for
+//!   programs, tests, and load generators.
 //! * **An adaptive planner** ([`planner::Planner`]) that routes each query
 //!   to the cheapest sound procedure — trivial goals inline, the polynomial
 //!   FD fast path when the instance lies in the single-member fragment, the
@@ -99,7 +106,9 @@
 
 pub mod batch;
 pub mod cache;
+pub mod client;
 pub mod intern;
+pub mod net;
 pub mod planner;
 pub mod protocol;
 pub mod server_state;
@@ -107,7 +116,9 @@ pub mod session;
 pub mod snapshot;
 
 pub use cache::{version_salt, CacheStats, LruCache, ShardedCache, VersionedKey};
+pub use client::{Client, ClientError};
 pub use intern::{ConstraintId, ConstraintInterner};
+pub use net::{NetConfig, NetServer, ShutdownHandle};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server, Step};
 pub use server_state::{DeferredQuery, Pipeline, SessionRegistry};

@@ -1,0 +1,433 @@
+//! The `diffcond serve` TCP front-end: the line protocol of [`crate::protocol`]
+//! served over sockets, turning the in-process engine into a network server.
+//!
+//! # Execution model
+//!
+//! A [`NetServer`] owns a listening socket and an accept loop
+//! ([`NetServer::run`]) that serves each connection on its own thread.  Every
+//! connection gets a private session namespace — its own
+//! [`crate::server_state::SessionRegistry`] of numbered slots behind a
+//! per-connection [`Pipeline`] — so two clients never see each other's
+//! premises, knowns, or datasets, and all of a connection's slots close when
+//! it disconnects.  Inside one connection the full protocol is available,
+//! including the `session` verbs and the concurrent query evaluation of
+//! `--threads N` (each connection's pipeline evaluates its read-only verbs
+//! on its own rayon-backed worker set; the shim's pools are sizes, not
+//! persistent threads, so per-connection pools cost nothing at rest).
+//!
+//! # Framing and flushing
+//!
+//! Requests are newline-delimited as specified in the *Network framing*
+//! section of the [`crate::protocol`] docs: one request per line, an
+//! optional trailing `\r` stripped, at most
+//! [`protocol::MAX_REQUEST_BYTES`] bytes per line (configurable via
+//! [`NetConfig::max_request_bytes`]).  Framing violations — oversized lines
+//! (discarded up to their newline without unbounded buffering) and invalid
+//! UTF-8 — answer `err` *at their position in the request order* (via
+//! [`Pipeline::push_reply`], so they cannot overtake earlier deferred
+//! queries) and the connection keeps serving.
+//!
+//! The pipeline's wave batching is reconciled with strict request/response
+//! clients by an **idle flush**: whenever the connection's read buffer runs
+//! dry and replies are pending, the pipeline is flushed before blocking on
+//! the socket again.  A client that pipelines k requests gets its replies
+//! evaluated in concurrent waves; a client that sends one request and waits
+//! gets its reply immediately.  Reply order is the request order in both
+//! cases, so the reply *stream* is identical to what the in-process
+//! [`Pipeline`] (and therefore the serial [`crate::protocol::Server`])
+//! produces on the same script.
+//!
+//! # Admission and shutdown
+//!
+//! At most [`NetConfig::max_connections`] connections are served at once;
+//! past the cap a connection is answered one
+//! `err server at connection capacity (…)` line and closed, leaving the
+//! accept loop free (a slow client can occupy one slot, never the
+//! listener).  `quit` ends only its own connection (reply `bye`, graceful
+//! close); a client disconnecting mid-line or mid-wave just ends that
+//! connection.  Writes to a client that vanished surface as `EPIPE` errors
+//! (Rust ignores `SIGPIPE`), which close that connection and nothing else.
+//! [`ShutdownHandle::shutdown`] stops the accept loop itself.
+
+use crate::protocol::{self, Reply};
+use crate::server_state::Pipeline;
+use crate::session::SessionConfig;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Admission and serving parameters of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Per-connection session configuration (cache bounds, budgets).
+    pub session: SessionConfig,
+    /// Worker threads evaluating each connection's read-only query verbs
+    /// (1 = serial; the `--threads` semantics of the stdin server).
+    pub threads: usize,
+    /// Concurrent-connection admission cap.
+    pub max_connections: usize,
+    /// Per-request line-length admission cap, in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            session: SessionConfig::default(),
+            threads: 1,
+            max_connections: NetConfig::DEFAULT_MAX_CONNECTIONS,
+            max_request_bytes: protocol::MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Default concurrent-connection cap.
+    pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+}
+
+/// Shared accept-loop state: the shutdown flag and the connection gauges.
+#[derive(Debug, Default)]
+struct NetState {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// Decrements the active-connection gauge even if a connection handler
+/// panics, so one poisoned connection can never leak admission slots.
+struct ActiveGuard(Arc<NetState>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+        self.0.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A handle that stops a running [`NetServer`] accept loop from another
+/// thread (tests, embedding examples, signal handlers).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    state: Arc<NetState>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Flags shutdown and unblocks the accept loop (with a throwaway
+    /// connection to the listener).  Connections already being served run
+    /// to completion on their own threads; no new ones are accepted.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; poke it awake.  Failure is
+        // fine — it means the listener is already gone.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.state.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections served to completion since the server started.
+    pub fn served_connections(&self) -> u64 {
+        self.state.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the admission cap.
+    pub fn refused_connections(&self) -> u64 {
+        self.state.refused.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound (but not yet running) `diffcond` TCP server.
+#[derive(Debug)]
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: NetConfig,
+    state: Arc<NetState>,
+}
+
+impl NetServer {
+    /// Binds the listening socket.  Bind to port 0 for an ephemeral port
+    /// (tests, benches) and read it back with [`NetServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(NetServer {
+            listener,
+            addr,
+            config,
+            state: Arc::new(NetState::default()),
+        })
+    }
+
+    /// The bound address (the actual port, when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop [`NetServer::run`] and read the gauges.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop until [`ShutdownHandle::shutdown`] is called.
+    /// Each admitted connection is served on its own spawned thread; the
+    /// loop itself only accepts, admission-checks, and hands off.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                // Transient accept failures (aborted handshakes, fd
+                // pressure) must not kill the serving loop.
+                Err(_) => continue,
+            };
+            if self.state.active.load(Ordering::SeqCst) >= self.config.max_connections {
+                self.state.refused.fetch_add(1, Ordering::Relaxed);
+                refuse(stream, self.config.max_connections);
+                continue;
+            }
+            self.state.active.fetch_add(1, Ordering::SeqCst);
+            let guard = ActiveGuard(Arc::clone(&self.state));
+            let config = self.config;
+            std::thread::spawn(move || {
+                let _guard = guard;
+                // Connection-level IO errors (disconnects, EPIPE) end the
+                // connection, never the server.
+                let _ = serve_connection(stream, &config);
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort refusal at the admission cap: one `err` line, then close.
+fn refuse(stream: TcpStream, cap: usize) {
+    let mut stream = stream;
+    let _ = writeln!(
+        stream,
+        "err server at connection capacity ({cap} connections)"
+    );
+}
+
+/// One raw frame from a byte stream.  `pub(crate)` because the blocking
+/// [`crate::client`] frames its replies with the same reader (under a
+/// different overflow policy), so a framing fix can never apply to one
+/// side of the wire only.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Frame {
+    /// A complete line (newline stripped) in the caller's buffer.
+    Line,
+    /// Data followed by EOF instead of a newline.  The server serves it
+    /// like a line (the last request of a piped script); the client treats
+    /// it as a truncated reply from a dying server.
+    Partial,
+    /// A line over the cap, discarded up to its newline; payload is the
+    /// discarded length in bytes.  The stream stays framed: the next read
+    /// starts at the next line.
+    Oversized(usize),
+    /// Clean end of input.
+    Eof,
+}
+
+/// Reads one newline-delimited frame into `line` (cleared first), enforcing
+/// the byte cap without ever buffering more than the cap plus one internal
+/// read: an over-cap line is *discarded* chunk by chunk until its newline.
+pub(crate) fn read_frame(
+    reader: &mut impl BufRead,
+    line: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<Frame> {
+    line.clear();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Partial
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if line.len() + pos > max {
+                    let dropped = line.len() + pos;
+                    reader.consume(pos + 1);
+                    return Ok(Frame::Oversized(dropped));
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                return Ok(Frame::Line);
+            }
+            None => {
+                let chunk = buf.len();
+                if line.len() + chunk > max {
+                    let swallowed = line.len() + chunk;
+                    reader.consume(chunk);
+                    return discard_frame(reader, swallowed);
+                }
+                line.extend_from_slice(buf);
+                reader.consume(chunk);
+            }
+        }
+    }
+}
+
+/// Discards the rest of an over-cap line (everything up to and including
+/// the next newline) without buffering it, counting the dropped bytes.
+fn discard_frame(reader: &mut impl BufRead, mut dropped: usize) -> io::Result<Frame> {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // Oversized garbage then disconnect: nothing left to answer.
+            return Ok(Frame::Eof);
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                dropped += pos;
+                reader.consume(pos + 1);
+                return Ok(Frame::Oversized(dropped));
+            }
+            None => {
+                let chunk = buf.len();
+                dropped += chunk;
+                reader.consume(chunk);
+            }
+        }
+    }
+}
+
+/// Writes released replies (one line each; silent replies are empty and
+/// skipped) and flushes.  An `Err` means the client is gone.
+fn emit(writer: &mut impl Write, replies: &[Reply]) -> io::Result<()> {
+    for reply in replies {
+        if !reply.text.is_empty() {
+            writer.write_all(reply.text.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    writer.flush()
+}
+
+/// Serves one connection to completion: frames requests, drives the
+/// connection's private [`Pipeline`], emits replies in request order, and
+/// flushes pending waves whenever the input buffer runs dry.
+fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
+    // One request/one reply traffic benefits from immediate segments.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut pipeline = Pipeline::new(config.session, config.threads.max(1));
+    let mut line = Vec::new();
+    loop {
+        // Idle flush: nothing buffered to scan, so release pending waves
+        // before blocking — a strict request/response client is waiting.
+        if pipeline.pending() > 0 && reader.buffer().is_empty() {
+            emit(&mut writer, &pipeline.finish())?;
+        }
+        let (replies, quit) = match read_frame(&mut reader, &mut line, config.max_request_bytes)? {
+            Frame::Eof => break,
+            Frame::Oversized(got) => pipeline.push_reply(Reply::err(protocol::oversized_request(
+                got,
+                config.max_request_bytes,
+            ))),
+            Frame::Line | Frame::Partial => match protocol::decode_request(&line) {
+                Ok(text) => pipeline.push_line(text),
+                Err(message) => pipeline.push_reply(Reply::err(message)),
+            },
+        };
+        emit(&mut writer, &replies)?;
+        if quit {
+            return Ok(());
+        }
+    }
+    // Clean disconnect: release whatever the client pipelined before EOF,
+    // then drop the pipeline — closing every session slot the connection
+    // opened (close-on-disconnect).
+    emit(&mut writer, &pipeline.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_lines(input: &[u8], max: usize) -> Vec<Result<Vec<u8>, usize>> {
+        let mut reader = BufReader::with_capacity(8, input);
+        let mut line = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            match read_frame(&mut reader, &mut line, max).unwrap() {
+                Frame::Eof => return out,
+                Frame::Line | Frame::Partial => out.push(Ok(line.clone())),
+                Frame::Oversized(got) => out.push(Err(got)),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_split_on_newlines_and_keep_final_unterminated_line() {
+        let frames = frame_lines(b"stats\nquit\nlast", 100);
+        assert_eq!(
+            frames,
+            vec![
+                Ok(b"stats".to_vec()),
+                Ok(b"quit".to_vec()),
+                Ok(b"last".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_lines_are_frames_not_eof() {
+        let frames = frame_lines(b"\n\nok\n", 100);
+        assert_eq!(frames, vec![Ok(vec![]), Ok(vec![]), Ok(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn oversized_lines_are_discarded_with_exact_accounting() {
+        // 30-byte line against a 10-byte cap, then a small follow-up that
+        // must still arrive intact (the tiny 8-byte BufReader forces the
+        // discard path across many fills).
+        let mut input = vec![b'x'; 30];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let frames = frame_lines(&input, 10);
+        assert_eq!(frames, vec![Err(30), Ok(b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn oversized_exactly_at_cap_is_served() {
+        let mut input = vec![b'y'; 10];
+        input.push(b'\n');
+        let frames = frame_lines(&input, 10);
+        assert_eq!(frames, vec![Ok(vec![b'y'; 10])]);
+        let mut input = vec![b'y'; 11];
+        input.push(b'\n');
+        let frames = frame_lines(&input, 10);
+        assert_eq!(frames, vec![Err(11)]);
+    }
+
+    #[test]
+    fn oversized_then_eof_just_ends() {
+        let frames = frame_lines(&[b'z'; 64], 10);
+        assert_eq!(frames, vec![]);
+    }
+}

@@ -42,6 +42,43 @@
 //!
 //! Blank lines and lines starting with `#` are ignored (empty response).
 //!
+//! # Network framing
+//!
+//! Over a byte transport (the `diffcond serve` TCP front-end in
+//! [`crate::net`]) the same grammar is framed as newline-delimited lines:
+//!
+//! ```text
+//! frame   ::= request "\n"                      one request per line; an
+//!                                               optional trailing "\r" is
+//!                                               stripped (telnet/Windows
+//!                                               clients), and a final
+//!                                               unterminated line at EOF is
+//!                                               still served
+//! reply   ::= response "\n"                     exactly one reply line per
+//!                                               non-silent request, in
+//!                                               request order (blank and
+//!                                               `#` comment lines are
+//!                                               silent: no reply at all)
+//! ```
+//!
+//! Framing violations answer `err` without closing the connection:
+//!
+//! * a request line longer than [`MAX_REQUEST_BYTES`] bytes (the
+//!   per-request admission limit) is discarded up to its newline and
+//!   answered `err request line exceeds … bytes (got …)` — see
+//!   [`oversized_request`];
+//! * bytes that are not valid UTF-8 are answered
+//!   `err request is not valid UTF-8 (byte 0x… at position …)` with the
+//!   1-based position of the first offending byte — see
+//!   [`decode_request`].
+//!
+//! Parse-level failures (unknown verbs, malformed arguments, trailing
+//! garbage after a complete verb) likewise answer `err` with the offending
+//! token and its 1-based column, mirroring
+//! [`fis::basket::BasketParseError`]'s 1-based reporting, and never
+//! terminate the connection; only `quit` (reply `bye`) and the client
+//! closing its end do.
+//!
 //! # Response grammar
 //!
 //! ```text
@@ -90,7 +127,9 @@
 //!
 //! `load` appends `;`-separated baskets to the session's dataset (creating
 //! it on first use) and answers `ok load added=… baskets=…`; parse failures
-//! answer `err` with the 1-based record number and offending token.  `mine`
+//! answer `err` with the 1-based record number and offending token (blank
+//! and `#` comment records are skipped but still counted, so the reported
+//! position always matches the client's own record numbering).  `mine`
 //! discovers the minimal satisfied disjunctive constraints of the dataset
 //! (as differential constraints, Proposition 6.3) within the budgets
 //! `max |X| max |𝒴|` (default 2 2) and answers
@@ -153,6 +192,49 @@ pub const MAX_MINE_UNIVERSE: usize = 14;
 /// with `max_rhs × |S| ≤ 33` finishes in a few seconds (`3 × 11` ≈ 4 s is
 /// the measured worst).  Requests above the bound are refused up front.
 pub const MAX_MINE_RHS_WORK: usize = 33;
+
+/// Default per-request line-length admission limit of the network framing,
+/// in bytes (the `\n` terminator excluded).
+///
+/// Generous for the grammar — the longest legitimate requests (`batch` and
+/// `load` with hundreds of `;`-separated items) stay well under it — while
+/// bounding what a slow or malicious client can make the serving loop
+/// buffer.  Longer lines are discarded up to their newline and answered
+/// with [`oversized_request`].
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Decodes one raw request line received from a byte transport: validates
+/// UTF-8 and strips one optional trailing `'\r'` (so CRLF-terminated lines
+/// from telnet or Windows clients parse like LF-terminated ones).
+///
+/// # Errors
+/// The `err` reply text for undecodable bytes, naming the first offending
+/// byte and its 1-based position in the line.
+pub fn decode_request(bytes: &[u8]) -> Result<&str, String> {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => Ok(text.strip_suffix('\r').unwrap_or(text)),
+        Err(e) => {
+            let at = e.valid_up_to();
+            Err(format!(
+                "request is not valid UTF-8 (byte 0x{:02x} at position {})",
+                bytes[at],
+                at + 1
+            ))
+        }
+    }
+}
+
+/// The `err` reply text for a request line over the admission limit.
+pub fn oversized_request(got: usize, limit: usize) -> String {
+    format!("request line exceeds {limit} bytes (got {got})")
+}
+
+/// 1-based character column of `part` within `line`.  `part` must be a
+/// subslice of `line` (as produced by the splitting in [`parse_request`]).
+fn column_of(line: &str, part: &str) -> usize {
+    let offset = (part.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
+    line.get(..offset).map_or(0, |head| head.chars().count()) + 1
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -218,8 +300,20 @@ pub enum UniverseSpec {
     Names(Vec<String>),
 }
 
+/// Returns `true` iff `line` is a *silent* request — blank or a `#`
+/// comment, parsed as [`Request::Empty`] — which produces no reply line at
+/// all on the wire.  Clients counting replies for pipelined scripts (see
+/// [`crate::client::Client::run_script`]) must skip these.
+pub fn is_silent(line: &str) -> bool {
+    let trimmed = line.trim();
+    trimmed.is_empty() || trimmed.starts_with('#')
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    // Error columns are reported against the line as received (leading
+    // whitespace included), so they match what the client actually sent.
+    let original = line;
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(Request::Empty);
@@ -233,6 +327,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Err(format!("{what} expects a constraint argument"))
         } else {
             Ok(rest.to_string())
+        }
+    };
+    // Verbs that take no argument reject trailing garbage instead of
+    // silently ignoring it: `quit now` is a malformed request, not a
+    // `quit`, and the error names the offending token and its column.
+    let no_args = |request: Request| -> Result<Request, String> {
+        if rest.is_empty() {
+            Ok(request)
+        } else {
+            let token = rest.split_whitespace().next().unwrap_or(rest);
+            Err(format!(
+                "{verb} expects no argument (unexpected `{token}` at column {})",
+                column_of(original, token)
+            ))
         }
     };
     match verb {
@@ -275,8 +383,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 (Some(set), Some(value), None) => (set, value),
                 _ => return Err("known expects `<set> = <value>`".into()),
             };
-            let value: f64 = value
-                .parse()
+            // The shared wire-endpoint parser keeps `known` input symmetric
+            // with the `bound`/`knowns` output formatting (and rejects NaN).
+            let value: f64 = Interval::parse_endpoint(value)
                 .map_err(|_| format!("known expects a numeric value, got `{value}`"))?;
             if !value.is_finite() {
                 return Err("known values must be finite".into());
@@ -320,7 +429,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Request::Adopt(budgets)
             })
         }
-        "dataset" => Ok(Request::Dataset),
+        "dataset" => no_args(Request::Dataset),
         "batch" => {
             let goals: Vec<String> = rest
                 .split(';')
@@ -334,13 +443,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Ok(Request::Batch(goals))
             }
         }
-        "premises" => Ok(Request::Premises),
-        "knowns" => Ok(Request::Knowns),
-        "stats" => Ok(Request::Stats),
-        "reset" => Ok(Request::Reset),
-        "help" => Ok(Request::Help),
-        "quit" | "exit" => Ok(Request::Quit),
-        other => Err(format!("unknown command `{other}` (try `help`)")),
+        "premises" => no_args(Request::Premises),
+        "knowns" => no_args(Request::Knowns),
+        "stats" => no_args(Request::Stats),
+        "reset" => no_args(Request::Reset),
+        "help" => no_args(Request::Help),
+        "quit" | "exit" => no_args(Request::Quit),
+        other => Err(format!(
+            "unknown command `{other}` at column {} (try `help`)",
+            column_of(original, other)
+        )),
     }
 }
 
@@ -419,14 +531,17 @@ pub struct Reply {
 }
 
 impl Reply {
-    pub(crate) fn line(text: impl Into<String>) -> Reply {
+    /// A non-terminating reply line (transports inject framing-level
+    /// replies with this plus [`crate::server_state::Pipeline::push_reply`]).
+    pub fn line(text: impl Into<String>) -> Reply {
         Reply {
             text: text.into(),
             quit: false,
         }
     }
 
-    pub(crate) fn err(message: impl Into<String>) -> Reply {
+    /// An `err <message>` reply line.
+    pub fn err(message: impl Into<String>) -> Reply {
         Reply::line(format!("err {}", message.into()))
     }
 }
@@ -1066,6 +1181,77 @@ mod tests {
         assert!(s.handle_line("retract A -> {B}").text.starts_with("err"));
         // The session survives all of the above.
         assert!(s.handle_line("implies AB -> {B}").text.starts_with("yes"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_with_token_and_column() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        for (line, token, col) in [
+            ("quit now", "now", 6),
+            ("exit 0", "0", 6),
+            ("stats --verbose", "--verbose", 7),
+            ("premises 3", "3", 10),
+            ("help me", "me", 6),
+            ("reset all", "all", 7),
+            ("knowns x", "x", 8),
+            ("dataset full", "full", 9),
+        ] {
+            let reply = s.handle_line(line).text;
+            assert!(reply.starts_with("err "), "`{line}` got: {reply}");
+            assert!(
+                reply.contains(&format!("`{token}` at column {col}")),
+                "`{line}` got: {reply}"
+            );
+        }
+        // The unknown-command error names the verb's column too.
+        let reply = s.handle_line("frobnicate 7").text;
+        assert!(reply.contains("`frobnicate` at column 1"), "got: {reply}");
+        // Columns count from the line as received: leading whitespace (and
+        // a two-char glyph) shift them exactly as an editor would show.
+        let reply = s.handle_line("  quit now").text;
+        assert!(reply.contains("`now` at column 8"), "got: {reply}");
+        let reply = s.handle_line("  frobnicate").text;
+        assert!(reply.contains("`frobnicate` at column 3"), "got: {reply}");
+        // The session survives the whole sweep, and `quit` alone still quits.
+        assert!(s.handle_line("implies AB -> {B}").text.starts_with("yes"));
+        assert!(s.handle_line("quit").quit);
+    }
+
+    #[test]
+    fn framing_helpers_decode_strip_and_locate() {
+        assert_eq!(
+            decode_request(b"implies A -> {B}").unwrap(),
+            "implies A -> {B}"
+        );
+        // One trailing CR is stripped (CRLF clients); interior CRs are not.
+        assert_eq!(decode_request(b"stats\r").unwrap(), "stats");
+        assert_eq!(decode_request(b"a\rb").unwrap(), "a\rb");
+        let err = decode_request(&[b'o', b'k', 0xff, b'x']).unwrap_err();
+        assert!(err.contains("0xff"), "got: {err}");
+        assert!(err.contains("position 3"), "got: {err}");
+        assert_eq!(
+            oversized_request(70000, MAX_REQUEST_BYTES),
+            "request line exceeds 65536 bytes (got 70000)"
+        );
+        assert!(is_silent(""));
+        assert!(is_silent("   "));
+        assert!(is_silent("# comment"));
+        assert!(is_silent("  # indented comment"));
+        assert!(!is_silent("stats"));
+    }
+
+    #[test]
+    fn known_values_reject_nan_and_accept_wire_numbers() {
+        let mut s = server();
+        s.handle_line("universe 3");
+        assert!(s.handle_line("known A = nan").text.starts_with("err known"));
+        assert!(s.handle_line("known A = inf").text.starts_with("err known"));
+        // A value printed by the wire formatter feeds straight back in.
+        assert_eq!(
+            s.handle_line("known A = 2.5").text,
+            "ok known set=A value=2.5 added=1 knowns=1"
+        );
     }
 
     #[test]

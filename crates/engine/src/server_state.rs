@@ -37,7 +37,10 @@
 //! request stream is available; a strict request/response client that
 //! waits for each reply before sending the next line would wait forever
 //! (use the serial server for interactive traffic — `diffcond` without
-//! `--threads` — or interleave a `stats` probe to force a flush).
+//! `--threads` — or interleave a `stats` probe to force a flush).  The TCP
+//! front-end ([`crate::net`]) sidesteps the contract by flushing whenever
+//! its input buffer runs dry ([`Pipeline::pending`] + [`Pipeline::finish`]),
+//! so socket clients may be strict or pipelined at will.
 
 use crate::protocol::{self, Reply};
 use crate::session::{Session, SessionConfig};
@@ -268,6 +271,31 @@ impl Pipeline {
         &self.server
     }
 
+    /// Replies queued but not yet released: ready replies waiting behind an
+    /// earlier deferred query, plus the deferred queries themselves.
+    ///
+    /// Transports serving strict request/response clients (the TCP
+    /// front-end in [`crate::net`]) use this to decide whether a
+    /// [`Pipeline::finish`] flush is needed before blocking for more input:
+    /// `pending() > 0` exactly when a flush would release something.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an already-formed reply at this position in the request
+    /// order and returns whatever becomes releasable.
+    ///
+    /// This is how a byte transport injects *framing-level* error replies
+    /// (oversized lines, undecodable bytes — failures that never reach
+    /// [`protocol::parse_request`]) without reordering them ahead of
+    /// deferred queries from earlier request positions.
+    pub fn push_reply(&mut self, reply: Reply) -> (Vec<Reply>, bool) {
+        self.queue.push(Queued::Ready(reply));
+        let replies = self.drain_ready();
+        let quit = replies.iter().any(|r| r.quit);
+        (replies, quit)
+    }
+
     /// Feeds one request line.  Returns the replies released by this line —
     /// strictly in input order — and whether the conversation should end.
     pub fn push_line(&mut self, line: &str) -> (Vec<Reply>, bool) {
@@ -378,6 +406,30 @@ mod tests {
         assert!(r.close(1));
         assert_eq!(r.len(), 1);
         assert_eq!(r.current_id(), 3);
+    }
+
+    #[test]
+    fn push_reply_keeps_request_order_behind_deferred_queries() {
+        let mut p = Pipeline::new(SessionConfig::default(), 2);
+        p.push_line("universe 4");
+        p.push_line("assert A->{B}");
+        let (replies, _) = p.push_line("implies A->{B}");
+        assert!(replies.is_empty(), "query replies wait for their wave");
+        assert_eq!(p.pending(), 1);
+        // A framing-level error injected now must not overtake the query.
+        let (replies, quit) = p.push_reply(Reply::err("oversized"));
+        assert!(replies.is_empty(), "framing error released early");
+        assert!(!quit);
+        assert_eq!(p.pending(), 2);
+        let replies = p.finish();
+        assert_eq!(replies.len(), 2);
+        assert!(
+            replies[0].text.starts_with("yes"),
+            "got {}",
+            replies[0].text
+        );
+        assert_eq!(replies[1].text, "err oversized");
+        assert_eq!(p.pending(), 0);
     }
 
     #[test]

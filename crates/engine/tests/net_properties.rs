@@ -1,0 +1,558 @@
+//! Socket-level serving properties: the `diffcond serve` TCP front-end must
+//! be *transparent* — byte-identical reply streams to the in-process
+//! [`Pipeline`] on the same scripts (up to the non-semantic telemetry
+//! fields, exactly the PR-4 equivalence contract) — and *unwedgeable*:
+//! malformed frames, oversized lines, random bytes, split writes, and early
+//! disconnects must produce `err` replies or dropped connections, never a
+//! panic, and the server must stay accept-ready throughout.
+
+use diffcon_engine::client::{Client, ClientError};
+use diffcon_engine::net::{NetConfig, NetServer, ShutdownHandle};
+use diffcon_engine::{Pipeline, SessionConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use setlat::{AttrSet, Universe};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const UNIVERSE_N: usize = 4;
+
+/// A generous failure deadline: a correct server answers in microseconds;
+/// only a deadlocked one runs into this, and the test then fails loudly
+/// with a timeout error instead of hanging CI.
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// Tiny caches so eviction churn is constant, as in the PR-4 suites.
+fn tiny_config() -> SessionConfig {
+    SessionConfig {
+        answer_cache_capacity: 4,
+        lattice_cache_capacity: 2,
+        prop_cache_capacity: 2,
+        bound_cache_capacity: 2,
+        cache_shards: 2,
+        ..SessionConfig::default()
+    }
+}
+
+/// Binds a server on an ephemeral loopback port and runs its accept loop on
+/// a background thread.  The thread ends when the handle shuts it down.
+fn spawn_server(config: NetConfig) -> (SocketAddr, ShutdownHandle) {
+    let server = NetServer::bind("127.0.0.1:0", config).expect("loopback bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || server.run().expect("accept loop"));
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let mut client = Client::connect_timeout(&addr, DEADLINE).expect("connect");
+    client.set_read_timeout(Some(DEADLINE)).expect("timeout");
+    client
+}
+
+/// One quick health probe: a fresh connection must serve a full
+/// request/response exchange (the accept-ready assertion of the fuzz
+/// suite).
+fn assert_accept_ready(addr: SocketAddr) {
+    let mut probe = connect(addr);
+    assert_eq!(
+        probe.raw_request("universe 2").expect("health probe"),
+        "ok universe n=2 attrs=A,B"
+    );
+    probe.quit().expect("health probe quit");
+}
+
+/// Strips the telemetry fields (`us=`, `cached=`, `route=`) that
+/// legitimately differ between runs; `stats` lines reduce to their head.
+/// Identical to the PR-4 pipeline-vs-serial normalization.
+fn normalize(text: &str) -> String {
+    if text.starts_with("stats") {
+        return "stats".to_string();
+    }
+    text.split_whitespace()
+        .filter(|t| !t.starts_with("us=") && !t.starts_with("cached=") && !t.starts_with("route="))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The reply stream the in-process [`Pipeline`] produces on `lines`.
+fn in_process_replies(lines: &[String], threads: usize) -> Vec<String> {
+    let mut pipeline = Pipeline::new(tiny_config(), threads);
+    let mut replies = Vec::new();
+    for line in lines {
+        let (released, quit) = pipeline.push_line(line);
+        replies.extend(released.into_iter().filter(|r| !r.text.is_empty()));
+        if quit {
+            return replies.into_iter().map(|r| normalize(&r.text)).collect();
+        }
+    }
+    replies.extend(pipeline.finish());
+    replies
+        .into_iter()
+        .filter(|r| !r.text.is_empty())
+        .map(|r| normalize(&r.text))
+        .collect()
+}
+
+/// Drives `lines` over one TCP connection (pipelined) and returns the
+/// normalized reply stream.
+fn tcp_replies(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let mut client = connect(addr);
+    let replies = client
+        .run_script(lines.iter().map(String::as_str))
+        .expect("script round trip");
+    replies.iter().map(|r| normalize(r)).collect()
+}
+
+// ── Random-script generators (the PR-4 serving vocabulary) ──────────────
+
+fn arb_constraint_text() -> impl Strategy<Value = String> {
+    let u = Universe::of_size(UNIVERSE_N);
+    (
+        0u64..(1u64 << UNIVERSE_N),
+        proptest::collection::vec(0u64..(1u64 << UNIVERSE_N), 0..3),
+    )
+        .prop_map(move |(lhs, members)| {
+            let constraint = diffcon::DiffConstraint::new(
+                AttrSet::from_bits(lhs),
+                members.into_iter().map(AttrSet::from_bits).collect(),
+            );
+            diffcon_engine::protocol::format_wire(&constraint, &u)
+        })
+}
+
+fn arb_set_text() -> impl Strategy<Value = String> {
+    let u = Universe::of_size(UNIVERSE_N);
+    (0u64..(1u64 << UNIVERSE_N)).prop_map(move |mask| {
+        let set = AttrSet::from_bits(mask);
+        if set.is_empty() {
+            "{}".to_string()
+        } else {
+            u.format_set(set)
+        }
+    })
+}
+
+/// One random request line — queries, churn, session control, and a salting
+/// of malformed lines (trailing garbage, unknown verbs), because error
+/// replies must be position-faithful over the wire too.
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_constraint_text().prop_map(|c| format!("implies {c}")),
+        arb_constraint_text().prop_map(|c| format!("implies {c}")),
+        proptest::collection::vec(arb_constraint_text(), 1..4)
+            .prop_map(|cs| format!("batch {}", cs.join(" ; "))),
+        arb_set_text().prop_map(|s| format!("bound {s}")),
+        arb_constraint_text().prop_map(|c| format!("witness {c}")),
+        arb_constraint_text().prop_map(|c| format!("derive {c}")),
+        arb_constraint_text().prop_map(|c| format!("assert {c}")),
+        arb_constraint_text().prop_map(|c| format!("retract {c}")),
+        (arb_set_text(), 0u32..50).prop_map(|(s, v)| format!("known {s} = {v}")),
+        arb_set_text().prop_map(|s| format!("forget {s}")),
+        proptest::collection::vec(arb_set_text(), 1..4)
+            .prop_map(|bs| format!("load {}", bs.join(" ; "))),
+        Just("session new".to_string()),
+        (0u64..4).prop_map(|id| format!("session use {id}")),
+        Just("session close".to_string()),
+        Just("session list".to_string()),
+        Just("universe 4".to_string()),
+        Just("premises".to_string()),
+        Just("knowns".to_string()),
+        Just("dataset".to_string()),
+        Just("stats".to_string()),
+        Just("stats now".to_string()),
+        Just("frobnicate".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random multi-request scripts replayed over TCP produce reply
+    /// streams identical to the in-process pipeline on the same scripts,
+    /// at 1–3 workers per connection.
+    #[test]
+    fn tcp_reply_stream_equals_in_process_pipeline(
+        body in proptest::collection::vec(arb_line(), 1..30),
+        threads in 1usize..4,
+    ) {
+        let mut lines = vec!["universe 4".to_string()];
+        lines.extend(body);
+        let (addr, handle) = spawn_server(NetConfig {
+            session: tiny_config(),
+            threads,
+            ..NetConfig::default()
+        });
+        let want = in_process_replies(&lines, threads);
+        let got = tcp_replies(addr, &lines);
+        handle.shutdown();
+        prop_assert_eq!(got, want, "TCP diverged at {} threads", threads);
+    }
+}
+
+/// Concurrent connections are fully isolated namespaces: each replays its
+/// own script and must match its own in-process oracle, interleaved with
+/// the others on the same server.
+#[test]
+fn concurrent_connections_each_match_their_own_oracle() {
+    let (addr, handle) = spawn_server(NetConfig {
+        session: tiny_config(),
+        threads: 2,
+        ..NetConfig::default()
+    });
+    let scripts: Vec<Vec<String>> = (0..4)
+        .map(|i| {
+            let mut lines = vec!["universe 4".to_string()];
+            for round in 0..12 {
+                match (i + round) % 4 {
+                    0 => lines.push("assert A->{B}".to_string()),
+                    1 => lines.push("implies A->{B}".to_string()),
+                    2 => lines.push(format!("known AB = {}", i * 10 + round)),
+                    _ => lines.push("bound AB".to_string()),
+                }
+            }
+            lines.push("premises".to_string());
+            lines.push("knowns".to_string());
+            lines
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for script in &scripts {
+            scope.spawn(move || {
+                let want = in_process_replies(script, 2);
+                let got = tcp_replies(addr, script);
+                assert_eq!(got, want, "connection diverged from its oracle");
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+/// Sessions die with their connection: premises asserted on one connection
+/// are invisible to a parallel connection and gone after reconnecting.
+#[test]
+fn namespaces_are_per_connection_and_close_on_disconnect() {
+    let (addr, handle) = spawn_server(NetConfig::default());
+    let mut a = connect(addr);
+    a.request("universe 4").unwrap();
+    a.request("assert A -> {B}").unwrap();
+    assert_eq!(a.request("premises").unwrap(), "premises n=1 A->{B}");
+    // A parallel connection starts from nothing.
+    let mut b = connect(addr);
+    assert!(matches!(
+        b.request("premises"),
+        Err(ClientError::Server(m)) if m.starts_with("no session")
+    ));
+    b.request("universe 4").unwrap();
+    assert_eq!(b.request("premises").unwrap(), "premises n=0");
+    drop(a);
+    // Reconnecting does not resurrect the dropped namespace.
+    let mut again = connect(addr);
+    again.request("universe 4").unwrap();
+    assert_eq!(again.request("premises").unwrap(), "premises n=0");
+    handle.shutdown();
+}
+
+/// The malformed-frame fuzz: random bytes (UTF-8 or not), randomly split
+/// writes with pauses, truncated lines, and early disconnects — the server
+/// must never panic and must stay accept-ready after every abuse.
+#[test]
+fn malformed_frames_never_wedge_the_server() {
+    let (addr, handle) = spawn_server(NetConfig {
+        threads: 2,
+        max_request_bytes: 256,
+        ..NetConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0xBADF00D);
+    for round in 0..40 {
+        let mut stream = TcpStream::connect(addr).expect("fuzz connect");
+        stream.set_read_timeout(Some(DEADLINE)).unwrap();
+        // Compose a random payload: a few frames of random bytes, some
+        // newline-terminated, some not, some far over the line cap.
+        let frames = rng.gen_range(1..5);
+        let mut payload = Vec::new();
+        for _ in 0..frames {
+            let len = match rng.gen_range(0..4u32) {
+                0 => rng.gen_range(0..8),
+                1 => rng.gen_range(8..64),
+                2 => rng.gen_range(200..400),
+                _ => rng.gen_range(400..2000),
+            };
+            for _ in 0..len {
+                // Mostly printable, salted with raw bytes (incl. invalid
+                // UTF-8 lead bytes) and protocol-ish characters.
+                let b = match rng.gen_range(0..6u32) {
+                    0 => rng.gen_range(0x80..=0xff),
+                    1 => b';',
+                    2 => b'{',
+                    _ => rng.gen_range(0x20..0x7f),
+                };
+                payload.push(b);
+            }
+            if rng.gen_range(0..4u32) != 0 {
+                payload.push(b'\n');
+            }
+        }
+        // Write it in random splits, sometimes pausing, sometimes
+        // disconnecting mid-frame.
+        let abort_at = if rng.gen_range(0..3u32) == 0 {
+            rng.gen_range(0..payload.len().max(1))
+        } else {
+            payload.len()
+        };
+        let mut written = 0;
+        while written < abort_at {
+            let chunk = rng.gen_range(1..=(abort_at - written).min(97));
+            if stream
+                .write_all(&payload[written..written + chunk])
+                .is_err()
+            {
+                break; // server already dropped us; that's allowed
+            }
+            written += chunk;
+            if rng.gen_range(0..8u32) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        if rng.gen_range(0..2u32) == 0 {
+            // Half the time, read whatever came back before hanging up.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+            let mut sink = [0u8; 4096];
+            let _ = stream.read(&mut sink);
+        }
+        drop(stream);
+        // The serving loop must still be alive and correct.
+        assert_accept_ready(addr);
+        assert!(
+            handle.active_connections() <= 40,
+            "round {round}: connection slots are leaking"
+        );
+    }
+    handle.shutdown();
+}
+
+/// Oversized and undecodable lines get `err` replies on the same
+/// connection, which keeps serving correct answers afterwards.
+#[test]
+fn framing_violations_answer_err_and_keep_the_connection() {
+    let (addr, handle) = spawn_server(NetConfig {
+        max_request_bytes: 64,
+        ..NetConfig::default()
+    });
+    let mut client = connect(addr);
+    client.request("universe 4").unwrap();
+    // Oversized: discarded with exact accounting, answered in order.
+    let long = format!("implies {}", "A".repeat(200));
+    let reply = client.raw_request(&long).unwrap();
+    assert_eq!(
+        reply,
+        format!("err request line exceeds 64 bytes (got {})", long.len())
+    );
+    // Undecodable bytes: the raw socket write bypasses the typed client.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(DEADLINE)).unwrap();
+    raw.write_all(b"universe 4\nimplies \xff\xfe\nstats\n")
+        .unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        lines.push(line.trim_end().to_string());
+    }
+    assert_eq!(lines[0], "ok universe n=4 attrs=A,B,C,D");
+    assert!(
+        lines[1].starts_with("err request is not valid UTF-8 (byte 0xff at position 9"),
+        "got: {}",
+        lines[1]
+    );
+    assert!(lines[2].starts_with("stats"), "got: {}", lines[2]);
+    // The first connection also kept serving across all of the above.
+    assert!(client
+        .request("implies AB -> {B}")
+        .unwrap()
+        .starts_with("yes"));
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Past the admission cap a connection gets one `err` line and a close;
+/// slots free on disconnect and the listener itself never blocks.
+#[test]
+fn connection_cap_refuses_without_wedging() {
+    let (addr, handle) = spawn_server(NetConfig {
+        max_connections: 2,
+        ..NetConfig::default()
+    });
+    let mut a = connect(addr);
+    let mut b = connect(addr);
+    a.request("universe 2").unwrap();
+    b.request("universe 2").unwrap();
+    // Third connection: refused with the capacity error, then closed.
+    let mut refused_seen = false;
+    for _ in 0..50 {
+        let mut c = connect(addr);
+        match c.raw_request("universe 2") {
+            Ok(reply) if reply.starts_with("err server at connection capacity") => {
+                refused_seen = true;
+                break;
+            }
+            // The admission gauge is updated by the handler thread; a
+            // just-accepted probe can sneak under the cap. Retry.
+            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    assert!(refused_seen, "cap never refused a connection");
+    assert!(handle.refused_connections() > 0);
+    // Freeing a slot re-admits new connections.
+    drop(a);
+    for _ in 0..100 {
+        let mut c = connect(addr);
+        if let Ok(reply) = c.raw_request("universe 2") {
+            if reply.starts_with("ok universe") {
+                drop(b);
+                handle.shutdown();
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("freed connection slot was never re-admitted");
+}
+
+/// A strict request/response client over a multi-threaded pipeline must
+/// get every reply without pipelining anything — the idle-flush property.
+/// (Without it, the wave-batching contract would withhold the reply and
+/// this test would hit its read deadline.)
+#[test]
+fn strict_request_response_clients_never_wait_for_a_wave() {
+    let (addr, handle) = spawn_server(NetConfig {
+        threads: 3,
+        ..NetConfig::default()
+    });
+    let mut client = connect(addr);
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    client.request("universe 4").unwrap();
+    client.request("assert A -> {B}").unwrap();
+    for _ in 0..20 {
+        // Each query is deferred into a wave of size 1 and must be flushed
+        // the moment the connection has nothing further buffered.
+        assert!(client
+            .request("implies A -> {B}")
+            .unwrap()
+            .starts_with("yes"));
+        assert!(client
+            .request("witness AB -> {C}")
+            .unwrap()
+            .starts_with("witness"));
+        let interval = client.bound("AB").unwrap();
+        assert_eq!(interval.lo, 0.0);
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// `quit` ends exactly one connection — gracefully — and the server keeps
+/// accepting; an abrupt disconnect mid-pipeline does the same.
+#[test]
+fn quit_and_disconnect_end_only_their_connection() {
+    let (addr, handle) = spawn_server(NetConfig {
+        threads: 2,
+        ..NetConfig::default()
+    });
+    let mut stays = connect(addr);
+    stays.request("universe 4").unwrap();
+    // Graceful quit.
+    let goes = connect(addr);
+    goes.quit().unwrap();
+    // Abrupt disconnect with queries still in flight.
+    let mut rude = connect(addr);
+    rude.send("universe 4").unwrap();
+    for _ in 0..10 {
+        rude.send("implies A -> {B}").unwrap();
+    }
+    drop(rude);
+    // The surviving connection and fresh ones still serve.
+    assert!(stays
+        .request("implies AB -> {B}")
+        .unwrap()
+        .starts_with("yes"));
+    assert_accept_ready(addr);
+    stays.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Every protocol verb — including the discovery verbs and `help`/`reset` —
+/// is reachable over the wire and answers exactly what the in-process
+/// pipeline answers on the same deterministic all-verbs script.
+#[test]
+fn every_verb_is_served_over_tcp() {
+    let lines: Vec<String> = [
+        "help",
+        "session list",
+        "universe 4",
+        "assert A->{B}",
+        "assert B->{C}",
+        "implies A->{C}",
+        "witness C->{A}",
+        "derive A->{C}",
+        "batch A->{C} ; C->{A}",
+        "known A = 40",
+        "bound AB",
+        "knowns",
+        "forget A",
+        "load AB ; ABC ; B ; C ; BC",
+        "dataset",
+        "mine 2 2",
+        "adopt 2 2",
+        "premises",
+        "retract A->{B}",
+        "session new",
+        "universe 2",
+        "session use 0",
+        "session close 1",
+        "reset",
+        "stats",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (addr, handle) = spawn_server(NetConfig {
+        threads: 2,
+        ..NetConfig::default()
+    });
+    let want = in_process_replies(&lines, 2);
+    let got = tcp_replies(addr, &lines);
+    assert_eq!(got, want, "a verb answered differently over TCP");
+    // …and `quit`, the one verb a pipelined script can't carry mid-stream.
+    let mut client = connect(addr);
+    client.request("universe 2").unwrap();
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Scripts far larger than the socket buffers cannot deadlock the
+/// write/read pair: `run_script` drains replies concurrently with the
+/// burst write (~1.6 MB each way here, past any default loopback buffer).
+#[test]
+fn large_pipelined_scripts_do_not_deadlock() {
+    let (addr, handle) = spawn_server(NetConfig {
+        threads: 2,
+        ..NetConfig::default()
+    });
+    let lines: Vec<String> = std::iter::once("universe 4".to_string())
+        .chain((0..60_000).map(|_| "session list".to_string()))
+        .collect();
+    let mut client = connect(addr);
+    let replies = client
+        .run_script(lines.iter().map(String::as_str))
+        .expect("large script");
+    assert_eq!(replies.len(), 60_001);
+    assert!(replies[1..].iter().all(|r| r.starts_with("sessions n=1")));
+    client.quit().expect("graceful quit");
+    handle.shutdown();
+}

@@ -67,9 +67,13 @@ impl std::error::Error for BasketParseError {
 }
 
 /// Parses a stream of textual basket records (each in the compact `"ACD"` /
-/// `"{}"` notation).  Records that trim to nothing are skipped but still
-/// counted, so the `line` of a [`BasketParseError`] is always the 1-based
-/// position of the offending record in the input stream.
+/// `"{}"` notation).  Records that trim to nothing, and `#` comment
+/// records, are skipped but still counted, so the `line` of a
+/// [`BasketParseError`] is always the 1-based position of the offending
+/// record in the input stream — for a file, exactly the line number an
+/// editor shows, whether the file uses LF or CRLF line endings (records
+/// arrive here with `\r` already stripped by [`str::lines`], and a stray
+/// trailing `\r` would be removed by the trim in any case).
 ///
 /// This is the single record loop behind [`BasketDb::parse`] and the
 /// streaming loaders layered on this crate (e.g. `diffcon-discover`'s
@@ -88,7 +92,7 @@ where
         .enumerate()
         .filter_map(move |(recno, record)| {
             let trimmed = record.as_ref().trim();
-            if trimmed.is_empty() {
+            if trimmed.is_empty() || trimmed.starts_with('#') {
                 return None;
             }
             Some(
@@ -147,11 +151,15 @@ impl BasketDb {
 
     /// Parses a database from the paper's compact notation: one basket per
     /// line, e.g. `"AB\nACD\nB"`.  Empty lines denote empty baskets only when
-    /// written as `"{}"`; otherwise they are skipped.
+    /// written as `"{}"`; otherwise they are skipped, as are `#` comment
+    /// lines.  Both LF and CRLF line endings are accepted.
     ///
     /// # Errors
     /// [`BasketParseError`] carrying the 1-based line number and the
-    /// offending token of the first basket that fails to parse.
+    /// offending token of the first basket that fails to parse.  Skipped
+    /// blank and comment lines still count toward line numbers, so the
+    /// reported line is the one an editor shows — including for files
+    /// written on Windows.
     pub fn parse(universe: &Universe, text: &str) -> Result<Self, BasketParseError> {
         let baskets = parse_records(universe, text.lines()).collect::<Result<Vec<_>, _>>()?;
         Ok(BasketDb::from_baskets(universe.len(), baskets))
@@ -368,6 +376,39 @@ mod tests {
         // std::error::Error wiring exposes the universe error as the source.
         let dyn_err: &dyn std::error::Error = &err;
         assert!(dyn_err.source().is_some());
+    }
+
+    #[test]
+    fn crlf_line_accounting_matches_an_editor() {
+        let u = Universe::of_size(3);
+        // A file written on Windows: CRLF endings, a blank line, a comment.
+        // An editor shows the bad record `AZB` on line 5.
+        let text = "AB\r\n\r\n# a comment\r\nAC\r\nAZB\r\nC\r\n";
+        let err = BasketDb::parse(&u, text).unwrap_err();
+        assert_eq!(err.line, 5, "CRLF + blank + comment lines miscounted");
+        assert_eq!(err.token, "Z");
+        // The same file with LF endings reports the same line.
+        let err_lf = BasketDb::parse(&u, &text.replace("\r\n", "\n")).unwrap_err();
+        assert_eq!(err_lf.line, 5);
+        // Valid CRLF input parses to the same database as LF input.
+        let good = "AB\r\n# trailing comment\r\n{}\r\nC";
+        assert_eq!(
+            BasketDb::parse(&u, good).unwrap(),
+            BasketDb::parse(&u, &good.replace("\r\n", "\n")).unwrap()
+        );
+        assert_eq!(BasketDb::parse(&u, good).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn comment_records_are_skipped_but_counted() {
+        let u = Universe::of_size(3);
+        let db = BasketDb::parse(&u, "# header\nAB\n  # indented comment\nC").unwrap();
+        assert_eq!(db.len(), 2);
+        // Streamed records behave identically (the `load` verb's path).
+        let results: Vec<_> = parse_records(&u, ["# note", "AB", "#", "AZ"]).collect();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].as_ref().unwrap(), &u.parse_set("AB").unwrap());
+        assert_eq!(results[1].as_ref().unwrap_err().line, 4);
     }
 
     #[test]
