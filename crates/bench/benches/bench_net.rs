@@ -19,7 +19,8 @@ use diffcon_bench::workloads;
 use diffcon_bench::{JsonReport, Table};
 use diffcon_engine::client::Client;
 use diffcon_engine::net::{NetConfig, NetServer};
-use diffcon_engine::{Pipeline, SessionConfig};
+use diffcon_engine::{EngineMetrics, Pipeline, SessionConfig};
+use diffcon_obs::{Histogram, HistogramSnapshot};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -163,10 +164,29 @@ fn strict_latency(addr: SocketAddr, script: &[String]) -> (f64, f64) {
     (pick(0.50), pick(0.99))
 }
 
+/// The four pipeline stage histograms of the process-wide registry, labeled
+/// as in the `diffcond_stage_latency_us` exposition.  The bench server runs
+/// in-process, so these capture exactly the serving work driven below.
+fn stage_histograms() -> [(&'static str, &'static Histogram); 4] {
+    let metrics = EngineMetrics::global();
+    [
+        ("frame", &metrics.frame_ns),
+        ("queue", &metrics.queue_ns),
+        ("plan", &metrics.plan_ns),
+        ("reply", &metrics.reply_ns),
+    ]
+}
+
 fn emit_json_report() {
     let script = build_script(REPEATS);
     let queries_per_pass = (REPEATS * STREAM) as f64;
     let (addr, handle) = spawn_server(2);
+    // Baseline the server-side stage histograms so the report windows only
+    // the traffic this bench drives (the registry is process-global).
+    let stage_base: Vec<(&str, HistogramSnapshot)> = stage_histograms()
+        .iter()
+        .map(|(stage, histogram)| (*stage, histogram.snapshot()))
+        .collect();
 
     let mut table = Table::new(
         "N1: warm pipelined socket throughput by connection count",
@@ -203,8 +223,35 @@ fn emit_json_report() {
     report.push_metric("strict_p50_us", p50_us);
     report.push_metric("strict_p99_us", p99_us);
 
+    // Server-side stage breakdown of everything driven above, from the same
+    // histograms `stats` and the metrics endpoint report: where the strict
+    // round trip actually goes once the frame is off the socket.
+    let mut stage_table = Table::new(
+        "N1: server-side stage latency (histogram-derived, whole bench window)",
+        ["stage", "samples", "p50_us", "p99_us"],
+    );
+    for ((stage, histogram), (_, base)) in stage_histograms().iter().zip(&stage_base) {
+        let window = histogram.snapshot().minus(base);
+        let (stage_p50, stage_p99) = (window.p50() as f64 / 1e3, window.p99() as f64 / 1e3);
+        report.push_metric(format!("stage_{stage}_samples"), window.count() as f64);
+        report.push_metric(format!("stage_{stage}_p50_us"), stage_p50);
+        report.push_metric(format!("stage_{stage}_p99_us"), stage_p99);
+        stage_table.push_row([
+            (*stage).to_string(),
+            window.count().to_string(),
+            format!("{stage_p50:.1}"),
+            format!("{stage_p99:.1}"),
+        ]);
+        assert!(
+            window.count() > 0,
+            "stage `{stage}` recorded no samples over the bench window"
+        );
+    }
+    stage_table.eprint();
+
     handle.shutdown();
     report.push_table(table);
+    report.push_table(stage_table);
     match report.write_to_repo_root("BENCH_net.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_net.json: {e}"),

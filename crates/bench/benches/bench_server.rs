@@ -17,9 +17,11 @@
 //!   price of concurrency on the hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use diffcon::procedure::ALL_PROCEDURES;
 use diffcon_bench::workloads;
 use diffcon_bench::{JsonReport, Table};
-use diffcon_engine::{LruCache, Session, ShardedCache};
+use diffcon_engine::{EngineMetrics, LruCache, Session, ShardedCache};
+use diffcon_obs::HistogramSnapshot;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -98,38 +100,46 @@ impl<'scope> JoinSum for Vec<std::thread::ScopedJoinHandle<'scope, usize>> {
     }
 }
 
-/// Per-op nanoseconds for hits against a plain LRU vs. a sharded cache.
-fn cache_hit_latency() -> (f64, f64) {
+/// Per-op nanoseconds for hits against a plain LRU, an untagged sharded
+/// cache, and a family-tagged sharded cache (the last is the untagged cost
+/// plus the global-metrics publish — the per-hit price of instrumentation).
+fn cache_hit_latency() -> (f64, f64, f64) {
     const KEYS: u64 = 1024;
     const PASSES: u64 = 200;
     let mut lru: LruCache<u64, u64> = LruCache::new(KEYS as usize * 2);
     let sharded: ShardedCache<u64, u64> = ShardedCache::new(16, KEYS as usize * 2);
+    let tagged: ShardedCache<u64, u64> =
+        ShardedCache::named(diffcon_engine::CacheFamily::Answer, 16, KEYS as usize * 2);
     for k in 0..KEYS {
         lru.insert(k, k);
         sharded.insert(k, k);
+        tagged.insert(k, k);
     }
-    let start = Instant::now();
-    let mut acc = 0u64;
-    for _ in 0..PASSES {
-        for k in 0..KEYS {
-            acc += lru.get(&k).copied().unwrap_or(0);
+    let measure = |mut hit: Box<dyn FnMut(u64) -> u64 + '_>| {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..PASSES {
+            for k in 0..KEYS {
+                acc += hit(k);
+            }
         }
-    }
-    criterion::black_box(acc);
-    let lru_ns = start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64;
-    let start = Instant::now();
-    let mut acc = 0u64;
-    for _ in 0..PASSES {
-        for k in 0..KEYS {
-            acc += sharded.get(&k).unwrap_or(0);
-        }
-    }
-    criterion::black_box(acc);
-    let sharded_ns = start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64;
-    (lru_ns, sharded_ns)
+        criterion::black_box(acc);
+        start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64
+    };
+    let lru_ns = measure(Box::new(|k| lru.get(&k).copied().unwrap_or(0)));
+    let sharded_ns = measure(Box::new(|k| sharded.get(&k).unwrap_or(0)));
+    let tagged_ns = measure(Box::new(|k| tagged.get(&k).unwrap_or(0)));
+    (lru_ns, sharded_ns, tagged_ns)
 }
 
 fn emit_json_report() {
+    // Baseline the process-global per-route decision histograms: the window
+    // measured below covers the cold warmup decisions plus every warm pass,
+    // the same distributions `stats` and the metrics endpoint expose.
+    let route_base: Vec<HistogramSnapshot> = ALL_PROCEDURES
+        .iter()
+        .map(|kind| EngineMetrics::global().route_latency(*kind).snapshot())
+        .collect();
     let (session, stream) = warmed_session();
     let snapshot = session.snapshot();
     let total_queries = (REPEATS * STREAM) as f64;
@@ -184,7 +194,7 @@ fn emit_json_report() {
     }
     table.eprint();
 
-    let (lru_ns, sharded_ns) = cache_hit_latency();
+    let (lru_ns, sharded_ns, tagged_ns) = cache_hit_latency();
 
     let mut report = JsonReport::new("server_throughput");
     report.push_metric("stream_len", STREAM as f64);
@@ -200,6 +210,31 @@ fn emit_json_report() {
     report.push_metric("lru_hit_ns", lru_ns);
     report.push_metric("sharded_hit_ns", sharded_ns);
     report.push_metric("sharded_overhead_ns", sharded_ns - lru_ns);
+    report.push_metric("tagged_hit_ns", tagged_ns);
+    report.push_metric("metrics_publish_overhead_ns", tagged_ns - sharded_ns);
+
+    // Histogram-derived decision latency per implication route, windowed to
+    // this bench's traffic.  Routes the workload never exercised are
+    // omitted rather than reported as zeros.
+    let mut decided_total = 0u64;
+    for (kind, base) in ALL_PROCEDURES.iter().zip(&route_base) {
+        let window = EngineMetrics::global()
+            .route_latency(*kind)
+            .snapshot()
+            .minus(base);
+        if window.count() == 0 {
+            continue;
+        }
+        decided_total += window.count();
+        let name = kind.name();
+        report.push_metric(format!("route_{name}_decided"), window.count() as f64);
+        report.push_metric(format!("route_{name}_p50_us"), window.p50() as f64 / 1e3);
+        report.push_metric(format!("route_{name}_p99_us"), window.p99() as f64 / 1e3);
+    }
+    assert!(
+        decided_total > 0,
+        "no route decisions recorded over the bench window"
+    );
     report.push_table(table);
     match report.write_to_repo_root("BENCH_server.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),
@@ -207,12 +242,13 @@ fn emit_json_report() {
     }
     eprintln!(
         "warm serial {:.0} qps; best multi-thread {:.0} qps ({:.2}x); \
-         cache hit {:.0} ns plain vs {:.0} ns sharded",
+         cache hit {:.0} ns plain vs {:.0} ns sharded vs {:.0} ns tagged",
         serial_qps,
         best_qps,
         best_qps / serial_qps,
         lru_ns,
-        sharded_ns
+        sharded_ns,
+        tagged_ns
     );
     assert!(
         best_qps >= serial_qps * 0.9,

@@ -9,15 +9,22 @@
 //! ```text
 //! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
 //!                 [--bound-cache N] [--cache-shards N] [--lattice-budget N]
-//!                 [--bound-budget N] [--threads N] [--help]
+//!                 [--bound-budget N] [--threads N] [--slow-query-us N] [--help]
 //!        diffcond serve [--addr HOST:PORT] [--max-conns N]
-//!                       [--max-request-bytes N] [same engine flags]
+//!                       [--max-request-bytes N] [--metrics-addr HOST:PORT]
+//!                       [same engine flags]
 //! ```
 //!
 //! `diffcond serve` serves the identical protocol over TCP
 //! (`diffcon_engine::net`): one connection = one private session namespace,
 //! newline framing with a per-request length limit, error replies for
-//! malformed frames, and a concurrent-connection admission cap.
+//! malformed frames, and a concurrent-connection admission cap.  With
+//! `--metrics-addr HOST:PORT` a second listener serves the process-wide
+//! engine metrics (`diffcon_engine::EngineMetrics`) as Prometheus text
+//! exposition on any `GET` (scrape `http://HOST:PORT/metrics`).  With
+//! `--slow-query-us N`, queries whose evaluation takes at least `N`
+//! microseconds are logged to stderr with their reconstructed request line
+//! (applies to `serve` and `--threads` pipelined serving).
 //!
 //! With `--threads N` (N > 1) the server scans requests serially but
 //! evaluates the read-only query verbs (`implies`, `batch`, `bound`,
@@ -59,22 +66,34 @@ Options:
                       concurrently against their snapshots (default 1:
                       classic serial line-by-line serving; under `serve`,
                       per connection)
+  --slow-query-us N   log queries whose evaluation takes at least N µs to
+                      stderr, with their reconstructed request line
+                      (pipelined serving only: `serve` or `--threads` > 1;
+                      default: off)
   --help              print this text
 
 Network serving:
   diffcond serve [--addr HOST:PORT] [--max-conns N] [--max-request-bytes N]
-                 [engine flags as above]
+                 [--metrics-addr HOST:PORT] [engine flags as above]
 
   Serves the same line protocol over TCP: each connection gets a private
   session namespace (all slots close on disconnect), requests are
   newline-framed with a per-request byte limit (oversized or non-UTF-8
   lines get `err` replies, never a dropped connection), and at most
   --max-conns connections are admitted at once.  Defaults: --addr
-  127.0.0.1:7878, --max-conns 64, --max-request-bytes 65536.";
+  127.0.0.1:7878, --max-conns 64, --max-request-bytes 65536.
+
+  With --metrics-addr a second listener serves the process-wide engine
+  metrics as Prometheus text exposition on any GET (e.g.
+  `curl http://HOST:PORT/metrics`): request/reply/connection counters,
+  per-stage latency summaries (frame/queue/plan/reply), per-route planner
+  latency, per-family cache hit/miss/eviction/collision counters, and
+  snapshot epoch publish rates.";
 
 struct Options {
     config: SessionConfig,
     threads: usize,
+    slow_query_us: Option<u64>,
     serve: Option<ServeOptions>,
 }
 
@@ -82,6 +101,7 @@ struct ServeOptions {
     addr: String,
     max_connections: usize,
     max_request_bytes: usize,
+    metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +110,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7878".into(),
             max_connections: diffcon_engine::NetConfig::DEFAULT_MAX_CONNECTIONS,
             max_request_bytes: diffcon_engine::protocol::MAX_REQUEST_BYTES,
+            metrics_addr: None,
         }
     }
 }
@@ -97,6 +118,7 @@ impl Default for ServeOptions {
 fn parse_args() -> Result<Options, String> {
     let mut config = SessionConfig::default();
     let mut threads = 1usize;
+    let mut slow_query_us: Option<u64> = None;
     let mut serve: Option<ServeOptions> = None;
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("serve") {
@@ -110,6 +132,21 @@ fn parse_args() -> Result<Options, String> {
                     .as_mut()
                     .ok_or("--addr is only valid after the `serve` subcommand")?;
                 serve.addr = args.next().ok_or("--addr expects HOST:PORT")?;
+            }
+            "--metrics-addr" => {
+                let serve = serve
+                    .as_mut()
+                    .ok_or("--metrics-addr is only valid after the `serve` subcommand")?;
+                serve.metrics_addr = Some(args.next().ok_or("--metrics-addr expects HOST:PORT")?);
+            }
+            "--slow-query-us" => {
+                let value = args
+                    .next()
+                    .ok_or("--slow-query-us expects a number of microseconds")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--slow-query-us expects a number, got `{value}`"))?;
+                slow_query_us = Some(n);
             }
             "--max-conns" | "--max-request-bytes" => {
                 let target = serve
@@ -179,6 +216,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         config,
         threads,
+        slow_query_us,
         serve,
     })
 }
@@ -222,8 +260,9 @@ fn serve_serial(config: SessionConfig) {
 
 /// Concurrent serving loop: serial scan, parallel query waves, in-order
 /// replies (see `diffcon_engine::server_state::Pipeline`).
-fn serve_concurrent(config: SessionConfig, threads: usize) {
+fn serve_concurrent(config: SessionConfig, threads: usize, slow_query_us: Option<u64>) {
     let mut pipeline = Pipeline::new(config, threads);
+    pipeline.set_slow_query_us(slow_query_us);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -261,12 +300,20 @@ fn serve_concurrent(config: SessionConfig, threads: usize) {
 }
 
 /// Network serving loop: bind, announce on stderr, accept until killed.
-fn serve_net(config: SessionConfig, threads: usize, options: ServeOptions) {
+/// With `--metrics-addr`, a second listener serves the process-wide engine
+/// metrics as Prometheus text exposition on its own thread.
+fn serve_net(
+    config: SessionConfig,
+    threads: usize,
+    slow_query_us: Option<u64>,
+    options: ServeOptions,
+) {
     let net_config = diffcon_engine::NetConfig {
         session: config,
         threads,
         max_connections: options.max_connections,
         max_request_bytes: options.max_request_bytes,
+        slow_query_us,
     };
     let server = match diffcon_engine::NetServer::bind(options.addr.as_str(), net_config) {
         Ok(server) => server,
@@ -275,6 +322,24 @@ fn serve_net(config: SessionConfig, threads: usize, options: ServeOptions) {
             std::process::exit(1);
         }
     };
+    if let Some(metrics_addr) = &options.metrics_addr {
+        let metrics_server = match diffcon_obs::TextServer::bind(metrics_addr.as_str()) {
+            Ok(metrics_server) => metrics_server,
+            Err(e) => {
+                eprintln!("diffcond: cannot bind metrics address {metrics_addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "diffcond: metrics on http://{}/metrics",
+            metrics_server.local_addr()
+        );
+        std::thread::spawn(move || {
+            // Scrape-listener failures must never take down the serving
+            // loop; the exposition endpoint is best-effort by design.
+            let _ = metrics_server.run(|| diffcon_engine::EngineMetrics::global().exposition());
+        });
+    }
     eprintln!(
         "diffcond: serving on {} ({} worker thread{} per connection, up to {} connections)",
         server.local_addr(),
@@ -297,9 +362,14 @@ fn main() {
         }
     };
     if let Some(serve) = options.serve {
-        serve_net(options.config, options.threads, serve);
+        serve_net(
+            options.config,
+            options.threads,
+            options.slow_query_us,
+            serve,
+        );
     } else if options.threads > 1 {
-        serve_concurrent(options.config, options.threads);
+        serve_concurrent(options.config, options.threads, options.slow_query_us);
     } else {
         serve_serial(options.config);
     }

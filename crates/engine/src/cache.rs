@@ -25,6 +25,7 @@
 //!   rehash a constraint structure, while `Eq` still compares the payload
 //!   structurally so fingerprint collisions cannot alias answers.
 
+use crate::metrics::{CacheCounters, CacheFamily, EngineMetrics};
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -49,6 +50,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by inserts at capacity.
     pub evictions: u64,
+    /// Present-but-rejected entries: a fingerprint-addressed lookup found
+    /// the key but the stored payload failed verification (see
+    /// [`LruCache::get_if`]), forcing a recomputation.  Collisions are a
+    /// subset of `misses`.
+    pub collisions: u64,
 }
 
 impl CacheStats {
@@ -67,6 +73,18 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.collisions += other.collisions;
+    }
+
+    /// The counter movement since `earlier` (saturating, so a snapshot pair
+    /// read under concurrent traffic can never underflow).
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            collisions: self.collisions.saturating_sub(earlier.collisions),
+        }
     }
 }
 
@@ -156,6 +174,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
                 }
                 None => {
                     self.stats.misses += 1;
+                    self.stats.collisions += 1;
                     None
                 }
             },
@@ -294,6 +313,12 @@ impl ShardKey for VersionedKey {
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
     shards: Box<[Mutex<LruCache<K, V>>]>,
+    /// When set, every operation's counter movement is mirrored into these
+    /// process-wide [`EngineMetrics`] counters (resolved once at
+    /// construction, so the per-operation publish never touches the
+    /// registry's `OnceLock`).  Untagged caches skip the bookkeeping
+    /// entirely.
+    counters: Option<&'static CacheCounters>,
 }
 
 impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
@@ -310,6 +335,19 @@ impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
             shards: (0..shards)
                 .map(|i| Mutex::new(LruCache::new(base + usize::from(i < extra))))
                 .collect(),
+            counters: None,
+        }
+    }
+
+    /// Like [`ShardedCache::new`], additionally attributing every
+    /// operation's hit/miss/eviction/collision movement to `family` in the
+    /// process-wide metrics registry ([`EngineMetrics::global`]).  The
+    /// engine's session caches are all family-tagged; untagged caches
+    /// record nothing globally.
+    pub fn named(family: CacheFamily, shards: usize, capacity: usize) -> Self {
+        ShardedCache {
+            counters: Some(EngineMetrics::global().cache(family)),
+            ..ShardedCache::new(shards, capacity)
         }
     }
 
@@ -345,9 +383,33 @@ impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
         total
     }
 
+    /// Per-shard occupancy skew: the least and most populated shard.  A
+    /// large spread under a warm workload means the shard hash is uneven
+    /// for the key population (or the shard count outstrips the traffic),
+    /// which is the signal `--cache-shards` tuning needs.
+    pub fn occupancy(&self) -> ShardOccupancy {
+        let mut occupancy = ShardOccupancy {
+            min: usize::MAX,
+            max: 0,
+        };
+        for i in 0..self.shards.len() {
+            let len = self.lock(i).len();
+            occupancy.min = occupancy.min.min(len);
+            occupancy.max = occupancy.max.max(len);
+        }
+        occupancy
+    }
+
     /// Looks up `key` in its shard, promoting it on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.lock(self.shard_of(key)).get(key).cloned()
+        let mut shard = self.lock(self.shard_of(key));
+        let Some(counters) = self.counters else {
+            return shard.get(key).cloned();
+        };
+        let before = shard.stats();
+        let result = shard.get(key).cloned();
+        counters.absorb_delta(shard.stats().since(before));
+        result
     }
 
     /// Looks up `key` and projects the stored value through `f` while the
@@ -356,13 +418,27 @@ impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
     /// fingerprint-addressed entry) is a genuine miss: counted as one, not
     /// promoted, and nothing is cloned either way.
     pub fn get_if<R>(&self, key: &K, f: impl FnOnce(&V) -> Option<R>) -> Option<R> {
-        self.lock(self.shard_of(key)).get_if(key, f)
+        let mut shard = self.lock(self.shard_of(key));
+        let Some(counters) = self.counters else {
+            return shard.get_if(key, f);
+        };
+        let before = shard.stats();
+        let result = shard.get_if(key, f);
+        counters.absorb_delta(shard.stats().since(before));
+        result
     }
 
     /// Inserts `key → value` into its shard, evicting that shard's LRU entry
     /// at capacity.
     pub fn insert(&self, key: K, value: V) {
-        self.lock(self.shard_of(&key)).insert(key, value);
+        let mut shard = self.lock(self.shard_of(&key));
+        let Some(counters) = self.counters else {
+            shard.insert(key, value);
+            return;
+        };
+        let before = shard.stats();
+        shard.insert(key, value);
+        counters.absorb_delta(shard.stats().since(before));
     }
 
     /// Drops every entry in every shard (counters are kept).
@@ -388,6 +464,16 @@ impl<K: ShardKey, V: Clone> ShardedCache<K, V> {
             Err(poisoned) => poisoned.into_inner(),
         }
     }
+}
+
+/// Per-shard occupancy skew of a [`ShardedCache`]
+/// (see [`ShardedCache::occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Entries in the least populated shard.
+    pub min: usize,
+    /// Entries in the most populated shard.
+    pub max: usize,
 }
 
 /// Combines the session-state digests into the one salt that versions every
@@ -679,6 +765,46 @@ mod tests {
         let after = c.stats();
         assert_eq!(after.hits, before.hits);
         assert_eq!(after.misses, before.misses + 1);
+        // The rejection is also attributed as a collision…
+        assert_eq!(after.collisions, before.collisions + 1);
+        // …while an absent key is a plain miss.
         assert_eq!(c.get_if(&VersionedKey::new(9, 42), |&(_, v)| Some(v)), None);
+        let absent = c.stats();
+        assert_eq!(absent.misses, after.misses + 1);
+        assert_eq!(absent.collisions, after.collisions);
+    }
+
+    #[test]
+    fn occupancy_reports_per_shard_skew() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(4, 64);
+        assert_eq!(c.occupancy(), ShardOccupancy { min: 0, max: 0 });
+        for k in 0..32u64 {
+            c.insert(k, k);
+        }
+        let occupancy = c.occupancy();
+        assert!(occupancy.min <= occupancy.max);
+        assert!(occupancy.max >= 32 / 4, "max shard below the mean");
+        assert!(occupancy.max <= 16, "one shard holds 32/64-capacity split");
+        // A single-shard cache has no skew by construction.
+        let single: ShardedCache<u64, u64> = ShardedCache::new(1, 8);
+        for k in 0..8u64 {
+            single.insert(k, k);
+        }
+        assert_eq!(single.occupancy(), ShardOccupancy { min: 8, max: 8 });
+    }
+
+    #[test]
+    fn family_tagged_caches_publish_global_deltas() {
+        use crate::metrics::EngineMetrics;
+        let global = EngineMetrics::global().cache(CacheFamily::Prop);
+        let (hits0, misses0) = (global.hits.get(), global.misses.get());
+        let c: ShardedCache<u64, u64> = ShardedCache::named(CacheFamily::Prop, 2, 8);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&2), None);
+        // Other tests share the global registry, so assert growth floors,
+        // not exact values.
+        assert!(global.hits.get() > hits0);
+        assert!(global.misses.get() > misses0);
     }
 }

@@ -108,6 +108,7 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod intern;
+pub mod metrics;
 pub mod net;
 pub mod planner;
 pub mod protocol;
@@ -115,12 +116,13 @@ pub mod server_state;
 pub mod session;
 pub mod snapshot;
 
-pub use cache::{version_salt, CacheStats, LruCache, ShardedCache, VersionedKey};
+pub use cache::{version_salt, CacheStats, LruCache, ShardOccupancy, ShardedCache, VersionedKey};
 pub use client::{Client, ClientError};
 pub use intern::{ConstraintId, ConstraintInterner};
+pub use metrics::{CacheFamily, EngineMetrics};
 pub use net::{NetConfig, NetServer, ShutdownHandle};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server, Step};
 pub use server_state::{DeferredQuery, Pipeline, SessionRegistry};
 pub use session::{AdoptOutcome, BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};
-pub use snapshot::{Snapshot, SnapshotStats};
+pub use snapshot::{ExplainOutcome, Snapshot, SnapshotStats};

@@ -1,0 +1,352 @@
+//! Process-wide serving metrics: one lock-free [`EngineMetrics`] registry
+//! every pipeline, connection, cache, planner, and session publishes into,
+//! rendered on demand as a Prometheus-text exposition.
+//!
+//! # Why a process-wide registry
+//!
+//! The serving stack is a tree of per-connection state — each TCP connection
+//! owns a [`crate::server_state::Pipeline`], each session its own caches and
+//! [`crate::planner::Planner`] — but a scrape wants the process view: total
+//! requests, the latency distribution across *all* connections, cache
+//! traffic across *all* sessions.  Per-session accounting already exists
+//! (the `stats` verb reports it); this module is the aggregate layer.  Every
+//! recording site therefore writes twice — its local accounting and the
+//! global registry — and both writes are relaxed atomics, so the double
+//! bookkeeping costs a few nanoseconds against query latencies measured in
+//! microseconds.
+//!
+//! # What is recorded where
+//!
+//! | source                  | metrics                                          |
+//! |-------------------------|--------------------------------------------------|
+//! | [`crate::server_state`] | requests, parse errors, replies, waves, wave size, queue depth, deferred-query age, evaluation latency, slow queries |
+//! | [`crate::net`]          | connections, bytes, frames, framing errors, idle flushes, frame-read and reply-write latency |
+//! | [`crate::planner`]      | per-route decision counts and latency (implication routes and the bound ladder), trivial short-circuits |
+//! | [`crate::cache`]        | per-family hit/miss/eviction/collision counters   |
+//! | [`crate::session`]      | snapshot epoch publications                       |
+//!
+//! The exposition ([`EngineMetrics::exposition`]) renders counters and
+//! gauges directly and histograms as summary families (`quantile` labels
+//! plus `_sum`/`_count`); `diffcond serve --metrics-addr HOST:PORT` serves
+//! it over one-shot HTTP GET via [`diffcon_obs::TextServer`].
+
+use crate::cache::CacheStats;
+use diffcon::procedure::{self, ProcedureKind};
+use diffcon_bounds::DeriveRoute;
+use diffcon_obs::{Counter, Exposition, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Which engine cache family a [`crate::cache::ShardedCache`] serves, for
+/// per-family attribution of the global cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFamily {
+    /// Full query answers.
+    Answer,
+    /// Goal lattice decompositions.
+    Lattice,
+    /// Propositional translations.
+    Prop,
+    /// Bound intervals.
+    Bound,
+}
+
+impl CacheFamily {
+    /// Every family, in exposition order.
+    pub const ALL: [CacheFamily; 4] = [
+        CacheFamily::Answer,
+        CacheFamily::Lattice,
+        CacheFamily::Prop,
+        CacheFamily::Bound,
+    ];
+
+    /// The family's label value in the exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheFamily::Answer => "answer",
+            CacheFamily::Lattice => "lattice",
+            CacheFamily::Prop => "prop",
+            CacheFamily::Bound => "bound",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CacheFamily::Answer => 0,
+            CacheFamily::Lattice => 1,
+            CacheFamily::Prop => 2,
+            CacheFamily::Bound => 3,
+        }
+    }
+}
+
+/// Global per-family cache traffic counters.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Verified cache hits.
+    pub hits: Counter,
+    /// Misses (including rejected collisions).
+    pub misses: Counter,
+    /// Entries displaced at capacity.
+    pub evictions: Counter,
+    /// Present-but-rejected fingerprint collisions (each one forced a
+    /// recomputation).
+    pub collisions: Counter,
+}
+
+impl CacheCounters {
+    /// Accumulates the counter movement of one cache operation.
+    pub fn absorb_delta(&self, delta: CacheStats) {
+        if delta.hits > 0 {
+            self.hits.add(delta.hits);
+        }
+        if delta.misses > 0 {
+            self.misses.add(delta.misses);
+        }
+        if delta.evictions > 0 {
+            self.evictions.add(delta.evictions);
+        }
+        if delta.collisions > 0 {
+            self.collisions.add(delta.collisions);
+        }
+    }
+}
+
+/// Labels for the implication routes, indexed like
+/// [`procedure::ALL_PROCEDURES`].
+const ROUTE_LABELS: [&str; 4] = ["fd", "lattice", "semantic", "sat"];
+
+/// Labels for the pipeline stage histograms, aligned with
+/// [`EngineMetrics::stage_histograms`].
+const STAGE_LABELS: [&str; 4] = ["frame", "queue", "plan", "reply"];
+
+fn proc_index(kind: ProcedureKind) -> usize {
+    procedure::ALL_PROCEDURES
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every ProcedureKind appears in ALL_PROCEDURES")
+}
+
+/// The process-wide metrics registry.  All fields are lock-free; recording
+/// sites access them through [`EngineMetrics::global`].
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Requests entering a pipeline (well-formed or not).
+    pub requests: Counter,
+    /// Requests rejected by the protocol parser.
+    pub parse_errors: Counter,
+    /// Reply lines released to clients (silent replies excluded).
+    pub replies: Counter,
+    /// Deferred queries whose evaluation exceeded the slow-query threshold.
+    pub slow_queries: Counter,
+    /// Evaluation waves run.
+    pub waves: Counter,
+    /// Deferred queries per wave.
+    pub wave_size: Histogram,
+    /// Deferred queries currently queued (last observed).
+    pub queue_depth: Gauge,
+    /// Nanoseconds spent framing a request off the socket when input was
+    /// already buffered (client think-time excluded).
+    pub frame_ns: Histogram,
+    /// Nanoseconds a deferred query waited between enqueue and evaluation.
+    pub queue_ns: Histogram,
+    /// Nanoseconds evaluating one deferred query.
+    pub plan_ns: Histogram,
+    /// Nanoseconds writing and flushing a batch of replies.
+    pub reply_ns: Histogram,
+    /// Connections served (completed).
+    pub connections: Counter,
+    /// Request bytes read off sockets (including discarded oversized lines).
+    pub bytes_read: Counter,
+    /// Reply bytes written to sockets.
+    pub bytes_written: Counter,
+    /// Well-formed request frames read.
+    pub frames: Counter,
+    /// Framing violations (oversized lines, invalid UTF-8).
+    pub framing_errors: Counter,
+    /// Idle flushes (waves forced because the read buffer ran dry).
+    pub idle_flushes: Counter,
+    /// Snapshot publications (every session mutation).
+    pub epoch_publishes: Counter,
+    /// Goals answered inline as trivial.
+    pub trivial: Counter,
+    /// Per-route decision latency, indexed like
+    /// [`procedure::ALL_PROCEDURES`]; each histogram's count is the route's
+    /// decided-query total.
+    pub route_ns: [Histogram; 4],
+    /// Bound-ladder decision latency: `[propagation, relaxed]`.
+    pub bound_ns: [Histogram; 2],
+    /// Per-family cache counters, indexed by [`CacheFamily::index`].
+    caches: [CacheCounters; 4],
+}
+
+static GLOBAL: OnceLock<EngineMetrics> = OnceLock::new();
+
+impl EngineMetrics {
+    /// The process-wide registry.
+    pub fn global() -> &'static EngineMetrics {
+        GLOBAL.get_or_init(EngineMetrics::default)
+    }
+
+    /// The counters of one cache family.
+    pub fn cache(&self, family: CacheFamily) -> &CacheCounters {
+        &self.caches[family.index()]
+    }
+
+    /// The latency histogram of one implication route.
+    pub fn route_latency(&self, kind: ProcedureKind) -> &Histogram {
+        &self.route_ns[proc_index(kind)]
+    }
+
+    /// The latency histogram of one bound-ladder route.
+    pub fn bound_latency(&self, route: DeriveRoute) -> &Histogram {
+        match route {
+            DeriveRoute::Propagation => &self.bound_ns[0],
+            DeriveRoute::Relaxed => &self.bound_ns[1],
+        }
+    }
+
+    /// The pipeline stage histograms in [`STAGE_LABELS`] order.
+    fn stage_histograms(&self) -> [&Histogram; 4] {
+        [
+            &self.frame_ns,
+            &self.queue_ns,
+            &self.plan_ns,
+            &self.reply_ns,
+        ]
+    }
+
+    /// Renders the registry as a Prometheus-text (0.0.4) exposition.
+    /// Latency summaries are in microseconds.
+    pub fn exposition(&self) -> String {
+        let mut exp = Exposition::new();
+        exp.counter("diffcond_requests_total", &[], self.requests.get());
+        exp.counter("diffcond_parse_errors_total", &[], self.parse_errors.get());
+        exp.counter("diffcond_replies_total", &[], self.replies.get());
+        exp.counter("diffcond_slow_queries_total", &[], self.slow_queries.get());
+        exp.counter("diffcond_waves_total", &[], self.waves.get());
+        exp.gauge("diffcond_queue_depth", &[], self.queue_depth.get());
+        exp.summary("diffcond_wave_size", &[], &self.wave_size.snapshot(), 1.0);
+        for (label, histogram) in STAGE_LABELS.iter().zip(self.stage_histograms()) {
+            exp.summary(
+                "diffcond_stage_latency_us",
+                &[("stage", label)],
+                &histogram.snapshot(),
+                1e3,
+            );
+        }
+        exp.counter("diffcond_connections_total", &[], self.connections.get());
+        exp.counter(
+            "diffcond_bytes_total",
+            &[("direction", "read")],
+            self.bytes_read.get(),
+        );
+        exp.counter(
+            "diffcond_bytes_total",
+            &[("direction", "written")],
+            self.bytes_written.get(),
+        );
+        exp.counter("diffcond_frames_total", &[], self.frames.get());
+        exp.counter(
+            "diffcond_framing_errors_total",
+            &[],
+            self.framing_errors.get(),
+        );
+        exp.counter("diffcond_idle_flushes_total", &[], self.idle_flushes.get());
+        exp.counter(
+            "diffcond_epoch_publishes_total",
+            &[],
+            self.epoch_publishes.get(),
+        );
+        exp.counter("diffcond_trivial_queries_total", &[], self.trivial.get());
+        for (label, histogram) in ROUTE_LABELS.iter().zip(self.route_ns.iter()) {
+            exp.summary(
+                "diffcond_route_latency_us",
+                &[("route", label)],
+                &histogram.snapshot(),
+                1e3,
+            );
+        }
+        for (label, histogram) in ["propagation", "relaxed"].iter().zip(self.bound_ns.iter()) {
+            exp.summary(
+                "diffcond_bound_latency_us",
+                &[("route", label)],
+                &histogram.snapshot(),
+                1e3,
+            );
+        }
+        for family in CacheFamily::ALL {
+            let counters = self.cache(family);
+            for (outcome, value) in [
+                ("hit", counters.hits.get()),
+                ("miss", counters.misses.get()),
+                ("eviction", counters.evictions.get()),
+                ("collision", counters.collisions.get()),
+            ] {
+                exp.counter(
+                    "diffcond_cache_ops_total",
+                    &[("cache", family.name()), ("outcome", outcome)],
+                    value,
+                );
+            }
+        }
+        exp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffcon_obs::{parse_exposition, Series};
+
+    #[test]
+    fn exposition_parses_and_has_unique_series() {
+        let metrics = EngineMetrics::default();
+        metrics.requests.add(3);
+        metrics.cache(CacheFamily::Answer).absorb_delta(CacheStats {
+            hits: 2,
+            misses: 1,
+            evictions: 0,
+            collisions: 1,
+        });
+        metrics.route_latency(ProcedureKind::Lattice).record(25_000);
+        metrics
+            .bound_latency(DeriveRoute::Propagation)
+            .record(40_000);
+        let text = metrics.exposition();
+        let series = parse_exposition(&text).expect("exposition must parse");
+        let mut keys: Vec<String> = series.iter().map(Series::key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "duplicate series in exposition");
+        let requests = series
+            .iter()
+            .find(|s| s.name == "diffcond_requests_total")
+            .unwrap();
+        assert_eq!(requests.value, 3.0);
+        let collision = series
+            .iter()
+            .find(|s| {
+                s.name == "diffcond_cache_ops_total"
+                    && s.labels.contains(&("outcome".into(), "collision".into()))
+                    && s.labels.contains(&("cache".into(), "answer".into()))
+            })
+            .unwrap();
+        assert_eq!(collision.value, 1.0);
+        let lattice_count = series
+            .iter()
+            .find(|s| {
+                s.name == "diffcond_route_latency_us_count"
+                    && s.labels.contains(&("route".into(), "lattice".into()))
+            })
+            .unwrap();
+        assert_eq!(lattice_count.value, 1.0);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = EngineMetrics::global() as *const EngineMetrics;
+        let b = EngineMetrics::global() as *const EngineMetrics;
+        assert_eq!(a, b);
+    }
+}

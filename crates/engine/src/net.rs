@@ -49,6 +49,7 @@
 //! (Rust ignores `SIGPIPE`), which close that connection and nothing else.
 //! [`ShutdownHandle::shutdown`] stops the accept loop itself.
 
+use crate::metrics::EngineMetrics;
 use crate::protocol::{self, Reply};
 use crate::server_state::Pipeline;
 use crate::session::SessionConfig;
@@ -56,6 +57,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Admission and serving parameters of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +71,10 @@ pub struct NetConfig {
     pub max_connections: usize,
     /// Per-request line-length admission cap, in bytes.
     pub max_request_bytes: usize,
+    /// Slow-query threshold in microseconds, forwarded to every
+    /// connection's [`Pipeline::set_slow_query_us`] (`None` disables the
+    /// stderr log).
+    pub slow_query_us: Option<u64>,
 }
 
 impl Default for NetConfig {
@@ -78,6 +84,7 @@ impl Default for NetConfig {
             threads: 1,
             max_connections: NetConfig::DEFAULT_MAX_CONNECTIONS,
             max_request_bytes: protocol::MAX_REQUEST_BYTES,
+            slow_query_us: None,
         }
     }
 }
@@ -333,28 +340,51 @@ fn emit(writer: &mut impl Write, replies: &[Reply]) -> io::Result<()> {
 fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
     // One request/one reply traffic benefits from immediate segments.
     let _ = stream.set_nodelay(true);
+    let metrics = EngineMetrics::global();
+    metrics.connections.inc();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut pipeline = Pipeline::new(config.session, config.threads.max(1));
+    pipeline.set_slow_query_us(config.slow_query_us);
     let mut line = Vec::new();
     loop {
         // Idle flush: nothing buffered to scan, so release pending waves
         // before blocking — a strict request/response client is waiting.
         if pipeline.pending() > 0 && reader.buffer().is_empty() {
-            emit(&mut writer, &pipeline.finish())?;
+            metrics.idle_flushes.inc();
+            emit_measured(&mut writer, &pipeline.finish())?;
         }
-        let (replies, quit) = match read_frame(&mut reader, &mut line, config.max_request_bytes)? {
+        // The frame stage is only timed when bytes are already buffered:
+        // with an empty buffer the read blocks on the client thinking, and
+        // that wait is the client's latency, not the server's.
+        let framed = !reader.buffer().is_empty();
+        let frame_start = Instant::now();
+        let frame = read_frame(&mut reader, &mut line, config.max_request_bytes)?;
+        if framed {
+            metrics.frame_ns.record_duration(frame_start.elapsed());
+        }
+        let (replies, quit) = match frame {
             Frame::Eof => break,
-            Frame::Oversized(got) => pipeline.push_reply(Reply::err(protocol::oversized_request(
-                got,
-                config.max_request_bytes,
-            ))),
-            Frame::Line | Frame::Partial => match protocol::decode_request(&line) {
-                Ok(text) => pipeline.push_line(text),
-                Err(message) => pipeline.push_reply(Reply::err(message)),
-            },
+            Frame::Oversized(got) => {
+                metrics.framing_errors.inc();
+                pipeline.push_reply(Reply::err(protocol::oversized_request(
+                    got,
+                    config.max_request_bytes,
+                )))
+            }
+            Frame::Line | Frame::Partial => {
+                metrics.frames.inc();
+                metrics.bytes_read.add(line.len() as u64 + 1);
+                match protocol::decode_request(&line) {
+                    Ok(text) => pipeline.push_line(text),
+                    Err(message) => {
+                        metrics.framing_errors.inc();
+                        pipeline.push_reply(Reply::err(message))
+                    }
+                }
+            }
         };
-        emit(&mut writer, &replies)?;
+        emit_measured(&mut writer, &replies)?;
         if quit {
             return Ok(());
         }
@@ -362,7 +392,26 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
     // Clean disconnect: release whatever the client pipelined before EOF,
     // then drop the pipeline — closing every session slot the connection
     // opened (close-on-disconnect).
-    emit(&mut writer, &pipeline.finish())
+    emit_measured(&mut writer, &pipeline.finish())
+}
+
+/// [`emit`] plus reply-stage accounting: written bytes and, when at least
+/// one reply line went out, the write+flush latency (`reply` stage).
+fn emit_measured(writer: &mut impl Write, replies: &[Reply]) -> io::Result<()> {
+    let metrics = EngineMetrics::global();
+    let written: usize = replies
+        .iter()
+        .filter(|r| !r.text.is_empty())
+        .map(|r| r.text.len() + 1)
+        .sum();
+    if written == 0 {
+        return emit(writer, replies);
+    }
+    let start = Instant::now();
+    let result = emit(writer, replies);
+    metrics.reply_ns.record_duration(start.elapsed());
+    metrics.bytes_written.add(written as u64);
+    result
 }
 
 #[cfg(test)]

@@ -33,10 +33,12 @@
 //! lets every reader of a snapshot share one [`Planner`] without
 //! serializing on it.
 
+use crate::metrics::EngineMetrics;
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon::DiffConstraint;
 use diffcon_bounds::problem::{fits_budget, propagation_cost_bound, BoundsConfig};
 use diffcon_bounds::DeriveRoute;
+use diffcon_obs::{Histogram, HistogramSnapshot};
 use setlat::{AttrSet, Universe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -196,6 +198,11 @@ pub struct Planner {
     per_procedure: [ProcedureCounters; 4],
     trivial: AtomicU64,
     bounds: BoundCounters,
+    /// Per-route latency distributions (nanoseconds), indexed like
+    /// `per_procedure`; counts equal `decided`.
+    latency: [Histogram; 4],
+    /// Bound-ladder latency distributions: `[propagation, relaxed]`.
+    bound_latency: [Histogram; 2],
 }
 
 impl Planner {
@@ -234,9 +241,13 @@ impl Planner {
         }
     }
 
-    /// Records a query decided by `kind`.
+    /// Records a query decided by `kind` — in this planner's per-session
+    /// accounting and, mirrored, in the process-wide metrics registry.
     pub fn record_decided(&self, kind: ProcedureKind, elapsed: Duration) {
         self.per_procedure[proc_index(kind)].record(elapsed);
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.latency[proc_index(kind)].record(nanos);
+        EngineMetrics::global().route_latency(kind).record(nanos);
     }
 
     /// Records a query answered from the answer cache (planned for `kind`).
@@ -266,16 +277,25 @@ impl Planner {
         }
     }
 
-    /// Records a bound query decided over `route`.
+    /// Records a bound query decided over `route` (locally and in the
+    /// process-wide registry).
     pub fn record_bound_decided(&self, route: DeriveRoute, elapsed: Duration) {
         let b = &self.bounds;
-        match route {
-            DeriveRoute::Propagation => b.propagation.fetch_add(1, Ordering::Relaxed),
-            DeriveRoute::Relaxed => b.relaxed.fetch_add(1, Ordering::Relaxed),
+        let slot = match route {
+            DeriveRoute::Propagation => {
+                b.propagation.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+            DeriveRoute::Relaxed => {
+                b.relaxed.fetch_add(1, Ordering::Relaxed);
+                1
+            }
         };
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         b.total_nanos.fetch_add(nanos, Ordering::Relaxed);
         b.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.bound_latency[slot].record(nanos);
+        EngineMetrics::global().bound_latency(route).record(nanos);
     }
 
     /// Records a bound query served from the bound cache.
@@ -286,6 +306,24 @@ impl Planner {
     /// Records a goal answered inline as trivial.
     pub fn record_trivial(&self) {
         self.trivial.fetch_add(1, Ordering::Relaxed);
+        EngineMetrics::global().trivial.inc();
+    }
+
+    /// The latency distribution of queries this planner routed to `kind`
+    /// (nanoseconds; the snapshot's count equals the route's decided
+    /// total).
+    pub fn latency(&self, kind: ProcedureKind) -> HistogramSnapshot {
+        self.latency[proc_index(kind)].snapshot()
+    }
+
+    /// The latency distribution of bound queries derived over `route`
+    /// (nanoseconds).
+    pub fn bound_latency(&self, route: DeriveRoute) -> HistogramSnapshot {
+        let slot = match route {
+            DeriveRoute::Propagation => 0,
+            DeriveRoute::Relaxed => 1,
+        };
+        self.bound_latency[slot].snapshot()
     }
 
     /// Point-in-time snapshot of the counters (each counter is read
@@ -393,6 +431,28 @@ mod tests {
         assert_eq!(stats.trivial, 1);
         assert_eq!(stats.total_queries(), 5);
         assert_eq!(stats.of(ProcedureKind::FdFragment).decided, 0);
+    }
+
+    #[test]
+    fn latency_histograms_track_decisions() {
+        let planner = Planner::new(PlannerConfig::default());
+        for us in [10u64, 20, 40] {
+            planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(us));
+        }
+        planner.record_bound_decided(DeriveRoute::Relaxed, Duration::from_micros(7));
+        let lattice = planner.latency(ProcedureKind::Lattice);
+        assert_eq!(lattice.count(), 3);
+        assert_eq!(lattice.max(), 40_000);
+        assert!(lattice.p50() >= 10_000 && lattice.p50() <= 25_000);
+        assert_eq!(planner.latency(ProcedureKind::Sat).count(), 0);
+        let relaxed = planner.bound_latency(DeriveRoute::Relaxed);
+        assert_eq!(relaxed.count(), 1);
+        assert_eq!(planner.bound_latency(DeriveRoute::Propagation).count(), 0);
+        // The histogram counts agree with the counter accounting.
+        assert_eq!(
+            planner.stats().of(ProcedureKind::Lattice).decided,
+            lattice.count()
+        );
     }
 
     #[test]

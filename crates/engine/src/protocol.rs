@@ -19,6 +19,13 @@
 //!              |                                 decide many goals in parallel
 //!              | "witness" constraint            refutation witness, if any
 //!              | "derive" constraint             Figure 1 proof, if implied
+//!              | "explain" constraint            decide C ⊨ goal and report
+//!              |                                 the route, snapshot epoch,
+//!              |                                 and per-stage latency
+//!              | "trace" ("on" | "off")           toggle reply tracing: query
+//!              |                                 replies gain an `epoch=`
+//!              |                                 field naming the snapshot
+//!              |                                 that answered
 //!              | "known" SET ["="] VALUE         record f(SET) = VALUE
 //!              | "forget" SET                    drop a recorded value
 //!              | "bound" SET                     derive [lo, hi] for f(SET)
@@ -89,6 +96,7 @@
 //!            | "results" "n=" NUMBER (y|n)*      batch, index-aligned
 //!            | "witness" ("none" | "set=" SET)
 //!            | "proof" field* | "unprovable"
+//!            | "explain" field*                  instrumented implies
 //!            | "bound" "lo=" BOUNDVAL "hi=" BOUNDVAL field*
 //!            |                                  interval response form
 //!            | "mined" field* constraint*        discovery results
@@ -122,6 +130,36 @@
 //! bound queries have been served.
 //! Constraints in responses are printed in the compact parseable form
 //! `A->{B,CD}`, so a client can feed them straight back into requests.
+//!
+//! # Observability verbs
+//!
+//! `explain <constraint>` answers the implication query through the
+//! ordinary serving path — same caches, same planner accounting — and
+//! reports where the time went:
+//!
+//! ```text
+//! explain verdict=(yes|no) route=ROUTE cached=(0|1) epoch=N
+//!         probe_us=N plan_us=N decide_us=N total_us=N
+//! ```
+//!
+//! `probe_us` is the answer-cache probe, `plan_us` the route choice plus
+//! derived-data cache attachment, `decide_us` the decision procedure itself
+//! (both zero on a cache hit), and `epoch` the snapshot that answered.
+//!
+//! `trace on` makes every subsequent query reply (`implies`, `batch`,
+//! `bound`, `witness`, `derive`, `mine`) carry a trailing ` epoch=N` field
+//! naming the snapshot it was answered against; `trace off` restores the
+//! plain form.  The epoch is fixed by the snapshot captured at the
+//! request's position in the input order, so traced replies are identical
+//! under serial and pipelined execution.  The reply is `ok trace=1` /
+//! `ok trace=0`.
+//!
+//! `stats` additionally reports, per procedure that decided at least one
+//! query, decision-latency percentiles as `<route>_p50us=…`/`<route>_p99us=…`
+//! fields, cache collision counts (the fourth `/c…` component of each
+//! `…_cache=` field — verified-miss recomputations under digest collisions),
+//! and the answer cache's per-shard occupancy spread `answer_occ=min/max`
+//! for `--cache-shards` tuning.
 //!
 //! # Discovery verbs
 //!
@@ -163,7 +201,7 @@
 
 use crate::server_state::{DeferredQuery, QueryKind, SessionRegistry};
 use crate::session::{Session, SessionConfig};
-use crate::snapshot::{BoundOutcome, QueryOutcome};
+use crate::snapshot::{BoundOutcome, ExplainOutcome, QueryOutcome};
 use diffcon::inference::Derivation;
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon::DiffConstraint;
@@ -261,6 +299,11 @@ pub enum Request {
     Witness(String),
     /// `derive <constraint>`.
     Derive(String),
+    /// `explain <constraint>` — `implies` with a per-stage latency and
+    /// snapshot-epoch report.
+    Explain(String),
+    /// `trace on` / `trace off` — toggle the `epoch=` reply suffix.
+    Trace(bool),
     /// `known <set> = <value>` (the `=` is optional).
     Known(String, f64),
     /// `forget <set>`.
@@ -376,6 +419,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "implies" => Ok(Request::Implies(need("implies", rest)?)),
         "witness" => Ok(Request::Witness(need("witness", rest)?)),
         "derive" => Ok(Request::Derive(need("derive", rest)?)),
+        "explain" => Ok(Request::Explain(need("explain", rest)?)),
+        "trace" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                ["on"] => Ok(Request::Trace(true)),
+                ["off"] => Ok(Request::Trace(false)),
+                [] => Err("trace expects `on` or `off`".into()),
+                [mode, extra, ..] if *mode == "on" || *mode == "off" => Err(format!(
+                    "trace expects no argument after `{mode}` (unexpected `{extra}` at column {})",
+                    column_of(original, extra)
+                )),
+                [token, ..] => Err(format!(
+                    "trace expects `on` or `off`, got `{token}` at column {}",
+                    column_of(original, token)
+                )),
+            }
+        }
         "known" => {
             // `known AB = 40` or `known AB 40`.
             let mut parts = rest.split_whitespace().filter(|p| *p != "=");
@@ -479,6 +539,9 @@ pub fn format_request(request: &Request) -> String {
         Request::Batch(goals) => format!("batch {}", goals.join(" ; ")),
         Request::Witness(text) => format!("witness {text}"),
         Request::Derive(text) => format!("derive {text}"),
+        Request::Explain(text) => format!("explain {text}"),
+        Request::Trace(true) => "trace on".into(),
+        Request::Trace(false) => "trace off".into(),
         Request::Known(set, value) => format!("known {set} = {value}"),
         Request::Forget(set) => format!("forget {set}"),
         Request::Bound(set) => format!("bound {set}"),
@@ -554,6 +617,21 @@ pub(crate) fn implies_reply(outcome: &QueryOutcome) -> Reply {
         outcome.route_name(),
         outcome.cached as u8,
         outcome.elapsed.as_micros()
+    ))
+}
+
+/// Formats an `explain` outcome as its wire reply.
+pub(crate) fn explain_reply(outcome: ExplainOutcome) -> Reply {
+    Reply::line(format!(
+        "explain verdict={} route={} cached={} epoch={} probe_us={} plan_us={} decide_us={} total_us={}",
+        if outcome.outcome.implied { "yes" } else { "no" },
+        outcome.outcome.route_name(),
+        outcome.outcome.cached as u8,
+        outcome.epoch,
+        outcome.probe.as_micros(),
+        outcome.plan.as_micros(),
+        outcome.decide.as_micros(),
+        outcome.total.as_micros()
     ))
 }
 
@@ -647,6 +725,8 @@ pub enum Step {
 pub struct Server {
     config: SessionConfig,
     registry: SessionRegistry,
+    /// `trace on` state: query replies gain an ` epoch=N` suffix.
+    trace: bool,
 }
 
 impl Server {
@@ -655,6 +735,7 @@ impl Server {
         Server {
             config,
             registry: SessionRegistry::new(),
+            trace: false,
         }
     }
 
@@ -701,6 +782,7 @@ impl Server {
             Request::Implies(text) => self.defer_goal(&text, QueryKind::Implies),
             Request::Witness(text) => self.defer_goal(&text, QueryKind::Witness),
             Request::Derive(text) => self.defer_goal(&text, QueryKind::Derive),
+            Request::Explain(text) => self.defer_goal(&text, QueryKind::Explain),
             Request::Bound(text) => self.defer_bound(&text),
             Request::Batch(texts) => self.defer_batch(&texts),
             Request::Mine(budgets) => self.defer_mine(miner_config(budgets)),
@@ -713,7 +795,9 @@ impl Server {
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match DiffConstraint::parse(text, session.universe()) {
-                Ok(goal) => Step::Deferred(DeferredQuery::new(session.snapshot(), make(goal))),
+                Ok(goal) => Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), make(goal)).traced(self.trace),
+                ),
                 Err(e) => Step::Done(Reply::err(e.to_string())),
             },
         }
@@ -724,10 +808,10 @@ impl Server {
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match session.universe().parse_set(text) {
-                Ok(set) => Step::Deferred(DeferredQuery::new(
-                    session.snapshot(),
-                    QueryKind::Bound(set),
-                )),
+                Ok(set) => Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), QueryKind::Bound(set))
+                        .traced(self.trace),
+                ),
                 Err(e) => Step::Done(Reply::err(e.to_string())),
             },
         }
@@ -746,10 +830,10 @@ impl Server {
                         Err(e) => return Step::Done(Reply::err(format!("in `{text}`: {e}"))),
                     }
                 }
-                Step::Deferred(DeferredQuery::new(
-                    session.snapshot(),
-                    QueryKind::Batch(goals),
-                ))
+                Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), QueryKind::Batch(goals))
+                        .traced(self.trace),
+                )
             }
         }
     }
@@ -763,10 +847,10 @@ impl Server {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match Server::mine_refusal(session.universe().len(), &config) {
                 Some(refusal) => Step::Done(refusal),
-                None => Step::Deferred(DeferredQuery::new(
-                    session.snapshot(),
-                    QueryKind::Mine(config),
-                )),
+                None => Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), QueryKind::Mine(config))
+                        .traced(self.trace),
+                ),
             },
         }
     }
@@ -796,13 +880,18 @@ impl Server {
             Request::Implies(_)
             | Request::Witness(_)
             | Request::Derive(_)
+            | Request::Explain(_)
             | Request::Bound(_)
             | Request::Batch(_)
             | Request::Mine(_) => unreachable!("query verbs are handled by begin"),
             Request::Empty => Reply::line(""),
             Request::Help => Reply::line(
-                "ok commands: universe session assert retract implies batch witness derive known forget bound load mine adopt dataset premises knowns stats reset help quit",
+                "ok commands: universe session assert retract implies batch witness derive explain trace known forget bound load mine adopt dataset premises knowns stats reset help quit",
             ),
+            Request::Trace(enabled) => {
+                self.trace = enabled;
+                Reply::line(format!("ok trace={}", enabled as u8))
+            }
             Request::SessionNew => {
                 let id = self.registry.open();
                 Reply::line(format!(
@@ -1006,16 +1095,19 @@ impl Server {
                     ));
                 }
                 text.push_str(&format!(
-                    " answer_cache=h{}/m{}/e{} lattice_cache=h{}/m{}/e{} prop_cache=h{}/m{}/e{} premises={} interned={}",
+                    " answer_cache=h{}/m{}/e{}/c{} lattice_cache=h{}/m{}/e{}/c{} prop_cache=h{}/m{}/e{}/c{} premises={} interned={}",
                     stats.answer_cache.hits,
                     stats.answer_cache.misses,
                     stats.answer_cache.evictions,
+                    stats.answer_cache.collisions,
                     stats.lattice_cache.hits,
                     stats.lattice_cache.misses,
                     stats.lattice_cache.evictions,
+                    stats.lattice_cache.collisions,
                     stats.prop_cache.hits,
                     stats.prop_cache.misses,
                     stats.prop_cache.evictions,
+                    stats.prop_cache.collisions,
                     stats.premises,
                     stats.interned,
                 ));
@@ -1032,6 +1124,20 @@ impl Server {
                     " shards={} epoch={}",
                     stats.cache_shards, stats.epoch
                 ));
+                text.push_str(&format!(
+                    " answer_occ={}/{}",
+                    stats.answer_occupancy.min, stats.answer_occupancy.max
+                ));
+                for (slot, kind) in ALL_PROCEDURES.iter().enumerate() {
+                    if stats.planner.of(*kind).decided == 0 {
+                        continue;
+                    }
+                    let (p50, p99) = stats.route_latency_us[slot];
+                    text.push_str(&format!(
+                        " {name}_p50us={p50} {name}_p99us={p99}",
+                        name = kind.name()
+                    ));
+                }
                 Reply::line(text)
             }),
             Request::Assert(text) => self.with_constraint(&text, |session, constraint| {
@@ -1576,6 +1682,88 @@ mod tests {
             .text
             .starts_with("err mine budget too large"));
         assert!(s.handle_line("mine 3 2").text.starts_with("mined "));
+    }
+
+    #[test]
+    fn explain_reports_route_epoch_and_stage_latency() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        s.handle_line("assert B -> {C}");
+        let reply = s.handle_line("explain A -> {C}").text;
+        assert!(
+            reply.starts_with("explain verdict=yes route=fd cached=0 epoch="),
+            "got: {reply}"
+        );
+        for field in ["probe_us=", "plan_us=", "decide_us=", "total_us="] {
+            assert!(reply.contains(field), "missing {field}: {reply}");
+        }
+        // The second ask is a cache hit: no planning, no decision.
+        let reply = s.handle_line("explain A -> {C}").text;
+        assert!(reply.contains("cached=1"), "got: {reply}");
+        assert!(reply.contains("plan_us=0"), "got: {reply}");
+        assert!(reply.contains("decide_us=0"), "got: {reply}");
+        // An explained query counts in the planner exactly like `implies`.
+        let stats = s.handle_line("stats").text;
+        assert!(stats.contains("fd=1/1c"), "got: {stats}");
+        // Parse errors surface like any other verb's.
+        assert!(s
+            .handle_line("explain")
+            .text
+            .starts_with("err explain expects"));
+        assert!(s.handle_line("explain A -> {Z}").text.starts_with("err"));
+    }
+
+    #[test]
+    fn trace_toggles_the_epoch_suffix() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        assert_eq!(s.handle_line("trace on").text, "ok trace=1");
+        let traced = s.handle_line("implies A -> {B}").text;
+        assert!(traced.contains(" epoch="), "got: {traced}");
+        let epoch_field = traced.split_whitespace().last().unwrap().to_string();
+        assert!(epoch_field.starts_with("epoch="), "got: {traced}");
+        // Every deferred query verb gains the suffix, not just `implies`.
+        assert!(s
+            .handle_line("batch A -> {B}; B -> {A}")
+            .text
+            .contains(" epoch="));
+        assert!(s.handle_line("witness A -> {B}").text.contains(" epoch="));
+        // A mutation bumps the answering epoch the traced reply names.
+        s.handle_line("assert B -> {C}");
+        let bumped = s.handle_line("implies A -> {B}").text;
+        assert_ne!(
+            bumped.split_whitespace().last().unwrap(),
+            epoch_field,
+            "got: {bumped}"
+        );
+        assert_eq!(s.handle_line("trace off").text, "ok trace=0");
+        assert!(!s.handle_line("implies A -> {B}").text.contains("epoch="));
+        // Malformed forms are located and non-fatal.
+        assert!(s.handle_line("trace").text.starts_with("err trace expects"));
+        assert!(s
+            .handle_line("trace maybe")
+            .text
+            .contains("`maybe` at column 7"));
+        assert!(s
+            .handle_line("trace on now")
+            .text
+            .contains("`now` at column 10"));
+    }
+
+    #[test]
+    fn stats_reports_occupancy_and_route_percentiles() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        s.handle_line("implies A -> {B}");
+        let stats = s.handle_line("stats").text;
+        assert!(stats.contains(" answer_occ=0/1"), "got: {stats}");
+        assert!(stats.contains(" fd_p50us="), "got: {stats}");
+        assert!(stats.contains(" fd_p99us="), "got: {stats}");
+        // Collision counts ride the cache fields (fourth `/c` component).
+        assert!(stats.contains("answer_cache=h0/m1/e0/c0"), "got: {stats}");
     }
 
     #[test]

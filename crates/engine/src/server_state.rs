@@ -42,6 +42,7 @@
 //! its input buffer runs dry ([`Pipeline::pending`] + [`Pipeline::finish`]),
 //! so socket clients may be strict or pipelined at will.
 
+use crate::metrics::EngineMetrics;
 use crate::protocol::{self, Reply};
 use crate::session::{Session, SessionConfig};
 use crate::snapshot::Snapshot;
@@ -51,6 +52,7 @@ use rayon::prelude::*;
 use setlat::AttrSet;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One registry slot: a numbered home for at most one live session.
 #[derive(Debug, Default)]
@@ -179,6 +181,9 @@ pub(crate) enum QueryKind {
     Bound(AttrSet),
     Witness(DiffConstraint),
     Derive(DiffConstraint),
+    /// `explain` is `implies` with trace marks: same caches, same planner
+    /// accounting, plus a per-stage latency decomposition in the reply.
+    Explain(DiffConstraint),
     /// `mine` reads only the frozen dataset handle, so the heaviest verb
     /// the server accepts runs on a worker instead of stalling the scan.
     Mine(MinerConfig),
@@ -192,11 +197,25 @@ pub(crate) enum QueryKind {
 pub struct DeferredQuery {
     snapshot: Arc<Snapshot>,
     kind: QueryKind,
+    traced: bool,
+    queued: Instant,
 }
 
 impl DeferredQuery {
     pub(crate) fn new(snapshot: Arc<Snapshot>, kind: QueryKind) -> Self {
-        DeferredQuery { snapshot, kind }
+        DeferredQuery {
+            snapshot,
+            kind,
+            traced: false,
+            queued: Instant::now(),
+        }
+    }
+
+    /// Marks the query as issued under `trace on`: its reply line gains an
+    /// ` epoch=<n>` suffix naming the snapshot that answered.
+    pub(crate) fn traced(mut self, traced: bool) -> Self {
+        self.traced = traced;
+        self
     }
 
     /// The snapshot this query will answer against.
@@ -208,7 +227,24 @@ impl DeferredQuery {
     /// reply line the serial server would have produced at the capture
     /// point (up to the non-semantic `cached=`/`us=` telemetry fields).
     pub fn run(&self) -> Reply {
-        match &self.kind {
+        self.run_timed().0
+    }
+
+    /// [`DeferredQuery::run`] plus the evaluation wall-clock, recording
+    /// queue age and evaluation latency in the process-wide
+    /// [`EngineMetrics`] registry (`queue`/`plan` stages).
+    pub(crate) fn run_timed(&self) -> (Reply, Duration) {
+        let metrics = EngineMetrics::global();
+        metrics.queue_ns.record_duration(self.queued.elapsed());
+        let start = Instant::now();
+        let reply = self.answer();
+        let eval = start.elapsed();
+        metrics.plan_ns.record_duration(eval);
+        (reply, eval)
+    }
+
+    fn answer(&self) -> Reply {
+        let mut reply = match &self.kind {
             QueryKind::Implies(goal) => protocol::implies_reply(&self.snapshot.implies(goal)),
             QueryKind::Batch(goals) => protocol::batch_reply(&self.snapshot.implies_batch(goals)),
             QueryKind::Bound(set) => protocol::bound_reply(self.snapshot.bound(*set)),
@@ -217,9 +253,38 @@ impl DeferredQuery {
                 self.snapshot.refutation_witness(goal),
             ),
             QueryKind::Derive(goal) => protocol::derive_reply(self.snapshot.derive(goal)),
+            QueryKind::Explain(goal) => protocol::explain_reply(self.snapshot.explain(goal)),
             QueryKind::Mine(config) => {
                 protocol::mined_reply(self.snapshot.universe(), self.snapshot.mine_dataset(config))
             }
+        };
+        // `explain` already names its epoch; every other traced reply gains
+        // the suffix.  The epoch is fixed by the captured snapshot, so the
+        // suffix is identical under serial and pipelined execution.
+        if self.traced && !matches!(self.kind, QueryKind::Explain(_)) {
+            reply
+                .text
+                .push_str(&format!(" epoch={}", self.snapshot.epoch()));
+        }
+        reply
+    }
+
+    /// Reconstructs the canonical request line — for the slow-query log,
+    /// so the hot path never carries the raw request text around.
+    pub fn describe(&self) -> String {
+        let universe = self.snapshot.universe();
+        let wire = |goal: &DiffConstraint| protocol::format_wire(goal, universe);
+        match &self.kind {
+            QueryKind::Implies(goal) => format!("implies {}", wire(goal)),
+            QueryKind::Batch(goals) => {
+                let texts: Vec<String> = goals.iter().map(&wire).collect();
+                format!("batch {}", texts.join(" ; "))
+            }
+            QueryKind::Bound(set) => format!("bound {}", universe.format_set(*set)),
+            QueryKind::Witness(goal) => format!("witness {}", wire(goal)),
+            QueryKind::Derive(goal) => format!("derive {}", wire(goal)),
+            QueryKind::Explain(goal) => format!("explain {}", wire(goal)),
+            QueryKind::Mine(config) => format!("mine {} {}", config.max_lhs, config.max_rhs),
         }
     }
 }
@@ -241,6 +306,9 @@ pub struct Pipeline {
     deferred: usize,
     /// Deferred queries per wave before a flush is forced.
     max_wave: usize,
+    /// Queries whose evaluation takes at least this many microseconds are
+    /// reported on stderr after their wave (`None` disables the log).
+    slow_query_us: Option<u64>,
 }
 
 impl Pipeline {
@@ -258,7 +326,24 @@ impl Pipeline {
             queue: Vec::new(),
             deferred: 0,
             max_wave: Pipeline::DEFAULT_WAVE,
+            slow_query_us: None,
         }
+    }
+
+    /// Sets the slow-query threshold: deferred queries whose evaluation
+    /// takes at least `threshold` microseconds are logged to stderr (with
+    /// their reconstructed request line) after their wave completes, and
+    /// counted in [`EngineMetrics::slow_queries`].  `None` disables the log.
+    pub fn set_slow_query_us(&mut self, threshold: Option<u64>) {
+        self.slow_query_us = threshold;
+    }
+
+    /// `stats` and `quit` observe query accounting, so the wave in flight
+    /// must complete before they run for their view to match serial
+    /// execution (the invariant `stats_flushes_pending_wave_before_reporting`
+    /// pins).
+    fn flushes_pending_wave(request: &protocol::Request) -> bool {
+        matches!(request, protocol::Request::Stats | protocol::Request::Quit)
     }
 
     /// The worker count of the underlying pool.
@@ -299,17 +384,18 @@ impl Pipeline {
     /// Feeds one request line.  Returns the replies released by this line —
     /// strictly in input order — and whether the conversation should end.
     pub fn push_line(&mut self, line: &str) -> (Vec<Reply>, bool) {
+        EngineMetrics::global().requests.inc();
         let step = match protocol::parse_request(line) {
             Ok(request) => {
-                // `stats` and `quit` observe query accounting, so the wave
-                // in flight must complete first for their view to match
-                // serial execution.
-                if matches!(request, protocol::Request::Stats | protocol::Request::Quit) {
+                if Pipeline::flushes_pending_wave(&request) {
                     self.run_wave();
                 }
                 self.server.begin(request)
             }
-            Err(message) => protocol::Step::Done(Reply::err(message)),
+            Err(message) => {
+                EngineMetrics::global().parse_errors.inc();
+                protocol::Step::Done(Reply::err(message))
+            }
         };
         match step {
             protocol::Step::Done(reply) => self.queue.push(Queued::Ready(reply)),
@@ -338,23 +424,40 @@ impl Pipeline {
         if self.deferred == 0 {
             return;
         }
+        let metrics = EngineMetrics::global();
+        metrics.waves.inc();
+        metrics.wave_size.record(self.deferred as u64);
         let targets: Vec<usize> = self
             .queue
             .iter()
             .enumerate()
             .filter_map(|(i, q)| matches!(q, Queued::Deferred(_)).then_some(i))
             .collect();
-        let jobs: Vec<&DeferredQuery> = targets
-            .iter()
-            .map(|&i| match &self.queue[i] {
-                Queued::Deferred(d) => d,
-                Queued::Ready(_) => unreachable!("targets are deferred slots"),
-            })
-            .collect();
-        let replies: Vec<Reply> = self
-            .pool
-            .install(|| jobs.par_iter().map(|d| d.run()).collect());
-        for (&i, reply) in targets.iter().zip(replies) {
+        let outcomes: Vec<(Reply, Duration)> = {
+            let jobs: Vec<&DeferredQuery> = targets
+                .iter()
+                .map(|&i| match &self.queue[i] {
+                    Queued::Deferred(d) => d,
+                    Queued::Ready(_) => unreachable!("targets are deferred slots"),
+                })
+                .collect();
+            self.pool
+                .install(|| jobs.par_iter().map(|d| d.run_timed()).collect())
+        };
+        for (&i, (reply, eval)) in targets.iter().zip(outcomes) {
+            let slow = self
+                .slow_query_us
+                .is_some_and(|threshold| eval.as_micros() as u64 >= threshold);
+            if slow {
+                if let Queued::Deferred(d) = &self.queue[i] {
+                    metrics.slow_queries.inc();
+                    eprintln!(
+                        "diffcond: slow query us={} request=`{}`",
+                        eval.as_micros(),
+                        d.describe()
+                    );
+                }
+            }
             self.queue[i] = Queued::Ready(reply);
         }
         self.deferred = 0;
@@ -367,13 +470,18 @@ impl Pipeline {
             .iter()
             .take_while(|q| matches!(q, Queued::Ready(_)))
             .count();
-        self.queue
+        let replies: Vec<Reply> = self
+            .queue
             .drain(..ready)
             .map(|q| match q {
                 Queued::Ready(reply) => reply,
                 Queued::Deferred(_) => unreachable!("prefix is ready"),
             })
-            .collect()
+            .collect();
+        let metrics = EngineMetrics::global();
+        metrics.replies.add(replies.len() as u64);
+        metrics.queue_depth.set(self.queue.len() as u64);
+        replies
     }
 }
 
@@ -430,6 +538,62 @@ mod tests {
         );
         assert_eq!(replies[1].text, "err oversized");
         assert_eq!(p.pending(), 0);
+    }
+
+    /// Regression pin for the mid-wave `stats` ordering invariant: a
+    /// `stats` line arriving while queries are still deferred must flush
+    /// the pending wave *before* the stats snapshot is taken, so its
+    /// `queries=` count includes every earlier-issued query — exactly what
+    /// serial execution reports.
+    #[test]
+    fn stats_flushes_pending_wave_before_reporting() {
+        let mut p = Pipeline::new(SessionConfig::default(), 2);
+        p.push_line("universe 4");
+        p.push_line("assert A->{B}");
+        let (replies, _) = p.push_line("implies A->{C}");
+        assert!(replies.is_empty(), "query replies wait for their wave");
+        let (replies, _) = p.push_line("bound A");
+        assert!(replies.is_empty());
+        assert_eq!(p.pending(), 2, "two queries deferred mid-wave");
+        let (replies, quit) = p.push_line("stats");
+        assert!(!quit);
+        assert_eq!(
+            replies.len(),
+            3,
+            "stats releases the flushed wave plus itself"
+        );
+        assert!(replies[0].text.starts_with("no"), "got {}", replies[0].text);
+        assert!(
+            replies[1].text.starts_with("bound"),
+            "got {}",
+            replies[1].text
+        );
+        let stats = &replies[2].text;
+        assert!(
+            stats.starts_with("stats queries=1"),
+            "stats must count the already-flushed implies query: {stats}"
+        );
+        assert!(
+            stats.contains(" bound=1p"),
+            "stats must count the already-flushed bound query: {stats}"
+        );
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn slow_query_threshold_counts_slow_queries() {
+        let before = crate::metrics::EngineMetrics::global().slow_queries.get();
+        let mut p = Pipeline::new(SessionConfig::default(), 1);
+        p.set_slow_query_us(Some(0));
+        p.push_line("universe 4");
+        p.push_line("implies A->{B}");
+        let replies = p.finish();
+        assert_eq!(replies.len(), 1);
+        let after = crate::metrics::EngineMetrics::global().slow_queries.get();
+        assert!(
+            after > before,
+            "a zero-microsecond threshold marks every query slow"
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //! readers: an in-flight reader keeps its `Arc<Snapshot>` alive and the
 //! writer publishes past it.
 
-use crate::cache::ShardedCache;
+use crate::cache::{ShardOccupancy, ShardedCache};
 use crate::intern::{ConstraintId, ConstraintInterner};
+use crate::metrics::{CacheFamily, EngineMetrics};
 use crate::planner::{Planner, PlannerConfig, PlannerStats};
 use crate::snapshot::{EngineCaches, Snapshot, SnapshotParts};
 use diffcon::inference::Derivation;
@@ -117,6 +118,13 @@ pub struct SessionStats {
     /// [`crate::cache::ShardedCache::new`]), so smaller caches may hold
     /// fewer shards than reported here.
     pub cache_shards: usize,
+    /// Per-shard occupancy skew of the answer cache (least/most populated
+    /// shard), the observable `--cache-shards` tuning signal.
+    pub answer_occupancy: ShardOccupancy,
+    /// Per-procedure decision-latency percentiles `(p50, p99)` in
+    /// microseconds, in [`diffcon::procedure::ALL_PROCEDURES`] order
+    /// (zeros for procedures that never decided).
+    pub route_latency_us: [(u64, u64); 4],
     /// Current number of known point values.
     pub knowns: usize,
     /// Baskets in the loaded dataset (0 when none is loaded).
@@ -199,10 +207,26 @@ impl Session {
     pub fn with_config(universe: Universe, config: SessionConfig) -> Self {
         let universe = Arc::new(universe);
         let caches = Arc::new(EngineCaches {
-            answer: ShardedCache::new(config.cache_shards, config.answer_cache_capacity),
-            lattice: ShardedCache::new(config.cache_shards, config.lattice_cache_capacity),
-            prop: ShardedCache::new(config.cache_shards, config.prop_cache_capacity),
-            bound: ShardedCache::new(config.cache_shards, config.bound_cache_capacity),
+            answer: ShardedCache::named(
+                CacheFamily::Answer,
+                config.cache_shards,
+                config.answer_cache_capacity,
+            ),
+            lattice: ShardedCache::named(
+                CacheFamily::Lattice,
+                config.cache_shards,
+                config.lattice_cache_capacity,
+            ),
+            prop: ShardedCache::named(
+                CacheFamily::Prop,
+                config.cache_shards,
+                config.prop_cache_capacity,
+            ),
+            bound: ShardedCache::named(
+                CacheFamily::Bound,
+                config.cache_shards,
+                config.bound_cache_capacity,
+            ),
         });
         let planner = Arc::new(Planner::new(config.planner));
         let current = Arc::new(Snapshot::from_parts(SnapshotParts {
@@ -253,6 +277,7 @@ impl Session {
     /// maintenance already pays), never `O(|C| + knowns + dataset)`.
     fn publish(&mut self, mutated: Mutation) {
         self.epoch += 1;
+        EngineMetrics::global().epoch_publishes.inc();
         let prev = &self.current;
         let (premises, premise_props, fd_index) = if mutated == Mutation::Premises {
             (
@@ -546,6 +571,12 @@ impl Session {
         self.current.implies(goal)
     }
 
+    /// Decides `premises ⊨ goal` like [`Session::implies`], additionally
+    /// reporting the snapshot epoch and a per-stage latency decomposition.
+    pub fn explain(&self, goal: &DiffConstraint) -> crate::snapshot::ExplainOutcome {
+        self.current.explain(goal)
+    }
+
     /// Decides a whole batch of goals against the current premise set.
     ///
     /// In-batch duplicates are decided once and the cache-missing goals are
@@ -577,6 +608,17 @@ impl Session {
             prop_cache: self.caches.prop.stats(),
             bound_cache: self.caches.bound.stats(),
             cache_shards: self.caches.answer.shard_count(),
+            answer_occupancy: self.caches.answer.occupancy(),
+            route_latency_us: {
+                let mut out = [(0u64, 0u64); 4];
+                for (slot, kind) in diffcon::procedure::ALL_PROCEDURES.iter().enumerate() {
+                    let latency = self.planner.latency(*kind);
+                    if latency.count() > 0 {
+                        out[slot] = (latency.p50() / 1_000, latency.p99() / 1_000);
+                    }
+                }
+                out
+            },
             knowns: self.knowns.len(),
             dataset_baskets: self.dataset.as_deref().map_or(0, Dataset::len),
             premises: self.premises.len(),

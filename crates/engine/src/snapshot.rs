@@ -33,6 +33,7 @@ use diffcon_bounds::derive::{derive_propagated, derive_relaxed};
 use diffcon_bounds::problem::{BoundsConfig, BoundsProblem, DeriveError, DeriveRoute};
 use diffcon_bounds::{Interval, SideConditions};
 use diffcon_discover::{miner, Dataset, Discovery, MinerConfig};
+use diffcon_obs::Trace;
 use proplogic::implication::ImplicationConstraint;
 use relational::fd::FunctionalDependency;
 use setlat::{AttrSet, Universe};
@@ -91,6 +92,30 @@ impl BoundOutcome {
             self.route.name()
         }
     }
+}
+
+/// A fully-instrumented single-query decision: what [`Snapshot::implies`]
+/// would answer, plus the snapshot identity and a wall-clock decomposition
+/// of where the time went (the `explain` verb's payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainOutcome {
+    /// The decision, exactly as [`Snapshot::implies`] reports it (and with
+    /// the same accounting side effects: an explained query hits or feeds
+    /// the caches and counts in the planner like any other query).
+    pub outcome: QueryOutcome,
+    /// The epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Time probing the answer cache (zero for trivial goals).
+    pub probe: Duration,
+    /// Time planning the miss: route choice plus derived-data cache
+    /// attachment (zero for trivial goals and cache hits).
+    pub plan: Duration,
+    /// Time inside the decision procedure (zero for trivial goals and cache
+    /// hits).
+    pub decide: Duration,
+    /// Total wall-clock time answering, including the stages above and the
+    /// cache write-back.
+    pub total: Duration,
 }
 
 /// The sharded concurrent caches shared by every snapshot of one session:
@@ -340,6 +365,68 @@ impl Snapshot {
             procedure: Some(result.procedure),
             cached: false,
             elapsed: result.elapsed,
+        }
+    }
+
+    /// Decides `premises ⊨ goal` like [`Snapshot::implies`], additionally
+    /// reporting the snapshot epoch and a per-stage latency decomposition
+    /// (cache probe → planning → decision).  This *is* the ordinary query
+    /// path with trace marks — same caches, same planner accounting — so an
+    /// explained query observes exactly what serving it would cost.
+    pub fn explain(&self, goal: &DiffConstraint) -> ExplainOutcome {
+        let mut trace = Trace::start();
+        if goal.is_trivial() {
+            self.planner.record_trivial();
+            return ExplainOutcome {
+                outcome: QueryOutcome {
+                    implied: true,
+                    procedure: None,
+                    cached: false,
+                    elapsed: Duration::ZERO,
+                },
+                epoch: self.epoch,
+                probe: Duration::ZERO,
+                plan: Duration::ZERO,
+                decide: Duration::ZERO,
+                total: trace.total(),
+            };
+        }
+        let key = self.answer_key(goal);
+        let probed = self.probe_answer(&key, goal);
+        let probe = trace.stage("probe");
+        if let Some((implied, kind)) = probed {
+            self.planner.record_cache_hit(kind);
+            return ExplainOutcome {
+                outcome: QueryOutcome {
+                    implied,
+                    procedure: Some(kind),
+                    cached: true,
+                    elapsed: Duration::ZERO,
+                },
+                epoch: self.epoch,
+                probe,
+                plan: Duration::ZERO,
+                decide: Duration::ZERO,
+                total: trace.total(),
+            };
+        }
+        let job = self.plan_job(goal.clone());
+        let plan = trace.stage("plan");
+        let result = batch::decide_one(self, &job);
+        let decide = trace.stage("decide");
+        self.absorb_result(key, &job.goal, &result);
+        ExplainOutcome {
+            outcome: QueryOutcome {
+                implied: result.implied,
+                procedure: Some(result.procedure),
+                cached: false,
+                elapsed: result.elapsed,
+            },
+            epoch: self.epoch,
+            probe,
+            plan,
+            decide,
+            total: trace.total(),
         }
     }
 

@@ -1,0 +1,171 @@
+//! Observability invariants, property-tested end to end:
+//!
+//! * the Prometheus exposition rendered by [`EngineMetrics::exposition`]
+//!   always parses under the text-format grammar, never repeats a series,
+//!   and its counters are monotone across scrapes — for *any* request
+//!   traffic, including parse errors and no-session failures;
+//! * the route `explain` reports is always the route the planner actually
+//!   charged: the matching per-procedure counter (decided, cache-hit, or
+//!   trivial) grows by exactly one.
+
+use diffcon::procedure::ALL_PROCEDURES;
+use diffcon_engine::{EngineMetrics, Pipeline, Server, SessionConfig};
+use diffcon_obs::parse_exposition;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A request line drawn from every verb class, valid and malformed alike —
+/// the exposition must stay well-formed under arbitrary traffic.
+fn arb_request_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("universe 4".to_string()),
+        Just("assert A->{B}".to_string()),
+        Just("assert B->{C}".to_string()),
+        Just("retract A->{B}".to_string()),
+        Just("implies A->{C}".to_string()),
+        Just("implies AB->{B}".to_string()),
+        Just("batch A->{B} ; C->{D}".to_string()),
+        Just("witness C->{A}".to_string()),
+        Just("derive A->{B}".to_string()),
+        Just("explain A->{B}".to_string()),
+        Just("bound AB".to_string()),
+        Just("known A = 3".to_string()),
+        Just("trace on".to_string()),
+        Just("trace off".to_string()),
+        Just("stats".to_string()),
+        Just("premises".to_string()),
+        Just("frobnicate".to_string()),
+        Just("implies A->{Z}".to_string()),
+        Just("".to_string()),
+    ]
+}
+
+/// Counter samples (`*_total` series plus the bare counters) keyed by
+/// series identity, for cross-scrape monotonicity checks.
+fn counter_samples(text: &str) -> HashMap<String, f64> {
+    parse_exposition(text)
+        .expect("exposition must parse")
+        .into_iter()
+        .filter(|s| s.name.ends_with("_total"))
+        .map(|s| (s.key(), s.value))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any traffic mix leaves the exposition parseable, duplicate-free,
+    /// and with counters that only ever grow between scrapes.
+    #[test]
+    fn exposition_stays_wellformed_and_counters_monotone(
+        lines in proptest::collection::vec(arb_request_line(), 1..25),
+        threads in 1usize..3,
+    ) {
+        let before = counter_samples(&EngineMetrics::global().exposition());
+        let mut pipeline = Pipeline::new(SessionConfig::default(), threads);
+        for line in &lines {
+            let (_, quit) = pipeline.push_line(line);
+            if quit {
+                break;
+            }
+        }
+        pipeline.finish();
+        let text = EngineMetrics::global().exposition();
+        let series = parse_exposition(&text).expect("exposition must parse");
+        // No duplicate series: every (name, labels) identity appears once.
+        let mut seen = std::collections::HashSet::new();
+        for s in &series {
+            prop_assert!(seen.insert(s.key()), "duplicate series {}", s.key());
+        }
+        // Counters are monotone across scrapes.  Other tests run in
+        // parallel against the same global registry, so growth floors are
+        // the strongest safe assertion.
+        let after = counter_samples(&text);
+        for (key, earlier) in &before {
+            let later = after.get(key).copied().unwrap_or(f64::NAN);
+            prop_assert!(
+                later >= *earlier,
+                "counter {key} regressed: {earlier} -> {later}"
+            );
+        }
+        // The traffic we just pushed is visible: requests_total grew.
+        let requests = "diffcond_requests_total";
+        prop_assert!(
+            after[requests] > before[requests],
+            "requests_total did not grow: {} -> {}",
+            before[requests],
+            after[requests]
+        );
+    }
+
+    /// The route `explain` reports is the route the planner charged: the
+    /// matching counter (per-procedure decided / cache-hit, or trivial)
+    /// grows by exactly one, and no other route's does.
+    #[test]
+    fn explain_route_matches_planner_accounting(
+        lhs in 0u64..16,
+        members in proptest::collection::vec(0u64..16, 0..3),
+        premises in proptest::collection::vec((0u64..16, 0u64..16), 0..4),
+        repeat in any::<bool>(),
+    ) {
+        let mut server = Server::new(SessionConfig::default());
+        server.handle_line("universe 4");
+        for (p_lhs, p_rhs) in premises {
+            let u = server.session().unwrap().universe().clone();
+            let text = format!(
+                "assert {}->{{{}}}",
+                u.format_set(setlat::AttrSet::from_bits(p_lhs)),
+                u.format_set(setlat::AttrSet::from_bits(p_rhs)),
+            );
+            server.handle_line(&text);
+        }
+        let u = server.session().unwrap().universe().clone();
+        let member_texts: Vec<String> = members
+            .iter()
+            .map(|m| u.format_set(setlat::AttrSet::from_bits(*m)))
+            .collect();
+        let goal = format!(
+            "explain {}->{{{}}}",
+            u.format_set(setlat::AttrSet::from_bits(lhs)),
+            member_texts.join(",")
+        );
+        if repeat {
+            // Warm the answer cache so the cached route is exercised too.
+            server.handle_line(&goal);
+        }
+        let stats_before = server.session().unwrap().stats().planner;
+        let reply = server.handle_line(&goal).text;
+        let stats_after = server.session().unwrap().stats().planner;
+        prop_assert!(reply.starts_with("explain verdict="), "got: {reply}");
+        let field = |key: &str| -> String {
+            reply
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("{key} missing: {reply}"))
+                .to_string()
+        };
+        let route = field("route");
+        let cached = field("cached") == "1";
+        if route == "trivial" {
+            prop_assert_eq!(stats_after.trivial, stats_before.trivial + 1, "trivial: {}", reply);
+        } else {
+            for kind in ALL_PROCEDURES {
+                let before = stats_before.of(kind);
+                let after = stats_after.of(kind);
+                let charged = kind.name() == route;
+                let (expect_decided, expect_hits) = if charged && cached {
+                    (before.decided, before.cache_hits + 1)
+                } else if charged {
+                    (before.decided + 1, before.cache_hits)
+                } else {
+                    (before.decided, before.cache_hits)
+                };
+                prop_assert_eq!(
+                    (after.decided, after.cache_hits),
+                    (expect_decided, expect_hits),
+                    "route {} counters for {}: {}", kind.name(), route, reply
+                );
+            }
+        }
+    }
+}

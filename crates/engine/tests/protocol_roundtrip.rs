@@ -79,6 +79,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::collection::vec(arb_constraint_text(), 1..4).prop_map(Request::Batch),
         arb_constraint_text().prop_map(Request::Witness),
         arb_constraint_text().prop_map(Request::Derive),
+        arb_constraint_text().prop_map(Request::Explain),
+        any::<bool>().prop_map(Request::Trace),
         (arb_set_text(), -100.0f64..100.0).prop_map(|(s, v)| Request::Known(s, v)),
         arb_set_text().prop_map(Request::Forget),
         arb_set_text().prop_map(Request::Bound),
@@ -118,7 +120,19 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
     if line.is_empty() {
         return; // Request::Empty
     }
-    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let mut tokens: Vec<&str> = line.split_whitespace().collect();
+    // Under `trace on` every deferred-query reply carries a trailing
+    // ` epoch=N` suffix; validate and strip it before the per-head checks
+    // (which pin arities for `results`, `witness`, and `mined`).
+    if matches!(
+        tokens[0],
+        "yes" | "no" | "results" | "witness" | "proof" | "unprovable" | "bound" | "mined" | "err"
+    ) {
+        if let Some(epoch) = tokens.last().and_then(|t| t.strip_prefix("epoch=")) {
+            assert!(epoch.parse::<u64>().is_ok(), "epoch not numeric: {line}");
+            tokens.pop();
+        }
+    }
     let (head, rest) = (tokens[0], &tokens[1..]);
     let parses_as_constraint = |text: &str| {
         universe
@@ -224,6 +238,31 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
                 "queries missing: {line}"
             );
         }
+        "explain" => {
+            let verdict =
+                field_value(rest, "verdict").unwrap_or_else(|| panic!("verdict missing: {line}"));
+            assert!(
+                verdict == "yes" || verdict == "no",
+                "explain verdict: {line}"
+            );
+            let route =
+                field_value(rest, "route").unwrap_or_else(|| panic!("route missing: {line}"));
+            assert!(
+                ["trivial", "fd", "lattice", "sat"].contains(&route),
+                "explain route: {line}"
+            );
+            for key in [
+                "cached",
+                "epoch",
+                "probe_us",
+                "plan_us",
+                "decide_us",
+                "total_us",
+            ] {
+                let v = field_value(rest, key).unwrap_or_else(|| panic!("{key} missing: {line}"));
+                assert!(is_number(v), "{key} not numeric: {line}");
+            }
+        }
         "sessions" => {
             let n: usize = field_value(rest, "n")
                 .and_then(|v| v.parse().ok())
@@ -320,6 +359,13 @@ fn every_response_verb_is_covered() {
         "witness A->{B}",
         "derive A->{B}",
         "derive B->{A}",
+        "explain A->{B}",
+        "explain B->{A}",
+        "trace on",
+        "implies A->{B}",
+        "witness A->{B}",
+        "batch A->{B} ; B->{A}",
+        "trace off",
         "known A = 3",
         "bound AB",
         "knowns",

@@ -1,0 +1,943 @@
+//! # diffcon-obs — hermetic observability primitives for the serving stack
+//!
+//! The engine workspace builds without crate-registry access, so this crate
+//! supplies — std-only, in the same vendored-shim spirit as `vendor/rand`
+//! and `vendor/rayon` — the observability toolkit the serving crates
+//! instrument themselves with:
+//!
+//! * [`Counter`] and [`Gauge`]: relaxed atomic scalars.
+//! * [`Histogram`]: a lock-free log-bucketed value histogram (16 sub-buckets
+//!   per octave, ≤ 6.25 % relative bucket error) with exact count/sum/max,
+//!   bucket-wise merge ([`Histogram::absorb`]), and immutable
+//!   [`HistogramSnapshot`]s answering p50/p90/p99/p999 quantiles.
+//! * [`Trace`]: a lightweight per-request stage timer (named marks against
+//!   one `Instant` clock) for `explain`-style latency decomposition.
+//! * [`Exposition`]: a Prometheus-text-format (version 0.0.4) builder that
+//!   emits one `# TYPE` line per family and renders histograms as summary
+//!   series (`{quantile="…"}` plus `_sum`/`_count`), with a matching
+//!   [`parse_exposition`] validator used by the property tests and smoke
+//!   checks.
+//! * [`TextServer`]: a one-shot HTTP `GET` responder over
+//!   `std::net::TcpListener` (each request re-renders the text body), plus
+//!   [`fetch`], the matching one-shot client for tests and smoke scripts.
+//!
+//! Every recording operation is a handful of relaxed atomic RMWs — no locks,
+//! no allocation — so the engine can leave instrumentation enabled on its
+//! hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotone event counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `value`.
+    pub fn raise(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: `SUB` exact linear buckets for values below `SUB`,
+/// then `SUB` buckets for each of the 60 octaves `[2^4, 2^64)`.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index of `value` (log-linear, monotone in `value`).
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let mantissa = ((value >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (exp - SUB_BITS + 1) as usize * SUB + mantissa
+    }
+}
+
+/// A representative value for bucket `index`: the bucket midpoint (exact for
+/// the linear buckets), so quantile estimates sit inside the bucket rather
+/// than at its edge.
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let exp = (index / SUB) as u32 + SUB_BITS - 1;
+        let mantissa = (index % SUB) as u64;
+        let lower = (1u64 << exp) + (mantissa << (exp - SUB_BITS));
+        lower + (1u64 << (exp - SUB_BITS)) / 2
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` observations.
+///
+/// Buckets are log-linear — 16 equal sub-buckets per power of two — so
+/// quantile estimates carry at most a 1/16 relative bucket error across the
+/// full `u64` range while recording stays one relaxed `fetch_add` per bucket
+/// plus exact count/sum/max maintenance.  Histograms merge bucket-wise
+/// ([`Histogram::absorb`]), which is what makes per-shard or per-thread
+/// histograms aggregatable without locks.
+///
+/// The unit is the caller's: the engine records nanoseconds for latencies
+/// and raw counts for sizes, and chooses the display scale at exposition
+/// time.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Merges every observation of `other` into `self`, bucket-wise.
+    pub fn absorb(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time immutable copy for quantile queries.  Concurrent
+    /// recording keeps the snapshot internally consistent to within the
+    /// in-flight operations (counts may trail buckets by a few events).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of the observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`): the representative value
+    /// of the bucket holding the ceil(q·count)-th smallest observation.
+    /// Returns 0 for an empty snapshot; `q = 1.0` returns the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_value(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The observations recorded after `baseline` was taken: bucket-wise
+    /// saturating subtraction.  This is how a bench phase reads *its own*
+    /// latency distribution out of a process-lifetime histogram: snapshot
+    /// before, snapshot after, subtract.  (The max is the lifetime max — a
+    /// windowed max is not recoverable from merged buckets — so `minus`
+    /// re-derives it from the surviving buckets' upper range.)
+    pub fn minus(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(baseline.buckets.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let max = buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map_or(0, |(index, _)| bucket_value(index).min(self.max));
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            max,
+        }
+    }
+}
+
+/// A per-request trace context: named stage marks against one monotone
+/// clock, for `explain`-style latency decomposition.
+///
+/// ```
+/// # use diffcon_obs::Trace;
+/// let mut trace = Trace::start();
+/// // … parse the request …
+/// trace.stage("parse");
+/// // … evaluate it …
+/// trace.stage("decide");
+/// assert_eq!(trace.stages().len(), 2);
+/// assert!(trace.total() >= trace.stages().iter().map(|(_, d)| *d).sum());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    start: Instant,
+    last: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Trace {
+    /// Starts the clock.
+    pub fn start() -> Trace {
+        let now = Instant::now();
+        Trace {
+            start: now,
+            last: now,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Closes the current stage under `name`, recording the time elapsed
+    /// since the previous mark (or since the start), and returns it.
+    pub fn stage(&mut self, name: &'static str) -> Duration {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last);
+        self.last = now;
+        self.stages.push((name, elapsed));
+        elapsed
+    }
+
+    /// The recorded stages, in order.
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// Total time since the trace started.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// A Prometheus-text-format (0.0.4) exposition builder.
+///
+/// Families self-register on first use — one `# TYPE` line each, in emission
+/// order — and histograms render as Prometheus *summary* families: one
+/// `{quantile="…"}` series per quantile plus `_sum` and `_count`.  The
+/// builder panics (debug assertions) on malformed metric names, which keeps
+/// the grammar errors at the emitting call site instead of in the scraper.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    typed: Vec<String>,
+}
+
+/// Quantiles every summary family reports.
+const SUMMARY_QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        if !self.typed.iter().any(|t| t == name) {
+            self.typed.push(name.to_string());
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn series(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = write!(self.out, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.out, "{{");
+            for (slot, (key, val)) in labels.iter().enumerate() {
+                debug_assert!(valid_metric_name(key), "invalid label name {key:?}");
+                let sep = if slot == 0 { "" } else { "," };
+                let _ = write!(self.out, "{sep}{key}=\"{}\"", escape_label(val));
+            }
+            let _ = write!(self.out, "}}");
+        }
+        let _ = writeln!(self.out, " {}", format_value(value));
+    }
+
+    /// Emits a counter series.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.type_line(name, "counter");
+        self.series(name, labels, value as f64);
+    }
+
+    /// Emits a gauge series.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.type_line(name, "gauge");
+        self.series(name, labels, value as f64);
+    }
+
+    /// Emits a histogram snapshot as a summary family: one series per
+    /// summary quantile (0.5/0.9/0.99/0.999) plus `name_sum` and
+    /// `name_count`.
+    /// Recorded values are divided by `scale` for display (e.g. nanosecond
+    /// recordings with `scale = 1e3` expose microseconds).
+    pub fn summary(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        self.type_line(name, "summary");
+        let mut labeled: Vec<(&str, &str)> = labels.to_vec();
+        for (q, text) in SUMMARY_QUANTILES {
+            labeled.push(("quantile", text));
+            self.series(name, &labeled, snapshot.quantile(q) as f64 / scale);
+            labeled.pop();
+        }
+        let sum_name = format!("{name}_sum");
+        let count_name = format!("{name}_count");
+        self.series(&sum_name, labels, snapshot.sum() as f64 / scale);
+        self.series(&count_name, labels, snapshot.count() as f64);
+    }
+
+    /// The rendered exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// `true` when `name` is a valid Prometheus metric or label name.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escapes a label value per the text format (`\\`, `\"`, `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a value the text format accepts (finite decimal, no exponent
+/// surprises for integral values).
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// One sample series parsed out of an exposition body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name (`name` in `name{labels} value`).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Series {
+    /// A canonical identity for duplicate detection: the name plus the
+    /// label pairs in source order.
+    pub fn key(&self) -> String {
+        let mut key = self.name.clone();
+        for (name, value) in &self.labels {
+            key.push('\u{1}');
+            key.push_str(name);
+            key.push('=');
+            key.push_str(value);
+        }
+        key
+    }
+}
+
+/// Parses and validates a Prometheus-text exposition body: every non-comment
+/// line must match the `name{label="value",…} value` grammar, names must be
+/// valid, and values must be finite numbers.  Returns the sample series in
+/// source order.
+///
+/// # Errors
+/// A description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Series>, String> {
+    let mut series = Vec::new();
+    for (slot, line) in text.lines().enumerate() {
+        let lineno = slot + 1;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if let Some("TYPE") = words.next() {
+                let name = words
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a name"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: invalid TYPE name {name:?}"));
+                }
+                match words.next() {
+                    Some("counter" | "gauge" | "summary" | "histogram" | "untyped") => {}
+                    other => return Err(format!("line {lineno}: invalid TYPE kind {other:?}")),
+                }
+            }
+            continue;
+        }
+        series.push(parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(series)
+}
+
+/// Parses one `name{label="value",…} value` sample line.
+fn parse_sample(line: &str) -> Result<Series, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or("sample line without a value")?;
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(body) = rest.strip_prefix('{') {
+        let close = body.find('}').ok_or("unterminated label set")?;
+        let (pairs, after) = body.split_at(close);
+        rest = &after[1..];
+        let mut cursor = pairs;
+        while !cursor.is_empty() {
+            let eq = cursor.find('=').ok_or("label without '='")?;
+            let label = &cursor[..eq];
+            if !valid_metric_name(label) {
+                return Err(format!("invalid label name {label:?}"));
+            }
+            let quoted = cursor[eq + 1..]
+                .strip_prefix('"')
+                .ok_or("label value not quoted")?;
+            let endq = find_unescaped_quote(quoted).ok_or("unterminated label value")?;
+            labels.push((label.to_string(), unescape_label(&quoted[..endq])));
+            cursor = &quoted[endq + 1..];
+            cursor = cursor.strip_prefix(',').unwrap_or(cursor);
+        }
+    }
+    let value_text = rest.trim();
+    if value_text.is_empty() || value_text.contains(char::is_whitespace) {
+        return Err(format!("malformed value field {value_text:?}"));
+    }
+    let value: f64 = value_text
+        .parse()
+        .map_err(|_| format!("unparseable value {value_text:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite value {value_text:?}"));
+    }
+    Ok(Series {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// The byte offset of the first `"` in `text` not preceded by a backslash.
+fn find_unescaped_quote(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut slot = 0;
+    while slot < bytes.len() {
+        match bytes[slot] {
+            b'\\' => slot += 2,
+            b'"' => return Some(slot),
+            _ => slot += 1,
+        }
+    }
+    None
+}
+
+/// Undoes [`escape_label`].
+fn unescape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Shared [`TextServer`] stop flag.
+#[derive(Debug, Default)]
+struct ServerState {
+    shutdown: AtomicBool,
+}
+
+/// Stops a running [`TextServer`] accept loop from another thread.
+#[derive(Debug, Clone)]
+pub struct TextServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl TextServerHandle {
+    /// Flags shutdown and pokes the accept loop awake.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A minimal one-shot HTTP text endpoint: every `GET` re-renders the body
+/// and answers `200 text/plain; version=0.0.4` with `Connection: close`.
+/// This is the `--metrics-addr` scrape surface — single-threaded by design
+/// (a scrape is one small read and one small write; serving it inline keeps
+/// the server dependency-free and unexciting).
+#[derive(Debug)]
+pub struct TextServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl TextServer {
+    /// Binds the listening socket (port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TextServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TextServer {
+            listener,
+            addr,
+            state: Arc::new(ServerState::default()),
+        })
+    }
+
+    /// The bound address (the actual port, when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop [`TextServer::run`].
+    pub fn handle(&self) -> TextServerHandle {
+        TextServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves requests until the handle flags shutdown.  `render` is called
+    /// once per request; connection-level errors (slow or vanished clients)
+    /// drop that connection and keep serving.
+    pub fn run(self, render: impl Fn() -> String) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = answer_one(stream, &render);
+        }
+        Ok(())
+    }
+}
+
+/// Reads one HTTP request head and answers it with the rendered body.
+fn answer_one(mut stream: TcpStream, render: &impl Fn() -> String) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the request head; cap the head at 8
+    // KiB so a garbage client cannot buffer unboundedly.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.len() > 8 * 1024 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let response = if request.starts_with("GET ") {
+        let body = render();
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        "HTTP/1.0 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+            .to_string()
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot HTTP `GET /metrics` against `addr`, returning the response
+/// body.  The matching client for [`TextServer`] — what the smoke tests and
+/// examples scrape with when `curl` is not around.
+///
+/// # Errors
+/// Propagates connection and read failures; a non-200 status surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn fetch(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no HTTP header terminator"))?;
+    if !head.contains("200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("non-200 response: {}", head.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_within_error() {
+        let mut values: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            for offset in [0u64, 1, 3] {
+                values.push((1u64 << exp).saturating_add(offset << exp.saturating_sub(3)));
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        let mut last = 0usize;
+        for &v in &values {
+            let index = bucket_index(v);
+            assert!(index >= last, "index regressed at {v}");
+            assert!(index < BUCKETS);
+            last = index;
+            let rep = bucket_value(index);
+            if v >= SUB as u64 {
+                let err = rep.abs_diff(v) as f64 / v as f64;
+                assert!(err <= 1.0 / SUB as f64, "bucket error {err} at {v}");
+            } else {
+                assert_eq!(rep, v, "linear buckets are exact");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        assert_eq!(s.max(), 1000);
+        let p50 = s.p50() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 0.07, "p50 {p50}");
+        let p99 = s.p99() as f64;
+        assert!((p99 - 990.0).abs() / 990.0 <= 0.07, "p99 {p99}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.p999() <= 1000);
+    }
+
+    #[test]
+    fn absorb_merges_and_minus_subtracts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        let before = a.snapshot();
+        a.absorb(&b);
+        let after = a.snapshot();
+        assert_eq!(after.count(), 200);
+        assert_eq!(after.max(), 1099);
+        let delta = after.minus(&before);
+        assert_eq!(delta.count(), 100);
+        assert_eq!(delta.sum(), b.snapshot().sum());
+        assert!(delta.p50() >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn trace_records_ordered_stages() {
+        let mut t = Trace::start();
+        t.stage("one");
+        std::thread::sleep(Duration::from_millis(1));
+        let second = t.stage("two");
+        assert!(second >= Duration::from_millis(1));
+        let names: Vec<_> = t.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["one", "two"]);
+        assert!(t.total() >= second);
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut exp = Exposition::new();
+        exp.counter("demo_requests_total", &[], 7);
+        exp.counter(
+            "demo_cache_ops_total",
+            &[("cache", "answer"), ("outcome", "hit")],
+            3,
+        );
+        exp.counter(
+            "demo_cache_ops_total",
+            &[("cache", "answer"), ("outcome", "miss")],
+            4,
+        );
+        exp.gauge("demo_queue_depth", &[], 2);
+        exp.summary("demo_latency_us", &[("stage", "plan")], &h.snapshot(), 1e3);
+        let text = exp.finish();
+        assert_eq!(
+            text.matches("# TYPE demo_cache_ops_total counter").count(),
+            1,
+            "one TYPE line per family"
+        );
+        let series = parse_exposition(&text).expect("own output must parse");
+        let mut keys: Vec<String> = series.iter().map(Series::key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "no duplicate series");
+        let count = series
+            .iter()
+            .find(|s| s.name == "demo_latency_us_count")
+            .unwrap();
+        assert_eq!(count.value, 4.0);
+        let hit = series
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "hit"))
+            .unwrap();
+        assert_eq!(hit.value, 3.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("ok 1").is_ok());
+        assert!(parse_exposition("1bad 1").is_err());
+        assert!(parse_exposition("name{l=\"v\" 1").is_err());
+        assert!(parse_exposition("name nan").is_err());
+        assert!(parse_exposition("name").is_err());
+        assert!(parse_exposition("# TYPE name wat").is_err());
+        assert!(parse_exposition("# random comment\nname 2.5").is_ok());
+    }
+
+    #[test]
+    fn label_escaping_roundtrips() {
+        let mut exp = Exposition::new();
+        exp.counter("demo_total", &[("q", "a\"b\\c\nd")], 1);
+        let text = exp.finish();
+        let series = parse_exposition(&text).unwrap();
+        assert_eq!(series[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn text_server_serves_and_shuts_down() {
+        let server = TextServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run(|| "demo_total 1\n".to_string()));
+        let body = fetch(addr).expect("scrape");
+        assert_eq!(body, "demo_total 1\n");
+        // A second scrape re-renders.
+        assert_eq!(fetch(addr).unwrap(), "demo_total 1\n");
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn non_get_requests_are_refused() {
+        let server = TextServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run(String::new));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("405"), "{response}");
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+}
