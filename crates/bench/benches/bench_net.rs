@@ -230,12 +230,14 @@ fn emit_json_report() {
         "N1: server-side stage latency (histogram-derived, whole bench window)",
         ["stage", "samples", "p50_us", "p99_us"],
     );
+    let mut stage_samples: Vec<(&str, u64)> = Vec::new();
     for ((stage, histogram), (_, base)) in stage_histograms().iter().zip(&stage_base) {
         let window = histogram.snapshot().minus(base);
         let (stage_p50, stage_p99) = (window.p50() as f64 / 1e3, window.p99() as f64 / 1e3);
         report.push_metric(format!("stage_{stage}_samples"), window.count() as f64);
         report.push_metric(format!("stage_{stage}_p50_us"), stage_p50);
         report.push_metric(format!("stage_{stage}_p99_us"), stage_p99);
+        stage_samples.push((stage, window.count()));
         stage_table.push_row([
             (*stage).to_string(),
             window.count().to_string(),
@@ -248,6 +250,22 @@ fn emit_json_report() {
         );
     }
     stage_table.eprint();
+    // The reply stage is timed per reply written, so its sample count must
+    // track the per-request frame count (every request in these scripts
+    // gets a non-empty reply) — not one sample per flushed wave, the
+    // undersampling this pins against.
+    let count_of = |name: &str| {
+        stage_samples
+            .iter()
+            .find(|(stage, _)| *stage == name)
+            .map(|(_, count)| *count as f64)
+            .expect("stage present")
+    };
+    let (frames, replies) = (count_of("frame"), count_of("reply"));
+    assert!(
+        replies >= frames * 0.95,
+        "reply stage undersampled: {replies} reply samples for {frames} framed requests"
+    );
 
     handle.shutdown();
     report.push_table(table);

@@ -20,7 +20,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon_bench::workloads;
 use diffcon_bench::{JsonReport, Table};
-use diffcon_engine::{EngineMetrics, LruCache, Session, ShardedCache};
+use diffcon_engine::{
+    EngineMetrics, FlightRecord, LruCache, Server, Session, SessionConfig, ShardedCache,
+};
 use diffcon_obs::HistogramSnapshot;
 use std::sync::Arc;
 use std::time::Instant;
@@ -132,6 +134,69 @@ fn cache_hit_latency() -> (f64, f64, f64) {
     (lru_ns, sharded_ns, tagged_ns)
 }
 
+/// Per-request nanoseconds the flight recorder adds to the hot path: the
+/// full record lifecycle the serving stack pays per query — construct,
+/// box (as `Reply::attach_flight` does), encode, and commit into the
+/// process-global ring — measured A/B against the same loop without it,
+/// the same differencing methodology as `metrics_publish_overhead_ns`.
+fn flight_record_overhead() -> f64 {
+    const KEYS: u64 = 1024;
+    const PASSES: u64 = 200;
+    let measure = |mut op: Box<dyn FnMut(u64) -> u64>| {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..PASSES {
+            for k in 0..KEYS {
+                acc += op(k);
+            }
+        }
+        criterion::black_box(acc);
+        start.elapsed().as_secs_f64() * 1e9 / (PASSES * KEYS) as f64
+    };
+    let base_ns = measure(Box::new(|k| k.wrapping_mul(0x9e37_79b9)));
+    let flight_ns = measure(Box::new(|k| {
+        let record = FlightRecord {
+            trace: (1 << 32) | k,
+            conn: 1,
+            slot: 0,
+            verb: "implies",
+            route: "fd",
+            cached: true,
+            bytes_in: 32,
+            bytes_out: 27,
+            frame_ns: 250,
+            queue_ns: k,
+            plan_ns: 1_000,
+            decide_ns: 500,
+            reply_ns: 0,
+            epoch: 2,
+        };
+        record.commit(800, 27);
+        k.wrapping_mul(0x9e37_79b9)
+    }));
+    flight_ns - base_ns
+}
+
+/// Warm per-request nanoseconds of a cached query through the full
+/// protocol server — parse, session lookup, cache-hit decision, reply
+/// formatting, and the always-on flight record itself.  This is the unit
+/// of work that pays exactly one flight record, so it is the denominator
+/// the recorder overhead is held under 5% of.
+fn warm_request_ns() -> f64 {
+    const PASSES: u64 = 50_000;
+    let mut server = Server::new(SessionConfig::default());
+    server.handle_line("universe 4");
+    server.handle_line("assert A->{B}");
+    for _ in 0..1_000 {
+        criterion::black_box(server.handle_line("implies A->{B}"));
+    }
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        criterion::black_box(server.handle_line("implies A->{B}"));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / PASSES as f64
+}
+
 fn emit_json_report() {
     // Baseline the process-global per-route decision histograms: the window
     // measured below covers the cold warmup decisions plus every warm pass,
@@ -212,6 +277,17 @@ fn emit_json_report() {
     report.push_metric("sharded_overhead_ns", sharded_ns - lru_ns);
     report.push_metric("tagged_hit_ns", tagged_ns);
     report.push_metric("metrics_publish_overhead_ns", tagged_ns - sharded_ns);
+    let flight_ns = flight_record_overhead();
+    let request_ns = warm_request_ns();
+    report.push_metric("flight_record_overhead_ns", flight_ns);
+    report.push_metric("warm_request_ns", request_ns);
+    // The always-on flight recorder must stay negligible: under 5% of the
+    // warm cached request it instruments.
+    assert!(
+        flight_ns < request_ns * 0.05,
+        "flight recording costs {flight_ns:.1} ns/request, over 5% of the \
+         {request_ns:.0} ns warm request cost"
+    );
 
     // Histogram-derived decision latency per implication route, windowed to
     // this bench's traffic.  Routes the workload never exercised are

@@ -13,6 +13,7 @@
 //!        diffcond serve [--addr HOST:PORT] [--max-conns N]
 //!                       [--max-request-bytes N] [--metrics-addr HOST:PORT]
 //!                       [same engine flags]
+//!        diffcond top [--metrics-addr HOST:PORT] [--interval-ms N] [--once]
 //! ```
 //!
 //! `diffcond serve` serves the identical protocol over TCP
@@ -25,6 +26,12 @@
 //! `--slow-query-us N`, queries whose evaluation takes at least `N`
 //! microseconds are logged to stderr with their reconstructed request line
 //! (applies to `serve` and `--threads` pipelined serving).
+//!
+//! `diffcond top` is the matching client-side dashboard: it polls a
+//! `--metrics-addr` exposition endpoint and renders request/stage/cost
+//! summaries — including the per-session and per-connection attribution
+//! series — refreshing in place every `--interval-ms` (or printing one
+//! snapshot with `--once`).
 //!
 //! With `--threads N` (N > 1) the server scans requests serially but
 //! evaluates the read-only query verbs (`implies`, `batch`, `bound`,
@@ -87,14 +94,41 @@ Network serving:
   metrics as Prometheus text exposition on any GET (e.g.
   `curl http://HOST:PORT/metrics`): request/reply/connection counters,
   per-stage latency summaries (frame/queue/plan/reply), per-route planner
-  latency, per-family cache hit/miss/eviction/collision counters, and
-  snapshot epoch publish rates.";
+  latency, per-family cache hit/miss/eviction/collision counters,
+  per-session and per-connection cost attribution, and snapshot epoch
+  publish rates.
+
+Live dashboard:
+  diffcond top [--metrics-addr HOST:PORT] [--interval-ms N] [--once]
+
+  Polls the Prometheus exposition a `diffcond serve --metrics-addr`
+  process publishes and renders totals, per-stage p50/p99 latencies, and
+  the busiest sessions and connections by attributed cost.  Refreshes in
+  place every --interval-ms (default 1000); with --once, prints a single
+  snapshot and exits (scriptable).  Default --metrics-addr 127.0.0.1:9100.";
 
 struct Options {
     config: SessionConfig,
     threads: usize,
     slow_query_us: Option<u64>,
     serve: Option<ServeOptions>,
+    top: Option<TopOptions>,
+}
+
+struct TopOptions {
+    metrics_addr: String,
+    interval_ms: u64,
+    once: bool,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            metrics_addr: "127.0.0.1:9100".into(),
+            interval_ms: 1000,
+            once: false,
+        }
+    }
 }
 
 struct ServeOptions {
@@ -124,6 +158,41 @@ fn parse_args() -> Result<Options, String> {
     if args.peek().map(String::as_str) == Some("serve") {
         args.next();
         serve = Some(ServeOptions::default());
+    } else if args.peek().map(String::as_str) == Some("top") {
+        args.next();
+        let mut top = TopOptions::default();
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--metrics-addr" => {
+                    top.metrics_addr = args.next().ok_or("--metrics-addr expects HOST:PORT")?;
+                }
+                "--interval-ms" => {
+                    let value = args
+                        .next()
+                        .ok_or("--interval-ms expects a number of milliseconds")?;
+                    let n: u64 = value
+                        .parse()
+                        .map_err(|_| format!("--interval-ms expects a number, got `{value}`"))?;
+                    if n == 0 {
+                        return Err("--interval-ms must be at least 1".into());
+                    }
+                    top.interval_ms = n;
+                }
+                "--once" => top.once = true,
+                "--help" | "-h" => {
+                    let _ = writeln!(std::io::stdout(), "{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown `top` option `{other}` (try --help)")),
+            }
+        }
+        return Ok(Options {
+            config,
+            threads,
+            slow_query_us,
+            serve: None,
+            top: Some(top),
+        });
     }
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -218,6 +287,7 @@ fn parse_args() -> Result<Options, String> {
         threads,
         slow_query_us,
         serve,
+        top: None,
     })
 }
 
@@ -353,6 +423,129 @@ fn serve_net(
     }
 }
 
+/// Live dashboard: poll the exposition endpoint and render cost summaries.
+/// `--once` prints a single snapshot and exits; otherwise the terminal is
+/// cleared and redrawn every interval until killed.
+fn run_top(options: TopOptions) {
+    loop {
+        let frame = diffcon_obs::fetch(&options.metrics_addr)
+            .map_err(|e| format!("cannot scrape {}: {e}", options.metrics_addr))
+            .and_then(|text| {
+                diffcon_obs::parse_exposition(&text)
+                    .map_err(|e| format!("malformed exposition from {}: {e}", options.metrics_addr))
+            })
+            .map(|series| render_top(&options.metrics_addr, &series));
+        match frame {
+            Ok(frame) if options.once => {
+                print!("{frame}");
+                return;
+            }
+            Ok(frame) => {
+                // ANSI clear + home so the dashboard redraws in place.
+                print!("\x1b[2J\x1b[H{frame}");
+                let _ = std::io::stdout().flush();
+            }
+            Err(message) if options.once => {
+                eprintln!("diffcond: {message}");
+                std::process::exit(1);
+            }
+            // A transient scrape failure must not kill a live dashboard:
+            // report it and keep polling.
+            Err(message) => eprintln!("diffcond: {message}"),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
+/// Formats one dashboard frame from a parsed exposition scrape.
+fn render_top(addr: &str, series: &[diffcon_obs::Series]) -> String {
+    let find = |name: &str, labels: &[(&str, &str)]| -> Option<f64> {
+        series
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(key, value)| s.labels.iter().any(|(k, v)| k == key && v == value))
+            })
+            .map(|s| s.value)
+    };
+    let total = |name: &str| find(name, &[]).unwrap_or(0.0);
+    let label_of = |s: &diffcon_obs::Series, key: &str| -> String {
+        s.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    let mut out = format!("diffcond top — {addr}\n");
+    out.push_str(&format!(
+        "requests={} replies={} parse_errors={} connections={} flight_records={} queue_depth={}\n",
+        total("diffcond_requests_total"),
+        total("diffcond_replies_total"),
+        total("diffcond_parse_errors_total"),
+        total("diffcond_connections_total"),
+        total("diffcond_flight_records_total"),
+        total("diffcond_queue_depth"),
+    ));
+    out.push_str(&format!(
+        "bytes read={} written={}\n",
+        find("diffcond_bytes_total", &[("direction", "read")]).unwrap_or(0.0),
+        find("diffcond_bytes_total", &[("direction", "written")]).unwrap_or(0.0),
+    ));
+    out.push_str("stage latency us (p50/p99):");
+    for stage in ["frame", "queue", "plan", "reply"] {
+        let quantile = |q: &str| {
+            find(
+                "diffcond_stage_latency_us",
+                &[("stage", stage), ("quantile", q)],
+            )
+            .unwrap_or(0.0)
+        };
+        out.push_str(&format!(
+            " {stage} {}/{}",
+            quantile("0.5"),
+            quantile("0.99")
+        ));
+    }
+    out.push('\n');
+    // Busiest sessions by attributed query count.
+    let mut sessions: Vec<(String, String, f64)> = series
+        .iter()
+        .filter(|s| s.name == "diffcond_session_queries_total")
+        .map(|s| (label_of(s, "conn"), label_of(s, "slot"), s.value))
+        .collect();
+    sessions.sort_by(|a, b| b.2.total_cmp(&a.2));
+    out.push_str("sessions (conn:slot queries decide_us queue_us cache_hits):\n");
+    for (conn, slot, queries) in sessions.iter().take(10) {
+        let labels = [("conn", conn.as_str()), ("slot", slot.as_str())];
+        out.push_str(&format!(
+            "  {conn}:{slot}  {queries}  {}  {}  {}\n",
+            find("diffcond_session_decide_us_total", &labels).unwrap_or(0.0),
+            find("diffcond_session_queue_us_total", &labels).unwrap_or(0.0),
+            find("diffcond_session_cache_hits_total", &labels).unwrap_or(0.0),
+        ));
+    }
+    // Busiest connections by attributed request count.
+    let mut conns: Vec<(String, f64)> = series
+        .iter()
+        .filter(|s| s.name == "diffcond_connection_requests_total")
+        .map(|s| (label_of(s, "conn"), s.value))
+        .collect();
+    conns.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out.push_str("connections (conn requests bytes_read bytes_written):\n");
+    for (conn, requests) in conns.iter().take(10) {
+        let read = [("conn", conn.as_str()), ("direction", "read")];
+        let written = [("conn", conn.as_str()), ("direction", "written")];
+        out.push_str(&format!(
+            "  {conn}  {requests}  {}  {}\n",
+            find("diffcond_connection_bytes_total", &read).unwrap_or(0.0),
+            find("diffcond_connection_bytes_total", &written).unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
 fn main() {
     let options = match parse_args() {
         Ok(options) => options,
@@ -361,7 +554,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(serve) = options.serve {
+    if let Some(top) = options.top {
+        run_top(top);
+    } else if let Some(serve) = options.serve {
         serve_net(
             options.config,
             options.threads,

@@ -42,6 +42,16 @@
 //!   admission limits, error replies (never panics or dropped loops) for
 //!   malformed frames, a connection cap, and a blocking typed client for
 //!   programs, tests, and load generators.
+//! * **Observability** ([`metrics::EngineMetrics`]) — a process-wide
+//!   lock-free registry of counters and stage-latency histograms with a
+//!   Prometheus text exposition, plus a request-scoped flight recorder
+//!   ([`metrics::FlightRecord`]): every completed query writes its trace
+//!   id, connection/slot, verb, route, cache outcome, byte counts, and
+//!   per-stage latency into a fixed-capacity overwrite-oldest ring, dumped
+//!   live by the `debug recent` / `debug trace` verbs; per-session and
+//!   per-connection cost attribution ([`metrics::SessionCosts`],
+//!   [`metrics::ConnCosts`]) feeds `session list`, `stats`, and labeled
+//!   exposition series; `stats recent` reports windowed live rates.
 //! * **An adaptive planner** ([`planner::Planner`]) that routes each query
 //!   to the cheapest sound procedure — trivial goals inline, the polynomial
 //!   FD fast path when the instance lies in the single-member fragment, the
@@ -119,7 +129,10 @@ pub mod snapshot;
 pub use cache::{version_salt, CacheStats, LruCache, ShardOccupancy, ShardedCache, VersionedKey};
 pub use client::{Client, ClientError};
 pub use intern::{ConstraintId, ConstraintInterner};
-pub use metrics::{CacheFamily, EngineMetrics};
+pub use metrics::{
+    next_connection_id, CacheFamily, ConnCosts, EngineMetrics, FlightRecord, RecentStats,
+    SessionCosts,
+};
 pub use net::{NetConfig, NetServer, ShutdownHandle};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server, Step};

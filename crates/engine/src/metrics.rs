@@ -29,12 +29,38 @@
 //! gauges directly and histograms as summary families (`quantile` labels
 //! plus `_sum`/`_count`); `diffcond serve --metrics-addr HOST:PORT` serves
 //! it over one-shot HTTP GET via [`diffcon_obs::TextServer`].
+//!
+//! # The request-scoped layer
+//!
+//! Aggregates answer "how is the fleet doing"; triage needs "which request
+//! paid".  Three request-scoped structures live alongside the aggregate
+//! counters:
+//!
+//! * [`FlightRecord`] — one fixed-width record per completed request (trace
+//!   id, connection id, session slot, verb, route, cache outcome, bytes
+//!   in/out, per-stage nanoseconds, epoch), packed into [`FlightWords`] and
+//!   written into the always-on [`FlightRecorder`] ring at
+//!   [`EngineMetrics::flight`].  Dumped live by the `debug recent` /
+//!   `debug trace` protocol verbs and by the slow-query stderr line.
+//! * [`SessionCosts`] / [`ConnCosts`] — per-session and per-connection cost
+//!   attribution (decision time, route counts, cache hits, bytes),
+//!   registered under `(connection, slot)` / `connection` keys and rendered
+//!   as labeled `diffcond_session_*` / `diffcond_connection_*` series.
+//! * [`RecentStats`] — windowed live stats: a small ring of periodic
+//!   histogram snapshots differenced with [`HistogramSnapshot::minus`] so
+//!   `stats recent` can answer p50/p99-over-the-last-minute and rates
+//!   without restarting counters.
 
 use crate::cache::CacheStats;
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon_bounds::DeriveRoute;
-use diffcon_obs::{Counter, Exposition, Gauge, Histogram};
-use std::sync::OnceLock;
+use diffcon_obs::{
+    Counter, Exposition, FlightRecorder, FlightWords, Gauge, Histogram, HistogramSnapshot,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Which engine cache family a [`crate::cache::ShardedCache`] serves, for
 /// per-family attribution of the global cache counters.
@@ -126,6 +152,261 @@ fn proc_index(kind: ProcedureKind) -> usize {
         .expect("every ProcedureKind appears in ALL_PROCEDURES")
 }
 
+static CONNECTION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique connection id (also used as the trace-id origin
+/// for in-process pipelines, so every [`crate::server_state::Pipeline`] —
+/// TCP-backed or not — gets a distinct trace namespace).
+pub fn next_connection_id() -> u64 {
+    CONNECTION_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Verb names a flight record can carry, indexed by the code stored in the
+/// packed word; index 0 is the unknown/unset sentinel.
+const FLIGHT_VERBS: [&str; 8] = [
+    "?", "implies", "batch", "bound", "witness", "derive", "explain", "mine",
+];
+
+/// Route names a flight record can carry (the implication ladder, the bound
+/// ladder, and the verb-level routes), indexed like [`FLIGHT_VERBS`].
+const FLIGHT_ROUTES: [&str; 13] = [
+    "?",
+    "trivial",
+    "fd",
+    "lattice",
+    "semantic",
+    "sat",
+    "cached",
+    "propagation",
+    "relaxed",
+    "batch",
+    "witness",
+    "derive",
+    "mine",
+];
+
+fn flight_code(table: &[&'static str], name: &str) -> u64 {
+    // Pointer identity first: the serving stack tags records with the same
+    // `&'static str` literals this table holds, so the scan is usually a
+    // fat-pointer compare per entry, not a content compare.
+    table
+        .iter()
+        .position(|&n| std::ptr::eq(n, name) || n == name)
+        .unwrap_or(0) as u64
+}
+
+fn flight_name(table: &'static [&'static str], code: u64) -> &'static str {
+    table.get(code as usize).copied().unwrap_or("?")
+}
+
+/// One completed request's full server-side story: identity (trace,
+/// connection, session slot), shape (verb, route, cache outcome, bytes),
+/// and per-stage cost.  Packs losslessly into [`FlightWords`] for the
+/// [`FlightRecorder`] ring and renders as the `key=value` line the
+/// `debug recent` verb and the slow-query stderr dump emit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Request-scoped trace id (`origin << 32 | sequence`), unique per
+    /// process and monotone per connection.
+    pub trace: u64,
+    /// Connection id from [`next_connection_id`].
+    pub conn: u64,
+    /// Session slot the request ran under.
+    pub slot: u64,
+    /// Protocol verb (one of the known verb names).
+    pub verb: &'static str,
+    /// Decision route (one of the known route names).
+    pub route: &'static str,
+    /// Whether the answer came from a cache.
+    pub cached: bool,
+    /// Request bytes read off the wire (line + terminator).
+    pub bytes_in: u64,
+    /// Reply bytes written (0 for silent replies).
+    pub bytes_out: u64,
+    /// Nanoseconds framing the request off the socket.
+    pub frame_ns: u64,
+    /// Nanoseconds queued between enqueue and evaluation.
+    pub queue_ns: u64,
+    /// Nanoseconds evaluating the request (wall, inside the wave).
+    pub plan_ns: u64,
+    /// Nanoseconds of planner decision time inside the evaluation.
+    pub decide_ns: u64,
+    /// Nanoseconds writing the reply to the wire.
+    pub reply_ns: u64,
+    /// Snapshot epoch the request evaluated against.
+    pub epoch: u64,
+}
+
+impl FlightRecord {
+    /// Packs the record into the fixed-width ring representation.
+    pub fn encode(&self) -> FlightWords {
+        let vrc = (flight_code(&FLIGHT_VERBS, self.verb) << 16)
+            | (flight_code(&FLIGHT_ROUTES, self.route) << 8)
+            | u64::from(self.cached);
+        [
+            self.trace,
+            self.conn,
+            self.slot,
+            vrc,
+            self.bytes_in,
+            self.bytes_out,
+            self.frame_ns,
+            self.queue_ns,
+            self.plan_ns,
+            self.decide_ns,
+            self.reply_ns,
+            self.epoch,
+        ]
+    }
+
+    /// Unpacks a ring record.
+    pub fn decode(words: &FlightWords) -> FlightRecord {
+        FlightRecord {
+            trace: words[0],
+            conn: words[1],
+            slot: words[2],
+            verb: flight_name(&FLIGHT_VERBS, (words[3] >> 16) & 0xff),
+            route: flight_name(&FLIGHT_ROUTES, (words[3] >> 8) & 0xff),
+            cached: words[3] & 1 == 1,
+            bytes_in: words[4],
+            bytes_out: words[5],
+            frame_ns: words[6],
+            queue_ns: words[7],
+            plan_ns: words[8],
+            decide_ns: words[9],
+            reply_ns: words[10],
+            epoch: words[11],
+        }
+    }
+
+    /// Renders the record as the `key=value` line protocol dumps use.
+    /// Stage costs are in microseconds, matching the exposition's scale.
+    pub fn render(&self) -> String {
+        format!(
+            "trace={} conn={} slot={} verb={} route={} cached={} in={} out={} \
+             frame_us={} queue_us={} plan_us={} decide_us={} reply_us={} epoch={}",
+            self.trace,
+            self.conn,
+            self.slot,
+            self.verb,
+            self.route,
+            u64::from(self.cached),
+            self.bytes_in,
+            self.bytes_out,
+            self.frame_ns / 1_000,
+            self.queue_ns / 1_000,
+            self.plan_ns / 1_000,
+            self.decide_ns / 1_000,
+            self.reply_ns / 1_000,
+            self.epoch,
+        )
+    }
+
+    /// Fills in the reply stage and writes the record into the global
+    /// flight-recorder ring.
+    pub fn commit(mut self, reply_ns: u64, bytes_out: u64) {
+        self.reply_ns = reply_ns;
+        self.bytes_out = bytes_out;
+        EngineMetrics::global().flight.record(&self.encode());
+    }
+
+    /// Writes the record as-is, for replies consumed without crossing a
+    /// wire (in-process drivers): the reply stage stays at its pre-filled
+    /// value since no transport write was timed.
+    pub fn commit_unsent(&self) {
+        EngineMetrics::global().flight.record(&self.encode());
+    }
+}
+
+/// Per-session cost attribution, shared between the session's planner (which
+/// records route decisions and cache hits) and the pipeline (which records
+/// queue wait and decision time).  Registered with
+/// [`EngineMetrics::register_session`] so `session list`, `stats`, and the
+/// Prometheus endpoint can attribute cost to a `(connection, slot)` pair.
+#[derive(Debug, Default)]
+pub struct SessionCosts {
+    /// Deferred queries charged to the session.
+    pub queries: Counter,
+    /// Planner decision nanoseconds charged to the session.
+    pub decide_ns: Counter,
+    /// Queue-wait nanoseconds charged to the session.
+    pub queue_ns: Counter,
+    /// Answer-cache hits charged to the session.
+    pub cache_hits: Counter,
+    /// Decided queries per implication route, indexed like
+    /// [`procedure::ALL_PROCEDURES`].
+    pub routes: [Counter; 4],
+}
+
+/// Per-connection cost attribution, accumulated by the network layer and
+/// rendered as `diffcond_connection_*` labeled series.
+#[derive(Debug, Default)]
+pub struct ConnCosts {
+    /// Requests framed on the connection.
+    pub requests: Counter,
+    /// Request bytes read.
+    pub bytes_read: Counter,
+    /// Reply bytes written.
+    pub bytes_written: Counter,
+}
+
+/// How many `(connection, slot)` / connection cost series the registry
+/// retains before evicting the oldest — bounds exposition size under
+/// connection churn.
+const COST_SERIES_CAP: usize = 256;
+
+/// Minimum spacing between windowed-stats frames; callers observe at wave
+/// granularity, the ring keeps at most one frame per interval.
+const RECENT_FRAME_INTERVAL: Duration = Duration::from_millis(250);
+
+/// How far back the windowed stats reach.
+const RECENT_WINDOW: Duration = Duration::from_secs(60);
+
+/// Frame-ring bound: the window over the interval, plus slack for the
+/// irregular spacing traffic-driven observation produces.
+const RECENT_FRAME_CAP: usize = 512;
+
+/// One periodic snapshot of the rate-bearing aggregates, the unit the
+/// windowed-stats ring differences.
+#[derive(Debug)]
+struct RecentFrame {
+    at: Instant,
+    requests: u64,
+    replies: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    frame: HistogramSnapshot,
+    queue: HistogramSnapshot,
+    plan: HistogramSnapshot,
+    reply: HistogramSnapshot,
+}
+
+/// Live stats over roughly the last minute: counter deltas and
+/// stage-latency distributions between the oldest retained frame and now.
+/// A zero [`RecentStats::window`] means no baseline frame exists yet (the
+/// first observation); all deltas are zero in that case.
+#[derive(Debug)]
+pub struct RecentStats {
+    /// Width of the observed window.
+    pub window: Duration,
+    /// Requests entering pipelines over the window.
+    pub requests: u64,
+    /// Reply lines released over the window.
+    pub replies: u64,
+    /// Request bytes read over the window.
+    pub bytes_read: u64,
+    /// Reply bytes written over the window.
+    pub bytes_written: u64,
+    /// Frame-stage latency over the window.
+    pub frame: HistogramSnapshot,
+    /// Queue-wait latency over the window.
+    pub queue: HistogramSnapshot,
+    /// Evaluation latency over the window.
+    pub plan: HistogramSnapshot,
+    /// Reply-write latency over the window.
+    pub reply: HistogramSnapshot,
+}
+
 /// The process-wide metrics registry.  All fields are lock-free; recording
 /// sites access them through [`EngineMetrics::global`].
 #[derive(Debug, Default)]
@@ -177,7 +458,22 @@ pub struct EngineMetrics {
     pub bound_ns: [Histogram; 2],
     /// Per-family cache counters, indexed by [`CacheFamily::index`].
     caches: [CacheCounters; 4],
+    /// The always-on flight recorder: one [`FlightRecord`] per completed
+    /// request, overwrite-oldest, dumpable without stopping traffic.
+    pub flight: FlightRecorder,
+    /// Registered per-session cost series keyed `(connection, slot)`.
+    /// Strong references: the series must survive session/connection
+    /// teardown so a scrape after disconnect still sees the attribution.
+    sessions: Mutex<Vec<(SessionKey, Arc<SessionCosts>)>>,
+    /// Registered per-connection cost series keyed by connection id.
+    conn_costs: Mutex<Vec<(u64, Arc<ConnCosts>)>>,
+    /// The windowed-stats frame ring.
+    recent_frames: Mutex<VecDeque<RecentFrame>>,
 }
+
+/// `(connection, slot)` identity a session's cost series is registered
+/// under.
+type SessionKey = (u64, u64);
 
 static GLOBAL: OnceLock<EngineMetrics> = OnceLock::new();
 
@@ -213,6 +509,130 @@ impl EngineMetrics {
             &self.plan_ns,
             &self.reply_ns,
         ]
+    }
+
+    /// Registers (or refreshes) the cost series of the session living in
+    /// `slot` on `conn`.  Re-registering a live key replaces the series;
+    /// past the capacity bound (256 keys) the oldest registration is evicted.
+    pub fn register_session(&self, conn: u64, slot: u64, costs: Arc<SessionCosts>) {
+        let mut table = self.sessions.lock().expect("session registry poisoned");
+        if let Some(entry) = table.iter_mut().find(|(key, _)| *key == (conn, slot)) {
+            entry.1 = costs;
+            return;
+        }
+        if table.len() >= COST_SERIES_CAP {
+            table.remove(0);
+        }
+        table.push(((conn, slot), costs));
+    }
+
+    /// Registers the cost series of connection `conn`, with the same
+    /// replace/evict policy as [`EngineMetrics::register_session`].
+    pub fn register_connection(&self, conn: u64, costs: Arc<ConnCosts>) {
+        let mut table = self
+            .conn_costs
+            .lock()
+            .expect("connection registry poisoned");
+        if let Some(entry) = table.iter_mut().find(|(key, _)| *key == conn) {
+            entry.1 = costs;
+            return;
+        }
+        if table.len() >= COST_SERIES_CAP {
+            table.remove(0);
+        }
+        table.push((conn, costs));
+    }
+
+    /// The registered cost series of `(conn, slot)`, if still retained.
+    pub fn session_costs(&self, conn: u64, slot: u64) -> Option<Arc<SessionCosts>> {
+        let table = self.sessions.lock().expect("session registry poisoned");
+        table
+            .iter()
+            .find(|(key, _)| *key == (conn, slot))
+            .map(|(_, costs)| Arc::clone(costs))
+    }
+
+    fn capture_frame(&self) -> RecentFrame {
+        RecentFrame {
+            at: Instant::now(),
+            requests: self.requests.get(),
+            replies: self.replies.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            frame: self.frame_ns.snapshot(),
+            queue: self.queue_ns.snapshot(),
+            plan: self.plan_ns.snapshot(),
+            reply: self.reply_ns.snapshot(),
+        }
+    }
+
+    /// Traffic-driven tick for the windowed-stats ring: cheap no-op unless
+    /// the frame interval (250 ms) has passed since the newest frame.  Called
+    /// at wave granularity, never per query.
+    pub fn observe_recent(&self) {
+        let mut frames = self.recent_frames.lock().expect("recent ring poisoned");
+        if let Some(last) = frames.back() {
+            if last.at.elapsed() < RECENT_FRAME_INTERVAL {
+                return;
+            }
+        }
+        let frame = self.capture_frame();
+        Self::prune_frames(&mut frames, frame.at);
+        frames.push_back(frame);
+    }
+
+    fn prune_frames(frames: &mut VecDeque<RecentFrame>, now: Instant) {
+        while frames.len() >= RECENT_FRAME_CAP
+            || frames
+                .front()
+                .is_some_and(|f| now.duration_since(f.at) > RECENT_WINDOW)
+        {
+            if frames.pop_front().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Live stats over roughly the last minute: deltas between
+    /// the oldest retained frame and now, via [`HistogramSnapshot::minus`].
+    /// The first call after startup (no baseline yet) reports a zero-width
+    /// window with zero deltas; it also seeds the ring, so rates become
+    /// meaningful from the second call on.
+    pub fn recent(&self) -> RecentStats {
+        let now = self.capture_frame();
+        let mut frames = self.recent_frames.lock().expect("recent ring poisoned");
+        Self::prune_frames(&mut frames, now.at);
+        let stats = match frames.front() {
+            Some(base) => RecentStats {
+                window: now.at.duration_since(base.at),
+                requests: now.requests.saturating_sub(base.requests),
+                replies: now.replies.saturating_sub(base.replies),
+                bytes_read: now.bytes_read.saturating_sub(base.bytes_read),
+                bytes_written: now.bytes_written.saturating_sub(base.bytes_written),
+                frame: now.frame.minus(&base.frame),
+                queue: now.queue.minus(&base.queue),
+                plan: now.plan.minus(&base.plan),
+                reply: now.reply.minus(&base.reply),
+            },
+            None => RecentStats {
+                window: Duration::ZERO,
+                requests: 0,
+                replies: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+                frame: now.frame.minus(&now.frame),
+                queue: now.queue.minus(&now.queue),
+                plan: now.plan.minus(&now.plan),
+                reply: now.reply.minus(&now.reply),
+            },
+        };
+        let push = frames
+            .back()
+            .is_none_or(|last| now.at.duration_since(last.at) >= RECENT_FRAME_INTERVAL);
+        if push {
+            frames.push_back(now);
+        }
+        stats
     }
 
     /// Renders the registry as a Prometheus-text (0.0.4) exposition.
@@ -289,6 +709,75 @@ impl EngineMetrics {
                 );
             }
         }
+        exp.counter("diffcond_flight_records_total", &[], self.flight.written());
+        // Per-session and per-connection attribution.  Families are grouped
+        // (all sessions under one family before the next) so each family's
+        // TYPE header precedes every sample of that family.
+        let sessions: Vec<(SessionKey, Arc<SessionCosts>)> = self
+            .sessions
+            .lock()
+            .expect("session registry poisoned")
+            .iter()
+            .map(|(key, costs)| (*key, Arc::clone(costs)))
+            .collect();
+        let session_labels: Vec<(String, String)> = sessions
+            .iter()
+            .map(|((conn, slot), _)| (conn.to_string(), slot.to_string()))
+            .collect();
+        let session_counter =
+            |exp: &mut Exposition, name: &str, value: fn(&SessionCosts) -> u64| {
+                for ((_, costs), (conn, slot)) in sessions.iter().zip(&session_labels) {
+                    exp.counter(name, &[("conn", conn), ("slot", slot)], value(costs));
+                }
+            };
+        session_counter(&mut exp, "diffcond_session_queries_total", |c| {
+            c.queries.get()
+        });
+        session_counter(&mut exp, "diffcond_session_decide_us_total", |c| {
+            c.decide_ns.get() / 1_000
+        });
+        session_counter(&mut exp, "diffcond_session_queue_us_total", |c| {
+            c.queue_ns.get() / 1_000
+        });
+        session_counter(&mut exp, "diffcond_session_cache_hits_total", |c| {
+            c.cache_hits.get()
+        });
+        for ((_, costs), (conn, slot)) in sessions.iter().zip(&session_labels) {
+            for (route, counter) in ROUTE_LABELS.iter().zip(costs.routes.iter()) {
+                exp.counter(
+                    "diffcond_session_route_total",
+                    &[("conn", conn), ("slot", slot), ("route", route)],
+                    counter.get(),
+                );
+            }
+        }
+        let conns: Vec<(u64, Arc<ConnCosts>)> = self
+            .conn_costs
+            .lock()
+            .expect("connection registry poisoned")
+            .iter()
+            .map(|(key, costs)| (*key, Arc::clone(costs)))
+            .collect();
+        let conn_labels: Vec<String> = conns.iter().map(|(c, _)| c.to_string()).collect();
+        for ((_, costs), conn) in conns.iter().zip(&conn_labels) {
+            exp.counter(
+                "diffcond_connection_requests_total",
+                &[("conn", conn)],
+                costs.requests.get(),
+            );
+        }
+        for ((_, costs), conn) in conns.iter().zip(&conn_labels) {
+            for (direction, value) in [
+                ("read", costs.bytes_read.get()),
+                ("written", costs.bytes_written.get()),
+            ] {
+                exp.counter(
+                    "diffcond_connection_bytes_total",
+                    &[("conn", conn), ("direction", direction)],
+                    value,
+                );
+            }
+        }
         exp.finish()
     }
 }
@@ -348,5 +837,138 @@ mod tests {
         let a = EngineMetrics::global() as *const EngineMetrics;
         let b = EngineMetrics::global() as *const EngineMetrics;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flight_record_round_trips_and_renders() {
+        let record = FlightRecord {
+            trace: (7 << 32) | 3,
+            conn: 7,
+            slot: 2,
+            verb: "implies",
+            route: "lattice",
+            cached: true,
+            bytes_in: 19,
+            bytes_out: 40,
+            frame_ns: 1_500,
+            queue_ns: 250_000,
+            plan_ns: 30_000,
+            decide_ns: 28_000,
+            reply_ns: 2_000,
+            epoch: 5,
+        };
+        assert_eq!(FlightRecord::decode(&record.encode()), record);
+        let line = record.render();
+        for field in [
+            "trace=30064771075",
+            "conn=7",
+            "slot=2",
+            "verb=implies",
+            "route=lattice",
+            "cached=1",
+            "in=19",
+            "out=40",
+            "frame_us=1",
+            "queue_us=250",
+            "plan_us=30",
+            "decide_us=28",
+            "reply_us=2",
+            "epoch=5",
+        ] {
+            assert!(line.contains(field), "missing `{field}` in `{line}`");
+        }
+    }
+
+    #[test]
+    fn unknown_flight_codes_decode_to_the_sentinel() {
+        let mut words = [0u64; diffcon_obs::FLIGHT_WORDS];
+        words[3] = (0xff << 16) | (0xff << 8);
+        let record = FlightRecord::decode(&words);
+        assert_eq!(record.verb, "?");
+        assert_eq!(record.route, "?");
+    }
+
+    #[test]
+    fn session_registry_replaces_then_evicts_at_capacity() {
+        let metrics = EngineMetrics::default();
+        let first = Arc::new(SessionCosts::default());
+        first.queries.add(1);
+        metrics.register_session(1, 0, Arc::clone(&first));
+        let replacement = Arc::new(SessionCosts::default());
+        replacement.queries.add(2);
+        metrics.register_session(1, 0, replacement);
+        assert_eq!(metrics.session_costs(1, 0).unwrap().queries.get(), 2);
+        for slot in 0..COST_SERIES_CAP as u64 {
+            metrics.register_session(2, slot, Arc::new(SessionCosts::default()));
+        }
+        assert!(
+            metrics.session_costs(1, 0).is_none(),
+            "oldest series evicted once the registry reaches capacity"
+        );
+    }
+
+    #[test]
+    fn exposition_carries_labeled_attribution_series() {
+        let metrics = EngineMetrics::default();
+        let costs = Arc::new(SessionCosts::default());
+        costs.queries.add(11);
+        costs.decide_ns.add(4_000);
+        costs.routes[1].add(7);
+        metrics.register_session(3, 0, costs);
+        let conn = Arc::new(ConnCosts::default());
+        conn.requests.add(13);
+        conn.bytes_written.add(99);
+        metrics.register_connection(3, conn);
+        let series = parse_exposition(&metrics.exposition()).expect("exposition must parse");
+        let mut keys: Vec<String> = series.iter().map(Series::key).collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "duplicate series in exposition");
+        let find = |name: &str, label: (&str, &str)| {
+            series
+                .iter()
+                .find(|s| s.name == name && s.labels.contains(&(label.0.into(), label.1.into())))
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        assert_eq!(
+            find("diffcond_session_queries_total", ("conn", "3")).value,
+            11.0
+        );
+        assert_eq!(
+            find("diffcond_session_decide_us_total", ("slot", "0")).value,
+            4.0
+        );
+        assert_eq!(
+            find("diffcond_session_route_total", ("route", "lattice")).value,
+            7.0
+        );
+        assert_eq!(
+            find("diffcond_connection_requests_total", ("conn", "3")).value,
+            13.0
+        );
+        assert_eq!(
+            find("diffcond_connection_bytes_total", ("direction", "written")).value,
+            99.0
+        );
+    }
+
+    #[test]
+    fn recent_window_reports_deltas_after_a_baseline() {
+        let metrics = EngineMetrics::default();
+        let first = metrics.recent();
+        assert_eq!(first.window, Duration::ZERO);
+        assert_eq!(first.requests, 0);
+        assert_eq!(first.queue.count(), 0);
+        metrics.requests.add(10);
+        metrics.replies.add(9);
+        metrics.queue_ns.record(1_000_000);
+        std::thread::sleep(Duration::from_millis(5));
+        let second = metrics.recent();
+        assert!(second.window > Duration::ZERO);
+        assert_eq!(second.requests, 10);
+        assert_eq!(second.replies, 9);
+        assert_eq!(second.queue.count(), 1);
+        assert!(second.queue.p50() >= 500_000);
     }
 }

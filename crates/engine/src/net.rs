@@ -49,7 +49,7 @@
 //! (Rust ignores `SIGPIPE`), which close that connection and nothing else.
 //! [`ShutdownHandle::shutdown`] stops the accept loop itself.
 
-use crate::metrics::EngineMetrics;
+use crate::metrics::{ConnCosts, EngineMetrics};
 use crate::protocol::{self, Reply};
 use crate::server_state::Pipeline;
 use crate::session::SessionConfig;
@@ -322,18 +322,6 @@ fn discard_frame(reader: &mut impl BufRead, mut dropped: usize) -> io::Result<Fr
     }
 }
 
-/// Writes released replies (one line each; silent replies are empty and
-/// skipped) and flushes.  An `Err` means the client is gone.
-fn emit(writer: &mut impl Write, replies: &[Reply]) -> io::Result<()> {
-    for reply in replies {
-        if !reply.text.is_empty() {
-            writer.write_all(reply.text.as_bytes())?;
-            writer.write_all(b"\n")?;
-        }
-    }
-    writer.flush()
-}
-
 /// Serves one connection to completion: frames requests, drives the
 /// connection's private [`Pipeline`], emits replies in request order, and
 /// flushes pending waves whenever the input buffer runs dry.
@@ -346,13 +334,18 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
     let mut writer = stream;
     let mut pipeline = Pipeline::new(config.session, config.threads.max(1));
     pipeline.set_slow_query_us(config.slow_query_us);
+    // Per-connection cost attribution, keyed by the pipeline's server
+    // connection id (the same id its flight records and trace ids carry).
+    let costs = Arc::new(ConnCosts::default());
+    metrics.register_connection(pipeline.server().connection_id(), Arc::clone(&costs));
     let mut line = Vec::new();
     loop {
         // Idle flush: nothing buffered to scan, so release pending waves
         // before blocking — a strict request/response client is waiting.
         if pipeline.pending() > 0 && reader.buffer().is_empty() {
             metrics.idle_flushes.inc();
-            emit_measured(&mut writer, &pipeline.finish())?;
+            let replies = pipeline.finish();
+            emit_measured(&mut writer, replies, &costs)?;
         }
         // The frame stage is only timed when bytes are already buffered:
         // with an empty buffer the read blocks on the client thinking, and
@@ -360,9 +353,13 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
         let framed = !reader.buffer().is_empty();
         let frame_start = Instant::now();
         let frame = read_frame(&mut reader, &mut line, config.max_request_bytes)?;
-        if framed {
-            metrics.frame_ns.record_duration(frame_start.elapsed());
-        }
+        let frame_ns = if framed {
+            let elapsed = frame_start.elapsed();
+            metrics.frame_ns.record_duration(elapsed);
+            elapsed.as_nanos() as u64
+        } else {
+            0
+        };
         let (replies, quit) = match frame {
             Frame::Eof => break,
             Frame::Oversized(got) => {
@@ -373,10 +370,13 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
                 )))
             }
             Frame::Line | Frame::Partial => {
+                let bytes_in = line.len() as u64 + 1;
                 metrics.frames.inc();
-                metrics.bytes_read.add(line.len() as u64 + 1);
+                metrics.bytes_read.add(bytes_in);
+                costs.requests.inc();
+                costs.bytes_read.add(bytes_in);
                 match protocol::decode_request(&line) {
-                    Ok(text) => pipeline.push_line(text),
+                    Ok(text) => pipeline.push_line_io(text, bytes_in, frame_ns),
                     Err(message) => {
                         metrics.framing_errors.inc();
                         pipeline.push_reply(Reply::err(message))
@@ -384,7 +384,7 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
                 }
             }
         };
-        emit_measured(&mut writer, &replies)?;
+        emit_measured(&mut writer, replies, &costs)?;
         if quit {
             return Ok(());
         }
@@ -392,26 +392,39 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
     // Clean disconnect: release whatever the client pipelined before EOF,
     // then drop the pipeline — closing every session slot the connection
     // opened (close-on-disconnect).
-    emit_measured(&mut writer, &pipeline.finish())
+    let replies = pipeline.finish();
+    emit_measured(&mut writer, replies, &costs)
 }
 
-/// [`emit`] plus reply-stage accounting: written bytes and, when at least
-/// one reply line went out, the write+flush latency (`reply` stage).
-fn emit_measured(writer: &mut impl Write, replies: &[Reply]) -> io::Result<()> {
+/// Writes released replies (one line each; silent replies are empty and
+/// skipped) with reply-stage accounting, one sample per reply line: each
+/// non-silent reply's write latency feeds the `reply` stage histogram and
+/// its flight record (taken here, so the record carries the measured write
+/// rather than the zero the in-process path commits), and written bytes
+/// are charged to both the global counters and the connection's.
+fn emit_measured(
+    writer: &mut impl Write,
+    replies: Vec<Reply>,
+    costs: &ConnCosts,
+) -> io::Result<()> {
     let metrics = EngineMetrics::global();
-    let written: usize = replies
-        .iter()
-        .filter(|r| !r.text.is_empty())
-        .map(|r| r.text.len() + 1)
-        .sum();
-    if written == 0 {
-        return emit(writer, replies);
+    for mut reply in replies {
+        if reply.text.is_empty() {
+            continue;
+        }
+        let bytes = reply.text.len() as u64 + 1;
+        let start = Instant::now();
+        writer.write_all(reply.text.as_bytes())?;
+        writer.write_all(b"\n")?;
+        let reply_ns = start.elapsed().as_nanos() as u64;
+        metrics.reply_ns.record(reply_ns);
+        metrics.bytes_written.add(bytes);
+        costs.bytes_written.add(bytes);
+        if let Some(record) = reply.take_flight() {
+            record.commit(reply_ns, bytes);
+        }
     }
-    let start = Instant::now();
-    let result = emit(writer, replies);
-    metrics.reply_ns.record_duration(start.elapsed());
-    metrics.bytes_written.add(written as u64);
-    result
+    writer.flush()
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@
 //! lets every reader of a snapshot share one [`Planner`] without
 //! serializing on it.
 
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, SessionCosts};
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon::DiffConstraint;
 use diffcon_bounds::problem::{fits_budget, propagation_cost_bound, BoundsConfig};
@@ -41,6 +41,7 @@ use diffcon_bounds::DeriveRoute;
 use diffcon_obs::{Histogram, HistogramSnapshot};
 use setlat::{AttrSet, Universe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning knobs for procedure routing.
@@ -203,6 +204,10 @@ pub struct Planner {
     latency: [Histogram; 4],
     /// Bound-ladder latency distributions: `[propagation, relaxed]`.
     bound_latency: [Histogram; 2],
+    /// The owning session's cost-attribution series, bumped alongside the
+    /// local counters so `(connection, slot)` labeled metrics see every
+    /// route decision and cache hit.  `None` for standalone planners.
+    costs: Option<Arc<SessionCosts>>,
 }
 
 impl Planner {
@@ -210,6 +215,16 @@ impl Planner {
     pub fn new(config: PlannerConfig) -> Self {
         Planner {
             config,
+            ..Planner::default()
+        }
+    }
+
+    /// Creates a planner that attributes route decisions and cache hits to
+    /// a session's [`SessionCosts`] series as well as its own counters.
+    pub fn with_costs(config: PlannerConfig, costs: Arc<SessionCosts>) -> Self {
+        Planner {
+            config,
+            costs: Some(costs),
             ..Planner::default()
         }
     }
@@ -248,6 +263,9 @@ impl Planner {
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         self.latency[proc_index(kind)].record(nanos);
         EngineMetrics::global().route_latency(kind).record(nanos);
+        if let Some(costs) = &self.costs {
+            costs.routes[proc_index(kind)].inc();
+        }
     }
 
     /// Records a query answered from the answer cache (planned for `kind`).
@@ -255,6 +273,9 @@ impl Planner {
         self.per_procedure[proc_index(kind)]
             .cache_hits
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(costs) = &self.costs {
+            costs.cache_hits.inc();
+        }
     }
 
     /// Picks the derivation route for a `bound` query: the full propagation
@@ -453,6 +474,24 @@ mod tests {
             planner.stats().of(ProcedureKind::Lattice).decided,
             lattice.count()
         );
+    }
+
+    #[test]
+    fn cost_attribution_mirrors_decisions() {
+        let costs = Arc::new(SessionCosts::default());
+        let planner = Planner::with_costs(PlannerConfig::default(), Arc::clone(&costs));
+        planner.record_decided(ProcedureKind::Lattice, Duration::from_micros(10));
+        planner.record_decided(ProcedureKind::Sat, Duration::from_micros(10));
+        planner.record_cache_hit(ProcedureKind::Lattice);
+        // `fd, lattice, semantic, sat` is the ALL_PROCEDURES order.
+        assert_eq!(costs.routes[1].get(), 1);
+        assert_eq!(costs.routes[3].get(), 1);
+        assert_eq!(costs.cache_hits.get(), 1);
+        // A costless planner still accounts locally without panicking.
+        let plain = Planner::new(PlannerConfig::default());
+        plain.record_decided(ProcedureKind::Lattice, Duration::from_micros(10));
+        plain.record_cache_hit(ProcedureKind::Lattice);
+        assert_eq!(plain.stats().of(ProcedureKind::Lattice).decided, 1);
     }
 
     #[test]

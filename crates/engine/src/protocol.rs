@@ -38,6 +38,13 @@
 //!              | "premises"                      list the premise set
 //!              | "knowns"                        list the recorded values
 //!              | "stats"                         engine statistics
+//!              | "stats" "recent"                windowed live statistics
+//!              |                                 (rates and stage latency
+//!              |                                 over the last minute)
+//!              | "debug" "recent" [NUMBER]       dump the most recent flight
+//!              |                                 records (default 10)
+//!              | "debug" "trace" NUMBER          dump one flight record by
+//!              |                                 its trace id
 //!              | "reset"                         drop premises, knowns, caches,
 //!              |                                 and the dataset
 //!              | "help"                          this summary
@@ -104,15 +111,25 @@
 //!            | "premises" "n=" NUMBER constraint*
 //!            | "knowns" "n=" NUMBER (SET "=" VALUE)*
 //!            | "stats" field*
+//!            | "stats" "recent" field*           windowed live statistics
+//!            | "flight" "n=" NUMBER record*      flight-recorder dumps
 //!            | "bye"
 //!            | "err" message
 //! field    ::= KEY "=" VALUE                     e.g. route=lattice us=12
 //! BOUNDVAL ::= NUMBER | "inf" | "-inf"           interval endpoints
-//! slotdesc ::= ID ":" ("-" | "u" NUMBER "p" NUMBER)
+//! slotdesc ::= ID ":" ("-" | "u" NUMBER "p" NUMBER "q" NUMBER)
 //!                                                per-slot: "-" while no
 //!                                                universe is open, else
-//!                                                universe size and premise
-//!                                                count (e.g. `0:u4p2 1:-`)
+//!                                                universe size, premise
+//!                                                count, and queries served
+//!                                                (e.g. `0:u4p2q7 1:-`)
+//! record   ::= field* (" | " field*)*            one `trace=… conn=… slot=…
+//!                                                verb=… route=… cached=…
+//!                                                in=… out=… frame_us=…
+//!                                                queue_us=… plan_us=…
+//!                                                decide_us=… reply_us=…
+//!                                                epoch=…` group per request,
+//!                                                newest first, `|`-separated
 //! ```
 //!
 //! `implies` responses carry `route` (`trivial`, `fd`, `lattice`, `sat` —
@@ -139,12 +156,25 @@
 //!
 //! ```text
 //! explain verdict=(yes|no) route=ROUTE cached=(0|1) epoch=N
-//!         probe_us=N plan_us=N decide_us=N total_us=N
+//!         probe_us=N plan_us=N decide_us=N total_us=N trace=N queue_us=N
 //! ```
 //!
 //! `probe_us` is the answer-cache probe, `plan_us` the route choice plus
 //! derived-data cache attachment, `decide_us` the decision procedure itself
 //! (both zero on a cache hit), and `epoch` the snapshot that answered.
+//! `trace` is the request's flight-record trace id and `queue_us` its queue
+//! wait; both match the request's record in `debug trace <id>` exactly.
+//!
+//! Every completed query request also writes a fixed-width record into the
+//! process-wide flight recorder (a lock-free overwrite-oldest ring, always
+//! on): trace id, connection and slot, verb, route, cache outcome, bytes
+//! in/out, and per-stage latency.  `debug recent [n]` dumps the `n` most
+//! recent records (newest first, default 10) and `debug trace <id>` looks a
+//! single request up by trace id; `stats recent` reports windowed rates and
+//! stage-latency percentiles over roughly the last minute of traffic.
+//! Trace ids are unique across the process and monotone within a
+//! connection (connection id in the upper 32 bits, a per-connection
+//! sequence number in the lower).
 //!
 //! `trace on` makes every subsequent query reply (`implies`, `batch`,
 //! `bound`, `witness`, `derive`, `mine`) carry a trailing ` epoch=N` field
@@ -199,6 +229,7 @@
 //! slots (and read-only queries against the same slot) execute concurrently
 //! on their respective snapshots.
 
+use crate::metrics::{next_connection_id, EngineMetrics, FlightRecord};
 use crate::server_state::{DeferredQuery, QueryKind, SessionRegistry};
 use crate::session::{Session, SessionConfig};
 use crate::snapshot::{BoundOutcome, ExplainOutcome, QueryOutcome};
@@ -324,6 +355,14 @@ pub enum Request {
     Knowns,
     /// `stats`.
     Stats,
+    /// `stats recent` — windowed live stats (rates and stage percentiles
+    /// over roughly the last minute).
+    StatsRecent,
+    /// `debug recent` or `debug recent <n>` — dump the most recent flight
+    /// records.
+    DebugRecent(Option<usize>),
+    /// `debug trace <id>` — dump one flight record by trace id.
+    DebugTrace(u64),
     /// `reset`.
     Reset,
     /// `help`.
@@ -505,7 +544,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "premises" => no_args(Request::Premises),
         "knowns" => no_args(Request::Knowns),
-        "stats" => no_args(Request::Stats),
+        "stats" => match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [] => Ok(Request::Stats),
+            ["recent"] => Ok(Request::StatsRecent),
+            ["recent", extra, ..] => Err(format!(
+                "stats recent expects no argument (unexpected `{extra}` at column {})",
+                column_of(original, extra)
+            )),
+            _ => no_args(Request::Stats),
+        },
+        "debug" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                ["recent"] => Ok(Request::DebugRecent(None)),
+                ["recent", n] => n
+                    .parse()
+                    .map(|n| Request::DebugRecent(Some(n)))
+                    .map_err(|_| format!("debug recent expects a numeric count, got `{n}`")),
+                ["trace", id] => id
+                    .parse()
+                    .map(Request::DebugTrace)
+                    .map_err(|_| format!("debug trace expects a numeric trace id, got `{id}`")),
+                _ => Err("debug expects `recent [<n>]` or `trace <id>`".into()),
+            }
+        }
         "reset" => no_args(Request::Reset),
         "help" => no_args(Request::Help),
         "quit" | "exit" => no_args(Request::Quit),
@@ -554,6 +616,10 @@ pub fn format_request(request: &Request) -> String {
         Request::Premises => "premises".into(),
         Request::Knowns => "knowns".into(),
         Request::Stats => "stats".into(),
+        Request::StatsRecent => "stats recent".into(),
+        Request::DebugRecent(None) => "debug recent".into(),
+        Request::DebugRecent(Some(n)) => format!("debug recent {n}"),
+        Request::DebugTrace(id) => format!("debug trace {id}"),
         Request::Reset => "reset".into(),
         Request::Help => "help".into(),
         Request::Quit => "quit".into(),
@@ -584,13 +650,54 @@ fn miner_config(budgets: Option<(usize, usize)>) -> MinerConfig {
     }
 }
 
+/// A reply's not-yet-committed flight record.  Commits to the global ring
+/// on drop, so a reply consumed without crossing a wire (in-process
+/// drivers, tests) still leaves its record; the TCP front-end takes the
+/// record out first ([`Reply::take_flight`]) and commits it with the
+/// measured reply-write latency instead.
+#[derive(Debug, Default)]
+pub(crate) struct PendingFlight(Option<FlightRecord>);
+
+impl Drop for PendingFlight {
+    fn drop(&mut self) {
+        if let Some(record) = self.0.take() {
+            record.commit_unsent();
+        }
+    }
+}
+
 /// One response line plus the should-terminate flag.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct Reply {
     /// The response line (empty for [`Request::Empty`]).
     pub text: String,
     /// `true` after a `quit`.
     pub quit: bool,
+    /// The request's flight record, carried from evaluation to the reply
+    /// write.  Not part of the reply's value: ignored by `==`, not cloned.
+    pub(crate) flight: PendingFlight,
+}
+
+/// Equality is over the wire-visible value (text and termination), not the
+/// flight-record telemetry riding along.
+impl PartialEq for Reply {
+    fn eq(&self, other: &Reply) -> bool {
+        self.text == other.text && self.quit == other.quit
+    }
+}
+
+impl Eq for Reply {}
+
+/// Clones the wire-visible value; the flight record stays with the
+/// original (a request completes exactly once).
+impl Clone for Reply {
+    fn clone(&self) -> Reply {
+        Reply {
+            text: self.text.clone(),
+            quit: self.quit,
+            flight: PendingFlight(None),
+        }
+    }
 }
 
 impl Reply {
@@ -600,12 +707,31 @@ impl Reply {
         Reply {
             text: text.into(),
             quit: false,
+            flight: PendingFlight(None),
         }
     }
 
     /// An `err <message>` reply line.
     pub fn err(message: impl Into<String>) -> Reply {
         Reply::line(format!("err {}", message.into()))
+    }
+
+    /// Attaches the flight record the reply will commit (on drop, or when
+    /// the transport takes it to time the reply write).  Carried inline —
+    /// no allocation on the per-request hot path.
+    pub(crate) fn attach_flight(&mut self, record: FlightRecord) {
+        self.flight = PendingFlight(Some(record));
+    }
+
+    /// Takes the pending flight record out, leaving none to auto-commit.
+    pub fn take_flight(&mut self) -> Option<FlightRecord> {
+        self.flight.0.take()
+    }
+
+    /// Borrows the pending flight record (the slow-query log renders it
+    /// without disturbing the commit-on-write lifecycle).
+    pub(crate) fn flight_ref(&self) -> Option<&FlightRecord> {
+        self.flight.0.as_ref()
     }
 }
 
@@ -620,10 +746,16 @@ pub(crate) fn implies_reply(outcome: &QueryOutcome) -> Reply {
     ))
 }
 
-/// Formats an `explain` outcome as its wire reply.
-pub(crate) fn explain_reply(outcome: ExplainOutcome) -> Reply {
+/// Formats an `explain` outcome as its wire reply.  The trailing `trace`
+/// and `queue_us` fields match the request's flight record exactly (the
+/// same trace id; queue wait truncated to the same microsecond).
+pub(crate) fn explain_reply(
+    outcome: ExplainOutcome,
+    trace: u64,
+    queue: std::time::Duration,
+) -> Reply {
     Reply::line(format!(
-        "explain verdict={} route={} cached={} epoch={} probe_us={} plan_us={} decide_us={} total_us={}",
+        "explain verdict={} route={} cached={} epoch={} probe_us={} plan_us={} decide_us={} total_us={} trace={} queue_us={}",
         if outcome.outcome.implied { "yes" } else { "no" },
         outcome.outcome.route_name(),
         outcome.outcome.cached as u8,
@@ -631,7 +763,38 @@ pub(crate) fn explain_reply(outcome: ExplainOutcome) -> Reply {
         outcome.probe.as_micros(),
         outcome.plan.as_micros(),
         outcome.decide.as_micros(),
-        outcome.total.as_micros()
+        outcome.total.as_micros(),
+        trace,
+        queue.as_nanos() as u64 / 1_000
+    ))
+}
+
+/// Formats the windowed live stats (see [`EngineMetrics::recent`]) as the
+/// `stats recent` wire reply.  Stage percentiles are in microseconds; `qps`
+/// is requests over the window scaled to per-second.
+fn stats_recent_reply() -> Reply {
+    let recent = EngineMetrics::global().recent();
+    let window_us = recent.window.as_micros() as u64;
+    let qps = (recent.requests * 1_000_000)
+        .checked_div(window_us)
+        .unwrap_or(0);
+    Reply::line(format!(
+        "stats recent window_us={window_us} queries={} replies={} qps={qps} \
+         queue_p50us={} queue_p99us={} plan_p50us={} plan_p99us={} \
+         frame_p50us={} frame_p99us={} reply_p50us={} reply_p99us={} \
+         bytes_read={} bytes_written={}",
+        recent.requests,
+        recent.replies,
+        recent.queue.quantile(0.50) / 1_000,
+        recent.queue.quantile(0.99) / 1_000,
+        recent.plan.quantile(0.50) / 1_000,
+        recent.plan.quantile(0.99) / 1_000,
+        recent.frame.quantile(0.50) / 1_000,
+        recent.frame.quantile(0.99) / 1_000,
+        recent.reply.quantile(0.50) / 1_000,
+        recent.reply.quantile(0.99) / 1_000,
+        recent.bytes_read,
+        recent.bytes_written
     ))
 }
 
@@ -727,6 +890,11 @@ pub struct Server {
     registry: SessionRegistry,
     /// `trace on` state: query replies gain an ` epoch=N` suffix.
     trace: bool,
+    /// This server's process-unique connection id, the upper half of every
+    /// trace id it mints (so traces stay unique across connections).
+    origin: u64,
+    /// Count of trace ids minted; the lower half of the next trace id.
+    trace_seq: u64,
 }
 
 impl Server {
@@ -736,7 +904,23 @@ impl Server {
             config,
             registry: SessionRegistry::new(),
             trace: false,
+            origin: next_connection_id(),
+            trace_seq: 0,
         }
+    }
+
+    /// The process-unique id of the connection this server instance serves
+    /// (in-process drivers count as connections too).
+    pub fn connection_id(&self) -> u64 {
+        self.origin
+    }
+
+    /// Mints the next request trace id: connection id in the upper 32 bits,
+    /// a per-connection sequence number in the lower — unique across the
+    /// process, monotone within a connection.
+    fn next_trace(&mut self) -> u64 {
+        self.trace_seq += 1;
+        (self.origin << 32) | self.trace_seq
     }
 
     /// The current slot's session, if a `universe` request has opened one.
@@ -791,12 +975,15 @@ impl Server {
     }
 
     /// Defers a single-constraint query against the current snapshot.
-    fn defer_goal(&self, text: &str, make: fn(DiffConstraint) -> QueryKind) -> Step {
+    fn defer_goal(&mut self, text: &str, make: fn(DiffConstraint) -> QueryKind) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match DiffConstraint::parse(text, session.universe()) {
                 Ok(goal) => Step::Deferred(
-                    DeferredQuery::new(session.snapshot(), make(goal)).traced(self.trace),
+                    DeferredQuery::new(session.snapshot(), make(goal))
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
                 ),
                 Err(e) => Step::Done(Reply::err(e.to_string())),
             },
@@ -804,13 +991,15 @@ impl Server {
     }
 
     /// Defers a `bound` query against the current snapshot.
-    fn defer_bound(&self, text: &str) -> Step {
+    fn defer_bound(&mut self, text: &str) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match session.universe().parse_set(text) {
                 Ok(set) => Step::Deferred(
                     DeferredQuery::new(session.snapshot(), QueryKind::Bound(set))
-                        .traced(self.trace),
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
                 ),
                 Err(e) => Step::Done(Reply::err(e.to_string())),
             },
@@ -818,7 +1007,8 @@ impl Server {
     }
 
     /// Defers a `batch` query against the current snapshot.
-    fn defer_batch(&self, texts: &[String]) -> Step {
+    fn defer_batch(&mut self, texts: &[String]) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => {
@@ -832,7 +1022,8 @@ impl Server {
                 }
                 Step::Deferred(
                     DeferredQuery::new(session.snapshot(), QueryKind::Batch(goals))
-                        .traced(self.trace),
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
                 )
             }
         }
@@ -842,14 +1033,16 @@ impl Server {
     /// verb the server accepts, so stalling the serial scan on it would
     /// idle every worker.  The wedge-threshold refusals run here, at scan
     /// time (see [`Server::mine_refusal`]).
-    fn defer_mine(&self, config: MinerConfig) -> Step {
+    fn defer_mine(&mut self, config: MinerConfig) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
         match self.registry.session() {
             None => Step::Done(Reply::err("no session (send `universe` first)")),
             Some(session) => match Server::mine_refusal(session.universe().len(), &config) {
                 Some(refusal) => Step::Done(refusal),
                 None => Step::Deferred(
                     DeferredQuery::new(session.snapshot(), QueryKind::Mine(config))
-                        .traced(self.trace),
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
                 ),
             },
         }
@@ -886,7 +1079,7 @@ impl Server {
             | Request::Mine(_) => unreachable!("query verbs are handled by begin"),
             Request::Empty => Reply::line(""),
             Request::Help => Reply::line(
-                "ok commands: universe session assert retract implies batch witness derive explain trace known forget bound load mine adopt dataset premises knowns stats reset help quit",
+                "ok commands: universe session assert retract implies batch witness derive explain trace known forget bound load mine adopt dataset premises knowns stats debug reset help quit",
             ),
             Request::Trace(enabled) => {
                 self.trace = enabled;
@@ -928,9 +1121,10 @@ impl Server {
                     text.push(' ');
                     match session {
                         Some(s) => text.push_str(&format!(
-                            "{id}:u{}p{}",
+                            "{id}:u{}p{}q{}",
                             s.universe().len(),
-                            s.premises().len()
+                            s.premises().len(),
+                            s.costs().queries.get()
                         )),
                         None => text.push_str(&format!("{id}:-")),
                     }
@@ -940,6 +1134,7 @@ impl Server {
             Request::Quit => Reply {
                 text: "bye".into(),
                 quit: true,
+                flight: PendingFlight(None),
             },
             Request::Universe(spec) => {
                 let universe = match spec {
@@ -974,6 +1169,7 @@ impl Server {
                 );
                 self.registry
                     .install(Session::with_config(universe, self.config));
+                self.register_current_session();
                 Reply::line(reply)
             }
             Request::Reset => match self.registry.session() {
@@ -981,6 +1177,7 @@ impl Server {
                     let universe = old.universe().clone();
                     self.registry
                         .install(Session::with_config(universe, self.config));
+                    self.register_current_session();
                     Reply::line("ok reset")
                 }
                 None => Reply::err("no session (send `universe` first)"),
@@ -1138,8 +1335,37 @@ impl Server {
                         name = kind.name()
                     ));
                 }
+                let costs = session.costs();
+                text.push_str(&format!(
+                    " queue_us={} decide_us={}",
+                    costs.queue_ns.get() / 1_000,
+                    costs.decide_ns.get() / 1_000
+                ));
                 Reply::line(text)
             }),
+            Request::StatsRecent => stats_recent_reply(),
+            Request::DebugRecent(n) => {
+                let flight = &EngineMetrics::global().flight;
+                let records = flight.dump(n.unwrap_or(10));
+                let mut text = format!("flight n={} written={}", records.len(), flight.written());
+                for (i, (_, words)) in records.iter().enumerate() {
+                    text.push_str(if i == 0 { " " } else { " | " });
+                    text.push_str(&FlightRecord::decode(words).render());
+                }
+                Reply::line(text)
+            }
+            Request::DebugTrace(id) => {
+                let flight = &EngineMetrics::global().flight;
+                let found = flight
+                    .dump(flight.capacity())
+                    .into_iter()
+                    .map(|(_, words)| FlightRecord::decode(&words))
+                    .find(|record| record.trace == id);
+                match found {
+                    Some(record) => Reply::line(format!("flight n=1 {}", record.render())),
+                    None => Reply::err(format!("no flight record for trace {id}")),
+                }
+            }
             Request::Assert(text) => self.with_constraint(&text, |session, constraint| {
                 let (id, added) = session.assert_constraint(&constraint);
                 Reply::line(format!(
@@ -1156,6 +1382,19 @@ impl Server {
                     Reply::err("constraint is not an asserted premise")
                 }
             }),
+        }
+    }
+
+    /// Registers the just-installed current session's cost counters with the
+    /// global metrics registry, keyed by (connection, slot), so `stats`,
+    /// `session list`, and the Prometheus endpoint can attribute cost to it.
+    fn register_current_session(&self) {
+        if let Some(session) = self.registry.session() {
+            EngineMetrics::global().register_session(
+                self.origin,
+                self.registry.current_id(),
+                session.costs(),
+            );
         }
     }
 
@@ -1391,7 +1630,7 @@ mod tests {
         s.handle_line("assert B -> {C}");
         assert_eq!(
             s.handle_line("session list").text,
-            "sessions n=2 current=1 0:u4p1 1:u3p1"
+            "sessions n=2 current=1 0:u4p1q0 1:u3p1q0"
         );
         // Premises do not leak between slots.
         assert!(s.handle_line("implies A -> {B}").text.starts_with("no"));
@@ -1399,6 +1638,11 @@ mod tests {
         assert_eq!(s.handle_line("session use 0").text, "ok session id=0");
         assert!(s.handle_line("implies A -> {B}").text.starts_with("yes"));
         assert!(s.handle_line("implies B -> {C}").text.starts_with("no"));
+        // The slot descriptors attribute the served queries per slot.
+        assert_eq!(
+            s.handle_line("session list").text,
+            "sessions n=2 current=0 0:u4p1q2 1:u3p1q2"
+        );
         // Closing the current slot falls back to the lowest remaining id.
         assert_eq!(
             s.handle_line("session close").text,

@@ -42,7 +42,7 @@
 //! its input buffer runs dry ([`Pipeline::pending`] + [`Pipeline::finish`]),
 //! so socket clients may be strict or pipelined at will.
 
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, FlightRecord};
 use crate::protocol::{self, Reply};
 use crate::session::{Session, SessionConfig};
 use crate::snapshot::Snapshot;
@@ -189,6 +189,30 @@ pub(crate) enum QueryKind {
     Mine(MinerConfig),
 }
 
+impl QueryKind {
+    /// The wire verb, as the flight recorder names it.
+    pub(crate) fn verb_name(&self) -> &'static str {
+        match self {
+            QueryKind::Implies(_) => "implies",
+            QueryKind::Batch(_) => "batch",
+            QueryKind::Bound(_) => "bound",
+            QueryKind::Witness(_) => "witness",
+            QueryKind::Derive(_) => "derive",
+            QueryKind::Explain(_) => "explain",
+            QueryKind::Mine(_) => "mine",
+        }
+    }
+}
+
+/// Per-query telemetry the reply formatters don't carry: where the planner
+/// routed the query, whether a cache answered, and the decision time —
+/// the flight record's route/cache/decide fields.
+struct QueryMeta {
+    route: &'static str,
+    cached: bool,
+    decide_ns: u64,
+}
+
 /// A read-only request captured with the snapshot of its target session at
 /// its position in the request order.  [`DeferredQuery::run`] evaluates it
 /// on the calling thread; any thread, any time — the answer is fixed by the
@@ -199,6 +223,17 @@ pub struct DeferredQuery {
     kind: QueryKind,
     traced: bool,
     queued: Instant,
+    /// Flight-record identity: the request's trace id and the connection
+    /// and session slot it arrived on (zero until
+    /// [`DeferredQuery::with_origin`]).
+    trace: u64,
+    conn: u64,
+    slot: u64,
+    /// Flight-record transport stage: request bytes on the wire and frame
+    /// read time (zero for in-process drivers, set by
+    /// [`DeferredQuery::with_io`]).
+    bytes_in: u64,
+    frame_ns: u64,
 }
 
 impl DeferredQuery {
@@ -208,6 +243,11 @@ impl DeferredQuery {
             kind,
             traced: false,
             queued: Instant::now(),
+            trace: 0,
+            conn: 0,
+            slot: 0,
+            bytes_in: 0,
+            frame_ns: 0,
         }
     }
 
@@ -215,6 +255,23 @@ impl DeferredQuery {
     /// ` epoch=<n>` suffix naming the snapshot that answered.
     pub(crate) fn traced(mut self, traced: bool) -> Self {
         self.traced = traced;
+        self
+    }
+
+    /// Stamps the flight-record identity fields: the minted trace id plus
+    /// the connection and session slot the request arrived on.
+    pub(crate) fn with_origin(mut self, trace: u64, conn: u64, slot: u64) -> Self {
+        self.trace = trace;
+        self.conn = conn;
+        self.slot = slot;
+        self
+    }
+
+    /// Stamps the flight-record transport fields: request bytes on the wire
+    /// and the frame read time.
+    fn with_io(mut self, bytes_in: u64, frame_ns: u64) -> Self {
+        self.bytes_in = bytes_in;
+        self.frame_ns = frame_ns;
         self
     }
 
@@ -232,31 +289,106 @@ impl DeferredQuery {
 
     /// [`DeferredQuery::run`] plus the evaluation wall-clock, recording
     /// queue age and evaluation latency in the process-wide
-    /// [`EngineMetrics`] registry (`queue`/`plan` stages).
+    /// [`EngineMetrics`] registry (`queue`/`plan` stages), charging the
+    /// target session's cost counters, and attaching the request's flight
+    /// record to the reply (committed when the transport writes it, or on
+    /// drop for in-process drivers).
     pub(crate) fn run_timed(&self) -> (Reply, Duration) {
         let metrics = EngineMetrics::global();
-        metrics.queue_ns.record_duration(self.queued.elapsed());
+        let queue = self.queued.elapsed();
+        metrics.queue_ns.record_duration(queue);
         let start = Instant::now();
-        let reply = self.answer();
+        let (mut reply, meta) = self.answer(queue);
         let eval = start.elapsed();
         metrics.plan_ns.record_duration(eval);
+        let costs = self.snapshot.costs();
+        costs.queries.inc();
+        costs.queue_ns.add(queue.as_nanos() as u64);
+        costs.decide_ns.add(meta.decide_ns);
+        // The reply stage is filled in by the transport at write time; the
+        // byte count here is the in-process answer (text plus newline), so
+        // a record committed without crossing a wire is still accurate.
+        let bytes_out = if reply.text.is_empty() {
+            0
+        } else {
+            reply.text.len() as u64 + 1
+        };
+        reply.attach_flight(FlightRecord {
+            trace: self.trace,
+            conn: self.conn,
+            slot: self.slot,
+            verb: self.kind.verb_name(),
+            route: meta.route,
+            cached: meta.cached,
+            bytes_in: self.bytes_in,
+            bytes_out,
+            frame_ns: self.frame_ns,
+            queue_ns: queue.as_nanos() as u64,
+            plan_ns: eval.as_nanos() as u64,
+            decide_ns: meta.decide_ns,
+            reply_ns: 0,
+            epoch: self.snapshot.epoch(),
+        });
         (reply, eval)
     }
 
-    fn answer(&self) -> Reply {
-        let mut reply = match &self.kind {
-            QueryKind::Implies(goal) => protocol::implies_reply(&self.snapshot.implies(goal)),
-            QueryKind::Batch(goals) => protocol::batch_reply(&self.snapshot.implies_batch(goals)),
-            QueryKind::Bound(set) => protocol::bound_reply(self.snapshot.bound(*set)),
-            QueryKind::Witness(goal) => protocol::witness_reply(
-                self.snapshot.universe(),
-                self.snapshot.refutation_witness(goal),
-            ),
-            QueryKind::Derive(goal) => protocol::derive_reply(self.snapshot.derive(goal)),
-            QueryKind::Explain(goal) => protocol::explain_reply(self.snapshot.explain(goal)),
-            QueryKind::Mine(config) => {
-                protocol::mined_reply(self.snapshot.universe(), self.snapshot.mine_dataset(config))
+    fn answer(&self, queue: Duration) -> (Reply, QueryMeta) {
+        let scan = |route, elapsed: Duration| QueryMeta {
+            route,
+            cached: false,
+            decide_ns: elapsed.as_nanos() as u64,
+        };
+        let (mut reply, meta) = match &self.kind {
+            QueryKind::Implies(goal) => {
+                let outcome = self.snapshot.implies(goal);
+                let meta = QueryMeta {
+                    route: outcome.route_name(),
+                    cached: outcome.cached,
+                    decide_ns: outcome.elapsed.as_nanos() as u64,
+                };
+                (protocol::implies_reply(&outcome), meta)
             }
+            QueryKind::Batch(goals) => {
+                let outcomes = self.snapshot.implies_batch(goals);
+                let decided: Duration = outcomes.iter().map(|o| o.elapsed).sum();
+                (protocol::batch_reply(&outcomes), scan("batch", decided))
+            }
+            QueryKind::Bound(set) => {
+                let outcome = self.snapshot.bound(*set);
+                let meta = match &outcome {
+                    Ok(b) => QueryMeta {
+                        route: b.route_name(),
+                        cached: b.cached,
+                        decide_ns: b.elapsed.as_nanos() as u64,
+                    },
+                    Err(_) => scan("bound", Duration::ZERO),
+                };
+                (protocol::bound_reply(outcome), meta)
+            }
+            QueryKind::Witness(goal) => (
+                protocol::witness_reply(
+                    self.snapshot.universe(),
+                    self.snapshot.refutation_witness(goal),
+                ),
+                scan("witness", Duration::ZERO),
+            ),
+            QueryKind::Derive(goal) => (
+                protocol::derive_reply(self.snapshot.derive(goal)),
+                scan("derive", Duration::ZERO),
+            ),
+            QueryKind::Explain(goal) => {
+                let outcome = self.snapshot.explain(goal);
+                let meta = QueryMeta {
+                    route: outcome.outcome.route_name(),
+                    cached: outcome.outcome.cached,
+                    decide_ns: outcome.decide.as_nanos() as u64,
+                };
+                (protocol::explain_reply(outcome, self.trace, queue), meta)
+            }
+            QueryKind::Mine(config) => (
+                protocol::mined_reply(self.snapshot.universe(), self.snapshot.mine_dataset(config)),
+                scan("mine", Duration::ZERO),
+            ),
         };
         // `explain` already names its epoch; every other traced reply gains
         // the suffix.  The epoch is fixed by the captured snapshot, so the
@@ -266,7 +398,7 @@ impl DeferredQuery {
                 .text
                 .push_str(&format!(" epoch={}", self.snapshot.epoch()));
         }
-        reply
+        (reply, meta)
     }
 
     /// Reconstructs the canonical request line — for the slow-query log,
@@ -341,9 +473,19 @@ impl Pipeline {
     /// `stats` and `quit` observe query accounting, so the wave in flight
     /// must complete before they run for their view to match serial
     /// execution (the invariant `stats_flushes_pending_wave_before_reporting`
-    /// pins).
+    /// pins).  The same holds for the other observability verbs: `session
+    /// list` reports per-slot query counts, and `stats recent` / `debug`
+    /// read windowed stats and the flight recorder.
     fn flushes_pending_wave(request: &protocol::Request) -> bool {
-        matches!(request, protocol::Request::Stats | protocol::Request::Quit)
+        matches!(
+            request,
+            protocol::Request::Stats
+                | protocol::Request::StatsRecent
+                | protocol::Request::DebugRecent(_)
+                | protocol::Request::DebugTrace(_)
+                | protocol::Request::SessionList
+                | protocol::Request::Quit
+        )
     }
 
     /// The worker count of the underlying pool.
@@ -384,6 +526,15 @@ impl Pipeline {
     /// Feeds one request line.  Returns the replies released by this line —
     /// strictly in input order — and whether the conversation should end.
     pub fn push_line(&mut self, line: &str) -> (Vec<Reply>, bool) {
+        self.push_line_io(line, line.len() as u64, 0)
+    }
+
+    /// [`Pipeline::push_line`] with transport framing telemetry: the
+    /// request's size on the wire and the time spent reading its frame,
+    /// recorded in the query's flight record.  In-process drivers use
+    /// [`Pipeline::push_line`], which stamps the line length and a zero
+    /// frame time.
+    pub fn push_line_io(&mut self, line: &str, bytes_in: u64, frame_ns: u64) -> (Vec<Reply>, bool) {
         EngineMetrics::global().requests.inc();
         let step = match protocol::parse_request(line) {
             Ok(request) => {
@@ -400,7 +551,8 @@ impl Pipeline {
         match step {
             protocol::Step::Done(reply) => self.queue.push(Queued::Ready(reply)),
             protocol::Step::Deferred(query) => {
-                self.queue.push(Queued::Deferred(query));
+                self.queue
+                    .push(Queued::Deferred(query.with_io(bytes_in, frame_ns)));
                 self.deferred += 1;
             }
         }
@@ -451,8 +603,12 @@ impl Pipeline {
             if slow {
                 if let Queued::Deferred(d) = &self.queue[i] {
                     metrics.slow_queries.inc();
+                    let flight = reply
+                        .flight_ref()
+                        .map(|record| format!(" {}", record.render()))
+                        .unwrap_or_default();
                     eprintln!(
-                        "diffcond: slow query us={} request=`{}`",
+                        "diffcond: slow query us={} request=`{}`{flight}",
                         eval.as_micros(),
                         d.describe()
                     );
@@ -461,6 +617,7 @@ impl Pipeline {
             self.queue[i] = Queued::Ready(reply);
         }
         self.deferred = 0;
+        metrics.observe_recent();
     }
 
     /// Removes and returns the longest ready prefix of the queue.

@@ -28,7 +28,7 @@
 
 use crate::cache::{ShardOccupancy, ShardedCache};
 use crate::intern::{ConstraintId, ConstraintInterner};
-use crate::metrics::{CacheFamily, EngineMetrics};
+use crate::metrics::{CacheFamily, EngineMetrics, SessionCosts};
 use crate::planner::{Planner, PlannerConfig, PlannerStats};
 use crate::snapshot::{EngineCaches, Snapshot, SnapshotParts};
 use diffcon::inference::Derivation;
@@ -189,6 +189,10 @@ pub struct Session {
     /// Shared across every snapshot this session publishes.
     caches: Arc<EngineCaches>,
     planner: Arc<Planner>,
+    /// Cost-attribution ledger shared with the planner and every snapshot;
+    /// registered with the global metrics registry when the session is
+    /// bound to a `(connection, slot)` pair.
+    costs: Arc<SessionCosts>,
     /// Monotone publication counter; `snapshot.epoch()` exposes it.
     epoch: u64,
     /// The currently published snapshot (readers clone the `Arc`).
@@ -228,7 +232,8 @@ impl Session {
                 config.bound_cache_capacity,
             ),
         });
-        let planner = Arc::new(Planner::new(config.planner));
+        let costs = Arc::new(SessionCosts::default());
+        let planner = Arc::new(Planner::with_costs(config.planner, Arc::clone(&costs)));
         let current = Arc::new(Snapshot::from_parts(SnapshotParts {
             universe: universe.clone(),
             premises: Arc::from([]),
@@ -243,6 +248,7 @@ impl Session {
             epoch: 0,
             caches: Arc::clone(&caches),
             planner: Arc::clone(&planner),
+            costs: Arc::clone(&costs),
         }));
         Session {
             universe,
@@ -259,6 +265,7 @@ impl Session {
             dataset: None,
             caches,
             planner,
+            costs,
             epoch: 0,
             current,
             interner_compaction_threshold: config.interner_compaction_threshold.max(1),
@@ -316,7 +323,14 @@ impl Session {
             epoch: self.epoch,
             caches: Arc::clone(&self.caches),
             planner: Arc::clone(&self.planner),
+            costs: Arc::clone(&self.costs),
         }));
+    }
+
+    /// The session's cost-attribution ledger (shared with the planner and
+    /// every published snapshot).
+    pub fn costs(&self) -> Arc<SessionCosts> {
+        Arc::clone(&self.costs)
     }
 
     /// The currently published snapshot: an immutable view of the session

@@ -25,6 +25,7 @@
 
 use crate::batch::{self, Job, JobResult};
 use crate::cache::{version_salt, CacheStats, ShardedCache, VersionedKey};
+use crate::metrics::SessionCosts;
 use crate::planner::{Planner, PlannerStats};
 use diffcon::inference::{self, Derivation};
 use diffcon::procedure::ProcedureKind;
@@ -190,6 +191,7 @@ pub struct Snapshot {
     epoch: u64,
     caches: Arc<EngineCaches>,
     planner: Arc<Planner>,
+    costs: Arc<SessionCosts>,
 }
 
 /// Everything a session hands over when publishing a snapshot.
@@ -208,6 +210,7 @@ pub(crate) struct SnapshotParts {
     pub(crate) epoch: u64,
     pub(crate) caches: Arc<EngineCaches>,
     pub(crate) planner: Arc<Planner>,
+    pub(crate) costs: Arc<SessionCosts>,
 }
 
 impl Snapshot {
@@ -226,6 +229,7 @@ impl Snapshot {
             epoch: parts.epoch,
             caches: parts.caches,
             planner: parts.planner,
+            costs: parts.costs,
         }
     }
 
@@ -263,6 +267,13 @@ impl Snapshot {
     /// mutations, so readers can tell snapshots apart (and order them).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The owning session's cost-attribution series (shared across every
+    /// snapshot the session publishes, so deferred queries evaluated
+    /// against an older epoch still charge the same ledger).
+    pub fn costs(&self) -> &Arc<SessionCosts> {
+        &self.costs
     }
 
     /// Index-aligned propositional translations of the premises.

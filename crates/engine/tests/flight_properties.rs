@@ -1,0 +1,209 @@
+//! Flight-recorder invariants, exercised end to end through the protocol:
+//!
+//! * `debug recent` returns the most recent records newest-first, and every
+//!   query this connection issued is present with its reply's trace id;
+//! * trace ids are unique across concurrent TCP connections and strictly
+//!   monotone within each connection;
+//! * a live dump taken while another thread is writing records always
+//!   parses — the seqlock ring never hands out a torn record.
+//!
+//! The flight ring is a process-wide global shared by every test in this
+//! binary, so assertions filter by connection id (`trace >> 32`) where they
+//! depend on *which* records appear, and validate format only where they
+//! depend on *all* records.  Total traffic across the binary stays far
+//! below the ring capacity (1024), so nothing tested here is ever evicted.
+
+use diffcon_engine::{Client, NetConfig, NetServer, Server, SessionConfig};
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+/// Known verb and route vocabularies — a dumped record must use one of each.
+const VERBS: &[&str] = &[
+    "?", "implies", "batch", "bound", "witness", "derive", "explain", "mine",
+];
+const ROUTES: &[&str] = &[
+    "?",
+    "trivial",
+    "fd",
+    "lattice",
+    "semantic",
+    "sat",
+    "cached",
+    "propagation",
+    "relaxed",
+    "batch",
+    "witness",
+    "derive",
+    "mine",
+];
+
+/// Extracts `key=value` from a reply or a rendered record.
+fn field<'a>(text: &'a str, key: &str) -> &'a str {
+    text.split_whitespace()
+        .find_map(|t| t.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("field {key} missing in `{text}`"))
+}
+
+/// Splits a `debug recent` reply into rendered records (newest first) and
+/// checks the advertised count matches.  Each record is returned as the
+/// full `trace=… … epoch=…` token run.
+fn parse_dump(reply: &str) -> Vec<String> {
+    assert!(reply.starts_with("flight n="), "got: {reply}");
+    let n: usize = field(reply, "n").parse().expect("n numeric");
+    let records: Vec<String> = match reply.find("trace=") {
+        Some(at) => reply[at..].split(" | ").map(str::to_string).collect(),
+        None => Vec::new(),
+    };
+    assert_eq!(records.len(), n, "n= disagrees with record count: {reply}");
+    records
+}
+
+/// Asserts one rendered record is complete and internally consistent:
+/// all fourteen fields present, numerics numeric, verb/route from the
+/// known vocabularies.  A torn read would fail here — a half-written
+/// record decodes to out-of-range verb/route indices (rendered `?` is
+/// only legal together with a zero trace, which `parse_dump` never
+/// yields for committed records) or garbage numerics.
+fn assert_wellformed(record: &str) {
+    for key in [
+        "trace",
+        "conn",
+        "slot",
+        "cached",
+        "in",
+        "out",
+        "frame_us",
+        "queue_us",
+        "plan_us",
+        "decide_us",
+        "reply_us",
+        "epoch",
+    ] {
+        let value = field(record, key);
+        assert!(
+            value.parse::<u64>().is_ok(),
+            "{key}={value} not numeric in `{record}`"
+        );
+    }
+    let verb = field(record, "verb");
+    assert!(VERBS.contains(&verb), "unknown verb {verb} in `{record}`");
+    let route = field(record, "route");
+    assert!(
+        ROUTES.contains(&route),
+        "unknown route {route} in `{record}`"
+    );
+    let trace: u64 = field(record, "trace").parse().unwrap();
+    let conn: u64 = field(record, "conn").parse().unwrap();
+    assert_eq!(trace >> 32, conn, "trace origin != conn in `{record}`");
+}
+
+/// `debug recent` holds every query this connection just ran, newest
+/// first, with trace ids strictly decreasing down the dump and matching
+/// the ids the replies advertised.
+#[test]
+fn debug_recent_is_newest_first_and_complete() {
+    let mut server = Server::new(SessionConfig::default());
+    server.handle_line("universe 4");
+    server.handle_line("assert A->{B}");
+    server.handle_line("assert B->{C}");
+    let mut issued: Vec<u64> = Vec::new();
+    for goal in ["A->{C}", "A->{B}", "B->{C}", "C->{A}", "A->{C}", "AB->{C}"] {
+        let reply = server.handle_line(&format!("explain {goal}")).text;
+        issued.push(field(&reply, "trace").parse().expect("trace numeric"));
+    }
+    let conn = issued[0] >> 32;
+    let dump = server.handle_line("debug recent 1024").text;
+    let ours: Vec<u64> = parse_dump(&dump)
+        .iter()
+        .inspect(|record| assert_wellformed(record))
+        .map(|record| field(record, "trace").parse::<u64>().unwrap())
+        .filter(|trace| trace >> 32 == conn)
+        .collect();
+    // Newest first: our records appear as the issued sequence reversed.
+    let mut expected = issued.clone();
+    expected.reverse();
+    assert_eq!(ours, expected, "dump: {dump}");
+    // And `debug trace` finds each one individually.
+    for trace in issued {
+        let one = server.handle_line(&format!("debug trace {trace}")).text;
+        assert!(one.starts_with("flight n=1 "), "got: {one}");
+        assert_eq!(field(&one, "trace"), trace.to_string());
+        assert_eq!(field(&one, "verb"), "explain");
+    }
+}
+
+fn spawn_server() -> (SocketAddr, diffcon_engine::ShutdownHandle) {
+    let server = NetServer::bind("127.0.0.1:0", NetConfig::default()).expect("loopback bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || server.run().expect("accept loop"));
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let mut client = Client::connect_timeout(&addr, DEADLINE).expect("connect");
+    client.set_read_timeout(Some(DEADLINE)).expect("timeout");
+    client
+}
+
+/// Across two live TCP connections, trace ids never collide, and within
+/// each connection they are strictly increasing in issue order.
+#[test]
+fn trace_ids_are_unique_and_monotone_per_connection() {
+    let (addr, handle) = spawn_server();
+    let mut traces: Vec<Vec<u64>> = Vec::new();
+    for _ in 0..2 {
+        let mut client = connect(addr);
+        client.request("universe 4").expect("universe");
+        client.request("assert A->{B}").expect("assert");
+        let mut own = Vec::new();
+        for goal in ["A->{B}", "B->{A}", "A->{B}", "AB->{B}", "C->{D}"] {
+            let reply = client.request(&format!("explain {goal}")).expect("explain");
+            own.push(field(&reply, "trace").parse::<u64>().expect("trace"));
+        }
+        traces.push(own);
+        client.quit().expect("quit");
+    }
+    handle.shutdown();
+    let mut seen = HashSet::new();
+    for own in &traces {
+        for window in own.windows(2) {
+            assert!(window[0] < window[1], "not monotone: {traces:?}");
+        }
+        for trace in own {
+            assert!(seen.insert(*trace), "trace {trace} repeated: {traces:?}");
+        }
+    }
+    let origins: HashSet<u64> = traces.iter().map(|own| own[0] >> 32).collect();
+    assert_eq!(origins.len(), 2, "connections share an origin: {traces:?}");
+}
+
+/// Dumping the ring while another thread commits records never yields a
+/// torn record: every dump parses and every record is well-formed.
+#[test]
+fn live_dump_never_tears() {
+    let writer = std::thread::spawn(|| {
+        let mut server = Server::new(SessionConfig::default());
+        server.handle_line("universe 5");
+        server.handle_line("assert A->{B}");
+        for round in 0..60 {
+            for goal in ["A->{B}", "B->{C}", "AC->{B}", "D->{E}"] {
+                server.handle_line(&format!("implies {goal}"));
+            }
+            if round % 16 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut reader = Server::new(SessionConfig::default());
+    for _ in 0..200 {
+        let dump = reader.handle_line("debug recent 20").text;
+        for record in parse_dump(&dump) {
+            assert_wellformed(&record);
+        }
+    }
+    writer.join().expect("writer thread");
+}

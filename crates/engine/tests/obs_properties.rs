@@ -41,12 +41,16 @@ fn arb_request_line() -> impl Strategy<Value = String> {
 }
 
 /// Counter samples (`*_total` series plus the bare counters) keyed by
-/// series identity, for cross-scrape monotonicity checks.
+/// series identity, for cross-scrape monotonicity checks.  Per-session and
+/// per-connection attribution series (any series with a `conn` label) are
+/// excluded: their registry is capacity-bounded, so an entry present in an
+/// earlier scrape can be evicted — vanish, not regress — by later traffic.
 fn counter_samples(text: &str) -> HashMap<String, f64> {
     parse_exposition(text)
         .expect("exposition must parse")
         .into_iter()
         .filter(|s| s.name.ends_with("_total"))
+        .filter(|s| !s.key().contains("conn="))
         .map(|s| (s.key(), s.value))
         .collect()
 }
@@ -146,6 +150,25 @@ proptest! {
         };
         let route = field("route");
         let cached = field("cached") == "1";
+        // The reply's trailing trace id and queue wait must match the
+        // request's flight record exactly — the reply and the record are
+        // two views of the same request.
+        let trace = field("trace");
+        let dump = server.handle_line(&format!("debug trace {trace}")).text;
+        prop_assert!(dump.starts_with("flight n=1 "), "got: {dump}");
+        let record_field = |key: &str| -> String {
+            dump.split_whitespace()
+                .find_map(|t| t.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("{key} missing: {dump}"))
+                .to_string()
+        };
+        prop_assert_eq!(record_field("trace"), trace);
+        prop_assert_eq!(record_field("verb"), "explain");
+        prop_assert_eq!(record_field("route"), route.clone());
+        prop_assert_eq!(record_field("cached"), field("cached"));
+        prop_assert_eq!(record_field("queue_us"), field("queue_us"));
+        prop_assert_eq!(record_field("decide_us"), field("decide_us"));
+        prop_assert_eq!(record_field("epoch"), field("epoch"));
         if route == "trivial" {
             prop_assert_eq!(stats_after.trivial, stats_before.trivial + 1, "trivial: {}", reply);
         } else {

@@ -91,6 +91,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Premises),
         Just(Request::Knowns),
         Just(Request::Stats),
+        Just(Request::StatsRecent),
+        (0u64..2, 1usize..6).prop_map(|(some, n)| Request::DebugRecent((some == 1).then_some(n))),
+        (0u64..1000).prop_map(Request::DebugTrace),
         Just(Request::Reset),
         Just(Request::Help),
         Just(Request::Quit),
@@ -237,6 +240,41 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
                 field_value(rest, "queries").is_some(),
                 "queries missing: {line}"
             );
+            if rest.first() == Some(&"recent") {
+                for key in ["window_us", "qps", "replies", "queue_p50us", "reply_p99us"] {
+                    let v =
+                        field_value(rest, key).unwrap_or_else(|| panic!("{key} missing: {line}"));
+                    assert!(is_number(v), "{key} not numeric: {line}");
+                }
+            }
+        }
+        "flight" => {
+            let n: usize = field_value(rest, "n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("flight without n=: {line}"));
+            let records: Vec<&[&str]> = if rest.iter().any(|t| t.starts_with("trace=")) {
+                let body = &rest[rest
+                    .iter()
+                    .position(|t| t.starts_with("trace="))
+                    .expect("position exists")..];
+                body.split(|t| *t == "|").collect()
+            } else {
+                Vec::new()
+            };
+            assert_eq!(records.len(), n, "flight record count: {line}");
+            for record in records {
+                for key in ["trace", "conn", "slot", "cached", "queue_us", "epoch"] {
+                    let v = field_value(record, key)
+                        .unwrap_or_else(|| panic!("{key} missing in record: {line}"));
+                    assert!(is_number(v), "{key} not numeric: {line}");
+                }
+                for key in ["verb", "route"] {
+                    assert!(
+                        field_value(record, key).is_some(),
+                        "{key} missing in record: {line}"
+                    );
+                }
+            }
         }
         "explain" => {
             let verdict =
@@ -258,6 +296,8 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
                 "plan_us",
                 "decide_us",
                 "total_us",
+                "trace",
+                "queue_us",
             ] {
                 let v = field_value(rest, key).unwrap_or_else(|| panic!("{key} missing: {line}"));
                 assert!(is_number(v), "{key} not numeric: {line}");
@@ -283,11 +323,15 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
                     let body = state
                         .strip_prefix('u')
                         .unwrap_or_else(|| panic!("slotdesc state `{state}`: {line}"));
-                    let (u, p) = body
+                    let (u, rest) = body
                         .split_once('p')
+                        .unwrap_or_else(|| panic!("slotdesc state `{state}`: {line}"));
+                    let (p, q) = rest
+                        .split_once('q')
                         .unwrap_or_else(|| panic!("slotdesc state `{state}`: {line}"));
                     assert!(u.parse::<usize>().is_ok(), "slot universe `{u}`: {line}");
                     assert!(p.parse::<usize>().is_ok(), "slot premises `{p}`: {line}");
+                    assert!(q.parse::<u64>().is_ok(), "slot queries `{q}`: {line}");
                 }
             }
         }
@@ -375,6 +419,10 @@ fn every_response_verb_is_covered() {
         "adopt",
         "premises",
         "stats",
+        "stats recent",
+        "debug recent",
+        "debug recent 2",
+        "debug trace 1",
         "forget A",
         "frobnicate",
         "session list",

@@ -12,6 +12,10 @@
 //!   [`HistogramSnapshot`]s answering p50/p90/p99/p999 quantiles.
 //! * [`Trace`]: a lightweight per-request stage timer (named marks against
 //!   one `Instant` clock) for `explain`-style latency decomposition.
+//! * [`FlightRecorder`]: an always-on lock-free ring buffer of fixed-width
+//!   records (one per completed request) — overwrite-oldest, written
+//!   concurrently from any number of threads, dumpable without stopping
+//!   traffic, and mergeable across recorders ([`FlightRecorder::absorb`]).
 //! * [`Exposition`]: a Prometheus-text-format (version 0.0.4) builder that
 //!   emits one `# TYPE` line per family and renders histograms as summary
 //!   series (`{quantile="…"}` plus `_sum`/`_count`), with a matching
@@ -360,6 +364,160 @@ impl Trace {
     /// Total time since the trace started.
     pub fn total(&self) -> Duration {
         self.start.elapsed()
+    }
+}
+
+/// Words in one [`FlightRecorder`] record.  The layout of the words is the
+/// caller's contract (the engine packs its per-request stage record into
+/// them); the recorder only guarantees that a dumped record is exactly one
+/// writer's `FLIGHT_WORDS` words, never a mixture.
+pub const FLIGHT_WORDS: usize = 12;
+
+/// One fixed-width flight-recorder record.
+pub type FlightWords = [u64; FLIGHT_WORDS];
+
+/// One ring slot: a sequence tag plus the record words.
+///
+/// The tag encodes the slot's state *and* which global write it holds:
+/// `0` = never written, `2·i + 1` = write `i` in progress, `2·i + 2` =
+/// write `i` complete.  Because a slot is only ever reused by writes whose
+/// indices differ by a multiple of the capacity, equal tags before and
+/// after a read prove the words belong to one complete write (no ABA).
+#[derive(Debug)]
+struct FlightSlot {
+    seq: AtomicU64,
+    words: [AtomicU64; FLIGHT_WORDS],
+}
+
+impl FlightSlot {
+    fn empty() -> FlightSlot {
+        FlightSlot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// An always-on, fixed-capacity, overwrite-oldest ring buffer of
+/// [`FlightWords`] records, written lock-free from any number of threads
+/// and dumpable at any moment without stopping writers.
+///
+/// Writes claim a globally ordered index with one `fetch_add`, then publish
+/// through a per-slot seqlock (tag odd while the words are being stored,
+/// even once complete).  Readers accept a slot only when the tag is even
+/// and unchanged across the word reads, so a dump taken under live traffic
+/// never observes a torn record — at worst it skips the one slot currently
+/// being overwritten.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[FlightSlot]>,
+    cursor: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    /// A recorder sized for serving-process use: the 1024 most recent
+    /// requests, a few seconds of history under load.
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(1024)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the `capacity` most recent records (clamped to at
+    /// least 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity.max(1)).map(|_| FlightSlot::empty()).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of records the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (monotone; the ring retains the most
+    /// recent [`FlightRecorder::capacity`] of them).
+    pub fn written(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends one record, overwriting the oldest once the ring is full.
+    pub fn record(&self, words: &FlightWords) {
+        let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(index % self.slots.len() as u64) as usize];
+        let claim = 2 * index + 1;
+        let mut seen = slot.seq.load(Ordering::Acquire);
+        loop {
+            if seen > claim {
+                // A write with a larger index already owns this slot (we
+                // lagged a full ring behind); our record is the older one,
+                // so dropping it preserves overwrite-oldest semantics.
+                return;
+            }
+            if seen % 2 == 1 {
+                // An older write is mid-flight in this slot; wait for its
+                // publish rather than interleaving word stores with it.
+                std::hint::spin_loop();
+                seen = slot.seq.load(Ordering::Acquire);
+                continue;
+            }
+            match slot
+                .seq
+                .compare_exchange_weak(seen, claim, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+        for (cell, &word) in slot.words.iter().zip(words) {
+            cell.store(word, Ordering::Release);
+        }
+        slot.seq.store(claim + 1, Ordering::Release);
+    }
+
+    /// The most recent `n` complete records, newest first, each paired with
+    /// its global write index.  Taken under live traffic: slots mid-write
+    /// are retried briefly and then skipped, so the dump is tear-free by
+    /// construction (a record is returned only when its sequence tag is
+    /// even and identical before and after the word reads).
+    pub fn dump(&self, n: usize) -> Vec<(u64, FlightWords)> {
+        let mut out: Vec<(u64, FlightWords)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..8 {
+                let before = slot.seq.load(Ordering::Acquire);
+                if before == 0 {
+                    break; // never written
+                }
+                if before % 2 == 1 {
+                    std::hint::spin_loop();
+                    continue; // write in progress; retry
+                }
+                let mut words = [0u64; FLIGHT_WORDS];
+                for (word, cell) in words.iter_mut().zip(slot.words.iter()) {
+                    *word = cell.load(Ordering::Acquire);
+                }
+                if slot.seq.load(Ordering::Acquire) == before {
+                    out.push((before / 2 - 1, words));
+                    break;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(index, _)| std::cmp::Reverse(index));
+        out.truncate(n);
+        out
+    }
+
+    /// Replays every record retained by `other` into `self`, oldest first,
+    /// so per-thread or per-worker recorders can be merged into one ring
+    /// (interleaved by merge order, each record intact).
+    pub fn absorb(&self, other: &FlightRecorder) {
+        let mut records = other.dump(other.capacity());
+        records.reverse();
+        for (_, words) in records {
+            self.record(&words);
+        }
     }
 }
 
@@ -846,6 +1004,85 @@ mod tests {
         let names: Vec<_> = t.stages().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["one", "two"]);
         assert!(t.total() >= second);
+    }
+
+    /// A record derived from its index, so tearing is detectable.
+    fn stamped(index: u64) -> FlightWords {
+        let mut words = [0u64; FLIGHT_WORDS];
+        for (slot, word) in words.iter_mut().enumerate() {
+            *word = index.wrapping_mul(slot as u64 + 1).wrapping_add(7);
+        }
+        words
+    }
+
+    #[test]
+    fn flight_recorder_retains_the_most_recent_records() {
+        let ring = FlightRecorder::with_capacity(4);
+        assert_eq!(ring.dump(8), Vec::new());
+        for i in 0..10u64 {
+            ring.record(&stamped(i));
+        }
+        assert_eq!(ring.written(), 10);
+        let dumped = ring.dump(8);
+        let indices: Vec<u64> = dumped.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, [9, 8, 7, 6], "newest first, capacity-bounded");
+        for (index, words) in &dumped {
+            assert_eq!(*words, stamped(*index));
+        }
+        assert_eq!(ring.dump(2).len(), 2, "dump truncates to n");
+    }
+
+    #[test]
+    fn flight_recorder_never_tears_under_concurrent_traffic() {
+        let ring = FlightRecorder::with_capacity(32);
+        let writers = 4u64;
+        let per_writer = 2_000u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        ring.record(&stamped(w * per_writer + i));
+                    }
+                });
+            }
+            // A reader dumps continuously while the writers hammer the ring:
+            // every record it accepts must satisfy the stamp invariant.
+            let ring = &ring;
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    for (_, words) in ring.dump(32) {
+                        let seed = words[0].wrapping_sub(7);
+                        assert_eq!(words, stamped(seed), "torn record: {words:?}");
+                    }
+                }
+            });
+        });
+        assert_eq!(ring.written(), writers * per_writer);
+        // Quiescent: the ring holds 32 distinct complete records.
+        let settled = ring.dump(32);
+        assert_eq!(settled.len(), 32);
+        let mut indices: Vec<u64> = settled.iter().map(|(i, _)| *i).collect();
+        indices.dedup();
+        assert_eq!(indices.len(), 32, "indices are distinct and sorted");
+    }
+
+    #[test]
+    fn flight_recorder_absorb_merges_rings() {
+        let a = FlightRecorder::with_capacity(8);
+        let b = FlightRecorder::with_capacity(4);
+        for i in 0..3u64 {
+            a.record(&stamped(i));
+        }
+        for i in 10..13u64 {
+            b.record(&stamped(i));
+        }
+        a.absorb(&b);
+        let merged = a.dump(8);
+        assert_eq!(merged.len(), 6);
+        // Newest entries are b's records, replayed oldest-first.
+        let payloads: Vec<u64> = merged.iter().map(|(_, w)| w[0].wrapping_sub(7)).collect();
+        assert_eq!(payloads, [12, 11, 10, 2, 1, 0]);
     }
 
     #[test]
