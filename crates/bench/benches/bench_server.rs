@@ -14,16 +14,21 @@
 //!   per-thread scaling column records what a multi-core host exploits);
 //! * **serial vs. sharded cache hit latency** — a plain `LruCache` hit
 //!   against a `ShardedCache` hit (hash + shard pick + mutex), the per-op
-//!   price of concurrency on the hot path.
+//!   price of concurrency on the hot path;
+//! * **observability tax** — the flight recorder's per-request cost, the
+//!   continuous profiler's per-request cost with the sampler running (A/B
+//!   against the same pipelined warm loop with it stopped), the price of a
+//!   stage guard while profiling is disabled, and the warm cached query
+//!   path's allocation count (must be zero).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon_bench::workloads;
 use diffcon_bench::{JsonReport, Table};
 use diffcon_engine::{
-    EngineMetrics, FlightRecord, LruCache, Server, Session, SessionConfig, ShardedCache,
+    EngineMetrics, FlightRecord, LruCache, Pipeline, Server, Session, SessionConfig, ShardedCache,
 };
-use diffcon_obs::HistogramSnapshot;
+use diffcon_obs::{profile, HistogramSnapshot};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -197,6 +202,82 @@ fn warm_request_ns() -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / PASSES as f64
 }
 
+/// The cost of one stage guard while profiling is disabled — the price
+/// every tagged call site pays on an unprofiled server.  Must be ~0 (a
+/// single relaxed load).
+fn disabled_guard_ns() -> f64 {
+    static BENCH_TAG: profile::StageTag = profile::StageTag::new("bench.guard");
+    const PASSES: u64 = 20_000_000;
+    profile::sampler_stop();
+    profile::set_enabled(false);
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        criterion::black_box(profile::stage(&BENCH_TAG));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / PASSES as f64
+}
+
+/// A/B per-request cost of continuous profiling on the pipelined warm
+/// path: the same warm cached query stream through a `Pipeline` (whose
+/// scan and wave stages carry beacon guards) with the sampler running
+/// versus stopped.  Best-of-trials in each mode so scheduler noise cannot
+/// masquerade as profiler cost.
+fn profiler_overhead_ns() -> f64 {
+    const PASSES: u64 = 20_000;
+    let run_once = || -> f64 {
+        let mut pipeline = Pipeline::new(SessionConfig::default(), 2);
+        pipeline.push_line("universe 4");
+        pipeline.push_line("assert A->{B}");
+        for _ in 0..2_048 {
+            criterion::black_box(pipeline.push_line("implies A->{B}"));
+        }
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            criterion::black_box(pipeline.push_line("implies A->{B}"));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        pipeline.finish();
+        secs * 1e9 / PASSES as f64
+    };
+    let best = |enabled: bool| -> f64 {
+        if enabled {
+            profile::sampler_start(0);
+        } else {
+            profile::sampler_stop();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..TRIALS {
+            best = best.min(run_once());
+        }
+        best
+    };
+    let baseline_ns = best(false);
+    let profiled_ns = best(true);
+    profile::sampler_stop();
+    profiled_ns - baseline_ns
+}
+
+/// Heap allocations per warm cached query, measured by the counting
+/// global allocator's per-thread counters.  The cache-hit decision path
+/// must be allocation-free.
+fn warm_path_allocs_per_query() -> f64 {
+    const PASSES: u64 = 10_000;
+    let mut server = Server::new(SessionConfig::default());
+    server.handle_line("universe 4");
+    server.handle_line("assert A->{B}");
+    let session = server.session().expect("session exists");
+    let universe = session.universe().clone();
+    let goal = diffcon::DiffConstraint::parse("A->{B}", &universe).expect("goal parses");
+    let snapshot = session.snapshot();
+    criterion::black_box(snapshot.implies(&goal));
+    let (allocs_before, _) = profile::thread_alloc_counts();
+    for _ in 0..PASSES {
+        criterion::black_box(snapshot.implies(&goal));
+    }
+    let (allocs_after, _) = profile::thread_alloc_counts();
+    (allocs_after - allocs_before) as f64 / PASSES as f64
+}
+
 fn emit_json_report() {
     // Baseline the process-global per-route decision histograms: the window
     // measured below covers the cold warmup decisions plus every warm pass,
@@ -287,6 +368,29 @@ fn emit_json_report() {
         flight_ns < request_ns * 0.05,
         "flight recording costs {flight_ns:.1} ns/request, over 5% of the \
          {request_ns:.0} ns warm request cost"
+    );
+
+    // Continuous profiling must be near-free when off and cheap when on:
+    // a disabled guard is one relaxed load, and running the sampler with
+    // every stage guard live costs under 3% of a warm request.
+    let guard_ns = disabled_guard_ns();
+    let profiler_ns = profiler_overhead_ns();
+    let warm_allocs = warm_path_allocs_per_query();
+    report.push_metric("profiler_disabled_guard_ns", guard_ns);
+    report.push_metric("profiler_overhead_ns", profiler_ns);
+    report.push_metric("warm_path_allocs_per_query", warm_allocs);
+    assert!(
+        guard_ns < 5.0,
+        "a disabled stage guard costs {guard_ns:.2} ns — not ~0"
+    );
+    assert!(
+        profiler_ns < request_ns * 0.03,
+        "continuous profiling costs {profiler_ns:.1} ns/request, over 3% of \
+         the {request_ns:.0} ns warm request cost"
+    );
+    assert!(
+        warm_allocs == 0.0,
+        "warm cached queries allocate ({warm_allocs} allocs/query)"
     );
 
     // Histogram-derived decision latency per implication route, windowed to

@@ -14,12 +14,30 @@
 use crate::snapshot::Snapshot;
 use diffcon::procedure::ProcedureKind;
 use diffcon::{implication, prop_bridge, DiffConstraint};
+use diffcon_obs::profile::{self, StageTag};
 use proplogic::implication::ImplicationConstraint;
 use rayon::prelude::*;
 use relational::fd;
 use setlat::{lattice, AttrSet, Universe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Profiling tags for the implication decision routes, so a profile
+/// attributes worker time to the procedure actually burning it.
+static STAGE_FD: StageTag = StageTag::new("planner.fd");
+static STAGE_LATTICE: StageTag = StageTag::new("planner.lattice");
+static STAGE_SEMANTIC: StageTag = StageTag::new("planner.semantic");
+static STAGE_SAT: StageTag = StageTag::new("planner.sat");
+
+/// The profiling tag of one decision route.
+pub fn route_stage_tag(kind: ProcedureKind) -> &'static StageTag {
+    match kind {
+        ProcedureKind::FdFragment => &STAGE_FD,
+        ProcedureKind::Lattice => &STAGE_LATTICE,
+        ProcedureKind::Semantic => &STAGE_SEMANTIC,
+        ProcedureKind::Sat => &STAGE_SAT,
+    }
+}
 
 /// One planned unit of work: a goal plus the procedure chosen for it and any
 /// cached derived data the snapshot already holds.
@@ -51,6 +69,7 @@ pub struct JobResult {
 /// Decides a single job against the snapshot.
 pub fn decide_one(snapshot: &Snapshot, job: &Job) -> JobResult {
     let start = Instant::now();
+    let _route = profile::stage(route_stage_tag(job.procedure));
     let mut computed_lattice = None;
     let mut computed_prop = None;
     let implied = match job.procedure {

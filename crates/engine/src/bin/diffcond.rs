@@ -9,7 +9,8 @@
 //! ```text
 //! Usage: diffcond [--answer-cache N] [--lattice-cache N] [--prop-cache N]
 //!                 [--bound-cache N] [--cache-shards N] [--lattice-budget N]
-//!                 [--bound-budget N] [--threads N] [--slow-query-us N] [--help]
+//!                 [--bound-budget N] [--threads N] [--slow-query-us N]
+//!                 [--profile] [--profile-hz N] [--help]
 //!        diffcond serve [--addr HOST:PORT] [--max-conns N]
 //!                       [--max-request-bytes N] [--metrics-addr HOST:PORT]
 //!                       [same engine flags]
@@ -22,10 +23,17 @@
 //! malformed frames, and a concurrent-connection admission cap.  With
 //! `--metrics-addr HOST:PORT` a second listener serves the process-wide
 //! engine metrics (`diffcon_engine::EngineMetrics`) as Prometheus text
-//! exposition on any `GET` (scrape `http://HOST:PORT/metrics`).  With
-//! `--slow-query-us N`, queries whose evaluation takes at least `N`
-//! microseconds are logged to stderr with their reconstructed request line
-//! (applies to `serve` and `--threads` pipelined serving).
+//! exposition plus operational endpoints, routed by path
+//! (`diffcon_engine::metrics::http_routes`): `/metrics` for the scrape,
+//! `/healthz` for a liveness probe, `/buildinfo` for the build stamp, and
+//! `/profile?seconds=S` for an on-demand CPU profile in collapsed-stack
+//! form.  With `--slow-query-us N`, queries whose evaluation takes at least
+//! `N` microseconds are logged to stderr with their reconstructed request
+//! line (applies to `serve` and `--threads` pipelined serving; the stderr
+//! log is token-bucket rate limited, with drops counted in `stats`).  With
+//! `--profile`, the cooperative CPU sampler (`diffcon_obs::profile`) runs
+//! continuously at `--profile-hz` (default 97) and the sampled stacks are
+//! published on the metrics endpoint and the `debug profile dump` verb.
 //!
 //! `diffcond top` is the matching client-side dashboard: it polls a
 //! `--metrics-addr` exposition endpoint and renders request/stage/cost
@@ -76,7 +84,13 @@ Options:
   --slow-query-us N   log queries whose evaluation takes at least N µs to
                       stderr, with their reconstructed request line
                       (pipelined serving only: `serve` or `--threads` > 1;
-                      default: off)
+                      rate limited to 8 lines/s with bursts of 8; drops are
+                      counted in `stats` as slow_log_dropped; default: off)
+  --profile           run the cooperative CPU sampler continuously; sampled
+                      stage stacks surface in `debug profile dump`, the
+                      metrics exposition, and /profile (default: off)
+  --profile-hz N      sampling rate for --profile and `debug profile start`
+                      (default 97, max 1000)
   --help              print this text
 
 Network serving:
@@ -90,27 +104,34 @@ Network serving:
   --max-conns connections are admitted at once.  Defaults: --addr
   127.0.0.1:7878, --max-conns 64, --max-request-bytes 65536.
 
-  With --metrics-addr a second listener serves the process-wide engine
-  metrics as Prometheus text exposition on any GET (e.g.
-  `curl http://HOST:PORT/metrics`): request/reply/connection counters,
-  per-stage latency summaries (frame/queue/plan/reply), per-route planner
-  latency, per-family cache hit/miss/eviction/collision counters,
-  per-session and per-connection cost attribution, and snapshot epoch
-  publish rates.
+  With --metrics-addr a second listener serves GETs routed by path:
+    /metrics    Prometheus text exposition: request/reply/connection
+                counters, per-stage latency summaries, per-route planner
+                latency, cache counters, per-session and per-connection
+                cost attribution, allocation accounting, and sampled
+                profile stacks
+    /healthz    liveness probe (200 `ok queue_depth=N`)
+    /buildinfo  name, version, and build flavor
+    /profile    profile the process for ?seconds=S (default 2, max 30) at
+                ?hz=N and return flamegraph-collapsed stacks
 
 Live dashboard:
   diffcond top [--metrics-addr HOST:PORT] [--interval-ms N] [--once]
 
   Polls the Prometheus exposition a `diffcond serve --metrics-addr`
-  process publishes and renders totals, per-stage p50/p99 latencies, and
-  the busiest sessions and connections by attributed cost.  Refreshes in
-  place every --interval-ms (default 1000); with --once, prints a single
+  process publishes and renders totals, per-stage p50/p99 latencies, the
+  busiest sessions and connections by attributed cost, allocation
+  accounting (global and per profiling stage), and the hottest sampled
+  profile stacks when the server runs with --profile.  Refreshes in place
+  every --interval-ms (default 1000); with --once, prints a single
   snapshot and exits (scriptable).  Default --metrics-addr 127.0.0.1:9100.";
 
 struct Options {
     config: SessionConfig,
     threads: usize,
     slow_query_us: Option<u64>,
+    profile: bool,
+    profile_hz: u32,
     serve: Option<ServeOptions>,
     top: Option<TopOptions>,
 }
@@ -153,6 +174,8 @@ fn parse_args() -> Result<Options, String> {
     let mut config = SessionConfig::default();
     let mut threads = 1usize;
     let mut slow_query_us: Option<u64> = None;
+    let mut profile = false;
+    let mut profile_hz = 0u32;
     let mut serve: Option<ServeOptions> = None;
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("serve") {
@@ -190,6 +213,8 @@ fn parse_args() -> Result<Options, String> {
             config,
             threads,
             slow_query_us,
+            profile,
+            profile_hz,
             serve: None,
             top: Some(top),
         });
@@ -216,6 +241,17 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("--slow-query-us expects a number, got `{value}`"))?;
                 slow_query_us = Some(n);
+            }
+            "--profile" => profile = true,
+            "--profile-hz" => {
+                let value = args.next().ok_or("--profile-hz expects a sampling rate")?;
+                let n: u32 = value
+                    .parse()
+                    .map_err(|_| format!("--profile-hz expects a number, got `{value}`"))?;
+                if n == 0 || n > 1000 {
+                    return Err("--profile-hz must be between 1 and 1000".into());
+                }
+                profile_hz = n;
             }
             "--max-conns" | "--max-request-bytes" => {
                 let target = serve
@@ -286,6 +322,8 @@ fn parse_args() -> Result<Options, String> {
         config,
         threads,
         slow_query_us,
+        profile,
+        profile_hz,
         serve,
         top: None,
     })
@@ -401,13 +439,13 @@ fn serve_net(
             }
         };
         eprintln!(
-            "diffcond: metrics on http://{}/metrics",
+            "diffcond: metrics on http://{}/metrics (also /healthz /buildinfo /profile)",
             metrics_server.local_addr()
         );
         std::thread::spawn(move || {
             // Scrape-listener failures must never take down the serving
             // loop; the exposition endpoint is best-effort by design.
-            let _ = metrics_server.run(|| diffcon_engine::EngineMetrics::global().exposition());
+            let _ = metrics_server.run_routes(diffcon_engine::metrics::http_routes);
         });
     }
     eprintln!(
@@ -543,6 +581,49 @@ fn render_top(addr: &str, series: &[diffcon_obs::Series]) -> String {
             find("diffcond_connection_bytes_total", &written).unwrap_or(0.0),
         ));
     }
+    // Allocation accounting: global op/byte totals, then the stages (beacon
+    // tags) charged with the most allocator traffic.
+    out.push_str(&format!(
+        "alloc ops={}/{} bytes={}/{} (alloc/free)\n",
+        find("diffcond_alloc_ops_total", &[("op", "alloc")]).unwrap_or(0.0),
+        find("diffcond_alloc_ops_total", &[("op", "free")]).unwrap_or(0.0),
+        find("diffcond_alloc_bytes_total", &[("op", "alloc")]).unwrap_or(0.0),
+        find("diffcond_alloc_bytes_total", &[("op", "free")]).unwrap_or(0.0),
+    ));
+    let mut stages: Vec<(String, f64, f64)> = series
+        .iter()
+        .filter(|s| s.name == "diffcond_stage_allocs_total")
+        .map(|s| {
+            let stage = label_of(s, "stage");
+            let bytes = find(
+                "diffcond_stage_alloc_bytes_total",
+                &[("stage", stage.as_str())],
+            )
+            .unwrap_or(0.0);
+            (stage, s.value, bytes)
+        })
+        .collect();
+    stages.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out.push_str("allocs by stage (stage ops bytes):\n");
+    for (stage, ops, bytes) in stages.iter().take(10) {
+        out.push_str(&format!("  {stage}  {ops}  {bytes}\n"));
+    }
+    // Hottest sampled stacks (populated when the server profiles, via
+    // --profile or `debug profile start`).
+    let mut stacks: Vec<(String, f64)> = series
+        .iter()
+        .filter(|s| s.name == "diffcond_profile_stack_samples_total")
+        .map(|s| (label_of(s, "stack"), s.value))
+        .collect();
+    stacks.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out.push_str(&format!(
+        "profile (running={} samples={}):\n",
+        total("diffcond_profile_running"),
+        total("diffcond_profile_samples_total"),
+    ));
+    for (stack, count) in stacks.iter().take(10) {
+        out.push_str(&format!("  {count}  {stack}\n"));
+    }
     out
 }
 
@@ -556,7 +637,19 @@ fn main() {
     };
     if let Some(top) = options.top {
         run_top(top);
-    } else if let Some(serve) = options.serve {
+        return;
+    }
+    if options.profile_hz != 0 {
+        diffcon_obs::profile::set_default_hz(options.profile_hz);
+    }
+    if options.profile {
+        let hz = diffcon_obs::profile::sampler_start(0);
+        eprintln!("diffcond: profiling at {hz} hz (dump with `debug profile dump` or /profile)");
+    }
+    // The stdin loops and the accept loop both run here; tag the thread so
+    // sampled stacks attribute main-thread time to its class.
+    diffcon_obs::profile::set_thread_class("main");
+    if let Some(serve) = options.serve {
         serve_net(
             options.config,
             options.threads,

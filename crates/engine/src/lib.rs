@@ -130,8 +130,8 @@ pub use cache::{version_salt, CacheStats, LruCache, ShardOccupancy, ShardedCache
 pub use client::{Client, ClientError};
 pub use intern::{ConstraintId, ConstraintInterner};
 pub use metrics::{
-    next_connection_id, CacheFamily, ConnCosts, EngineMetrics, FlightRecord, RecentStats,
-    SessionCosts,
+    http_routes, next_connection_id, CacheFamily, ConnCosts, EngineMetrics, FlightRecord,
+    RecentStats, SessionCosts,
 };
 pub use net::{NetConfig, NetServer, ShutdownHandle};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};

@@ -54,13 +54,24 @@
 use crate::cache::CacheStats;
 use diffcon::procedure::{self, ProcedureKind};
 use diffcon_bounds::DeriveRoute;
+use diffcon_obs::profile::{self, CountingAllocator};
 use diffcon_obs::{
     Counter, Exposition, FlightRecorder, FlightWords, Gauge, Histogram, HistogramSnapshot,
+    HttpResponse,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The whole process allocates through the counting wrapper, so the
+/// allocation-accounting half of [`profile`] is always live: scrapes and the
+/// `top` panel read real alloc/free totals, and the test suite can *prove*
+/// the warm query path performs zero heap allocations instead of asserting
+/// it by review.  The wrapper's cost is a few relaxed atomic adds per
+/// alloc/free — noise against the allocation itself.
+#[global_allocator]
+static COUNTING_ALLOC: CountingAllocator = CountingAllocator::new();
 
 /// Which engine cache family a [`crate::cache::ShardedCache`] serves, for
 /// per-family attribution of the global cache counters.
@@ -383,10 +394,16 @@ struct RecentFrame {
 
 /// Live stats over roughly the last minute: counter deltas and
 /// stage-latency distributions between the oldest retained frame and now.
-/// A zero [`RecentStats::window`] means no baseline frame exists yet (the
-/// first observation); all deltas are zero in that case.
+/// A zero [`RecentStats::window`] with [`RecentStats::baseline`] false means
+/// no baseline frame exists yet (the first observation after startup); all
+/// deltas are zero in that case and should be reported as "warming up", not
+/// as a stalled server.
 #[derive(Debug)]
 pub struct RecentStats {
+    /// Whether a baseline frame existed: `false` only on the very first
+    /// observation, whose zero deltas are an artifact of having nothing to
+    /// difference against rather than a measurement.
+    pub baseline: bool,
     /// Width of the observed window.
     pub window: Duration,
     /// Requests entering pipelines over the window.
@@ -419,6 +436,8 @@ pub struct EngineMetrics {
     pub replies: Counter,
     /// Deferred queries whose evaluation exceeded the slow-query threshold.
     pub slow_queries: Counter,
+    /// Slow-query stderr lines suppressed by the log rate limiter.
+    pub slow_log_dropped: Counter,
     /// Evaluation waves run.
     pub waves: Counter,
     /// Deferred queries per wave.
@@ -604,6 +623,7 @@ impl EngineMetrics {
         Self::prune_frames(&mut frames, now.at);
         let stats = match frames.front() {
             Some(base) => RecentStats {
+                baseline: true,
                 window: now.at.duration_since(base.at),
                 requests: now.requests.saturating_sub(base.requests),
                 replies: now.replies.saturating_sub(base.replies),
@@ -615,6 +635,7 @@ impl EngineMetrics {
                 reply: now.reply.minus(&base.reply),
             },
             None => RecentStats {
+                baseline: false,
                 window: Duration::ZERO,
                 requests: 0,
                 replies: 0,
@@ -710,6 +731,59 @@ impl EngineMetrics {
             }
         }
         exp.counter("diffcond_flight_records_total", &[], self.flight.written());
+        exp.counter(
+            "diffcond_slow_log_dropped_total",
+            &[],
+            self.slow_log_dropped.get(),
+        );
+        // Allocation accounting (live whenever the counting allocator is
+        // installed — always, for this crate and its dependents).
+        let alloc = profile::alloc_counts();
+        exp.counter("diffcond_alloc_ops_total", &[("op", "alloc")], alloc.allocs);
+        exp.counter("diffcond_alloc_ops_total", &[("op", "free")], alloc.frees);
+        exp.counter(
+            "diffcond_alloc_bytes_total",
+            &[("op", "alloc")],
+            alloc.alloc_bytes,
+        );
+        exp.counter(
+            "diffcond_alloc_bytes_total",
+            &[("op", "free")],
+            alloc.free_bytes,
+        );
+        // Per-stage allocation attribution: counted only while profiling is
+        // enabled (tags are published by the beacon guards).  Tag counters
+        // are monotone and a tag once seen never vanishes, so scrape-over-
+        // scrape series sets only grow.
+        for (stage, allocs, bytes) in profile::tag_alloc_counts() {
+            exp.counter("diffcond_stage_allocs_total", &[("stage", stage)], allocs);
+            exp.counter(
+                "diffcond_stage_alloc_bytes_total",
+                &[("stage", stage)],
+                bytes,
+            );
+        }
+        // Continuous-profiler state: total samples, whether it is running,
+        // and every accumulated collapsed stack as a labeled series (all of
+        // them — truncating to a top-N would make series vanish between
+        // scrapes).
+        exp.gauge(
+            "diffcond_profile_running",
+            &[],
+            u64::from(profile::sampler_hz().is_some()),
+        );
+        exp.counter(
+            "diffcond_profile_samples_total",
+            &[],
+            profile::samples_total(),
+        );
+        for (stack, count) in profile::top_stacks(usize::MAX) {
+            exp.counter(
+                "diffcond_profile_stack_samples_total",
+                &[("stack", &stack)],
+                count,
+            );
+        }
         // Per-session and per-connection attribution.  Families are grouped
         // (all sessions under one family before the next) so each family's
         // TYPE header precedes every sample of that family.
@@ -779,6 +853,65 @@ impl EngineMetrics {
             }
         }
         exp.finish()
+    }
+}
+
+/// Longest `/profile?seconds=S` window the endpoint will block for.
+const PROFILE_MAX_SECONDS: u64 = 30;
+
+/// The metrics HTTP server's route table, shared by `diffcond serve` and
+/// the tests (the server itself stays in `diffcon_obs`; this is only the
+/// dispatch):
+///
+/// * `/metrics` (and `/`) — the Prometheus exposition.
+/// * `/healthz` — readiness: answers `200 ok` once the process is serving
+///   (the listener is up by construction when this handler runs) with the
+///   current pipeline queue depth, so orchestration and CI can gate on it
+///   instead of sleeping.
+/// * `/buildinfo` — name, version, and debug/release flavor.
+/// * `/profile?seconds=S[&hz=H]` — one-shot profile: samples every serving
+///   thread for `S` seconds (default 2, capped at 30) at `H` Hz (default
+///   97) and answers flamegraph-collapsed stacks.
+pub fn http_routes(path: &str) -> HttpResponse {
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, query),
+        None => (path, ""),
+    };
+    match route {
+        "/" | "/metrics" => HttpResponse::ok(EngineMetrics::global().exposition()),
+        "/healthz" => HttpResponse::ok(format!(
+            "ok queue_depth={}\n",
+            EngineMetrics::global().queue_depth.get()
+        )),
+        "/buildinfo" => HttpResponse::ok(format!(
+            "name=diffcond version={} flavor={}\n",
+            env!("CARGO_PKG_VERSION"),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )),
+        "/profile" => {
+            let mut seconds = 2u64;
+            let mut hz = 0u32; // 0 = the profiler's default rate
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+                let parsed: Result<u64, _> = value.parse();
+                match (key, parsed) {
+                    ("seconds", Ok(s)) => seconds = s,
+                    ("hz", Ok(h)) => hz = h.min(1_000) as u32,
+                    _ => {
+                        return HttpResponse::bad_request(format!(
+                            "unrecognized profile parameter: {pair}\n"
+                        ))
+                    }
+                }
+            }
+            let window = Duration::from_secs(seconds.clamp(1, PROFILE_MAX_SECONDS));
+            HttpResponse::ok(profile::profile_for(window, hz))
+        }
+        _ => HttpResponse::not_found(route),
     }
 }
 

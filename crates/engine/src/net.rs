@@ -53,6 +53,7 @@ use crate::metrics::{ConnCosts, EngineMetrics};
 use crate::protocol::{self, Reply};
 use crate::server_state::Pipeline;
 use crate::session::SessionConfig;
+use diffcon_obs::profile::{self, StageTag};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -322,12 +323,20 @@ fn discard_frame(reader: &mut impl BufRead, mut dropped: usize) -> io::Result<Fr
     }
 }
 
+/// Profiling tag for blocking socket reads (covers client think-time too —
+/// a connection thread sampled in `net.read` is *waiting on the wire*, which
+/// is exactly the transport tax a profile should make visible).
+static STAGE_NET_READ: StageTag = StageTag::new("net.read");
+/// Profiling tag for reply writes and flushes.
+static STAGE_NET_WRITE: StageTag = StageTag::new("net.write");
+
 /// Serves one connection to completion: frames requests, drives the
 /// connection's private [`Pipeline`], emits replies in request order, and
 /// flushes pending waves whenever the input buffer runs dry.
 fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
     // One request/one reply traffic benefits from immediate segments.
     let _ = stream.set_nodelay(true);
+    profile::set_thread_class("conn");
     let metrics = EngineMetrics::global();
     metrics.connections.inc();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -352,7 +361,9 @@ fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
         // that wait is the client's latency, not the server's.
         let framed = !reader.buffer().is_empty();
         let frame_start = Instant::now();
+        let read_guard = profile::stage(&STAGE_NET_READ);
         let frame = read_frame(&mut reader, &mut line, config.max_request_bytes)?;
+        drop(read_guard);
         let frame_ns = if framed {
             let elapsed = frame_start.elapsed();
             metrics.frame_ns.record_duration(elapsed);
@@ -407,6 +418,7 @@ fn emit_measured(
     replies: Vec<Reply>,
     costs: &ConnCosts,
 ) -> io::Result<()> {
+    let _write_stage = profile::stage(&STAGE_NET_WRITE);
     let metrics = EngineMetrics::global();
     for mut reply in replies {
         if reply.text.is_empty() {

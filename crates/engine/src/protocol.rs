@@ -45,6 +45,8 @@
 //!              |                                 records (default 10)
 //!              | "debug" "trace" NUMBER          dump one flight record by
 //!              |                                 its trace id
+//!              | "debug" "profile" ACTION        continuous profiler:
+//!              |                                 "start" | "stop" | "dump"
 //!              | "reset"                         drop premises, knowns, caches,
 //!              |                                 and the dataset
 //!              | "help"                          this summary
@@ -113,6 +115,7 @@
 //!            | "stats" field*
 //!            | "stats" "recent" field*           windowed live statistics
 //!            | "flight" "n=" NUMBER record*      flight-recorder dumps
+//!            | "profile" field* stack*           collapsed-stack profiles
 //!            | "bye"
 //!            | "err" message
 //! field    ::= KEY "=" VALUE                     e.g. route=lattice us=12
@@ -123,6 +126,11 @@
 //!                                                universe size, premise
 //!                                                count, and queries served
 //!                                                (e.g. `0:u4p2q7 1:-`)
+//! stack    ::= FRAMES " " NUMBER (" | " …)*      one sampled stack per
+//!                                                group: semicolon-joined
+//!                                                frames plus its sample
+//!                                                count (`conn;net.read 42`),
+//!                                                heaviest first
 //! record   ::= field* (" | " field*)*            one `trace=… conn=… slot=…
 //!                                                verb=… route=… cached=…
 //!                                                in=… out=… frame_us=…
@@ -175,6 +183,16 @@
 //! Trace ids are unique across the process and monotone within a
 //! connection (connection id in the upper 32 bits, a per-connection
 //! sequence number in the lower).
+//!
+//! `debug profile start` starts the process-wide continuous profiler (the
+//! cooperative sampler walking every serving thread's stage beacon at the
+//! configured rate — `--profile-hz`, default 97) and answers
+//! `ok profile running=1 hz=N`; `debug profile stop` halts it, keeping the
+//! accumulated samples (`ok profile running=0 samples=N`); `debug profile
+//! dump` reports them as ` | `-separated flamegraph-collapsed stacks:
+//! `profile samples=N stacks=K class;tag;…;tag count | …`.  The `/profile`
+//! HTTP endpoint serves the same stacks in the newline-delimited form
+//! external flamegraph tooling consumes.
 //!
 //! `trace on` makes every subsequent query reply (`implies`, `batch`,
 //! `bound`, `witness`, `derive`, `mine`) carry a trailing ` epoch=N` field
@@ -239,6 +257,7 @@ use diffcon::DiffConstraint;
 use diffcon_bounds::problem::DeriveError;
 use diffcon_bounds::Interval;
 use diffcon_discover::{Discovery, MinerConfig};
+use diffcon_obs::profile;
 use setlat::{AttrSet, Universe};
 
 /// Largest universe the discovery verbs accept.
@@ -363,6 +382,8 @@ pub enum Request {
     DebugRecent(Option<usize>),
     /// `debug trace <id>` — dump one flight record by trace id.
     DebugTrace(u64),
+    /// `debug profile start|stop|dump` — control the continuous profiler.
+    DebugProfile(ProfileAction),
     /// `reset`.
     Reset,
     /// `help`.
@@ -371,6 +392,18 @@ pub enum Request {
     Quit,
     /// Blank or comment line: no response.
     Empty,
+}
+
+/// The action of a `debug profile` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileAction {
+    /// `debug profile start` — start the continuous sampler (and enable the
+    /// beacon guards) at the process's configured rate.
+    Start,
+    /// `debug profile stop` — stop the sampler, keeping its samples.
+    Stop,
+    /// `debug profile dump` — report the accumulated collapsed stacks.
+    Dump,
 }
 
 /// The argument of a `universe` request.
@@ -565,7 +598,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .parse()
                     .map(Request::DebugTrace)
                     .map_err(|_| format!("debug trace expects a numeric trace id, got `{id}`")),
-                _ => Err("debug expects `recent [<n>]` or `trace <id>`".into()),
+                ["profile", "start"] => Ok(Request::DebugProfile(ProfileAction::Start)),
+                ["profile", "stop"] => Ok(Request::DebugProfile(ProfileAction::Stop)),
+                ["profile", "dump"] => Ok(Request::DebugProfile(ProfileAction::Dump)),
+                ["profile", other] => Err(format!(
+                    "debug profile expects `start`, `stop`, or `dump`, got `{other}`"
+                )),
+                _ => Err(
+                    "debug expects `recent [<n>]`, `trace <id>`, or `profile start|stop|dump`"
+                        .into(),
+                ),
             }
         }
         "reset" => no_args(Request::Reset),
@@ -620,6 +662,9 @@ pub fn format_request(request: &Request) -> String {
         Request::DebugRecent(None) => "debug recent".into(),
         Request::DebugRecent(Some(n)) => format!("debug recent {n}"),
         Request::DebugTrace(id) => format!("debug trace {id}"),
+        Request::DebugProfile(ProfileAction::Start) => "debug profile start".into(),
+        Request::DebugProfile(ProfileAction::Stop) => "debug profile stop".into(),
+        Request::DebugProfile(ProfileAction::Dump) => "debug profile dump".into(),
         Request::Reset => "reset".into(),
         Request::Help => "help".into(),
         Request::Quit => "quit".into(),
@@ -774,6 +819,12 @@ pub(crate) fn explain_reply(
 /// is requests over the window scaled to per-second.
 fn stats_recent_reply() -> Reply {
     let recent = EngineMetrics::global().recent();
+    if !recent.baseline {
+        // Cold start: no snapshot frame exists yet, so there is nothing to
+        // difference against.  Say so explicitly — an all-zero rate line
+        // would read as a stalled server.
+        return Reply::line("stats recent window_us=0 warming=1".to_string());
+    }
     let window_us = recent.window.as_micros() as u64;
     let qps = (recent.requests * 1_000_000)
         .checked_div(window_us)
@@ -1317,6 +1368,10 @@ impl Server {
                 if stats.interner_compactions > 0 {
                     text.push_str(&format!(" compactions={}", stats.interner_compactions));
                 }
+                let dropped = EngineMetrics::global().slow_log_dropped.get();
+                if dropped > 0 {
+                    text.push_str(&format!(" slow_log_dropped={dropped}"));
+                }
                 text.push_str(&format!(
                     " shards={} epoch={}",
                     stats.cache_shards, stats.epoch
@@ -1366,6 +1421,32 @@ impl Server {
                     None => Reply::err(format!("no flight record for trace {id}")),
                 }
             }
+            Request::DebugProfile(action) => match action {
+                ProfileAction::Start => {
+                    let hz = profile::sampler_start(0);
+                    Reply::line(format!("ok profile running=1 hz={hz}"))
+                }
+                ProfileAction::Stop => {
+                    profile::sampler_stop();
+                    Reply::line(format!(
+                        "ok profile running=0 samples={}",
+                        profile::samples_total()
+                    ))
+                }
+                ProfileAction::Dump => {
+                    let stacks = profile::top_stacks(usize::MAX);
+                    let mut text = format!(
+                        "profile samples={} stacks={}",
+                        profile::samples_total(),
+                        stacks.len()
+                    );
+                    for (i, (stack, count)) in stacks.iter().enumerate() {
+                        text.push_str(if i == 0 { " " } else { " | " });
+                        text.push_str(&format!("{stack} {count}"));
+                    }
+                    Reply::line(text)
+                }
+            },
             Request::Assert(text) => self.with_constraint(&text, |session, constraint| {
                 let (id, added) = session.assert_constraint(&constraint);
                 Reply::line(format!(

@@ -48,11 +48,17 @@ use crate::session::{Session, SessionConfig};
 use crate::snapshot::Snapshot;
 use diffcon::DiffConstraint;
 use diffcon_discover::MinerConfig;
+use diffcon_obs::profile::{self, StageTag};
 use rayon::prelude::*;
 use setlat::AttrSet;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Profiling tag for the serial request-scan stage (parse + begin).
+static STAGE_SCAN: StageTag = StageTag::new("pipeline.scan");
+/// Profiling tag for deferred-query evaluation inside a wave.
+static STAGE_WAVE: StageTag = StageTag::new("pipeline.wave");
 
 /// One registry slot: a numbered home for at most one live session.
 #[derive(Debug, Default)]
@@ -428,6 +434,49 @@ enum Queued {
     Deferred(DeferredQuery),
 }
 
+/// Token-bucket rate limiter for the slow-query stderr log.  Slow queries
+/// cluster exactly when the server is overloaded, and an unbounded stderr
+/// stream (a synchronous write per line) amplifies the overload it reports;
+/// the bucket caps the log at a short burst plus a steady trickle, and every
+/// suppressed line is counted in [`EngineMetrics::slow_log_dropped`] so the
+/// `stats` verb can surface how much was withheld.
+#[derive(Debug)]
+struct SlowLogLimiter {
+    tokens: f64,
+    last: Instant,
+}
+
+impl SlowLogLimiter {
+    /// Lines the bucket releases back-to-back from full.
+    const BURST: f64 = 8.0;
+    /// Sustained lines per second once the burst is spent.
+    const PER_SEC: f64 = 8.0;
+
+    fn new() -> SlowLogLimiter {
+        SlowLogLimiter {
+            tokens: SlowLogLimiter::BURST,
+            last: Instant::now(),
+        }
+    }
+
+    fn allow(&mut self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    fn allow_at(&mut self, now: Instant) -> bool {
+        let refill =
+            now.saturating_duration_since(self.last).as_secs_f64() * SlowLogLimiter::PER_SEC;
+        self.tokens = (self.tokens + refill).min(SlowLogLimiter::BURST);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// A concurrent request driver: serial scan, parallel query waves, in-order
 /// replies.  See the module docs for the execution model.
 #[derive(Debug)]
@@ -441,6 +490,8 @@ pub struct Pipeline {
     /// Queries whose evaluation takes at least this many microseconds are
     /// reported on stderr after their wave (`None` disables the log).
     slow_query_us: Option<u64>,
+    /// Rate limiter for the slow-query stderr lines.
+    slow_log: SlowLogLimiter,
 }
 
 impl Pipeline {
@@ -459,6 +510,7 @@ impl Pipeline {
             deferred: 0,
             max_wave: Pipeline::DEFAULT_WAVE,
             slow_query_us: None,
+            slow_log: SlowLogLimiter::new(),
         }
     }
 
@@ -483,6 +535,7 @@ impl Pipeline {
                 | protocol::Request::StatsRecent
                 | protocol::Request::DebugRecent(_)
                 | protocol::Request::DebugTrace(_)
+                | protocol::Request::DebugProfile(_)
                 | protocol::Request::SessionList
                 | protocol::Request::Quit
         )
@@ -536,6 +589,7 @@ impl Pipeline {
     /// frame time.
     pub fn push_line_io(&mut self, line: &str, bytes_in: u64, frame_ns: u64) -> (Vec<Reply>, bool) {
         EngineMetrics::global().requests.inc();
+        let scan_guard = profile::stage(&STAGE_SCAN);
         let step = match protocol::parse_request(line) {
             Ok(request) => {
                 if Pipeline::flushes_pending_wave(&request) {
@@ -548,6 +602,7 @@ impl Pipeline {
                 protocol::Step::Done(Reply::err(message))
             }
         };
+        drop(scan_guard);
         match step {
             protocol::Step::Done(reply) => self.queue.push(Queued::Ready(reply)),
             protocol::Step::Deferred(query) => {
@@ -593,8 +648,14 @@ impl Pipeline {
                     Queued::Ready(_) => unreachable!("targets are deferred slots"),
                 })
                 .collect();
-            self.pool
-                .install(|| jobs.par_iter().map(|d| d.run_timed()).collect())
+            self.pool.install(|| {
+                jobs.par_iter()
+                    .map(|d| {
+                        let _wave = profile::stage(&STAGE_WAVE);
+                        d.run_timed()
+                    })
+                    .collect()
+            })
         };
         for (&i, (reply, eval)) in targets.iter().zip(outcomes) {
             let slow = self
@@ -603,15 +664,19 @@ impl Pipeline {
             if slow {
                 if let Queued::Deferred(d) = &self.queue[i] {
                     metrics.slow_queries.inc();
-                    let flight = reply
-                        .flight_ref()
-                        .map(|record| format!(" {}", record.render()))
-                        .unwrap_or_default();
-                    eprintln!(
-                        "diffcond: slow query us={} request=`{}`{flight}",
-                        eval.as_micros(),
-                        d.describe()
-                    );
+                    if self.slow_log.allow() {
+                        let flight = reply
+                            .flight_ref()
+                            .map(|record| format!(" {}", record.render()))
+                            .unwrap_or_default();
+                        eprintln!(
+                            "diffcond: slow query us={} request=`{}`{flight}",
+                            eval.as_micros(),
+                            d.describe()
+                        );
+                    } else {
+                        metrics.slow_log_dropped.inc();
+                    }
                 }
             }
             self.queue[i] = Queued::Ready(reply);
@@ -761,5 +826,25 @@ mod tests {
         r.close(1);
         let ids: Vec<u64> = r.iter().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn slow_log_limiter_bursts_throttles_and_refills() {
+        let mut limiter = SlowLogLimiter::new();
+        let t0 = Instant::now();
+        let count_at = |limiter: &mut SlowLogLimiter, at: Instant| {
+            (0..100).filter(|_| limiter.allow_at(at)).count() as f64
+        };
+        // From full, exactly the burst passes; the rest are refused.
+        assert_eq!(count_at(&mut limiter, t0), SlowLogLimiter::BURST);
+        // One quiet second buys the steady rate back.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(count_at(&mut limiter, t1), SlowLogLimiter::PER_SEC);
+        // A long idle stretch refills to the burst cap, never beyond.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert_eq!(count_at(&mut limiter, t2), SlowLogLimiter::BURST);
+        // Clock going backwards (monotone in practice, but saturate anyway)
+        // must not mint tokens.
+        assert_eq!(count_at(&mut limiter, t0), 0.0);
     }
 }

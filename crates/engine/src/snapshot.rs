@@ -33,6 +33,11 @@ use diffcon::{implication, DiffConstraint};
 use diffcon_bounds::derive::{derive_propagated, derive_relaxed};
 use diffcon_bounds::problem::{BoundsConfig, BoundsProblem, DeriveError, DeriveRoute};
 use diffcon_bounds::{Interval, SideConditions};
+
+/// Profiling tag for bound-ladder derivations (cache misses only; hits
+/// return before any derivation work).
+static STAGE_BOUND: diffcon_obs::profile::StageTag =
+    diffcon_obs::profile::StageTag::new("planner.bound");
 use diffcon_discover::{miner, Dataset, Discovery, MinerConfig};
 use diffcon_obs::Trace;
 use proplogic::implication::ImplicationConstraint;
@@ -614,6 +619,7 @@ impl Snapshot {
             side: self.bound_side,
         };
         let start = Instant::now();
+        let _bound_stage = diffcon_obs::profile::stage(&STAGE_BOUND);
         let result = match route {
             DeriveRoute::Propagation => derive_propagated(&problem, query, &self.bounds_config),
             DeriveRoute::Relaxed => derive_relaxed(&problem, query),

@@ -1,0 +1,303 @@
+//! Continuous-profiling invariants, tested end to end:
+//!
+//! * collapsed-stack dumps always agree with the sampler's own accounting:
+//!   every line is well-formed (`class;tag;…;tag count`), the counts sum to
+//!   exactly the number of samples taken, and every rendered stack is one
+//!   the beacons really held — for *any* interleaving of stage pushes;
+//! * the `/profile`, `/healthz`, and `/buildinfo` HTTP routes answer with
+//!   the documented shapes, and unknown paths or parameters fail loudly;
+//! * the `debug profile start|stop|dump` verbs drive the process-wide
+//!   sampler through the ordinary request path;
+//! * the warm cached query path performs zero heap allocations (the
+//!   counting allocator is the engine's global allocator, so this is
+//!   measured, not asserted by inspection);
+//! * the slow-query stderr log is rate limited and drops are visible in
+//!   `stats`, and a cold `stats recent` answers the explicit warming form.
+
+use diffcon_engine::{metrics, Pipeline, Server, SessionConfig};
+use diffcon_obs::profile;
+use proptest::prelude::*;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes tests that toggle process-global profiler state (the enabled
+/// flag and the background sampler); the beacons and tag table are
+/// append-only and safe to share.
+static PROFILER: Mutex<()> = Mutex::new(());
+
+fn lock_profiler() -> std::sync::MutexGuard<'static, ()> {
+    PROFILER
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One collapsed-stack line: `frame(;frame)* count`, frames non-empty and
+/// free of the `;`/space separators.
+fn assert_collapsed_line(line: &str) {
+    let (stack, count) = line.rsplit_once(' ').unwrap_or_else(|| {
+        panic!("collapsed line has no count: {line:?}");
+    });
+    assert!(
+        count.parse::<u64>().is_ok(),
+        "collapsed count is not a number: {line:?}"
+    );
+    let frames: Vec<&str> = stack.split(';').collect();
+    assert!(frames.len() >= 2, "stack has no tag frames: {line:?}");
+    for frame in frames {
+        assert!(
+            !frame.is_empty() && !frame.contains(' '),
+            "malformed frame in {line:?}"
+        );
+    }
+}
+
+static TAG_A: profile::StageTag = profile::StageTag::new("proptest.alpha");
+static TAG_B: profile::StageTag = profile::StageTag::new("proptest.beta");
+static TAG_C: profile::StageTag = profile::StageTag::new("proptest.gamma");
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any sequence of nested stage pushes, a [`profile::SampleSet`]'s
+    /// collapsed rendering matches its own accounting exactly: counts sum
+    /// to the samples taken, each line is well-formed, and each rendered
+    /// stack is a prefix chain of the tags actually pushed.
+    #[test]
+    fn collapsed_stacks_agree_with_sampler_accounting(
+        depths in proptest::collection::vec(0usize..4, 1..6),
+        samples_per_depth in 1u32..4,
+    ) {
+        let _guard = lock_profiler();
+        profile::set_enabled(true);
+        let tags: [&'static profile::StageTag; 3] = [&TAG_A, &TAG_B, &TAG_C];
+        let mut set = profile::SampleSet::new();
+        let mut expected = 0u64;
+        for &depth in &depths {
+            // Hold `depth` nested stages open while sampling.
+            let guards: Vec<profile::StageGuard> =
+                tags.iter().take(depth).map(|t| profile::stage(t)).collect();
+            for _ in 0..samples_per_depth {
+                expected += set.sample_once();
+            }
+            drop(guards);
+        }
+        profile::set_enabled(false);
+        prop_assert_eq!(set.samples(), expected);
+        let collapsed = set.collapsed();
+        let mut sum = 0u64;
+        for line in collapsed.lines() {
+            assert_collapsed_line(line);
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            sum += count.parse::<u64>().unwrap();
+            // Any stack sampled off this thread is a prefix chain of the
+            // tags we pushed (other threads' beacons contribute idle or
+            // engine-tagged frames; both parse above).
+            if stack.contains("proptest.") {
+                let frames: Vec<&str> = stack.split(';').collect();
+                let names = ["proptest.alpha", "proptest.beta", "proptest.gamma"];
+                for (frame, expected_name) in frames[1..].iter().zip(names) {
+                    prop_assert_eq!(*frame, expected_name, "stack {}", stack);
+                }
+            }
+        }
+        prop_assert_eq!(sum, expected, "collapsed counts disagree with samples()");
+    }
+}
+
+#[test]
+fn healthz_buildinfo_and_unknown_routes() {
+    let health = metrics::http_routes("/healthz");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.starts_with("ok queue_depth="),
+        "got: {}",
+        health.body
+    );
+    let build = metrics::http_routes("/buildinfo");
+    assert_eq!(build.status, 200);
+    assert!(
+        build.body.starts_with("name=diffcond version="),
+        "got: {}",
+        build.body
+    );
+    assert!(build.body.contains(" flavor="), "got: {}", build.body);
+    assert_eq!(metrics::http_routes("/metrics").status, 200);
+    assert_eq!(metrics::http_routes("/nope").status, 404);
+    assert_eq!(metrics::http_routes("/profile?bogus=1").status, 400);
+    assert_eq!(metrics::http_routes("/profile?seconds=x").status, 400);
+}
+
+#[test]
+fn profile_endpoint_emits_wellformed_collapsed_stacks() {
+    let _guard = lock_profiler();
+    // Drive real queries while the window is open so worker beacons are
+    // live and the dump contains engine stage frames, not just idle.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let driver = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut pipeline = Pipeline::new(SessionConfig::default(), 2);
+            pipeline.push_line("universe 6");
+            pipeline.push_line("assert A->{B}");
+            pipeline.push_line("assert B->{C,DE}");
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                pipeline.push_line("implies A->{C,DE}");
+                pipeline.push_line("implies AB->{C}");
+                pipeline.push_line("stats");
+            }
+            pipeline.finish();
+        })
+    };
+    let response = metrics::http_routes("/profile?seconds=1&hz=311");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    driver.join().expect("driver thread");
+    assert_eq!(response.status, 200);
+    assert!(
+        !response.body.trim().is_empty(),
+        "profile window sampled nothing"
+    );
+    for line in response.body.lines() {
+        assert_collapsed_line(line);
+    }
+    // ~311 hz over 1 s: the counts must be in the right order of magnitude.
+    let total: u64 = response
+        .body
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert!(total >= 30, "implausibly few samples: {total}");
+}
+
+#[test]
+fn debug_profile_verbs_drive_the_sampler() {
+    let _guard = lock_profiler();
+    let mut server = Server::new(SessionConfig::default());
+    let start = server.handle_line("debug profile start").text;
+    assert!(
+        start.starts_with("ok profile running=1 hz="),
+        "got: {start}"
+    );
+    assert!(profile::sampler_hz().is_some(), "sampler not running");
+    // Idempotent: a second start reports the same running sampler.
+    let again = server.handle_line("debug profile start").text;
+    assert!(
+        again.starts_with("ok profile running=1 hz="),
+        "got: {again}"
+    );
+    std::thread::sleep(Duration::from_millis(60));
+    let dump = server.handle_line("debug profile dump").text;
+    assert!(dump.starts_with("profile samples="), "got: {dump}");
+    let stop = server.handle_line("debug profile stop").text;
+    assert!(
+        stop.starts_with("ok profile running=0 samples="),
+        "got: {stop}"
+    );
+    assert!(profile::sampler_hz().is_none(), "sampler still running");
+    // Dump still renders the retained accumulation after stop.
+    let post = server.handle_line("debug profile dump").text;
+    assert!(post.starts_with("profile samples="), "got: {post}");
+    for group in post.split(" | ").skip(1) {
+        assert_collapsed_line(group);
+    }
+    let err = server.handle_line("debug profile frobnicate").text;
+    assert!(err.starts_with("err "), "got: {err}");
+}
+
+#[test]
+fn warm_cached_query_path_allocates_nothing() {
+    // Pre-pay this thread's one-time profiling registration so the
+    // measurement below sees only the query path's own behavior.
+    profile::set_thread_class("test");
+    let mut server = Server::new(SessionConfig::default());
+    server.handle_line("universe 6");
+    server.handle_line("assert A->{B}");
+    server.handle_line("assert B->{C,DE}");
+    let session = server.session().expect("session exists");
+    let universe = session.universe().clone();
+    let goal = diffcon::DiffConstraint::parse("A->{C,DE}", &universe).unwrap();
+    let snapshot = session.snapshot();
+    // Warm: the first call populates the answer cache.
+    let cold = snapshot.implies(&goal);
+    assert!(!cold.cached, "first query must miss");
+    assert!(snapshot.implies(&goal).cached, "second query must hit");
+    let (allocs_before, bytes_before) = profile::thread_alloc_counts();
+    for _ in 0..1000 {
+        let outcome = snapshot.implies(&goal);
+        assert!(outcome.implied && outcome.cached);
+    }
+    let (allocs_after, bytes_after) = profile::thread_alloc_counts();
+    assert_eq!(
+        (allocs_after - allocs_before, bytes_after - bytes_before),
+        (0, 0),
+        "warm cached implies allocated"
+    );
+}
+
+#[test]
+fn slow_log_drops_are_rate_limited_and_visible_in_stats() {
+    let mut pipeline = Pipeline::new(SessionConfig::default(), 2);
+    pipeline.set_slow_query_us(Some(0));
+    pipeline.push_line("universe 5");
+    pipeline.push_line("assert A->{B}");
+    // Far more instantly-"slow" queries than the 8-line burst allows: the
+    // excess must be dropped and counted, not printed.
+    let dropped_before = metrics_counter("diffcond_slow_log_dropped_total");
+    for _ in 0..64 {
+        pipeline.push_line("implies A->{B}");
+    }
+    let (replies, _) = pipeline.push_line("stats");
+    pipeline.finish();
+    let dropped_after = metrics_counter("diffcond_slow_log_dropped_total");
+    assert!(
+        dropped_after > dropped_before,
+        "no slow-log drops recorded: {dropped_before} -> {dropped_after}"
+    );
+    let stats = replies
+        .iter()
+        .map(|r| r.text.as_str())
+        .find(|t| t.starts_with("stats "))
+        .expect("stats reply present")
+        .to_string();
+    let field = stats
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("slow_log_dropped="))
+        .expect("stats must report slow_log_dropped once drops happened");
+    assert!(field.parse::<u64>().unwrap() > 0, "got: {stats}");
+}
+
+#[test]
+fn stats_recent_cold_start_answers_the_warming_form() {
+    // The global frame ring is shared across the test binary, so drive the
+    // deterministic cold/warm transition on a private registry…
+    let fresh = diffcon_engine::EngineMetrics::default();
+    let cold = fresh.recent();
+    assert!(!cold.baseline, "first observation must lack a baseline");
+    assert_eq!(cold.window, Duration::ZERO);
+    assert_eq!((cold.requests, cold.replies), (0, 0));
+    let warm = fresh.recent();
+    assert!(warm.baseline, "first call must seed the ring");
+    // …and check both wire forms against the grammar on the global one.
+    let mut server = Server::new(SessionConfig::default());
+    let first = server.handle_line("stats recent").text;
+    assert!(
+        first == "stats recent window_us=0 warming=1"
+            || first.starts_with("stats recent window_us="),
+        "got: {first}"
+    );
+    let second = server.handle_line("stats recent").text;
+    assert!(
+        second.starts_with("stats recent window_us=") && second.contains(" qps="),
+        "warm reply must report rates: {second}"
+    );
+}
+
+/// Reads one unlabeled counter out of the global exposition.
+fn metrics_counter(name: &str) -> f64 {
+    let text = diffcon_engine::EngineMetrics::global().exposition();
+    diffcon_obs::parse_exposition(&text)
+        .expect("exposition parses")
+        .into_iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .map(|s| s.value)
+        .unwrap_or(0.0)
+}

@@ -11,7 +11,7 @@
 //!   re-parse as claimed).
 
 use diffcon::DiffConstraint;
-use diffcon_engine::protocol::{format_request, parse_request};
+use diffcon_engine::protocol::{format_request, parse_request, ProfileAction};
 use diffcon_engine::{Request, Server, SessionConfig};
 use proptest::prelude::*;
 use setlat::Universe;
@@ -94,6 +94,12 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::StatsRecent),
         (0u64..2, 1usize..6).prop_map(|(some, n)| Request::DebugRecent((some == 1).then_some(n))),
         (0u64..1000).prop_map(Request::DebugTrace),
+        prop_oneof![
+            Just(ProfileAction::Start),
+            Just(ProfileAction::Stop),
+            Just(ProfileAction::Dump),
+        ]
+        .prop_map(Request::DebugProfile),
         Just(Request::Reset),
         Just(Request::Help),
         Just(Request::Quit),
@@ -236,6 +242,11 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
             }
         }
         "stats" => {
+            // A cold-start `stats recent` (no baseline frame yet) answers
+            // the explicit warming form instead of zero rates.
+            if rest == ["recent", "window_us=0", "warming=1"] {
+                return;
+            }
             assert!(
                 field_value(rest, "queries").is_some(),
                 "queries missing: {line}"
@@ -301,6 +312,41 @@ fn validate_reply(universe: Option<&Universe>, line: &str) {
             ] {
                 let v = field_value(rest, key).unwrap_or_else(|| panic!("{key} missing: {line}"));
                 assert!(is_number(v), "{key} not numeric: {line}");
+            }
+        }
+        "profile" => {
+            for key in ["samples", "stacks"] {
+                let v = field_value(rest, key).unwrap_or_else(|| panic!("{key} missing: {line}"));
+                assert!(is_number(v), "{key} not numeric: {line}");
+            }
+            let stacks: usize = field_value(rest, "stacks")
+                .and_then(|v| v.parse().ok())
+                .expect("stacks checked numeric above");
+            // `profile samples=N stacks=K stack count | stack count | …`:
+            // the first stack pair rides in the fields group, the rest are
+            // `|`-separated pairs.
+            let groups: Vec<&[&str]> = rest.split(|t| *t == "|").collect();
+            let check_pair = |stack: &str, count: &str| {
+                assert!(
+                    stack.split(';').count() >= 2 && stack.split(';').all(|f| !f.is_empty()),
+                    "malformed stack `{stack}`: {line}"
+                );
+                assert!(
+                    count.parse::<u64>().is_ok(),
+                    "stack count `{count}`: {line}"
+                );
+            };
+            if stacks == 0 {
+                assert_eq!(groups.len(), 1, "stackless dump has groups: {line}");
+                assert_eq!(groups[0].len(), 2, "stackless dump arity: {line}");
+            } else {
+                assert_eq!(groups.len(), stacks, "profile group count: {line}");
+                assert_eq!(groups[0].len(), 4, "first profile group arity: {line}");
+                check_pair(groups[0][2], groups[0][3]);
+                for group in &groups[1..] {
+                    assert_eq!(group.len(), 2, "profile group arity: {line}");
+                    check_pair(group[0], group[1]);
+                }
             }
         }
         "sessions" => {
@@ -423,6 +469,9 @@ fn every_response_verb_is_covered() {
         "debug recent",
         "debug recent 2",
         "debug trace 1",
+        "debug profile start",
+        "debug profile dump",
+        "debug profile stop",
         "forget A",
         "frobnicate",
         "session list",

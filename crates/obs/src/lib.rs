@@ -24,13 +24,25 @@
 //! * [`TextServer`]: a one-shot HTTP `GET` responder over
 //!   `std::net::TcpListener` (each request re-renders the text body), plus
 //!   [`fetch`], the matching one-shot client for tests and smoke scripts.
+//!   [`TextServer::run_routes`] adds path dispatch (`/metrics`, `/healthz`,
+//!   `/profile?seconds=S`, …) without growing into an HTTP framework.
+//! * [`profile`]: continuous profiling — per-thread activity beacons with a
+//!   cooperative sampler rendering flamegraph-collapsed stacks, and a
+//!   counting `#[global_allocator]` wrapper attributing allocations to the
+//!   active beacon tag.
 //!
 //! Every recording operation is a handful of relaxed atomic RMWs — no locks,
 //! no allocation — so the engine can leave instrumentation enabled on its
 //! hot paths.
+//!
+//! The crate denies `unsafe_code` everywhere except the one module whose
+//! job requires it by signature: [`profile`]'s `GlobalAlloc` impl, which
+//! forwards verbatim to `std::alloc::System`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod profile;
 
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -717,11 +729,18 @@ fn parse_sample(line: &str) -> Result<Series, String> {
     let mut rest = &line[name_end..];
     let mut labels = Vec::new();
     if let Some(body) = rest.strip_prefix('{') {
-        let close = body.find('}').ok_or("unterminated label set")?;
-        let (pairs, after) = body.split_at(close);
-        rest = &after[1..];
-        let mut cursor = pairs;
-        while !cursor.is_empty() {
+        // Walk pair by pair rather than splitting at the first `}`: a
+        // quoted label value may itself contain `}` (or `,` or `=`), so the
+        // label set only ends at a `}` seen *between* pairs.
+        let mut cursor = body;
+        loop {
+            if let Some(after) = cursor.strip_prefix('}') {
+                rest = after;
+                break;
+            }
+            if cursor.is_empty() {
+                return Err("unterminated label set".to_string());
+            }
             let eq = cursor.find('=').ok_or("label without '='")?;
             let label = &cursor[..eq];
             if !valid_metric_name(label) {
@@ -845,21 +864,83 @@ impl TextServer {
 
     /// Serves requests until the handle flags shutdown.  `render` is called
     /// once per request; connection-level errors (slow or vanished clients)
-    /// drop that connection and keep serving.
+    /// drop that connection and keep serving.  Every `GET` path answers the
+    /// same body — the single-endpoint form of [`TextServer::run_routes`].
     pub fn run(self, render: impl Fn() -> String) -> io::Result<()> {
+        self.run_routes(|_path| HttpResponse::ok(render()))
+    }
+
+    /// Serves requests until the handle flags shutdown, dispatching on the
+    /// request path.  `route` receives the full request target (path plus
+    /// any `?query`) of each `GET` and returns the response; non-`GET`
+    /// methods are answered `405` without consulting it.
+    pub fn run_routes(self, route: impl Fn(&str) -> HttpResponse) -> io::Result<()> {
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            let _ = answer_one(stream, &render);
+            let _ = answer_one(stream, &route);
         }
         Ok(())
     }
 }
 
-/// Reads one HTTP request head and answers it with the rendered body.
-fn answer_one(mut stream: TcpStream, render: &impl Fn() -> String) -> io::Result<()> {
+/// One HTTP response from a [`TextServer::run_routes`] route handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+/// The content type every metrics-style plain-text body is served as.
+pub const TEXT_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+impl HttpResponse {
+    /// A `200 OK` plain-text response.
+    pub fn ok(body: String) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: TEXT_CONTENT_TYPE,
+            body,
+        }
+    }
+
+    /// A `404 Not Found` response naming the missing path.
+    pub fn not_found(path: &str) -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            content_type: TEXT_CONTENT_TYPE,
+            body: format!("no such endpoint: {path}\n"),
+        }
+    }
+
+    /// A `400 Bad Request` response with a reason.
+    pub fn bad_request(reason: String) -> HttpResponse {
+        HttpResponse {
+            status: 400,
+            content_type: TEXT_CONTENT_TYPE,
+            body: reason,
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Response",
+        }
+    }
+}
+
+/// Reads one HTTP request head and answers it via the route handler.
+fn answer_one(mut stream: TcpStream, route: &impl Fn(&str) -> HttpResponse) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut head = Vec::with_capacity(256);
@@ -877,18 +958,31 @@ fn answer_one(mut stream: TcpStream, render: &impl Fn() -> String) -> io::Result
         }
     }
     let request = String::from_utf8_lossy(&head);
-    let response = if request.starts_with("GET ") {
-        let body = render();
-        format!(
-            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )
+    let response = if let Some(target) = request.strip_prefix("GET ") {
+        // `GET <target> HTTP/1.x` — the target runs to the next space (or
+        // line end for degenerate clients).
+        let path = target
+            .split_whitespace()
+            .next()
+            .filter(|p| !p.is_empty())
+            .unwrap_or("/");
+        route(path)
     } else {
-        "HTTP/1.0 405 Method Not Allowed\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
-            .to_string()
+        HttpResponse {
+            status: 405,
+            content_type: TEXT_CONTENT_TYPE,
+            body: String::new(),
+        }
     };
-    stream.write_all(response.as_bytes())?;
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
@@ -900,9 +994,20 @@ fn answer_one(mut stream: TcpStream, render: &impl Fn() -> String) -> io::Result
 /// Propagates connection and read failures; a non-200 status surfaces as
 /// [`io::ErrorKind::InvalidData`].
 pub fn fetch(addr: impl ToSocketAddrs) -> io::Result<String> {
+    fetch_path(addr, "/metrics")
+}
+
+/// One-shot HTTP `GET <path>` against `addr`, returning the response body.
+/// The routed-companion of [`fetch`]; `path` may carry a query string
+/// (`/profile?seconds=1`).
+///
+/// # Errors
+/// Propagates connection and read failures; a non-200 status surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn fetch_path(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
     let (head, body) = response
@@ -992,6 +1097,76 @@ mod tests {
         assert_eq!(s.p50(), 0);
         assert_eq!(s.quantile(1.0), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn minus_of_identical_snapshots_is_an_empty_window() {
+        let h = Histogram::new();
+        for v in [3u64, 5, 900, 70_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let window = snap.minus(&snap);
+        assert_eq!(window.count(), 0);
+        assert_eq!(window.sum(), 0);
+        assert_eq!(window.max(), 0, "empty window re-derives max as 0");
+        assert_eq!(window.p50(), 0);
+        assert_eq!(window.quantile(1.0), 0);
+        assert_eq!(window.mean(), 0.0);
+    }
+
+    #[test]
+    fn minus_saturates_when_the_baseline_is_ahead() {
+        // A baseline taken from a *different* (fuller) histogram models the
+        // counter-wrap / stale-baseline case: subtraction must saturate
+        // bucket-wise and in count/sum rather than wrapping to huge values.
+        let small = Histogram::new();
+        let big = Histogram::new();
+        for v in 0..10u64 {
+            small.record(v);
+        }
+        for v in 0..100u64 {
+            big.record(v);
+        }
+        let window = small.snapshot().minus(&big.snapshot());
+        assert_eq!(window.count(), 0, "count saturates, never wraps");
+        assert_eq!(window.sum(), 0, "sum saturates, never wraps");
+        assert_eq!(window.max(), 0);
+        // Mixed direction: buckets the small histogram *does* exceed
+        // survive, the rest clamp at zero.
+        let lopsided = Histogram::new();
+        for _ in 0..5 {
+            lopsided.record(1_000_000);
+        }
+        let window = lopsided.snapshot().minus(&big.snapshot());
+        assert_eq!(window.count(), 0, "scalar count still saturates");
+        assert!(window.quantile(1.0) <= lopsided.snapshot().max());
+    }
+
+    #[test]
+    fn minus_windows_stay_correct_across_snapshot_ring_reuse() {
+        // The engine's recent-stats ring keeps a bounded deque of
+        // snapshots and differences the newest against the oldest; model
+        // that here: a rolling window over a live histogram must always
+        // contain exactly the observations recorded inside the window.
+        let h = Histogram::new();
+        let mut ring: Vec<HistogramSnapshot> = vec![h.snapshot()];
+        const RING: usize = 4;
+        for round in 1..=20u64 {
+            for v in 0..round {
+                h.record(1_000 + v);
+            }
+            ring.push(h.snapshot());
+            if ring.len() > RING {
+                ring.remove(0);
+            }
+            let window = ring.last().unwrap().minus(&ring[0]);
+            let rounds_in_window = (ring.len() - 1) as u64;
+            let expected: u64 = (0..rounds_in_window).map(|k| round - k).sum();
+            assert_eq!(window.count(), expected, "round {round}");
+            assert!(window.max() >= 1_000 || window.count() == 0);
+            assert!(window.p50() >= 1_000 || window.count() == 0);
+        }
     }
 
     #[test]
@@ -1150,6 +1325,35 @@ mod tests {
     }
 
     #[test]
+    fn parser_handles_escaped_label_values() {
+        // Hand-written (not builder-emitted) lines exercising every escape
+        // the text format defines, plus the separators that must *not*
+        // terminate a value while escaped or quoted.
+        let cases: &[(&str, &str)] = &[
+            (r#"m{l="plain"} 1"#, "plain"),
+            (r#"m{l="a\"b"} 1"#, "a\"b"),
+            (r#"m{l="a\\b"} 1"#, "a\\b"),
+            (r#"m{l="a\nb"} 1"#, "a\nb"),
+            (r#"m{l="tail\\"} 1"#, "tail\\"),
+            (r#"m{l="a,b=c"} 1"#, "a,b=c"),
+            (r#"m{l="a}b"} 1"#, "a}b"),
+            (r#"m{l="\\\"\n"} 1"#, "\\\"\n"),
+        ];
+        for (line, want) in cases {
+            let series = parse_exposition(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(series[0].labels[0].1, *want, "line {line:?}");
+        }
+        // Multiple labels where the first value contains an escaped quote
+        // followed by a comma: the parser must not split inside it.
+        let series = parse_exposition(r#"m{a="x\",y",b="z"} 2"#).unwrap();
+        assert_eq!(series[0].labels.len(), 2);
+        assert_eq!(series[0].labels[0].1, "x\",y");
+        assert_eq!(series[0].labels[1].1, "z");
+        // An unterminated escaped value must be rejected, not mis-split.
+        assert!(parse_exposition(r#"m{l="open\"} 1"#).is_err());
+    }
+
+    #[test]
     fn text_server_serves_and_shuts_down() {
         let server = TextServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr();
@@ -1159,6 +1363,33 @@ mod tests {
         assert_eq!(body, "demo_total 1\n");
         // A second scrape re-renders.
         assert_eq!(fetch(addr).unwrap(), "demo_total 1\n");
+        handle.shutdown();
+        thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn routed_server_dispatches_on_path() {
+        let server = TextServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || {
+            server.run_routes(|path| match path {
+                "/metrics" => HttpResponse::ok("routed_total 1\n".to_string()),
+                "/healthz" => HttpResponse::ok("ok\n".to_string()),
+                p if p.starts_with("/echo?") => HttpResponse::ok(format!("{p}\n")),
+                p => HttpResponse::not_found(p),
+            })
+        });
+        assert_eq!(fetch(addr).unwrap(), "routed_total 1\n");
+        assert_eq!(fetch_path(addr, "/healthz").unwrap(), "ok\n");
+        // The query string reaches the handler intact.
+        assert_eq!(
+            fetch_path(addr, "/echo?seconds=2").unwrap(),
+            "/echo?seconds=2\n"
+        );
+        let err = fetch_path(addr, "/nope").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("404"), "{err}");
         handle.shutdown();
         thread.join().unwrap().unwrap();
     }
