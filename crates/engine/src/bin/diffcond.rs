@@ -95,14 +95,20 @@ Options:
 
 Network serving:
   diffcond serve [--addr HOST:PORT] [--max-conns N] [--max-request-bytes N]
-                 [--metrics-addr HOST:PORT] [engine flags as above]
+                 [--reactors N] [--binary] [--metrics-addr HOST:PORT]
+                 [engine flags as above]
 
   Serves the same line protocol over TCP: each connection gets a private
   session namespace (all slots close on disconnect), requests are
   newline-framed with a per-request byte limit (oversized or non-UTF-8
   lines get `err` replies, never a dropped connection), and at most
-  --max-conns connections are admitted at once.  Defaults: --addr
-  127.0.0.1:7878, --max-conns 64, --max-request-bytes 65536.
+  --max-conns connections are admitted at once.  Connections are served by
+  --reactors readiness-driven event-loop threads (nonblocking sockets over
+  epoll), not a thread per connection.  With --binary, a connection whose
+  first bytes are the binary magic switches to the compact length-prefixed
+  framing (see the protocol docs); everything else stays line-framed.
+  Defaults: --addr 127.0.0.1:7878, --max-conns 64,
+  --max-request-bytes 65536, --reactors 1.
 
   With --metrics-addr a second listener serves GETs routed by path:
     /metrics    Prometheus text exposition: request/reply/connection
@@ -157,6 +163,8 @@ struct ServeOptions {
     max_connections: usize,
     max_request_bytes: usize,
     metrics_addr: Option<String>,
+    reactors: usize,
+    binary: bool,
 }
 
 impl Default for ServeOptions {
@@ -166,6 +174,8 @@ impl Default for ServeOptions {
             max_connections: diffcon_engine::NetConfig::DEFAULT_MAX_CONNECTIONS,
             max_request_bytes: diffcon_engine::protocol::MAX_REQUEST_BYTES,
             metrics_addr: None,
+            reactors: 1,
+            binary: false,
         }
     }
 }
@@ -253,7 +263,7 @@ fn parse_args() -> Result<Options, String> {
                 }
                 profile_hz = n;
             }
-            "--max-conns" | "--max-request-bytes" => {
+            "--max-conns" | "--max-request-bytes" | "--reactors" => {
                 let target = serve
                     .as_mut()
                     .ok_or_else(|| format!("{flag} is only valid after the `serve` subcommand"))?;
@@ -266,11 +276,17 @@ fn parse_args() -> Result<Options, String> {
                 if n == 0 {
                     return Err(format!("{flag} must be at least 1"));
                 }
-                if flag == "--max-conns" {
-                    target.max_connections = n;
-                } else {
-                    target.max_request_bytes = n;
+                match flag.as_str() {
+                    "--max-conns" => target.max_connections = n,
+                    "--max-request-bytes" => target.max_request_bytes = n,
+                    _ => target.reactors = n,
                 }
+            }
+            "--binary" => {
+                serve
+                    .as_mut()
+                    .ok_or("--binary is only valid after the `serve` subcommand")?
+                    .binary = true;
             }
             "--help" | "-h" => {
                 // Ignore write errors (e.g. `diffcond --help | head` closing
@@ -422,6 +438,8 @@ fn serve_net(
         max_connections: options.max_connections,
         max_request_bytes: options.max_request_bytes,
         slow_query_us,
+        reactors: options.reactors,
+        binary: options.binary,
     };
     let server = match diffcon_engine::NetServer::bind(options.addr.as_str(), net_config) {
         Ok(server) => server,
@@ -449,11 +467,18 @@ fn serve_net(
         });
     }
     eprintln!(
-        "diffcond: serving on {} ({} worker thread{} per connection, up to {} connections)",
+        "diffcond: serving on {} ({} reactor thread{}, {} worker thread{} per connection, up to {} connections{})",
         server.local_addr(),
+        options.reactors,
+        if options.reactors == 1 { "" } else { "s" },
         threads,
         if threads == 1 { "" } else { "s" },
-        options.max_connections
+        options.max_connections,
+        if options.binary {
+            ", binary framing enabled"
+        } else {
+            ""
+        }
     );
     if let Err(e) = server.run() {
         eprintln!("diffcond: accept loop failed: {e}");
@@ -547,6 +572,31 @@ fn render_top(addr: &str, series: &[diffcon_obs::Series]) -> String {
         ));
     }
     out.push('\n');
+    // Reactor panel: readiness-loop health.  Ready-batch size shows how much
+    // work each epoll wakeup amortizes; writev bytes per flush shows output
+    // coalescing; per-reactor connection counts show accept distribution.
+    let reactor_quantile = |name: &str, q: &str| find(name, &[("quantile", q)]).unwrap_or(0.0);
+    out.push_str(&format!(
+        "reactor wakeups={} ready_batch p50/p99={}/{} writev_bytes p50/p99={}/{}\n",
+        total("diffcond_reactor_wakeups_total"),
+        reactor_quantile("diffcond_reactor_ready_batch", "0.5"),
+        reactor_quantile("diffcond_reactor_ready_batch", "0.99"),
+        reactor_quantile("diffcond_reactor_writev_bytes", "0.5"),
+        reactor_quantile("diffcond_reactor_writev_bytes", "0.99"),
+    ));
+    let mut reactors: Vec<(String, f64)> = series
+        .iter()
+        .filter(|s| s.name == "diffcond_reactor_connections")
+        .map(|s| (label_of(s, "reactor"), s.value))
+        .collect();
+    reactors.sort_by(|a, b| a.0.cmp(&b.0));
+    if !reactors.is_empty() {
+        out.push_str("reactor connections:");
+        for (reactor, conns) in &reactors {
+            out.push_str(&format!(" r{reactor}={conns}"));
+        }
+        out.push('\n');
+    }
     // Busiest sessions by attributed query count.
     let mut sessions: Vec<(String, String, f64)> = series
         .iter()

@@ -6,7 +6,12 @@
 //! The client speaks exactly the framing of the *Network framing* section
 //! in the [`crate::protocol`] docs: it sends one request per
 //! newline-terminated line and expects one reply line per non-silent
-//! request, in request order.  Two calling styles are supported:
+//! request, in request order.  Against a `serve --binary` server,
+//! [`Client::connect_binary`] negotiates the compact binary framing of
+//! [`protocol::binary`] instead — same verbs, same reply text, length-
+//! prefixed frames, plus the fixed-width mask senders
+//! ([`Client::send_implies_mask`] and friends) for the hot query verbs.
+//! Two calling styles are supported either way:
 //!
 //! * **strict** — [`Client::request`] sends one line and blocks for its
 //!   reply (the server's idle flush guarantees the reply comes even when
@@ -33,7 +38,7 @@ use crate::net;
 use crate::protocol;
 use diffcon_bounds::Interval;
 use std::fmt;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -93,6 +98,19 @@ pub const MAX_REPLY_BYTES: usize = 4 * protocol::MAX_REQUEST_BYTES;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    binary: bool,
+}
+
+/// `read_exact` with the client's EOF convention: a close where reply
+/// bytes were expected is [`ClientError::Closed`], not an IO error.
+fn read_exact_or_closed(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), ClientError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ClientError::Closed
+        } else {
+            ClientError::Io(e)
+        }
+    })
 }
 
 impl Client {
@@ -108,6 +126,28 @@ impl Client {
         Client::over(stream)
     }
 
+    /// Connects and negotiates the binary framing (the server must run
+    /// with `serve --binary`).
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when the server does not acknowledge the
+    /// handshake — a text-only server answers the magic with a plain `err`
+    /// line, which is reported verbatim (the probe fails fast; it never
+    /// hangs).
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Client::over_binary(stream)
+    }
+
+    /// [`Client::connect_binary`] with a connect timeout.
+    pub fn connect_binary_timeout(
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::over_binary(stream)
+    }
+
     /// Wraps an already-connected stream.
     pub fn over(stream: TcpStream) -> Result<Client, ClientError> {
         let _ = stream.set_nodelay(true);
@@ -115,7 +155,37 @@ impl Client {
         Ok(Client {
             reader,
             writer: stream,
+            binary: false,
         })
+    }
+
+    /// Wraps an already-connected stream and negotiates binary framing
+    /// (see [`Client::connect_binary`]).
+    pub fn over_binary(stream: TcpStream) -> Result<Client, ClientError> {
+        let mut client = Client::over(stream)?;
+        client.writer.write_all(&protocol::binary::MAGIC)?;
+        client.writer.flush()?;
+        let mut ack = [0u8; protocol::binary::ACK.len()];
+        read_exact_or_closed(&mut client.reader, &mut ack)?;
+        if ack == protocol::binary::ACK {
+            client.binary = true;
+            return Ok(client);
+        }
+        // Not an ACK: a text-only server answered the magic with an `err`
+        // line.  Collect the rest of it so the error says what happened.
+        let mut line = ack.to_vec();
+        let mut rest = Vec::new();
+        let _ = net::read_frame(&mut client.reader, &mut rest, MAX_REPLY_BYTES);
+        line.extend_from_slice(&rest);
+        Err(ClientError::Protocol(format!(
+            "server did not acknowledge binary framing: `{}`",
+            String::from_utf8_lossy(&line).trim_end()
+        )))
+    }
+
+    /// `true` when the connection negotiated binary framing.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     /// Sets (or clears, with `None`) the receive timeout; a timed-out
@@ -127,7 +197,9 @@ impl Client {
     }
 
     /// Sends one request line without waiting for anything back (the
-    /// pipelined style; pair with [`Client::recv`]).
+    /// pipelined style; pair with [`Client::recv`]).  On a binary
+    /// connection the line travels as one length-prefixed `line` frame;
+    /// the request grammar is identical.
     ///
     /// # Errors
     /// [`ClientError::Request`] if `request` embeds a newline — it would
@@ -139,8 +211,51 @@ impl Client {
                 request.escape_debug()
             )));
         }
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        if self.binary {
+            let mut frame = Vec::with_capacity(request.len() + 5);
+            protocol::binary::encode_line(request, &mut frame);
+            self.writer.write_all(&frame)?;
+        } else {
+            self.writer.write_all(request.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Sends one fixed-width binary `implies lhs -> {rhs…}` frame over
+    /// attribute bitmasks (bit `i` = the universe's `i`-th attribute) —
+    /// the zero-parse hot path of the binary framing.  Pair with
+    /// [`Client::recv`]; the reply text is identical to the text verb's.
+    ///
+    /// # Errors
+    /// [`ClientError::Request`] on a text connection: masks have no text
+    /// encoding at this layer.
+    pub fn send_implies_mask(&mut self, lhs: u64, rhs: &[u64]) -> Result<(), ClientError> {
+        self.mask_frame(|out| protocol::binary::encode_implies(lhs, rhs, out))
+    }
+
+    /// Sends one fixed-width binary `assert lhs -> {rhs…}` frame over
+    /// attribute bitmasks (see [`Client::send_implies_mask`]).
+    pub fn send_assert_mask(&mut self, lhs: u64, rhs: &[u64]) -> Result<(), ClientError> {
+        self.mask_frame(|out| protocol::binary::encode_assert(lhs, rhs, out))
+    }
+
+    /// Sends one fixed-width binary `bound set` frame over an attribute
+    /// bitmask (see [`Client::send_implies_mask`]).
+    pub fn send_bound_mask(&mut self, set: u64) -> Result<(), ClientError> {
+        self.mask_frame(|out| protocol::binary::encode_bound(set, out))
+    }
+
+    fn mask_frame(&mut self, encode: impl FnOnce(&mut Vec<u8>)) -> Result<(), ClientError> {
+        if !self.binary {
+            return Err(ClientError::Request(
+                "mask frames need a binary connection (Client::connect_binary)".into(),
+            ));
+        }
+        let mut frame = Vec::with_capacity(32);
+        encode(&mut frame);
+        self.writer.write_all(&frame)?;
         self.writer.flush()?;
         Ok(())
     }
@@ -149,6 +264,9 @@ impl Client {
     /// [`MAX_REPLY_BYTES`] *as it arrives*, so a rogue peer cannot make
     /// the client buffer an endless line.
     pub fn recv(&mut self) -> Result<String, ClientError> {
+        if self.binary {
+            return self.recv_binary();
+        }
         let mut line: Vec<u8> = Vec::new();
         match net::read_frame(&mut self.reader, &mut line, MAX_REPLY_BYTES)? {
             // EOF where a reply was expected — including EOF mid-line (the
@@ -168,6 +286,37 @@ impl Client {
                     .map_err(|_| ClientError::Protocol("reply is not valid UTF-8".into()))
             }
         }
+    }
+
+    /// One length-prefixed reply frame, under the same cap and resync
+    /// policy as the text path: an over-cap frame is read off the wire and
+    /// discarded, so the next `recv` sees the next reply.
+    fn recv_binary(&mut self) -> Result<String, ClientError> {
+        let mut header = [0u8; 5];
+        read_exact_or_closed(&mut self.reader, &mut header)?;
+        if header[0] != protocol::binary::TAG_LINE {
+            return Err(ClientError::Protocol(format!(
+                "unknown reply frame tag 0x{:02x}",
+                header[0]
+            )));
+        }
+        let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        if len > MAX_REPLY_BYTES {
+            let mut remaining = len;
+            let mut sink = [0u8; 4096];
+            while remaining > 0 {
+                let take = remaining.min(sink.len());
+                read_exact_or_closed(&mut self.reader, &mut sink[..take])?;
+                remaining -= take;
+            }
+            return Err(ClientError::Protocol(format!(
+                "reply frame exceeds {MAX_REPLY_BYTES} bytes (got {len}; discarded)"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        read_exact_or_closed(&mut self.reader, &mut payload)?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("reply is not valid UTF-8".into()))
     }
 
     /// Sends one request and returns its raw reply line, whatever it is
@@ -212,7 +361,7 @@ impl Client {
         lines: impl IntoIterator<Item = &'a str>,
     ) -> Result<Vec<String>, ClientError> {
         let mut expected = 0usize;
-        let mut burst = String::new();
+        let mut burst = Vec::new();
         for line in lines {
             if line.contains('\n') || line.contains('\r') {
                 return Err(ClientError::Request(format!(
@@ -220,15 +369,33 @@ impl Client {
                     line.escape_debug()
                 )));
             }
-            burst.push_str(line);
-            burst.push('\n');
+            if self.binary {
+                protocol::binary::encode_line(line, &mut burst);
+            } else {
+                burst.extend_from_slice(line.as_bytes());
+                burst.push(b'\n');
+            }
             if !protocol::is_silent(line) {
                 expected += 1;
             }
         }
+        self.run_frames(burst, expected)
+    }
+
+    /// Pipelines an already-encoded request burst — text lines or binary
+    /// frames built with the [`protocol::binary`] encoders — and collects
+    /// `expected` replies, in request order.  This is the load-generator
+    /// hot path: the burst is encoded once, written from a helper thread,
+    /// and the reply stream drained concurrently (a burst larger than the
+    /// socket buffers would otherwise deadlock both sides).
+    pub fn run_frames(
+        &mut self,
+        burst: Vec<u8>,
+        expected: usize,
+    ) -> Result<Vec<String>, ClientError> {
         let mut write_half = self.writer.try_clone()?;
         let writer = std::thread::spawn(move || -> io::Result<()> {
-            write_half.write_all(burst.as_bytes())?;
+            write_half.write_all(&burst)?;
             write_half.flush()
         });
         let mut replies = Vec::with_capacity(expected);

@@ -36,12 +36,19 @@
 //!   captured at their request positions — interleaved traffic from many
 //!   sessions executes in parallel with serial-equivalent answers.
 //! * **Network serving** ([`net::NetServer`], [`client::Client`]) —
-//!   `diffcond serve --addr HOST:PORT` exposes the same protocol over TCP:
-//!   a thread-per-connection accept loop with per-connection session
-//!   namespaces and pipelines, newline framing with per-request length
-//!   admission limits, error replies (never panics or dropped loops) for
-//!   malformed frames, a connection cap, and a blocking typed client for
-//!   programs, tests, and load generators.
+//!   `diffcond serve --addr HOST:PORT` exposes the same protocol over TCP
+//!   through a readiness-driven reactor core: `--reactors N` event-loop
+//!   threads own nonblocking connections through a vendored epoll shim,
+//!   drain readiness bursts into per-connection frame buffers, feed
+//!   complete frames straight into [`server_state::Pipeline`] wave
+//!   evaluation, and flush replies through coalescing vectored writes with
+//!   write-readiness backpressure.  Framing is negotiated per connection:
+//!   newline text, or (`--binary`) the length-prefixed binary frames of
+//!   [`protocol::binary`] with fixed-width mask encodings for the hot
+//!   verbs.  Per-connection session namespaces, per-request admission
+//!   limits, error replies (never panics or dropped loops) for malformed
+//!   frames, a connection cap, and a blocking typed client (text or
+//!   binary) for programs, tests, and load generators.
 //! * **Observability** ([`metrics::EngineMetrics`]) — a process-wide
 //!   lock-free registry of counters and stage-latency histograms with a
 //!   Prometheus text exposition, plus a request-scoped flight recorder
@@ -122,6 +129,7 @@ pub mod metrics;
 pub mod net;
 pub mod planner;
 pub mod protocol;
+mod reactor;
 pub mod server_state;
 pub mod session;
 pub mod snapshot;

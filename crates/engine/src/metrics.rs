@@ -465,6 +465,16 @@ pub struct EngineMetrics {
     pub framing_errors: Counter,
     /// Idle flushes (waves forced because the read buffer ran dry).
     pub idle_flushes: Counter,
+    /// Reactor event-loop wakeups (one per `epoll_wait` return).
+    pub reactor_wakeups: Counter,
+    /// Ready events delivered per reactor wakeup (readiness-burst size; a
+    /// burst becomes one batched pipeline wave, so this is the transport's
+    /// natural batching factor).
+    pub reactor_ready_batch: Histogram,
+    /// Bytes written per vectored (`writev`) reply-flush syscall.
+    pub reactor_writev_bytes: Histogram,
+    /// Reactor event-loop threads serving (set at `serve` startup).
+    pub reactor_threads: Gauge,
     /// Snapshot publications (every session mutation).
     pub epoch_publishes: Counter,
     /// Goals answered inline as trivial.
@@ -486,6 +496,9 @@ pub struct EngineMetrics {
     sessions: Mutex<Vec<(SessionKey, Arc<SessionCosts>)>>,
     /// Registered per-connection cost series keyed by connection id.
     conn_costs: Mutex<Vec<(u64, Arc<ConnCosts>)>>,
+    /// Per-reactor live-connection gauges, keyed by reactor index.  Tiny and
+    /// append-only: one entry per reactor thread per server start.
+    reactor_connections: Mutex<Vec<(usize, Arc<Gauge>)>>,
     /// The windowed-stats frame ring.
     recent_frames: Mutex<VecDeque<RecentFrame>>,
 }
@@ -560,6 +573,35 @@ impl EngineMetrics {
             table.remove(0);
         }
         table.push((conn, costs));
+    }
+
+    /// The live-connection gauge of reactor `index`, creating it on first
+    /// registration.  Reactors call this at startup and keep the `Arc`, so
+    /// updating the gauge on the hot path is lock-free.
+    pub fn register_reactor(&self, index: usize) -> Arc<Gauge> {
+        let mut table = self
+            .reactor_connections
+            .lock()
+            .expect("reactor registry poisoned");
+        if let Some((_, gauge)) = table.iter().find(|(key, _)| *key == index) {
+            return Arc::clone(gauge);
+        }
+        let gauge = Arc::new(Gauge::default());
+        table.push((index, Arc::clone(&gauge)));
+        table.sort_by_key(|(key, _)| *key);
+        gauge
+    }
+
+    /// Live-connection counts per reactor, in reactor-index order.
+    pub fn reactor_connection_counts(&self) -> Vec<(usize, u64)> {
+        let table = self
+            .reactor_connections
+            .lock()
+            .expect("reactor registry poisoned");
+        table
+            .iter()
+            .map(|(index, gauge)| (*index, gauge.get()))
+            .collect()
     }
 
     /// The registered cost series of `(conn, slot)`, if still retained.
@@ -693,6 +735,31 @@ impl EngineMetrics {
             self.framing_errors.get(),
         );
         exp.counter("diffcond_idle_flushes_total", &[], self.idle_flushes.get());
+        exp.counter(
+            "diffcond_reactor_wakeups_total",
+            &[],
+            self.reactor_wakeups.get(),
+        );
+        exp.summary(
+            "diffcond_reactor_ready_batch",
+            &[],
+            &self.reactor_ready_batch.snapshot(),
+            1.0,
+        );
+        exp.summary(
+            "diffcond_reactor_writev_bytes",
+            &[],
+            &self.reactor_writev_bytes.snapshot(),
+            1.0,
+        );
+        exp.gauge("diffcond_reactor_threads", &[], self.reactor_threads.get());
+        for (index, live) in self.reactor_connection_counts() {
+            exp.gauge(
+                "diffcond_reactor_connections",
+                &[("reactor", &index.to_string())],
+                live,
+            );
+        }
         exp.counter(
             "diffcond_epoch_publishes_total",
             &[],

@@ -3,17 +3,24 @@
 //!
 //! # Execution model
 //!
-//! A [`NetServer`] owns a listening socket and an accept loop
-//! ([`NetServer::run`]) that serves each connection on its own thread.  Every
-//! connection gets a private session namespace — its own
+//! A [`NetServer`] owns a listening socket, an accept loop
+//! ([`NetServer::run`]), and [`NetConfig::reactors`] **reactor threads**
+//! (the readiness-driven event loops of the `reactor` module).  The accept
+//! loop only accepts, admission-checks, and hands each connection to the
+//! least-loaded reactor; every socket after that is nonblocking and served
+//! by readiness — one reactor thread multiplexes all of its connections
+//! through a vendored `epoll` instance, so ten thousand mostly-idle
+//! connections cost ten thousand small buffers, not ten thousand stacks.
+//!
+//! Every connection still gets a private session namespace — its own
 //! [`crate::server_state::SessionRegistry`] of numbered slots behind a
 //! per-connection [`Pipeline`] — so two clients never see each other's
 //! premises, knowns, or datasets, and all of a connection's slots close when
 //! it disconnects.  Inside one connection the full protocol is available,
 //! including the `session` verbs and the concurrent query evaluation of
-//! `--threads N` (each connection's pipeline evaluates its read-only verbs
-//! on its own rayon-backed worker set; the shim's pools are sizes, not
-//! persistent threads, so per-connection pools cost nothing at rest).
+//! `--threads N` (the shim's pools are sizes, not persistent threads, so
+//! per-connection pools cost nothing at rest, and a wave of one query runs
+//! inline on the reactor thread without a single spawn).
 //!
 //! # Framing and flushing
 //!
@@ -21,21 +28,25 @@
 //! section of the [`crate::protocol`] docs: one request per line, an
 //! optional trailing `\r` stripped, at most
 //! [`protocol::MAX_REQUEST_BYTES`] bytes per line (configurable via
-//! [`NetConfig::max_request_bytes`]).  Framing violations — oversized lines
-//! (discarded up to their newline without unbounded buffering) and invalid
-//! UTF-8 — answer `err` *at their position in the request order* (via
-//! [`Pipeline::push_reply`], so they cannot overtake earlier deferred
-//! queries) and the connection keeps serving.
+//! [`NetConfig::max_request_bytes`]).  With [`NetConfig::binary`] enabled a
+//! connection may also negotiate the compact binary framing of
+//! [`protocol::binary`] (see the *Binary framing* protocol docs).  Framing
+//! violations — oversized lines (discarded up to their newline without
+//! unbounded buffering) and invalid UTF-8 — answer `err` *at their position
+//! in the request order* (via [`Pipeline::push_reply`], so they cannot
+//! overtake earlier deferred queries) and the connection keeps serving.
 //!
 //! The pipeline's wave batching is reconciled with strict request/response
-//! clients by an **idle flush**: whenever the connection's read buffer runs
-//! dry and replies are pending, the pipeline is flushed before blocking on
-//! the socket again.  A client that pipelines k requests gets its replies
-//! evaluated in concurrent waves; a client that sends one request and waits
-//! gets its reply immediately.  Reply order is the request order in both
-//! cases, so the reply *stream* is identical to what the in-process
-//! [`Pipeline`] (and therefore the serial [`crate::protocol::Server`])
-//! produces on the same script.
+//! clients by an **eager idle flush**: at the end of every readiness burst,
+//! any connection the burst touched that still has pending replies is
+//! flushed before the reactor goes back to waiting.  A client that
+//! pipelines k requests gets its replies evaluated in batched waves (a
+//! readiness burst becomes one wave); a client that sends one request and
+//! waits gets its reply immediately — queue wait is the parse-to-flush gap
+//! on an idle reactor, single-digit microseconds, not a polling interval.
+//! Reply order is the request order in both cases, so the reply *stream* is
+//! identical to what the in-process [`Pipeline`] (and therefore the serial
+//! [`crate::protocol::Server`]) produces on the same script.
 //!
 //! # Admission and shutdown
 //!
@@ -44,21 +55,28 @@
 //! `err server at connection capacity (…)` line and closed, leaving the
 //! accept loop free (a slow client can occupy one slot, never the
 //! listener).  `quit` ends only its own connection (reply `bye`, graceful
-//! close); a client disconnecting mid-line or mid-wave just ends that
-//! connection.  Writes to a client that vanished surface as `EPIPE` errors
-//! (Rust ignores `SIGPIPE`), which close that connection and nothing else.
-//! [`ShutdownHandle::shutdown`] stops the accept loop itself.
+//! close after its output buffer drains); a client disconnecting mid-line
+//! or mid-wave just ends that connection.  Writes to a client that vanished
+//! surface as `EPIPE` errors (Rust ignores `SIGPIPE`), which close that
+//! connection and nothing else.  A slow *reader* is absorbed by its
+//! connection's coalescing output buffer up to a high-water mark, after
+//! which the reactor stops reading that connection's requests until the
+//! buffer drains (backpressure) — the reactor itself never blocks on a
+//! write (the `reactor` module docs have the details).
+//! [`ShutdownHandle::shutdown`] stops the accept loop, which then stops and
+//! joins the reactors.
+//!
+//! [`Pipeline`]: crate::server_state::Pipeline
+//! [`Pipeline::push_reply`]: crate::server_state::Pipeline::push_reply
 
-use crate::metrics::{ConnCosts, EngineMetrics};
-use crate::protocol::{self, Reply};
-use crate::server_state::Pipeline;
+use crate::metrics::EngineMetrics;
+use crate::protocol;
+use crate::reactor::ReactorShared;
 use crate::session::SessionConfig;
-use diffcon_obs::profile::{self, StageTag};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Admission and serving parameters of a [`NetServer`].
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +93,16 @@ pub struct NetConfig {
     /// Slow-query threshold in microseconds, forwarded to every
     /// connection's [`Pipeline::set_slow_query_us`] (`None` disables the
     /// stderr log).
+    ///
+    /// [`Pipeline::set_slow_query_us`]: crate::server_state::Pipeline::set_slow_query_us
     pub slow_query_us: Option<u64>,
+    /// Reactor event-loop threads serving the accepted connections
+    /// (`--reactors`; clamped to at least 1).
+    pub reactors: usize,
+    /// Accept the binary-framing handshake of [`protocol::binary`]
+    /// (`--binary`).  Off by default: without it the magic bytes parse as a
+    /// malformed text line and answer a plain `err`.
+    pub binary: bool,
 }
 
 impl Default for NetConfig {
@@ -86,6 +113,8 @@ impl Default for NetConfig {
             max_connections: NetConfig::DEFAULT_MAX_CONNECTIONS,
             max_request_bytes: protocol::MAX_REQUEST_BYTES,
             slow_query_us: None,
+            reactors: 1,
+            binary: false,
         }
     }
 }
@@ -97,16 +126,17 @@ impl NetConfig {
 
 /// Shared accept-loop state: the shutdown flag and the connection gauges.
 #[derive(Debug, Default)]
-struct NetState {
+pub(crate) struct NetState {
     shutdown: AtomicBool,
     active: AtomicUsize,
     served: AtomicU64,
     refused: AtomicU64,
 }
 
-/// Decrements the active-connection gauge even if a connection handler
-/// panics, so one poisoned connection can never leak admission slots.
-struct ActiveGuard(Arc<NetState>);
+/// Decrements the active-connection gauge when a connection is torn down —
+/// held by the connection's reactor state, so a dropped connection can
+/// never leak an admission slot no matter which path closed it.
+pub(crate) struct ActiveGuard(Arc<NetState>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
@@ -187,9 +217,27 @@ impl NetServer {
     }
 
     /// Runs the accept loop until [`ShutdownHandle::shutdown`] is called.
-    /// Each admitted connection is served on its own spawned thread; the
-    /// loop itself only accepts, admission-checks, and hands off.
+    /// The loop itself only accepts, admission-checks, and hands each
+    /// connection to the least-loaded reactor thread; the reactors serve
+    /// every admitted socket by readiness until shutdown, when they are
+    /// stopped and joined.
     pub fn run(self) -> io::Result<()> {
+        let metrics = EngineMetrics::global();
+        let reactor_count = self.config.reactors.max(1);
+        metrics.reactor_threads.set(reactor_count as u64);
+        let mut reactors = Vec::with_capacity(reactor_count);
+        let mut threads = Vec::with_capacity(reactor_count);
+        for index in 0..reactor_count {
+            let shared = ReactorShared::new(index)?;
+            let handle = Arc::clone(&shared);
+            let config = self.config;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("diffcond-reactor-{index}"))
+                    .spawn(move || crate::reactor::run(handle, config))?,
+            );
+            reactors.push(shared);
+        }
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -207,13 +255,17 @@ impl NetServer {
             }
             self.state.active.fetch_add(1, Ordering::SeqCst);
             let guard = ActiveGuard(Arc::clone(&self.state));
-            let config = self.config;
-            std::thread::spawn(move || {
-                let _guard = guard;
-                // Connection-level IO errors (disconnects, EPIPE) end the
-                // connection, never the server.
-                let _ = serve_connection(stream, &config);
-            });
+            let target = reactors
+                .iter()
+                .min_by_key(|reactor| reactor.load())
+                .expect("at least one reactor");
+            target.inject(stream, guard);
+        }
+        for reactor in &reactors {
+            reactor.request_stop();
+        }
+        for thread in threads {
+            let _ = thread.join();
         }
         Ok(())
     }
@@ -323,125 +375,10 @@ fn discard_frame(reader: &mut impl BufRead, mut dropped: usize) -> io::Result<Fr
     }
 }
 
-/// Profiling tag for blocking socket reads (covers client think-time too —
-/// a connection thread sampled in `net.read` is *waiting on the wire*, which
-/// is exactly the transport tax a profile should make visible).
-static STAGE_NET_READ: StageTag = StageTag::new("net.read");
-/// Profiling tag for reply writes and flushes.
-static STAGE_NET_WRITE: StageTag = StageTag::new("net.write");
-
-/// Serves one connection to completion: frames requests, drives the
-/// connection's private [`Pipeline`], emits replies in request order, and
-/// flushes pending waves whenever the input buffer runs dry.
-fn serve_connection(stream: TcpStream, config: &NetConfig) -> io::Result<()> {
-    // One request/one reply traffic benefits from immediate segments.
-    let _ = stream.set_nodelay(true);
-    profile::set_thread_class("conn");
-    let metrics = EngineMetrics::global();
-    metrics.connections.inc();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut pipeline = Pipeline::new(config.session, config.threads.max(1));
-    pipeline.set_slow_query_us(config.slow_query_us);
-    // Per-connection cost attribution, keyed by the pipeline's server
-    // connection id (the same id its flight records and trace ids carry).
-    let costs = Arc::new(ConnCosts::default());
-    metrics.register_connection(pipeline.server().connection_id(), Arc::clone(&costs));
-    let mut line = Vec::new();
-    loop {
-        // Idle flush: nothing buffered to scan, so release pending waves
-        // before blocking — a strict request/response client is waiting.
-        if pipeline.pending() > 0 && reader.buffer().is_empty() {
-            metrics.idle_flushes.inc();
-            let replies = pipeline.finish();
-            emit_measured(&mut writer, replies, &costs)?;
-        }
-        // The frame stage is only timed when bytes are already buffered:
-        // with an empty buffer the read blocks on the client thinking, and
-        // that wait is the client's latency, not the server's.
-        let framed = !reader.buffer().is_empty();
-        let frame_start = Instant::now();
-        let read_guard = profile::stage(&STAGE_NET_READ);
-        let frame = read_frame(&mut reader, &mut line, config.max_request_bytes)?;
-        drop(read_guard);
-        let frame_ns = if framed {
-            let elapsed = frame_start.elapsed();
-            metrics.frame_ns.record_duration(elapsed);
-            elapsed.as_nanos() as u64
-        } else {
-            0
-        };
-        let (replies, quit) = match frame {
-            Frame::Eof => break,
-            Frame::Oversized(got) => {
-                metrics.framing_errors.inc();
-                pipeline.push_reply(Reply::err(protocol::oversized_request(
-                    got,
-                    config.max_request_bytes,
-                )))
-            }
-            Frame::Line | Frame::Partial => {
-                let bytes_in = line.len() as u64 + 1;
-                metrics.frames.inc();
-                metrics.bytes_read.add(bytes_in);
-                costs.requests.inc();
-                costs.bytes_read.add(bytes_in);
-                match protocol::decode_request(&line) {
-                    Ok(text) => pipeline.push_line_io(text, bytes_in, frame_ns),
-                    Err(message) => {
-                        metrics.framing_errors.inc();
-                        pipeline.push_reply(Reply::err(message))
-                    }
-                }
-            }
-        };
-        emit_measured(&mut writer, replies, &costs)?;
-        if quit {
-            return Ok(());
-        }
-    }
-    // Clean disconnect: release whatever the client pipelined before EOF,
-    // then drop the pipeline — closing every session slot the connection
-    // opened (close-on-disconnect).
-    let replies = pipeline.finish();
-    emit_measured(&mut writer, replies, &costs)
-}
-
-/// Writes released replies (one line each; silent replies are empty and
-/// skipped) with reply-stage accounting, one sample per reply line: each
-/// non-silent reply's write latency feeds the `reply` stage histogram and
-/// its flight record (taken here, so the record carries the measured write
-/// rather than the zero the in-process path commits), and written bytes
-/// are charged to both the global counters and the connection's.
-fn emit_measured(
-    writer: &mut impl Write,
-    replies: Vec<Reply>,
-    costs: &ConnCosts,
-) -> io::Result<()> {
-    let _write_stage = profile::stage(&STAGE_NET_WRITE);
-    let metrics = EngineMetrics::global();
-    for mut reply in replies {
-        if reply.text.is_empty() {
-            continue;
-        }
-        let bytes = reply.text.len() as u64 + 1;
-        let start = Instant::now();
-        writer.write_all(reply.text.as_bytes())?;
-        writer.write_all(b"\n")?;
-        let reply_ns = start.elapsed().as_nanos() as u64;
-        metrics.reply_ns.record(reply_ns);
-        metrics.bytes_written.add(bytes);
-        costs.bytes_written.add(bytes);
-        if let Some(record) = reply.take_flight() {
-            record.commit(reply_ns, bytes);
-        }
-    }
-    writer.flush()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
 
     fn frame_lines(input: &[u8], max: usize) -> Vec<Result<Vec<u8>, usize>> {
         let mut reader = BufReader::with_capacity(8, input);

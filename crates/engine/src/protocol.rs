@@ -95,6 +95,56 @@
 //! terminate the connection; only `quit` (reply `bye`) and the client
 //! closing its end do.
 //!
+//! # Binary framing
+//!
+//! When the server runs with `serve --binary`, a connection may *negotiate*
+//! the compact binary framing of the [`binary`] module instead of the
+//! newline framing above: the client's very first bytes are the 5-byte
+//! magic [`binary::MAGIC`], the server answers the 5-byte [`binary::ACK`],
+//! and both directions then speak length-prefixed frames.  A connection
+//! that opens with anything else stays on the text framing (the debug and
+//! compatibility surface — both framings serve the same grammar and reply
+//! text on one port).  The magic deliberately ends in `\n` and opens with
+//! bytes that are invalid UTF-8, so a server *without* `--binary` parses it
+//! as a complete, malformed text line and answers a plain `err` — a client
+//! probing for binary support gets a decisive answer either way instead of
+//! hanging.  All multi-byte integers are little-endian:
+//!
+//! ```text
+//! handshake ::= MAGIC = d1 ff b1 01 0a         client → server, first bytes
+//!               ACK   = d1 ff b1 81 0a         server → client, first bytes
+//!
+//! request   ::= 00 len:u32 byte[len]           a UTF-8 request line of the
+//!                                              text grammar (no newline)
+//!             | 01 lhs:u64 k:u16 (mask:u64)^k  implies  lhs → {mask…}
+//!             | 02 set:u64                     bound    set
+//!             | 03 lhs:u64 k:u16 (mask:u64)^k  assert   lhs → {mask…}
+//!
+//! reply     ::= 00 len:u32 byte[len]           one UTF-8 response line of
+//!                                              the response grammar (no
+//!                                              newline), in request order;
+//!                                              silent requests reply
+//!                                              nothing, exactly as in text
+//! ```
+//!
+//! The fixed-width verb frames (`01`/`02`/`03`) carry attribute *bitmasks*
+//! over the current session's universe — bit `i` is the universe's `i`-th
+//! attribute, so masks are valid for any universe of at most
+//! [`setlat::MAX_UNIVERSE`] (= 64) attributes — and decode to exactly the
+//! requests `implies`/`bound`/`assert` parse from text (the member family
+//! is built by the same constructor, so answers and replies are
+//! byte-identical up to telemetry fields).  A mask with bits outside the
+//! universe answers `err`, like any other semantic error, without ending
+//! the connection.
+//!
+//! Framing violations are stricter than in text, because a length-prefixed
+//! stream cannot resynchronize after a corrupt header: an unknown frame
+//! tag, a `len` above the admission limit ([`MAX_REQUEST_BYTES`] /
+//! `--max-request-bytes`), or a member count above
+//! [`binary::MAX_MEMBERS`] answers one `err` frame and then closes the
+//! connection.  A frame truncated by disconnect just ends the connection
+//! (there is no partial-line salvage as in text framing).
+//!
 //! # Response grammar
 //!
 //! ```text
@@ -258,7 +308,7 @@ use diffcon_bounds::problem::DeriveError;
 use diffcon_bounds::Interval;
 use diffcon_discover::{Discovery, MinerConfig};
 use diffcon_obs::profile;
-use setlat::{AttrSet, Universe};
+use setlat::{AttrSet, Family, Universe};
 
 /// Largest universe the discovery verbs accept.
 ///
@@ -315,6 +365,248 @@ pub fn decode_request(bytes: &[u8]) -> Result<&str, String> {
 /// The `err` reply text for a request line over the admission limit.
 pub fn oversized_request(got: usize, limit: usize) -> String {
     format!("request line exceeds {limit} bytes (got {got})")
+}
+
+/// The compact binary wire framing (`serve --binary`), negotiated per
+/// connection by the [`MAGIC`](binary::MAGIC)/[`ACK`](binary::ACK)
+/// handshake.  Grammar in the *Binary framing* section of the
+/// [module docs](crate::protocol); both the server reactor and the
+/// [`crate::client::Client`] use these encoders/decoders, so the two sides
+/// of the wire can never drift apart.
+pub mod binary {
+    /// First bytes a client sends to negotiate binary framing.  Starts with
+    /// `0xD1 0xFF`, an invalid UTF-8 sequence, and ends with `\n`, so a
+    /// text-only server parses it as one complete malformed line and
+    /// answers a plain `err request is not valid UTF-8 …` — a probing
+    /// client fails fast instead of hanging on a half-read handshake.
+    pub const MAGIC: [u8; 5] = [0xD1, 0xFF, 0xB1, 0x01, b'\n'];
+    /// The server's 5-byte answer to [`MAGIC`]; everything after it is
+    /// binary reply frames.
+    pub const ACK: [u8; 5] = [0xD1, 0xFF, 0xB1, 0x81, b'\n'];
+
+    /// Frame tag: a length-prefixed UTF-8 request line (requests) or
+    /// response line (replies).
+    pub const TAG_LINE: u8 = 0x00;
+    /// Frame tag: fixed-width `implies` over attribute bitmasks.
+    pub const TAG_IMPLIES: u8 = 0x01;
+    /// Frame tag: fixed-width `bound` over an attribute bitmask.
+    pub const TAG_BOUND: u8 = 0x02;
+    /// Frame tag: fixed-width `assert` over attribute bitmasks.
+    pub const TAG_ASSERT: u8 = 0x03;
+
+    /// Member-count admission limit of the fixed-width constraint frames.
+    /// Generous — useful right-hand-side families are tiny — while bounding
+    /// what a corrupt or malicious `k` field can make the server buffer.
+    pub const MAX_MEMBERS: usize = 1024;
+
+    /// One decoded request frame, borrowing from the connection's input
+    /// buffer (the hot path allocates nothing).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum BinRequest<'a> {
+        /// Tag `00`: a request line in the text grammar (UTF-8 not yet
+        /// validated — the transport runs it through
+        /// [`decode_request`](super::decode_request) like any text line).
+        Line(&'a [u8]),
+        /// Tag `01`: `implies lhs -> {rhs…}` over bitmasks.
+        Implies {
+            /// Left-hand-side attribute bitmask.
+            lhs: u64,
+            /// Right-hand-side member bitmasks.
+            rhs: MaskList<'a>,
+        },
+        /// Tag `02`: `bound set` over a bitmask.
+        Bound {
+            /// The queried attribute bitmask.
+            set: u64,
+        },
+        /// Tag `03`: `assert lhs -> {rhs…}` over bitmasks.
+        Assert {
+            /// Left-hand-side attribute bitmask.
+            lhs: u64,
+            /// Right-hand-side member bitmasks.
+            rhs: MaskList<'a>,
+        },
+    }
+
+    /// The `k` little-endian `u64` member masks of a fixed-width frame,
+    /// still in wire form (no allocation until the server builds the
+    /// constraint).
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct MaskList<'a>(&'a [u8]);
+
+    impl MaskList<'_> {
+        /// Number of member masks.
+        pub fn len(&self) -> usize {
+            self.0.len() / 8
+        }
+
+        /// No members (an empty right-hand-side family).
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates the masks in wire order.
+        pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+            self.0
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        }
+    }
+
+    /// The outcome of decoding one frame from a buffer prefix.
+    #[derive(Debug, PartialEq)]
+    pub enum Decoded<'a> {
+        /// A complete frame and its total wire length in bytes (header
+        /// included) — the transport consumes exactly that many bytes.
+        Frame(BinRequest<'a>, usize),
+        /// The buffer holds a prefix of a valid frame; read more bytes.
+        Incomplete,
+        /// An unrecoverable framing violation (unknown tag, oversize
+        /// declaration).  The payload is the `err` message to answer before
+        /// closing: a corrupt length-prefixed stream cannot resynchronize.
+        Fatal(String),
+    }
+
+    fn u32_at(buf: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes(buf[at..at + 4].try_into().expect("4-byte slice"))
+    }
+
+    fn u64_at(buf: &[u8], at: usize) -> u64 {
+        u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte slice"))
+    }
+
+    /// Decodes one request frame from the front of `buf`.  `max_bytes` is
+    /// the per-request admission limit (the text framing's line cap; a
+    /// `Line` payload above it is [`Decoded::Fatal`]).
+    pub fn decode_request(buf: &[u8], max_bytes: usize) -> Decoded<'_> {
+        let Some(&tag) = buf.first() else {
+            return Decoded::Incomplete;
+        };
+        match tag {
+            TAG_LINE => {
+                if buf.len() < 5 {
+                    return Decoded::Incomplete;
+                }
+                let len = u32_at(buf, 1) as usize;
+                if len > max_bytes {
+                    return Decoded::Fatal(super::oversized_request(len, max_bytes));
+                }
+                if buf.len() < 5 + len {
+                    return Decoded::Incomplete;
+                }
+                Decoded::Frame(BinRequest::Line(&buf[5..5 + len]), 5 + len)
+            }
+            TAG_IMPLIES | TAG_ASSERT => {
+                if buf.len() < 11 {
+                    return Decoded::Incomplete;
+                }
+                let lhs = u64_at(buf, 1);
+                let k = u16::from_le_bytes([buf[9], buf[10]]) as usize;
+                if k > MAX_MEMBERS {
+                    return Decoded::Fatal(format!(
+                        "binary frame declares {k} members (limit {MAX_MEMBERS})"
+                    ));
+                }
+                let total = 11 + 8 * k;
+                if buf.len() < total {
+                    return Decoded::Incomplete;
+                }
+                let rhs = MaskList(&buf[11..total]);
+                let frame = if tag == TAG_IMPLIES {
+                    BinRequest::Implies { lhs, rhs }
+                } else {
+                    BinRequest::Assert { lhs, rhs }
+                };
+                Decoded::Frame(frame, total)
+            }
+            TAG_BOUND => {
+                if buf.len() < 9 {
+                    return Decoded::Incomplete;
+                }
+                Decoded::Frame(
+                    BinRequest::Bound {
+                        set: u64_at(buf, 1),
+                    },
+                    9,
+                )
+            }
+            other => Decoded::Fatal(format!("unknown binary frame tag 0x{other:02x}")),
+        }
+    }
+
+    /// The outcome of decoding one reply frame (client side).
+    #[derive(Debug, PartialEq)]
+    pub enum DecodedReply<'a> {
+        /// A complete reply payload (the response line's UTF-8 bytes) and
+        /// the frame's total wire length.
+        Frame(&'a [u8], usize),
+        /// A prefix of a valid frame; read more bytes.
+        Incomplete,
+        /// Corrupt reply stream; the message describes the violation.
+        Fatal(String),
+    }
+
+    /// Decodes one reply frame from the front of `buf`.  `max_bytes` caps
+    /// the declared payload length (the client's reply admission limit).
+    pub fn decode_reply(buf: &[u8], max_bytes: usize) -> DecodedReply<'_> {
+        let Some(&tag) = buf.first() else {
+            return DecodedReply::Incomplete;
+        };
+        if tag != TAG_LINE {
+            return DecodedReply::Fatal(format!("unknown binary reply tag 0x{tag:02x}"));
+        }
+        if buf.len() < 5 {
+            return DecodedReply::Incomplete;
+        }
+        let len = u32_at(buf, 1) as usize;
+        if len > max_bytes {
+            return DecodedReply::Fatal(format!(
+                "binary reply declares {len} bytes (limit {max_bytes})"
+            ));
+        }
+        if buf.len() < 5 + len {
+            return DecodedReply::Incomplete;
+        }
+        DecodedReply::Frame(&buf[5..5 + len], 5 + len)
+    }
+
+    /// Encodes a text-grammar request line as a `00` frame.
+    pub fn encode_line(line: &str, out: &mut Vec<u8>) {
+        out.push(TAG_LINE);
+        out.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        out.extend_from_slice(line.as_bytes());
+    }
+
+    fn encode_masks(tag: u8, lhs: u64, rhs: &[u64], out: &mut Vec<u8>) {
+        debug_assert!(rhs.len() <= MAX_MEMBERS);
+        out.push(tag);
+        out.extend_from_slice(&lhs.to_le_bytes());
+        out.extend_from_slice(&(rhs.len() as u16).to_le_bytes());
+        for mask in rhs {
+            out.extend_from_slice(&mask.to_le_bytes());
+        }
+    }
+
+    /// Encodes a fixed-width `implies lhs -> {rhs…}` frame.
+    pub fn encode_implies(lhs: u64, rhs: &[u64], out: &mut Vec<u8>) {
+        encode_masks(TAG_IMPLIES, lhs, rhs, out);
+    }
+
+    /// Encodes a fixed-width `assert lhs -> {rhs…}` frame.
+    pub fn encode_assert(lhs: u64, rhs: &[u64], out: &mut Vec<u8>) {
+        encode_masks(TAG_ASSERT, lhs, rhs, out);
+    }
+
+    /// Encodes a fixed-width `bound set` frame.
+    pub fn encode_bound(set: u64, out: &mut Vec<u8>) {
+        out.push(TAG_BOUND);
+        out.extend_from_slice(&set.to_le_bytes());
+    }
+
+    /// Encodes one response line as a `00` reply frame.
+    pub fn encode_reply(text: &str, out: &mut Vec<u8>) {
+        encode_line(text, out);
+    }
 }
 
 /// 1-based character column of `part` within `line`.  `part` must be a
@@ -1055,6 +1347,89 @@ impl Server {
                 Err(e) => Step::Done(Reply::err(e.to_string())),
             },
         }
+    }
+
+    /// Validates a bitmask against the session's universe: bits at or above
+    /// the attribute count name nothing and answer `err` (the binary
+    /// framing's analogue of an unknown attribute name).
+    fn checked_mask(universe: &Universe, mask: u64) -> Result<AttrSet, String> {
+        let n = universe.len();
+        if n < setlat::MAX_UNIVERSE && mask >> n != 0 {
+            Err(format!(
+                "attribute mask 0x{mask:x} has bits outside the {n}-attribute universe"
+            ))
+        } else {
+            Ok(AttrSet::from_bits(mask))
+        }
+    }
+
+    /// Builds the constraint a fixed-width binary frame denotes, through the
+    /// same [`Family::from_sets`] constructor the text parser uses — so a
+    /// mask frame and its textual spelling produce identical constraints.
+    fn mask_constraint(
+        universe: &Universe,
+        lhs: u64,
+        rhs: impl Iterator<Item = u64>,
+    ) -> Result<DiffConstraint, String> {
+        let lhs = Server::checked_mask(universe, lhs)?;
+        let members: Vec<AttrSet> = rhs
+            .map(|mask| Server::checked_mask(universe, mask))
+            .collect::<Result<_, _>>()?;
+        Ok(DiffConstraint::new(lhs, Family::from_sets(members)))
+    }
+
+    /// Begins a binary-framed `implies` over attribute bitmasks (frame tag
+    /// `01`): deferred against the current snapshot exactly like the
+    /// textual `implies`, with no text parse on the hot path.
+    pub fn begin_implies_mask(&mut self, lhs: u64, rhs: impl Iterator<Item = u64>) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => match Server::mask_constraint(session.universe(), lhs, rhs) {
+                Ok(goal) => Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), QueryKind::Implies(goal))
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
+                ),
+                Err(e) => Step::Done(Reply::err(e)),
+            },
+        }
+    }
+
+    /// Begins a binary-framed `bound` over an attribute bitmask (frame tag
+    /// `02`), deferred like the textual `bound`.
+    pub fn begin_bound_mask(&mut self, set: u64) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => match Server::checked_mask(session.universe(), set) {
+                Ok(set) => Step::Deferred(
+                    DeferredQuery::new(session.snapshot(), QueryKind::Bound(set))
+                        .traced(self.trace)
+                        .with_origin(trace, origin, slot),
+                ),
+                Err(e) => Step::Done(Reply::err(e)),
+            },
+        }
+    }
+
+    /// Executes a binary-framed `assert` over attribute bitmasks (frame tag
+    /// `03`), answering exactly what the textual `assert` answers.
+    pub fn assert_mask(&mut self, lhs: u64, rhs: impl Iterator<Item = u64>) -> Reply {
+        self.with_session(
+            |session| match Server::mask_constraint(session.universe(), lhs, rhs) {
+                Ok(constraint) => {
+                    let (id, added) = session.assert_constraint(&constraint);
+                    Reply::line(format!(
+                        "ok assert id={} added={} premises={}",
+                        id.index(),
+                        added as u8,
+                        session.premises().len()
+                    ))
+                }
+                Err(e) => Reply::err(e),
+            },
+        )
     }
 
     /// Defers a `batch` query against the current snapshot.

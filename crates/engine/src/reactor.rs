@@ -1,0 +1,839 @@
+//! The readiness-driven reactor core behind [`crate::net::NetServer`]: a
+//! small number of event-loop threads multiplexing every accepted
+//! connection over nonblocking sockets and a vendored `epoll` instance,
+//! instead of one blocking thread per connection.
+//!
+//! # Why a reactor
+//!
+//! The thread-per-connection server spent most of its samples parked in
+//! blocking reads and paid a full wake/park round trip per request — the
+//! *transport tax* the profiler surfaced as two thirds of connection-thread
+//! time.  The reactor turns that inside out: one thread waits once for the
+//! whole ready set, drains every readable connection into its frame buffer,
+//! feeds the complete frames straight into that connection's [`Pipeline`],
+//! and only then flushes replies — so a readiness burst with k pipelined
+//! requests becomes one batched evaluation wave and a handful of syscalls,
+//! not k wakeups.
+//!
+//! # Event-loop shape
+//!
+//! Each reactor owns an [`Epoll`] instance (level-triggered — correctness
+//! under partial drains and backpressure needs no re-arm bookkeeping), a
+//! connection slab indexed by epoll token, and a [`UnixStream`] waker pair
+//! through which the accept loop injects new connections and the shutdown
+//! path stops the loop.  One iteration:
+//!
+//! 1. `epoll_wait` for the ready set (one `reactor.wait` profile stage, one
+//!    `diffcond_reactor_wakeups_total` tick, the batch size recorded in
+//!    `diffcond_reactor_ready_batch`).
+//! 2. For every ready connection: flush its output buffer if writable,
+//!    then drain its socket to `WOULD_BLOCK` and parse/serve every complete
+//!    frame (text lines or [`protocol::binary`] frames, negotiated by the
+//!    first bytes).
+//! 3. **Eager idle flush**: every connection the burst touched that still
+//!    has pending deferred queries is flushed ([`Pipeline::finish`]) before
+//!    the reactor waits again — a strict request/response client's queue
+//!    wait is the parse-to-flush gap, not a polling interval.
+//! 4. Output buffers are written out with vectored (`writev`) syscalls; a
+//!    `WOULD_BLOCK` arms writable readiness instead of blocking the loop.
+//!
+//! # Backpressure
+//!
+//! Replies coalesce in a per-connection chunk list ([`OutBuf`]).  Past a
+//! high-water mark the reactor stops *reading* that connection (its
+//! requests stay in the kernel socket buffer, which eventually stalls the
+//! sender) until the backlog drains below a low-water mark — a slow reader
+//! costs bounded memory and never stalls the reactor or its neighbours.
+
+use crate::metrics::{ConnCosts, EngineMetrics};
+use crate::net::{ActiveGuard, NetConfig};
+use crate::protocol::{self, binary, Reply};
+use crate::server_state::Pipeline;
+use diffcon_obs::profile::{self, StageTag};
+use diffcon_obs::Gauge;
+use epoll::{Epoll, Events, Interest};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Profiling tag for the blocked heart of the loop: a reactor sampled in
+/// `reactor.wait` is idle in `epoll_wait`, covering every client's
+/// think-time at once.
+static STAGE_REACTOR_WAIT: StageTag = StageTag::new("reactor.wait");
+/// Profiling tag for socket drains and request parsing.
+static STAGE_NET_READ: StageTag = StageTag::new("net.read");
+/// Profiling tag for reply encoding and vectored flushes.
+static STAGE_NET_WRITE: StageTag = StageTag::new("net.write");
+
+/// Epoll token of the waker's read end; connection tokens are slab indices,
+/// which can never reach this.
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Bytes per nonblocking read into a connection's frame buffer.
+const READ_CHUNK: usize = 64 * 1024;
+/// Ready events fetched per `epoll_wait`.
+const EVENT_CAPACITY: usize = 1024;
+/// Output-buffer size at which the reactor stops reading a connection's
+/// requests (a slow reader costs bounded memory, never reactor stalls).
+const OUT_HIGH_WATER: usize = 1 << 20;
+/// Output-buffer size below which reading is re-armed (hysteresis, so a
+/// connection hovering at the mark does not flap its epoll interest).
+const OUT_LOW_WATER: usize = 256 * 1024;
+/// Reply chunk granularity of [`OutBuf`].
+const OUT_CHUNK: usize = 32 * 1024;
+/// Output backlog at which a *mid-burst* flush is attempted, so clients
+/// start draining replies while the reactor is still parsing and deciding
+/// the rest of a large pipelined burst (server decide work and client
+/// reply-drain work overlap instead of alternating in lockstep phases).
+const OUT_EAGER_FLUSH: usize = 2 * OUT_CHUNK;
+/// Most chunks handed to one vectored write.
+const MAX_IOVECS: usize = 64;
+
+/// The accept-loop-facing half of one reactor: the injection inbox, the
+/// waker that interrupts `epoll_wait`, and the load gauge the least-loaded
+/// dispatch reads.
+pub(crate) struct ReactorShared {
+    index: usize,
+    epoll: Epoll,
+    inbox: Mutex<Vec<(TcpStream, ActiveGuard)>>,
+    waker_tx: UnixStream,
+    waker_rx: UnixStream,
+    stop: AtomicBool,
+    load: AtomicUsize,
+}
+
+impl ReactorShared {
+    /// Builds the epoll instance and waker pair for reactor `index`.
+    pub(crate) fn new(index: usize) -> io::Result<Arc<ReactorShared>> {
+        let epoll = Epoll::new()?;
+        let (waker_tx, waker_rx) = UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        epoll.add(waker_rx.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
+        Ok(Arc::new(ReactorShared {
+            index,
+            epoll,
+            inbox: Mutex::new(Vec::new()),
+            waker_tx,
+            waker_rx,
+            stop: AtomicBool::new(false),
+            load: AtomicUsize::new(0),
+        }))
+    }
+
+    /// Connections this reactor is serving or has queued for adoption.
+    pub(crate) fn load(&self) -> usize {
+        self.load.load(Ordering::Relaxed)
+    }
+
+    /// Hands an accepted connection to this reactor (called from the accept
+    /// loop; the admission guard rides along so teardown is accounted no
+    /// matter where the connection dies).
+    pub(crate) fn inject(&self, stream: TcpStream, guard: ActiveGuard) {
+        self.load.fetch_add(1, Ordering::Relaxed);
+        self.inbox
+            .lock()
+            .expect("reactor inbox poisoned")
+            .push((stream, guard));
+        self.wake();
+    }
+
+    /// Flags the event loop to exit and interrupts its `epoll_wait`.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    /// Interrupts `epoll_wait`.  A full pipe means a wake is already
+    /// pending, so the error is ignored.
+    fn wake(&self) {
+        let _ = (&self.waker_tx).write(&[1]);
+    }
+
+    /// Drains pending wake bytes so level-triggered readiness stops firing.
+    fn drain_waker(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n == sink.len()) {}
+    }
+}
+
+/// Decrements the owning reactor's load gauge on connection teardown.
+struct LoadGuard(Arc<ReactorShared>);
+
+impl Drop for LoadGuard {
+    fn drop(&mut self) {
+        self.0.load.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Wire framing of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Framing {
+    /// First bytes not seen yet (only under `serve --binary`): waiting to
+    /// see whether they are [`binary::MAGIC`].
+    Negotiating,
+    /// Newline-delimited text lines (the default).
+    Text,
+    /// Length-prefixed binary frames ([`protocol::binary`]).
+    Binary,
+}
+
+/// A connection's coalescing output buffer: replies accumulate in a chunk
+/// list and leave through vectored writes, so one flush syscall carries a
+/// whole burst's replies.
+#[derive(Default)]
+struct OutBuf {
+    chunks: std::collections::VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    head: usize,
+    /// Unwritten bytes across all chunks.
+    len: usize,
+}
+
+impl OutBuf {
+    fn append(&mut self, bytes: &[u8]) {
+        self.len += bytes.len();
+        match self.chunks.back_mut() {
+            Some(tail) if tail.len() < OUT_CHUNK => tail.extend_from_slice(bytes),
+            _ => {
+                let mut chunk = Vec::with_capacity(OUT_CHUNK.max(bytes.len()));
+                chunk.extend_from_slice(bytes);
+                self.chunks.push_back(chunk);
+            }
+        }
+    }
+
+    /// Writes as much as the socket accepts with vectored syscalls.
+    /// `Ok(true)` means drained; `Ok(false)` means the socket would block
+    /// (arm writable readiness and come back).
+    fn flush(&mut self, stream: &TcpStream, metrics: &EngineMetrics) -> io::Result<bool> {
+        while self.len > 0 {
+            let mut slices = Vec::with_capacity(self.chunks.len().min(MAX_IOVECS));
+            for (slot, chunk) in self.chunks.iter().take(MAX_IOVECS).enumerate() {
+                let from = if slot == 0 { self.head } else { 0 };
+                slices.push(IoSlice::new(&chunk[from..]));
+            }
+            let written = match (&*stream).write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(written) => written,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            metrics.reactor_writev_bytes.record(written as u64);
+            self.consume(written);
+        }
+        Ok(true)
+    }
+
+    /// Advances past `written` flushed bytes, releasing drained chunks.
+    fn consume(&mut self, mut written: usize) {
+        self.len -= written;
+        while written > 0 {
+            let front_len = self.chunks.front().expect("consume past end").len() - self.head;
+            if written < front_len {
+                self.head += written;
+                return;
+            }
+            written -= front_len;
+            self.head = 0;
+            self.chunks.pop_front();
+        }
+    }
+}
+
+/// One multiplexed connection: socket, negotiated framing, in-flight frame
+/// buffer, output backlog, and its private protocol pipeline.
+struct Conn {
+    stream: TcpStream,
+    framing: Framing,
+    /// Raw request bytes; `[parse_at..]` is the unparsed tail.
+    inbuf: Vec<u8>,
+    parse_at: usize,
+    /// Mid-discard of an over-cap text line: bytes dropped so far.
+    discarding: Option<usize>,
+    out: OutBuf,
+    /// Reply-encode scratch, reused across replies.
+    scratch: Vec<u8>,
+    pipeline: Pipeline,
+    costs: Arc<ConnCosts>,
+    read_armed: bool,
+    write_armed: bool,
+    peer_eof: bool,
+    /// No more requests will be served; close once `out` drains.
+    closing: bool,
+    /// Connection IO failed; drop without flushing.
+    dead: bool,
+    /// Member of the current burst's touched set.
+    touched: bool,
+    _active: ActiveGuard,
+    _load: LoadGuard,
+}
+
+impl Conn {
+    /// `true` when the slot can be torn down.
+    fn reapable(&self) -> bool {
+        self.dead || (self.closing && self.out.len == 0)
+    }
+
+    /// Reconciles the socket's epoll interest with the connection state:
+    /// read while serving and under the output high-water mark (with
+    /// hysteresis), write while a backlog is pending.
+    fn sync_interest(&mut self, epoll: &Epoll, token: u64) {
+        let backlogged = if self.read_armed {
+            self.out.len >= OUT_HIGH_WATER
+        } else {
+            self.out.len >= OUT_LOW_WATER
+        };
+        let want_read = !self.closing && !self.dead && !self.peer_eof && !backlogged;
+        let want_write = !self.dead && self.out.len > 0;
+        if (want_read, want_write) == (self.read_armed, self.write_armed) {
+            return;
+        }
+        let interest = Interest {
+            read: want_read,
+            write: want_write,
+            edge: false,
+        };
+        if self.epoll_update(epoll, token, interest).is_err() {
+            self.dead = true;
+            return;
+        }
+        self.read_armed = want_read;
+        self.write_armed = want_write;
+    }
+
+    fn epoll_update(&self, epoll: &Epoll, token: u64, interest: Interest) -> io::Result<()> {
+        epoll.modify(self.stream.as_raw_fd(), token, interest)
+    }
+
+    /// Drains the socket to `WOULD_BLOCK` (or the backpressure mark),
+    /// parsing and serving every complete frame as it lands.  `read_buf` is
+    /// the reactor's shared read scratch — bytes land there first and only
+    /// the received prefix is copied into the connection's frame buffer.
+    fn on_readable(&mut self, config: &NetConfig, metrics: &EngineMetrics, read_buf: &mut [u8]) {
+        let read_stage = profile::stage(&STAGE_NET_READ);
+        loop {
+            if self.out.len >= OUT_HIGH_WATER || self.closing || self.dead {
+                break;
+            }
+            match (&self.stream).read(read_buf) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&read_buf[..n]);
+                    self.parse(config, metrics);
+                    // Stream a growing reply backlog out mid-burst: the
+                    // peer drains replies concurrently with the decides
+                    // still ahead.  `WOULD_BLOCK` here is fine — the
+                    // burst-end flush and writable readiness take over.
+                    if self.out.len >= OUT_EAGER_FLUSH && !self.dead {
+                        let write_stage = profile::stage(&STAGE_NET_WRITE);
+                        if self.out.flush(&self.stream, metrics).is_err() {
+                            self.dead = true;
+                        }
+                        drop(write_stage);
+                    }
+                    if n < read_buf.len() {
+                        // Likely drained; if more arrived meanwhile the
+                        // level-triggered epoll reports it again.
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        drop(read_stage);
+        if self.peer_eof && !self.closing && !self.dead {
+            self.on_eof(config, metrics);
+        }
+    }
+
+    /// Parses every complete frame buffered so far and compacts the buffer.
+    fn parse(&mut self, config: &NetConfig, metrics: &EngineMetrics) {
+        if self.framing == Framing::Negotiating {
+            self.negotiate(metrics);
+        }
+        match self.framing {
+            Framing::Negotiating => return,
+            Framing::Text => self.parse_text(config, metrics),
+            Framing::Binary => self.parse_binary(config, metrics),
+        }
+        if self.parse_at > 0 {
+            self.inbuf.drain(..self.parse_at);
+            self.parse_at = 0;
+        }
+    }
+
+    /// Resolves the framing from the connection's first bytes: exactly
+    /// [`binary::MAGIC`] switches to binary (answering [`binary::ACK`]);
+    /// anything else — including a magic prefix that diverges — is text.
+    fn negotiate(&mut self, metrics: &EngineMetrics) {
+        let Some(&first) = self.inbuf.first() else {
+            return;
+        };
+        if first != binary::MAGIC[0] {
+            self.framing = Framing::Text;
+            return;
+        }
+        if self.inbuf.len() < binary::MAGIC.len() {
+            return; // Need the rest of the handshake (or EOF resolves it).
+        }
+        if self.inbuf[..binary::MAGIC.len()] == binary::MAGIC {
+            self.parse_at = binary::MAGIC.len();
+            self.framing = Framing::Binary;
+            let handshake = binary::MAGIC.len() as u64;
+            metrics.bytes_read.add(handshake);
+            self.costs.bytes_read.add(handshake);
+            self.out.append(&binary::ACK);
+            let ack = binary::ACK.len() as u64;
+            metrics.bytes_written.add(ack);
+            self.costs.bytes_written.add(ack);
+        } else {
+            self.framing = Framing::Text;
+        }
+    }
+
+    /// Serves every complete text line in the buffer (the framing semantics
+    /// of [`crate::net`]'s `read_frame`, applied to a slice).
+    fn parse_text(&mut self, config: &NetConfig, metrics: &EngineMetrics) {
+        let max = config.max_request_bytes;
+        while self.parse_at < self.inbuf.len() && !self.closing && !self.dead {
+            let scan_start = Instant::now();
+            // Finish an in-progress oversized-line discard first.
+            if let Some(dropped) = self.discarding {
+                match find_newline(&self.inbuf[self.parse_at..]) {
+                    Some(pos) => {
+                        self.parse_at += pos + 1;
+                        self.discarding = None;
+                        metrics.framing_errors.inc();
+                        let (replies, _) =
+                            self.pipeline
+                                .push_reply(Reply::err(protocol::oversized_request(
+                                    dropped + pos,
+                                    max,
+                                )));
+                        emit_replies(
+                            self.framing,
+                            &mut self.out,
+                            &mut self.scratch,
+                            &self.costs,
+                            metrics,
+                            replies,
+                        );
+                        continue;
+                    }
+                    None => {
+                        self.discarding = Some(dropped + self.inbuf.len() - self.parse_at);
+                        self.parse_at = self.inbuf.len();
+                        return;
+                    }
+                }
+            }
+            let Some(pos) = find_newline(&self.inbuf[self.parse_at..]) else {
+                let buffered = self.inbuf.len() - self.parse_at;
+                if buffered > max {
+                    // Over the cap with no newline in sight: discard without
+                    // buffering further, counting the dropped bytes.
+                    self.discarding = Some(buffered);
+                    self.parse_at = self.inbuf.len();
+                }
+                return;
+            };
+            let (replies, quit) = if pos > max {
+                metrics.framing_errors.inc();
+                self.pipeline
+                    .push_reply(Reply::err(protocol::oversized_request(pos, max)))
+            } else {
+                let line = &self.inbuf[self.parse_at..self.parse_at + pos];
+                let bytes_in = line.len() as u64 + 1;
+                let frame_ns = scan_start.elapsed().as_nanos() as u64;
+                metrics.frame_ns.record(frame_ns);
+                metrics.frames.inc();
+                metrics.bytes_read.add(bytes_in);
+                self.costs.requests.inc();
+                self.costs.bytes_read.add(bytes_in);
+                match protocol::decode_request(line) {
+                    Ok(text) => self.pipeline.push_line_io(text, bytes_in, frame_ns),
+                    Err(message) => {
+                        metrics.framing_errors.inc();
+                        self.pipeline.push_reply(Reply::err(message))
+                    }
+                }
+            };
+            self.parse_at += pos + 1;
+            emit_replies(
+                self.framing,
+                &mut self.out,
+                &mut self.scratch,
+                &self.costs,
+                metrics,
+                replies,
+            );
+            if quit {
+                // Anything pipelined after `quit` is deliberately ignored.
+                self.finish_and_close(metrics);
+            }
+        }
+    }
+
+    /// Serves every complete binary frame in the buffer.
+    fn parse_binary(&mut self, config: &NetConfig, metrics: &EngineMetrics) {
+        while self.parse_at < self.inbuf.len() && !self.closing && !self.dead {
+            let scan_start = Instant::now();
+            match binary::decode_request(&self.inbuf[self.parse_at..], config.max_request_bytes) {
+                binary::Decoded::Incomplete => return,
+                binary::Decoded::Fatal(message) => {
+                    // A corrupt length-prefixed stream cannot resync: one
+                    // err at its position in the order, then close.
+                    metrics.framing_errors.inc();
+                    let (replies, _) = self.pipeline.push_reply(Reply::err(message));
+                    emit_replies(
+                        self.framing,
+                        &mut self.out,
+                        &mut self.scratch,
+                        &self.costs,
+                        metrics,
+                        replies,
+                    );
+                    self.finish_and_close(metrics);
+                    return;
+                }
+                binary::Decoded::Frame(frame, used) => {
+                    let frame_ns = scan_start.elapsed().as_nanos() as u64;
+                    metrics.frame_ns.record(frame_ns);
+                    metrics.frames.inc();
+                    metrics.bytes_read.add(used as u64);
+                    self.costs.requests.inc();
+                    self.costs.bytes_read.add(used as u64);
+                    let (replies, quit) =
+                        self.pipeline.push_binary_io(&frame, used as u64, frame_ns);
+                    self.parse_at += used;
+                    emit_replies(
+                        self.framing,
+                        &mut self.out,
+                        &mut self.scratch,
+                        &self.costs,
+                        metrics,
+                        replies,
+                    );
+                    if quit {
+                        self.finish_and_close(metrics);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clean end of input: serve a final unterminated text line if one is
+    /// buffered (the last request of a piped script), release pending
+    /// waves, and close once the output drains.  A binary frame truncated
+    /// by disconnect is not salvageable and just ends the connection.
+    fn on_eof(&mut self, config: &NetConfig, metrics: &EngineMetrics) {
+        if self.framing == Framing::Negotiating {
+            // Disconnect inside the handshake: whatever arrived is a
+            // malformed text fragment; serve it as such.
+            self.framing = Framing::Text;
+        }
+        if self.framing == Framing::Text && self.discarding.is_none() {
+            self.parse_text(config, metrics);
+            if !self.closing && self.parse_at < self.inbuf.len() {
+                let line = self.inbuf.split_off(self.parse_at);
+                let bytes_in = line.len() as u64 + 1;
+                metrics.frames.inc();
+                metrics.bytes_read.add(bytes_in);
+                self.costs.requests.inc();
+                self.costs.bytes_read.add(bytes_in);
+                let (replies, _) = match protocol::decode_request(&line) {
+                    Ok(text) => self.pipeline.push_line_io(text, bytes_in, 0),
+                    Err(message) => {
+                        metrics.framing_errors.inc();
+                        self.pipeline.push_reply(Reply::err(message))
+                    }
+                };
+                emit_replies(
+                    self.framing,
+                    &mut self.out,
+                    &mut self.scratch,
+                    &self.costs,
+                    metrics,
+                    replies,
+                );
+            }
+        }
+        if !self.closing {
+            self.finish_and_close(metrics);
+        }
+    }
+
+    /// Releases everything the pipeline still holds and marks the
+    /// connection closing (teardown happens once the output drains).
+    fn finish_and_close(&mut self, metrics: &EngineMetrics) {
+        let replies = self.pipeline.finish();
+        emit_replies(
+            self.framing,
+            &mut self.out,
+            &mut self.scratch,
+            &self.costs,
+            metrics,
+            replies,
+        );
+        self.closing = true;
+    }
+
+    /// Burst-end hook: flush pending waves eagerly so a waiting strict
+    /// client is answered before the reactor sleeps.
+    fn end_burst(&mut self, metrics: &EngineMetrics) {
+        if !self.dead && !self.closing && self.pipeline.pending() > 0 {
+            metrics.idle_flushes.inc();
+            let replies = self.pipeline.finish();
+            emit_replies(
+                self.framing,
+                &mut self.out,
+                &mut self.scratch,
+                &self.costs,
+                metrics,
+                replies,
+            );
+        }
+        if self.out.len > 0 && !self.dead {
+            let write_stage = profile::stage(&STAGE_NET_WRITE);
+            if self.out.flush(&self.stream, metrics).is_err() {
+                self.dead = true;
+            }
+            drop(write_stage);
+        }
+    }
+}
+
+/// Finds the next `\n` in `haystack`.
+fn find_newline(haystack: &[u8]) -> Option<usize> {
+    haystack.iter().position(|&b| b == b'\n')
+}
+
+/// Encodes released replies into the connection's output buffer (silent
+/// replies are skipped) with reply-stage accounting, one sample per reply:
+/// each non-silent reply's encode-and-buffer latency feeds the `reply`
+/// stage histogram and its flight record, and the encoded bytes are charged
+/// to both the global counters and the connection's.
+fn emit_replies(
+    framing: Framing,
+    out: &mut OutBuf,
+    scratch: &mut Vec<u8>,
+    costs: &ConnCosts,
+    metrics: &EngineMetrics,
+    replies: Vec<Reply>,
+) {
+    if replies.is_empty() {
+        return;
+    }
+    let write_stage = profile::stage(&STAGE_NET_WRITE);
+    for mut reply in replies {
+        if reply.text.is_empty() {
+            continue;
+        }
+        let start = Instant::now();
+        scratch.clear();
+        if framing == Framing::Binary {
+            binary::encode_reply(&reply.text, scratch);
+        } else {
+            scratch.extend_from_slice(reply.text.as_bytes());
+            scratch.push(b'\n');
+        }
+        out.append(scratch);
+        let reply_ns = start.elapsed().as_nanos() as u64;
+        let bytes = scratch.len() as u64;
+        metrics.reply_ns.record(reply_ns);
+        metrics.bytes_written.add(bytes);
+        costs.bytes_written.add(bytes);
+        if let Some(record) = reply.take_flight() {
+            record.commit(reply_ns, bytes);
+        }
+    }
+    drop(write_stage);
+}
+
+/// Adopts an accepted connection into the slab and registers its socket
+/// with the epoll instance.  Failure just drops the connection (the guards
+/// release its admission slot and load count); the return value is whether
+/// the connection is now live.
+fn register_conn(
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    shared: &Arc<ReactorShared>,
+    stream: TcpStream,
+    active: ActiveGuard,
+    config: &NetConfig,
+    metrics: &EngineMetrics,
+) -> bool {
+    let load = LoadGuard(Arc::clone(shared));
+    // One request/one reply traffic benefits from immediate segments.
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    metrics.connections.inc();
+    let mut pipeline = Pipeline::new(config.session, config.threads.max(1));
+    pipeline.set_slow_query_us(config.slow_query_us);
+    // Per-connection cost attribution, keyed by the pipeline's server
+    // connection id (the same id its flight records and trace ids carry).
+    let costs = Arc::new(ConnCosts::default());
+    metrics.register_connection(pipeline.server().connection_id(), Arc::clone(&costs));
+    let token = match free.pop() {
+        Some(token) => token,
+        None => {
+            conns.push(None);
+            conns.len() - 1
+        }
+    };
+    if shared
+        .epoll
+        .add(stream.as_raw_fd(), token as u64, Interest::READ)
+        .is_err()
+    {
+        free.push(token);
+        return false;
+    }
+    conns[token] = Some(Conn {
+        stream,
+        framing: if config.binary {
+            Framing::Negotiating
+        } else {
+            Framing::Text
+        },
+        inbuf: Vec::new(),
+        parse_at: 0,
+        discarding: None,
+        out: OutBuf::default(),
+        scratch: Vec::new(),
+        pipeline,
+        costs,
+        read_armed: true,
+        write_armed: false,
+        peer_eof: false,
+        closing: false,
+        dead: false,
+        touched: false,
+        _active: active,
+        _load: load,
+    });
+    true
+}
+
+/// The reactor event loop: runs until [`ReactorShared::request_stop`],
+/// serving every connection injected through [`ReactorShared::inject`].
+pub(crate) fn run(shared: Arc<ReactorShared>, config: NetConfig) {
+    profile::set_thread_class("reactor");
+    let metrics = EngineMetrics::global();
+    let live_gauge: Arc<Gauge> = metrics.register_reactor(shared.index);
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = Events::with_capacity(EVENT_CAPACITY);
+    let mut touched: Vec<usize> = Vec::new();
+    let mut read_buf = vec![0u8; READ_CHUNK];
+    let mut live: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let wait_stage = profile::stage(&STAGE_REACTOR_WAIT);
+        let waited = shared.epoll.wait(&mut events, None);
+        drop(wait_stage);
+        if waited.is_err() {
+            // An unusable epoll instance is unrecoverable for this reactor;
+            // its connections are dropped (and their slots released).
+            break;
+        }
+        metrics.reactor_wakeups.inc();
+        metrics.reactor_ready_batch.record(events.len() as u64);
+        touched.clear();
+        for event in events.iter() {
+            if event.token == WAKER_TOKEN {
+                shared.drain_waker();
+                let adopted: Vec<_> = shared
+                    .inbox
+                    .lock()
+                    .expect("reactor inbox poisoned")
+                    .drain(..)
+                    .collect();
+                for (stream, guard) in adopted {
+                    if register_conn(
+                        &mut conns, &mut free, &shared, stream, guard, &config, metrics,
+                    ) {
+                        live += 1;
+                    }
+                }
+                live_gauge.set(live);
+                continue;
+            }
+            let token = event.token as usize;
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if !conn.touched {
+                conn.touched = true;
+                touched.push(token);
+            }
+            if event.is_error() && (conn.closing || conn.peer_eof) {
+                // Error/hangup on a connection already past serving: the
+                // peer cannot receive the backlog, so drop it.  A *live*
+                // connection discovers errors through its read and write
+                // paths instead, so buffered requests and replies are
+                // served right up to the failure.
+                conn.dead = true;
+                continue;
+            }
+            if event.writable() && conn.out.len > 0 {
+                let write_stage = profile::stage(&STAGE_NET_WRITE);
+                if conn.out.flush(&conn.stream, metrics).is_err() {
+                    conn.dead = true;
+                }
+                drop(write_stage);
+                if conn.dead {
+                    continue;
+                }
+            }
+            if event.readable() && !conn.peer_eof && !conn.closing {
+                conn.on_readable(&config, metrics, &mut read_buf);
+            }
+        }
+        // Burst end: eager-flush every touched connection's pending waves,
+        // push their output, reconcile interest, and reap the finished.
+        for &token in &touched {
+            let fd = {
+                let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                    continue;
+                };
+                conn.touched = false;
+                conn.end_burst(metrics);
+                if !conn.reapable() {
+                    conn.sync_interest(&shared.epoll, token as u64);
+                }
+                if !conn.reapable() {
+                    continue;
+                }
+                conn.stream.as_raw_fd()
+            };
+            let _ = shared.epoll.delete(fd);
+            conns[token] = None;
+            free.push(token);
+            live = live.saturating_sub(1);
+            live_gauge.set(live);
+        }
+    }
+    // Shutdown: a final best-effort flush, then drop every connection
+    // (closing its sessions and releasing its admission slot).
+    for conn in conns.iter_mut().flatten() {
+        if !conn.dead && conn.out.len > 0 {
+            let _ = conn.out.flush(&conn.stream, metrics);
+        }
+    }
+    live_gauge.set(0);
+}

@@ -603,6 +603,52 @@ impl Pipeline {
             }
         };
         drop(scan_guard);
+        self.push_step(step, bytes_in, frame_ns)
+    }
+
+    /// Feeds one binary-framed request (see [`protocol::binary`]): `00`
+    /// line frames run through the exact text path (UTF-8 validation,
+    /// parse), while the fixed-width mask verbs skip text entirely and
+    /// defer into the same waves — the reply stream is identical to the
+    /// textual spelling of the same requests.
+    pub fn push_binary_io(
+        &mut self,
+        frame: &protocol::binary::BinRequest<'_>,
+        bytes_in: u64,
+        frame_ns: u64,
+    ) -> (Vec<Reply>, bool) {
+        use protocol::binary::BinRequest;
+        if let BinRequest::Line(bytes) = frame {
+            return match protocol::decode_request(bytes) {
+                Ok(text) => self.push_line_io(text, bytes_in, frame_ns),
+                Err(message) => {
+                    EngineMetrics::global().framing_errors.inc();
+                    self.push_reply(Reply::err(message))
+                }
+            };
+        }
+        EngineMetrics::global().requests.inc();
+        let scan_guard = profile::stage(&STAGE_SCAN);
+        let step = match frame {
+            BinRequest::Line(_) => unreachable!("line frames are handled above"),
+            BinRequest::Implies { lhs, rhs } => self.server.begin_implies_mask(*lhs, rhs.iter()),
+            BinRequest::Bound { set } => self.server.begin_bound_mask(*set),
+            BinRequest::Assert { lhs, rhs } => {
+                protocol::Step::Done(self.server.assert_mask(*lhs, rhs.iter()))
+            }
+        };
+        drop(scan_guard);
+        self.push_step(step, bytes_in, frame_ns)
+    }
+
+    /// Queues one begun step with its transport telemetry and releases the
+    /// ready prefix — the shared tail of every `push_*` entry point.
+    fn push_step(
+        &mut self,
+        step: protocol::Step,
+        bytes_in: u64,
+        frame_ns: u64,
+    ) -> (Vec<Reply>, bool) {
         match step {
             protocol::Step::Done(reply) => self.queue.push(Queued::Ready(reply)),
             protocol::Step::Deferred(query) => {

@@ -6,11 +6,15 @@
 //! By default the example spawns its own in-process [`NetServer`] on an
 //! ephemeral loopback port.  Set `DIFFCOND_ADDR=HOST:PORT` to drive an
 //! externally started `diffcond serve` instead — that is how the CI
-//! release-smoke step checks the real binary over a real socket:
+//! release-smoke step checks the real binary over a real socket — and
+//! `DIFFCOND_BINARY=1` to negotiate the compact binary framing (the server
+//! must run with `--binary`) and additionally exercise the fixed-width
+//! mask frames of the hot verbs:
 //!
 //! ```text
-//! $ ./target/release/diffcond serve --addr 127.0.0.1:7979 --threads 4 &
+//! $ ./target/release/diffcond serve --addr 127.0.0.1:7979 --threads 4 --binary &
 //! $ DIFFCOND_ADDR=127.0.0.1:7979 cargo run --release --example net_service
+//! $ DIFFCOND_ADDR=127.0.0.1:7979 DIFFCOND_BINARY=1 cargo run --release --example net_service
 //! ```
 //!
 //! Every reply is checked, so a zero exit status is a verified transcript.
@@ -19,11 +23,20 @@ use diffcon_engine::client::{Client, ClientError};
 use diffcon_engine::net::{NetConfig, NetServer, ShutdownHandle};
 use std::time::Duration;
 
+fn binary_mode() -> bool {
+    std::env::var("DIFFCOND_BINARY").is_ok_and(|v| v == "1")
+}
+
 fn connect(addr: &str) -> Client {
     let mut last_err = None;
     // An externally launched server may still be binding; retry briefly.
     for _ in 0..50 {
-        match Client::connect(addr) {
+        let attempt = if binary_mode() {
+            Client::connect_binary(addr)
+        } else {
+            Client::connect(addr)
+        };
+        match attempt {
             Ok(mut client) => {
                 client
                     .set_read_timeout(Some(Duration::from_secs(30)))
@@ -60,6 +73,10 @@ fn main() {
                 "127.0.0.1:0",
                 NetConfig {
                     threads: 2,
+                    // Accept the handshake so `DIFFCOND_BINARY=1` works
+                    // against the private server too; text connections are
+                    // unaffected (framing is negotiated per connection).
+                    binary: true,
                     ..NetConfig::default()
                 },
             )
@@ -96,15 +113,56 @@ fn main() {
     check(&mut client, "session use 0", "ok session id=0");
     check(&mut client, "premises", "premises n=2");
 
+    // ── The hot verbs as fixed-width mask frames (binary mode only) ─────
+    if client.is_binary() {
+        // A=bit0 … D=bit3: `implies A -> {C}` is lhs=0b0001, rhs=[0b0100].
+        client
+            .send_implies_mask(0b0001, &[0b0100])
+            .expect("mask frame send");
+        let reply = client.recv().expect("mask frame reply");
+        println!("> implies mask lhs=0b0001 rhs=[0b0100]\n{reply}");
+        assert!(reply.starts_with("yes"), "mask implies answered `{reply}`");
+        client.send_bound_mask(0b0011).expect("mask frame send");
+        let reply = client.recv().expect("mask frame reply");
+        println!("> bound mask set=0b0011\n{reply}");
+        assert!(
+            reply.starts_with("bound lo=40"),
+            "mask bound answered `{reply}`"
+        );
+    }
+
     // ── Error replies never cost the connection ─────────────────────────
     check(&mut client, "implies A -> {Z}", "err");
     check(&mut client, "quit now", "err quit expects no argument");
     let oversized = format!("implies {}", "A".repeat(2 * 64 * 1024));
-    let reply = client
-        .raw_request(&oversized)
-        .expect("oversized round trip");
-    println!("> implies AAAA… ({} bytes)\n{reply}", oversized.len());
-    assert!(reply.starts_with("err request line exceeds"));
+    if client.is_binary() {
+        // A binary frame declaring an over-limit length is a *fatal*
+        // framing violation: one `err` reply, then the server closes.
+        // Probe it on a throwaway connection so the conversation above
+        // keeps its socket.
+        let mut probe = connect(&addr);
+        probe.send(&oversized).expect("oversized frame send");
+        let reply = probe.recv().expect("oversized frame reply");
+        println!(
+            "> implies AAAA… ({} bytes, binary frame)\n{reply}",
+            oversized.len()
+        );
+        assert!(reply.starts_with("err request line exceeds"));
+        match probe.recv() {
+            // A reset is equally valid: the server closed while unread
+            // request bytes were still queued, so the kernel answers RST.
+            Err(ClientError::Closed) | Err(ClientError::Io(_)) => {
+                println!("(connection closed by server, as framed)");
+            }
+            other => panic!("expected a close after a fatal frame, got {other:?}"),
+        }
+    } else {
+        let reply = client
+            .raw_request(&oversized)
+            .expect("oversized round trip");
+        println!("> implies AAAA… ({} bytes)\n{reply}", oversized.len());
+        assert!(reply.starts_with("err request line exceeds"));
+    }
     check(&mut client, "implies A -> {C}", "yes");
 
     // ── A second connection is a fresh, isolated namespace ──────────────

@@ -1,0 +1,432 @@
+//! Hermetic stand-in for the [`epoll`](https://crates.io/crates/epoll) crate.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! small readiness-API surface the `diffcon-engine` reactor uses, as safe
+//! wrappers over the raw Linux syscalls (declared `extern "C"` against the
+//! libc that `std` already links — no new dependency):
+//!
+//! * [`Epoll`] — an owned `epoll(7)` instance created with `EPOLL_CLOEXEC`,
+//!   closed on drop;
+//! * [`Interest`] — readable/writable registration with optional
+//!   edge-triggering, always including peer-hangup notification;
+//! * [`Epoll::add`] / [`Epoll::modify`] / [`Epoll::delete`] — registration
+//!   keyed by a caller-chosen `u64` token (the reactor uses connection slab
+//!   indices);
+//! * [`Epoll::wait`] — blocks for readiness into a reusable [`Events`]
+//!   buffer, retrying `EINTR` internally so callers never see spurious
+//!   interruptions;
+//! * [`raise_nofile_limit`] — a `setrlimit(RLIMIT_NOFILE)` helper for the
+//!   many-connection soak harness (the only non-epoll syscall here, kept in
+//!   this crate because the engine itself forbids `unsafe`).
+//!
+//! The wrappers are memory-safe for any argument values: file descriptors
+//! are passed by value (a stale fd yields `EBADF`, an `io::Error`, never
+//! undefined behavior), event buffers are sized and owned by [`Events`],
+//! and every return value is checked and converted through
+//! [`std::io::Error::last_os_error`].
+//!
+//! Linux-only by construction (the reactor is gated the same way); other
+//! platforms get a compile error naming the missing API rather than a
+//! runtime surprise.
+
+#![cfg(target_os = "linux")]
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `epoll_event.events` bit: readable.
+const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` bit: writable.
+const EPOLLOUT: u32 = 0x004;
+/// `epoll_event.events` bit: error condition (always reported).
+const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` bit: hangup (always reported).
+const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` bit: peer closed its writing end.
+const EPOLLRDHUP: u32 = 0x2000;
+/// `epoll_event.events` bit: edge-triggered delivery.
+const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// `RLIMIT_NOFILE` on every Linux architecture.
+const RLIMIT_NOFILE: i32 = 7;
+
+/// The kernel's `struct epoll_event`.  Packed on x86-64 (the kernel ABI
+/// there packs the 32-bit event mask against the 64-bit data word); the
+/// natural `repr(C)` layout everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+struct RawRlimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RawRlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RawRlimit) -> i32;
+}
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+    /// Edge-triggered delivery: one wakeup per readiness *transition*; the
+    /// owner must drain to `WouldBlock`.  Level-triggered (the default)
+    /// re-reports readiness every wait while it persists.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Level-triggered readable.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+        edge: false,
+    };
+    /// Level-triggered writable.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+        edge: false,
+    };
+    /// Level-triggered readable + writable.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+        edge: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.read {
+            // Peer half-close rides with read interest only: a write-only
+            // registration (e.g. a connection draining its output backlog
+            // after EOF) must not be re-woken every wait by a persistent
+            // level-triggered RDHUP it can do nothing about.
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.write {
+            bits |= EPOLLOUT;
+        }
+        if self.edge {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    events: u32,
+}
+
+impl Event {
+    /// The fd is readable (includes peer hangup: a final `read` will report
+    /// the remaining bytes, then EOF).
+    pub fn readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    /// The fd is writable.
+    pub fn writable(&self) -> bool {
+        self.events & EPOLLOUT != 0
+    }
+
+    /// An error or hangup condition is pending (reported even when not
+    /// requested); the owner should read to collect the error / EOF.
+    pub fn is_error(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP) != 0
+    }
+
+    /// The peer closed its writing end (half-close); bytes may remain.
+    pub fn is_rdhup(&self) -> bool {
+        self.events & EPOLLRDHUP != 0
+    }
+}
+
+/// A reusable buffer [`Epoll::wait`] fills with ready [`Event`]s.
+pub struct Events {
+    raw: Vec<RawEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wait (the batch
+    /// the reactor processes per wakeup).
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![RawEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the most recent wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No events were delivered (timeout expired).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the delivered events.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| Event {
+            token: raw.data,
+            events: raw.events,
+        })
+    }
+}
+
+/// An owned epoll instance (closed on drop).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+// The epoll fd is just an integer handle; all operations go through the
+// kernel, which serializes them.  `&self` methods are safe from any thread.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    /// Creates an epoll instance with `EPOLL_CLOEXEC`.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: no pointers cross the boundary; the return value is a new
+        // fd or -1 with errno set.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, event: Option<(u64, Interest)>) -> io::Result<()> {
+        let mut raw = event.map(|(token, interest)| RawEvent {
+            events: interest.bits(),
+            data: token,
+        });
+        let ptr = raw
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |r| r as *mut RawEvent);
+        // SAFETY: `ptr` is null (DEL) or points at a live stack RawEvent for
+        // the duration of the call; invalid fds surface as EBADF.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Some((token, interest)))
+    }
+
+    /// Changes the interest (and/or token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Some((token, interest)))
+    }
+
+    /// Removes a registration.  Removing an fd that was already closed (and
+    /// therefore auto-deregistered) reports `ENOENT`/`EBADF`, which callers
+    /// tearing a connection down may ignore.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered fd is ready (or the timeout
+    /// expires), filling `events`.  `timeout_ms`: `None` blocks forever;
+    /// `Some(0)` polls.  Returns the number of events delivered; `EINTR` is
+    /// retried internally.
+    pub fn wait(&self, events: &mut Events, timeout_ms: Option<i32>) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        loop {
+            // SAFETY: the buffer pointer and capacity come from the same
+            // live Vec; the kernel writes at most `capacity` entries.
+            let rc = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.raw.as_mut_ptr(),
+                    events.raw.len() as i32,
+                    timeout,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            events.len = rc as usize;
+            return Ok(rc as usize);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is the epoll fd this struct owns; double-close
+        // is impossible because drop runs once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Raises the process's `RLIMIT_NOFILE` soft limit toward `target` (raising
+/// the hard limit too when the process may, e.g. under `CAP_SYS_RESOURCE`),
+/// and returns the soft limit actually in effect afterwards.  Lowering never
+/// happens: a `target` below the current soft limit leaves it unchanged.
+///
+/// The many-connection soak tests call this first and then size themselves
+/// to what the kernel actually granted.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut limit = RawRlimit { cur: 0, max: 0 };
+    // SAFETY: the pointer references a live stack struct the kernel fills.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if target <= limit.cur {
+        return Ok(limit.cur);
+    }
+    // Try the full target first (raising the hard limit needs privilege),
+    // then fall back to raising the soft limit to the existing hard one.
+    let attempts = [
+        RawRlimit {
+            cur: target,
+            max: target.max(limit.max),
+        },
+        RawRlimit {
+            cur: target.min(limit.max),
+            max: limit.max,
+        },
+    ];
+    for attempt in attempts {
+        // SAFETY: the pointer references a live stack struct the kernel reads.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &attempt) } == 0 {
+            return Ok(attempt.cur);
+        }
+    }
+    Ok(limit.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn nonblocking_pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn waits_for_readable_and_reports_the_token() {
+        let epoll = Epoll::new().unwrap();
+        let (mut a, b) = nonblocking_pair();
+        epoll.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(8);
+        // Nothing written yet: a zero-timeout poll delivers nothing.
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+        a.write_all(b"x").unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(1000)).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token, 7);
+        assert!(event.readable());
+        assert!(!event.writable());
+    }
+
+    #[test]
+    fn modify_switches_interest_and_delete_removes() {
+        let epoll = Epoll::new().unwrap();
+        let (_a, b) = nonblocking_pair();
+        epoll.add(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        // An idle socket is writable the moment we ask for writability.
+        epoll.modify(b.as_raw_fd(), 2, Interest::WRITE).unwrap();
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(1000)).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert_eq!(event.token, 2);
+        assert!(event.writable());
+        epoll.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn edge_triggered_reports_a_transition_once() {
+        let epoll = Epoll::new().unwrap();
+        let (mut a, mut b) = nonblocking_pair();
+        let interest = Interest {
+            edge: true,
+            ..Interest::READ
+        };
+        epoll.add(b.as_raw_fd(), 3, interest).unwrap();
+        a.write_all(b"edge").unwrap();
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(1000)).unwrap(), 1);
+        // Without draining, edge-triggered does not re-report.
+        assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+        // Draining then writing again produces a fresh edge.
+        let mut sink = [0u8; 16];
+        let n = b.read(&mut sink).unwrap();
+        assert_eq!(n, 4);
+        a.write_all(b"more").unwrap();
+        assert_eq!(epoll.wait(&mut events, Some(1000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable() {
+        let epoll = Epoll::new().unwrap();
+        let (a, b) = nonblocking_pair();
+        epoll.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        assert_eq!(epoll.wait(&mut events, Some(1000)).unwrap(), 1);
+        let event = events.iter().next().unwrap();
+        assert!(event.readable(), "hangup must wake readers so they see EOF");
+        assert!(event.is_rdhup() || event.is_error());
+    }
+
+    #[test]
+    fn bad_fd_is_an_error_not_ub() {
+        let epoll = Epoll::new().unwrap();
+        assert!(epoll.add(-1, 0, Interest::READ).is_err());
+        assert!(epoll.delete(987654).is_err());
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_usable_value() {
+        let limit = raise_nofile_limit(1024).expect("getrlimit works");
+        assert!(limit >= 1024 || limit > 0);
+        // Asking for less than the current limit is a no-op report.
+        let again = raise_nofile_limit(1).unwrap();
+        assert!(again >= limit.min(1024));
+    }
+}
