@@ -1,0 +1,39 @@
+//! # diffcon-analyze — static analysis for differential-constraint programs
+//!
+//! The serving engine treats a session's premise family and known values as
+//! ground truth and pays for them on every query: each premise is another
+//! lattice to cover in implication checks, another row killer in the bound
+//! engine's density system, another planner dispatch.  Nothing, however,
+//! ever analyzes the *program* itself — a session can accumulate premises
+//! that are implied by the rest of the family, knowns that contradict each
+//! other under the asserted constraints (discovered only when a `bound`
+//! query finally returns infeasible), and protocol scripts that fail at
+//! request N after N−1 requests already mutated state.
+//!
+//! This crate closes that gap with two analyzers, both pure functions with
+//! no engine dependency:
+//!
+//! * [`premise`] — per-snapshot analysis of a premise family and its knowns:
+//!   redundancy detection with implying witnesses, pre-query infeasibility
+//!   detection with a minimal conflicting known set, dead-density-variable
+//!   detection, and [`premise::minimal_core`], the redundancy-reduced family
+//!   with a machine-checkable certificate ([`premise::check_certificate`]).
+//!   Answering from the reduced core is *provably* answer-preserving — the
+//!   module docs carry the argument — which is what lets a serving layer
+//!   swap the core in for the raw family.
+//! * [`script`] — a flow-sensitive linter for `diffcond` protocol scripts:
+//!   it simulates session-registry state line by line *without executing
+//!   anything* and reports use-before-load, never-set forgets, closed-slot
+//!   switches, duplicate and redundant asserts, wedge-threshold mining, and
+//!   dead lines after `quit` as `line:col: warn|error:` diagnostics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod premise;
+pub mod script;
+
+pub use premise::{
+    analyze, check_certificate, minimal_core, Analysis, Dropped, MinimalCore, Redundancy,
+};
+pub use script::{Diagnostic, Linter, ScriptOp, Severity, Span};

@@ -1,0 +1,761 @@
+//! Flow-sensitive linting of `diffcond` protocol scripts.
+//!
+//! The linter simulates the server's session-registry state line by line —
+//! slots, universes, premises, knowns, datasets — *without executing
+//! anything*, and reports requests that would fail or mislead at run time:
+//! use of `mine`/`adopt`/`dataset` before `load`, `forget` of a never-set
+//! known, `session use`/`close` of unknown slots, duplicate and redundant
+//! asserts, mining past the measured wedge thresholds, and dead lines after
+//! `quit`.  Slot bookkeeping mirrors the engine's registry exactly: one
+//! initial slot with id 0, ids never reused, closing the current slot
+//! falls back to the lowest remaining id, closing the last slot opens a
+//! fresh one.
+//!
+//! The linter is deliberately parser-agnostic: a driver (the `diffcond
+//! check` subcommand) parses each line with the *protocol's own parser* and
+//! maps the result onto [`ScriptOp`], so there is exactly one grammar in the
+//! tree and the linter can never drift from it.  Parse failures become
+//! error diagnostics in the driver; everything the linter sees parsed.
+
+use diffcon::{implication, DiffConstraint};
+use diffcon_discover::{MAX_MINE_RHS_WORK, MAX_MINE_UNIVERSE};
+use setlat::{AttrSet, Universe};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Diagnostic severity: errors fail the lint (nonzero exit), warnings
+/// report code that runs but is suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but executable (duplicate assert, dead line).
+    Warn,
+    /// Would fail (or is certain to answer `err`) at run time.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding, positioned at a 1-based line and column.
+///
+/// Displays as `line:col: severity: message`; drivers prefix the file name
+/// for the conventional `file:line:col: …` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line number in the script.
+    pub line: usize,
+    /// 1-based character column.
+    pub col: usize,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.line, self.col, self.severity, self.message
+        )
+    }
+}
+
+/// Source position of one script line's parts, as the driver computed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the verb token.
+    pub verb_col: usize,
+    /// 1-based column of the first argument token (the verb column when the
+    /// request has no argument).
+    pub arg_col: usize,
+}
+
+/// One parsed request, reduced to what the linter's state machine needs.
+/// Drivers map the protocol parser's output onto this (constraint and set
+/// arguments stay textual — they can only be parsed once a universe is
+/// known, which is itself part of the simulated state).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptOp {
+    /// `universe <n>`.
+    UniverseSize(usize),
+    /// `universe A B C`.
+    UniverseNames(Vec<String>),
+    /// `session new`.
+    SessionNew,
+    /// `session use <id>`.
+    SessionUse(u64),
+    /// `session close [<id>]`.
+    SessionClose(Option<u64>),
+    /// `assert <constraint>`.
+    Assert(String),
+    /// `retract <constraint>`.
+    Retract(String),
+    /// A read-only constraint query: `implies`, `witness`, `derive`,
+    /// `explain`.
+    Goal(String),
+    /// `batch <c1> ; <c2> ; …`.
+    Batch(Vec<String>),
+    /// `known <set> = <value>`.
+    Known(String, f64),
+    /// `forget <set>`.
+    Forget(String),
+    /// `bound <set>`.
+    Bound(String),
+    /// `load <b1> ; <b2> ; …`.
+    Load(Vec<String>),
+    /// `mine`/`adopt` with resolved budgets; `adopt` additionally asserts
+    /// the discovered cover.
+    Mine {
+        /// Largest family size `|𝒴|` requested.
+        max_rhs: usize,
+        /// Whether the discovery is adopted as premises (`adopt`).
+        adopt: bool,
+    },
+    /// `dataset`.
+    Dataset,
+    /// `reset`.
+    Reset,
+    /// `quit`.
+    Quit,
+    /// A verb that reads the current session but mutates nothing
+    /// (`premises`, `knowns`, `stats`, `analyze`, …).
+    Inspect,
+    /// A verb with no session dependency at all (`help`, `trace`,
+    /// `session list`, `debug …`, `stats recent`).
+    Global,
+}
+
+/// Simulated per-slot session state.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    universe: Option<Universe>,
+    /// Asserted premises with the line that introduced each.
+    premises: Vec<(DiffConstraint, usize)>,
+    /// Whether `adopt` ran: the premise family is then data-dependent and
+    /// the duplicate/redundant/retract checks go quiet instead of guessing.
+    premises_inexact: bool,
+    /// Known sets with the line that set each.
+    knowns: Vec<(AttrSet, usize)>,
+    has_dataset: bool,
+}
+
+/// The flow-sensitive script linter.  Feed ops in line order via
+/// [`Linter::check`], then collect the findings with [`Linter::finish`].
+#[derive(Debug)]
+pub struct Linter {
+    slots: BTreeMap<u64, Slot>,
+    current: u64,
+    next_id: u64,
+    quit_line: Option<usize>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter::new()
+    }
+}
+
+impl Linter {
+    /// A fresh linter: one empty slot with id 0, mirroring the server.
+    pub fn new() -> Self {
+        let mut slots = BTreeMap::new();
+        slots.insert(0, Slot::default());
+        Linter {
+            slots,
+            current: 0,
+            next_id: 1,
+            quit_line: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Records a diagnostic directly — the driver uses this for parse
+    /// errors, which carry their own column information.
+    pub fn report(&mut self, line: usize, col: usize, severity: Severity, message: String) {
+        self.diagnostics.push(Diagnostic {
+            line,
+            col,
+            severity,
+            message,
+        });
+    }
+
+    /// Consumes the linter, returning every finding in line order.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.diagnostics
+    }
+
+    /// `true` iff any recorded diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    fn warn(&mut self, span: Span, col: usize, message: String) {
+        self.report(span.line, col, Severity::Warn, message);
+    }
+
+    fn error(&mut self, span: Span, col: usize, message: String) {
+        self.report(span.line, col, Severity::Error, message);
+    }
+
+    fn slot(&mut self) -> &mut Slot {
+        self.slots
+            .get_mut(&self.current)
+            .expect("a current slot always exists")
+    }
+
+    /// The current slot's universe, or an error diagnostic mirroring the
+    /// server's `no session (send `universe` first)` refusal.
+    fn universe(&mut self, span: Span) -> Option<Universe> {
+        match self.slot().universe.clone() {
+            Some(u) => Some(u),
+            None => {
+                self.error(
+                    span,
+                    span.verb_col,
+                    format!(
+                        "no universe in session slot {} yet (send `universe` first)",
+                        self.current
+                    ),
+                );
+                None
+            }
+        }
+    }
+
+    fn parse_constraint(&mut self, span: Span, text: &str) -> Option<(Universe, DiffConstraint)> {
+        let universe = self.universe(span)?;
+        match DiffConstraint::parse(text, &universe) {
+            Ok(c) => Some((universe, c)),
+            Err(e) => {
+                self.error(span, span.arg_col, e.to_string());
+                None
+            }
+        }
+    }
+
+    fn parse_set(&mut self, span: Span, text: &str) -> Option<AttrSet> {
+        let universe = self.universe(span)?;
+        match universe.parse_set(text) {
+            Ok(set) => Some(set),
+            Err(e) => {
+                self.error(span, span.arg_col, e.to_string());
+                None
+            }
+        }
+    }
+
+    /// Checks one parsed request against the simulated state, then applies
+    /// its state effects.
+    pub fn check(&mut self, span: Span, op: &ScriptOp) {
+        if let Some(quit) = self.quit_line {
+            self.warn(
+                span,
+                span.verb_col,
+                format!("unreachable: the script quits at line {quit}"),
+            );
+        }
+        match op {
+            ScriptOp::Global => {}
+            ScriptOp::Quit => {
+                if self.quit_line.is_none() {
+                    self.quit_line = Some(span.line);
+                }
+            }
+            ScriptOp::UniverseSize(n) => {
+                if *n == 0 || *n > setlat::MAX_UNIVERSE {
+                    self.error(
+                        span,
+                        span.arg_col,
+                        format!("universe size must be in 1..={}", setlat::MAX_UNIVERSE),
+                    );
+                    return;
+                }
+                *self.slot() = Slot {
+                    universe: Some(Universe::of_size(*n)),
+                    ..Slot::default()
+                };
+            }
+            ScriptOp::UniverseNames(names) => {
+                if let Some(bad) = names.iter().find(|n| n.chars().count() != 1) {
+                    self.error(
+                        span,
+                        span.arg_col,
+                        format!("attribute names must be single characters, got `{bad}`"),
+                    );
+                    return;
+                }
+                match Universe::from_names(names.clone()) {
+                    Ok(u) => {
+                        *self.slot() = Slot {
+                            universe: Some(u),
+                            ..Slot::default()
+                        };
+                    }
+                    Err(e) => self.error(span, span.arg_col, e.to_string()),
+                }
+            }
+            ScriptOp::SessionNew => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.slots.insert(id, Slot::default());
+                self.current = id;
+            }
+            ScriptOp::SessionUse(id) => {
+                if self.slots.contains_key(id) {
+                    self.current = *id;
+                } else {
+                    self.error(span, span.arg_col, format!("no session slot with id {id}"));
+                }
+            }
+            ScriptOp::SessionClose(id) => {
+                let target = id.unwrap_or(self.current);
+                if self.slots.remove(&target).is_none() {
+                    self.error(
+                        span,
+                        span.arg_col,
+                        format!("no session slot with id {target}"),
+                    );
+                    return;
+                }
+                if self.slots.is_empty() {
+                    let fresh = self.next_id;
+                    self.next_id += 1;
+                    self.slots.insert(fresh, Slot::default());
+                }
+                if !self.slots.contains_key(&self.current) {
+                    self.current = *self.slots.keys().next().expect("never left empty");
+                }
+            }
+            ScriptOp::Reset => {
+                if let Some(universe) = self.universe(span) {
+                    *self.slot() = Slot {
+                        universe: Some(universe),
+                        ..Slot::default()
+                    };
+                }
+            }
+            ScriptOp::Assert(text) => {
+                let Some((universe, constraint)) = self.parse_constraint(span, text) else {
+                    return;
+                };
+                let line = span.line;
+                let slot = self.slot();
+                if !slot.premises_inexact {
+                    if let Some(at) = slot
+                        .premises
+                        .iter()
+                        .find(|(p, _)| *p == constraint)
+                        .map(|(_, at)| *at)
+                    {
+                        self.warn(
+                            span,
+                            span.arg_col,
+                            format!("duplicate assert: already asserted at line {at}"),
+                        );
+                        return;
+                    }
+                    let family: Vec<DiffConstraint> =
+                        slot.premises.iter().map(|(p, _)| p.clone()).collect();
+                    if implication::implies(&universe, &family, &constraint) {
+                        self.warn(
+                            span,
+                            span.arg_col,
+                            "redundant assert: already implied by the premises above".to_string(),
+                        );
+                    }
+                }
+                self.slot().premises.push((constraint, line));
+            }
+            ScriptOp::Retract(text) => {
+                let Some((_, constraint)) = self.parse_constraint(span, text) else {
+                    return;
+                };
+                let slot = self.slot();
+                match slot.premises.iter().position(|(p, _)| *p == constraint) {
+                    Some(i) => {
+                        slot.premises.remove(i);
+                    }
+                    None if slot.premises_inexact => {}
+                    None => self.error(
+                        span,
+                        span.arg_col,
+                        "retract of a constraint that is not an asserted premise".to_string(),
+                    ),
+                }
+            }
+            ScriptOp::Goal(text) => {
+                self.parse_constraint(span, text);
+            }
+            ScriptOp::Batch(texts) => {
+                for text in texts {
+                    if self.parse_constraint(span, text).is_none() {
+                        return;
+                    }
+                }
+            }
+            ScriptOp::Known(set_text, value) => {
+                let Some(set) = self.parse_set(span, set_text) else {
+                    return;
+                };
+                let _ = value;
+                let line = span.line;
+                let slot = self.slot();
+                match slot.knowns.iter_mut().find(|(x, _)| *x == set) {
+                    Some(entry) => entry.1 = line,
+                    None => slot.knowns.push((set, line)),
+                }
+            }
+            ScriptOp::Forget(set_text) => {
+                let Some(set) = self.parse_set(span, set_text) else {
+                    return;
+                };
+                let slot = self.slot();
+                match slot.knowns.iter().position(|(x, _)| *x == set) {
+                    Some(i) => {
+                        slot.knowns.remove(i);
+                    }
+                    None => self.error(
+                        span,
+                        span.arg_col,
+                        "forget of a set that has no known value".to_string(),
+                    ),
+                }
+            }
+            ScriptOp::Bound(set_text) => {
+                if self.parse_set(span, set_text).is_none() {
+                    return;
+                }
+                if self.slot().knowns.is_empty() {
+                    self.warn(
+                        span,
+                        span.verb_col,
+                        "bound with no known values: the derived interval cannot be finite"
+                            .to_string(),
+                    );
+                }
+            }
+            ScriptOp::Load(records) => {
+                let Some(universe) = self.universe(span) else {
+                    return;
+                };
+                let mut loaded = false;
+                for (i, record) in records.iter().enumerate() {
+                    let record = record.trim();
+                    if record.is_empty() || record.starts_with('#') {
+                        continue;
+                    }
+                    match universe.parse_set(record) {
+                        Ok(_) => loaded = true,
+                        Err(e) => self.error(span, span.arg_col, format!("record {}: {e}", i + 1)),
+                    }
+                }
+                if loaded {
+                    self.slot().has_dataset = true;
+                }
+            }
+            ScriptOp::Mine { max_rhs, adopt } => {
+                let Some(universe) = self.universe(span) else {
+                    return;
+                };
+                if !self.slot().has_dataset {
+                    let verb = if *adopt { "adopt" } else { "mine" };
+                    self.error(
+                        span,
+                        span.verb_col,
+                        format!("{verb} before any `load`: the session has no dataset"),
+                    );
+                    return;
+                }
+                let n = universe.len();
+                if n > MAX_MINE_UNIVERSE {
+                    self.error(
+                        span,
+                        span.verb_col,
+                        format!(
+                            "mining is limited to universes of at most {MAX_MINE_UNIVERSE} \
+                             attributes (universe has {n})"
+                        ),
+                    );
+                    return;
+                }
+                if max_rhs.saturating_mul(n) > MAX_MINE_RHS_WORK {
+                    self.error(
+                        span,
+                        span.arg_col,
+                        format!(
+                            "mine budget too large: max |𝒴| × universe size must be at most \
+                             {MAX_MINE_RHS_WORK}, got {max_rhs} × {n}"
+                        ),
+                    );
+                    return;
+                }
+                if *adopt {
+                    self.slot().premises_inexact = true;
+                }
+            }
+            ScriptOp::Dataset => {
+                if self.universe(span).is_some() && !self.slot().has_dataset {
+                    self.error(
+                        span,
+                        span.verb_col,
+                        "dataset before any `load`: the session has no dataset".to_string(),
+                    );
+                }
+            }
+            ScriptOp::Inspect => {
+                self.universe(span);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(line: usize) -> Span {
+        Span {
+            line,
+            verb_col: 1,
+            arg_col: 8,
+        }
+    }
+
+    fn lint(ops: &[ScriptOp]) -> Vec<Diagnostic> {
+        let mut linter = Linter::new();
+        for (i, op) in ops.iter().enumerate() {
+            linter.check(span(i + 1), op);
+        }
+        linter.finish()
+    }
+
+    fn errors(diags: &[Diagnostic]) -> usize {
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    #[test]
+    fn clean_script_lints_clean() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(4),
+            ScriptOp::Assert("A -> {B}".into()),
+            ScriptOp::Known("A".into(), 40.0),
+            ScriptOp::Bound("AB".into()),
+            ScriptOp::Goal("A -> {B, CD}".into()),
+            ScriptOp::Quit,
+        ]);
+        assert!(diags.is_empty(), "got: {diags:?}");
+    }
+
+    #[test]
+    fn use_before_universe_is_an_error() {
+        let diags = lint(&[ScriptOp::Assert("A -> {B}".into())]);
+        assert_eq!(errors(&diags), 1);
+        assert!(diags[0].message.contains("universe"));
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn mine_and_dataset_before_load_are_errors() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(4),
+            ScriptOp::Mine {
+                max_rhs: 2,
+                adopt: false,
+            },
+            ScriptOp::Dataset,
+        ]);
+        assert_eq!(errors(&diags), 2);
+        assert!(diags[0].message.contains("before any `load`"));
+    }
+
+    #[test]
+    fn load_enables_mining_and_wedge_thresholds_fire() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(14),
+            ScriptOp::Load(vec!["AB".into(), "B".into()]),
+            ScriptOp::Mine {
+                max_rhs: 2,
+                adopt: false,
+            },
+            // 3 × 14 = 42 > 33: past the family-budget wedge threshold.
+            ScriptOp::Mine {
+                max_rhs: 3,
+                adopt: false,
+            },
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert!(diags[0].message.contains("mine budget too large"));
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn oversized_mining_universe_is_refused() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(16),
+            ScriptOp::Load(vec!["AB".into()]),
+            ScriptOp::Mine {
+                max_rhs: 1,
+                adopt: false,
+            },
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert!(diags[0].message.contains("at most 14"));
+    }
+
+    #[test]
+    fn forget_of_never_set_known_is_an_error() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Known("A".into(), 4.0),
+            ScriptOp::Forget("A".into()),
+            ScriptOp::Forget("A".into()),
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert_eq!(diags[0].line, 4);
+        assert!(diags[0].message.contains("no known value"));
+    }
+
+    #[test]
+    fn bound_with_no_knowns_warns() {
+        let diags = lint(&[ScriptOp::UniverseSize(3), ScriptOp::Bound("AB".into())]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0].message.contains("no known values"));
+    }
+
+    #[test]
+    fn duplicate_and_redundant_asserts_warn() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(4),
+            ScriptOp::Assert("A -> {B}".into()),
+            ScriptOp::Assert("A -> {B}".into()),
+            ScriptOp::Assert("B -> {C}".into()),
+            ScriptOp::Assert("A -> {C}".into()),
+        ]);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].message.contains("duplicate assert"));
+        assert!(diags[0].message.contains("line 2"));
+        assert!(diags[1].message.contains("redundant assert"));
+        assert_eq!(errors(&diags), 0);
+    }
+
+    #[test]
+    fn session_slot_bookkeeping_mirrors_the_registry() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::SessionNew,      // slot 1, current
+            ScriptOp::UniverseSize(4), // opens slot 1's session
+            ScriptOp::SessionUse(0),   // back to slot 0
+            ScriptOp::Assert("A -> {B}".into()),
+            ScriptOp::SessionClose(Some(1)),
+            ScriptOp::SessionUse(1), // error: closed
+            ScriptOp::SessionUse(7), // error: never existed
+        ]);
+        assert_eq!(errors(&diags), 2);
+        assert!(diags[0].message.contains("slot with id 1"));
+        assert!(diags[1].message.contains("slot with id 7"));
+    }
+
+    #[test]
+    fn closing_the_last_slot_opens_a_fresh_empty_one() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::SessionClose(None),
+            // The fresh slot has no universe: session-scoped verbs error.
+            ScriptOp::Inspect,
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert!(diags[0].message.contains("slot 1"));
+    }
+
+    #[test]
+    fn retract_of_unasserted_premise_is_an_error() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Assert("A -> {B}".into()),
+            ScriptOp::Retract("A -> {B}".into()),
+            ScriptOp::Retract("A -> {B}".into()),
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn adopt_quiets_the_premise_tracking() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Load(vec!["AB".into(), "B".into()]),
+            ScriptOp::Mine {
+                max_rhs: 2,
+                adopt: true,
+            },
+            // The adopted cover is data-dependent: retracting one of its
+            // members must not be flagged.
+            ScriptOp::Retract("A -> {B}".into()),
+            ScriptOp::Assert("A -> {B}".into()),
+        ]);
+        assert!(diags.is_empty(), "got: {diags:?}");
+    }
+
+    #[test]
+    fn lines_after_quit_warn_with_the_quit_line() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Quit,
+            ScriptOp::Inspect,
+            ScriptOp::Global,
+        ]);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.severity == Severity::Warn));
+        assert!(diags[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn parse_errors_surface_at_the_argument_column() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Assert("A -> {Z}".into()),
+            ScriptOp::Bound("Q".into()),
+        ]);
+        assert_eq!(errors(&diags), 2);
+        assert!(diags.iter().all(|d| d.col == 8));
+    }
+
+    #[test]
+    fn bad_load_records_carry_their_record_number() {
+        let diags = lint(&[
+            ScriptOp::UniverseSize(3),
+            ScriptOp::Load(vec!["AB".into(), "XY".into()]),
+        ]);
+        assert_eq!(errors(&diags), 1);
+        assert!(diags[0].message.starts_with("record 2:"));
+    }
+
+    #[test]
+    fn diagnostics_render_in_file_line_col_form() {
+        let d = Diagnostic {
+            line: 3,
+            col: 9,
+            severity: Severity::Error,
+            message: "boom".into(),
+        };
+        assert_eq!(d.to_string(), "3:9: error: boom");
+    }
+}

@@ -116,6 +116,39 @@ fn emit_json_report(cache_table: Table) {
             .filter(|o| o.implied)
             .count()
     });
+    // Static-analysis cost and the core-reduction win (ISSUE 10): inflate
+    // the premise family with goals it already implies — redundant by
+    // construction — then time `minimal_core` itself and the cold serving
+    // pass from the full versus the reduced family.  Cold decisions pay
+    // per-premise costs (lattice enumeration, SAT translation), so the
+    // reduction shows up where caches cannot hide it.
+    let mut inflated = base.premises.clone();
+    for goal in &stream {
+        if inflated.len() >= base.premises.len() + 4 {
+            break;
+        }
+        if !inflated.contains(goal) && implication::implies(&base.universe, &inflated, goal) {
+            inflated.push(goal.clone());
+        }
+    }
+    let mut core = diffcon_analyze::minimal_core(&base.universe, &inflated);
+    let analyze_us = time_us(&mut || {
+        core = diffcon_analyze::minimal_core(&base.universe, &inflated);
+        assert!(diffcon_analyze::check_certificate(&base.universe, &core));
+        core.core.len()
+    });
+    let cold_full_us = time_us(&mut || {
+        stream
+            .iter()
+            .filter(|g| implication::implies(&base.universe, &inflated, g))
+            .count()
+    });
+    let cold_core_us = time_us(&mut || {
+        stream
+            .iter()
+            .filter(|g| implication::implies(&base.universe, &core.core, g))
+            .count()
+    });
     let mut report = JsonReport::new("engine_throughput");
     report.push_metric("stream_len", stream.len() as f64);
     report.push_metric("cold_oneshot_us", cold_us);
@@ -123,6 +156,16 @@ fn emit_json_report(cache_table: Table) {
     report.push_metric("warm_serial_mean_us", warm_mean_us);
     report.push_metric("warm_batch_us", batch_us);
     report.push_metric("warm_speedup", cold_us / warm_us.max(1e-9));
+    report.push_metric("analyze_minimal_core_us", analyze_us);
+    report.push_metric("analyze_premises_full", inflated.len() as f64);
+    report.push_metric("analyze_premises_core", core.core.len() as f64);
+    report.push_metric("analyze_premises_dropped", core.dropped.len() as f64);
+    report.push_metric("analyze_cold_full_us", cold_full_us);
+    report.push_metric("analyze_cold_core_us", cold_core_us);
+    report.push_metric(
+        "analyze_core_reduction_speedup",
+        cold_full_us / cold_core_us.max(1e-9),
+    );
     report.push_table(cache_table);
     match report.write_to_repo_root("BENCH_engine.json") {
         Ok(path) => eprintln!("wrote {}", path.display()),

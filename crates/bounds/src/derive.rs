@@ -78,6 +78,34 @@ pub fn derive_propagated(
     query: AttrSet,
     config: &BoundsConfig,
 ) -> Result<DerivedBound, DeriveError> {
+    let state = propagate(problem, config)?;
+    let interval = evaluate(problem, &state, query, config)?;
+    Ok(DerivedBound {
+        interval,
+        route: DeriveRoute::Propagation,
+    })
+}
+
+/// Dense per-variable state at the pass-1 fixpoint: the alive classification,
+/// each density variable's interval, and the knowns as a mask-indexed table
+/// (`NaN` = unknown).  Query-independent, so one propagation serves any
+/// number of [`evaluate`] calls.
+struct Propagated {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    val: Vec<f64>,
+}
+
+/// Pass 1 of the module docs: alive classification and interval propagation
+/// over the known-value equations, to a budgeted fixpoint.
+///
+/// # Panics
+/// Panics if the universe exceeds
+/// [`crate::problem::PROPAGATION_UNIVERSE_CAP`] attributes.
+fn propagate(
+    problem: &BoundsProblem<'_>,
+    config: &BoundsConfig,
+) -> Result<Propagated, DeriveError> {
     let universe = problem.universe;
     let n = universe.len();
     assert!(
@@ -154,6 +182,21 @@ pub fn derive_propagated(
             break;
         }
     }
+
+    Ok(Propagated { lo, hi, val })
+}
+
+/// Passes 0 and 2–4 of the module docs: intersects every candidate identity
+/// for `f(query)` over the propagated variable intervals.  An empty
+/// intersection witnesses infeasibility.
+fn evaluate(
+    problem: &BoundsProblem<'_>,
+    state: &Propagated,
+    query: AttrSet,
+    config: &BoundsConfig,
+) -> Result<Interval, DeriveError> {
+    let n = problem.universe.len();
+    let (lo, hi, val) = (&state.lo, &state.hi, &state.val);
 
     let sum_over = |sets: &mut dyn Iterator<Item = AttrSet>| -> Interval {
         let mut lo_sum = SumAcc::new();
@@ -245,10 +288,76 @@ pub fn derive_propagated(
         meet(candidate)?;
     }
 
-    Ok(DerivedBound {
-        interval: acc,
-        route: DeriveRoute::Propagation,
-    })
+    Ok(acc)
+}
+
+/// Largest universe for which [`check_feasibility`] sweeps every query set.
+/// Below this cap the verdict is *exact* with respect to the propagation
+/// path: the check reports infeasibility iff some [`derive_propagated`]
+/// query on the same problem would (the engine's `bound` verb included).
+/// Past it the check is sound but one-sided — a reported contradiction is
+/// real, but query-time detection may still catch more.
+pub const FEASIBILITY_SWEEP_CAP: usize = 10;
+
+/// Checks the knowns' joint satisfiability under the constraints and side
+/// conditions *before* query time, without deriving any interval.
+///
+/// Three layers, cheapest first, each sound at any universe size:
+///
+/// 1. per-known relaxation checks (negative supports, values on
+///    constraint-killed rows, antitone pair violations) — exactly the
+///    contradictions [`derive_relaxed`] would report;
+/// 2. the pass-1 interval-propagation fixpoint over the known-value
+///    equations, when the universe and budget admit the dense tables;
+/// 3. below [`FEASIBILITY_SWEEP_CAP`], a full query sweep evaluating every
+///    subset against the propagated state, making the verdict coincide
+///    exactly with "some `bound` query would report infeasible".
+///
+/// # Errors
+/// [`DeriveError::Infeasible`] when no set function consistent with the
+/// problem exists (as far as the layers above can tell).
+pub fn check_feasibility(
+    problem: &BoundsProblem<'_>,
+    config: &BoundsConfig,
+) -> Result<(), DeriveError> {
+    for &(x, v) in problem.knowns {
+        if problem.side.nonnegative_density && v < -TOL {
+            return Err(DeriveError::Infeasible);
+        }
+        if v.abs() > TOL
+            && problem
+                .constraints
+                .iter()
+                .any(|c| c.rhs.is_empty() && c.lhs.is_subset(x))
+        {
+            return Err(DeriveError::Infeasible);
+        }
+        if problem.side.antitone || problem.side.nonnegative_density {
+            for &(y, w) in problem.knowns {
+                if x.is_proper_subset(y) && w > v + TOL {
+                    return Err(DeriveError::Infeasible);
+                }
+            }
+        }
+    }
+    let n = problem.universe.len();
+    let cost = propagation_cost_bound(
+        problem.universe,
+        problem.constraints.len(),
+        problem.knowns.len(),
+        problem.universe.full_set(),
+        config,
+    );
+    if !fits_budget(cost, config.budget_ops) {
+        return Ok(());
+    }
+    let state = propagate(problem, config)?;
+    if n <= FEASIBILITY_SWEEP_CAP {
+        for mask in 0..(1u64 << n) {
+            evaluate(problem, &state, AttrSet::from_bits(mask), config)?;
+        }
+    }
+    Ok(())
 }
 
 /// The enumeration-free sound relaxation: exact knowns, containment
@@ -465,6 +574,91 @@ mod tests {
         let k = knowns(&u, &[("A", -5.0)]);
         assert_eq!(
             derive_support(&u, &[], &k, "A"),
+            Err(DeriveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn feasibility_check_agrees_with_query_time_detection() {
+        let u = Universe::of_size(3);
+        let config = BoundsConfig::default();
+        // Feasible: a consistent antitone chain.
+        let k = knowns(&u, &[("", 10.0), ("A", 4.0), ("AB", 2.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(check_feasibility(&problem, &config), Ok(()));
+        // Infeasible without any query: antitone violation.
+        let k = knowns(&u, &[("A", 3.0), ("AB", 8.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(
+            check_feasibility(&problem, &config),
+            Err(DeriveError::Infeasible)
+        );
+        // Constraint-induced contradiction: A → {B} forces σ(A) = σ(AB).
+        let c = parse(&u, &["A -> {B}"]);
+        let k = knowns(&u, &[("A", 5.0), ("AB", 3.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &c,
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(
+            check_feasibility(&problem, &config),
+            Err(DeriveError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn feasibility_check_stays_sound_past_the_budget() {
+        let u = Universe::of_size(24);
+        let config = BoundsConfig::default();
+        // Past the universe cap only the relaxation-layer checks run: a
+        // direct contradiction is still caught…
+        let k = knowns(&u, &[("A", -5.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(
+            check_feasibility(&problem, &config),
+            Err(DeriveError::Infeasible)
+        );
+        // …and a consistent sandwich passes.
+        let k = knowns(&u, &[("", 100.0), ("ABCD", 30.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &[],
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(check_feasibility(&problem, &config), Ok(()));
+    }
+
+    #[test]
+    fn feasibility_check_pins_constraint_killed_rows() {
+        let u = Universe::of_size(3);
+        let c = parse(&u, &["A -> {}"]);
+        let k = knowns(&u, &[("AB", 4.0)]);
+        let problem = BoundsProblem {
+            universe: &u,
+            constraints: &c,
+            knowns: &k,
+            side: SideConditions::support(),
+        };
+        assert_eq!(
+            check_feasibility(&problem, &BoundsConfig::default()),
             Err(DeriveError::Infeasible)
         );
     }

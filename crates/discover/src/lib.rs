@@ -34,4 +34,4 @@ pub mod dataset;
 pub mod miner;
 
 pub use dataset::Dataset;
-pub use miner::{mine, Discovery, MinerConfig, MinerStats};
+pub use miner::{mine, Discovery, MinerConfig, MinerStats, MAX_MINE_RHS_WORK, MAX_MINE_UNIVERSE};

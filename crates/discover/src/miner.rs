@@ -53,6 +53,28 @@ use fis::eclat::TidSet;
 use fis::DisjunctiveConstraint;
 use setlat::{powerset, AttrSet, Family, Universe};
 
+/// Largest universe a serving layer should accept discovery requests on.
+///
+/// The miner's member pool enumerates `2^{|S|−|X|}` subsets per antecedent
+/// regardless of budgets, and measured release-mode cost grows roughly 8×
+/// per two added attributes (seconds at 14, minutes at 16, hours by 20).
+/// Large *antecedent* budgets are safe past this cap — the
+/// support-monotonicity prune saturates the `|X|` axis (measured ~8 s at
+/// `max_lhs = 14`, `n = 14`, 200 baskets) — but the family budget is not;
+/// see [`MAX_MINE_RHS_WORK`].
+pub const MAX_MINE_UNIVERSE: usize = 14;
+
+/// Bound on `max_rhs × |S|` for one mining request.
+///
+/// The family DFS explores up to `pool^{max_rhs}` combinations over a pool
+/// of up to `2^{|S|}` members, so the universe cap alone does not bound it:
+/// measured on 200 random baskets, `mine 2 3` at 14 attributes and
+/// `mine 2 4` at 10 attributes both run past 20 s while every combination
+/// with `max_rhs × |S| ≤ 33` finishes in a few seconds (`3 × 11` ≈ 4 s is
+/// the measured worst).  Serving layers refuse requests above the bound up
+/// front.
+pub const MAX_MINE_RHS_WORK: usize = 33;
+
 /// Search budgets for the miner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MinerConfig {

@@ -15,7 +15,15 @@
 //!                       [--max-request-bytes N] [--metrics-addr HOST:PORT]
 //!                       [same engine flags]
 //!        diffcond top [--metrics-addr HOST:PORT] [--interval-ms N] [--once]
+//!        diffcond check FILE...
 //! ```
+//!
+//! `diffcond check` lints protocol scripts without executing them: each
+//! file is parsed line by line with the protocol's own parser and run
+//! through the flow-sensitive script linter (`diffcon_analyze::script`),
+//! which simulates session-registry state and reports requests that would
+//! fail or mislead at run time as `file:line:col: warn|error: message`
+//! diagnostics.  Exits nonzero when any file has an error-severity finding.
 //!
 //! `diffcond serve` serves the identical protocol over TCP
 //! (`diffcon_engine::net`): one connection = one private session namespace,
@@ -60,8 +68,9 @@ diffcond — differential-constraint implication server
 
 Reads one request per line from stdin, writes one response per line to stdout.
 Start with `universe <n>` (or `universe <name>...`), then `assert`, `implies`,
-`batch`, `witness`, `derive`, `known`, `forget`, `bound`, `load`, `mine`,
-`adopt`, `dataset`, `premises`, `knowns`, `stats`, `reset`, `help`, `quit`.
+`batch`, `witness`, `derive`, `explain`, `analyze`, `known`, `forget`,
+`bound`, `load`, `mine`, `adopt`, `dataset`, `premises`, `knowns`, `stats`,
+`reset`, `help`, `quit`.
 Multiple independent sessions: `session new`, `session use <id>`,
 `session close [<id>]`, `session list`.
 
@@ -120,6 +129,17 @@ Network serving:
     /buildinfo  name, version, and build flavor
     /profile    profile the process for ?seconds=S (default 2, max 30) at
                 ?hz=N and return flamegraph-collapsed stacks
+
+Script linting:
+  diffcond check FILE...
+
+  Parses each protocol script with the server's own parser and lints it
+  without executing anything: use of mine/adopt/dataset before load,
+  forget of never-set knowns, session use/close of unknown slots,
+  duplicate and redundant asserts, mining past the wedge thresholds, and
+  dead lines after quit.  Diagnostics print as
+  `file:line:col: warn|error: message`; the exit status is nonzero when
+  any error-severity diagnostic was reported.
 
 Live dashboard:
   diffcond top [--metrics-addr HOST:PORT] [--interval-ms N] [--once]
@@ -677,7 +697,140 @@ fn render_top(addr: &str, series: &[diffcon_obs::Series]) -> String {
     out
 }
 
+/// Source positions of one script line's verb and first-argument tokens.
+fn line_span(line: &str, number: usize) -> diffcon_analyze::Span {
+    let indent = line.len() - line.trim_start().len();
+    let verb_col = line[..indent].chars().count() + 1;
+    let rest = &line[indent..];
+    let verb_len = rest.find(char::is_whitespace).unwrap_or(rest.len());
+    let after = &rest[verb_len..];
+    let arg_col = if after.trim_start().is_empty() {
+        verb_col
+    } else {
+        let arg_offset = indent + verb_len + (after.len() - after.trim_start().len());
+        line[..arg_offset].chars().count() + 1
+    };
+    diffcon_analyze::Span {
+        line: number,
+        verb_col,
+        arg_col,
+    }
+}
+
+/// The `max |𝒴|` budget a `mine`/`adopt` request resolves to (the miner's
+/// crate default when the request names none) — what the linter's wedge
+/// checks must judge.
+fn resolved_max_rhs(budgets: Option<(usize, usize)>) -> usize {
+    budgets
+        .map(|(_, rhs)| rhs)
+        .unwrap_or(diffcon_discover::MinerConfig::default().max_rhs)
+}
+
+/// Maps a parsed protocol request onto the linter's state-machine alphabet
+/// (`None` for silent lines).  Kept exhaustive on purpose: a new verb fails
+/// to compile until its lint semantics are decided.
+fn script_op(request: diffcon_engine::protocol::Request) -> Option<diffcon_analyze::ScriptOp> {
+    use diffcon_analyze::ScriptOp;
+    use diffcon_engine::protocol::{Request, UniverseSpec};
+    Some(match request {
+        Request::Empty => return None,
+        Request::Universe(UniverseSpec::Size(n)) => ScriptOp::UniverseSize(n),
+        Request::Universe(UniverseSpec::Names(names)) => ScriptOp::UniverseNames(names),
+        Request::SessionNew => ScriptOp::SessionNew,
+        Request::SessionUse(id) => ScriptOp::SessionUse(id),
+        Request::SessionClose(id) => ScriptOp::SessionClose(id),
+        Request::SessionList => ScriptOp::Global,
+        Request::Assert(text) => ScriptOp::Assert(text),
+        Request::Retract(text) => ScriptOp::Retract(text),
+        Request::Implies(text)
+        | Request::Witness(text)
+        | Request::Derive(text)
+        | Request::Explain(text) => ScriptOp::Goal(text),
+        Request::Batch(goals) => ScriptOp::Batch(goals),
+        Request::Trace(_) => ScriptOp::Global,
+        Request::Known(set, value) => ScriptOp::Known(set, value),
+        Request::Forget(set) => ScriptOp::Forget(set),
+        Request::Bound(set) => ScriptOp::Bound(set),
+        Request::Load(records) => ScriptOp::Load(records),
+        Request::Mine(budgets) => ScriptOp::Mine {
+            max_rhs: resolved_max_rhs(budgets),
+            adopt: false,
+        },
+        Request::Adopt(budgets) => ScriptOp::Mine {
+            max_rhs: resolved_max_rhs(budgets),
+            adopt: true,
+        },
+        Request::Dataset => ScriptOp::Dataset,
+        Request::Premises | Request::Knowns | Request::Stats | Request::Analyze { .. } => {
+            ScriptOp::Inspect
+        }
+        Request::StatsRecent
+        | Request::DebugRecent(_)
+        | Request::DebugTrace(_)
+        | Request::DebugProfile(_)
+        | Request::Help => ScriptOp::Global,
+        Request::Reset => ScriptOp::Reset,
+        Request::Quit => ScriptOp::Quit,
+    })
+}
+
+/// `diffcond check FILE...`: lint protocol scripts without executing them.
+/// Exits 0 when every file is error-free, 1 when any error-severity
+/// diagnostic was reported, 2 on usage or IO failure.
+fn run_check(paths: &[String]) -> ! {
+    use diffcon_analyze::{Linter, Severity};
+    if paths.is_empty() {
+        eprintln!("diffcond: check expects one or more script files (try --help)");
+        std::process::exit(2);
+    }
+    let mut any_error = false;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("diffcond: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut linter = Linter::new();
+        for (i, line) in text.lines().enumerate() {
+            let number = i + 1;
+            if diffcon_engine::protocol::is_silent(line) {
+                continue;
+            }
+            let span = line_span(line, number);
+            match diffcon_engine::protocol::parse_request(line) {
+                // The parser's own messages already carry offending-token
+                // columns; anchor the diagnostic at the verb.
+                Err(message) => linter.report(number, span.verb_col, Severity::Error, message),
+                Ok(request) => {
+                    if let Some(op) = script_op(request) {
+                        linter.check(span, &op);
+                    }
+                }
+            }
+        }
+        any_error |= linter.has_errors();
+        for diagnostic in linter.finish() {
+            let _ = writeln!(out, "{path}:{diagnostic}");
+        }
+    }
+    let _ = out.flush();
+    std::process::exit(if any_error { 1 } else { 0 });
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("check") {
+        let paths: Vec<String> = args.collect();
+        if paths.iter().any(|p| p == "--help" || p == "-h") {
+            let _ = writeln!(std::io::stdout(), "{USAGE}");
+            std::process::exit(0);
+        }
+        run_check(&paths);
+    }
     let options = match parse_args() {
         Ok(options) => options,
         Err(message) => {

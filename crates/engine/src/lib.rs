@@ -145,5 +145,6 @@ pub use net::{NetConfig, NetServer, ShutdownHandle};
 pub use planner::{BoundStats, Planner, PlannerConfig, PlannerStats};
 pub use protocol::{Reply, Request, Server, Step};
 pub use server_state::{DeferredQuery, Pipeline, SessionRegistry};
+pub use session::CoreApplied;
 pub use session::{AdoptOutcome, BoundOutcome, QueryOutcome, Session, SessionConfig, SessionStats};
-pub use snapshot::{ExplainOutcome, Snapshot, SnapshotStats};
+pub use snapshot::{AnalyzeOutcome, ExplainOutcome, Snapshot, SnapshotStats};

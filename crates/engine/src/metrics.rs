@@ -174,13 +174,13 @@ pub fn next_connection_id() -> u64 {
 
 /// Verb names a flight record can carry, indexed by the code stored in the
 /// packed word; index 0 is the unknown/unset sentinel.
-const FLIGHT_VERBS: [&str; 8] = [
-    "?", "implies", "batch", "bound", "witness", "derive", "explain", "mine",
+const FLIGHT_VERBS: [&str; 9] = [
+    "?", "implies", "batch", "bound", "witness", "derive", "explain", "mine", "analyze",
 ];
 
 /// Route names a flight record can carry (the implication ladder, the bound
 /// ladder, and the verb-level routes), indexed like [`FLIGHT_VERBS`].
-const FLIGHT_ROUTES: [&str; 13] = [
+const FLIGHT_ROUTES: [&str; 14] = [
     "?",
     "trivial",
     "fd",
@@ -194,6 +194,7 @@ const FLIGHT_ROUTES: [&str; 13] = [
     "witness",
     "derive",
     "mine",
+    "analyze",
 ];
 
 fn flight_code(table: &[&'static str], name: &str) -> u64 {
@@ -479,6 +480,16 @@ pub struct EngineMetrics {
     pub epoch_publishes: Counter,
     /// Goals answered inline as trivial.
     pub trivial: Counter,
+    /// Premise-core analyses run (the read-only `analyze` verb).
+    pub analyze_runs: Counter,
+    /// Redundant premises reported across all analyses.
+    pub analyze_redundant: Counter,
+    /// Analyses whose knowns were infeasible under the premises.
+    pub analyze_infeasible: Counter,
+    /// `analyze apply` core reductions executed.
+    pub analyze_applies: Counter,
+    /// Nanoseconds running one premise-core analysis.
+    pub analyze_ns: Histogram,
     /// Per-route decision latency, indexed like
     /// [`procedure::ALL_PROCEDURES`]; each histogram's count is the route's
     /// decided-query total.
@@ -766,6 +777,28 @@ impl EngineMetrics {
             self.epoch_publishes.get(),
         );
         exp.counter("diffcond_trivial_queries_total", &[], self.trivial.get());
+        exp.counter("diffcond_analyze_runs_total", &[], self.analyze_runs.get());
+        exp.counter(
+            "diffcond_analyze_redundant_total",
+            &[],
+            self.analyze_redundant.get(),
+        );
+        exp.counter(
+            "diffcond_analyze_infeasible_total",
+            &[],
+            self.analyze_infeasible.get(),
+        );
+        exp.counter(
+            "diffcond_analyze_applies_total",
+            &[],
+            self.analyze_applies.get(),
+        );
+        exp.summary(
+            "diffcond_analyze_latency_us",
+            &[],
+            &self.analyze_ns.snapshot(),
+            1e3,
+        );
         for (label, histogram) in ROUTE_LABELS.iter().zip(self.route_ns.iter()) {
             exp.summary(
                 "diffcond_route_latency_us",

@@ -255,11 +255,12 @@ impl NetServer {
             }
             self.state.active.fetch_add(1, Ordering::SeqCst);
             let guard = ActiveGuard(Arc::clone(&self.state));
-            let target = reactors
-                .iter()
-                .min_by_key(|reactor| reactor.load())
-                .expect("at least one reactor");
-            target.inject(stream, guard);
+            match reactors.iter().min_by_key(|reactor| reactor.load()) {
+                Some(target) => target.inject(stream, guard),
+                // Unreachable (`max(1, threads)` reactors are spawned above),
+                // but an accept loop must never panic: refuse and move on.
+                None => refuse(stream, self.config.max_connections),
+            }
         }
         for reactor in &reactors {
             reactor.request_stop();

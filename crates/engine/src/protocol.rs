@@ -22,6 +22,16 @@
 //!              | "explain" constraint            decide C ⊨ goal and report
 //!              |                                 the route, snapshot epoch,
 //!              |                                 and per-stage latency
+//!              | "analyze" ["apply"]             premise-core static
+//!              |                                 analysis: redundant
+//!              |                                 premises with implying
+//!              |                                 witnesses, an infeasible
+//!              |                                 minimal conflicting known
+//!              |                                 set, and dead density
+//!              |                                 variables ("apply"
+//!              |                                 retracts the redundant
+//!              |                                 premises, answer-
+//!              |                                 preservingly)
 //!              | "trace" ("on" | "off")           toggle reply tracing: query
 //!              |                                 replies gain an `epoch=`
 //!              |                                 field naming the snapshot
@@ -300,7 +310,7 @@
 use crate::metrics::{next_connection_id, EngineMetrics, FlightRecord};
 use crate::server_state::{DeferredQuery, QueryKind, SessionRegistry};
 use crate::session::{Session, SessionConfig};
-use crate::snapshot::{BoundOutcome, ExplainOutcome, QueryOutcome};
+use crate::snapshot::{AnalyzeOutcome, BoundOutcome, ExplainOutcome, QueryOutcome};
 use diffcon::inference::Derivation;
 use diffcon::procedure::ALL_PROCEDURES;
 use diffcon::DiffConstraint;
@@ -310,26 +320,7 @@ use diffcon_discover::{Discovery, MinerConfig};
 use diffcon_obs::profile;
 use setlat::{AttrSet, Family, Universe};
 
-/// Largest universe the discovery verbs accept.
-///
-/// The miner's member pool enumerates `2^{|S|−|X|}` subsets per antecedent
-/// regardless of budgets, and measured release-mode cost grows roughly 8×
-/// per two added attributes (seconds at 14, minutes at 16, hours by 20).
-/// Large *antecedent* budgets are safe past this cap — the
-/// support-monotonicity prune saturates the `|X|` axis (measured ~8 s at
-/// `max_lhs = 14`, `n = 14`, 200 baskets) — but the family budget is not;
-/// see [`MAX_MINE_RHS_WORK`].
-pub const MAX_MINE_UNIVERSE: usize = 14;
-
-/// Bound on `max_rhs × |S|` for a `mine`/`adopt` request.
-///
-/// The family DFS explores up to `pool^{max_rhs}` combinations over a pool
-/// of up to `2^{|S|}` members, so the universe cap alone does not bound it:
-/// measured on 200 random baskets, `mine 2 3` at 14 attributes and
-/// `mine 2 4` at 10 attributes both run past 20 s while every combination
-/// with `max_rhs × |S| ≤ 33` finishes in a few seconds (`3 × 11` ≈ 4 s is
-/// the measured worst).  Requests above the bound are refused up front.
-pub const MAX_MINE_RHS_WORK: usize = 33;
+pub use diffcon_discover::{MAX_MINE_RHS_WORK, MAX_MINE_UNIVERSE};
 
 /// Default per-request line-length admission limit of the network framing,
 /// in bytes (the `\n` terminator excluded).
@@ -644,6 +635,14 @@ pub enum Request {
     /// `explain <constraint>` — `implies` with a per-stage latency and
     /// snapshot-epoch report.
     Explain(String),
+    /// `analyze` or `analyze apply` — premise-core static analysis of the
+    /// current session (`apply` additionally retracts the redundant
+    /// premises, which is answer-preserving).
+    Analyze {
+        /// `true` for `analyze apply`: execute the core reduction instead
+        /// of only reporting it.
+        apply: bool,
+    },
     /// `trace on` / `trace off` — toggle the `epoch=` reply suffix.
     Trace(bool),
     /// `known <set> = <value>` (the `=` is optional).
@@ -716,6 +715,137 @@ pub fn is_silent(line: &str) -> bool {
     trimmed.is_empty() || trimmed.starts_with('#')
 }
 
+/// One entry of the canonical verb table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verb {
+    /// The wire verb name, exactly as [`parse_request`] matches it.
+    pub name: &'static str,
+    /// A canonical example line that must parse to this verb's request
+    /// (the test suite round-trips every entry through [`parse_request`]).
+    pub example: &'static str,
+}
+
+/// The canonical verb table: every verb [`parse_request`] accepts, in
+/// `help`-reply order.  The `help` reply is generated from this table
+/// ([`help_reply`]), the test suite checks every example parses, and the
+/// repository lint gate (`cargo run -p xtask -- lint`) cross-checks the
+/// module's grammar rustdoc against it — so the parser, the help text, and
+/// the documentation cannot drift apart.  (`exit` is an undocumented alias
+/// of `quit` and deliberately absent.)
+pub const VERBS: &[Verb] = &[
+    Verb {
+        name: "universe",
+        example: "universe 4",
+    },
+    Verb {
+        name: "session",
+        example: "session list",
+    },
+    Verb {
+        name: "assert",
+        example: "assert A -> {B}",
+    },
+    Verb {
+        name: "retract",
+        example: "retract A -> {B}",
+    },
+    Verb {
+        name: "implies",
+        example: "implies A -> {B}",
+    },
+    Verb {
+        name: "batch",
+        example: "batch A -> {B} ; B -> {C}",
+    },
+    Verb {
+        name: "witness",
+        example: "witness A -> {B}",
+    },
+    Verb {
+        name: "derive",
+        example: "derive A -> {B}",
+    },
+    Verb {
+        name: "explain",
+        example: "explain A -> {B}",
+    },
+    Verb {
+        name: "analyze",
+        example: "analyze apply",
+    },
+    Verb {
+        name: "trace",
+        example: "trace on",
+    },
+    Verb {
+        name: "known",
+        example: "known AB = 40",
+    },
+    Verb {
+        name: "forget",
+        example: "forget AB",
+    },
+    Verb {
+        name: "bound",
+        example: "bound AB",
+    },
+    Verb {
+        name: "load",
+        example: "load AB ; B",
+    },
+    Verb {
+        name: "mine",
+        example: "mine 2 2",
+    },
+    Verb {
+        name: "adopt",
+        example: "adopt 2 2",
+    },
+    Verb {
+        name: "dataset",
+        example: "dataset",
+    },
+    Verb {
+        name: "premises",
+        example: "premises",
+    },
+    Verb {
+        name: "knowns",
+        example: "knowns",
+    },
+    Verb {
+        name: "stats",
+        example: "stats recent",
+    },
+    Verb {
+        name: "debug",
+        example: "debug recent",
+    },
+    Verb {
+        name: "reset",
+        example: "reset",
+    },
+    Verb {
+        name: "help",
+        example: "help",
+    },
+    Verb {
+        name: "quit",
+        example: "quit",
+    },
+];
+
+/// The `help` reply text, generated from [`VERBS`] so a newly added verb
+/// can never be missing from it.
+pub fn help_reply() -> String {
+    let mut text = String::from("ok commands:");
+    for verb in VERBS {
+        text.push(' ');
+        text.push_str(verb.name);
+    }
+    text
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     // Error columns are reported against the line as received (leading
@@ -784,6 +914,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "witness" => Ok(Request::Witness(need("witness", rest)?)),
         "derive" => Ok(Request::Derive(need("derive", rest)?)),
         "explain" => Ok(Request::Explain(need("explain", rest)?)),
+        "analyze" => match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [] => Ok(Request::Analyze { apply: false }),
+            ["apply"] => Ok(Request::Analyze { apply: true }),
+            ["apply", extra, ..] => Err(format!(
+                "analyze expects no argument after `apply` (unexpected `{extra}` at column {})",
+                column_of(original, extra)
+            )),
+            [token, ..] => Err(format!(
+                "analyze expects no argument or `apply`, got `{token}` at column {}",
+                column_of(original, token)
+            )),
+        },
         "trace" => {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             match parts.as_slice() {
@@ -936,6 +1078,8 @@ pub fn format_request(request: &Request) -> String {
         Request::Witness(text) => format!("witness {text}"),
         Request::Derive(text) => format!("derive {text}"),
         Request::Explain(text) => format!("explain {text}"),
+        Request::Analyze { apply: false } => "analyze".into(),
+        Request::Analyze { apply: true } => "analyze apply".into(),
         Request::Trace(true) => "trace on".into(),
         Request::Trace(false) => "trace off".into(),
         Request::Known(set, value) => format!("known {set} = {value}"),
@@ -1195,6 +1339,60 @@ pub(crate) fn mined_reply(universe: &Universe, discovery: Option<Discovery>) -> 
     }
 }
 
+/// Formats an `analyze` outcome as its wire reply: the counts first, then
+/// the machine-checkable evidence — each redundant premise with the
+/// subfamily implying it, the minimal conflicting known set when the state
+/// is infeasible, and example dead density variables.
+pub(crate) fn analyze_reply(universe: &Universe, outcome: &AnalyzeOutcome) -> Reply {
+    let analysis = &outcome.analysis;
+    let mut text = format!(
+        "analyze premises={} redundant={} infeasible={} dead={} epoch={} us={}",
+        analysis.premises,
+        analysis.redundant.len(),
+        analysis.conflict.is_some() as u8,
+        analysis.dead_vars,
+        outcome.epoch,
+        outcome.elapsed.as_micros()
+    );
+    for r in &analysis.redundant {
+        text.push_str(&format!(
+            " redundant[{}]={}<=[",
+            r.index,
+            format_wire(&r.premise, universe)
+        ));
+        for (i, w) in r.witness.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&format_wire(w, universe));
+        }
+        text.push(']');
+    }
+    if let Some(conflict) = &analysis.conflict {
+        text.push_str(" conflict=");
+        for (i, (set, value)) in conflict.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&format!(
+                "{}={}",
+                universe.format_set(*set),
+                Interval::format_endpoint(*value)
+            ));
+        }
+    }
+    if !analysis.dead_examples.is_empty() {
+        text.push_str(" dead_eg=");
+        for (i, set) in analysis.dead_examples.iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            text.push_str(&universe.format_set(*set));
+        }
+    }
+    Reply::line(text)
+}
+
 /// Formats a `derive` outcome as its wire reply.
 pub(crate) fn derive_reply(proof: Option<Derivation>) -> Reply {
     match proof {
@@ -1313,6 +1511,7 @@ impl Server {
             Request::Bound(text) => self.defer_bound(&text),
             Request::Batch(texts) => self.defer_batch(&texts),
             Request::Mine(budgets) => self.defer_mine(miner_config(budgets)),
+            Request::Analyze { apply: false } => self.defer_analyze(),
             other => Step::Done(self.execute(other)),
         }
     }
@@ -1474,6 +1673,20 @@ impl Server {
         }
     }
 
+    /// Defers an `analyze` (premise-core static analysis) against the
+    /// current snapshot: a pure read, answered on a worker like `explain`.
+    fn defer_analyze(&mut self) -> Step {
+        let (trace, origin, slot) = (self.next_trace(), self.origin, self.registry.current_id());
+        match self.registry.session() {
+            None => Step::Done(Reply::err("no session (send `universe` first)")),
+            Some(session) => Step::Deferred(
+                DeferredQuery::new(session.snapshot(), QueryKind::Analyze)
+                    .traced(self.trace)
+                    .with_origin(trace, origin, slot),
+            ),
+        }
+    }
+
     /// The discovery wedge-threshold refusals: mining past the measured
     /// limits would wedge a worker for unbounded time, so such requests are
     /// refused up front.  `None` means the request is within limits.
@@ -1502,11 +1715,24 @@ impl Server {
             | Request::Explain(_)
             | Request::Bound(_)
             | Request::Batch(_)
-            | Request::Mine(_) => unreachable!("query verbs are handled by begin"),
+            | Request::Mine(_)
+            | Request::Analyze { apply: false } => {
+                unreachable!("query verbs are handled by begin")
+            }
             Request::Empty => Reply::line(""),
-            Request::Help => Reply::line(
-                "ok commands: universe session assert retract implies batch witness derive explain trace known forget bound load mine adopt dataset premises knowns stats debug reset help quit",
-            ),
+            Request::Help => Reply::line(help_reply()),
+            Request::Analyze { apply: true } => {
+                self.with_session(|session| match session.apply_core() {
+                    Ok(applied) => {
+                        EngineMetrics::global().analyze_applies.inc();
+                        Reply::line(format!(
+                            "ok analyze applied premises={} core={} dropped={}",
+                            applied.before, applied.after, applied.dropped
+                        ))
+                    }
+                    Err(e) => Reply::err(e),
+                })
+            }
             Request::Trace(enabled) => {
                 self.trace = enabled;
                 Reply::line(format!("ok trace={}", enabled as u8))
@@ -2479,5 +2705,90 @@ mod tests {
         // One decided query; the in-batch repeats follow it as cache hits.
         assert!(stats.contains("fd=1/2c"), "got: {stats}");
         assert!(stats.contains("answer_cache=h0/m1/e0"), "got: {stats}");
+    }
+
+    #[test]
+    fn analyze_reports_redundancy_and_infeasibility() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        s.handle_line("assert B -> {C}");
+        s.handle_line("assert A -> {C}"); // implied by the two above
+        let reply = s.handle_line("analyze").text;
+        assert!(
+            reply.starts_with("analyze premises=3 redundant=1 infeasible=0"),
+            "got: {reply}"
+        );
+        assert!(reply.contains(" epoch="), "got: {reply}");
+        assert!(reply.contains(" us="), "got: {reply}");
+        assert!(reply.contains("redundant[2]=A->{C}<=["), "got: {reply}");
+        // An infeasible known pair: f is monotone decreasing along ⊆, so
+        // f(AB) cannot exceed f(A).
+        s.handle_line("known A = 1");
+        s.handle_line("known AB = 10");
+        let reply = s.handle_line("analyze").text;
+        assert!(reply.contains("infeasible=1"), "got: {reply}");
+        assert!(reply.contains(" conflict="), "got: {reply}");
+        // The engine agrees at query time.
+        assert!(
+            s.handle_line("bound AB").text.starts_with("err"),
+            "engine disagrees"
+        );
+    }
+
+    #[test]
+    fn analyze_apply_installs_the_minimal_core() {
+        let mut s = server();
+        s.handle_line("universe 4");
+        s.handle_line("assert A -> {B}");
+        s.handle_line("assert B -> {C}");
+        s.handle_line("assert A -> {C}");
+        assert_eq!(
+            s.handle_line("analyze apply").text,
+            "ok analyze applied premises=3 core=2 dropped=1"
+        );
+        assert_eq!(s.handle_line("premises").text, "premises n=2 A->{B} B->{C}");
+        // Answers survive the reduction.
+        assert!(s.handle_line("implies A -> {C}").text.starts_with("yes"));
+        // Applying again is a no-op.
+        assert_eq!(
+            s.handle_line("analyze apply").text,
+            "ok analyze applied premises=2 core=2 dropped=0"
+        );
+        // Malformed forms are located and non-fatal.
+        assert!(s
+            .handle_line("analyze now")
+            .text
+            .contains("`now` at column 9"));
+        assert!(s
+            .handle_line("analyze apply now")
+            .text
+            .contains("`now` at column 15"));
+    }
+
+    #[test]
+    fn every_verb_is_in_help_and_every_example_parses() {
+        // The canonical table drives the help reply, so `help` can never
+        // miss a verb; each documented example must parse as its own verb.
+        let help = help_reply();
+        for verb in VERBS {
+            assert!(
+                help.split_whitespace().any(|w| w == verb.name),
+                "help reply is missing `{}`: {help}",
+                verb.name
+            );
+            let parsed = parse_request(verb.example)
+                .unwrap_or_else(|e| panic!("example `{}` fails to parse: {e}", verb.example));
+            assert_eq!(
+                verb.example.split_whitespace().next().unwrap(),
+                verb.name,
+                "example for `{}` starts with the wrong verb",
+                verb.name
+            );
+            // The example round-trips through the canonical formatter.
+            let _ = format_request(&parsed);
+        }
+        let mut s = server();
+        assert_eq!(s.handle_line("help").text, help);
     }
 }

@@ -136,7 +136,9 @@ impl ReactorShared {
         self.load.fetch_add(1, Ordering::Relaxed);
         self.inbox
             .lock()
-            .expect("reactor inbox poisoned")
+            // A poisoned inbox only means another thread panicked mid-push;
+            // the Vec itself is still structurally sound, so keep serving.
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push((stream, guard));
         self.wake();
     }
@@ -233,7 +235,12 @@ impl OutBuf {
     fn consume(&mut self, mut written: usize) {
         self.len -= written;
         while written > 0 {
-            let front_len = self.chunks.front().expect("consume past end").len() - self.head;
+            let Some(front) = self.chunks.front() else {
+                // The kernel never reports more written than was submitted;
+                // if accounting ever disagreed, stopping here self-heals.
+                return;
+            };
+            let front_len = front.len() - self.head;
             if written < front_len {
                 self.head += written;
                 return;
@@ -760,7 +767,7 @@ pub(crate) fn run(shared: Arc<ReactorShared>, config: NetConfig) {
                 let adopted: Vec<_> = shared
                     .inbox
                     .lock()
-                    .expect("reactor inbox poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .drain(..)
                     .collect();
                 for (stream, guard) in adopted {

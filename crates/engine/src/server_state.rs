@@ -193,6 +193,9 @@ pub(crate) enum QueryKind {
     /// `mine` reads only the frozen dataset handle, so the heaviest verb
     /// the server accepts runs on a worker instead of stalling the scan.
     Mine(MinerConfig),
+    /// `analyze` is a pure read of the frozen premise/known state (the
+    /// premise-core static analysis), deferred like any other query.
+    Analyze,
 }
 
 impl QueryKind {
@@ -206,6 +209,7 @@ impl QueryKind {
             QueryKind::Derive(_) => "derive",
             QueryKind::Explain(_) => "explain",
             QueryKind::Mine(_) => "mine",
+            QueryKind::Analyze => "analyze",
         }
     }
 }
@@ -395,11 +399,20 @@ impl DeferredQuery {
                 protocol::mined_reply(self.snapshot.universe(), self.snapshot.mine_dataset(config)),
                 scan("mine", Duration::ZERO),
             ),
+            QueryKind::Analyze => {
+                let outcome = self.snapshot.analyze();
+                let elapsed = outcome.elapsed;
+                (
+                    protocol::analyze_reply(self.snapshot.universe(), &outcome),
+                    scan("analyze", elapsed),
+                )
+            }
         };
-        // `explain` already names its epoch; every other traced reply gains
-        // the suffix.  The epoch is fixed by the captured snapshot, so the
-        // suffix is identical under serial and pipelined execution.
-        if self.traced && !matches!(self.kind, QueryKind::Explain(_)) {
+        // `explain` and `analyze` already name their epoch; every other
+        // traced reply gains the suffix.  The epoch is fixed by the captured
+        // snapshot, so the suffix is identical under serial and pipelined
+        // execution.
+        if self.traced && !matches!(self.kind, QueryKind::Explain(_) | QueryKind::Analyze) {
             reply
                 .text
                 .push_str(&format!(" epoch={}", self.snapshot.epoch()));
@@ -423,6 +436,7 @@ impl DeferredQuery {
             QueryKind::Derive(goal) => format!("derive {}", wire(goal)),
             QueryKind::Explain(goal) => format!("explain {}", wire(goal)),
             QueryKind::Mine(config) => format!("mine {} {}", config.max_lhs, config.max_rhs),
+            QueryKind::Analyze => "analyze".into(),
         }
     }
 }

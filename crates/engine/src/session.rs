@@ -160,6 +160,17 @@ pub struct AdoptOutcome {
     pub newly_asserted: usize,
 }
 
+/// The outcome of reducing the premise family to its minimal core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreApplied {
+    /// Premises before the reduction.
+    pub before: usize,
+    /// Premises after the reduction (the core size).
+    pub after: usize,
+    /// Redundant premises retracted.
+    pub dropped: usize,
+}
+
 /// A stateful query-serving session over one universe.
 #[derive(Debug)]
 pub struct Session {
@@ -545,6 +556,29 @@ impl Session {
         }
         self.publish(Mutation::Premises);
         true
+    }
+
+    /// Reduces the premise family to its redundancy-free minimal core
+    /// ([`diffcon_analyze::minimal_core`]): every premise implied by the
+    /// rest is retracted.  The reduction is answer-preserving — the dropped
+    /// premises' lattices are covered by the core, so `implies` verdicts
+    /// and every derived bound are unchanged (see
+    /// [`diffcon_analyze::premise`] for the argument) — and the core's
+    /// certificate is re-verified here before any premise is touched.
+    pub fn apply_core(&mut self) -> Result<CoreApplied, &'static str> {
+        let core = diffcon_analyze::minimal_core(&self.universe, &self.premises);
+        if !diffcon_analyze::check_certificate(&self.universe, &core) {
+            return Err("core certificate failed verification; premises unchanged");
+        }
+        let before = self.premises.len();
+        for dropped in &core.dropped {
+            self.retract_constraint(&dropped.premise);
+        }
+        Ok(CoreApplied {
+            before,
+            after: self.premises.len(),
+            dropped: before - self.premises.len(),
+        })
     }
 
     fn rebuild_fd_index(&mut self) {

@@ -124,6 +124,21 @@ pub struct ExplainOutcome {
     pub total: Duration,
 }
 
+/// The payload of the `analyze` verb: a premise-core static analysis of the
+/// frozen state (see [`diffcon_analyze::premise`]), plus the snapshot
+/// identity and the analysis wall-clock.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOutcome {
+    /// The analysis: redundant premises with witnesses, a minimal
+    /// conflicting known set if the knowns are infeasible, and the dead
+    /// density variables.
+    pub analysis: diffcon_analyze::Analysis,
+    /// The epoch of the snapshot that was analyzed.
+    pub epoch: u64,
+    /// Wall-clock time spent analyzing.
+    pub elapsed: Duration,
+}
+
 /// The sharded concurrent caches shared by every snapshot of one session:
 /// full query answers and derived bound intervals (digest-versioned), plus
 /// goal lattice decompositions and propositional translations (goal-keyed,
@@ -655,6 +670,38 @@ impl Snapshot {
     /// dataset.
     pub fn mine_dataset(&self, config: &MinerConfig) -> Option<Discovery> {
         self.dataset.as_deref().map(|ds| miner::mine(ds, config))
+    }
+
+    /// Runs the premise-core static analysis against this frozen state:
+    /// redundant premises (each with an implying witness subfamily),
+    /// pre-query infeasibility of the knowns (with a minimal conflicting
+    /// known set), and dead density variables.  Pure read — answered from
+    /// the snapshot like `explain`, so it can run on any worker against any
+    /// epoch — and metered under `diffcond_analyze_*`.
+    pub fn analyze(&self) -> AnalyzeOutcome {
+        let start = Instant::now();
+        let problem = BoundsProblem {
+            universe: &self.universe,
+            constraints: &self.premises,
+            knowns: &self.knowns,
+            side: self.bound_side,
+        };
+        let analysis = diffcon_analyze::analyze(&problem, &self.bounds_config);
+        let elapsed = start.elapsed();
+        let metrics = crate::metrics::EngineMetrics::global();
+        metrics.analyze_runs.inc();
+        metrics
+            .analyze_redundant
+            .add(analysis.redundant.len() as u64);
+        if analysis.conflict.is_some() {
+            metrics.analyze_infeasible.inc();
+        }
+        metrics.analyze_ns.record_duration(elapsed);
+        AnalyzeOutcome {
+            analysis,
+            epoch: self.epoch,
+            elapsed,
+        }
     }
 
     /// Point-in-time statistics: the shared planner and cache counters plus

@@ -1,0 +1,182 @@
+//! Property tests for the static analyzer (ISSUE 10).
+//!
+//! Two guarantees are exercised, each against the serving engine itself as
+//! the oracle:
+//!
+//! 1. **Core-reduction transparency** (1000 cases): answering from the
+//!    premise family reduced by [`diffcon_analyze::minimal_core`] — what
+//!    `analyze apply` installs — never changes any `implies` answer or any
+//!    `bound` interval relative to the full family.
+//! 2. **Infeasibility coincidence**: the analyzer's query-time-free
+//!    infeasibility verdict holds *exactly* when some `bound` query over
+//!    the same state fails with [`DeriveError::Infeasible`] — no false
+//!    alarms, no missed conflicts.
+
+use diffcon::random::{ConstraintGenerator, ConstraintShape};
+use diffcon::DiffConstraint;
+use diffcon_bounds::DeriveError;
+use diffcon_engine::Session;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use setlat::{AttrSet, Universe};
+
+/// A session holding exactly the given premises and knowns, with no cache
+/// history.
+fn fresh_session(
+    universe: &Universe,
+    premises: &[DiffConstraint],
+    knowns: &[(AttrSet, f64)],
+) -> Session {
+    let mut s = Session::new(universe.clone());
+    for p in premises {
+        s.assert_constraint(p);
+    }
+    for &(x, v) in knowns {
+        s.set_known(x, v);
+    }
+    s
+}
+
+/// Random premises and knowns for a universe of `n` attributes, all derived
+/// deterministically from `seed`.
+fn random_state(seed: u64, n: usize) -> (Vec<DiffConstraint>, Vec<(AttrSet, f64)>) {
+    let universe = Universe::of_size(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = ConstraintGenerator::new(rng.gen_range(0..u64::MAX), &universe);
+    let shape = ConstraintShape::default();
+    let premises: Vec<DiffConstraint> = (0..rng.gen_range(0..7))
+        .map(|_| gen.constraint(&shape))
+        .collect();
+    // Small integer values over a narrow range make accidental conflicts
+    // (monotonicity violations between nested sets) genuinely reachable.
+    let knowns: Vec<(AttrSet, f64)> = (0..rng.gen_range(0..5))
+        .map(|_| {
+            (
+                AttrSet::from_bits(rng.gen_range(0..(1u64 << n))),
+                rng.gen_range(0..6) as f64,
+            )
+        })
+        .collect();
+    (premises, knowns)
+}
+
+/// Core reduction is answer-transparent: every `implies` answer and every
+/// `bound` outcome (interval or infeasibility) is identical when answered
+/// from the reduced core.
+fn check_core_equivalence(seed: u64, n: usize) {
+    let universe = Universe::of_size(n);
+    let (premises, knowns) = random_state(seed, n);
+    let full = fresh_session(&universe, &premises, &knowns);
+
+    let core = diffcon_analyze::minimal_core(&universe, full.premises());
+    assert!(
+        diffcon_analyze::check_certificate(&universe, &core),
+        "certificate failed on {premises:?}"
+    );
+    let reduced = fresh_session(&universe, &core.core, &knowns);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut gen = ConstraintGenerator::new(rng.gen_range(0..u64::MAX), &universe);
+    let shape = ConstraintShape::default();
+    for _ in 0..8 {
+        let goal = gen.constraint(&shape);
+        assert_eq!(
+            full.implies(&goal).implied,
+            reduced.implies(&goal).implied,
+            "core reduction changed `implies {goal:?}` (dropped {:?})",
+            core.dropped
+        );
+    }
+    for bits in 0..(1u64 << n) {
+        let query = AttrSet::from_bits(bits);
+        match (full.bound(query), reduced.bound(query)) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a.interval, b.interval,
+                "core reduction changed `bound {query:?}` (dropped {:?})",
+                core.dropped
+            ),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!(
+                "core reduction flipped feasibility at {query:?}: full={a:?} reduced={b:?} \
+                 (dropped {:?})",
+                core.dropped
+            ),
+        }
+    }
+}
+
+/// The analyzer's infeasibility verdict coincides exactly with the engine:
+/// `analysis.conflict.is_some()` ⟺ some query's `bound` is `Infeasible`.
+fn check_infeasibility_coincides(seed: u64, n: usize) {
+    let universe = Universe::of_size(n);
+    let (premises, knowns) = random_state(seed, n);
+    let session = fresh_session(&universe, &premises, &knowns);
+
+    let analysis = session.snapshot().analyze().analysis;
+    let engine_infeasible = (0..(1u64 << n))
+        .any(|bits| session.bound(AttrSet::from_bits(bits)) == Err(DeriveError::Infeasible));
+    assert_eq!(
+        analysis.conflict.is_some(),
+        engine_infeasible,
+        "analyzer verdict diverged from the engine on premises={premises:?} knowns={knowns:?}"
+    );
+    if let Some(conflict) = &analysis.conflict {
+        // The reported minimal conflict must itself be infeasible: keeping
+        // only those knowns still triggers `Infeasible` somewhere.
+        let narrowed = fresh_session(&universe, &premises, conflict);
+        assert!(
+            (0..(1u64 << n)).any(|bits| {
+                narrowed.bound(AttrSet::from_bits(bits)) == Err(DeriveError::Infeasible)
+            }),
+            "reported conflict {conflict:?} is not actually infeasible"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// ISSUE 10 satellite (c): answering from `minimal_core()` never changes
+    /// `implies`/`bound` answers versus the full-family oracle, 1000 cases.
+    #[test]
+    fn minimal_core_preserves_answers(seed in any::<u64>(), n in 2usize..=5) {
+        check_core_equivalence(seed, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// ISSUE 10 satellite (c): the analyzer's infeasibility verdict
+    /// coincides exactly with the engine's infeasible `bound` result.
+    #[test]
+    fn infeasibility_verdict_coincides_with_engine(seed in any::<u64>(), n in 2usize..=5) {
+        check_infeasibility_coincides(seed, n);
+    }
+}
+
+/// `analyze apply` through the protocol front door: the session answers
+/// identically after its premise family is swapped for the minimal core.
+#[test]
+fn apply_core_preserves_answers_through_session() {
+    for seed in 0..40u64 {
+        let n = 2 + (seed % 4) as usize;
+        let universe = Universe::of_size(n);
+        let (premises, knowns) = random_state(seed.wrapping_mul(0xA24B_AED4_963E_E407), n);
+        let mut session = fresh_session(&universe, &premises, &knowns);
+        let before: Vec<Result<_, _>> = (0..(1u64 << n))
+            .map(|bits| session.bound(AttrSet::from_bits(bits)).map(|o| o.interval))
+            .collect();
+        let applied = session.apply_core().expect("certificate verifies");
+        assert_eq!(applied.after, session.premises().len());
+        assert_eq!(applied.before - applied.dropped, applied.after);
+        let after: Vec<Result<_, _>> = (0..(1u64 << n))
+            .map(|bits| session.bound(AttrSet::from_bits(bits)).map(|o| o.interval))
+            .collect();
+        assert_eq!(
+            before, after,
+            "apply_core changed bound answers at seed {seed}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests for `diffcond check` (ISSUE 10): the flow-sensitive
+//! script linter must pass every shipped example script, reject the seeded
+//! broken script with `file:line:col: severity:` diagnostics and a nonzero
+//! exit, and every shipped script must also *execute* without a single
+//! `err` reply — lint-clean and run-clean are checked against each other.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("engine crate lives two levels below the repository root")
+        .to_path_buf()
+}
+
+fn shipped_scripts() -> Vec<PathBuf> {
+    let dir = repo_root().join("examples/scripts");
+    let mut scripts: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/scripts exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "dc"))
+        .collect();
+    scripts.sort();
+    assert!(!scripts.is_empty(), "no .dc scripts in {}", dir.display());
+    scripts
+}
+
+fn diffcond() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_diffcond"))
+}
+
+#[test]
+fn check_passes_every_shipped_script() {
+    let scripts = shipped_scripts();
+    let output = diffcond()
+        .arg("check")
+        .args(&scripts)
+        .output()
+        .expect("diffcond runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "shipped scripts must lint clean, got:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("error:"),
+        "shipped scripts must carry no errors:\n{stdout}"
+    );
+}
+
+#[test]
+fn check_rejects_the_broken_script_with_located_diagnostics() {
+    let broken = repo_root().join("crates/engine/tests/data/broken.dc");
+    let output = diffcond()
+        .arg("check")
+        .arg(&broken)
+        .output()
+        .expect("diffcond runs");
+    assert_eq!(output.status.code(), Some(1), "broken script must exit 1");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for expected in [
+        "broken.dc:4:1: error: no universe in session slot 0 yet",
+        "broken.dc:6:8: error: constraint parse error",
+        "broken.dc:8:8: warn: duplicate assert: already asserted at line 7",
+        "broken.dc:9:9: error: retract of a constraint that is not an asserted premise",
+        "broken.dc:10:1: error: mine before any `load`",
+        "broken.dc:12:8: error: forget of a set that has no known value",
+        "broken.dc:13:1: warn: bound with no known values",
+        "broken.dc:14:9: error: no session slot with id 7",
+        "broken.dc:19:1: warn: unreachable: the script quits at line 18",
+    ] {
+        assert!(
+            stdout.contains(expected),
+            "missing diagnostic `{expected}` in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_without_files_exits_2() {
+    let output = diffcond().arg("check").output().expect("diffcond runs");
+    assert_eq!(output.status.code(), Some(2));
+    let output = diffcond()
+        .arg("check")
+        .arg("no/such/script.dc")
+        .output()
+        .expect("diffcond runs");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn shipped_scripts_also_execute_without_errors() {
+    use std::io::Write as _;
+    for script in shipped_scripts() {
+        let text = std::fs::read_to_string(&script).expect("script is readable");
+        let mut child = diffcond()
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("diffcond starts");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(text.as_bytes())
+            .expect("script fits the pipe");
+        let output = child.wait_with_output().expect("diffcond exits");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let errors: Vec<&str> = stdout.lines().filter(|l| l.starts_with("err")).collect();
+        assert!(
+            errors.is_empty(),
+            "{} produced err replies: {errors:?}",
+            script.display()
+        );
+    }
+}
